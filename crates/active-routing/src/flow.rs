@@ -1,0 +1,250 @@
+//! The Active Flow Table (Section 3.2.2, Table 3.1).
+//!
+//! Each cube's ARE tracks the flows passing through it in a flow table. A
+//! flow entry records the reduction opcode, the partial result computed in
+//! this cube, the number of updates received for / committed by this cube,
+//! the parent link of the ARTree, the set of child links, and the gather
+//! flag.
+
+use ar_types::ids::NetNode;
+use ar_types::{FlowId, ReduceOp};
+use std::collections::{BTreeSet, HashMap};
+
+/// One entry of the Active Flow Table — the fields of Table 3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// Unique id of the Active-Routing flow.
+    pub flow: FlowId,
+    /// The operation type of this flow.
+    pub opcode: ReduceOp,
+    /// The reduction result processed in this cube (merged with children's
+    /// results as gather responses arrive).
+    pub result: f64,
+    /// Count of Update requests destined to (computed at) this node.
+    pub req_counter: u64,
+    /// Count of processed (committed) requests at this node.
+    pub resp_counter: u64,
+    /// The link towards the parent of the ARTree (the node this cube first
+    /// heard about the flow from).
+    pub parent: NetNode,
+    /// Children of this node in the ARTree (cube links the flow was forwarded
+    /// over). Cleared as gather responses arrive.
+    pub children: BTreeSet<NetNode>,
+    /// Gather-ready flag: set when the gather request has reached this node.
+    pub gflag: bool,
+    /// Number of gather requests received (only meaningful at the root, which
+    /// waits for one per participating thread — the implicit barrier).
+    pub gather_arrivals: u32,
+    /// Number of gather requests the root must see before starting the
+    /// reduction.
+    pub gather_expected: u32,
+}
+
+impl FlowEntry {
+    /// Creates a fresh entry for `flow` first observed from `parent`.
+    pub fn new(flow: FlowId, opcode: ReduceOp, parent: NetNode) -> Self {
+        FlowEntry {
+            flow,
+            opcode,
+            result: opcode.identity(),
+            req_counter: 0,
+            resp_counter: 0,
+            parent,
+            children: BTreeSet::new(),
+            gflag: false,
+            gather_arrivals: 0,
+            gather_expected: 0,
+        }
+    }
+
+    /// Returns true when local processing has finished: every update counted
+    /// at this node has committed.
+    pub fn local_done(&self) -> bool {
+        self.req_counter == self.resp_counter
+    }
+
+    /// Returns true when the subtree rooted at this node is complete and the
+    /// gather has been requested: local processing done, all children have
+    /// replied, and the gather flag is set.
+    pub fn subtree_done(&self) -> bool {
+        self.gflag && self.local_done() && self.children.is_empty()
+    }
+
+    /// Merges a child's gather response value into the local result.
+    pub fn absorb_child(&mut self, child: NetNode, value: f64) {
+        self.result = self.opcode.merge(self.result, value);
+        self.children.remove(&child);
+    }
+
+    /// Applies a committed single-operand reduction to the local result.
+    pub fn commit_value(&mut self, value: f64) {
+        self.result = self.opcode.merge(self.result, value);
+        self.resp_counter += 1;
+    }
+}
+
+/// The per-cube Active Flow Table: a bounded map from flow id to entry.
+#[derive(Debug)]
+pub struct FlowTable {
+    entries: HashMap<FlowId, FlowEntry>,
+    capacity: usize,
+    /// Maximum number of simultaneously live flows observed (for reporting).
+    high_watermark: usize,
+    /// Number of times a flow had to be registered above capacity.
+    overflows: u64,
+}
+
+impl FlowTable {
+    /// Creates a flow table with room for `capacity` concurrent flows.
+    pub fn new(capacity: usize) -> Self {
+        FlowTable { entries: HashMap::new(), capacity, high_watermark: 0, overflows: 0 }
+    }
+
+    /// Returns the entry for `flow`, registering a new one (with the given
+    /// opcode and parent) if it does not exist yet.
+    pub fn entry_or_register(
+        &mut self,
+        flow: FlowId,
+        opcode: ReduceOp,
+        parent: NetNode,
+    ) -> &mut FlowEntry {
+        if !self.entries.contains_key(&flow) {
+            if self.entries.len() >= self.capacity {
+                self.overflows += 1;
+            }
+            self.entries.insert(flow, FlowEntry::new(flow, opcode, parent));
+            self.high_watermark = self.high_watermark.max(self.entries.len());
+        }
+        self.entries.get_mut(&flow).expect("just inserted")
+    }
+
+    /// Looks up an existing entry.
+    pub fn get(&self, flow: &FlowId) -> Option<&FlowEntry> {
+        self.entries.get(flow)
+    }
+
+    /// Looks up an existing entry mutably.
+    pub fn get_mut(&mut self, flow: &FlowId) -> Option<&mut FlowEntry> {
+        self.entries.get_mut(flow)
+    }
+
+    /// Removes (deallocates) an entry, returning it.
+    pub fn release(&mut self, flow: &FlowId) -> Option<FlowEntry> {
+        self.entries.remove(flow)
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest number of concurrently tracked flows seen so far.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Number of registrations that exceeded the configured capacity.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over all live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::ids::{CubeId, PortId};
+
+    fn fid(t: u64) -> FlowId {
+        FlowId::new(t, PortId::new(0))
+    }
+
+    fn parent() -> NetNode {
+        NetNode::Host(PortId::new(0))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = FlowTable::new(4);
+        let e = t.entry_or_register(fid(0x100), ReduceOp::Mac, parent());
+        assert_eq!(e.result, 0.0);
+        assert_eq!(e.parent, parent());
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&fid(0x100)).is_some());
+        assert!(t.get(&fid(0x200)).is_none());
+    }
+
+    #[test]
+    fn reregistering_keeps_state() {
+        let mut t = FlowTable::new(4);
+        t.entry_or_register(fid(1), ReduceOp::Sum, parent()).req_counter = 5;
+        let e = t.entry_or_register(fid(1), ReduceOp::Sum, parent());
+        assert_eq!(e.req_counter, 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn subtree_completion_logic() {
+        let mut e = FlowEntry::new(fid(1), ReduceOp::Sum, parent());
+        assert!(e.local_done());
+        assert!(!e.subtree_done(), "gather flag not set yet");
+        e.req_counter = 2;
+        e.commit_value(1.5);
+        assert!(!e.local_done());
+        e.commit_value(2.5);
+        assert!(e.local_done());
+        assert_eq!(e.result, 4.0);
+        e.children.insert(NetNode::Cube(CubeId::new(3)));
+        e.gflag = true;
+        assert!(!e.subtree_done());
+        e.absorb_child(NetNode::Cube(CubeId::new(3)), 6.0);
+        assert!(e.subtree_done());
+        assert_eq!(e.result, 10.0);
+    }
+
+    #[test]
+    fn min_flow_merges_with_min() {
+        let mut e = FlowEntry::new(fid(2), ReduceOp::Min, parent());
+        e.req_counter = 2;
+        e.commit_value(5.0);
+        e.commit_value(3.0);
+        assert_eq!(e.result, 3.0);
+        e.absorb_child(NetNode::Cube(CubeId::new(1)), 1.0);
+        assert_eq!(e.result, 1.0);
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_fatal() {
+        let mut t = FlowTable::new(2);
+        for i in 0..5u64 {
+            t.entry_or_register(fid(i), ReduceOp::Sum, parent());
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.overflows(), 3);
+        assert_eq!(t.high_watermark(), 5);
+        assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn release_removes_entry() {
+        let mut t = FlowTable::new(4);
+        t.entry_or_register(fid(9), ReduceOp::Sum, parent());
+        assert!(t.release(&fid(9)).is_some());
+        assert!(t.release(&fid(9)).is_none());
+        assert!(t.is_empty());
+    }
+}

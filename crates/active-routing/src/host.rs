@@ -1,0 +1,459 @@
+//! The host-side offload controller.
+//!
+//! The controller sits between the per-core Message Interfaces and the HMC
+//! controllers (host access ports) of the memory network. It performs the
+//! host-side half of the Active-Routing protocol:
+//!
+//! * it turns [`OffloadCommand`]s drained from the MIs into `Update` packets,
+//!   choosing the access port (and therefore the ARTree) with the configured
+//!   [`PortSelector`] and the compute cube with the topology's split-point
+//!   rule;
+//! * it implements the `Gather(target, num_threads)` barrier: gather commands
+//!   from the participating threads are collected, and once all of them have
+//!   arrived one `GatherReq` is issued to the root of every tree the flow may
+//!   have used;
+//! * it merges the per-tree `GatherResp` values into the final reduction
+//!   result and reports a [`GatherCompletion`] so the system can wake the
+//!   blocked threads and write the result to memory.
+//!
+//! The implicit barrier of the paper is performed at the host controller
+//! rather than at the tree root: with the forest schemes a flow spans up to
+//! four disjoint trees, so a single in-network synchronisation point does not
+//! exist; synchronising at the controller preserves the semantics (no gather
+//! is released before every thread issued its updates) while keeping the
+//! in-network reduction along each tree.
+
+use crate::scheme::PortSelector;
+use ar_cpu::{OffloadCommand, OffloadKind};
+use ar_network::DragonflyTopology;
+use ar_types::addr::AddressMap;
+use ar_types::config::OffloadScheme;
+use ar_types::ids::NetNode;
+use ar_types::packet::{ActiveKind, Packet, PacketKind};
+use ar_types::{Addr, Cycle, FlowId, PortId, ReduceOp, ThreadId};
+use std::collections::HashMap;
+
+/// A finished gather: the flow's final value and the threads to wake.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherCompletion {
+    /// Target (accumulator) address of the reduction.
+    pub target: Addr,
+    /// The reduction operation.
+    pub op: ReduceOp,
+    /// The final reduced value across all trees of the flow.
+    pub value: f64,
+    /// Number of updates aggregated across all trees.
+    pub updates: u64,
+    /// Threads blocked on this gather that must be woken.
+    pub threads: Vec<ThreadId>,
+    /// Cycle at which the last tree response arrived.
+    pub completed_at: Cycle,
+}
+
+/// Everything the controller produced while handling one event.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HostOutput {
+    /// Packets to inject, each at the given host access port.
+    pub packets: Vec<(PortId, Packet)>,
+    /// Addresses that must be back-invalidated from the on-chip caches before
+    /// their offloaded update may proceed (Section 3.4.2).
+    pub back_invalidate: Vec<Addr>,
+    /// Gathers that finished with this event.
+    pub completions: Vec<GatherCompletion>,
+}
+
+impl HostOutput {
+    /// Returns true if nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty() && self.back_invalidate.is_empty() && self.completions.is_empty()
+    }
+}
+
+/// State of one pending gather barrier.
+#[derive(Debug, Clone)]
+struct PendingGather {
+    op: ReduceOp,
+    num_threads: u32,
+    arrived_threads: Vec<ThreadId>,
+    /// Ports still expected to answer (empty until the barrier releases).
+    outstanding_ports: Vec<PortId>,
+    value: f64,
+    updates: u64,
+    issued: bool,
+}
+
+/// Aggregate statistics of the host offload controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Update commands offloaded.
+    pub updates_offloaded: u64,
+    /// Gather commands received from threads.
+    pub gathers_received: u64,
+    /// GatherReq packets issued into the network.
+    pub gather_requests_sent: u64,
+    /// Gather completions reported.
+    pub gathers_completed: u64,
+    /// Per-port update counts (up to 8 ports tracked).
+    pub updates_per_port: [u64; 8],
+}
+
+/// The host-side Active-Routing offload controller.
+#[derive(Debug)]
+pub struct HostOffloadController {
+    selector: PortSelector,
+    topology: DragonflyTopology,
+    pending: HashMap<u64, PendingGather>,
+    next_update_id: u64,
+    next_packet_id: u64,
+    stats: HostStats,
+}
+
+impl HostOffloadController {
+    /// Creates a controller for the given offload scheme over the given
+    /// memory-network topology and address interleaving.
+    pub fn new(scheme: OffloadScheme, topology: DragonflyTopology, map: AddressMap) -> Self {
+        HostOffloadController {
+            selector: PortSelector::new(scheme, topology.clone(), map),
+            topology,
+            pending: HashMap::new(),
+            next_update_id: 0,
+            next_packet_id: 1 << 60,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// The offload scheme in use.
+    pub fn scheme(&self) -> OffloadScheme {
+        self.selector.scheme()
+    }
+
+    /// The port selector (exposed for tests and the experiments crate).
+    pub fn selector(&self) -> &PortSelector {
+        &self.selector
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
+    }
+
+    /// Returns true when no gather barrier is pending.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of gather barriers currently pending.
+    pub fn pending_gathers(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Handles one offload command drained from a core's Message Interface at
+    /// network cycle `now`.
+    pub fn submit(&mut self, now: Cycle, cmd: OffloadCommand) -> HostOutput {
+        match cmd.kind {
+            OffloadKind::Update { op, src1, src2, imm, target } => {
+                self.submit_update(now, cmd.thread, op, src1, src2, imm, target)
+            }
+            OffloadKind::Gather { target, op, num_threads } => {
+                self.submit_gather(now, cmd.thread, target, op, num_threads)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_update(
+        &mut self,
+        now: Cycle,
+        thread: ThreadId,
+        op: ReduceOp,
+        src1: Addr,
+        src2: Option<Addr>,
+        imm: Option<f64>,
+        target: Addr,
+    ) -> HostOutput {
+        let port = self.selector.port_for_update(thread, src1);
+        let flow = FlowId::new(target.as_u64(), port);
+        let compute_cube = if op.is_reduction() {
+            self.selector.compute_cube(port, src1, src2, target)
+        } else {
+            // Non-reduction updates (mov / const_assign) write their target in
+            // place, so they compute at the target's cube.
+            self.selector.compute_cube(port, target, None, target)
+        };
+        let update_id = self.next_update_id;
+        self.next_update_id += 1;
+        self.stats.updates_offloaded += 1;
+        if port.index() < self.stats.updates_per_port.len() {
+            self.stats.updates_per_port[port.index()] += 1;
+        }
+
+        let entry_cube = self.topology.host_cube(port);
+        let kind = ActiveKind::Update {
+            flow,
+            op,
+            src1,
+            src2,
+            imm,
+            compute_cube,
+            thread,
+            update_id,
+            issued_at: now,
+        };
+        let packet = Packet::new(
+            self.next_packet_id(),
+            NetNode::Host(port),
+            NetNode::Cube(entry_cube),
+            PacketKind::Active(kind),
+            now,
+        );
+
+        let mut back_invalidate = vec![src1, target];
+        if let Some(b) = src2 {
+            back_invalidate.push(b);
+        }
+        HostOutput { packets: vec![(port, packet)], back_invalidate, completions: Vec::new() }
+    }
+
+    fn submit_gather(
+        &mut self,
+        now: Cycle,
+        thread: ThreadId,
+        target: Addr,
+        op: ReduceOp,
+        num_threads: u32,
+    ) -> HostOutput {
+        self.stats.gathers_received += 1;
+        let key = target.as_u64();
+        let pending = self.pending.entry(key).or_insert_with(|| PendingGather {
+            op,
+            num_threads,
+            arrived_threads: Vec::new(),
+            outstanding_ports: Vec::new(),
+            value: op.identity(),
+            updates: 0,
+            issued: false,
+        });
+        pending.num_threads = pending.num_threads.max(num_threads);
+        pending.arrived_threads.push(thread);
+        if pending.issued || (pending.arrived_threads.len() as u32) < pending.num_threads {
+            return HostOutput::default();
+        }
+        pending.issued = true;
+        let ports = self.selector.gather_ports();
+        pending.outstanding_ports = ports.clone();
+
+        let mut out = HostOutput::default();
+        for port in ports {
+            let flow = FlowId::new(key, port);
+            let entry_cube = self.topology.host_cube(port);
+            let kind =
+                ActiveKind::GatherReq { flow, op, expected_at_root: 1, thread };
+            let packet = Packet::new(
+                self.next_packet_id(),
+                NetNode::Host(port),
+                NetNode::Cube(entry_cube),
+                PacketKind::Active(kind),
+                now,
+            );
+            self.stats.gather_requests_sent += 1;
+            out.packets.push((port, packet));
+        }
+        out
+    }
+
+    /// Handles a packet delivered back to one of the host access ports.
+    /// Non-active packets (normal read responses) are ignored — they belong
+    /// to the memory controllers, not the offload engine.
+    pub fn handle_port_packet(&mut self, now: Cycle, port: PortId, packet: &Packet) -> HostOutput {
+        let PacketKind::Active(ActiveKind::GatherResp { flow, value, updates }) = packet.kind else {
+            return HostOutput::default();
+        };
+        let key = flow.target;
+        let Some(pending) = self.pending.get_mut(&key) else {
+            return HostOutput::default();
+        };
+        pending.value = pending.op.merge(pending.value, value);
+        pending.updates += updates;
+        pending.outstanding_ports.retain(|p| *p != port);
+        if !pending.outstanding_ports.is_empty() {
+            return HostOutput::default();
+        }
+        let finished = self.pending.remove(&key).expect("entry present");
+        self.stats.gathers_completed += 1;
+        HostOutput {
+            packets: Vec::new(),
+            back_invalidate: Vec::new(),
+            completions: vec![GatherCompletion {
+                target: Addr::new(key),
+                op: finished.op,
+                value: finished.value,
+                updates: finished.updates,
+                threads: finished.arrived_threads,
+                completed_at: now,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(scheme: OffloadScheme) -> HostOffloadController {
+        HostOffloadController::new(scheme, DragonflyTopology::paper(), AddressMap::default())
+    }
+
+    fn update_cmd(thread: usize, src1: u64, src2: Option<u64>, target: u64) -> OffloadCommand {
+        OffloadCommand {
+            thread: ThreadId::new(thread),
+            kind: OffloadKind::Update {
+                op: if src2.is_some() { ReduceOp::Mac } else { ReduceOp::Sum },
+                src1: Addr::new(src1),
+                src2: src2.map(Addr::new),
+                imm: None,
+                target: Addr::new(target),
+            },
+        }
+    }
+
+    fn gather_cmd(thread: usize, target: u64, threads: u32) -> OffloadCommand {
+        OffloadCommand {
+            thread: ThreadId::new(thread),
+            kind: OffloadKind::Gather { target: Addr::new(target), op: ReduceOp::Sum, num_threads: threads },
+        }
+    }
+
+    fn gather_resp(port: usize, target: u64, value: f64, updates: u64) -> Packet {
+        Packet::new(
+            0,
+            NetNode::Cube(ar_types::CubeId::new(0)),
+            NetNode::Host(PortId::new(port)),
+            PacketKind::Active(ActiveKind::GatherResp {
+                flow: FlowId::new(target, PortId::new(port)),
+                value,
+                updates,
+            }),
+            0,
+        )
+    }
+
+    #[test]
+    fn update_is_packetised_to_the_selected_port() {
+        let mut c = controller(OffloadScheme::ArfTid);
+        let out = c.submit(5, update_cmd(6, 0x100, None, 0x8000));
+        assert_eq!(out.packets.len(), 1);
+        let (port, packet) = &out.packets[0];
+        assert_eq!(*port, PortId::new(2), "thread 6 of 4 ports maps to port 2");
+        assert_eq!(packet.src, NetNode::Host(PortId::new(2)));
+        match &packet.kind {
+            PacketKind::Active(ActiveKind::Update { flow, issued_at, .. }) => {
+                assert_eq!(flow.port, PortId::new(2));
+                assert_eq!(*issued_at, 5);
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+        assert!(out.back_invalidate.contains(&Addr::new(0x100)));
+        assert_eq!(c.stats().updates_offloaded, 1);
+        assert_eq!(c.stats().updates_per_port[2], 1);
+    }
+
+    #[test]
+    fn art_scheme_routes_every_update_through_port_zero() {
+        let mut c = controller(OffloadScheme::Art);
+        for t in 0..16 {
+            let out = c.submit(0, update_cmd(t, (t as u64) * 4096, None, 0x8000));
+            assert_eq!(out.packets[0].0, PortId::new(0));
+        }
+        assert_eq!(c.stats().updates_per_port[0], 16);
+    }
+
+    #[test]
+    fn gather_barrier_waits_for_all_threads() {
+        let mut c = controller(OffloadScheme::ArfTid);
+        let out = c.submit(0, gather_cmd(0, 0x8000, 3));
+        assert!(out.is_empty(), "first gather must not release the barrier");
+        let out = c.submit(1, gather_cmd(1, 0x8000, 3));
+        assert!(out.is_empty());
+        let out = c.submit(2, gather_cmd(2, 0x8000, 3));
+        assert_eq!(out.packets.len(), 4, "one GatherReq per tree port");
+        assert_eq!(c.stats().gather_requests_sent, 4);
+        assert_eq!(c.pending_gathers(), 1);
+    }
+
+    #[test]
+    fn gather_completion_merges_all_tree_results() {
+        let mut c = controller(OffloadScheme::ArfTid);
+        for t in 0..2 {
+            let _ = c.submit(0, gather_cmd(t, 0x8000, 2));
+        }
+        // Three trees answer with partial sums, the fourth finishes last.
+        for (port, value) in [(0, 1.0), (1, 2.0), (2, 3.0)] {
+            let out = c.handle_port_packet(10, PortId::new(port), &gather_resp(port, 0x8000, value, 1));
+            assert!(out.completions.is_empty());
+        }
+        let out = c.handle_port_packet(20, PortId::new(3), &gather_resp(3, 0x8000, 4.0, 1));
+        assert_eq!(out.completions.len(), 1);
+        let done = &out.completions[0];
+        assert!((done.value - 10.0).abs() < 1e-12);
+        assert_eq!(done.updates, 4);
+        assert_eq!(done.threads.len(), 2);
+        assert_eq!(done.completed_at, 20);
+        assert!(c.is_idle());
+        assert_eq!(c.stats().gathers_completed, 1);
+    }
+
+    #[test]
+    fn art_gather_uses_a_single_tree() {
+        let mut c = controller(OffloadScheme::Art);
+        let out = c.submit(0, gather_cmd(0, 0x8000, 1));
+        assert_eq!(out.packets.len(), 1);
+        let out = c.handle_port_packet(5, PortId::new(0), &gather_resp(0, 0x8000, 7.5, 3));
+        assert_eq!(out.completions.len(), 1);
+        assert!((out.completions[0].value - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_packets_are_ignored() {
+        let mut c = controller(OffloadScheme::ArfTid);
+        let read = Packet::new(
+            1,
+            NetNode::Cube(ar_types::CubeId::new(2)),
+            NetNode::Host(PortId::new(0)),
+            PacketKind::ReadResp { req_id: 9, addr: Addr::new(0) },
+            0,
+        );
+        assert!(c.handle_port_packet(0, PortId::new(0), &read).is_empty());
+        // A gather response for a flow with no pending barrier is dropped.
+        assert!(c
+            .handle_port_packet(0, PortId::new(0), &gather_resp(0, 0xdead_c0, 1.0, 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn mov_updates_compute_at_the_target_cube() {
+        let mut c = controller(OffloadScheme::ArfTid);
+        let cmd = OffloadCommand {
+            thread: ThreadId::new(0),
+            kind: OffloadKind::Update {
+                op: ReduceOp::Mov,
+                src1: Addr::new(5 * 4096),
+                src2: None,
+                imm: None,
+                target: Addr::new(9 * 4096),
+            },
+        };
+        let out = c.submit(0, cmd);
+        match &out.packets[0].1.kind {
+            PacketKind::Active(ActiveKind::Update { compute_cube, .. }) => {
+                assert_eq!(compute_cube.index(), 9, "mov computes where its target lives");
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Offloading schemes (Section 5.1) and the dynamic-offloading policy
+//! (Section 5.4).
+//!
+//! The scheme decides which host access port — and therefore which ARTree —
+//! an Update flows into:
+//!
+//! * **ART** sends every update through one static port, building a single
+//!   tree per flow. Under heavy offload this creates a many-to-one hotspot.
+//! * **ARF-tid** interleaves trees over all ports by the issuing thread id,
+//!   balancing load evenly.
+//! * **ARF-addr** picks the port closest to the first source operand's cube,
+//!   minimising hops but potentially unbalancing the ports when the address
+//!   space is not spread evenly.
+//! * **ARF-tid-adaptive** is ARF-tid plus a runtime knob that keeps
+//!   low-reuse phases on the host (see [`AdaptivePolicy`]).
+
+use ar_network::DragonflyTopology;
+use ar_types::addr::AddressMap;
+use ar_types::config::OffloadScheme;
+use ar_types::{Addr, CubeId, PortId, ThreadId};
+
+/// Selects the host access port an Update is offloaded through.
+#[derive(Debug, Clone)]
+pub struct PortSelector {
+    scheme: OffloadScheme,
+    ports: usize,
+    topology: DragonflyTopology,
+    map: AddressMap,
+}
+
+impl PortSelector {
+    /// Creates a selector for the given scheme over the given topology and
+    /// address interleaving.
+    pub fn new(scheme: OffloadScheme, topology: DragonflyTopology, map: AddressMap) -> Self {
+        let ports = topology.host_ports();
+        PortSelector { scheme, ports, topology, map }
+    }
+
+    /// The scheme this selector implements.
+    pub fn scheme(&self) -> OffloadScheme {
+        self.scheme
+    }
+
+    /// Number of host ports available.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The cube that owns an operand address.
+    pub fn cube_of(&self, addr: Addr) -> CubeId {
+        CubeId::new(self.map.cube_of(addr))
+    }
+
+    /// Picks the port for an update issued by `thread` whose first source
+    /// operand is `src1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for [`OffloadScheme::None`], which never offloads.
+    pub fn port_for_update(&self, thread: ThreadId, src1: Addr) -> PortId {
+        match self.scheme {
+            OffloadScheme::None => panic!("scheme None never offloads"),
+            OffloadScheme::Art => PortId::new(0),
+            OffloadScheme::ArfTid | OffloadScheme::ArfTidAdaptive => {
+                PortId::new(thread.index() % self.ports)
+            }
+            OffloadScheme::ArfAddr => self.topology.nearest_port(self.cube_of(src1)),
+        }
+    }
+
+    /// All ports that may carry trees of a flow under this scheme (gathers are
+    /// replicated to each of them).
+    pub fn gather_ports(&self) -> Vec<PortId> {
+        match self.scheme {
+            OffloadScheme::None => Vec::new(),
+            OffloadScheme::Art => vec![PortId::new(0)],
+            _ => (0..self.ports).map(PortId::new).collect(),
+        }
+    }
+
+    /// The cube where an update with the given operands will be computed: the
+    /// owning cube of a single operand, or the split point (last common cube
+    /// of the two operand routes from the entry cube) for two operands.
+    pub fn compute_cube(&self, port: PortId, src1: Addr, src2: Option<Addr>, target: Addr) -> CubeId {
+        let entry = self.topology.host_cube(port);
+        match src2 {
+            None => {
+                // Zero-operand updates (const_assign) compute at the target's
+                // cube; single-operand updates at the operand's cube.
+                let dest = if src1 == target { self.cube_of(target) } else { self.cube_of(src1) };
+                dest
+            }
+            Some(b) => self.topology.last_common_cube(entry, self.cube_of(src1), self.cube_of(b)),
+        }
+    }
+}
+
+/// The runtime knob of Section 5.4: decide per phase whether to offload
+/// updates or execute on the host, based on how many updates the phase will
+/// issue per flow relative to how much locality the host caches could
+/// exploit.
+///
+/// The paper enables offloading when `updates per flow` exceeds
+/// `CACHE_BLK_SIZE/stride1 + CACHE_BLK_SIZE/stride2`; this type exposes the
+/// same decision with the strides as explicit inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Cache block size in bytes.
+    pub cache_block_bytes: u64,
+    /// Fallback threshold when strides are unknown.
+    pub default_threshold: u64,
+}
+
+impl AdaptivePolicy {
+    /// Creates a policy for the given cache block size.
+    pub fn new(cache_block_bytes: u64, default_threshold: u64) -> Self {
+        AdaptivePolicy { cache_block_bytes, default_threshold }
+    }
+
+    /// The offload threshold for a phase whose two operand streams have the
+    /// given byte strides (elements farther apart than a block get no reuse).
+    pub fn threshold(&self, stride1_bytes: u64, stride2_bytes: u64) -> u64 {
+        let t1 = if stride1_bytes == 0 { 0 } else { self.cache_block_bytes / stride1_bytes.min(self.cache_block_bytes) };
+        let t2 = if stride2_bytes == 0 { 0 } else { self.cache_block_bytes / stride2_bytes.min(self.cache_block_bytes) };
+        (t1 + t2).max(1)
+    }
+
+    /// Decides whether a phase with `updates_per_flow` updates and the given
+    /// strides should be offloaded (true) or executed on the host (false).
+    pub fn should_offload(&self, updates_per_flow: u64, stride1_bytes: u64, stride2_bytes: u64) -> bool {
+        updates_per_flow > self.threshold(stride1_bytes, stride2_bytes)
+    }
+
+    /// Decision using the fallback threshold (strides unknown).
+    pub fn should_offload_default(&self, updates_per_flow: u64) -> bool {
+        updates_per_flow > self.default_threshold
+    }
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy::new(64, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selector(scheme: OffloadScheme) -> PortSelector {
+        PortSelector::new(scheme, DragonflyTopology::paper(), AddressMap::default())
+    }
+
+    #[test]
+    fn art_always_uses_port_zero() {
+        let s = selector(OffloadScheme::Art);
+        for t in 0..16 {
+            assert_eq!(s.port_for_update(ThreadId::new(t), Addr::new(t as u64 * 4096)), PortId::new(0));
+        }
+        assert_eq!(s.gather_ports(), vec![PortId::new(0)]);
+    }
+
+    #[test]
+    fn arf_tid_interleaves_by_thread() {
+        let s = selector(OffloadScheme::ArfTid);
+        assert_eq!(s.port_for_update(ThreadId::new(0), Addr::new(0)), PortId::new(0));
+        assert_eq!(s.port_for_update(ThreadId::new(5), Addr::new(0)), PortId::new(1));
+        assert_eq!(s.port_for_update(ThreadId::new(7), Addr::new(0)), PortId::new(3));
+        assert_eq!(s.gather_ports().len(), 4);
+        assert_eq!(s.scheme(), OffloadScheme::ArfTid);
+    }
+
+    #[test]
+    fn arf_addr_uses_nearest_port() {
+        let s = selector(OffloadScheme::ArfAddr);
+        // A page owned by cube 0 (group 0) should use port 0; one owned by
+        // cube 12 (group 3) should use port 3.
+        assert_eq!(s.port_for_update(ThreadId::new(9), Addr::new(0)), PortId::new(0));
+        assert_eq!(s.port_for_update(ThreadId::new(9), Addr::new(12 * 4096)), PortId::new(3));
+    }
+
+    #[test]
+    fn two_operand_compute_cube_is_split_point_on_both_paths() {
+        let s = selector(OffloadScheme::ArfTid);
+        let src1 = Addr::new(15 * 4096);
+        let src2 = Addr::new(12 * 4096);
+        let cube = s.compute_cube(PortId::new(0), src1, Some(src2), Addr::new(0));
+        assert!(cube.index() < 16);
+        // Single operand computes at the operand's cube.
+        assert_eq!(s.compute_cube(PortId::new(0), src1, None, Addr::new(0)), CubeId::new(15));
+        // const_assign-style (src1 == target) computes at the target cube.
+        assert_eq!(
+            s.compute_cube(PortId::new(1), Addr::new(5 * 4096), None, Addr::new(5 * 4096)),
+            CubeId::new(5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never offloads")]
+    fn none_scheme_panics_on_port_selection() {
+        let s = selector(OffloadScheme::None);
+        let _ = s.port_for_update(ThreadId::new(0), Addr::new(0));
+    }
+
+    #[test]
+    fn adaptive_policy_threshold_matches_paper_formula() {
+        let p = AdaptivePolicy::new(64, 16);
+        // Unit-stride (8-byte elements): 64/8 + 64/8 = 16.
+        assert_eq!(p.threshold(8, 8), 16);
+        assert!(!p.should_offload(16, 8, 8));
+        assert!(p.should_offload(17, 8, 8));
+        // Block-sized strides get no reuse: threshold collapses to 2.
+        assert_eq!(p.threshold(64, 64), 2);
+        assert!(p.should_offload(3, 64, 64));
+        assert!(p.should_offload_default(17));
+        assert!(!p.should_offload_default(16));
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.cache_block_bytes, 64);
+        assert!(p.threshold(0, 0) >= 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! A generic set-associative tag array with LRU replacement.
+
+use ar_types::Addr;
+use serde::{Deserialize, Serialize};
+
+/// A line evicted from a [`CacheArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedLine {
+    /// Block-aligned address of the evicted line.
+    pub addr: Addr,
+    /// Whether the line was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Line {
+    block: u64,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A set-associative cache tag array with true-LRU replacement.
+///
+/// The array tracks presence and dirtiness only; coherence state lives in the
+/// directory of the [`crate::hierarchy::CacheHierarchy`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheArray {
+    sets: Vec<Vec<Option<Line>>>,
+    ways: usize,
+    block_bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheArray {
+    /// Creates an array with the given total capacity, associativity and
+    /// block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of `ways * block_bytes`
+    /// or any parameter is zero.
+    pub fn new(capacity_bytes: usize, ways: usize, block_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0 && block_bytes > 0, "parameters must be non-zero");
+        let blocks = capacity_bytes / block_bytes;
+        assert!(blocks >= ways, "capacity too small for associativity");
+        let num_sets = (blocks / ways).max(1);
+        CacheArray {
+            sets: vec![vec![None; ways]; num_sets],
+            ways,
+            block_bytes: block_bytes as u64,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn block_of(&self, addr: Addr) -> u64 {
+        addr.as_u64() / self.block_bytes
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Looks up `addr`; on a hit updates LRU state (and dirtiness for writes)
+    /// and returns true.
+    pub fn access(&mut self, addr: Addr, write: bool) -> bool {
+        self.tick += 1;
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.block == block {
+                way.last_used = self.tick;
+                way.dirty |= write;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Returns true if `addr` is present, without touching LRU state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.sets[set].iter().flatten().any(|l| l.block == block)
+    }
+
+    /// Inserts `addr` (after a miss), evicting the LRU line of the set if the
+    /// set is full. Returns the evicted line, if any.
+    pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<EvictedLine> {
+        self.tick += 1;
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        // Already present (racing insert): just update.
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.block == block {
+                way.dirty |= dirty;
+                way.last_used = self.tick;
+                return None;
+            }
+        }
+        // Free way?
+        if let Some(slot) = self.sets[set].iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Line { block, dirty, last_used: self.tick });
+            return None;
+        }
+        // Evict LRU.
+        let lru_idx = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.map(|l| l.last_used).unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("set has ways");
+        let victim = self.sets[set][lru_idx].expect("occupied");
+        self.sets[set][lru_idx] = Some(Line { block, dirty, last_used: self.tick });
+        Some(EvictedLine {
+            addr: Addr::new(victim.block * self.block_bytes),
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Removes `addr` from the array if present; returns the removed line.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        for way in self.sets[set].iter_mut() {
+            if let Some(line) = way {
+                if line.block == block {
+                    let out = EvictedLine {
+                        addr: Addr::new(line.block * self.block_bytes),
+                        dirty: line.dirty,
+                    };
+                    *way = None;
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks `addr` dirty if present. Returns true if it was present.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.block == block {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = CacheArray::new(1024, 4, 64);
+        assert!(!c.access(Addr::new(0x100), false));
+        c.insert(Addr::new(0x100), false);
+        assert!(c.access(Addr::new(0x100), false));
+        assert!(c.probe(Addr::new(0x13f)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recently_used() {
+        // 4 blocks capacity, 2 ways, 64B blocks -> 2 sets.
+        let mut c = CacheArray::new(256, 2, 64);
+        // All these map to set 0: blocks 0, 2, 4 (even block indices).
+        c.insert(Addr::new(0), false);
+        c.insert(Addr::new(128), false);
+        // Touch block 0 so block 2 (addr 128) becomes LRU.
+        assert!(c.access(Addr::new(0), false));
+        let evicted = c.insert(Addr::new(256), false).expect("must evict");
+        assert_eq!(evicted.addr, Addr::new(128));
+        assert!(!evicted.dirty);
+        assert!(c.probe(Addr::new(0)));
+        assert!(!c.probe(Addr::new(128)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = CacheArray::new(128, 1, 64);
+        c.insert(Addr::new(0), false);
+        assert!(c.access(Addr::new(0), true)); // dirty it
+        let evicted = c.insert(Addr::new(128), false).expect("conflict evicts");
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = CacheArray::new(1024, 4, 64);
+        c.insert(Addr::new(0x40), true);
+        let removed = c.invalidate(Addr::new(0x40)).expect("present");
+        assert!(removed.dirty);
+        assert!(!c.probe(Addr::new(0x40)));
+        assert!(c.invalidate(Addr::new(0x40)).is_none());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn insert_existing_does_not_evict() {
+        let mut c = CacheArray::new(128, 1, 64);
+        c.insert(Addr::new(0), false);
+        assert!(c.insert(Addr::new(0), true).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn mark_dirty_only_when_present() {
+        let mut c = CacheArray::new(1024, 4, 64);
+        assert!(!c.mark_dirty(Addr::new(0)));
+        c.insert(Addr::new(0), false);
+        assert!(c.mark_dirty(Addr::new(0)));
+        let e = c.invalidate(Addr::new(0)).unwrap();
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = CacheArray::new(16 * 1024, 4, 64);
+        assert_eq!(c.ways(), 4);
+        assert_eq!(c.sets(), 64);
+    }
+}

@@ -1,0 +1,22 @@
+//! The host CMP cache hierarchy.
+//!
+//! Each core has a private L1 data cache; all cores share a static-NUCA L2
+//! whose banks are distributed over the mesh tiles; a directory co-located
+//! with the L2 banks keeps the private L1s coherent with a MESI-style
+//! invalidation protocol (Table 4.1). The hierarchy is *inclusive*: every L1
+//! line is also present in the L2, so evicting an L2 line back-invalidates
+//! the corresponding L1 copies.
+//!
+//! The model is functional-plus-counters: an [`hierarchy::CacheHierarchy::access`]
+//! immediately updates tag state and reports *what happened* (hit level,
+//! invalidations sent, writebacks generated); the system model translates
+//! that into cycles using the NoC and memory models.
+//!
+//! Back-invalidation for Active-Routing offloads (Section 3.4.2) is exposed as
+//! [`hierarchy::CacheHierarchy::back_invalidate`].
+
+pub mod array;
+pub mod hierarchy;
+
+pub use array::{CacheArray, EvictedLine};
+pub use hierarchy::{AccessKind, AccessResult, CacheHierarchy, CacheStats, HitLevel};

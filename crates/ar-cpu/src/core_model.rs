@@ -1,0 +1,533 @@
+//! The out-of-order core timing model.
+
+use crate::mi::{MessageInterface, OffloadCommand, OffloadKind};
+use ar_types::config::CoreConfig;
+use ar_types::{Addr, CoreId, Cycle, ThreadId, WorkItem, WorkStream};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The kind of memory access a core sends into the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemAccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write.
+    Atomic,
+}
+
+/// A memory request emitted by a core. Request ids are unique per core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Core-local request identifier.
+    pub req_id: u64,
+    /// Accessed address.
+    pub addr: Addr,
+    /// Access kind.
+    pub kind: MemAccessKind,
+}
+
+/// Everything a core produced during one tick.
+#[derive(Debug, Default, Clone)]
+pub struct CoreOutput {
+    /// Memory requests to send into the cache hierarchy.
+    pub mem_requests: Vec<MemAccess>,
+}
+
+/// Why the core could not retire or issue anything in a cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles stalled with a memory access at the ROB head.
+    pub memory: u64,
+    /// Cycles stalled waiting for a gather result.
+    pub gather: u64,
+    /// Cycles stalled at a barrier.
+    pub barrier: u64,
+    /// Cycles stalled because the Message Interface was full.
+    pub offload: u64,
+    /// Cycles in which the ROB was full.
+    pub rob_full: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.memory + self.gather + self.barrier + self.offload + self.rob_full
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotState {
+    Ready(Cycle),
+    WaitingMem(u64),
+    WaitingGather(Addr),
+    WaitingBarrier(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobSlot {
+    insns: u32,
+    state: SlotState,
+}
+
+/// One out-of-order core executing a [`WorkStream`].
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    issue_width: u32,
+    rob_entries: usize,
+    max_outstanding_mem: usize,
+    stream: WorkStream,
+    partial_compute: u32,
+    rob: VecDeque<RobSlot>,
+    rob_insns: usize,
+    outstanding_mem: usize,
+    next_req_id: u64,
+    mi: MessageInterface,
+    instructions_retired: u64,
+    cycles: u64,
+    stalls: StallBreakdown,
+    updates_offloaded: u64,
+    gathers_offloaded: u64,
+}
+
+impl Core {
+    /// Creates a core that will execute `stream`.
+    pub fn new(id: CoreId, cfg: &CoreConfig, stream: WorkStream) -> Self {
+        Core {
+            id,
+            issue_width: cfg.issue_width,
+            rob_entries: cfg.rob_entries,
+            max_outstanding_mem: cfg.max_outstanding_mem,
+            stream,
+            partial_compute: 0,
+            rob: VecDeque::new(),
+            rob_insns: 0,
+            outstanding_mem: 0,
+            next_req_id: 0,
+            mi: MessageInterface::new(cfg.mi_queue_depth),
+            instructions_retired: 0,
+            cycles: 0,
+            stalls: StallBreakdown::default(),
+            updates_offloaded: 0,
+            gathers_offloaded: 0,
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The thread running on this core (one thread per core).
+    pub fn thread(&self) -> ThreadId {
+        ThreadId::new(self.id.index())
+    }
+
+    /// Mutable access to the core's Message Interface (drained by the system).
+    pub fn mi_mut(&mut self) -> &mut MessageInterface {
+        &mut self.mi
+    }
+
+    /// Read-only access to the Message Interface.
+    pub fn mi(&self) -> &MessageInterface {
+        &self.mi
+    }
+
+    /// Dynamic instructions retired so far.
+    pub fn instructions_retired(&self) -> u64 {
+        self.instructions_retired
+    }
+
+    /// Core cycles ticked so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Stall breakdown so far.
+    pub fn stalls(&self) -> StallBreakdown {
+        self.stalls
+    }
+
+    /// Updates offloaded through the MI so far.
+    pub fn updates_offloaded(&self) -> u64 {
+        self.updates_offloaded
+    }
+
+    /// Gathers offloaded through the MI so far.
+    pub fn gathers_offloaded(&self) -> u64 {
+        self.gathers_offloaded
+    }
+
+    /// Returns true once the stream is exhausted, the ROB has drained and the
+    /// MI is empty.
+    pub fn is_done(&self) -> bool {
+        self.stream.is_empty()
+            && self.partial_compute == 0
+            && self.rob.is_empty()
+            && self.mi.is_empty()
+    }
+
+    /// If the core is blocked at a barrier, returns the barrier id.
+    pub fn waiting_barrier(&self) -> Option<u32> {
+        self.rob.iter().find_map(|s| match s.state {
+            SlotState::WaitingBarrier(id) => Some(id),
+            _ => None,
+        })
+    }
+
+    /// Marks the memory request `req_id` as completed at cycle `now`.
+    pub fn complete_mem(&mut self, req_id: u64, now: Cycle) {
+        for slot in &mut self.rob {
+            if slot.state == SlotState::WaitingMem(req_id) {
+                slot.state = SlotState::Ready(now);
+                self.outstanding_mem = self.outstanding_mem.saturating_sub(1);
+                return;
+            }
+        }
+    }
+
+    /// Marks a pending gather on `target` as completed at cycle `now`.
+    pub fn complete_gather(&mut self, target: Addr, now: Cycle) {
+        for slot in &mut self.rob {
+            if slot.state == SlotState::WaitingGather(target) {
+                slot.state = SlotState::Ready(now);
+            }
+        }
+    }
+
+    /// Releases a barrier the core is waiting at.
+    pub fn release_barrier(&mut self, id: u32, now: Cycle) {
+        for slot in &mut self.rob {
+            if slot.state == SlotState::WaitingBarrier(id) {
+                slot.state = SlotState::Ready(now);
+            }
+        }
+    }
+
+    fn rob_space(&self) -> usize {
+        self.rob_entries.saturating_sub(self.rob_insns)
+    }
+
+    fn retire(&mut self, now: Cycle) -> u32 {
+        let mut budget = self.issue_width;
+        while budget > 0 {
+            let Some(front) = self.rob.front_mut() else { break };
+            match front.state {
+                SlotState::Ready(t) if t <= now => {
+                    let take = front.insns.min(budget);
+                    front.insns -= take;
+                    budget -= take;
+                    self.instructions_retired += u64::from(take);
+                    self.rob_insns -= take as usize;
+                    if front.insns == 0 {
+                        self.rob.pop_front();
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.issue_width - budget
+    }
+
+    /// Advances the core by one core cycle, returning any memory requests it
+    /// issued.
+    pub fn tick(&mut self, now: Cycle) -> CoreOutput {
+        self.cycles += 1;
+        let mut out = CoreOutput::default();
+        let retired = self.retire(now);
+
+        let mut budget = self.issue_width;
+        let mut issued = 0u32;
+        let mut blocked_reason: Option<&'static str> = None;
+
+        while budget > 0 {
+            if self.rob_space() == 0 {
+                blocked_reason = Some("rob");
+                break;
+            }
+            // Do not issue past an unresolved barrier, nor past an unresolved
+            // gather: the gathered value is the result of the offloaded
+            // reduction, so program order after the Gather must observe it
+            // (it also acts as the completion fence for the flow's updates).
+            match self.rob.back().map(|s| s.state) {
+                Some(SlotState::WaitingBarrier(_)) => {
+                    blocked_reason = Some("barrier");
+                    break;
+                }
+                Some(SlotState::WaitingGather(_)) => {
+                    blocked_reason = Some("gather");
+                    break;
+                }
+                _ => {}
+            }
+            if self.partial_compute == 0 {
+                match self.stream.peek() {
+                    Some(WorkItem::Compute(_)) => {
+                        if let Some(WorkItem::Compute(n)) = self.stream.pop() {
+                            self.partial_compute = n;
+                        }
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            if self.partial_compute > 0 {
+                let take = self.partial_compute.min(budget).min(self.rob_space() as u32);
+                if take == 0 {
+                    blocked_reason = Some("rob");
+                    break;
+                }
+                self.rob.push_back(RobSlot { insns: take, state: SlotState::Ready(now + 1) });
+                self.rob_insns += take as usize;
+                self.partial_compute -= take;
+                budget -= take;
+                issued += take;
+                continue;
+            }
+            let Some(&item) = self.stream.peek() else { break };
+            match item {
+                WorkItem::Compute(_) => unreachable!("handled above"),
+                WorkItem::Load(addr) | WorkItem::Store(addr) | WorkItem::AtomicRmw { addr } => {
+                    if self.outstanding_mem >= self.max_outstanding_mem {
+                        blocked_reason = Some("mem");
+                        break;
+                    }
+                    let kind = match item {
+                        WorkItem::Load(_) => MemAccessKind::Read,
+                        WorkItem::Store(_) => MemAccessKind::Write,
+                        _ => MemAccessKind::Atomic,
+                    };
+                    let insns = item.instruction_count() as u32;
+                    let req_id = self.next_req_id;
+                    self.next_req_id += 1;
+                    out.mem_requests.push(MemAccess { req_id, addr, kind });
+                    self.rob.push_back(RobSlot { insns, state: SlotState::WaitingMem(req_id) });
+                    self.rob_insns += insns as usize;
+                    self.outstanding_mem += 1;
+                    self.stream.pop();
+                    budget = budget.saturating_sub(insns);
+                    issued += insns;
+                }
+                WorkItem::Update { op, src1, src2, imm, target } => {
+                    if !self.mi.has_space() {
+                        blocked_reason = Some("offload");
+                        break;
+                    }
+                    self.mi.try_push(OffloadCommand {
+                        thread: self.thread(),
+                        kind: OffloadKind::Update { op, src1, src2, imm, target },
+                    });
+                    self.updates_offloaded += 1;
+                    let insns = item.instruction_count() as u32;
+                    self.rob.push_back(RobSlot { insns, state: SlotState::Ready(now + 1) });
+                    self.rob_insns += insns as usize;
+                    self.stream.pop();
+                    budget = budget.saturating_sub(insns);
+                    issued += insns;
+                }
+                WorkItem::Gather { target, op, num_threads, wait } => {
+                    if !self.mi.has_space() {
+                        blocked_reason = Some("offload");
+                        break;
+                    }
+                    self.mi.try_push(OffloadCommand {
+                        thread: self.thread(),
+                        kind: OffloadKind::Gather { target, op, num_threads },
+                    });
+                    self.gathers_offloaded += 1;
+                    // A waiting gather blocks like a synchronising load; a
+                    // fire-and-forget gather retires immediately and the
+                    // result is picked up from memory later.
+                    let state = if wait {
+                        SlotState::WaitingGather(target)
+                    } else {
+                        SlotState::Ready(now + 1)
+                    };
+                    self.rob.push_back(RobSlot { insns: 1, state });
+                    self.rob_insns += 1;
+                    self.stream.pop();
+                    budget -= 1;
+                    issued += 1;
+                }
+                WorkItem::Barrier { id } => {
+                    self.rob.push_back(RobSlot { insns: 1, state: SlotState::WaitingBarrier(id) });
+                    self.rob_insns += 1;
+                    self.stream.pop();
+                    issued += 1;
+                    blocked_reason = Some("barrier");
+                    break;
+                }
+            }
+        }
+
+        // Stall accounting: a cycle with no retirement and no issue is a stall
+        // attributed to whatever blocks the ROB head (or the issue stage).
+        if retired == 0 && issued == 0 && !self.is_done() {
+            match self.rob.front().map(|s| s.state) {
+                Some(SlotState::WaitingMem(_)) => self.stalls.memory += 1,
+                Some(SlotState::WaitingGather(_)) => self.stalls.gather += 1,
+                Some(SlotState::WaitingBarrier(_)) => self.stalls.barrier += 1,
+                _ => match blocked_reason {
+                    Some("offload") => self.stalls.offload += 1,
+                    Some("rob") => self.stalls.rob_full += 1,
+                    Some("mem") => self.stalls.memory += 1,
+                    Some("barrier") => self.stalls.barrier += 1,
+                    Some("gather") => self.stalls.gather += 1,
+                    _ => {}
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::ReduceOp;
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::default()
+    }
+
+    fn core_with(items: Vec<WorkItem>) -> Core {
+        let mut stream = WorkStream::new(ThreadId::new(0));
+        stream.extend(items);
+        Core::new(CoreId::new(0), &cfg(), stream)
+    }
+
+    #[test]
+    fn compute_only_stream_finishes_and_counts_instructions() {
+        let mut c = core_with(vec![WorkItem::Compute(100)]);
+        for t in 0..200 {
+            c.tick(t);
+            if c.is_done() {
+                break;
+            }
+        }
+        assert!(c.is_done());
+        assert_eq!(c.instructions_retired(), 100);
+        // 8-wide core should need roughly 100/8 cycles, certainly < 40.
+        assert!(c.cycles() < 40, "cycles = {}", c.cycles());
+    }
+
+    #[test]
+    fn load_blocks_until_memory_completes() {
+        let mut c = core_with(vec![WorkItem::Load(Addr::new(0x40)), WorkItem::Compute(1)]);
+        let out = c.tick(0);
+        assert_eq!(out.mem_requests.len(), 1);
+        let req = out.mem_requests[0];
+        assert_eq!(req.kind, MemAccessKind::Read);
+        // Without a completion the core cannot retire the load.
+        for t in 1..50 {
+            c.tick(t);
+        }
+        assert!(!c.is_done());
+        assert!(c.stalls().memory > 0);
+        c.complete_mem(req.req_id, 50);
+        for t in 51..60 {
+            c.tick(t);
+        }
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn outstanding_memory_requests_are_bounded() {
+        let items: Vec<WorkItem> = (0..64).map(|i| WorkItem::Load(Addr::new(i * 64))).collect();
+        let mut c = core_with(items);
+        let mut total_reqs = 0;
+        for t in 0..10 {
+            total_reqs += c.tick(t).mem_requests.len();
+        }
+        assert!(total_reqs <= cfg().max_outstanding_mem);
+    }
+
+    #[test]
+    fn updates_are_fire_and_forget_through_mi() {
+        let items: Vec<WorkItem> = (0..4)
+            .map(|i| WorkItem::Update {
+                op: ReduceOp::Sum,
+                src1: Addr::new(i * 64),
+                src2: None,
+                imm: None,
+                target: Addr::new(0x8000),
+            })
+            .collect();
+        let mut c = core_with(items);
+        for t in 0..10 {
+            c.tick(t);
+            // Drain the MI like the system would.
+            while c.mi_mut().pop().is_some() {}
+        }
+        assert!(c.is_done());
+        assert_eq!(c.updates_offloaded(), 4);
+    }
+
+    #[test]
+    fn full_mi_stalls_the_core() {
+        let items: Vec<WorkItem> = (0..64)
+            .map(|i| WorkItem::Update {
+                op: ReduceOp::Sum,
+                src1: Addr::new(i * 64),
+                src2: None,
+                imm: None,
+                target: Addr::new(0x8000),
+            })
+            .collect();
+        let mut c = core_with(items);
+        // Never drain the MI: the core must eventually stall on offload.
+        for t in 0..100 {
+            c.tick(t);
+        }
+        assert!(!c.is_done());
+        assert!(c.stalls().offload > 0);
+    }
+
+    #[test]
+    fn gather_blocks_until_result_arrives() {
+        let mut c = core_with(vec![WorkItem::Gather {
+            target: Addr::new(0x8000),
+            op: ReduceOp::Sum,
+            num_threads: 1,
+            wait: true,
+        }]);
+        for t in 0..20 {
+            c.tick(t);
+            while c.mi_mut().pop().is_some() {}
+        }
+        assert!(!c.is_done());
+        assert!(c.stalls().gather > 0);
+        c.complete_gather(Addr::new(0x8000), 20);
+        for t in 21..30 {
+            c.tick(t);
+        }
+        assert!(c.is_done());
+        assert_eq!(c.gathers_offloaded(), 1);
+    }
+
+    #[test]
+    fn barrier_blocks_until_released() {
+        let mut c = core_with(vec![WorkItem::Barrier { id: 7 }, WorkItem::Compute(8)]);
+        for t in 0..10 {
+            c.tick(t);
+        }
+        assert_eq!(c.waiting_barrier(), Some(7));
+        assert!(!c.is_done());
+        c.release_barrier(7, 10);
+        for t in 11..20 {
+            c.tick(t);
+        }
+        assert!(c.is_done());
+        assert!(c.stalls().barrier > 0);
+        assert!(c.stalls().total() >= c.stalls().barrier);
+    }
+
+    #[test]
+    fn atomic_emits_atomic_access() {
+        let mut c = core_with(vec![WorkItem::AtomicRmw { addr: Addr::new(0x100) }]);
+        let out = c.tick(0);
+        assert_eq!(out.mem_requests[0].kind, MemAccessKind::Atomic);
+    }
+}

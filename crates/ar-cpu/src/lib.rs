@@ -1,0 +1,18 @@
+//! Host processor model: out-of-order cores executing per-thread work
+//! streams, plus the Message Interface that turns `Update`/`Gather`
+//! instructions into offload commands for the memory network.
+//!
+//! The core model is deliberately at the granularity the evaluation needs:
+//! an ROB-limited window with a configurable issue width, non-blocking loads
+//! bounded by an MSHR-like outstanding-request limit, blocking `Gather` and
+//! barrier semantics, and fire-and-forget `Update` offloading that only
+//! stalls when the Message Interface back-pressures. This reproduces the
+//! first-order behaviour the paper relies on: baseline runs are limited by
+//! memory stalls, Active-Routing runs are limited by offload bandwidth and
+//! gather latency.
+
+pub mod core_model;
+pub mod mi;
+
+pub use core_model::{Core, CoreOutput, MemAccess, MemAccessKind};
+pub use mi::{MessageInterface, OffloadCommand, OffloadKind};

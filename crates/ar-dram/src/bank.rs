@@ -1,0 +1,176 @@
+//! Per-bank DRAM state: open row tracking and busy time.
+
+use ar_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The row-buffer state of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row is open (bank is precharged).
+    Closed,
+    /// The given row is open in the row buffer.
+    Open(u64),
+}
+
+/// One DRAM bank: an open-row buffer plus the cycle until which the bank is
+/// busy with its current operation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    busy_until: Cycle,
+    /// Earliest cycle a precharge may complete (tRAS constraint from the last
+    /// activate).
+    ras_done_at: Cycle,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+/// Classification of an access relative to the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The requested row was already open.
+    Hit,
+    /// Another row was open and had to be closed first.
+    Conflict,
+    /// The bank was precharged; only an activate was needed.
+    Empty,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// Creates a precharged, idle bank.
+    pub fn new() -> Self {
+        Bank { state: BankState::Closed, busy_until: 0, ras_done_at: 0, row_hits: 0, row_misses: 0 }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Cycle until which the bank is busy.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Returns true if the bank can start a new access at `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Number of row-buffer hits served.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Number of row-buffer misses (conflicts + empty activates) served.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Classifies what servicing `row` would require, without changing state.
+    pub fn classify(&self, row: u64) -> RowOutcome {
+        match self.state {
+            BankState::Open(r) if r == row => RowOutcome::Hit,
+            BankState::Open(_) => RowOutcome::Conflict,
+            BankState::Closed => RowOutcome::Empty,
+        }
+    }
+
+    /// Starts an access to `row` at cycle `now` using the given timing
+    /// parameters (in memory-bus cycles). Returns the cycle at which the data
+    /// burst completes.
+    ///
+    /// The caller must ensure the bank [`is_free`](Bank::is_free) at `now`.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        row: u64,
+        t_rcd: Cycle,
+        t_ras: Cycle,
+        t_rp: Cycle,
+        t_cl: Cycle,
+        t_bl: Cycle,
+    ) -> Cycle {
+        debug_assert!(self.is_free(now), "bank accessed while busy");
+        let outcome = self.classify(row);
+        let (activate_done, counted_hit) = match outcome {
+            RowOutcome::Hit => (now, true),
+            RowOutcome::Empty => (now + t_rcd, false),
+            RowOutcome::Conflict => {
+                // Must wait for tRAS since the previous activate before we can
+                // precharge, then precharge (tRP) and activate (tRCD).
+                let pre_start = now.max(self.ras_done_at);
+                (pre_start + t_rp + t_rcd, false)
+            }
+        };
+        if counted_hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+            self.ras_done_at = activate_done + t_ras;
+        }
+        let data_done = activate_done + t_cl + t_bl;
+        self.state = BankState::Open(row);
+        self.busy_until = data_done;
+        data_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: (Cycle, Cycle, Cycle, Cycle, Cycle) = (14, 34, 14, 14, 4);
+
+    fn access(b: &mut Bank, now: Cycle, row: u64) -> Cycle {
+        b.access(now, row, T.0, T.1, T.2, T.3, T.4)
+    }
+
+    #[test]
+    fn empty_bank_pays_activate() {
+        let mut b = Bank::new();
+        assert_eq!(b.classify(3), RowOutcome::Empty);
+        let done = access(&mut b, 0, 3);
+        assert_eq!(done, 14 + 14 + 4);
+        assert_eq!(b.state(), BankState::Open(3));
+        assert_eq!(b.row_misses(), 1);
+    }
+
+    #[test]
+    fn row_hit_is_fast() {
+        let mut b = Bank::new();
+        let first = access(&mut b, 0, 3);
+        assert_eq!(b.classify(3), RowOutcome::Hit);
+        let second = access(&mut b, first, 3);
+        assert_eq!(second - first, 14 + 4);
+        assert_eq!(b.row_hits(), 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge_and_respects_tras() {
+        let mut b = Bank::new();
+        let first = access(&mut b, 0, 1);
+        assert_eq!(b.classify(2), RowOutcome::Conflict);
+        let second = access(&mut b, first, 2);
+        // tRAS from the first activate (at cycle 14) expires at 48; precharge
+        // can only start then.
+        assert!(second >= 48 + 14 + 14 + 14 + 4 - 14 - 4, "conflict must be slower than a hit");
+        assert!(second > first + 14 + 4);
+        assert_eq!(b.row_misses(), 2);
+    }
+
+    #[test]
+    fn busy_tracking() {
+        let mut b = Bank::new();
+        let done = access(&mut b, 10, 0);
+        assert!(!b.is_free(done - 1));
+        assert!(b.is_free(done));
+        assert_eq!(b.busy_until(), done);
+    }
+}

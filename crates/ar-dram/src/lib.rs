@@ -1,0 +1,35 @@
+//! DDR DRAM baseline memory model (the `DRAM` configuration of Table 4.1).
+//!
+//! The model captures the first-order timing of a DDR memory system: four
+//! independent channels, ranks and banks per channel, an open-row buffer per
+//! bank, and the tRCD / tRAS / tRP / tCL / tBL timing parameters of the
+//! paper. Requests are scheduled FR-FCFS-style (row hits first, then oldest)
+//! from a per-channel queue of bounded depth.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_dram::{DramRequest, DramSystem};
+//! use ar_types::config::DramConfig;
+//! use ar_types::Addr;
+//!
+//! let mut dram = DramSystem::new(&DramConfig::default());
+//! dram.try_push(0, DramRequest::read(1, Addr::new(0x1000))).unwrap();
+//! let mut done = None;
+//! for cycle in 0..500 {
+//!     dram.tick(cycle);
+//!     if let Some(resp) = dram.pop_response(cycle) {
+//!         done = Some(resp);
+//!         break;
+//!     }
+//! }
+//! assert_eq!(done.unwrap().id, 1);
+//! ```
+
+pub mod bank;
+pub mod channel;
+pub mod system;
+
+pub use bank::{Bank, BankState};
+pub use channel::{Channel, DramRequest, DramResponse};
+pub use system::DramSystem;

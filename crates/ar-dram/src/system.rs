@@ -1,0 +1,145 @@
+//! The multi-channel DRAM system presented to the memory controllers.
+
+use crate::channel::{Channel, DramRequest, DramResponse};
+use ar_types::config::DramConfig;
+use ar_types::{Addr, Cycle};
+
+/// The DDR baseline memory system: one [`Channel`] per memory controller.
+#[derive(Debug)]
+pub struct DramSystem {
+    channels: Vec<Channel>,
+    cfg: DramConfig,
+}
+
+impl DramSystem {
+    /// Builds the DRAM system for the given configuration.
+    pub fn new(cfg: &DramConfig) -> Self {
+        DramSystem { channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(), cfg: cfg.clone() }
+    }
+
+    /// The channel index that owns `addr`.
+    pub fn channel_of(&self, addr: Addr) -> usize {
+        self.cfg.address_map().channel_of(addr)
+    }
+
+    /// Returns true if the owning channel can accept another request.
+    pub fn can_accept(&self, addr: Addr) -> bool {
+        self.channels[self.channel_of(addr)].can_accept()
+    }
+
+    /// Attempts to enqueue a request at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the owning channel's queue is full.
+    pub fn try_push(&mut self, now: Cycle, req: DramRequest) -> Result<(), DramRequest> {
+        let ch = self.channel_of(req.addr);
+        if self.channels[ch].push(now, req) {
+            Ok(())
+        } else {
+            Err(req)
+        }
+    }
+
+    /// Advances every channel by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.tick(now);
+        }
+    }
+
+    /// Removes one completed access (from any channel) available by `now`.
+    pub fn pop_response(&mut self, now: Cycle) -> Option<DramResponse> {
+        for ch in &mut self.channels {
+            if let Some(r) = ch.pop_response(now) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Total accesses across all channels.
+    pub fn accesses(&self) -> u64 {
+        self.channels.iter().map(Channel::accesses).sum()
+    }
+
+    /// Total bytes moved to/from DRAM devices.
+    pub fn bytes(&self) -> u64 {
+        self.channels.iter().map(Channel::bytes).sum()
+    }
+
+    /// Row-buffer hits across all channels.
+    pub fn row_hits(&self) -> u64 {
+        self.channels.iter().map(Channel::row_hits).sum()
+    }
+
+    /// Row-buffer misses across all channels.
+    pub fn row_misses(&self) -> u64 {
+        self.channels.iter().map(Channel::row_misses).sum()
+    }
+
+    /// Returns true if every channel is idle.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(Channel::is_idle)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_route_to_distinct_channels() {
+        let dram = DramSystem::new(&DramConfig::default());
+        let a = dram.channel_of(Addr::new(0));
+        let b = dram.channel_of(Addr::new(4096));
+        assert_ne!(a, b);
+        assert_eq!(dram.channels(), 4);
+    }
+
+    #[test]
+    fn many_requests_all_complete() {
+        let mut dram = DramSystem::new(&DramConfig::default());
+        let total = 200u64;
+        let mut pushed = 0u64;
+        let mut done = 0u64;
+        let mut next = 0u64;
+        for t in 0..200_000 {
+            while pushed < total {
+                let addr = Addr::new(next * 64);
+                if dram.try_push(t, DramRequest::read(pushed, addr)).is_ok() {
+                    pushed += 1;
+                    next += 97; // stride to hit many banks/rows
+                } else {
+                    break;
+                }
+            }
+            dram.tick(t);
+            while dram.pop_response(t).is_some() {
+                done += 1;
+            }
+            if done == total {
+                break;
+            }
+        }
+        assert_eq!(done, total);
+        assert_eq!(dram.accesses(), total);
+        assert!(dram.is_idle());
+        assert_eq!(dram.bytes(), total * 64);
+        assert!(dram.row_hits() + dram.row_misses() == total);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_request() {
+        let cfg = DramConfig { queue_depth: 1, channels: 1, ..DramConfig::default() };
+        let mut dram = DramSystem::new(&cfg);
+        assert!(dram.try_push(0, DramRequest::read(0, Addr::new(0))).is_ok());
+        let rejected = dram.try_push(0, DramRequest::read(1, Addr::new(64)));
+        assert_eq!(rejected.unwrap_err().id, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 5.8: `lud` phase analysis and dynamic offloading (Section 5.4).
+//!
+//! The left panel of the figure tracks IPC over the run for the HMC baseline
+//! and ARF-tid; the right panel compares the end-to-end speedup of HMC,
+//! always-offload ARF and the adaptive scheme that starts on the host and
+//! switches to offloading once the per-flow reduction length crosses the
+//! locality threshold.
+
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use ar_sim::TimeSeries;
+use ar_system::{runner, SimReport};
+use ar_types::config::NamedConfig;
+use ar_workloads::WorkloadKind;
+
+/// The three configurations compared in Fig. 5.8.
+pub const ADAPTIVE_CONFIGS: [NamedConfig; 3] =
+    [NamedConfig::Hmc, NamedConfig::ArfTid, NamedConfig::ArfTidAdaptive];
+
+/// The result of the case study: one report per configuration, in
+/// [`ADAPTIVE_CONFIGS`] order.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStudy {
+    /// Reports for HMC, ARF-tid and ARF-tid-adaptive.
+    pub reports: Vec<SimReport>,
+}
+
+impl AdaptiveStudy {
+    /// Runs `lud` under the three configurations.
+    pub fn run(scale: ExperimentScale) -> Self {
+        let base = scale.system_config();
+        let reports = ADAPTIVE_CONFIGS
+            .iter()
+            .map(|&c| {
+                runner::run(&base, c, WorkloadKind::Lud, scale.size_class())
+                    .expect("built-in scales are valid")
+            })
+            .collect();
+        AdaptiveStudy { reports }
+    }
+
+    /// The report of one configuration.
+    pub fn report(&self, config: NamedConfig) -> Option<&SimReport> {
+        ADAPTIVE_CONFIGS.iter().position(|&c| c == config).map(|i| &self.reports[i])
+    }
+
+    /// The windowed IPC series of one configuration (left panel of Fig. 5.8).
+    pub fn ipc_series(&self, config: NamedConfig) -> Option<&TimeSeries> {
+        self.report(config).map(|r| &r.ipc_series)
+    }
+
+    /// The speedup-over-HMC table (right panel of Fig. 5.8).
+    pub fn speedup_table(&self, title: &str) -> Table {
+        let hmc = &self.reports[0];
+        let columns: Vec<String> = ADAPTIVE_CONFIGS.iter().map(|c| c.to_string()).collect();
+        let mut table = Table::new(title, "metric", columns);
+        table.push_row(
+            "speedup_over_HMC",
+            self.reports.iter().map(|r| r.speedup_over(hmc)).collect(),
+        );
+        table.push_row(
+            "updates_offloaded",
+            self.reports.iter().map(|r| r.updates_offloaded as f64).collect(),
+        );
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_offloads_fewer_updates_than_always_offload() {
+        let study = AdaptiveStudy::run(ExperimentScale::Quick);
+        let arf = study.report(NamedConfig::ArfTid).unwrap();
+        let adaptive = study.report(NamedConfig::ArfTidAdaptive).unwrap();
+        let hmc = study.report(NamedConfig::Hmc).unwrap();
+        assert_eq!(hmc.updates_offloaded, 0);
+        assert!(adaptive.updates_offloaded > 0, "late phases must offload");
+        assert!(
+            adaptive.updates_offloaded < arf.updates_offloaded,
+            "early low-reuse phases must stay on the host"
+        );
+        let table = study.speedup_table("Figure 5.8 (test)");
+        assert!((table.value("speedup_over_HMC", "HMC").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_series_are_recorded_for_long_enough_runs() {
+        let study = AdaptiveStudy::run(ExperimentScale::Quick);
+        // The series may be empty for extremely short runs; at minimum the
+        // accessor must work and the reports must have completed.
+        for &config in &ADAPTIVE_CONFIGS {
+            assert!(study.report(config).unwrap().completed);
+            let _ = study.ipc_series(config).unwrap();
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Figures 5.5-5.7: power, energy and energy-delay product normalized to the
+//! DRAM baseline, each broken into cache / memory / network components.
+
+use crate::matrix::Matrix;
+use crate::table::Table;
+use ar_power::geometric_mean;
+use ar_types::config::{NamedConfig, PowerConfig};
+
+/// Which of the three related figures to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyMetric {
+    /// Fig. 5.5: average power.
+    Power,
+    /// Fig. 5.6: energy.
+    Energy,
+    /// Fig. 5.7: energy-delay product.
+    EnergyDelayProduct,
+}
+
+/// Builds the Fig. 5.5 (power), 5.6 (energy) or 5.7 (EDP) table. Power and
+/// energy rows carry the three component columns plus the total; every value
+/// is normalized to the workload's DRAM total.
+pub fn figure_energy(matrix: &Matrix, metric: EnergyMetric, title: &str) -> Table {
+    let power_cfg = PowerConfig::default();
+    match metric {
+        EnergyMetric::EnergyDelayProduct => edp_table(matrix, &power_cfg, title),
+        _ => breakdown_table(matrix, metric, &power_cfg, title),
+    }
+}
+
+fn breakdown_table(
+    matrix: &Matrix,
+    metric: EnergyMetric,
+    power_cfg: &PowerConfig,
+    title: &str,
+) -> Table {
+    let columns = vec![
+        "cache".to_string(),
+        "memory".to_string(),
+        "network".to_string(),
+        "total".to_string(),
+    ];
+    let mut table = Table::new(title, "workload/config", columns);
+    for &workload in &matrix.workloads {
+        let Some(dram) = matrix.report(workload, NamedConfig::Dram) else { continue };
+        let base = match metric {
+            EnergyMetric::Power => dram.power(power_cfg).total_w(),
+            _ => dram.energy(power_cfg).total_pj(),
+        };
+        let base = if base == 0.0 { 1.0 } else { base };
+        for &config in &matrix.configs {
+            let Some(report) = matrix.report(workload, config) else { continue };
+            let (cache, memory, network) = match metric {
+                EnergyMetric::Power => {
+                    let p = report.power(power_cfg);
+                    (p.cache_w, p.memory_w, p.network_w)
+                }
+                _ => {
+                    let e = report.energy(power_cfg);
+                    (e.cache_pj, e.memory_pj, e.network_pj)
+                }
+            };
+            table.push_row(
+                format!("{}/{}", workload.name(), config),
+                vec![cache / base, memory / base, network / base, (cache + memory + network) / base],
+            );
+        }
+    }
+    table
+}
+
+fn edp_table(matrix: &Matrix, power_cfg: &PowerConfig, title: &str) -> Table {
+    let columns: Vec<String> = matrix.configs.iter().map(|c| c.to_string()).collect();
+    let mut table = Table::new(title, "workload", columns);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); matrix.configs.len()];
+    for (wi, workload) in matrix.workloads.iter().enumerate() {
+        let Some(dram) = matrix.report(*workload, NamedConfig::Dram) else { continue };
+        let base = dram.energy_delay_product(power_cfg);
+        let base = if base == 0.0 { 1.0 } else { base };
+        let mut row = Vec::new();
+        for (ci, _) in matrix.configs.iter().enumerate() {
+            let edp = matrix.reports[wi][ci].energy_delay_product(power_cfg) / base;
+            per_config[ci].push(edp);
+            row.push(edp);
+        }
+        table.push_row(workload.name(), row);
+    }
+    let gmeans: Vec<f64> = per_config.iter().map(|v| geometric_mean(v)).collect();
+    table.push_row("gmean", gmeans);
+    table
+}
+
+/// Mean EDP improvement of `config` relative to `baseline` over the matrix's
+/// workloads, as a fraction in `[0, 1)` (e.g. `0.88` means 88 % lower EDP).
+pub fn mean_edp_reduction(matrix: &Matrix, config: NamedConfig, baseline: NamedConfig) -> f64 {
+    let power_cfg = PowerConfig::default();
+    let ratios: Vec<f64> = matrix
+        .workloads
+        .iter()
+        .filter_map(|&w| {
+            let a = matrix.report(w, config)?.energy_delay_product(&power_cfg);
+            let b = matrix.report(w, baseline)?.energy_delay_product(&power_cfg);
+            if b == 0.0 {
+                None
+            } else {
+                Some(a / b)
+            }
+        })
+        .collect();
+    1.0 - geometric_mean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use ar_workloads::WorkloadKind;
+
+    fn matrix() -> Matrix {
+        Matrix::run(
+            &[WorkloadKind::Mac],
+            &[NamedConfig::Dram, NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        )
+    }
+
+    #[test]
+    fn energy_table_normalizes_dram_total_to_one() {
+        let m = matrix();
+        let t = figure_energy(&m, EnergyMetric::Energy, "Figure 5.6 (test)");
+        assert!((t.value("mac/DRAM", "total").unwrap() - 1.0).abs() < 1e-9);
+        for column in ["cache", "memory", "network"] {
+            assert!(t.value("mac/ARF-tid", column).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn power_and_edp_tables_have_expected_shape() {
+        let m = matrix();
+        let p = figure_energy(&m, EnergyMetric::Power, "Figure 5.5 (test)");
+        assert_eq!(p.rows.len(), 3);
+        let edp = figure_energy(&m, EnergyMetric::EnergyDelayProduct, "Figure 5.7 (test)");
+        assert_eq!(edp.rows.len(), 2, "one workload row plus the gmean row");
+        assert!((edp.value("mac", "DRAM").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_improves_edp_on_random_mac() {
+        let m = Matrix::run(
+            &[WorkloadKind::RandMac],
+            &[NamedConfig::Dram, NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let reduction = mean_edp_reduction(&m, NamedConfig::ArfTid, NamedConfig::Hmc);
+        assert!(
+            reduction > 0.0,
+            "ARF-tid must reduce EDP relative to HMC on rand_mac, got {reduction:.3}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 5.3: per-cube heatmaps of operand-buffer stalls, update
+//! distribution and operand distribution for `lud` under ARF-tid and
+//! ARF-addr.
+
+use crate::scale::ExperimentScale;
+use crate::table::Table;
+use ar_system::{runner, SimReport};
+use ar_types::config::NamedConfig;
+use ar_workloads::WorkloadKind;
+
+/// The per-cube activity of one configuration, as three parallel vectors
+/// indexed by cube id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    /// Configuration label.
+    pub config: String,
+    /// Operand-buffer stall cycles per cube.
+    pub operand_buffer_stalls: Vec<u64>,
+    /// Updates computed per cube.
+    pub update_distribution: Vec<u64>,
+    /// Operand requests served per cube.
+    pub operand_distribution: Vec<u64>,
+}
+
+impl Heatmap {
+    /// Builds the heatmap data from a report.
+    pub fn from_report(report: &SimReport) -> Self {
+        Heatmap {
+            config: report.config_label.clone(),
+            operand_buffer_stalls: report.cube_activity.operand_buffer_stalls.clone(),
+            update_distribution: report.cube_activity.updates_computed.clone(),
+            operand_distribution: report.cube_activity.operands_served.clone(),
+        }
+    }
+
+    /// Coefficient of variation of the update distribution: 0 means perfectly
+    /// balanced across cubes; larger means more imbalance (the property that
+    /// separates ARF-tid from ARF-addr in the paper's discussion).
+    pub fn update_imbalance(&self) -> f64 {
+        imbalance(&self.update_distribution)
+    }
+}
+
+fn imbalance(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt() / mean
+}
+
+/// Runs `lud` under ARF-tid and ARF-addr and returns both heatmaps
+/// (Fig. 5.3's two rows).
+pub fn figure_5_3(scale: ExperimentScale) -> Vec<Heatmap> {
+    let base = scale.system_config();
+    [NamedConfig::ArfTid, NamedConfig::ArfAddr]
+        .iter()
+        .map(|&config| {
+            let report = runner::run(&base, config, WorkloadKind::Lud, scale.size_class())
+                .expect("built-in scales are valid");
+            Heatmap::from_report(&report)
+        })
+        .collect()
+}
+
+/// Renders a set of heatmaps as a table with one row per `(config, metric)`
+/// and one column per cube.
+pub fn to_table(heatmaps: &[Heatmap], title: &str) -> Table {
+    let cubes = heatmaps.first().map(|h| h.update_distribution.len()).unwrap_or(0);
+    let columns: Vec<String> = (0..cubes).map(|c| format!("cube{c}")).collect();
+    let mut table = Table::new(title, "config/metric", columns);
+    for h in heatmaps {
+        table.push_row(
+            format!("{}/stalls", h.config),
+            h.operand_buffer_stalls.iter().map(|&v| v as f64).collect(),
+        );
+        table.push_row(
+            format!("{}/updates", h.config),
+            h.update_distribution.iter().map(|&v| v as f64).collect(),
+        );
+        table.push_row(
+            format!("{}/operands", h.config),
+            h.operand_distribution.iter().map(|&v| v as f64).collect(),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_is_zero_for_uniform_and_positive_for_skewed() {
+        assert_eq!(imbalance(&[5, 5, 5, 5]), 0.0);
+        assert!(imbalance(&[10, 0, 0, 0]) > 1.0);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn lud_heatmaps_cover_every_cube_and_all_updates() {
+        let maps = figure_5_3(ExperimentScale::Quick);
+        assert_eq!(maps.len(), 2);
+        let cubes = ExperimentScale::Quick.system_config().network.cubes;
+        for h in &maps {
+            assert_eq!(h.update_distribution.len(), cubes);
+            assert!(h.update_distribution.iter().sum::<u64>() > 0, "{}: no updates", h.config);
+        }
+        let table = to_table(&maps, "Figure 5.3 (test)");
+        assert_eq!(table.rows.len(), 6);
+    }
+}

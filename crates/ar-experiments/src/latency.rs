@@ -1,0 +1,74 @@
+//! Figure 5.2: update offloading roundtrip latency, broken into request,
+//! stall and response components.
+
+use crate::matrix::Matrix;
+use crate::table::Table;
+use ar_types::config::NamedConfig;
+
+/// The three Active-Routing configurations plotted by Fig. 5.2.
+pub const LATENCY_CONFIGS: [NamedConfig; 3] =
+    [NamedConfig::Art, NamedConfig::ArfTid, NamedConfig::ArfAddr];
+
+/// Builds the Fig. 5.2 latency table: one row per `(workload, config)` pair
+/// with request / stall / response columns in network cycles.
+pub fn figure_5_2(matrix: &Matrix, title: &str) -> Table {
+    let columns = vec!["req_lat".to_string(), "stall_lat".to_string(), "resp_lat".to_string()];
+    let mut table = Table::new(title, "workload/config", columns);
+    for &workload in &matrix.workloads {
+        for &config in &matrix.configs {
+            if !LATENCY_CONFIGS.contains(&config) {
+                continue;
+            }
+            if let Some(report) = matrix.report(workload, config) {
+                let l = report.update_latency;
+                table.push_row(
+                    format!("{}/{}", workload.name(), config),
+                    vec![l.request, l.stall, l.response],
+                );
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use ar_workloads::WorkloadKind;
+
+    #[test]
+    fn latency_breakdown_is_reported_for_offloading_configs_only() {
+        let m = Matrix::run(
+            &[WorkloadKind::Mac],
+            &[NamedConfig::Hmc, NamedConfig::Art, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let t = figure_5_2(&m, "Figure 5.2 (test)");
+        assert_eq!(t.rows.len(), 2, "HMC has no update latency to report");
+        let req = t.value("mac/ARF-tid", "req_lat").unwrap();
+        let resp = t.value("mac/ARF-tid", "resp_lat").unwrap();
+        assert!(req > 0.0, "updates travel at least one hop");
+        assert!(resp > 0.0, "operand fetch and ALU take time");
+    }
+
+    #[test]
+    fn art_single_port_suffers_more_than_the_forest() {
+        // The many-to-one hotspot of the static ART scheme (Section 5.2.2):
+        // its total update latency must exceed ARF-tid's, which spreads the
+        // trees over all ports.
+        let m = Matrix::run(
+            &[WorkloadKind::RandMac],
+            &[NamedConfig::Art, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let art = m.report(WorkloadKind::RandMac, NamedConfig::Art).unwrap().update_latency;
+        let arf = m.report(WorkloadKind::RandMac, NamedConfig::ArfTid).unwrap().update_latency;
+        assert!(
+            art.total() >= arf.total(),
+            "ART ({:.1}) should not beat ARF-tid ({:.1}) on roundtrip latency",
+            art.total(),
+            arf.total()
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Regenerates every table and figure of the Active-Routing evaluation.
+//!
+//! Each module corresponds to one artefact of the paper's Chapter 5 (plus
+//! the two configuration tables):
+//!
+//! | artefact | module | what it reports |
+//! |---|---|---|
+//! | Table 3.1 | [`tables::table_3_1`] | flow-table entry fields |
+//! | Table 4.1 | [`tables::table_4_1`] | system configuration |
+//! | Fig. 5.1(a)/(b) | [`speedup::figure_5_1`] | runtime speedup over DRAM |
+//! | Fig. 5.2(a)/(b) | [`latency::figure_5_2`] | update roundtrip latency breakdown |
+//! | Fig. 5.3 | [`heatmap::figure_5_3`] | per-cube stalls / update / operand distribution (lud) |
+//! | Fig. 5.4(a)/(b) | [`traffic::figure_5_4`] | data movement normalized to HMC |
+//! | Fig. 5.5 | [`energy::figure_energy`] (Power) | normalized power breakdown |
+//! | Fig. 5.6 | [`energy::figure_energy`] (Energy) | normalized energy breakdown |
+//! | Fig. 5.7 | [`energy::figure_energy`] (EDP) | normalized energy-delay product |
+//! | Fig. 5.8 | [`adaptive::AdaptiveStudy`] | lud phase analysis + dynamic offloading |
+//!
+//! All artefacts are produced from [`matrix::Matrix`] runs of the full-system
+//! simulator at a chosen [`scale::ExperimentScale`], and rendered as
+//! [`table::Table`] values (text or CSV). The `ar-experiments` binary drives
+//! them from the command line:
+//!
+//! ```text
+//! cargo run -p ar-experiments --release -- --figure 5.1a --scale standard
+//! cargo run -p ar-experiments --release -- --all --scale quick
+//! ```
+
+pub mod adaptive;
+pub mod energy;
+pub mod heatmap;
+pub mod latency;
+pub mod matrix;
+pub mod scale;
+pub mod speedup;
+pub mod table;
+pub mod tables;
+pub mod traffic;
+
+pub use adaptive::AdaptiveStudy;
+pub use energy::EnergyMetric;
+pub use matrix::Matrix;
+pub use scale::ExperimentScale;
+pub use table::Table;
+
+/// Identifier of one regenerable artefact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// Table 3.1.
+    Table3_1,
+    /// Table 4.1.
+    Table4_1,
+    /// Fig. 5.1(a): benchmark speedups.
+    Fig5_1a,
+    /// Fig. 5.1(b): microbenchmark speedups.
+    Fig5_1b,
+    /// Fig. 5.2(a): benchmark update latency breakdown.
+    Fig5_2a,
+    /// Fig. 5.2(b): microbenchmark update latency breakdown.
+    Fig5_2b,
+    /// Fig. 5.3: lud heatmaps.
+    Fig5_3,
+    /// Fig. 5.4(a): benchmark data movement.
+    Fig5_4a,
+    /// Fig. 5.4(b): microbenchmark data movement.
+    Fig5_4b,
+    /// Fig. 5.5: power breakdown (benchmarks + microbenchmarks).
+    Fig5_5,
+    /// Fig. 5.6: energy breakdown.
+    Fig5_6,
+    /// Fig. 5.7: energy-delay product.
+    Fig5_7,
+    /// Fig. 5.8: lud dynamic offloading case study.
+    Fig5_8,
+}
+
+impl Artifact {
+    /// Every artefact, in paper order.
+    pub const ALL: [Artifact; 13] = [
+        Artifact::Table3_1,
+        Artifact::Table4_1,
+        Artifact::Fig5_1a,
+        Artifact::Fig5_1b,
+        Artifact::Fig5_2a,
+        Artifact::Fig5_2b,
+        Artifact::Fig5_3,
+        Artifact::Fig5_4a,
+        Artifact::Fig5_4b,
+        Artifact::Fig5_5,
+        Artifact::Fig5_6,
+        Artifact::Fig5_7,
+        Artifact::Fig5_8,
+    ];
+
+    /// Parses an artefact name as used on the command line (e.g. `"5.1a"`,
+    /// `"table4.1"`, `"5.8"`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "3.1" | "table3.1" => Some(Artifact::Table3_1),
+            "4.1" | "table4.1" => Some(Artifact::Table4_1),
+            "5.1a" => Some(Artifact::Fig5_1a),
+            "5.1b" => Some(Artifact::Fig5_1b),
+            "5.2a" => Some(Artifact::Fig5_2a),
+            "5.2b" => Some(Artifact::Fig5_2b),
+            "5.3" => Some(Artifact::Fig5_3),
+            "5.4a" => Some(Artifact::Fig5_4a),
+            "5.4b" => Some(Artifact::Fig5_4b),
+            "5.5" => Some(Artifact::Fig5_5),
+            "5.6" => Some(Artifact::Fig5_6),
+            "5.7" => Some(Artifact::Fig5_7),
+            "5.8" => Some(Artifact::Fig5_8),
+            _ => None,
+        }
+    }
+
+    /// The artefact's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::Table3_1 => "Table 3.1",
+            Artifact::Table4_1 => "Table 4.1",
+            Artifact::Fig5_1a => "Figure 5.1(a)",
+            Artifact::Fig5_1b => "Figure 5.1(b)",
+            Artifact::Fig5_2a => "Figure 5.2(a)",
+            Artifact::Fig5_2b => "Figure 5.2(b)",
+            Artifact::Fig5_3 => "Figure 5.3",
+            Artifact::Fig5_4a => "Figure 5.4(a)",
+            Artifact::Fig5_4b => "Figure 5.4(b)",
+            Artifact::Fig5_5 => "Figure 5.5",
+            Artifact::Fig5_6 => "Figure 5.6",
+            Artifact::Fig5_7 => "Figure 5.7",
+            Artifact::Fig5_8 => "Figure 5.8",
+        }
+    }
+
+    /// Runs the artefact at the given scale and renders it as text. Matrix
+    /// runs are not shared between artefacts here; callers that want several
+    /// figures from one matrix should use the figure modules directly.
+    pub fn render(self, scale: ExperimentScale) -> String {
+        match self {
+            Artifact::Table3_1 => tables::table_3_1(),
+            Artifact::Table4_1 => tables::table_4_1(&scale.system_config()),
+            Artifact::Fig5_1a => speedup::figure_5_1(
+                &Matrix::benchmarks(scale),
+                "Figure 5.1(a): benchmark runtime speedup over DRAM",
+            )
+            .to_string(),
+            Artifact::Fig5_1b => speedup::figure_5_1(
+                &Matrix::microbenchmarks(scale),
+                "Figure 5.1(b): microbenchmark runtime speedup over DRAM",
+            )
+            .to_string(),
+            Artifact::Fig5_2a => latency::figure_5_2(
+                &Matrix::run(&ar_workloads::WorkloadKind::BENCHMARKS, &latency::LATENCY_CONFIGS, scale),
+                "Figure 5.2(a): benchmark update roundtrip latency (cycles)",
+            )
+            .to_string(),
+            Artifact::Fig5_2b => latency::figure_5_2(
+                &Matrix::run(
+                    &ar_workloads::WorkloadKind::MICROBENCHMARKS,
+                    &latency::LATENCY_CONFIGS,
+                    scale,
+                ),
+                "Figure 5.2(b): microbenchmark update roundtrip latency (cycles)",
+            )
+            .to_string(),
+            Artifact::Fig5_3 => heatmap::to_table(
+                &heatmap::figure_5_3(scale),
+                "Figure 5.3: lud per-cube stalls / update / operand distribution",
+            )
+            .to_string(),
+            Artifact::Fig5_4a => traffic::figure_5_4(
+                &Matrix::run(&ar_workloads::WorkloadKind::BENCHMARKS, &traffic::TRAFFIC_CONFIGS, scale),
+                "Figure 5.4(a): benchmark data movement normalized to HMC",
+            )
+            .to_string(),
+            Artifact::Fig5_4b => traffic::figure_5_4(
+                &Matrix::run(
+                    &ar_workloads::WorkloadKind::MICROBENCHMARKS,
+                    &traffic::TRAFFIC_CONFIGS,
+                    scale,
+                ),
+                "Figure 5.4(b): microbenchmark data movement normalized to HMC",
+            )
+            .to_string(),
+            Artifact::Fig5_5 => energy::figure_energy(
+                &Matrix::benchmarks(scale),
+                EnergyMetric::Power,
+                "Figure 5.5: normalized power breakdown over DRAM",
+            )
+            .to_string(),
+            Artifact::Fig5_6 => energy::figure_energy(
+                &Matrix::benchmarks(scale),
+                EnergyMetric::Energy,
+                "Figure 5.6: normalized energy breakdown over DRAM",
+            )
+            .to_string(),
+            Artifact::Fig5_7 => energy::figure_energy(
+                &Matrix::benchmarks(scale),
+                EnergyMetric::EnergyDelayProduct,
+                "Figure 5.7: normalized energy-delay product over DRAM",
+            )
+            .to_string(),
+            Artifact::Fig5_8 => {
+                let study = AdaptiveStudy::run(scale);
+                study.speedup_table("Figure 5.8: lud dynamic offloading").to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_names_parse_back() {
+        for a in Artifact::ALL {
+            // Every artefact has a unique display name.
+            assert!(!a.name().is_empty());
+        }
+        assert_eq!(Artifact::parse("5.1a"), Some(Artifact::Fig5_1a));
+        assert_eq!(Artifact::parse("table4.1"), Some(Artifact::Table4_1));
+        assert_eq!(Artifact::parse("9.9"), None);
+    }
+
+    #[test]
+    fn static_tables_render_without_simulation() {
+        let t31 = Artifact::Table3_1.render(ExperimentScale::Quick);
+        assert!(t31.contains("flow ID"));
+        let t41 = Artifact::Table4_1.render(ExperimentScale::Quick);
+        assert!(t41.contains("Dragonfly"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! ar-experiments --all --scale quick
+//! ar-experiments --figure 5.1a --scale standard
+//! ar-experiments --table 4.1
+//! ar-experiments --list
+//! ```
+
+use ar_experiments::{Artifact, ExperimentScale};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full]\n\
+     ids: 3.1 4.1 5.1a 5.1b 5.2a 5.2b 5.3 5.4a 5.4b 5.5 5.6 5.7 5.8"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Quick;
+    let mut selected: Vec<Artifact> = Vec::new();
+    let mut list = false;
+    let mut all = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--scale" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match ExperimentScale::parse(name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale {name:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--figure" | "--table" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("{} needs a value\n{}", args[i - 1], usage());
+                    return ExitCode::FAILURE;
+                };
+                match Artifact::parse(name) {
+                    Some(a) => selected.push(a),
+                    None => {
+                        eprintln!("unknown artefact {name:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if list {
+        for a in Artifact::ALL {
+            println!("{}", a.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if all {
+        selected = Artifact::ALL.to_vec();
+    }
+    if selected.is_empty() {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    for artifact in selected {
+        eprintln!("[ar-experiments] running {} at scale {scale} ...", artifact.name());
+        println!("{}", artifact.render(scale));
+    }
+    ExitCode::SUCCESS
+}

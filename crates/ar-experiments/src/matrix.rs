@@ -1,0 +1,86 @@
+//! The workload × configuration run matrix shared by Figures 5.1 and 5.4-5.7.
+
+use crate::scale::ExperimentScale;
+use ar_system::{runner, SimReport};
+use ar_types::config::NamedConfig;
+use ar_workloads::WorkloadKind;
+
+/// The reports of running a set of workloads under a set of configurations.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Workloads, in row order.
+    pub workloads: Vec<WorkloadKind>,
+    /// Configurations, in column order.
+    pub configs: Vec<NamedConfig>,
+    /// `reports[w][c]` is the run of `workloads[w]` under `configs[c]`.
+    pub reports: Vec<Vec<SimReport>>,
+}
+
+impl Matrix {
+    /// Runs every workload under every configuration at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale's base configuration is invalid (it never is for
+    /// the built-in scales).
+    pub fn run(workloads: &[WorkloadKind], configs: &[NamedConfig], scale: ExperimentScale) -> Self {
+        let base = scale.system_config();
+        let size = scale.size_class();
+        let reports = workloads
+            .iter()
+            .map(|&w| {
+                configs
+                    .iter()
+                    .map(|&c| runner::run(&base, c, w, size).expect("built-in scales are valid"))
+                    .collect()
+            })
+            .collect();
+        Matrix { workloads: workloads.to_vec(), configs: configs.to_vec(), reports }
+    }
+
+    /// Runs the five benchmarks under the five configurations of Fig. 5.1(a).
+    pub fn benchmarks(scale: ExperimentScale) -> Self {
+        Matrix::run(&WorkloadKind::BENCHMARKS, &NamedConfig::ALL, scale)
+    }
+
+    /// Runs the four microbenchmarks under the five configurations of
+    /// Fig. 5.1(b).
+    pub fn microbenchmarks(scale: ExperimentScale) -> Self {
+        Matrix::run(&WorkloadKind::MICROBENCHMARKS, &NamedConfig::ALL, scale)
+    }
+
+    /// The report of one `(workload, config)` cell.
+    pub fn report(&self, workload: WorkloadKind, config: NamedConfig) -> Option<&SimReport> {
+        let w = self.workloads.iter().position(|&x| x == workload)?;
+        let c = self.configs.iter().position(|&x| x == config)?;
+        Some(&self.reports[w][c])
+    }
+
+    /// Iterates over `(workload, config, report)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkloadKind, NamedConfig, &SimReport)> {
+        self.workloads.iter().enumerate().flat_map(move |(wi, &w)| {
+            self.configs.iter().enumerate().map(move |(ci, &c)| (w, c, &self.reports[wi][ci]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_runs_and_indexes() {
+        let m = Matrix::run(
+            &[WorkloadKind::Reduce],
+            &[NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        assert_eq!(m.reports.len(), 1);
+        assert_eq!(m.reports[0].len(), 2);
+        let hmc = m.report(WorkloadKind::Reduce, NamedConfig::Hmc).unwrap();
+        let arf = m.report(WorkloadKind::Reduce, NamedConfig::ArfTid).unwrap();
+        assert!(hmc.completed && arf.completed);
+        assert!(m.report(WorkloadKind::Mac, NamedConfig::Hmc).is_none());
+        assert_eq!(m.iter().count(), 2);
+    }
+}

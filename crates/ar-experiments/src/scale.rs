@@ -1,0 +1,100 @@
+//! Experiment scales: how big a platform and problem size each run uses.
+
+use ar_types::config::SystemConfig;
+use ar_workloads::SizeClass;
+use std::fmt;
+
+/// How large the simulated platform and inputs are.
+///
+/// The paper's own inputs (Section 4.2) are impractically large for a
+/// software model inside a test suite; each scale keeps the full architecture
+/// but shrinks the platform and/or the input so the relative behaviour of the
+/// configurations — who wins, by roughly what factor, where the crossovers
+/// are — is preserved while the wall-clock stays reasonable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentScale {
+    /// 4 cores, 4 cubes, tiny inputs: seconds per figure. Used by the unit
+    /// tests and the Criterion benchmarks.
+    Quick,
+    /// The paper's 16-core / 16-cube platform with small inputs: the default
+    /// for `cargo run -p ar-experiments`.
+    Standard,
+    /// The paper's platform with the largest tractable inputs; minutes per
+    /// figure.
+    Full,
+}
+
+impl ExperimentScale {
+    /// The base system configuration of this scale (before a named
+    /// configuration is applied).
+    pub fn system_config(self) -> SystemConfig {
+        match self {
+            ExperimentScale::Quick => {
+                let mut cfg = SystemConfig::small();
+                // Shrink the caches so that even the small workload inputs
+                // exceed the LLC — the "large footprint, low reuse" regime the
+                // paper evaluates — while keeping runs fast.
+                cfg.caches.l1_bytes = 2 * 1024;
+                cfg.caches.l2_bytes = 8 * 1024;
+                cfg.max_cycles = 5_000_000;
+                cfg
+            }
+            ExperimentScale::Standard | ExperimentScale::Full => {
+                let mut cfg = SystemConfig::paper();
+                cfg.max_cycles = 50_000_000;
+                cfg
+            }
+        }
+    }
+
+    /// The workload size class of this scale.
+    pub fn size_class(self) -> SizeClass {
+        match self {
+            ExperimentScale::Quick | ExperimentScale::Standard => SizeClass::Small,
+            ExperimentScale::Full => SizeClass::Medium,
+        }
+    }
+
+    /// Parses a scale name (`quick`, `standard`, `full`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(ExperimentScale::Quick),
+            "standard" => Some(ExperimentScale::Standard),
+            "full" => Some(ExperimentScale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Standard => "standard",
+            ExperimentScale::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_valid_configs() {
+        for scale in [ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full] {
+            assert!(scale.system_config().validate().is_ok());
+        }
+        assert_eq!(ExperimentScale::Quick.system_config().cores.count, 4);
+        assert_eq!(ExperimentScale::Standard.system_config().cores.count, 16);
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for scale in [ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full] {
+            assert_eq!(ExperimentScale::parse(&scale.to_string()), Some(scale));
+        }
+        assert_eq!(ExperimentScale::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 5.1: runtime speedup over the DRAM baseline.
+
+use crate::matrix::Matrix;
+use crate::table::Table;
+use ar_power::geometric_mean;
+use ar_types::config::NamedConfig;
+
+/// Builds the Fig. 5.1 speedup table from a run matrix that includes the
+/// DRAM baseline column. Every value is `runtime(DRAM) / runtime(config)`;
+/// the final `gmean` row is the geometric mean over the workloads.
+pub fn figure_5_1(matrix: &Matrix, title: &str) -> Table {
+    let columns: Vec<String> = matrix.configs.iter().map(|c| c.to_string()).collect();
+    let mut table = Table::new(title, "workload", columns);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); matrix.configs.len()];
+    for (wi, workload) in matrix.workloads.iter().enumerate() {
+        let baseline = matrix
+            .report(*workload, NamedConfig::Dram)
+            .unwrap_or(&matrix.reports[wi][0]);
+        let mut row = Vec::new();
+        for (ci, _) in matrix.configs.iter().enumerate() {
+            let speedup = matrix.reports[wi][ci].speedup_over(baseline);
+            per_config[ci].push(speedup);
+            row.push(speedup);
+        }
+        table.push_row(workload.name(), row);
+    }
+    let gmeans: Vec<f64> = per_config.iter().map(|v| geometric_mean(v)).collect();
+    table.push_row("gmean", gmeans);
+    table
+}
+
+/// Speedup of one configuration over another, averaged (geometric mean) over
+/// the matrix's workloads — used by EXPERIMENTS.md to report the headline
+/// "ARF over HMC" improvement.
+pub fn mean_speedup_over(matrix: &Matrix, config: NamedConfig, baseline: NamedConfig) -> f64 {
+    let ratios: Vec<f64> = matrix
+        .workloads
+        .iter()
+        .filter_map(|&w| {
+            let a = matrix.report(w, config)?;
+            let b = matrix.report(w, baseline)?;
+            Some(a.speedup_over(b))
+        })
+        .collect();
+    geometric_mean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use ar_workloads::WorkloadKind;
+
+    #[test]
+    fn speedup_table_has_dram_column_of_ones() {
+        let m = Matrix::run(
+            &[WorkloadKind::Mac],
+            &[NamedConfig::Dram, NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let t = figure_5_1(&m, "Figure 5.1 (test)");
+        assert_eq!(t.value("mac", "DRAM"), Some(1.0));
+        let arf = t.value("mac", "ARF-tid").unwrap();
+        assert!(arf > 0.0);
+        // gmean row exists and matches the single workload.
+        assert!((t.value("gmean", "ARF-tid").unwrap() - arf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_routing_beats_the_hmc_baseline_on_random_mac() {
+        // The headline claim of the paper: offloading the multiply-accumulate
+        // loop over a low-reuse, irregularly accessed working set must
+        // outperform running it on the host (rand_mac is the cleanest such
+        // case; sequential mac at tiny scale legitimately favours the caches,
+        // which is exactly the locality regime of Fig. 5.8).
+        let m = Matrix::run(
+            &[WorkloadKind::RandMac],
+            &[NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let hmc = m.report(WorkloadKind::RandMac, NamedConfig::Hmc).unwrap();
+        let arf = m.report(WorkloadKind::RandMac, NamedConfig::ArfTid).unwrap();
+        assert!(
+            arf.network_cycles < hmc.network_cycles,
+            "ARF-tid ({} cycles) must beat HMC ({} cycles) on rand_mac",
+            arf.network_cycles,
+            hmc.network_cycles
+        );
+        let gain = mean_speedup_over(&m, NamedConfig::ArfTid, NamedConfig::Hmc);
+        assert!(gain > 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text table rendering shared by every experiment.
+
+use std::fmt;
+
+/// A labelled table of numeric series: one row per workload (or field), one
+/// column per configuration (or metric). This is the common output format of
+/// every regenerated figure; `Display` renders aligned text and
+/// [`Table::to_csv`] produces machine-readable output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 5.1(a): runtime speedup over DRAM"`).
+    pub title: String,
+    /// Label of the row-name column.
+    pub row_label: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: `(name, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table { title: title.into(), row_label: row_label.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match the header");
+        self.rows.push((name.into(), values));
+    }
+
+    /// Returns the value at `(row, column)` by name.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.iter().find(|(name, _)| name == row).map(|(_, vals)| vals[col])
+    }
+
+    /// The values of one column, in row order.
+    pub fn column(&self, column: &str) -> Option<Vec<f64>> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        Some(self.rows.iter().map(|(_, vals)| vals[col]).collect())
+    }
+
+    /// Renders the table as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (name, values) in &self.rows {
+            out.push_str(name);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let name_width = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once(self.row_label.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        write!(f, "{:<name_width$}", self.row_label)?;
+        for c in &self.columns {
+            write!(f, "  {c:>12}")?;
+        }
+        writeln!(f)?;
+        for (name, values) in &self.rows {
+            write!(f, "{name:<name_width$}")?;
+            for v in values {
+                write!(f, "  {v:>12.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure X", "workload", vec!["A".into(), "B".into()]);
+        t.push_row("mac", vec![1.0, 2.5]);
+        t.push_row("reduce", vec![3.0, 4.0]);
+        t
+    }
+
+    #[test]
+    fn lookup_by_row_and_column() {
+        let t = sample();
+        assert_eq!(t.value("mac", "B"), Some(2.5));
+        assert_eq!(t.value("mac", "C"), None);
+        assert_eq!(t.value("nope", "A"), None);
+        assert_eq!(t.column("A"), Some(vec![1.0, 3.0]));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("workload,A,B"));
+        assert!(lines[1].starts_with("mac,1.0"));
+    }
+
+    #[test]
+    fn display_contains_title_and_all_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("reduce"));
+        assert!(text.contains("2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Tables 3.1 (flow table entry fields) and 4.1 (system configurations) as
+//! printable artefacts.
+
+use ar_types::config::SystemConfig;
+
+/// Renders Table 3.1: the fields of a flow table entry and their purpose.
+pub fn table_3_1() -> String {
+    let rows: [(&str, &str); 7] = [
+        ("flow ID", "A unique ID of the Active Routing flow"),
+        ("opcode", "The operation type of this flow"),
+        ("result", "The reduction result processed in this cube"),
+        ("req_counter", "Count of Update requests for this node"),
+        ("resp_counter", "Count of processed requests"),
+        ("parent", "The port id connected to parent of Active-Routing tree"),
+        ("children_flags / Gflag", "Children indicators and gather-ready flag"),
+    ];
+    let mut out = String::from("Table 3.1: Flow Table Entry Fields\n");
+    for (field, purpose) in rows {
+        out.push_str(&format!("  {field:<24} {purpose}\n"));
+    }
+    out
+}
+
+/// Renders Table 4.1: the simulated system configuration.
+pub fn table_4_1(cfg: &SystemConfig) -> String {
+    let mut out = String::from("Table 4.1: System Configurations\n");
+    out.push_str(&format!(
+        "  CPU Core        {} O3cores @ {} GHz, issue/commit width: {}, ROB: {}\n",
+        cfg.cores.count, cfg.cores.clock_ghz, cfg.cores.issue_width, cfg.cores.rob_entries
+    ));
+    out.push_str(&format!(
+        "  L1I/DCache      Private, {} KB, {} way\n",
+        cfg.caches.l1_bytes / 1024,
+        cfg.caches.l1_ways
+    ));
+    out.push_str(&format!(
+        "  L2Cache         S-NUCA {} MB, {} way, MESI, {} banks\n",
+        cfg.caches.l2_bytes / (1024 * 1024),
+        cfg.caches.l2_ways,
+        cfg.caches.l2_banks
+    ));
+    out.push_str(&format!(
+        "  NoC             {}x{} mesh, {} MC at corners\n",
+        cfg.noc.mesh_width, cfg.noc.mesh_width, cfg.noc.memory_controllers
+    ));
+    out.push_str(&format!(
+        "  DRAM Baseline   {} MCs, {} GB, {} ranks/channel, {} banks/rank, tRCD={} tRAS={} tRP={} tCL={} tBL={} tRR={}\n",
+        cfg.dram.channels,
+        cfg.dram.capacity_gib,
+        cfg.dram.ranks_per_channel,
+        cfg.dram.banks_per_rank,
+        cfg.dram.t_rcd,
+        cfg.dram.t_ras,
+        cfg.dram.t_rp,
+        cfg.dram.t_cl,
+        cfg.dram.t_bl,
+        cfg.dram.t_rr
+    ));
+    out.push_str(&format!(
+        "  HMC             {} GB/cube, {} layers, {} vaults, {} banks/vault\n",
+        cfg.hmc.capacity_gib, cfg.hmc.layers, cfg.hmc.vaults, cfg.hmc.banks_per_vault
+    ));
+    out.push_str(&format!(
+        "  HMC-Net         {} cube Dragonfly, {} controllers, minimal routing, {} lanes @ {} Gbps/lane, switch @ {} GHz\n",
+        cfg.network.cubes,
+        cfg.network.host_ports,
+        cfg.network.lanes,
+        cfg.network.gbps_per_lane,
+        cfg.network.clock_ghz
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_1_lists_every_flow_entry_field() {
+        let t = table_3_1();
+        for field in ["flow ID", "opcode", "result", "req_counter", "resp_counter", "parent", "Gflag"] {
+            assert!(t.contains(field), "missing field {field}");
+        }
+    }
+
+    #[test]
+    fn table_4_1_matches_the_paper_configuration() {
+        let t = table_4_1(&SystemConfig::paper());
+        assert!(t.contains("16 O3cores @ 2 GHz"));
+        assert!(t.contains("16 KB"));
+        assert!(t.contains("16 MB"));
+        assert!(t.contains("4x4 mesh"));
+        assert!(t.contains("16 cube Dragonfly"));
+        assert!(t.contains("tRCD=14"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 5.4: on/off-chip data movement normalized to the HMC baseline,
+//! broken into normal/active request/response bytes.
+
+use crate::matrix::Matrix;
+use crate::table::Table;
+use ar_types::config::NamedConfig;
+
+/// The configurations plotted by Fig. 5.4 (DRAM is excluded: the figure is
+/// normalized to HMC).
+pub const TRAFFIC_CONFIGS: [NamedConfig; 4] =
+    [NamedConfig::Hmc, NamedConfig::Art, NamedConfig::ArfTid, NamedConfig::ArfAddr];
+
+/// Builds the Fig. 5.4 data-movement table: one row per
+/// `(workload, config)`, with the four byte categories normalized to the
+/// workload's HMC total.
+pub fn figure_5_4(matrix: &Matrix, title: &str) -> Table {
+    let columns = vec![
+        "norm_req".to_string(),
+        "norm_resp".to_string(),
+        "active_req".to_string(),
+        "active_resp".to_string(),
+        "total".to_string(),
+    ];
+    let mut table = Table::new(title, "workload/config", columns);
+    for &workload in &matrix.workloads {
+        let Some(hmc) = matrix.report(workload, NamedConfig::Hmc) else { continue };
+        let base = hmc.data_movement.total().max(1) as f64;
+        for &config in &matrix.configs {
+            if !TRAFFIC_CONFIGS.contains(&config) {
+                continue;
+            }
+            if let Some(report) = matrix.report(workload, config) {
+                let d = report.data_movement;
+                table.push_row(
+                    format!("{}/{}", workload.name(), config),
+                    vec![
+                        d.norm_req_bytes as f64 / base,
+                        d.norm_resp_bytes as f64 / base,
+                        d.active_req_bytes as f64 / base,
+                        d.active_resp_bytes as f64 / base,
+                        d.total() as f64 / base,
+                    ],
+                );
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use ar_workloads::WorkloadKind;
+
+    #[test]
+    fn hmc_row_is_normalized_to_one_and_has_no_active_traffic() {
+        let m = Matrix::run(
+            &[WorkloadKind::Mac],
+            &[NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let t = figure_5_4(&m, "Figure 5.4 (test)");
+        assert!((t.value("mac/HMC", "total").unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(t.value("mac/HMC", "active_req"), Some(0.0));
+        assert!(t.value("mac/ARF-tid", "active_req").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn offloading_mac_reduces_normal_response_traffic() {
+        // The microbenchmarks' whole parallel phase is offloaded, so the
+        // cache-block fills of the baseline disappear (Fig. 5.4b).
+        let m = Matrix::run(
+            &[WorkloadKind::Mac],
+            &[NamedConfig::Hmc, NamedConfig::ArfTid],
+            ExperimentScale::Quick,
+        );
+        let t = figure_5_4(&m, "Figure 5.4 (test)");
+        let hmc_resp = t.value("mac/HMC", "norm_resp").unwrap();
+        let arf_resp = t.value("mac/ARF-tid", "norm_resp").unwrap();
+        assert!(arf_resp < hmc_resp);
+    }
+}

@@ -1,0 +1,25 @@
+//! Interconnection networks of the Active-Routing system.
+//!
+//! Two networks are modelled:
+//!
+//! * the **memory network**: 16 HMC cubes connected in a dragonfly topology
+//!   with 4 host access ports (HMC controllers), minimal routing, virtual
+//!   cut-through switching and credit-limited input buffers
+//!   ([`dragonfly::DragonflyTopology`], [`router::MemoryNetwork`]);
+//! * the **on-chip network**: the host CMP's 4x4 mesh connecting cores, S-NUCA
+//!   L2 banks and the 4 memory controllers at the corners
+//!   ([`mesh::MeshNoc`]).
+//!
+//! The memory network is modelled at packet granularity with per-link
+//! bandwidth and queueing so that the congestion effects the paper analyses
+//! (the many-to-one hotspot of the static ART scheme, Fig. 5.2, and the
+//! load imbalance of ARF-addr, Fig. 5.3) emerge from the model rather than
+//! being assumed.
+
+pub mod dragonfly;
+pub mod mesh;
+pub mod router;
+
+pub use dragonfly::DragonflyTopology;
+pub use mesh::MeshNoc;
+pub use router::{MemoryNetwork, NetworkStats};

@@ -1,0 +1,222 @@
+//! The host on-chip network: a 4x4 mesh with XY routing connecting cores,
+//! S-NUCA L2 banks (one per tile) and 4 memory controllers at the corners.
+//!
+//! The mesh is modelled analytically: a transfer charges per-hop latency plus
+//! serialization on every traversed directed link, and links remember when
+//! they become free so that contention shows up as added queueing delay.
+//! Byte-hops are accumulated for the on-chip part of the energy model.
+
+use ar_types::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The on-chip mesh NoC model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeshNoc {
+    width: usize,
+    hop_latency: Cycle,
+    link_bytes_per_cycle: u32,
+    /// Cycle at which each directed link (from_tile, to_tile) becomes free.
+    #[serde(skip)]
+    link_free_at: HashMap<(usize, usize), Cycle>,
+    bytes_transferred: u64,
+    byte_hops: u64,
+    transfers: u64,
+    queueing_cycles: u64,
+}
+
+impl MeshNoc {
+    /// Creates a mesh of `width * width` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize, hop_latency: Cycle, link_bytes_per_cycle: u32) -> Self {
+        assert!(width > 0, "mesh width must be non-zero");
+        MeshNoc {
+            width,
+            hop_latency,
+            link_bytes_per_cycle: link_bytes_per_cycle.max(1),
+            link_free_at: HashMap::new(),
+            bytes_transferred: 0,
+            byte_hops: 0,
+            transfers: 0,
+            queueing_cycles: 0,
+        }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> usize {
+        self.width * self.width
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The tile a core is placed on (cores fill tiles row-major).
+    pub fn core_tile(&self, core: usize) -> usize {
+        core % self.tiles()
+    }
+
+    /// The tile an L2 bank is placed on (one bank per tile).
+    pub fn bank_tile(&self, bank: usize) -> usize {
+        bank % self.tiles()
+    }
+
+    /// The tile of memory controller `mc` (controllers sit at the corners).
+    pub fn mc_tile(&self, mc: usize) -> usize {
+        let w = self.width;
+        let corners = [0, w - 1, w * (w - 1), w * w - 1];
+        corners[mc % corners.len()]
+    }
+
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        (tile % self.width, tile / self.width)
+    }
+
+    /// Number of mesh hops between two tiles under XY routing.
+    pub fn hop_count(&self, from_tile: usize, to_tile: usize) -> u32 {
+        let (fx, fy) = self.coords(from_tile);
+        let (tx, ty) = self.coords(to_tile);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
+    }
+
+    /// The XY route between two tiles, exclusive of `from_tile`.
+    fn route(&self, from_tile: usize, to_tile: usize) -> Vec<usize> {
+        let (mut x, mut y) = self.coords(from_tile);
+        let (tx, ty) = self.coords(to_tile);
+        let mut tiles = Vec::new();
+        while x != tx {
+            x = if x < tx { x + 1 } else { x - 1 };
+            tiles.push(y * self.width + x);
+        }
+        while y != ty {
+            y = if y < ty { y + 1 } else { y - 1 };
+            tiles.push(y * self.width + x);
+        }
+        tiles
+    }
+
+    /// Performs a transfer of `bytes` bytes from `from_tile` to `to_tile`
+    /// starting at core cycle `now`, and returns the cycle at which the last
+    /// byte arrives. Contention on each traversed link delays the transfer.
+    pub fn transfer(&mut self, now: Cycle, from_tile: usize, to_tile: usize, bytes: u32) -> Cycle {
+        self.transfers += 1;
+        self.bytes_transferred += u64::from(bytes);
+        if from_tile == to_tile {
+            return now + 1;
+        }
+        let serialization = (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
+        let mut t = now;
+        let mut prev = from_tile;
+        for next in self.route(from_tile, to_tile) {
+            let free = self.link_free_at.entry((prev, next)).or_insert(0);
+            let start = t.max(*free);
+            self.queueing_cycles += start - t;
+            let done = start + serialization;
+            *free = done;
+            t = done + self.hop_latency;
+            self.byte_hops += u64::from(bytes);
+            prev = next;
+        }
+        t
+    }
+
+    /// Latency of an uncontended transfer (used for quick estimates).
+    pub fn ideal_latency(&self, from_tile: usize, to_tile: usize, bytes: u32) -> Cycle {
+        if from_tile == to_tile {
+            return 1;
+        }
+        let hops = u64::from(self.hop_count(from_tile, to_tile));
+        let serialization = (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
+        hops * (self.hop_latency + serialization)
+    }
+
+    /// Total bytes moved over the mesh.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Sum over transfers of bytes * hops, for the energy model.
+    pub fn byte_hops(&self) -> u64 {
+        self.byte_hops
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Cumulative cycles lost to link contention.
+    pub fn queueing_cycles(&self) -> u64 {
+        self.queueing_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_memory_controllers() {
+        let m = MeshNoc::new(4, 3, 32);
+        assert_eq!(m.mc_tile(0), 0);
+        assert_eq!(m.mc_tile(1), 3);
+        assert_eq!(m.mc_tile(2), 12);
+        assert_eq!(m.mc_tile(3), 15);
+        assert_eq!(m.tiles(), 16);
+    }
+
+    #[test]
+    fn hop_count_is_manhattan_distance() {
+        let m = MeshNoc::new(4, 3, 32);
+        assert_eq!(m.hop_count(0, 15), 6);
+        assert_eq!(m.hop_count(0, 0), 0);
+        assert_eq!(m.hop_count(5, 6), 1);
+        assert_eq!(m.hop_count(3, 12), 6);
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_distance() {
+        let mut m = MeshNoc::new(4, 3, 32);
+        let near = m.transfer(0, 0, 1, 64);
+        let far = m.transfer(1000, 0, 15, 64);
+        assert!(far - 1000 > near, "longer route must take longer");
+        assert_eq!(m.transfers(), 2);
+        assert_eq!(m.bytes_transferred(), 128);
+    }
+
+    #[test]
+    fn same_tile_transfer_is_fast() {
+        let mut m = MeshNoc::new(4, 3, 32);
+        assert_eq!(m.transfer(10, 5, 5, 64), 11);
+        assert_eq!(m.byte_hops(), 0);
+    }
+
+    #[test]
+    fn contention_builds_queueing_delay() {
+        let mut m = MeshNoc::new(4, 1, 8);
+        // Two back-to-back 64-byte transfers over the same single link.
+        let first = m.transfer(0, 0, 1, 64);
+        let second = m.transfer(0, 0, 1, 64);
+        assert!(second > first);
+        assert!(m.queueing_cycles() > 0);
+    }
+
+    #[test]
+    fn byte_hops_accumulate_per_hop() {
+        let mut m = MeshNoc::new(4, 1, 64);
+        m.transfer(0, 0, 3, 64); // 3 hops
+        assert_eq!(m.byte_hops(), 3 * 64);
+    }
+
+    #[test]
+    fn ideal_latency_matches_uncontended_transfer() {
+        let mut m = MeshNoc::new(4, 2, 16);
+        let ideal = m.ideal_latency(0, 15, 32);
+        let real = m.transfer(0, 0, 15, 32);
+        assert_eq!(real, ideal);
+    }
+}

@@ -1,0 +1,364 @@
+//! Packet-level model of the memory network.
+//!
+//! Every directed link of the dragonfly (including the host-port links) is a
+//! bandwidth-limited, in-order channel; routers forward packets hop by hop
+//! under minimal routing. Congestion therefore appears as queueing delay on
+//! the oversubscribed links — exactly the effect that makes the static ART
+//! scheme lose to the forest schemes in the paper (Section 5.2.2).
+
+use crate::dragonfly::DragonflyTopology;
+use ar_sim::BandwidthLink;
+use ar_types::ids::{CubeId, NetNode, PortId};
+use ar_types::packet::{ActiveKind, Packet, PacketKind};
+use ar_types::Cycle;
+use std::collections::{HashMap, VecDeque};
+
+/// Aggregate traffic statistics of the memory network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets injected into the network.
+    pub packets_injected: u64,
+    /// Packets delivered to their destination.
+    pub packets_delivered: u64,
+    /// Total bytes injected (per packet, counted once).
+    pub bytes_injected: u64,
+    /// Sum over traversed links of packet bits (for the 5 pJ/bit/hop model).
+    pub bit_hops: u64,
+    /// Bytes of normal (non-active) request packets injected.
+    pub norm_req_bytes: u64,
+    /// Bytes of normal (non-active) response packets injected.
+    pub norm_resp_bytes: u64,
+    /// Bytes of active request packets (Update, operand request, gather
+    /// request) injected.
+    pub active_req_bytes: u64,
+    /// Bytes of active response packets (operand response, gather response)
+    /// injected.
+    pub active_resp_bytes: u64,
+    /// Sum of end-to-end packet latencies in network cycles.
+    pub total_latency: u64,
+}
+
+impl NetworkStats {
+    /// Total bytes of off-chip data movement (normal + active).
+    pub fn total_bytes(&self) -> u64 {
+        self.norm_req_bytes + self.norm_resp_bytes + self.active_req_bytes + self.active_resp_bytes
+    }
+
+    /// Mean end-to-end packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.packets_delivered as f64
+        }
+    }
+}
+
+/// The memory network: dragonfly topology + per-link channels + per-node
+/// delivery queues.
+#[derive(Debug)]
+pub struct MemoryNetwork {
+    topology: DragonflyTopology,
+    links: HashMap<(NetNode, NetNode), BandwidthLink<Packet>>,
+    delivered_cube: Vec<VecDeque<Packet>>,
+    delivered_host: Vec<VecDeque<Packet>>,
+    stats: NetworkStats,
+    hop_latency: Cycle,
+    link_bytes_per_cycle: u32,
+}
+
+impl MemoryNetwork {
+    /// Builds the network for a topology with the given per-hop latency
+    /// (router pipeline + wire) and per-link bandwidth.
+    pub fn new(topology: DragonflyTopology, hop_latency: Cycle, link_bytes_per_cycle: u32) -> Self {
+        let mut links = HashMap::new();
+        for (a, b) in topology.directed_links() {
+            links.insert((a, b), BandwidthLink::new(hop_latency, link_bytes_per_cycle));
+        }
+        let delivered_cube = (0..topology.cubes()).map(|_| VecDeque::new()).collect();
+        let delivered_host = (0..topology.host_ports()).map(|_| VecDeque::new()).collect();
+        MemoryNetwork {
+            topology,
+            links,
+            delivered_cube,
+            delivered_host,
+            stats: NetworkStats::default(),
+            hop_latency,
+            link_bytes_per_cycle,
+        }
+    }
+
+    /// The topology the network is built on.
+    pub fn topology(&self) -> &DragonflyTopology {
+        &self.topology
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    fn classify(&mut self, packet: &Packet) {
+        let bytes = u64::from(packet.size_bytes());
+        match &packet.kind {
+            PacketKind::ReadReq { .. } | PacketKind::WriteReq { .. } => {
+                self.stats.norm_req_bytes += bytes;
+            }
+            PacketKind::ReadResp { .. } | PacketKind::WriteAck { .. } => {
+                self.stats.norm_resp_bytes += bytes;
+            }
+            PacketKind::Active(a) => match a {
+                ActiveKind::Update { .. }
+                | ActiveKind::OperandReq { .. }
+                | ActiveKind::GatherReq { .. } => self.stats.active_req_bytes += bytes,
+                ActiveKind::OperandResp { .. } | ActiveKind::GatherResp { .. } => {
+                    self.stats.active_resp_bytes += bytes;
+                }
+            },
+        }
+    }
+
+    /// Injects a packet at its source node. The packet starts routing
+    /// immediately (or is delivered directly if source equals destination).
+    pub fn inject(&mut self, now: Cycle, packet: Packet) {
+        self.stats.packets_injected += 1;
+        self.stats.bytes_injected += u64::from(packet.size_bytes());
+        self.classify(&packet);
+        let src = packet.src;
+        self.process_at(now, src, packet);
+    }
+
+    fn deliver(&mut self, now: Cycle, packet: Packet) {
+        self.stats.packets_delivered += 1;
+        self.stats.total_latency += now.saturating_sub(packet.injected_at);
+        match packet.dst {
+            NetNode::Cube(c) => self.delivered_cube[c.index()].push_back(packet),
+            NetNode::Host(p) => self.delivered_host[p.index()].push_back(packet),
+        }
+    }
+
+    fn process_at(&mut self, now: Cycle, node: NetNode, mut packet: Packet) {
+        if node == packet.dst {
+            self.deliver(now, packet);
+            return;
+        }
+        let next = self.topology.next_hop(node, packet.dst);
+        packet.hops += 1;
+        self.stats.bit_hops += u64::from(packet.size_bytes()) * 8;
+        let bytes = packet.size_bytes();
+        let link = self
+            .links
+            .get_mut(&(node, next))
+            .unwrap_or_else(|| panic!("no link {node} -> {next}"));
+        link.send(now, bytes, packet);
+    }
+
+    /// Advances the network by one cycle: packets that have finished
+    /// traversing a link are forwarded to the next hop or delivered.
+    pub fn tick(&mut self, now: Cycle) {
+        let mut arrivals: Vec<(NetNode, Packet)> = Vec::new();
+        for ((_, to), link) in self.links.iter_mut() {
+            while let Some(p) = link.pop_arrived(now) {
+                arrivals.push((*to, p));
+            }
+        }
+        for (node, packet) in arrivals {
+            self.process_at(now, node, packet);
+        }
+    }
+
+    /// Removes the next packet delivered at a cube, if any.
+    pub fn pop_at_cube(&mut self, cube: CubeId) -> Option<Packet> {
+        self.delivered_cube[cube.index()].pop_front()
+    }
+
+    /// Removes the next packet delivered at a host port, if any.
+    pub fn pop_at_host(&mut self, port: PortId) -> Option<Packet> {
+        self.delivered_host[port.index()].pop_front()
+    }
+
+    /// Number of packets currently buffered or in flight anywhere in the
+    /// network (used to detect quiescence).
+    pub fn in_flight(&self) -> usize {
+        self.links.values().map(BandwidthLink::in_flight).sum::<usize>()
+            + self.delivered_cube.iter().map(VecDeque::len).sum::<usize>()
+            + self.delivered_host.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Returns true if nothing is queued or in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Total queueing cycles accumulated on the link out of a host port
+    /// (useful to observe the ART single-port hotspot).
+    pub fn host_port_queueing(&self, port: PortId) -> u64 {
+        let node = NetNode::Host(port);
+        let cube = NetNode::Cube(self.topology.host_cube(port));
+        self.links.get(&(node, cube)).map(BandwidthLink::queueing_cycles).unwrap_or(0)
+    }
+
+    /// Per-hop latency the network was configured with.
+    pub fn hop_latency(&self) -> Cycle {
+        self.hop_latency
+    }
+
+    /// Per-link bandwidth (bytes per cycle) the network was configured with.
+    pub fn link_bandwidth(&self) -> u32 {
+        self.link_bytes_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::Addr;
+
+    fn read_req(id: u64, from_port: usize, to_cube: usize, now: Cycle) -> Packet {
+        Packet::from_host(
+            id,
+            PortId::new(from_port),
+            CubeId::new(to_cube),
+            PacketKind::ReadReq { req_id: id, addr: Addr::new(0x40) },
+            now,
+        )
+    }
+
+    fn drain(net: &mut MemoryNetwork, cube: usize, until: Cycle) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for t in 0..until {
+            net.tick(t);
+            while let Some(p) = net.pop_at_cube(CubeId::new(cube)) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn packet_reaches_destination_cube() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 16);
+        net.inject(0, read_req(1, 0, 9, 0));
+        let got = drain(&mut net, 9, 200);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 1);
+        assert!(got[0].hops >= 2, "port 0 to cube 9 requires several hops");
+        assert_eq!(net.stats().packets_delivered, 1);
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn local_cube_delivery_is_direct() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 16);
+        // cube 0 sends to itself: delivered without traversing links.
+        let p = Packet::new(
+            7,
+            NetNode::Cube(CubeId::new(0)),
+            NetNode::Cube(CubeId::new(0)),
+            PacketKind::WriteAck { req_id: 7, addr: Addr::new(0) },
+            5,
+        );
+        net.inject(5, p);
+        assert_eq!(net.pop_at_cube(CubeId::new(0)).unwrap().hops, 0);
+    }
+
+    #[test]
+    fn response_returns_to_host_port() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 2, 16);
+        let p = Packet::new(
+            3,
+            NetNode::Cube(CubeId::new(6)),
+            NetNode::Host(PortId::new(1)),
+            PacketKind::ReadResp { req_id: 3, addr: Addr::new(0x80) },
+            0,
+        );
+        net.inject(0, p);
+        let mut got = None;
+        for t in 0..300 {
+            net.tick(t);
+            if let Some(p) = net.pop_at_host(PortId::new(1)) {
+                got = Some(p);
+                break;
+            }
+        }
+        let got = got.expect("response must arrive");
+        assert_eq!(got.id, 3);
+        assert!(net.stats().norm_resp_bytes > 0);
+    }
+
+    #[test]
+    fn nearer_destinations_arrive_sooner() {
+        let mut near_net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 16);
+        let mut far_net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 16);
+        near_net.inject(0, read_req(1, 0, 1, 0));
+        far_net.inject(0, read_req(2, 0, 10, 0));
+        let mut near_t = None;
+        let mut far_t = None;
+        for t in 0..500 {
+            near_net.tick(t);
+            far_net.tick(t);
+            if near_t.is_none() && near_net.pop_at_cube(CubeId::new(1)).is_some() {
+                near_t = Some(t);
+            }
+            if far_t.is_none() && far_net.pop_at_cube(CubeId::new(10)).is_some() {
+                far_t = Some(t);
+            }
+        }
+        assert!(near_t.unwrap() < far_t.unwrap());
+    }
+
+    #[test]
+    fn port_congestion_accumulates_queueing() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 8);
+        // Blast many packets through port 0 in the same cycle: the single
+        // host link must serialize them.
+        for i in 0..64 {
+            net.inject(0, read_req(i, 0, (i % 15 + 1) as usize, 0));
+        }
+        for t in 0..2000 {
+            net.tick(t);
+            for c in 0..16 {
+                while net.pop_at_cube(CubeId::new(c)).is_some() {}
+            }
+        }
+        assert!(net.host_port_queueing(PortId::new(0)) > 0);
+        assert_eq!(net.stats().packets_delivered, 64);
+    }
+
+    #[test]
+    fn traffic_classification_splits_active_and_normal() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 1, 16);
+        net.inject(0, read_req(1, 0, 2, 0));
+        let gather = Packet::from_host(
+            2,
+            PortId::new(0),
+            CubeId::new(0),
+            PacketKind::Active(ActiveKind::GatherReq {
+                flow: ar_types::FlowId::new(0x100, PortId::new(0)),
+                op: ar_types::ReduceOp::Sum,
+                expected_at_root: 1,
+                thread: ar_types::ThreadId::new(0),
+            }),
+            0,
+        );
+        net.inject(0, gather);
+        let s = net.stats();
+        assert!(s.norm_req_bytes > 0);
+        assert!(s.active_req_bytes > 0);
+        assert_eq!(s.norm_resp_bytes, 0);
+        assert_eq!(s.total_bytes(), s.norm_req_bytes + s.active_req_bytes);
+    }
+
+    #[test]
+    fn bit_hops_grow_with_distance() {
+        let mut a = MemoryNetwork::new(DragonflyTopology::paper(), 1, 16);
+        let mut b = MemoryNetwork::new(DragonflyTopology::paper(), 1, 16);
+        a.inject(0, read_req(1, 0, 1, 0));
+        b.inject(0, read_req(1, 0, 9, 0));
+        for t in 0..200 {
+            a.tick(t);
+            b.tick(t);
+        }
+        assert!(b.stats().bit_hops > a.stats().bit_hops);
+    }
+}

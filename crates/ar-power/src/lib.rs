@@ -1,0 +1,82 @@
+//! Energy, power and energy-delay-product model (Section 4.1, Figs. 5.5-5.7).
+//!
+//! The paper charges fixed per-activity energies: 5 pJ/bit per memory-network
+//! hop, 12 pJ/bit per HMC access, 39 pJ/bit per DRAM access, plus CACTI-style
+//! per-access constants for the on-chip caches. This crate turns the activity
+//! counters collected by a simulation run into:
+//!
+//! * an [`EnergyBreakdown`] into cache / memory / network components
+//!   (Fig. 5.6);
+//! * a [`PowerBreakdown`] obtained by dividing by the runtime (Fig. 5.5);
+//! * the energy-delay product (Fig. 5.7).
+//!
+//! The crate is deliberately independent of the system model: callers fill in
+//! an [`ActivityCounters`] struct, so the model can be unit-tested and reused
+//! by the experiments crate without pulling in the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_power::{ActivityCounters, EnergyModel};
+//!
+//! let model = EnergyModel::default();
+//! let activity = ActivityCounters {
+//!     hmc_bytes: 64,
+//!     runtime_cycles: 1_000,
+//!     network_clock_ghz: 1.0,
+//!     ..Default::default()
+//! };
+//! let energy = model.energy(&activity);
+//! assert!(energy.memory_pj > 0.0);
+//! ```
+
+pub mod model;
+
+pub use model::{ActivityCounters, EnergyBreakdown, EnergyModel, PowerBreakdown};
+
+/// Normalizes a slice of scalar metrics to the first element (the baseline),
+/// as every figure of the evaluation does ("normalized to DRAM" / "normalized
+/// to HMC"). A zero baseline yields all-zero normalized values rather than
+/// infinities.
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    let Some(&base) = values.first() else { return Vec::new() };
+    values
+        .iter()
+        .map(|&v| if base == 0.0 { 0.0 } else { v / base })
+        .collect()
+}
+
+/// Geometric mean of a slice of positive values (used for the "gmean" bars of
+/// Figs. 5.1 and 5.7). Returns 0.0 for an empty slice; non-positive values are
+/// skipped.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positives.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = positives.iter().map(|v| v.ln()).sum();
+    (log_sum / positives.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_to_first_uses_baseline() {
+        let n = normalize_to_first(&[2.0, 4.0, 1.0]);
+        assert_eq!(n, vec![1.0, 2.0, 0.5]);
+        assert!(normalize_to_first(&[]).is_empty());
+        assert_eq!(normalize_to_first(&[0.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn geometric_mean_of_reciprocals_is_reciprocal() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        let inv = geometric_mean(&[0.5, 0.125]);
+        assert!((g * inv - 1.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[-1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The energy/power accounting model.
+
+use ar_types::config::PowerConfig;
+use serde::{Deserialize, Serialize};
+
+/// Activity counters of one simulation run, as needed by the energy model.
+///
+/// The system model fills this struct from its statistics; every field is a
+/// plain count so the struct can also be constructed by hand in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// L1 cache accesses (hits + misses).
+    pub l1_accesses: u64,
+    /// L2 cache accesses.
+    pub l2_accesses: u64,
+    /// Bytes × hops moved over the on-chip mesh.
+    pub noc_byte_hops: u64,
+    /// Bytes read from or written to DDR DRAM devices.
+    pub dram_bytes: u64,
+    /// Bytes read from or written to HMC DRAM (vault accesses × 64 B, plus
+    /// operand accesses × 8 B).
+    pub hmc_bytes: u64,
+    /// Bytes × hops moved over the memory network (off-chip SerDes links).
+    pub memory_network_byte_hops: u64,
+    /// ALU operations executed by the Active-Routing Engines.
+    pub are_ops: u64,
+    /// Simulated runtime in memory-network cycles.
+    pub runtime_cycles: u64,
+    /// Memory-network clock in GHz (converts cycles to seconds).
+    pub network_clock_ghz: f64,
+}
+
+impl ActivityCounters {
+    /// Simulated runtime in seconds.
+    pub fn runtime_seconds(&self) -> f64 {
+        if self.network_clock_ghz <= 0.0 {
+            return 0.0;
+        }
+        self.runtime_cycles as f64 / (self.network_clock_ghz * 1e9)
+    }
+}
+
+/// Energy of one run, broken into the three components plotted by the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// On-chip cache energy in picojoules.
+    pub cache_pj: f64,
+    /// Memory-device (DRAM + HMC) access energy in picojoules.
+    pub memory_pj: f64,
+    /// Network energy (on-chip mesh + memory network + ARE compute) in
+    /// picojoules.
+    pub network_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.cache_pj + self.memory_pj + self.network_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Component fractions `(cache, memory, network)` of the total, each in
+    /// `[0, 1]`; all zero for a zero-energy run.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_pj();
+        if total == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (self.cache_pj / total, self.memory_pj / total, self.network_pj / total)
+        }
+    }
+}
+
+/// Average power of one run, in watts, broken down like the energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Cache power in watts.
+    pub cache_w: f64,
+    /// Memory power in watts.
+    pub memory_w: f64,
+    /// Network power in watts.
+    pub network_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.cache_w + self.memory_w + self.network_w
+    }
+}
+
+/// The energy model: per-activity constants from [`PowerConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    cfg: PowerConfig,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given per-activity energy constants.
+    pub fn new(cfg: PowerConfig) -> Self {
+        EnergyModel { cfg }
+    }
+
+    /// The constants this model uses.
+    pub fn config(&self) -> &PowerConfig {
+        &self.cfg
+    }
+
+    /// Computes the energy breakdown of a run.
+    pub fn energy(&self, activity: &ActivityCounters) -> EnergyBreakdown {
+        let cache_pj = activity.l1_accesses as f64 * self.cfg.pj_per_l1_access
+            + activity.l2_accesses as f64 * self.cfg.pj_per_l2_access;
+        let memory_pj = activity.dram_bytes as f64 * 8.0 * self.cfg.pj_per_bit_dram
+            + activity.hmc_bytes as f64 * 8.0 * self.cfg.pj_per_bit_hmc;
+        let network_pj = activity.memory_network_byte_hops as f64 * 8.0 * self.cfg.pj_per_bit_hop
+            + activity.noc_byte_hops as f64 * 8.0 * self.cfg.pj_per_bit_noc_hop
+            + activity.are_ops as f64 * self.cfg.pj_per_are_op;
+        EnergyBreakdown { cache_pj, memory_pj, network_pj }
+    }
+
+    /// Computes the average power breakdown of a run (energy / runtime).
+    pub fn power(&self, activity: &ActivityCounters) -> PowerBreakdown {
+        let energy = self.energy(activity);
+        let seconds = activity.runtime_seconds();
+        if seconds == 0.0 {
+            return PowerBreakdown::default();
+        }
+        PowerBreakdown {
+            cache_w: energy.cache_pj * 1e-12 / seconds,
+            memory_w: energy.memory_pj * 1e-12 / seconds,
+            network_w: energy.network_pj * 1e-12 / seconds,
+        }
+    }
+
+    /// Energy-delay product of a run, in joule-seconds.
+    pub fn energy_delay_product(&self, activity: &ActivityCounters) -> f64 {
+        self.energy(activity).total_joules() * activity.runtime_seconds()
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::new(PowerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    fn activity() -> ActivityCounters {
+        ActivityCounters {
+            l1_accesses: 1000,
+            l2_accesses: 100,
+            noc_byte_hops: 64_000,
+            dram_bytes: 0,
+            hmc_bytes: 64_000,
+            memory_network_byte_hops: 128_000,
+            are_ops: 500,
+            runtime_cycles: 1_000_000,
+            network_clock_ghz: 1.0,
+        }
+    }
+
+    #[test]
+    fn paper_constants_are_used() {
+        let m = model();
+        assert_eq!(m.config().pj_per_bit_hop, 5.0);
+        assert_eq!(m.config().pj_per_bit_hmc, 12.0);
+        assert_eq!(m.config().pj_per_bit_dram, 39.0);
+    }
+
+    #[test]
+    fn energy_components_match_hand_computation() {
+        let m = model();
+        let e = m.energy(&activity());
+        assert!((e.cache_pj - (1000.0 * 20.0 + 100.0 * 120.0)).abs() < 1e-9);
+        assert!((e.memory_pj - 64_000.0 * 8.0 * 12.0).abs() < 1e-9);
+        assert!(
+            (e.network_pj - (128_000.0 * 8.0 * 5.0 + 64_000.0 * 8.0 * 1.0 + 500.0 * 15.0)).abs()
+                < 1e-9
+        );
+        assert!(e.total_pj() > 0.0);
+        let (c, mem, n) = e.fractions();
+        assert!((c + mem + n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_access_costs_more_than_hmc_per_byte() {
+        let m = model();
+        let dram = m.energy(&ActivityCounters { dram_bytes: 1000, ..Default::default() });
+        let hmc = m.energy(&ActivityCounters { hmc_bytes: 1000, ..Default::default() });
+        assert!(dram.memory_pj > hmc.memory_pj);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let m = model();
+        let a = activity();
+        let p = m.power(&a);
+        let e = m.energy(&a);
+        let seconds = a.runtime_seconds();
+        assert!((p.total_w() - e.total_joules() / seconds).abs() < 1e-9);
+        // 1M cycles at 1 GHz is 1 ms.
+        assert!((seconds - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_runtime_yields_zero_power_not_inf() {
+        let m = model();
+        let a = ActivityCounters { runtime_cycles: 0, network_clock_ghz: 1.0, ..activity() };
+        assert_eq!(m.power(&a).total_w(), 0.0);
+        assert_eq!(m.energy_delay_product(&a), 0.0);
+    }
+
+    #[test]
+    fn edp_scales_quadratically_with_runtime_at_fixed_power() {
+        // Doubling both runtime and activity (constant power) must quadruple
+        // the EDP.
+        let m = model();
+        let a = activity();
+        let mut b = a;
+        b.runtime_cycles *= 2;
+        b.l1_accesses *= 2;
+        b.l2_accesses *= 2;
+        b.noc_byte_hops *= 2;
+        b.hmc_bytes *= 2;
+        b.memory_network_byte_hops *= 2;
+        b.are_ops *= 2;
+        let ratio = m.energy_delay_product(&b) / m.energy_delay_product(&a);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn energy_is_monotone_in_every_counter(
+            l1 in 0u64..1_000_000,
+            l2 in 0u64..1_000_000,
+            noc in 0u64..1_000_000,
+            dram in 0u64..1_000_000,
+            hmc in 0u64..1_000_000,
+            net in 0u64..1_000_000,
+            ops in 0u64..1_000_000,
+        ) {
+            let m = model();
+            let base = ActivityCounters {
+                l1_accesses: l1,
+                l2_accesses: l2,
+                noc_byte_hops: noc,
+                dram_bytes: dram,
+                hmc_bytes: hmc,
+                memory_network_byte_hops: net,
+                are_ops: ops,
+                runtime_cycles: 1,
+                network_clock_ghz: 1.0,
+            };
+            let e0 = m.energy(&base).total_pj();
+            let mut more = base;
+            more.l1_accesses += 1;
+            more.dram_bytes += 1;
+            more.memory_network_byte_hops += 1;
+            let e1 = m.energy(&more).total_pj();
+            prop_assert!(e1 >= e0);
+        }
+
+        #[test]
+        fn fractions_always_sum_to_one_or_zero(
+            l1 in 0u64..10_000, hmc in 0u64..10_000, net in 0u64..10_000,
+        ) {
+            let m = model();
+            let e = m.energy(&ActivityCounters {
+                l1_accesses: l1,
+                hmc_bytes: hmc,
+                memory_network_byte_hops: net,
+                ..Default::default()
+            });
+            let (c, mem, n) = e.fractions();
+            let sum = c + mem + n;
+            prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulation kernel for the Active-Routing reproduction.
+//!
+//! The full-system model in `ar-system` is cycle-driven: every component is
+//! ticked once per memory-network cycle. This crate provides the shared
+//! building blocks those components are made of:
+//!
+//! * [`queue::LatencyQueue`] — items that become visible after a fixed or
+//!   per-item delay (pipelines, wire latency, DRAM access completion);
+//! * [`queue::BandwidthLink`] — a bandwidth-limited, in-order link that
+//!   charges serialization delay per byte;
+//! * [`events::EventQueue`] — a classic future-event list for components that
+//!   prefer event-driven bookkeeping;
+//! * [`stats`] — counters, histograms and windowed time series used to build
+//!   every figure of the evaluation;
+//! * [`rng`] — a deterministic RNG facade so simulations are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_sim::queue::LatencyQueue;
+//!
+//! let mut q = LatencyQueue::new();
+//! q.push_at(5, "memory response");
+//! assert!(q.pop_ready(4).is_none());
+//! assert_eq!(q.pop_ready(5), Some("memory response"));
+//! ```
+
+pub mod events;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use events::EventQueue;
+pub use queue::{BandwidthLink, LatencyQueue};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Stats, TimeSeries};

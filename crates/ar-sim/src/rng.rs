@@ -1,0 +1,141 @@
+//! Deterministic random number generation for reproducible simulations.
+//!
+//! All randomness in the workspace (workload data generation, random access
+//! patterns in `rand_reduce` / `rand_mac`, synthetic graph construction) goes
+//! through [`SimRng`], a thin facade over a seeded `SmallRng`, so a run is
+//! fully determined by its configuration and seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "len must be non-zero");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Bernoulli draw with probability `p` of returning true.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Forks a new generator whose stream is independent of, but determined
+    /// by, this one (used to give each thread / component its own stream).
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_below(1000), b.next_below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..32).map(|_| a.next_below(1_000_000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_below(1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+            assert!(r.index(3) < 3);
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            let x = r.range_f64(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_below(1 << 40), fb.next_below(1 << 40));
+        assert_eq!(a.seed(), 9);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Statistics primitives: counters, histograms, and windowed time series.
+//!
+//! Every figure of the paper's evaluation is built from these: runtime cycles
+//! (Fig. 5.1), latency breakdowns (Fig. 5.2), per-cube heatmaps (Fig. 5.3),
+//! traffic bytes (Fig. 5.4), energy (Figs. 5.5-5.7) and windowed IPC
+//! (Fig. 5.8).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An accumulating sample statistic (count / sum / min / max / mean).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    sum_sq: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum_sq: 0.0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance of the samples, or 0.0 when empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            let m = self.mean();
+            (self.sum_sq / self.count as f64 - m * m).max(0.0)
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time series sampled in fixed-size windows (e.g. IPC per 1M instructions,
+/// Fig. 5.8).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point (x = window position, y = value).
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the y values, or 0.0 when empty.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, y)| y).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// A string-keyed registry of counters and histograms.
+///
+/// Components register their statistics here with hierarchical names such as
+/// `"network.cube3.operand_buffer_stalls"`; the experiments crate reads them
+/// back to build figures.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it if necessary.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter, returning 0 if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_insert_with(Histogram::new).record(value);
+    }
+
+    /// Reads a histogram, returning an empty one if it was never touched.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, histograms merge).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(v.get());
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_insert_with(Histogram::new).merge(v);
+        }
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.get())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        assert!((h.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1.0, 5.0, 9.0] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2.0, 4.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn stats_registry_counts_and_records() {
+        let mut s = Stats::new();
+        s.incr("a.x");
+        s.add("a.y", 10);
+        s.record("lat", 42.0);
+        assert_eq!(s.counter("a.x"), 1);
+        assert_eq!(s.counter("a.y"), 10);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.histogram("lat").count(), 1);
+        assert_eq!(s.sum_prefix("a."), 11);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        a.add("n", 3);
+        b.add("n", 4);
+        b.add("m", 1);
+        b.record("h", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 7);
+        assert_eq!(a.counter("m"), 1);
+        assert_eq!(a.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn time_series_means() {
+        let mut t = TimeSeries::new();
+        assert!(t.is_empty());
+        t.push(0.0, 2.0);
+        t.push(1.0, 4.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.mean_y(), 3.0);
+        assert_eq!(t.points()[1], (1.0, 4.0));
+    }
+}

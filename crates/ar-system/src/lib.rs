@@ -1,0 +1,43 @@
+//! Full-system integration of the Active-Routing evaluation platform.
+//!
+//! This crate wires every substrate together into the system of Fig. 3.1 /
+//! Table 4.1 and runs it cycle by cycle:
+//!
+//! * 16 out-of-order cores ([`ar_cpu`]) executing per-thread
+//!   [`ar_types::WorkStream`]s, with private L1s and a shared S-NUCA L2 kept
+//!   coherent by a directory ([`ar_cache`]), connected by a 4×4 mesh
+//!   ([`ar_network::MeshNoc`]);
+//! * either the DDR DRAM baseline ([`ar_dram`]) or a 16-cube dragonfly memory
+//!   network of HMCs ([`ar_network::MemoryNetwork`], [`ar_hmc`]) with one
+//!   Active-Routing Engine per cube ([`active_routing`]);
+//! * the host offload controller that turns Message-Interface commands into
+//!   active packets and collects gather results.
+//!
+//! The entry points are [`System`] (explicit streams + memory image) and the
+//! [`runner`] helpers that pair a [`ar_types::config::NamedConfig`] with an
+//! [`ar_workloads::WorkloadKind`]. Every run produces a [`SimReport`], the
+//! single input from which the experiments crate regenerates each figure of
+//! the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_system::runner;
+//! use ar_types::config::{NamedConfig, SystemConfig};
+//! use ar_workloads::{SizeClass, WorkloadKind};
+//!
+//! let mut cfg = SystemConfig::small();
+//! cfg.max_cycles = 2_000_000;
+//! let report = runner::run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
+//!     .expect("valid configuration");
+//! assert!(report.completed);
+//! assert!(report.updates_offloaded > 0);
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
+pub use runner::{build, run, run_all_configs, variant_for, verify_gathers};
+pub use system::System;

@@ -1,0 +1,274 @@
+//! The result of one full-system simulation run.
+
+use ar_power::{ActivityCounters, EnergyBreakdown, EnergyModel, PowerBreakdown};
+use ar_sim::TimeSeries;
+use ar_types::config::{NamedConfig, PowerConfig};
+use ar_types::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Mean update roundtrip latency breakdown (Fig. 5.2), in network cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Mean request component (host port to compute cube).
+    pub request: f64,
+    /// Mean stall component (waiting for an operand buffer).
+    pub stall: f64,
+    /// Mean response component (operand fetch + ALU).
+    pub response: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total mean roundtrip latency.
+    pub fn total(&self) -> f64 {
+        self.request + self.stall + self.response
+    }
+}
+
+/// Data movement split into the four categories of Fig. 5.4, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataMovement {
+    /// Normal (non-active) request bytes on the memory network / DRAM bus.
+    pub norm_req_bytes: u64,
+    /// Normal response bytes.
+    pub norm_resp_bytes: u64,
+    /// Active request bytes (Update, operand request, gather request).
+    pub active_req_bytes: u64,
+    /// Active response bytes (operand response, gather response).
+    pub active_resp_bytes: u64,
+}
+
+impl DataMovement {
+    /// Total off-chip bytes moved.
+    pub fn total(&self) -> u64 {
+        self.norm_req_bytes + self.norm_resp_bytes + self.active_req_bytes + self.active_resp_bytes
+    }
+}
+
+/// Per-cube activity used by the Fig. 5.3 heatmaps.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeActivity {
+    /// Updates computed per cube ("update distribution").
+    pub updates_computed: Vec<u64>,
+    /// Operand requests served per cube ("operand distribution").
+    pub operands_served: Vec<u64>,
+    /// Operand-buffer stall cycles per cube.
+    pub operand_buffer_stalls: Vec<u64>,
+}
+
+/// Aggregated core stall cycles (core clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallSummary {
+    /// Stalled with a memory access at the ROB head.
+    pub memory: u64,
+    /// Stalled waiting for a gather result.
+    pub gather: u64,
+    /// Stalled at a barrier.
+    pub barrier: u64,
+    /// Stalled because the Message Interface was full.
+    pub offload: u64,
+    /// Stalled with a full ROB.
+    pub rob_full: u64,
+}
+
+impl StallSummary {
+    /// Total stall cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.memory + self.gather + self.barrier + self.offload + self.rob_full
+    }
+}
+
+/// Everything measured by one simulation run. This is the single input from
+/// which every figure of the evaluation is regenerated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration that was simulated.
+    pub config_label: String,
+    /// Simulated runtime in memory-network cycles (1 GHz).
+    pub network_cycles: u64,
+    /// Simulated runtime in core cycles (2 GHz).
+    pub core_cycles: u64,
+    /// Dynamic instructions retired across all cores.
+    pub instructions: u64,
+    /// Whether the run finished before the configured cycle limit.
+    pub completed: bool,
+    /// Aggregated core stalls.
+    pub stalls: StallSummary,
+    /// L1 accesses across all cores.
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Coherence invalidations plus back-invalidations.
+    pub invalidations: u64,
+    /// Updates offloaded through the Message Interfaces.
+    pub updates_offloaded: u64,
+    /// Gathers offloaded.
+    pub gathers_offloaded: u64,
+    /// Update roundtrip latency breakdown (zero for non-offloading configs).
+    pub update_latency: LatencyBreakdown,
+    /// Off-chip data movement by category.
+    pub data_movement: DataMovement,
+    /// On-chip mesh byte-hops.
+    pub noc_byte_hops: u64,
+    /// Memory-network byte-hops (bit-hops / 8).
+    pub network_byte_hops: u64,
+    /// Bytes accessed in HMC DRAM.
+    pub hmc_bytes: u64,
+    /// Bytes accessed in DDR DRAM.
+    pub dram_bytes: u64,
+    /// ARE ALU operations across all cubes.
+    pub are_ops: u64,
+    /// Per-cube activity (empty vectors for the DRAM baseline).
+    pub cube_activity: CubeActivity,
+    /// Final gathered reduction results: `(target, value)`.
+    pub gather_results: Vec<(Addr, f64)>,
+    /// Windowed IPC samples (x = core cycles, y = IPC), Fig. 5.8.
+    pub ipc_series: TimeSeries,
+    /// Memory-network clock in GHz (for energy/power conversion).
+    pub network_clock_ghz: f64,
+}
+
+impl SimReport {
+    /// Instructions per core cycle, aggregated over all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.core_cycles as f64
+        }
+    }
+
+    /// Runtime in seconds at the configured network clock.
+    pub fn runtime_seconds(&self) -> f64 {
+        if self.network_clock_ghz <= 0.0 {
+            0.0
+        } else {
+            self.network_cycles as f64 / (self.network_clock_ghz * 1e9)
+        }
+    }
+
+    /// L1 miss rate in `[0, 1]`.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// The activity counters consumed by the energy model.
+    pub fn activity(&self) -> ActivityCounters {
+        ActivityCounters {
+            l1_accesses: self.l1_accesses,
+            l2_accesses: self.l2_accesses,
+            noc_byte_hops: self.noc_byte_hops,
+            dram_bytes: self.dram_bytes,
+            hmc_bytes: self.hmc_bytes,
+            memory_network_byte_hops: self.network_byte_hops,
+            are_ops: self.are_ops,
+            runtime_cycles: self.network_cycles,
+            network_clock_ghz: self.network_clock_ghz,
+        }
+    }
+
+    /// Energy breakdown under the given constants.
+    pub fn energy(&self, power_cfg: &PowerConfig) -> EnergyBreakdown {
+        EnergyModel::new(power_cfg.clone()).energy(&self.activity())
+    }
+
+    /// Average power breakdown under the given constants.
+    pub fn power(&self, power_cfg: &PowerConfig) -> PowerBreakdown {
+        EnergyModel::new(power_cfg.clone()).power(&self.activity())
+    }
+
+    /// Energy-delay product in joule-seconds under the given constants.
+    pub fn energy_delay_product(&self, power_cfg: &PowerConfig) -> f64 {
+        EnergyModel::new(power_cfg.clone()).energy_delay_product(&self.activity())
+    }
+
+    /// The gathered value for a reduction target, if any.
+    pub fn gather_result(&self, target: Addr) -> Option<f64> {
+        self.gather_results.iter().find(|(a, _)| *a == target).map(|(_, v)| *v)
+    }
+
+    /// Speedup of this run relative to a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.network_cycles == 0 {
+            0.0
+        } else {
+            baseline.network_cycles as f64 / self.network_cycles as f64
+        }
+    }
+
+    /// Convenience label helper for the figures.
+    pub fn label_for(config: NamedConfig) -> String {
+        config.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            workload: "test".into(),
+            config_label: "HMC".into(),
+            network_cycles: cycles,
+            core_cycles: cycles * 2,
+            instructions: 1000,
+            completed: true,
+            l1_accesses: 100,
+            l1_hits: 80,
+            hmc_bytes: 6400,
+            network_byte_hops: 12800,
+            network_clock_ghz: 1.0,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn ipc_and_miss_rate() {
+        let r = report(500);
+        assert!((r.ipc() - 1.0).abs() < 1e-12);
+        assert!((r.l1_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((r.runtime_seconds() - 500e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let slow = report(1000);
+        let fast = report(250);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_and_edp_are_positive_for_nonzero_activity() {
+        let r = report(1000);
+        let cfg = PowerConfig::default();
+        assert!(r.energy(&cfg).total_pj() > 0.0);
+        assert!(r.power(&cfg).total_w() > 0.0);
+        assert!(r.energy_delay_product(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn data_movement_totals() {
+        let d = DataMovement {
+            norm_req_bytes: 1,
+            norm_resp_bytes: 2,
+            active_req_bytes: 3,
+            active_resp_bytes: 4,
+        };
+        assert_eq!(d.total(), 10);
+        let l = LatencyBreakdown { request: 1.0, stall: 2.0, response: 3.0 };
+        assert_eq!(l.total(), 6.0);
+        let s = StallSummary { memory: 1, gather: 1, barrier: 1, offload: 1, rob_full: 1 };
+        assert_eq!(s.total(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Convenience entry points that pair a named configuration (Section 5.1)
+//! with a workload and run the full-system simulation.
+
+use crate::report::SimReport;
+use crate::system::System;
+use ar_types::config::{NamedConfig, SystemConfig};
+use ar_types::error::ConfigError;
+use ar_workloads::{SizeClass, Variant, WorkloadKind};
+
+/// The workload variant a named configuration executes: the DRAM and HMC
+/// baselines run the unoptimised kernels, the Active-Routing configurations
+/// run the offloaded kernels, and ARF-tid-adaptive runs the dynamically
+/// offloaded kernels (Section 5.4).
+pub fn variant_for(config: NamedConfig) -> Variant {
+    match config {
+        NamedConfig::Dram | NamedConfig::Hmc => Variant::Baseline,
+        NamedConfig::Art | NamedConfig::ArfTid | NamedConfig::ArfAddr => Variant::Active,
+        NamedConfig::ArfTidAdaptive => Variant::Adaptive,
+    }
+}
+
+/// Builds the system for one workload under one named configuration.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the base configuration is inconsistent.
+pub fn build(
+    base: &SystemConfig,
+    config: NamedConfig,
+    workload: WorkloadKind,
+    size: SizeClass,
+) -> Result<System, ConfigError> {
+    let cfg = base.clone().named(config);
+    let generated = workload.generate(cfg.cores.count, size, variant_for(config));
+    let system = System::new(cfg, generated.streams, generated.memory)?
+        .with_labels(workload.name(), config.to_string());
+    Ok(system)
+}
+
+/// Runs one workload under one named configuration and returns the report.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the base configuration is inconsistent.
+pub fn run(
+    base: &SystemConfig,
+    config: NamedConfig,
+    workload: WorkloadKind,
+    size: SizeClass,
+) -> Result<SimReport, ConfigError> {
+    Ok(build(base, config, workload, size)?.run())
+}
+
+/// Runs one workload under every configuration of Fig. 5.1 (DRAM, HMC, ART,
+/// ARF-tid, ARF-addr) and returns the reports in that order.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the base configuration is inconsistent.
+pub fn run_all_configs(
+    base: &SystemConfig,
+    workload: WorkloadKind,
+    size: SizeClass,
+) -> Result<Vec<SimReport>, ConfigError> {
+    NamedConfig::ALL.iter().map(|&c| run(base, c, workload, size)).collect()
+}
+
+/// Checks a report's gathered reduction results against the workload's
+/// functional reference values; returns the number of mismatches.
+pub fn verify_gathers(report: &SimReport, references: &[(ar_types::Addr, f64)]) -> usize {
+    let mut mismatches = 0;
+    for (target, expected) in references {
+        match report.gather_result(*target) {
+            Some(value) if relative_eq(value, *expected) => {}
+            _ => mismatches += 1,
+        }
+    }
+    mismatches
+}
+
+fn relative_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-6 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::config::OffloadScheme;
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 2_000_000;
+        cfg
+    }
+
+    #[test]
+    fn variant_selection_matches_configs() {
+        assert_eq!(variant_for(NamedConfig::Dram), Variant::Baseline);
+        assert_eq!(variant_for(NamedConfig::Hmc), Variant::Baseline);
+        assert_eq!(variant_for(NamedConfig::ArfTid), Variant::Active);
+        assert_eq!(variant_for(NamedConfig::ArfTidAdaptive), Variant::Adaptive);
+    }
+
+    #[test]
+    fn reduce_microbenchmark_runs_and_verifies_on_arf_tid() {
+        let cfg = small_cfg();
+        let generated = WorkloadKind::Reduce.generate(
+            cfg.cores.count,
+            SizeClass::Tiny,
+            Variant::Active,
+        );
+        let report = run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
+            .expect("valid configuration");
+        assert!(report.completed, "simulation must finish before the cycle limit");
+        assert!(report.updates_offloaded > 0);
+        assert_eq!(verify_gathers(&report, &generated.references), 0);
+    }
+
+    #[test]
+    fn mac_microbenchmark_verifies_on_every_offload_scheme() {
+        let cfg = small_cfg();
+        let generated =
+            WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
+        for named in [NamedConfig::Art, NamedConfig::ArfTid, NamedConfig::ArfAddr] {
+            let report = run(&cfg, named, WorkloadKind::Mac, SizeClass::Tiny).expect("valid");
+            assert!(report.completed, "{named} must finish");
+            assert_eq!(
+                verify_gathers(&report, &generated.references),
+                0,
+                "{named} must reproduce the reference dot product"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_configs_run_without_offloading() {
+        let cfg = small_cfg();
+        for named in [NamedConfig::Dram, NamedConfig::Hmc] {
+            let report = run(&cfg, named, WorkloadKind::Reduce, SizeClass::Tiny).expect("valid");
+            assert!(report.completed, "{named} must finish");
+            assert_eq!(report.updates_offloaded, 0);
+            assert!(report.instructions > 0);
+            assert!(report.l1_accesses > 0);
+        }
+    }
+
+    #[test]
+    fn offloading_reduces_offchip_normal_traffic_for_mac() {
+        let cfg = small_cfg();
+        let hmc = run(&cfg, NamedConfig::Hmc, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
+        let arf = run(&cfg, NamedConfig::ArfTid, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
+        assert!(
+            arf.data_movement.norm_resp_bytes < hmc.data_movement.norm_resp_bytes,
+            "offloading must replace cache-block fills with operand-sized active traffic"
+        );
+        assert!(arf.data_movement.active_req_bytes > 0);
+        assert_eq!(hmc.data_movement.active_req_bytes, 0);
+    }
+
+    #[test]
+    fn mismatched_scheme_and_streams_is_rejected() {
+        let cfg = small_cfg().with_scheme(OffloadScheme::None);
+        let generated = WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
+        let err = System::new(cfg, generated.streams, generated.memory);
+        assert!(err.is_err(), "offload streams on a non-offloading scheme must be rejected");
+    }
+}

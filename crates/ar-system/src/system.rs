@@ -1,0 +1,757 @@
+//! The cycle-driven full-system model.
+//!
+//! One [`System`] wires together every substrate of the evaluation platform
+//! (Table 4.1): the out-of-order cores and their Message Interfaces, the
+//! coherent two-level cache hierarchy, the on-chip mesh, and either the DDR
+//! DRAM baseline or the dragonfly memory network of HMC cubes with one
+//! Active-Routing Engine per cube. The system advances in memory-network
+//! cycles (1 GHz); the cores tick twice per network cycle (2 GHz).
+//!
+//! Alongside the timing model the system keeps a *functional memory* (a map
+//! from address to f64). Offloaded operand reads return values from it and
+//! offloaded writes/gather results update it, so every simulation produces
+//! numerical reduction results that the tests compare against the workload's
+//! reference values.
+
+use crate::report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
+use active_routing::{ActiveRoutingEngine, AreOutput, HostOffloadController};
+use ar_cache::{AccessKind, CacheHierarchy, HitLevel};
+use ar_cpu::{Core, MemAccess, MemAccessKind};
+use ar_dram::{DramRequest, DramSystem};
+use ar_hmc::{HmcCube, VaultRequest};
+use ar_network::{DragonflyTopology, MemoryNetwork, MeshNoc};
+use ar_sim::{LatencyQueue, TimeSeries};
+use ar_types::addr::AddressMap;
+use ar_types::config::{MemoryMode, SystemConfig};
+use ar_types::error::ConfigError;
+use ar_types::ids::NetNode;
+use ar_types::packet::{Packet, PacketKind};
+use ar_types::{Addr, CubeId, Cycle, PortId, WorkItem, WorkStream};
+use std::collections::HashMap;
+
+/// Extra core cycles charged to an atomic read-modify-write for its
+/// directory round trip, on top of the normal write path.
+const ATOMIC_COHERENCE_PENALTY: u64 = 16;
+
+/// Core-cycle window over which the IPC time series is sampled (Fig. 5.8).
+const IPC_WINDOW_CORE_CYCLES: u64 = 2048;
+
+/// Why a vault access was issued (used to dispatch its completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VaultPurpose {
+    /// A normal cache-block read/write on behalf of a core transaction.
+    Normal { txn: u64 },
+    /// An operand read issued by a cube's Active-Routing Engine.
+    AreRead { cube: usize, access_id: u64 },
+    /// A write issued by an ARE (mov / const_assign / nothing to return).
+    AreWrite,
+}
+
+/// One outstanding core memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MemTxn {
+    core: usize,
+    req_id: u64,
+    /// Host port the request was injected at (HMC mode).
+    port: PortId,
+    /// Core cycles of on-chip return latency to add once the response reaches
+    /// the memory controller.
+    noc_return: u64,
+    is_write: bool,
+}
+
+/// The memory substrate behind the caches.
+#[derive(Debug)]
+enum Backend {
+    Dram(Box<DramSystem>),
+    Hmc(Box<HmcBackend>),
+}
+
+#[derive(Debug)]
+struct HmcBackend {
+    network: MemoryNetwork,
+    cubes: Vec<HmcCube>,
+    engines: Vec<ActiveRoutingEngine>,
+    controller: Option<HostOffloadController>,
+    topology: DragonflyTopology,
+}
+
+/// The full-system model.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    label: String,
+    workload: String,
+    map: AddressMap,
+    cores: Vec<Core>,
+    caches: CacheHierarchy,
+    noc: MeshNoc,
+    backend: Backend,
+    /// Functional memory contents.
+    func_mem: HashMap<u64, f64>,
+    /// Completions scheduled for core memory requests, in core cycles.
+    core_completions: LatencyQueue<(usize, u64)>,
+    /// Outstanding core memory transactions by transaction id.
+    mem_txns: HashMap<u64, MemTxn>,
+    /// Purpose of every outstanding vault access, by vault request id.
+    vault_purpose: HashMap<u64, VaultPurpose>,
+    next_txn: u64,
+    next_vault_id: u64,
+    /// DRAM requests that found a full channel queue and wait to be retried.
+    retry_dram: Vec<(Cycle, u64, Addr, bool)>,
+    /// Final gathered reduction results.
+    gather_results: Vec<(Addr, f64)>,
+    /// Windowed IPC samples.
+    ipc_series: TimeSeries,
+    last_ipc_sample_insns: u64,
+    /// Bytes of HMC DRAM traffic (64 B per normal access, 8 B per operand).
+    hmc_bytes: u64,
+    /// Back-invalidations performed for offloaded updates.
+    back_invalidations: u64,
+}
+
+impl System {
+    /// Builds a system for `cfg` running the given per-thread work streams
+    /// over the given initial memory image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is inconsistent, when
+    /// the number of streams does not match the core count, or when the
+    /// streams contain offload instructions but the configured scheme never
+    /// offloads.
+    pub fn new(
+        cfg: SystemConfig,
+        streams: Vec<WorkStream>,
+        memory: Vec<(Addr, f64)>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if streams.len() != cfg.cores.count {
+            return Err(ConfigError::new(format!(
+                "expected {} work streams (one per core), got {}",
+                cfg.cores.count,
+                streams.len()
+            )));
+        }
+        let offloads_in_streams =
+            streams.iter().any(|s| s.iter().any(WorkItem::is_offload));
+        if offloads_in_streams && !cfg.scheme.offloads() {
+            return Err(ConfigError::new(
+                "work streams contain Update/Gather items but the scheme never offloads",
+            ));
+        }
+
+        let map = cfg.address_map();
+        let cores: Vec<Core> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Core::new(ar_types::CoreId::new(i), &cfg.cores, s))
+            .collect();
+        let caches = CacheHierarchy::new(cfg.cores.count, &cfg.caches);
+        let noc =
+            MeshNoc::new(cfg.noc.mesh_width, cfg.noc.hop_latency, cfg.noc.link_bytes_per_cycle);
+
+        let backend = match cfg.memory_mode {
+            MemoryMode::DdrBaseline => Backend::Dram(Box::new(DramSystem::new(&cfg.dram))),
+            MemoryMode::HmcNetwork => {
+                let topology = DragonflyTopology::new(
+                    cfg.network.cubes,
+                    cfg.network.groups,
+                    cfg.network.host_ports,
+                );
+                let network = MemoryNetwork::new(
+                    topology.clone(),
+                    cfg.network.hop_latency,
+                    cfg.network.link_bytes_per_cycle,
+                );
+                let cubes = (0..cfg.network.cubes)
+                    .map(|c| HmcCube::new(CubeId::new(c), &cfg.hmc, cfg.network.cubes))
+                    .collect();
+                let engines = (0..cfg.network.cubes)
+                    .map(|c| {
+                        ActiveRoutingEngine::new(CubeId::new(c), &cfg.are, topology.clone(), map)
+                    })
+                    .collect();
+                let controller = cfg.scheme.offloads().then(|| {
+                    HostOffloadController::new(cfg.scheme, topology.clone(), map)
+                });
+                Backend::Hmc(Box::new(HmcBackend { network, cubes, engines, controller, topology }))
+            }
+        };
+
+        let func_mem = memory.into_iter().map(|(a, v)| (a.as_u64(), v)).collect();
+        Ok(System {
+            label: String::new(),
+            workload: String::new(),
+            map,
+            cores,
+            caches,
+            noc,
+            backend,
+            func_mem,
+            core_completions: LatencyQueue::new(),
+            mem_txns: HashMap::new(),
+            vault_purpose: HashMap::new(),
+            next_txn: 0,
+            next_vault_id: 0,
+            retry_dram: Vec::new(),
+            gather_results: Vec::new(),
+            ipc_series: TimeSeries::new(),
+            last_ipc_sample_insns: 0,
+            hmc_bytes: 0,
+            back_invalidations: 0,
+            cfg,
+        })
+    }
+
+    /// Sets the labels recorded in the report.
+    pub fn with_labels(mut self, workload: impl Into<String>, config: impl Into<String>) -> Self {
+        self.workload = workload.into();
+        self.label = config.into();
+        self
+    }
+
+    /// Reads the functional memory (mainly for tests).
+    pub fn read_memory(&self, addr: Addr) -> f64 {
+        self.func_mem.get(&addr.as_u64()).copied().unwrap_or(0.0)
+    }
+
+    /// Runs the simulation to completion (or to the configured cycle limit)
+    /// and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
+        let mut now: Cycle = 0;
+        let mut completed = false;
+        while now < max_cycles {
+            self.step(now);
+            if self.is_finished() {
+                completed = true;
+                break;
+            }
+            now += 1;
+        }
+        self.into_report(now, completed)
+    }
+
+    /// Advances the whole system by one memory-network cycle.
+    fn step(&mut self, now: Cycle) {
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        for sub in 0..ratio {
+            let core_cycle = now * ratio + sub;
+            self.tick_cores(core_cycle);
+        }
+        self.release_barriers(now * ratio);
+        self.drain_message_interfaces(now);
+        self.tick_memory(now);
+        self.sample_ipc(now * ratio);
+    }
+
+    // ------------------------------------------------------------------
+    // Core side
+    // ------------------------------------------------------------------
+
+    fn tick_cores(&mut self, core_cycle: Cycle) {
+        // Deliver finished memory requests first so dependent work can issue
+        // in the same cycle.
+        while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
+            self.cores[core].complete_mem(req_id, core_cycle);
+        }
+        let mut requests: Vec<(usize, MemAccess)> = Vec::new();
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let out = core.tick(core_cycle);
+            for req in out.mem_requests {
+                requests.push((i, req));
+            }
+        }
+        for (core, req) in requests {
+            self.handle_core_memory_request(core_cycle, core, req);
+        }
+    }
+
+    fn handle_core_memory_request(&mut self, core_cycle: Cycle, core: usize, req: MemAccess) {
+        let kind = match req.kind {
+            MemAccessKind::Read => AccessKind::Read,
+            MemAccessKind::Write => AccessKind::Write,
+            MemAccessKind::Atomic => AccessKind::Atomic,
+        };
+        let result = self.caches.access(core, req.addr, kind);
+        let core_tile = self.noc.core_tile(core);
+        let bank_tile = self.noc.bank_tile(result.l2_bank);
+        let atomic_penalty =
+            if kind == AccessKind::Atomic { ATOMIC_COHERENCE_PENALTY } else { 0 };
+
+        match result.hit {
+            Some(HitLevel::L1) => {
+                let done = core_cycle + self.cfg.caches.l1_hit_latency + atomic_penalty;
+                self.core_completions.push_at(done, (core, req.req_id));
+            }
+            Some(HitLevel::L2) => {
+                let arrive = self.noc.transfer(core_cycle, core_tile, bank_tile, 16);
+                let served = arrive + self.cfg.caches.l2_hit_latency;
+                let back = self.noc.transfer(served, bank_tile, core_tile, 80);
+                self.core_completions.push_at(back + atomic_penalty, (core, req.req_id));
+            }
+            None => {
+                // Miss: travel to the memory controller and out to memory.
+                let mc = self.memory_port_of(req.addr);
+                let mc_tile = self.noc.mc_tile(mc.index());
+                let at_bank = self.noc.transfer(core_cycle, core_tile, bank_tile, 16);
+                let at_mc = self.noc.transfer(at_bank, bank_tile, mc_tile, 16);
+                let noc_return =
+                    self.noc.ideal_latency(mc_tile, bank_tile, 80)
+                        + self.noc.ideal_latency(bank_tile, core_tile, 80)
+                        + atomic_penalty;
+                let txn = self.next_txn;
+                self.next_txn += 1;
+                self.mem_txns.insert(
+                    txn,
+                    MemTxn {
+                        core,
+                        req_id: req.req_id,
+                        port: mc,
+                        noc_return,
+                        is_write: kind.is_write(),
+                    },
+                );
+                let network_now = at_mc / self.cfg.core_cycles_per_network_cycle();
+                self.issue_memory_access(network_now, txn, req.addr, kind.is_write());
+            }
+        }
+
+        // Dirty evictions move a block back to memory without blocking anyone.
+        for _ in 0..result.writebacks {
+            let network_now = core_cycle / self.cfg.core_cycles_per_network_cycle();
+            self.issue_writeback(network_now, req.addr);
+        }
+    }
+
+    fn memory_port_of(&self, addr: Addr) -> PortId {
+        match &self.backend {
+            Backend::Dram(dram) => PortId::new(dram.channel_of(addr) % self.cfg.noc.memory_controllers),
+            Backend::Hmc(hmc) => {
+                let cube = CubeId::new(self.map.cube_of(addr));
+                hmc.topology.nearest_port(cube)
+            }
+        }
+    }
+
+    fn issue_memory_access(&mut self, now: Cycle, txn: u64, addr: Addr, is_write: bool) {
+        match &mut self.backend {
+            Backend::Dram(dram) => {
+                let req = if is_write {
+                    DramRequest::write(txn, addr)
+                } else {
+                    DramRequest::read(txn, addr)
+                };
+                if dram.try_push(now, req).is_err() {
+                    // Channel queue full: retry on the next network cycle.
+                    self.retry_dram.push((now + 1, txn, addr, is_write));
+                }
+            }
+            Backend::Hmc(hmc) => {
+                let port = self.mem_txns.get(&txn).map(|t| t.port).unwrap_or(PortId::new(0));
+                let cube = CubeId::new(self.map.cube_of(addr));
+                let kind = if is_write {
+                    PacketKind::WriteReq { req_id: txn, addr }
+                } else {
+                    PacketKind::ReadReq { req_id: txn, addr }
+                };
+                let packet = Packet::from_host(txn | (1 << 59), port, cube, kind, now);
+                hmc.network.inject(now, packet);
+            }
+        }
+    }
+
+    fn issue_writeback(&mut self, now: Cycle, addr: Addr) {
+        match &mut self.backend {
+            Backend::Dram(dram) => {
+                let id = self.next_txn | (1 << 58);
+                self.next_txn += 1;
+                let _ = dram.try_push(now, DramRequest::write(id, addr));
+            }
+            Backend::Hmc(hmc) => {
+                let id = self.next_txn | (1 << 58);
+                self.next_txn += 1;
+                let cube = CubeId::new(self.map.cube_of(addr));
+                let port = hmc.topology.nearest_port(cube);
+                let packet = Packet::from_host(
+                    id,
+                    port,
+                    cube,
+                    PacketKind::WriteReq { req_id: id, addr },
+                    now,
+                );
+                self.mem_txns.insert(
+                    id,
+                    MemTxn { core: usize::MAX, req_id: 0, port, noc_return: 0, is_write: true },
+                );
+                hmc.network.inject(now, packet);
+            }
+        }
+    }
+
+    fn release_barriers(&mut self, core_cycle: Cycle) {
+        let mut waiting: Vec<u32> = Vec::new();
+        for core in &self.cores {
+            if core.is_done() {
+                continue;
+            }
+            match core.waiting_barrier() {
+                Some(id) => waiting.push(id),
+                None => return, // someone is still running: no release possible
+            }
+        }
+        if waiting.is_empty() {
+            return;
+        }
+        let id = *waiting.iter().min().expect("non-empty");
+        for core in &mut self.cores {
+            core.release_barrier(id, core_cycle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Offload side
+    // ------------------------------------------------------------------
+
+    fn drain_message_interfaces(&mut self, now: Cycle) {
+        let Backend::Hmc(hmc) = &mut self.backend else {
+            return;
+        };
+        let Some(controller) = hmc.controller.as_mut() else {
+            return;
+        };
+        let mut back_invalidate = Vec::new();
+        for core in &mut self.cores {
+            // One offload command per core per network cycle (the MI serialises
+            // register writes into packets at the network clock).
+            if let Some(cmd) = core.mi_mut().pop() {
+                let out = controller.submit(now, cmd);
+                for (_, packet) in out.packets {
+                    hmc.network.inject(now, packet);
+                }
+                back_invalidate.extend(out.back_invalidate);
+            }
+        }
+        for addr in back_invalidate {
+            let (copies, _dirty) = self.caches.back_invalidate(addr);
+            if copies > 0 {
+                self.back_invalidations += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory side
+    // ------------------------------------------------------------------
+
+    fn tick_memory(&mut self, now: Cycle) {
+        match &mut self.backend {
+            Backend::Dram(_) => self.tick_dram(now),
+            Backend::Hmc(_) => self.tick_hmc(now),
+        }
+    }
+
+    fn tick_dram(&mut self, now: Cycle) {
+        // Retry requests that found their channel queue full.
+        let retries = std::mem::take(&mut self.retry_dram);
+        for (at, txn, addr, is_write) in retries {
+            if at <= now {
+                self.issue_memory_access(now, txn, addr, is_write);
+            } else {
+                self.retry_dram.push((at, txn, addr, is_write));
+            }
+        }
+        let Backend::Dram(dram) = &mut self.backend else { return };
+        dram.tick(now);
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        while let Some(resp) = dram.pop_response(now) {
+            if let Some(txn) = self.mem_txns.remove(&resp.id) {
+                if txn.core != usize::MAX {
+                    let done = now * ratio + txn.noc_return.max(1);
+                    self.core_completions.push_at(done, (txn.core, txn.req_id));
+                }
+            }
+        }
+    }
+
+    fn tick_hmc(&mut self, now: Cycle) {
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        // Split-borrow the backend once.
+        let Backend::Hmc(hmc) = &mut self.backend else { return };
+        let hmc = hmc.as_mut();
+
+        hmc.network.tick(now);
+
+        // 1. Packets delivered at cubes.
+        let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
+        for c in 0..hmc.cubes.len() {
+            while let Some(packet) = hmc.network.pop_at_cube(CubeId::new(c)) {
+                match &packet.kind {
+                    PacketKind::ReadReq { req_id, addr } | PacketKind::WriteReq { req_id, addr } => {
+                        let is_write = matches!(packet.kind, PacketKind::WriteReq { .. });
+                        let id = *req_id;
+                        let addr = *addr;
+                        self.vault_purpose.insert(id, VaultPurpose::Normal { txn: id });
+                        let req = if is_write {
+                            VaultRequest::write(id, addr)
+                        } else {
+                            VaultRequest::read(id, addr)
+                        };
+                        let _ = hmc.cubes[c].try_push(now, req);
+                        self.hmc_bytes += 64;
+                    }
+                    PacketKind::ReadResp { .. } | PacketKind::WriteAck { .. } => {
+                        // Responses are only ever destined to host ports.
+                    }
+                    PacketKind::Active(_) => {
+                        let out = hmc.engines[c].handle_packet(now, packet);
+                        are_outputs.push((c, out));
+                    }
+                }
+            }
+            // Advance the engine's internal pipelines.
+            let tick_out = hmc.engines[c].tick(now);
+            if !tick_out.is_empty() {
+                are_outputs.push((c, tick_out));
+            }
+        }
+        self.apply_are_outputs(now, are_outputs);
+
+        let Backend::Hmc(hmc) = &mut self.backend else { return };
+        let hmc = hmc.as_mut();
+
+        // 2. Advance the cubes and collect vault completions.
+        let mut vault_completions: Vec<(usize, ar_hmc::VaultResponse)> = Vec::new();
+        for (c, cube) in hmc.cubes.iter_mut().enumerate() {
+            cube.tick(now);
+            while let Some(resp) = cube.pop_response(now) {
+                vault_completions.push((c, resp));
+            }
+        }
+        let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
+        for (c, resp) in vault_completions {
+            match self.vault_purpose.remove(&resp.id) {
+                Some(VaultPurpose::Normal { txn }) => {
+                    if let Some(info) = self.mem_txns.get(&txn) {
+                        let kind = if info.is_write {
+                            PacketKind::WriteAck { req_id: txn, addr: resp.addr }
+                        } else {
+                            PacketKind::ReadResp { req_id: txn, addr: resp.addr }
+                        };
+                        let packet = Packet::new(
+                            txn | (1 << 59),
+                            NetNode::Cube(CubeId::new(c)),
+                            NetNode::Host(info.port),
+                            kind,
+                            now,
+                        );
+                        hmc.network.inject(now, packet);
+                    }
+                }
+                Some(VaultPurpose::AreRead { cube, access_id }) => {
+                    let value = self.func_mem.get(&resp.addr.as_u64()).copied().unwrap_or(0.0);
+                    let out = hmc.engines[cube].complete_vault_read(now, access_id, value);
+                    are_outputs.push((cube, out));
+                }
+                Some(VaultPurpose::AreWrite) | None => {}
+            }
+        }
+        self.apply_are_outputs(now, are_outputs);
+
+        let Backend::Hmc(hmc) = &mut self.backend else { return };
+        let hmc = hmc.as_mut();
+
+        // 3. Packets delivered at the host ports.
+        let mut completions = Vec::new();
+        for p in 0..self.cfg.network.host_ports {
+            let port = PortId::new(p);
+            while let Some(packet) = hmc.network.pop_at_host(port) {
+                match &packet.kind {
+                    PacketKind::ReadResp { req_id, .. } | PacketKind::WriteAck { req_id, .. } => {
+                        if let Some(txn) = self.mem_txns.remove(req_id) {
+                            if txn.core != usize::MAX {
+                                let done = now * ratio + txn.noc_return.max(1);
+                                self.core_completions.push_at(done, (txn.core, txn.req_id));
+                            }
+                        }
+                    }
+                    PacketKind::Active(_) => {
+                        if let Some(controller) = hmc.controller.as_mut() {
+                            let out = controller.handle_port_packet(now, port, &packet);
+                            completions.extend(out.completions);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for done in completions {
+            self.func_mem.insert(done.target.as_u64(), done.value);
+            self.gather_results.push((done.target, done.value));
+            let core_cycle = now * ratio;
+            for thread in &done.threads {
+                if thread.index() < self.cores.len() {
+                    self.cores[thread.index()].complete_gather(done.target, core_cycle);
+                }
+            }
+        }
+    }
+
+    fn apply_are_outputs(&mut self, now: Cycle, outputs: Vec<(usize, AreOutput)>) {
+        let Backend::Hmc(hmc) = &mut self.backend else { return };
+        let hmc = hmc.as_mut();
+        for (cube, out) in outputs {
+            for packet in out.packets {
+                // Packets whose destination is the local cube are handled by
+                // this cube's own engine next cycle via the network's
+                // zero-hop delivery.
+                hmc.network.inject(now, packet);
+            }
+            for access in out.vault_accesses {
+                let id = (1 << 62) | self.next_vault_id;
+                self.next_vault_id += 1;
+                let purpose = match access.write_value {
+                    Some(value) => {
+                        self.func_mem.insert(access.addr.as_u64(), value);
+                        VaultPurpose::AreWrite
+                    }
+                    None => VaultPurpose::AreRead { cube, access_id: access.id },
+                };
+                self.vault_purpose.insert(id, purpose);
+                let req = if access.write_value.is_some() {
+                    VaultRequest::write(id, access.addr)
+                } else {
+                    VaultRequest::read(id, access.addr)
+                };
+                let _ = hmc.cubes[cube].try_push(now, req);
+                self.hmc_bytes += 8;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping
+    // ------------------------------------------------------------------
+
+    fn sample_ipc(&mut self, core_cycle: Cycle) {
+        if core_cycle == 0 || core_cycle % IPC_WINDOW_CORE_CYCLES != 0 {
+            return;
+        }
+        let total: u64 = self.cores.iter().map(Core::instructions_retired).sum();
+        let delta = total - self.last_ipc_sample_insns;
+        self.last_ipc_sample_insns = total;
+        let ipc = delta as f64 / IPC_WINDOW_CORE_CYCLES as f64;
+        self.ipc_series.push(core_cycle as f64, ipc);
+    }
+
+    fn is_finished(&self) -> bool {
+        if !self.cores.iter().all(Core::is_done) {
+            return false;
+        }
+        if !self.core_completions.is_empty() {
+            return false;
+        }
+        match &self.backend {
+            Backend::Dram(dram) => dram.is_idle() && self.retry_dram.is_empty(),
+            Backend::Hmc(hmc) => {
+                hmc.network.is_quiescent()
+                    && hmc.cubes.iter().all(HmcCube::is_idle)
+                    && hmc.engines.iter().all(ActiveRoutingEngine::is_idle)
+                    && hmc.controller.as_ref().map(HostOffloadController::is_idle).unwrap_or(true)
+            }
+        }
+    }
+
+    fn into_report(self, network_cycles: u64, completed: bool) -> SimReport {
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        let cache = self.caches.stats();
+        let mut stalls = StallSummary::default();
+        let mut instructions = 0;
+        let mut updates_offloaded = 0;
+        let mut gathers_offloaded = 0;
+        for core in &self.cores {
+            let s = core.stalls();
+            stalls.memory += s.memory;
+            stalls.gather += s.gather;
+            stalls.barrier += s.barrier;
+            stalls.offload += s.offload;
+            stalls.rob_full += s.rob_full;
+            instructions += core.instructions_retired();
+            updates_offloaded += core.updates_offloaded();
+            gathers_offloaded += core.gathers_offloaded();
+        }
+
+        let mut report = SimReport {
+            workload: self.workload,
+            config_label: self.label,
+            network_cycles,
+            core_cycles: network_cycles * ratio,
+            instructions,
+            completed,
+            stalls,
+            l1_accesses: cache.l1_accesses,
+            l1_hits: cache.l1_hits,
+            l2_accesses: cache.l2_accesses,
+            l2_hits: cache.l2_hits,
+            invalidations: cache.invalidations + cache.back_invalidations,
+            updates_offloaded,
+            gathers_offloaded,
+            noc_byte_hops: self.noc.byte_hops(),
+            gather_results: self.gather_results,
+            ipc_series: self.ipc_series,
+            network_clock_ghz: self.cfg.network.clock_ghz,
+            ..SimReport::default()
+        };
+
+        match self.backend {
+            Backend::Dram(dram) => {
+                report.dram_bytes = dram.bytes();
+                report.data_movement = DataMovement {
+                    norm_req_bytes: dram.accesses() * 16,
+                    norm_resp_bytes: dram.bytes(),
+                    active_req_bytes: 0,
+                    active_resp_bytes: 0,
+                };
+            }
+            Backend::Hmc(hmc) => {
+                let net = hmc.network.stats();
+                report.hmc_bytes = self.hmc_bytes;
+                report.network_byte_hops = net.bit_hops / 8;
+                report.data_movement = DataMovement {
+                    norm_req_bytes: net.norm_req_bytes,
+                    norm_resp_bytes: net.norm_resp_bytes,
+                    active_req_bytes: net.active_req_bytes,
+                    active_resp_bytes: net.active_resp_bytes,
+                };
+                let mut activity = CubeActivity::default();
+                let mut samples = 0u64;
+                let mut req_sum = 0u64;
+                let mut stall_sum = 0u64;
+                let mut resp_sum = 0u64;
+                let mut are_ops = 0u64;
+                for engine in &hmc.engines {
+                    let s = engine.stats();
+                    activity.updates_computed.push(s.updates_computed);
+                    activity.operands_served.push(s.operands_served);
+                    activity.operand_buffer_stalls.push(s.operand_buffer_stall_cycles);
+                    samples += s.latency_samples;
+                    req_sum += s.request_latency_sum;
+                    stall_sum += s.stall_latency_sum;
+                    resp_sum += s.response_latency_sum;
+                    are_ops += s.alu_ops;
+                }
+                report.are_ops = are_ops;
+                report.cube_activity = activity;
+                if samples > 0 {
+                    report.update_latency = LatencyBreakdown {
+                        request: req_sum as f64 / samples as f64,
+                        stall: stall_sum as f64 / samples as f64,
+                        response: resp_sum as f64 / samples as f64,
+                    };
+                }
+            }
+        }
+        report
+    }
+}

@@ -1,0 +1,249 @@
+//! Simulated physical addresses and the address-interleaving helpers used to
+//! locate a cache line in the memory system.
+//!
+//! The memory network interleaves consecutive 4 KiB pages across the 16 cubes
+//! (page-granularity interleaving as in memory-centric network designs), and
+//! within a cube consecutive cache blocks are interleaved across the 32
+//! vaults. The DRAM baseline interleaves pages across its 4 channels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a cache block / memory access granularity in bytes.
+pub const CACHE_BLOCK_BYTES: u64 = 64;
+/// Size of an interleaving page in bytes.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A simulated physical byte address.
+///
+/// `Addr` is a newtype over `u64` so that raw integers (loop counters, sizes,
+/// cycle counts) cannot be accidentally used where an address is expected.
+///
+/// # Example
+///
+/// ```
+/// use ar_types::Addr;
+/// let a = Addr::new(0x1_0040);
+/// assert_eq!(a.block_aligned().as_u64(), 0x1_0040);
+/// assert_eq!(Addr::new(0x1_0041).block_aligned(), a.block_aligned());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw physical byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address rounded down to its cache-block boundary.
+    pub const fn block_aligned(self) -> Self {
+        Addr(self.0 & !(CACHE_BLOCK_BYTES - 1))
+    }
+
+    /// Returns the index of the cache block containing this address.
+    pub const fn block_index(self) -> u64 {
+        self.0 / CACHE_BLOCK_BYTES
+    }
+
+    /// Returns the index of the interleaving page containing this address.
+    pub const fn page_index(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Returns the byte offset of this address within its cache block.
+    pub const fn block_offset(self) -> u64 {
+        self.0 % CACHE_BLOCK_BYTES
+    }
+
+    /// Returns a new address offset by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// Address-to-component mapping for the HMC memory network.
+///
+/// The mapping is deliberately simple and deterministic so that both the
+/// timing model and the workloads can reason about operand placement:
+/// pages interleave across cubes, blocks interleave across vaults, and
+/// consecutive blocks within a vault interleave across its banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// Number of memory cubes in the network.
+    pub cubes: usize,
+    /// Number of vaults per cube.
+    pub vaults_per_cube: usize,
+    /// Number of DRAM banks per vault.
+    pub banks_per_vault: usize,
+}
+
+impl AddressMap {
+    /// Creates a new address map.
+    pub const fn new(cubes: usize, vaults_per_cube: usize, banks_per_vault: usize) -> Self {
+        AddressMap { cubes, vaults_per_cube, banks_per_vault }
+    }
+
+    /// Returns the cube that owns `addr` (page-interleaved).
+    pub fn cube_of(&self, addr: Addr) -> usize {
+        (addr.page_index() % self.cubes as u64) as usize
+    }
+
+    /// Returns the vault within its cube that owns `addr` (block-interleaved).
+    pub fn vault_of(&self, addr: Addr) -> usize {
+        (addr.block_index() % self.vaults_per_cube as u64) as usize
+    }
+
+    /// Returns the bank within its vault that owns `addr`.
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((addr.block_index() / self.vaults_per_cube as u64) % self.banks_per_vault as u64) as usize
+    }
+
+    /// Returns the DRAM row within its bank that `addr` maps to, assuming
+    /// 2 KiB rows.
+    pub fn row_of(&self, addr: Addr) -> u64 {
+        addr.block_index() / (self.vaults_per_cube as u64 * self.banks_per_vault as u64) / 32
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::new(16, 32, 8)
+    }
+}
+
+/// Address-to-channel mapping for the DDR DRAM baseline (4 memory
+/// controllers, page interleaved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramAddressMap {
+    /// Number of memory channels (memory controllers).
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+}
+
+impl DramAddressMap {
+    /// Creates a new DRAM address map.
+    pub const fn new(channels: usize, ranks_per_channel: usize, banks_per_rank: usize) -> Self {
+        DramAddressMap { channels, ranks_per_channel, banks_per_rank }
+    }
+
+    /// Returns the channel that owns `addr`.
+    pub fn channel_of(&self, addr: Addr) -> usize {
+        (addr.page_index() % self.channels as u64) as usize
+    }
+
+    /// Returns the rank (within the channel) that owns `addr`.
+    pub fn rank_of(&self, addr: Addr) -> usize {
+        (addr.block_index() % self.ranks_per_channel as u64) as usize
+    }
+
+    /// Returns the bank (within the rank) that owns `addr`.
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((addr.block_index() / self.ranks_per_channel as u64) % self.banks_per_rank as u64) as usize
+    }
+
+    /// Returns the DRAM row (within its bank) that `addr` maps to, assuming
+    /// 2 KiB rows (32 consecutive same-bank blocks per row).
+    pub fn row_of(&self, addr: Addr) -> u64 {
+        addr.block_index() / (self.ranks_per_channel as u64 * self.banks_per_rank as u64) / 32
+    }
+}
+
+impl Default for DramAddressMap {
+    fn default() -> Self {
+        DramAddressMap::new(4, 4, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_alignment_masks_low_bits() {
+        let a = Addr::new(0x12345);
+        assert_eq!(a.block_aligned().as_u64() % CACHE_BLOCK_BYTES, 0);
+        assert!(a.block_aligned().as_u64() <= a.as_u64());
+        assert_eq!(a.block_offset(), 0x12345 % CACHE_BLOCK_BYTES);
+    }
+
+    #[test]
+    fn page_interleaving_spreads_across_cubes() {
+        let map = AddressMap::default();
+        let a = Addr::new(0);
+        let b = Addr::new(PAGE_BYTES);
+        let c = Addr::new(PAGE_BYTES * 16);
+        assert_eq!(map.cube_of(a), 0);
+        assert_eq!(map.cube_of(b), 1);
+        assert_eq!(map.cube_of(c), 0);
+    }
+
+    #[test]
+    fn vault_interleaving_spreads_across_vaults() {
+        let map = AddressMap::default();
+        assert_eq!(map.vault_of(Addr::new(0)), 0);
+        assert_eq!(map.vault_of(Addr::new(64)), 1);
+        assert_eq!(map.vault_of(Addr::new(64 * 32)), 0);
+    }
+
+    #[test]
+    fn bank_mapping_within_bounds() {
+        let map = AddressMap::default();
+        for i in 0..10_000u64 {
+            let a = Addr::new(i * 64);
+            assert!(map.bank_of(a) < map.banks_per_vault);
+            assert!(map.vault_of(a) < map.vaults_per_cube);
+            assert!(map.cube_of(a) < map.cubes);
+        }
+    }
+
+    #[test]
+    fn dram_mapping_within_bounds() {
+        let map = DramAddressMap::default();
+        for i in 0..10_000u64 {
+            let a = Addr::new(i * 64);
+            assert!(map.channel_of(a) < map.channels);
+            assert!(map.rank_of(a) < map.ranks_per_channel);
+            assert!(map.bank_of(a) < map.banks_per_rank);
+        }
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+    }
+
+    #[test]
+    fn addr_conversions_roundtrip() {
+        let a = Addr::from(42u64);
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

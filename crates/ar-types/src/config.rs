@@ -1,0 +1,630 @@
+//! System configuration corresponding to Table 4.1 of the paper, plus the
+//! evaluated scheme configurations of Section 5.1.
+
+use crate::addr::{AddressMap, DramAddressMap};
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which main-memory substrate the system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryMode {
+    /// Conventional DDR DRAM attached to 4 memory controllers (the `DRAM`
+    /// baseline configuration).
+    DdrBaseline,
+    /// A memory network of HMCs in a dragonfly topology (`HMC`, `ART` and the
+    /// `ARF` configurations).
+    HmcNetwork,
+}
+
+/// The Active-Routing offloading scheme (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OffloadScheme {
+    /// No offloading: all work executes on the host (DRAM and HMC baselines).
+    None,
+    /// Active-Routing-Tree: a single tree per flow rooted at a static port.
+    Art,
+    /// Active-Routing-Forest interleaved by thread id across the 4 ports.
+    ArfTid,
+    /// Active-Routing-Forest interleaved by operand address (nearest port).
+    ArfAddr,
+    /// ARF-tid with the dynamic-offloading runtime knob of Section 5.4:
+    /// phases with good locality run on the host, others are offloaded.
+    ArfTidAdaptive,
+}
+
+impl OffloadScheme {
+    /// Returns true if the scheme offloads Update/Gather to the memory network.
+    pub fn offloads(self) -> bool {
+        !matches!(self, OffloadScheme::None)
+    }
+}
+
+impl fmt::Display for OffloadScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OffloadScheme::None => "none",
+            OffloadScheme::Art => "ART",
+            OffloadScheme::ArfTid => "ARF-tid",
+            OffloadScheme::ArfAddr => "ARF-addr",
+            OffloadScheme::ArfTidAdaptive => "ARF-tid-adaptive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The five named configurations evaluated in Chapter 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamedConfig {
+    /// DDR baseline, everything on the host.
+    Dram,
+    /// HMC memory network, everything on the host.
+    Hmc,
+    /// HMC network + Active-Routing through a single static port.
+    Art,
+    /// HMC network + Active-Routing-Forest by thread id.
+    ArfTid,
+    /// HMC network + Active-Routing-Forest by operand address.
+    ArfAddr,
+    /// HMC network + ARF-tid with dynamic offloading (Section 5.4).
+    ArfTidAdaptive,
+}
+
+impl NamedConfig {
+    /// All configurations plotted in Figs. 5.1 and 5.5-5.7.
+    pub const ALL: [NamedConfig; 5] = [
+        NamedConfig::Dram,
+        NamedConfig::Hmc,
+        NamedConfig::Art,
+        NamedConfig::ArfTid,
+        NamedConfig::ArfAddr,
+    ];
+
+    /// The memory mode of this configuration.
+    pub fn memory_mode(self) -> MemoryMode {
+        match self {
+            NamedConfig::Dram => MemoryMode::DdrBaseline,
+            _ => MemoryMode::HmcNetwork,
+        }
+    }
+
+    /// The offload scheme of this configuration.
+    pub fn scheme(self) -> OffloadScheme {
+        match self {
+            NamedConfig::Dram | NamedConfig::Hmc => OffloadScheme::None,
+            NamedConfig::Art => OffloadScheme::Art,
+            NamedConfig::ArfTid => OffloadScheme::ArfTid,
+            NamedConfig::ArfAddr => OffloadScheme::ArfAddr,
+            NamedConfig::ArfTidAdaptive => OffloadScheme::ArfTidAdaptive,
+        }
+    }
+}
+
+impl fmt::Display for NamedConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NamedConfig::Dram => "DRAM",
+            NamedConfig::Hmc => "HMC",
+            NamedConfig::Art => "ART",
+            NamedConfig::ArfTid => "ARF-tid",
+            NamedConfig::ArfAddr => "ARF-addr",
+            NamedConfig::ArfTidAdaptive => "ARF-tid-adaptive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Host core parameters ("CPU Core" row of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Number of out-of-order cores.
+    pub count: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Issue/commit width in instructions per core cycle.
+    pub issue_width: u32,
+    /// Reorder buffer capacity (limits in-flight instructions).
+    pub rob_entries: usize,
+    /// Maximum outstanding memory requests per core (MSHR-like limit).
+    pub max_outstanding_mem: usize,
+    /// Depth of the Message Interface queue for offload packets.
+    pub mi_queue_depth: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            count: 16,
+            clock_ghz: 2.0,
+            issue_width: 8,
+            rob_entries: 64,
+            max_outstanding_mem: 16,
+            mi_queue_depth: 16,
+        }
+    }
+}
+
+/// Cache hierarchy parameters ("L1I/DCache" and "L2Cache" rows of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Private L1 data cache size in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in core cycles.
+    pub l1_hit_latency: u64,
+    /// Shared S-NUCA L2 size in bytes (total across banks).
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 bank access latency in core cycles (excluding NoC hops).
+    pub l2_hit_latency: u64,
+    /// Number of L2 banks (one per mesh tile).
+    pub l2_banks: usize,
+    /// MSHRs per core for outstanding L1 misses.
+    pub mshrs: usize,
+    /// Cache block size in bytes.
+    pub block_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            l1_bytes: 16 * 1024,
+            l1_ways: 4,
+            l1_hit_latency: 2,
+            l2_bytes: 16 * 1024 * 1024,
+            l2_ways: 16,
+            l2_hit_latency: 14,
+            l2_banks: 16,
+            mshrs: 16,
+            block_bytes: 64,
+        }
+    }
+}
+
+/// On-chip network parameters ("NoC" row of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width (4 for a 4x4 mesh).
+    pub mesh_width: usize,
+    /// Per-hop latency in core cycles (router + link).
+    pub hop_latency: u64,
+    /// Link bandwidth in bytes per core cycle.
+    pub link_bytes_per_cycle: u32,
+    /// Number of memory controllers placed at the mesh corners.
+    pub memory_controllers: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig { mesh_width: 4, hop_latency: 3, link_bytes_per_cycle: 32, memory_controllers: 4 }
+    }
+}
+
+/// DDR DRAM baseline parameters ("Memory / DRAM Baseline" row of Table 4.1).
+/// Timing values are in memory-bus cycles at 800 MHz (DDR-1600-like), matching
+/// the tRCD=14 / tRAS=34 / tRP=14 / tCL=14 / tBL=4 values in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of memory controllers / channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-to-column delay.
+    pub t_rcd: u64,
+    /// Row-access strobe (activate to precharge).
+    pub t_ras: u64,
+    /// Row precharge time.
+    pub t_rp: u64,
+    /// CAS latency.
+    pub t_cl: u64,
+    /// Burst length in bus cycles.
+    pub t_bl: u64,
+    /// Rank-to-rank switching delay.
+    pub t_rr: u64,
+    /// Memory bus clock in GHz.
+    pub bus_ghz: f64,
+    /// Per-channel request queue depth.
+    pub queue_depth: usize,
+    /// Total capacity in GiB (for reporting only).
+    pub capacity_gib: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 4,
+            ranks_per_channel: 4,
+            banks_per_rank: 64,
+            t_rcd: 14,
+            t_ras: 34,
+            t_rp: 14,
+            t_cl: 14,
+            t_bl: 4,
+            t_rr: 1,
+            bus_ghz: 0.8,
+            queue_depth: 32,
+            capacity_gib: 64,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Address map implied by this configuration.
+    pub fn address_map(&self) -> DramAddressMap {
+        DramAddressMap::new(self.channels, self.ranks_per_channel, self.banks_per_rank)
+    }
+}
+
+/// HMC cube parameters ("HMC" row of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HmcConfig {
+    /// Capacity per cube in GiB (for reporting only).
+    pub capacity_gib: usize,
+    /// Number of stacked DRAM layers.
+    pub layers: usize,
+    /// Vaults per cube.
+    pub vaults: usize,
+    /// Banks per vault.
+    pub banks_per_vault: usize,
+    /// Vault DRAM access latency (activate+read) in network cycles.
+    pub vault_access_latency: u64,
+    /// Additional latency when the access conflicts with a busy bank.
+    pub bank_busy_penalty: u64,
+    /// Vault controller queue depth.
+    pub vault_queue_depth: usize,
+    /// Cycles a bank stays busy after serving an access.
+    pub bank_occupancy: u64,
+    /// Intra-cube crossbar traversal latency in network cycles.
+    pub crossbar_latency: u64,
+}
+
+impl Default for HmcConfig {
+    fn default() -> Self {
+        HmcConfig {
+            capacity_gib: 4,
+            layers: 4,
+            vaults: 32,
+            banks_per_vault: 8,
+            vault_access_latency: 22,
+            bank_busy_penalty: 8,
+            vault_queue_depth: 16,
+            bank_occupancy: 11,
+            crossbar_latency: 2,
+        }
+    }
+}
+
+/// Memory-network parameters ("HMC-Net" row of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of memory cubes.
+    pub cubes: usize,
+    /// Number of host access ports (HMC controllers).
+    pub host_ports: usize,
+    /// Number of dragonfly groups.
+    pub groups: usize,
+    /// Link width in lanes.
+    pub lanes: usize,
+    /// Per-lane signalling rate in Gbps.
+    pub gbps_per_lane: f64,
+    /// Network (switch) clock in GHz.
+    pub clock_ghz: f64,
+    /// Per-hop router latency in network cycles.
+    pub hop_latency: u64,
+    /// Number of virtual channels per physical link.
+    pub virtual_channels: usize,
+    /// Input buffer depth per VC, in packets.
+    pub vc_buffer_packets: usize,
+    /// Link bandwidth in bytes per network cycle, derived from lanes * rate.
+    pub link_bytes_per_cycle: u32,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // 16 lanes * 12.5 Gbps = 200 Gbps = 25 GB/s per direction; at 1 GHz
+        // that is 25 bytes per network cycle (we round to 24 = 1.5 flits).
+        NetworkConfig {
+            cubes: 16,
+            host_ports: 4,
+            groups: 4,
+            lanes: 16,
+            gbps_per_lane: 12.5,
+            clock_ghz: 1.0,
+            hop_latency: 3,
+            virtual_channels: 2,
+            vc_buffer_packets: 8,
+            link_bytes_per_cycle: 24,
+        }
+    }
+}
+
+/// Active-Routing Engine parameters (Section 3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreConfig {
+    /// Maximum number of concurrently tracked flows per cube.
+    pub flow_table_entries: usize,
+    /// Number of operand buffer entries per cube.
+    pub operand_buffers: usize,
+    /// Number of ALU operations the ARE can start per network cycle.
+    pub alu_issue_per_cycle: u32,
+    /// Extra decode latency for active packets, in network cycles.
+    pub decode_latency: u64,
+    /// Updates-per-flow threshold used by the adaptive scheme
+    /// (`CACHE_BLK_SIZE/stride1 + CACHE_BLK_SIZE/stride2` in the paper's case
+    /// study); kept as an explicit knob here.
+    pub adaptive_threshold: u64,
+}
+
+impl Default for AreConfig {
+    fn default() -> Self {
+        AreConfig {
+            flow_table_entries: 64,
+            operand_buffers: 128,
+            alu_issue_per_cycle: 2,
+            decode_latency: 1,
+            adaptive_threshold: 16,
+        }
+    }
+}
+
+/// Energy constants used by the power model (Section 4.1): 5 pJ/bit per
+/// memory-network hop, 12 pJ/bit per HMC access, 39 pJ/bit per DRAM access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Energy per bit per memory-network hop, in picojoules.
+    pub pj_per_bit_hop: f64,
+    /// Energy per bit of HMC memory access, in picojoules.
+    pub pj_per_bit_hmc: f64,
+    /// Energy per bit of DDR DRAM access, in picojoules.
+    pub pj_per_bit_dram: f64,
+    /// Energy per L1 access in picojoules (CACTI-style constant).
+    pub pj_per_l1_access: f64,
+    /// Energy per L2 access in picojoules (CACTI-style constant).
+    pub pj_per_l2_access: f64,
+    /// Energy per on-chip NoC hop per bit in picojoules.
+    pub pj_per_bit_noc_hop: f64,
+    /// Energy per ARE ALU operation in picojoules.
+    pub pj_per_are_op: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            pj_per_bit_hop: 5.0,
+            pj_per_bit_hmc: 12.0,
+            pj_per_bit_dram: 39.0,
+            pj_per_l1_access: 20.0,
+            pj_per_l2_access: 120.0,
+            pj_per_bit_noc_hop: 1.0,
+            pj_per_are_op: 15.0,
+        }
+    }
+}
+
+/// Complete system configuration (Table 4.1 plus the scheme under test).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Host core parameters.
+    pub cores: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub caches: CacheConfig,
+    /// On-chip network parameters.
+    pub noc: NocConfig,
+    /// DDR baseline parameters.
+    pub dram: DramConfig,
+    /// HMC cube parameters.
+    pub hmc: HmcConfig,
+    /// Memory-network parameters.
+    pub network: NetworkConfig,
+    /// Active-Routing Engine parameters.
+    pub are: AreConfig,
+    /// Power/energy constants.
+    pub power: PowerConfig,
+    /// Main-memory substrate.
+    pub memory_mode: MemoryMode,
+    /// Offloading scheme.
+    pub scheme: OffloadScheme,
+    /// Safety limit on simulated network cycles (0 = unlimited).
+    pub max_cycles: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+impl SystemConfig {
+    /// The configuration of Table 4.1: 16 O3 cores @ 2 GHz, 16 KB L1, 16 MB
+    /// S-NUCA L2, 4x4 mesh, 16-cube dragonfly memory network, HMC memory,
+    /// no offloading (the `HMC` baseline).
+    pub fn paper() -> Self {
+        SystemConfig {
+            cores: CoreConfig::default(),
+            caches: CacheConfig::default(),
+            noc: NocConfig::default(),
+            dram: DramConfig::default(),
+            hmc: HmcConfig::default(),
+            network: NetworkConfig::default(),
+            are: AreConfig::default(),
+            power: PowerConfig::default(),
+            memory_mode: MemoryMode::HmcNetwork,
+            scheme: OffloadScheme::None,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests: 4 cores, 4 cubes in a
+    /// single group, smaller caches. The architecture is identical.
+    pub fn small() -> Self {
+        let mut cfg = SystemConfig::paper();
+        cfg.cores.count = 4;
+        cfg.caches.l2_bytes = 1024 * 1024;
+        cfg.caches.l2_banks = 4;
+        cfg.noc.mesh_width = 2;
+        cfg.network.cubes = 4;
+        cfg.network.groups = 2;
+        cfg.network.host_ports = 2;
+        cfg.dram.channels = 2;
+        cfg.max_cycles = 20_000_000;
+        cfg
+    }
+
+    /// Returns a copy configured as one of the named evaluation configs.
+    #[must_use]
+    pub fn named(mut self, named: NamedConfig) -> Self {
+        self.memory_mode = named.memory_mode();
+        self.scheme = named.scheme();
+        self
+    }
+
+    /// Returns a copy with the given offloading scheme (implies the HMC
+    /// memory network when the scheme offloads).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: OffloadScheme) -> Self {
+        self.scheme = scheme;
+        if scheme.offloads() {
+            self.memory_mode = MemoryMode::HmcNetwork;
+        }
+        self
+    }
+
+    /// Returns a copy with the given memory mode.
+    #[must_use]
+    pub fn with_memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.memory_mode = mode;
+        self
+    }
+
+    /// Address map of the HMC memory network implied by this configuration.
+    pub fn address_map(&self) -> AddressMap {
+        AddressMap::new(self.network.cubes, self.hmc.vaults, self.hmc.banks_per_vault)
+    }
+
+    /// Number of core cycles per network cycle (2 in the paper: 2 GHz cores,
+    /// 1 GHz memory-network clock).
+    pub fn core_cycles_per_network_cycle(&self) -> u64 {
+        (self.cores.clock_ghz / self.network.clock_ghz).round().max(1.0) as u64
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency found,
+    /// e.g. zero cores, a mesh too small for the memory controllers, cube
+    /// count not divisible by the group count, or an offloading scheme
+    /// combined with the DDR baseline.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores.count == 0 {
+            return Err(ConfigError::new("core count must be non-zero"));
+        }
+        if self.cores.rob_entries == 0 || self.cores.issue_width == 0 {
+            return Err(ConfigError::new("ROB size and issue width must be non-zero"));
+        }
+        if self.network.cubes == 0 || self.network.host_ports == 0 {
+            return Err(ConfigError::new("memory network needs at least one cube and one port"));
+        }
+        if self.network.cubes % self.network.groups != 0 {
+            return Err(ConfigError::new("cube count must be divisible by dragonfly group count"));
+        }
+        if self.network.host_ports > self.network.groups {
+            return Err(ConfigError::new(
+                "at most one host access port per dragonfly group is supported",
+            ));
+        }
+        if self.noc.mesh_width * self.noc.mesh_width < self.cores.count {
+            return Err(ConfigError::new("mesh is too small for the configured core count"));
+        }
+        if self.scheme.offloads() && self.memory_mode == MemoryMode::DdrBaseline {
+            return Err(ConfigError::new(
+                "Active-Routing offloading requires the HMC memory network",
+            ));
+        }
+        if self.caches.block_bytes != 64 {
+            return Err(ConfigError::new("only 64-byte cache blocks are supported"));
+        }
+        if self.are.operand_buffers == 0 || self.are.flow_table_entries == 0 {
+            return Err(ConfigError::new("ARE needs at least one flow entry and operand buffer"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_4_1() {
+        let cfg = SystemConfig::paper();
+        assert_eq!(cfg.cores.count, 16);
+        assert_eq!(cfg.cores.issue_width, 8);
+        assert_eq!(cfg.cores.rob_entries, 64);
+        assert_eq!(cfg.caches.l1_bytes, 16 * 1024);
+        assert_eq!(cfg.caches.l2_bytes, 16 * 1024 * 1024);
+        assert_eq!(cfg.noc.mesh_width, 4);
+        assert_eq!(cfg.dram.channels, 4);
+        assert_eq!(cfg.dram.t_rcd, 14);
+        assert_eq!(cfg.hmc.vaults, 32);
+        assert_eq!(cfg.network.cubes, 16);
+        assert_eq!(cfg.network.host_ports, 4);
+        assert_eq!(cfg.network.lanes, 16);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(SystemConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn named_configs_map_to_modes_and_schemes() {
+        assert_eq!(NamedConfig::Dram.memory_mode(), MemoryMode::DdrBaseline);
+        assert_eq!(NamedConfig::Hmc.scheme(), OffloadScheme::None);
+        assert_eq!(NamedConfig::Art.scheme(), OffloadScheme::Art);
+        assert_eq!(NamedConfig::ArfTid.memory_mode(), MemoryMode::HmcNetwork);
+        let cfg = SystemConfig::paper().named(NamedConfig::ArfAddr);
+        assert_eq!(cfg.scheme, OffloadScheme::ArfAddr);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn offload_on_dram_is_rejected() {
+        let mut cfg = SystemConfig::paper();
+        cfg.memory_mode = MemoryMode::DdrBaseline;
+        cfg.scheme = OffloadScheme::ArfTid;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn with_scheme_forces_hmc_network() {
+        let cfg = SystemConfig::paper()
+            .with_memory_mode(MemoryMode::DdrBaseline)
+            .with_scheme(OffloadScheme::Art);
+        assert_eq!(cfg.memory_mode, MemoryMode::HmcNetwork);
+    }
+
+    #[test]
+    fn clock_ratio_is_two() {
+        assert_eq!(SystemConfig::paper().core_cycles_per_network_cycle(), 2);
+    }
+
+    #[test]
+    fn invalid_group_division_rejected() {
+        let mut cfg = SystemConfig::paper();
+        cfg.network.groups = 3;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(OffloadScheme::ArfTid.to_string(), "ARF-tid");
+        assert_eq!(NamedConfig::Dram.to_string(), "DRAM");
+        assert_eq!(NamedConfig::ArfTidAdaptive.to_string(), "ARF-tid-adaptive");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::config::SystemConfig`] is internally
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+
+    /// The human-readable description of the inconsistency.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Error returned when a simulation cannot make forward progress (for
+/// example, the cycle limit was reached before all threads finished).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationError {
+    message: String,
+    /// Cycle at which the error was raised.
+    pub cycle: u64,
+}
+
+impl SimulationError {
+    /// Creates a simulation error.
+    pub fn new(message: impl Into<String>, cycle: u64) -> Self {
+        SimulationError { message: message.into(), cycle }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error at cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+impl Error for SimulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_displays_message() {
+        let e = ConfigError::new("zero cores");
+        assert!(e.to_string().contains("zero cores"));
+        assert_eq!(e.message(), "zero cores");
+    }
+
+    #[test]
+    fn simulation_error_displays_cycle() {
+        let e = SimulationError::new("deadlock", 1234);
+        assert!(e.to_string().contains("1234"));
+        assert_eq!(e.cycle, 1234);
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error>() {}
+        assert_err::<ConfigError>();
+        assert_err::<SimulationError>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Strongly-typed identifiers for the components of the simulated system.
+//!
+//! Using newtypes instead of bare `usize`s prevents the most common class of
+//! wiring bug in a simulator of this size: passing a core index where a cube
+//! index is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(index: usize) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a host processor core (0..15 in the paper configuration).
+    CoreId,
+    "core"
+);
+id_type!(
+    /// Identifier of a software thread. The paper runs one thread per core.
+    ThreadId,
+    "thread"
+);
+id_type!(
+    /// Identifier of a memory cube (HMC) in the memory network (0..15).
+    CubeId,
+    "cube"
+);
+id_type!(
+    /// Identifier of a vault within a cube (0..31).
+    VaultId,
+    "vault"
+);
+id_type!(
+    /// Identifier of a host-side memory-network access port / HMC controller (0..3).
+    PortId,
+    "port"
+);
+
+/// Identifier of an Active-Routing flow.
+///
+/// A flow is identified by the *target* address of the reduction (the address
+/// of the accumulator variable) together with the access port whose tree the
+/// flow uses — the same reduction target forms one tree per port under the
+/// Active-Routing-Forest schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId {
+    /// Target (accumulator) address of the reduction.
+    pub target: u64,
+    /// Access port whose ARTree this flow belongs to.
+    pub port: PortId,
+}
+
+impl FlowId {
+    /// Creates a flow identifier.
+    pub const fn new(target: u64, port: PortId) -> Self {
+        FlowId { target, port }
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow({:#x}@{})", self.target, self.port)
+    }
+}
+
+/// A node of the memory network: either a memory cube or one of the host
+/// access ports (HMC controllers) attached to the edge of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetNode {
+    /// A memory cube.
+    Cube(CubeId),
+    /// A host access port (HMC controller).
+    Host(PortId),
+}
+
+impl NetNode {
+    /// Returns the cube id if this node is a cube.
+    pub fn as_cube(self) -> Option<CubeId> {
+        match self {
+            NetNode::Cube(c) => Some(c),
+            NetNode::Host(_) => None,
+        }
+    }
+
+    /// Returns the port id if this node is a host port.
+    pub fn as_host(self) -> Option<PortId> {
+        match self {
+            NetNode::Host(p) => Some(p),
+            NetNode::Cube(_) => None,
+        }
+    }
+
+    /// Returns true if this node is a host access port.
+    pub fn is_host(self) -> bool {
+        matches!(self, NetNode::Host(_))
+    }
+}
+
+impl fmt::Display for NetNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetNode::Cube(c) => write!(f, "{c}"),
+            NetNode::Host(p) => write!(f, "host-{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_has_prefix() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+        assert_eq!(CubeId::new(15).to_string(), "cube15");
+        assert_eq!(PortId::new(0).to_string(), "port0");
+    }
+
+    #[test]
+    fn id_roundtrip_conversions() {
+        let c: CubeId = 7usize.into();
+        assert_eq!(usize::from(c), 7);
+        assert_eq!(c.index(), 7);
+    }
+
+    #[test]
+    fn flow_id_equality_depends_on_port() {
+        let a = FlowId::new(0x1000, PortId::new(0));
+        let b = FlowId::new(0x1000, PortId::new(1));
+        assert_ne!(a, b);
+        assert_eq!(a, FlowId::new(0x1000, PortId::new(0)));
+    }
+
+    #[test]
+    fn net_node_accessors() {
+        let n = NetNode::Cube(CubeId::new(2));
+        assert_eq!(n.as_cube(), Some(CubeId::new(2)));
+        assert_eq!(n.as_host(), None);
+        assert!(!n.is_host());
+        let h = NetNode::Host(PortId::new(1));
+        assert!(h.is_host());
+        assert_eq!(h.as_host(), Some(PortId::new(1)));
+        assert_eq!(h.to_string(), "host-port1");
+    }
+}

@@ -1,0 +1,39 @@
+//! Common foundation types shared by every crate in the Active-Routing
+//! reproduction workspace.
+//!
+//! The crate is intentionally dependency-light: it only defines plain data
+//! types — simulated physical [`addr::Addr`]esses, component identifiers,
+//! reduction [`op::ReduceOp`]erations, network [`packet::Packet`]s, the
+//! per-thread [`work::WorkItem`] representation consumed by the core model,
+//! and the [`config::SystemConfig`] describing Table 4.1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_types::config::{SystemConfig, MemoryMode, OffloadScheme};
+//!
+//! let cfg = SystemConfig::paper().with_scheme(OffloadScheme::ArfTid);
+//! assert_eq!(cfg.memory_mode, MemoryMode::HmcNetwork);
+//! assert_eq!(cfg.cores.count, 16);
+//! ```
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod op;
+pub mod packet;
+pub mod work;
+
+pub use addr::Addr;
+pub use config::{MemoryMode, OffloadScheme, SystemConfig};
+pub use error::ConfigError;
+pub use ids::{CoreId, CubeId, FlowId, PortId, ThreadId, VaultId};
+pub use op::ReduceOp;
+pub use packet::{ActiveKind, Packet, PacketKind};
+pub use work::{WorkItem, WorkStream};
+
+/// A simulation timestamp, measured in memory-network clock cycles (1 GHz in
+/// the paper's configuration). The host cores run at 2 GHz, i.e. two core
+/// cycles per network cycle.
+pub type Cycle = u64;

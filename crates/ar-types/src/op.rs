@@ -1,0 +1,201 @@
+//! Reduction / update operations supported by the Active-Routing Engine ALU.
+//!
+//! These correspond to the `op` argument of the `Update()` programming
+//! interface (Section 3.1 of the paper). An update either contributes to a
+//! commutative reduction over a flow (`sum += ...`) or performs a simple
+//! in-memory write (`mov`, `const_assign`) used by kernels such as PageRank.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation carried by an `Update` packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// `target += src1` — single-operand reduction (bypasses the operand buffer).
+    Sum,
+    /// `target += src1 * src2` — multiply-accumulate over two source operands.
+    Mac,
+    /// `target += |src1 - src2|` — absolute-difference accumulation (PageRank's
+    /// convergence test).
+    AbsDiff,
+    /// `target = src1` — plain in-memory move, no reduction.
+    Mov,
+    /// `target = constant` — assign an immediate carried in the packet.
+    ConstAssign,
+    /// `target = min(target, src1)` — minimum reduction.
+    Min,
+    /// `target = max(target, src1)` — maximum reduction.
+    Max,
+    /// `target = target` — no-op, used in tests and as a placeholder.
+    Nop,
+}
+
+impl ReduceOp {
+    /// Number of source memory operands the operation needs to fetch.
+    pub const fn operand_count(self) -> usize {
+        match self {
+            ReduceOp::Sum | ReduceOp::Mov | ReduceOp::Min | ReduceOp::Max => 1,
+            ReduceOp::Mac | ReduceOp::AbsDiff => 2,
+            ReduceOp::ConstAssign | ReduceOp::Nop => 0,
+        }
+    }
+
+    /// Returns true if the operation accumulates into a flow result that must
+    /// later be gathered (commutative reduction), false if it only writes to
+    /// memory (`mov` / `const_assign`) or does nothing.
+    pub const fn is_reduction(self) -> bool {
+        matches!(
+            self,
+            ReduceOp::Sum | ReduceOp::Mac | ReduceOp::AbsDiff | ReduceOp::Min | ReduceOp::Max
+        )
+    }
+
+    /// Returns true if two independently computed partial results of this
+    /// operation can be merged with [`ReduceOp::merge`]. Only reductions are
+    /// mergeable.
+    pub const fn is_commutative(self) -> bool {
+        self.is_reduction()
+    }
+
+    /// The identity element of the reduction (the initial value of a flow
+    /// result register).
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        }
+    }
+
+    /// Applies the update locally: combines the current accumulator value with
+    /// the operand values and returns the new accumulator value.
+    ///
+    /// `src2` is ignored by single-operand operations. For `Mov` and
+    /// `ConstAssign` the "accumulator" is simply replaced.
+    pub fn apply(self, acc: f64, src1: f64, src2: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + src1,
+            ReduceOp::Mac => acc + src1 * src2,
+            ReduceOp::AbsDiff => acc + (src1 - src2).abs(),
+            ReduceOp::Mov | ReduceOp::ConstAssign => src1,
+            ReduceOp::Min => acc.min(src1),
+            ReduceOp::Max => acc.max(src1),
+            ReduceOp::Nop => acc,
+        }
+    }
+
+    /// Merges two partial reduction results (used when gather responses from
+    /// children of the ARTree are combined with the local result).
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but merging a non-commutative operation simply keeps
+    /// the left value, which callers should avoid by checking
+    /// [`ReduceOp::is_commutative`] first.
+    pub fn merge(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Mac | ReduceOp::AbsDiff => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Mov | ReduceOp::ConstAssign | ReduceOp::Nop => a,
+        }
+    }
+
+    /// Latency of the operation in ARE ALU cycles (1 GHz network clock).
+    pub const fn alu_latency(self) -> u64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Min | ReduceOp::Max => 2,
+            ReduceOp::Mac | ReduceOp::AbsDiff => 4,
+            ReduceOp::Mov | ReduceOp::ConstAssign | ReduceOp::Nop => 1,
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Mac => "mac",
+            ReduceOp::AbsDiff => "absdiff",
+            ReduceOp::Mov => "mov",
+            ReduceOp::ConstAssign => "const_assign",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+            ReduceOp::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_counts_match_semantics() {
+        assert_eq!(ReduceOp::Sum.operand_count(), 1);
+        assert_eq!(ReduceOp::Mac.operand_count(), 2);
+        assert_eq!(ReduceOp::AbsDiff.operand_count(), 2);
+        assert_eq!(ReduceOp::ConstAssign.operand_count(), 0);
+    }
+
+    #[test]
+    fn apply_computes_expected_values() {
+        assert_eq!(ReduceOp::Sum.apply(1.0, 2.0, 0.0), 3.0);
+        assert_eq!(ReduceOp::Mac.apply(1.0, 2.0, 3.0), 7.0);
+        assert_eq!(ReduceOp::AbsDiff.apply(0.0, 2.0, 5.0), 3.0);
+        assert_eq!(ReduceOp::Mov.apply(9.0, 2.0, 0.0), 2.0);
+        assert_eq!(ReduceOp::Min.apply(4.0, 2.0, 0.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(4.0, 7.0, 0.0), 7.0);
+        assert_eq!(ReduceOp::Nop.apply(4.0, 7.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn merge_is_consistent_with_apply_for_sums() {
+        // Splitting a sum across two partial accumulators and merging must give
+        // the same answer as accumulating serially.
+        let items = [1.0, 2.5, -3.0, 4.25, 10.0, -0.5];
+        let serial = items.iter().fold(0.0, |acc, &x| ReduceOp::Sum.apply(acc, x, 0.0));
+        let left = items[..3].iter().fold(0.0, |acc, &x| ReduceOp::Sum.apply(acc, x, 0.0));
+        let right = items[3..].iter().fold(0.0, |acc, &x| ReduceOp::Sum.apply(acc, x, 0.0));
+        assert!((ReduceOp::Sum.merge(left, right) - serial).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral_element() {
+        for op in [ReduceOp::Sum, ReduceOp::Mac, ReduceOp::Min, ReduceOp::Max] {
+            let x = 42.0;
+            assert_eq!(op.merge(op.identity(), x), x);
+        }
+    }
+
+    #[test]
+    fn reduction_classification() {
+        assert!(ReduceOp::Mac.is_reduction());
+        assert!(ReduceOp::Sum.is_commutative());
+        assert!(!ReduceOp::Mov.is_reduction());
+        assert!(!ReduceOp::ConstAssign.is_commutative());
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        assert_eq!(ReduceOp::Mac.to_string(), "mac");
+        assert_eq!(ReduceOp::ConstAssign.to_string(), "const_assign");
+    }
+
+    #[test]
+    fn alu_latency_positive() {
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Mac,
+            ReduceOp::AbsDiff,
+            ReduceOp::Mov,
+            ReduceOp::ConstAssign,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::Nop,
+        ] {
+            assert!(op.alu_latency() >= 1);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Packet formats exchanged over the memory network.
+//!
+//! The HMC link protocol is packetised; this module models both the normal
+//! memory request/response packets and the *active* packets introduced by
+//! Active-Routing (Update, operand request/response, Gather request/response,
+//! see Fig. 3.4 of the paper). Packet sizes are tracked in bytes so that the
+//! traffic counters (Fig. 5.4) and the energy model (Figs. 5.5-5.7) can charge
+//! pJ/bit costs per traversed hop.
+
+use crate::addr::Addr;
+use crate::ids::{CubeId, FlowId, NetNode, PortId, ThreadId};
+use crate::op::ReduceOp;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Size in bytes of a packet header (request/response overhead in the HMC
+/// link protocol).
+pub const HEADER_BYTES: u32 = 16;
+/// Size in bytes of a full cache-block data payload.
+pub const DATA_BYTES: u32 = 64;
+/// Size in bytes of a single scalar operand payload.
+pub const OPERAND_BYTES: u32 = 8;
+
+/// Identifier of an operand buffer entry inside a particular cube's ARE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperandSlot {
+    /// The cube whose ARE owns the operand buffer.
+    pub cube: CubeId,
+    /// Index of the entry within that ARE's operand buffer pool.
+    pub index: usize,
+}
+
+/// Payload of an active (Active-Routing) packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActiveKind {
+    /// An offloaded `Update(src1, src2, target, op)` command travelling from
+    /// the host access port towards the cube where it will be computed,
+    /// registering ARTree state at every cube it traverses.
+    Update {
+        /// Flow this update belongs to.
+        flow: FlowId,
+        /// Operation to perform.
+        op: ReduceOp,
+        /// First source operand address.
+        src1: Addr,
+        /// Optional second source operand address.
+        src2: Option<Addr>,
+        /// Optional immediate value (for `const_assign`).
+        imm: Option<f64>,
+        /// The cube where the update will be computed: the cube of the single
+        /// operand, or the split point (last common cube of both operand
+        /// routes) for two-operand operations.
+        compute_cube: CubeId,
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Unique id of the update operation (for latency tracking).
+        update_id: u64,
+        /// Core cycle at which the MI injected the update.
+        issued_at: Cycle,
+    },
+    /// A request from an ARE to a vault (possibly in a remote cube) for one
+    /// source operand of a pending update.
+    OperandReq {
+        /// Flow the parent update belongs to.
+        flow: FlowId,
+        /// Operand buffer entry that is waiting for this operand
+        /// (`None` when the single-operand bypass is used).
+        slot: Option<OperandSlot>,
+        /// Address of the operand.
+        addr: Addr,
+        /// Which operand of the update this is (0 or 1).
+        which: u8,
+        /// Unique id of the update operation.
+        update_id: u64,
+        /// Operation of the parent update (needed for the bypass path).
+        op: ReduceOp,
+    },
+    /// The vault's reply carrying the operand value back to the requesting ARE.
+    OperandResp {
+        /// Flow the parent update belongs to.
+        flow: FlowId,
+        /// Operand buffer entry waiting for this operand.
+        slot: Option<OperandSlot>,
+        /// Which operand of the update this is (0 or 1).
+        which: u8,
+        /// The operand value read from memory.
+        value: f64,
+        /// Unique id of the update operation.
+        update_id: u64,
+        /// Operation of the parent update.
+        op: ReduceOp,
+    },
+    /// A gather request travelling from the host to the root of an ARTree and
+    /// then replicated down the tree to its children.
+    GatherReq {
+        /// Flow to gather.
+        flow: FlowId,
+        /// Reduction operation of the flow.
+        op: ReduceOp,
+        /// Number of gather requests the *root* must receive before starting
+        /// the reduction (implicit barrier across threads).
+        expected_at_root: u32,
+        /// Issuing thread.
+        thread: ThreadId,
+    },
+    /// A gather response travelling upwards along the ARTree carrying the
+    /// partial result of the subtree rooted at the sender.
+    GatherResp {
+        /// Flow being gathered.
+        flow: FlowId,
+        /// Partial reduction value of the subtree.
+        value: f64,
+        /// Number of committed updates in the subtree (for sanity checking).
+        updates: u64,
+    },
+}
+
+impl ActiveKind {
+    /// Returns the flow this active packet belongs to.
+    pub fn flow(&self) -> FlowId {
+        match *self {
+            ActiveKind::Update { flow, .. }
+            | ActiveKind::OperandReq { flow, .. }
+            | ActiveKind::OperandResp { flow, .. }
+            | ActiveKind::GatherReq { flow, .. }
+            | ActiveKind::GatherResp { flow, .. } => flow,
+        }
+    }
+
+    /// Payload size in bytes (excluding the packet header).
+    pub fn payload_bytes(&self) -> u32 {
+        match self {
+            ActiveKind::Update { src2, .. } => {
+                // target + src1 (+ src2) + opcode/immediate
+                8 + 8 + if src2.is_some() { 8 } else { 0 } + 8
+            }
+            ActiveKind::OperandReq { .. } => 8,
+            ActiveKind::OperandResp { .. } => OPERAND_BYTES,
+            ActiveKind::GatherReq { .. } => 8,
+            ActiveKind::GatherResp { .. } => OPERAND_BYTES + 8,
+        }
+    }
+}
+
+/// The kind of a memory-network packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Normal read request for one cache block.
+    ReadReq {
+        /// Host-side request id used to match the response.
+        req_id: u64,
+        /// Block-aligned address.
+        addr: Addr,
+    },
+    /// Normal write request carrying one cache block.
+    WriteReq {
+        /// Host-side request id.
+        req_id: u64,
+        /// Block-aligned address.
+        addr: Addr,
+    },
+    /// Read response carrying one cache block.
+    ReadResp {
+        /// Host-side request id this responds to.
+        req_id: u64,
+        /// Block-aligned address.
+        addr: Addr,
+    },
+    /// Write acknowledgement.
+    WriteAck {
+        /// Host-side request id this responds to.
+        req_id: u64,
+        /// Block-aligned address.
+        addr: Addr,
+    },
+    /// An Active-Routing packet.
+    Active(ActiveKind),
+}
+
+impl PacketKind {
+    /// Returns true if this is an active (Active-Routing) packet.
+    pub fn is_active(&self) -> bool {
+        matches!(self, PacketKind::Active(_))
+    }
+
+    /// Returns true if this packet is a response travelling back towards the
+    /// host or a parent node (used for virtual-channel selection to avoid
+    /// request/response protocol deadlock).
+    pub fn is_response(&self) -> bool {
+        matches!(
+            self,
+            PacketKind::ReadResp { .. }
+                | PacketKind::WriteAck { .. }
+                | PacketKind::Active(ActiveKind::OperandResp { .. })
+                | PacketKind::Active(ActiveKind::GatherResp { .. })
+        )
+    }
+
+    /// Total packet size in bytes, header included.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            PacketKind::ReadReq { .. } => HEADER_BYTES,
+            PacketKind::WriteReq { .. } => HEADER_BYTES + DATA_BYTES,
+            PacketKind::ReadResp { .. } => HEADER_BYTES + DATA_BYTES,
+            PacketKind::WriteAck { .. } => HEADER_BYTES,
+            PacketKind::Active(a) => HEADER_BYTES + a.payload_bytes(),
+        }
+    }
+}
+
+/// A packet in flight in the memory network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id.
+    pub id: u64,
+    /// Origin node.
+    pub src: NetNode,
+    /// Destination node.
+    pub dst: NetNode,
+    /// Payload description.
+    pub kind: PacketKind,
+    /// Network cycle at which the packet was injected at `src`.
+    pub injected_at: Cycle,
+    /// Number of network links traversed so far (updated by the routers).
+    pub hops: u32,
+}
+
+impl Packet {
+    /// Creates a new packet. `hops` starts at zero.
+    pub fn new(id: u64, src: NetNode, dst: NetNode, kind: PacketKind, injected_at: Cycle) -> Self {
+        Packet { id, src, dst, kind, injected_at, hops: 0 }
+    }
+
+    /// Total size of the packet in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.kind.size_bytes()
+    }
+
+    /// Number of 16-byte flits the packet occupies on a link.
+    pub fn flits(&self) -> u32 {
+        self.size_bytes().div_ceil(16).max(1)
+    }
+
+    /// Convenience constructor for a packet issued by a host port.
+    pub fn from_host(id: u64, port: PortId, dst: CubeId, kind: PacketKind, now: Cycle) -> Self {
+        Packet::new(id, NetNode::Host(port), NetNode::Cube(dst), kind, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowId {
+        FlowId::new(0x4000, PortId::new(1))
+    }
+
+    #[test]
+    fn read_response_is_larger_than_request() {
+        let req = PacketKind::ReadReq { req_id: 1, addr: Addr::new(0) };
+        let resp = PacketKind::ReadResp { req_id: 1, addr: Addr::new(0) };
+        assert!(resp.size_bytes() > req.size_bytes());
+        assert_eq!(resp.size_bytes(), HEADER_BYTES + DATA_BYTES);
+    }
+
+    #[test]
+    fn active_packets_report_their_flow() {
+        let k = ActiveKind::GatherReq {
+            flow: flow(),
+            op: ReduceOp::Sum,
+            expected_at_root: 16,
+            thread: ThreadId::new(0),
+        };
+        assert_eq!(k.flow(), flow());
+        assert!(PacketKind::Active(k).is_active());
+    }
+
+    #[test]
+    fn two_operand_update_is_larger_than_single() {
+        let single = ActiveKind::Update {
+            flow: flow(),
+            op: ReduceOp::Sum,
+            src1: Addr::new(64),
+            src2: None,
+            imm: None,
+            compute_cube: CubeId::new(0),
+            thread: ThreadId::new(0),
+            update_id: 0,
+            issued_at: 0,
+        };
+        let double = ActiveKind::Update {
+            flow: flow(),
+            op: ReduceOp::Mac,
+            src1: Addr::new(64),
+            src2: Some(Addr::new(128)),
+            imm: None,
+            compute_cube: CubeId::new(0),
+            thread: ThreadId::new(0),
+            update_id: 1,
+            issued_at: 0,
+        };
+        assert!(double.payload_bytes() > single.payload_bytes());
+    }
+
+    #[test]
+    fn response_classification_for_vc_selection() {
+        assert!(PacketKind::ReadResp { req_id: 0, addr: Addr::new(0) }.is_response());
+        assert!(!PacketKind::ReadReq { req_id: 0, addr: Addr::new(0) }.is_response());
+        let gr = PacketKind::Active(ActiveKind::GatherResp { flow: flow(), value: 0.0, updates: 0 });
+        assert!(gr.is_response());
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let p = Packet::from_host(
+            0,
+            PortId::new(0),
+            CubeId::new(3),
+            PacketKind::ReadResp { req_id: 0, addr: Addr::new(0) },
+            0,
+        );
+        assert_eq!(p.size_bytes(), 80);
+        assert_eq!(p.flits(), 5);
+        assert_eq!(p.hops, 0);
+    }
+}

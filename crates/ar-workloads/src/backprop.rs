@@ -1,0 +1,101 @@
+//! The `backprop` benchmark (Rodinia): feed-forward pass of one hidden layer.
+//!
+//! Every hidden unit `j` aggregates `sum_i input[i] * weight[j][i]` before its
+//! activation. The paper uses a single hidden layer with 2,097,152 hidden
+//! units; here the layer dimensions scale with [`SizeClass`] (documented in
+//! DESIGN.md), keeping the property that the weight matrix far exceeds the L1
+//! and, at the larger sizes, the shared L2.
+
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::ActiveKernel;
+use ar_types::ReduceOp;
+
+/// `(input_dim, hidden_units)` per size class.
+fn dims(size: SizeClass) -> (usize, usize) {
+    let f = size.factor();
+    (32 * f, 8 * f)
+}
+
+/// Generates the backprop feed-forward workload.
+pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+    let (input_dim, hidden) = dims(size);
+    let mut layout = MemoryLayout::default();
+    let input_base = layout.alloc_array(input_dim);
+    let weight_base = layout.alloc_array(input_dim * hidden);
+    let hidden_base = layout.alloc_array(hidden);
+
+    let mut kernel = ActiveKernel::new(threads);
+    kernel.write_array(input_base, &(0..input_dim).map(|i| element_value(1, i)).collect::<Vec<_>>());
+    kernel.write_array(
+        weight_base,
+        &(0..input_dim * hidden).map(|i| element_value(2, i)).collect::<Vec<_>>(),
+    );
+
+    // Threads partition the hidden units; each hidden unit is one reduction
+    // flow targeting its activation accumulator.
+    for (t, (start, end)) in partition(hidden, threads).into_iter().enumerate() {
+        for j in start..end {
+            let h_j = MemoryLayout::element(hidden_base, j);
+            for i in 0..input_dim {
+                let in_i = MemoryLayout::element(input_base, i);
+                let w_ji = MemoryLayout::element(weight_base, j * input_dim + i);
+                match variant {
+                    Variant::Baseline => {
+                        kernel.load(t, in_i);
+                        kernel.load(t, w_ji);
+                        kernel.compute(t, 2);
+                    }
+                    Variant::Active | Variant::Adaptive => {
+                        kernel.update(t, ReduceOp::Mac, in_i, Some(w_ji), None, h_j);
+                    }
+                }
+            }
+            match variant {
+                Variant::Baseline => {
+                    // Sigmoid activation + store of the hidden unit.
+                    kernel.compute(t, 8);
+                    kernel.store(t, h_j);
+                }
+                Variant::Active | Variant::Adaptive => {
+                    kernel.gather_async(t, h_j, ReduceOp::Mac, 1);
+                    kernel.compute(t, 8);
+                }
+            }
+        }
+    }
+    GeneratedWorkload::from_kernel("backprop", variant, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_match_matrix_vector_product() {
+        let w = generate(2, SizeClass::Tiny, Variant::Active);
+        let (input_dim, hidden) = dims(SizeClass::Tiny);
+        assert_eq!(w.references.len(), hidden, "one flow per hidden unit");
+        // Spot-check hidden unit 0: sum_i in[i] * w[0][i].
+        let expected: f64 =
+            (0..input_dim).map(|i| element_value(1, i) * element_value(2, i)).sum();
+        let first = w.references.iter().map(|(_, v)| *v).next().unwrap();
+        assert!((first - expected).abs() < 1e-9);
+        assert_eq!(w.updates, (input_dim * hidden) as u64);
+    }
+
+    #[test]
+    fn baseline_streams_have_no_offloads() {
+        let w = generate(4, SizeClass::Tiny, Variant::Baseline);
+        assert_eq!(w.updates, 0);
+        assert!(w.references.is_empty());
+        assert!(w.total_instructions() > 0);
+    }
+
+    #[test]
+    fn hidden_units_are_distributed_across_threads() {
+        let w = generate(4, SizeClass::Tiny, Variant::Active);
+        let non_empty = w.streams.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Synthetic graph generator for the PageRank benchmark.
+//!
+//! The paper evaluates PageRank on the SNAP web-Google graph. That dataset is
+//! not shipped with this reproduction; instead a deterministic preferential-
+//! attachment generator produces a graph with the property that matters for
+//! the memory system: a heavily skewed (power-law-like) degree distribution,
+//! which makes the per-vertex score accumulation touch memory irregularly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in compressed adjacency-list form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    vertices: usize,
+    /// For each vertex, the list of vertices it links to.
+    out_edges: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Generates a preferential-attachment graph with `vertices` vertices and
+    /// roughly `edges_per_vertex` out-edges per vertex, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is zero or `edges_per_vertex` is zero.
+    pub fn preferential_attachment(vertices: usize, edges_per_vertex: usize, seed: u64) -> Self {
+        assert!(vertices > 0, "graph needs at least one vertex");
+        assert!(edges_per_vertex > 0, "graph needs at least one edge per vertex");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); vertices];
+        // Endpoint pool for preferential attachment: vertices appear once per
+        // incident edge, so sampling uniformly from the pool is degree-biased.
+        let mut pool: Vec<usize> = vec![0];
+        for v in 1..vertices {
+            for _ in 0..edges_per_vertex {
+                let target = if rng.gen_bool(0.7) {
+                    pool[rng.gen_range(0..pool.len())]
+                } else {
+                    rng.gen_range(0..v)
+                };
+                out_edges[v].push(target);
+                pool.push(target);
+            }
+            pool.push(v);
+        }
+        Graph { vertices, out_edges }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Total number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Out-neighbours of a vertex.
+    pub fn out_neighbors(&self, v: usize) -> &[usize] {
+        &self.out_edges[v]
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_edges[v].len()
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.vertices];
+        for targets in &self.out_edges {
+            for &t in targets {
+                deg[t] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Maximum in-degree (a measure of skew).
+    pub fn max_in_degree(&self) -> usize {
+        self.in_degrees().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Graph::preferential_attachment(200, 4, 42);
+        let b = Graph::preferential_attachment(200, 4, 42);
+        assert_eq!(a, b);
+        let c = Graph::preferential_attachment(200, 4, 43);
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn edge_count_matches_request() {
+        let g = Graph::preferential_attachment(100, 3, 1);
+        assert_eq!(g.vertices(), 100);
+        assert_eq!(g.edges(), 99 * 3);
+        assert_eq!(g.out_degree(0), 0, "vertex 0 has no earlier vertices to link to");
+        assert_eq!(g.out_degree(50), 3);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = Graph::preferential_attachment(2000, 4, 7);
+        let degrees = g.in_degrees();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            g.max_in_degree() as f64 > 10.0 * mean,
+            "preferential attachment must produce hub vertices (max {} vs mean {mean:.1})",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn all_edges_point_to_valid_vertices() {
+        let g = Graph::preferential_attachment(300, 2, 3);
+        for v in 0..g.vertices() {
+            for &t in g.out_neighbors(v) {
+                assert!(t < g.vertices());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_graph_panics() {
+        let _ = Graph::preferential_attachment(0, 2, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Memory layout helper for the workload generators.
+//!
+//! Workloads place their arrays in the simulated physical address space with
+//! a simple page-aligned bump allocator. Because the memory network
+//! interleaves consecutive 4 KiB pages across the 16 cubes, a multi-page
+//! array naturally spreads over many cubes — which is what makes the
+//! operand placement (and therefore the ARTree shape) interesting.
+
+use ar_types::addr::PAGE_BYTES;
+use ar_types::Addr;
+
+/// Size in bytes of one array element (all workloads use f64 data).
+pub const ELEMENT_BYTES: u64 = 8;
+
+/// A page-aligned bump allocator over the simulated physical address space.
+#[derive(Debug, Clone)]
+pub struct MemoryLayout {
+    next: u64,
+}
+
+impl MemoryLayout {
+    /// Creates a layout starting at the given base address (rounded up to a
+    /// page boundary).
+    pub fn new(base: u64) -> Self {
+        MemoryLayout { next: round_up(base, PAGE_BYTES) }
+    }
+
+    /// Allocates space for `elements` f64 elements, page-aligned, and returns
+    /// the base address.
+    pub fn alloc_array(&mut self, elements: usize) -> Addr {
+        let base = self.next;
+        let bytes = round_up(elements as u64 * ELEMENT_BYTES, PAGE_BYTES).max(PAGE_BYTES);
+        self.next += bytes;
+        Addr::new(base)
+    }
+
+    /// Allocates one cache block (for a scalar accumulator such as `sum` or
+    /// `diff`), in its own page so the flow target does not alias array data.
+    pub fn alloc_scalar(&mut self) -> Addr {
+        self.alloc_array(1)
+    }
+
+    /// The address of element `i` of an array starting at `base`.
+    pub fn element(base: Addr, i: usize) -> Addr {
+        base.offset(i as u64 * ELEMENT_BYTES)
+    }
+
+    /// Next free address (useful to confirm footprints in tests).
+    pub fn high_water(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        // Leave the bottom of the address space for scalars shared with the
+        // host (stack, locks, ...); workload data starts at 256 MiB.
+        MemoryLayout::new(256 * 1024 * 1024)
+    }
+}
+
+fn round_up(value: u64, to: u64) -> u64 {
+    value.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::addr::AddressMap;
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut l = MemoryLayout::default();
+        let a = l.alloc_array(1000);
+        let b = l.alloc_array(1000);
+        assert_eq!(a.as_u64() % PAGE_BYTES, 0);
+        assert_eq!(b.as_u64() % PAGE_BYTES, 0);
+        assert!(b.as_u64() >= a.as_u64() + 1000 * ELEMENT_BYTES);
+        assert!(l.high_water() > b.as_u64());
+    }
+
+    #[test]
+    fn large_array_spreads_over_many_cubes() {
+        let mut l = MemoryLayout::default();
+        let base = l.alloc_array(16 * 512); // 16 pages
+        let map = AddressMap::default();
+        let mut cubes = std::collections::BTreeSet::new();
+        for i in 0..16 * 512 {
+            cubes.insert(map.cube_of(MemoryLayout::element(base, i)));
+        }
+        assert_eq!(cubes.len(), 16, "16-page array must touch all 16 cubes");
+    }
+
+    #[test]
+    fn scalar_allocations_land_in_distinct_pages() {
+        let mut l = MemoryLayout::default();
+        let a = l.alloc_scalar();
+        let b = l.alloc_scalar();
+        assert_ne!(a.page_index(), b.page_index());
+    }
+
+    #[test]
+    fn element_addressing_is_contiguous() {
+        let base = Addr::new(0x1000);
+        assert_eq!(MemoryLayout::element(base, 0), base);
+        assert_eq!(MemoryLayout::element(base, 3).as_u64(), 0x1000 + 24);
+    }
+}

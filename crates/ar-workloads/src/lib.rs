@@ -1,0 +1,368 @@
+//! Workloads of the Active-Routing evaluation (Section 4.2).
+//!
+//! Five benchmarks re-implemented from Rodinia / Parboil / CRONO plus four
+//! data-intensive microbenchmarks, each in two (for `lud`, three) variants:
+//!
+//! | kind | domain | core pattern |
+//! |------|--------|--------------|
+//! | [`WorkloadKind::Backprop`] | machine learning | `h[j] += in[i] * w[j][i]` |
+//! | [`WorkloadKind::Lud`]      | linear algebra   | trailing-submatrix dot products |
+//! | [`WorkloadKind::Pagerank`] | graph analytics  | `diff += |next - cur|` + rank swap |
+//! | [`WorkloadKind::Sgemm`]    | linear algebra   | `C[i][j] += A[i][k] * B[k][j]` |
+//! | [`WorkloadKind::Spmv`]     | linear algebra   | sparse `y[i] += A[i][k] * x[k]` |
+//! | [`WorkloadKind::Reduce`] / [`WorkloadKind::RandReduce`] | micro | `sum += A[i]` |
+//! | [`WorkloadKind::Mac`] / [`WorkloadKind::RandMac`] | micro | `sum += A[i] * B[i]` |
+//!
+//! Each generator produces per-thread [`WorkStream`]s (via the
+//! [`active_routing::ActiveKernel`] programming interface), the initial
+//! memory image, and functionally computed reference results for every
+//! reduction target, so the full-system simulation can be checked for
+//! numerical correctness as well as timed.
+//!
+//! The [`Variant::Baseline`] streams express the same kernel with ordinary
+//! loads, stores, compute blocks and `atomic +=` merges — what the DRAM and
+//! HMC configurations run. [`Variant::Active`] replaces the reduction region
+//! with `Update`/`Gather` offloads. [`Variant::Adaptive`] applies the
+//! dynamic-offloading knob of Section 5.4 (meaningful for `lud`, identical to
+//! `Active` elsewhere).
+
+pub mod backprop;
+pub mod graph;
+pub mod layout;
+pub mod lud;
+pub mod micro;
+pub mod pagerank;
+pub mod sgemm;
+pub mod spmv;
+
+pub use graph::Graph;
+pub use layout::MemoryLayout;
+
+use active_routing::ActiveKernel;
+use ar_types::{Addr, WorkStream};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which flavour of a workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The unoptimised kernel: loads, stores, compute and atomic merges on
+    /// the host (run by the DRAM and HMC configurations).
+    Baseline,
+    /// The Active-Routing-optimised kernel: the reduction region is offloaded
+    /// with `Update`/`Gather` (run by ART / ARF-tid / ARF-addr).
+    Active,
+    /// Active with the dynamic-offloading knob of Section 5.4: phases whose
+    /// updates-per-flow fall below the locality threshold stay on the host.
+    Adaptive,
+}
+
+impl Variant {
+    /// Returns true if the variant offloads at least some work.
+    pub fn offloads(self) -> bool {
+        !matches!(self, Variant::Baseline)
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::Baseline => "baseline",
+            Variant::Active => "active",
+            Variant::Adaptive => "adaptive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Problem-size class. The paper's full inputs (4096×4096 matrices, 2M hidden
+/// units, the web-Google graph) are impractical for a software model running
+/// inside a test suite; each class scales every workload consistently and
+/// [`SizeClass::Paper`] is the largest still-tractable setting whose behaviour
+/// (working set ≫ LLC for the large classes) matches the paper's regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Minimal size for unit tests (sub-second full-system runs).
+    Tiny,
+    /// Small size for integration tests and quick experiments.
+    Small,
+    /// Default size for the figure-regeneration harness.
+    Medium,
+    /// Largest size, used by the `--full` experiment runs.
+    Paper,
+}
+
+impl SizeClass {
+    /// A scale factor used by the per-workload dimension tables.
+    pub fn factor(self) -> usize {
+        match self {
+            SizeClass::Tiny => 1,
+            SizeClass::Small => 2,
+            SizeClass::Medium => 4,
+            SizeClass::Paper => 8,
+        }
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SizeClass::Tiny => "tiny",
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Paper => "paper",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything a workload generator produces.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Workload name (e.g. `"pagerank"`).
+    pub name: &'static str,
+    /// The variant that was generated.
+    pub variant: Variant,
+    /// Per-thread work streams for the core model.
+    pub streams: Vec<WorkStream>,
+    /// Initial memory image: `(address, value)` pairs.
+    pub memory: Vec<(Addr, f64)>,
+    /// Reference reduction results: `(target, expected value)` pairs (empty
+    /// for baseline variants, which never offload).
+    pub references: Vec<(Addr, f64)>,
+    /// Number of `Update` calls in the streams.
+    pub updates: u64,
+}
+
+impl GeneratedWorkload {
+    /// Builds the result from a populated [`ActiveKernel`].
+    pub(crate) fn from_kernel(name: &'static str, variant: Variant, kernel: ActiveKernel) -> Self {
+        GeneratedWorkload {
+            name,
+            variant,
+            memory: kernel.memory_image(),
+            references: kernel.references(),
+            updates: kernel.update_count(),
+            streams: kernel.into_streams(),
+        }
+    }
+
+    /// Total work items across all threads.
+    pub fn total_items(&self) -> usize {
+        self.streams.iter().map(WorkStream::len).sum()
+    }
+
+    /// Total dynamic instructions represented by the streams.
+    pub fn total_instructions(&self) -> u64 {
+        self.streams.iter().map(WorkStream::instruction_count).sum()
+    }
+}
+
+/// The nine workloads of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Neural-network training feed-forward pass (Rodinia `backprop`).
+    Backprop,
+    /// LU decomposition (Rodinia `lud`).
+    Lud,
+    /// PageRank score update (CRONO `pagerank`).
+    Pagerank,
+    /// Dense matrix multiplication (Parboil `sgemm`).
+    Sgemm,
+    /// Sparse matrix-vector multiplication (Parboil `spmv`).
+    Spmv,
+    /// Sequential sum reduction microbenchmark.
+    Reduce,
+    /// Random-access sum reduction microbenchmark.
+    RandReduce,
+    /// Sequential multiply-accumulate microbenchmark.
+    Mac,
+    /// Random-access multiply-accumulate microbenchmark.
+    RandMac,
+}
+
+impl WorkloadKind {
+    /// The five application benchmarks (Fig. 5.1a etc.).
+    pub const BENCHMARKS: [WorkloadKind; 5] = [
+        WorkloadKind::Backprop,
+        WorkloadKind::Lud,
+        WorkloadKind::Pagerank,
+        WorkloadKind::Sgemm,
+        WorkloadKind::Spmv,
+    ];
+
+    /// The four microbenchmarks (Fig. 5.1b etc.).
+    pub const MICROBENCHMARKS: [WorkloadKind; 4] = [
+        WorkloadKind::Reduce,
+        WorkloadKind::RandReduce,
+        WorkloadKind::Mac,
+        WorkloadKind::RandMac,
+    ];
+
+    /// All nine workloads.
+    pub const ALL: [WorkloadKind; 9] = [
+        WorkloadKind::Backprop,
+        WorkloadKind::Lud,
+        WorkloadKind::Pagerank,
+        WorkloadKind::Sgemm,
+        WorkloadKind::Spmv,
+        WorkloadKind::Reduce,
+        WorkloadKind::RandReduce,
+        WorkloadKind::Mac,
+        WorkloadKind::RandMac,
+    ];
+
+    /// The workload's display name (as used in the figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Backprop => "backprop",
+            WorkloadKind::Lud => "lud",
+            WorkloadKind::Pagerank => "pagerank",
+            WorkloadKind::Sgemm => "sgemm",
+            WorkloadKind::Spmv => "spmv",
+            WorkloadKind::Reduce => "reduce",
+            WorkloadKind::RandReduce => "rand_reduce",
+            WorkloadKind::Mac => "mac",
+            WorkloadKind::RandMac => "rand_mac",
+        }
+    }
+
+    /// Returns true for the four microbenchmarks.
+    pub fn is_microbenchmark(self) -> bool {
+        WorkloadKind::MICROBENCHMARKS.contains(&self)
+    }
+
+    /// Generates the workload's streams, memory image and references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn generate(self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        assert!(threads > 0, "workloads need at least one thread");
+        match self {
+            WorkloadKind::Backprop => backprop::generate(threads, size, variant),
+            WorkloadKind::Lud => lud::generate(threads, size, variant),
+            WorkloadKind::Pagerank => pagerank::generate(threads, size, variant),
+            WorkloadKind::Sgemm => sgemm::generate(threads, size, variant),
+            WorkloadKind::Spmv => spmv::generate(threads, size, variant),
+            WorkloadKind::Reduce => micro::reduce(threads, size, variant, false),
+            WorkloadKind::RandReduce => micro::reduce(threads, size, variant, true),
+            WorkloadKind::Mac => micro::mac(threads, size, variant, false),
+            WorkloadKind::RandMac => micro::mac(threads, size, variant, true),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Splits `total` items into per-thread `(start, end)` ranges as evenly as
+/// possible (the same static partitioning the Pthread kernels use).
+pub(crate) fn partition(total: usize, threads: usize) -> Vec<(usize, usize)> {
+    let base = total / threads;
+    let extra = total % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Deterministic pseudo-value for element `i` of array `array_id`: keeps the
+/// reference results reproducible without a random number generator.
+pub(crate) fn element_value(array_id: u64, i: usize) -> f64 {
+    let x = (i as u64).wrapping_mul(2654435761).wrapping_add(array_id * 97);
+    ((x % 1000) as f64) / 250.0 - 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_item_exactly_once() {
+        for total in [0usize, 1, 7, 16, 100, 101] {
+            for threads in [1usize, 2, 3, 16] {
+                let ranges = partition(total, threads);
+                assert_eq!(ranges.len(), threads);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for (s, e) in ranges {
+                    assert_eq!(s, prev_end);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn element_values_are_deterministic_and_bounded() {
+        for i in 0..1000 {
+            let v = element_value(1, i);
+            assert_eq!(v, element_value(1, i));
+            assert!((-2.0..=2.0).contains(&v));
+        }
+        assert_ne!(element_value(1, 3), element_value(2, 3));
+    }
+
+    #[test]
+    fn every_workload_generates_both_variants() {
+        for kind in WorkloadKind::ALL {
+            for variant in [Variant::Baseline, Variant::Active] {
+                let w = kind.generate(4, SizeClass::Tiny, variant);
+                assert_eq!(w.name, kind.name());
+                assert_eq!(w.variant, variant);
+                assert_eq!(w.streams.len(), 4);
+                assert!(w.total_items() > 0, "{kind} {variant} generated no work");
+                if variant == Variant::Active {
+                    assert!(w.updates > 0, "{kind} active variant must offload updates");
+                    assert!(!w.references.is_empty(), "{kind} must have reference results");
+                } else {
+                    assert_eq!(w.updates, 0, "{kind} baseline must not offload");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_variants_touch_less_stream_memory_traffic() {
+        // The offloaded variant replaces operand loads with update commands,
+        // so its streams must contain fewer explicit memory accesses.
+        for kind in [WorkloadKind::Mac, WorkloadKind::Reduce, WorkloadKind::Sgemm] {
+            let base = kind.generate(2, SizeClass::Tiny, Variant::Baseline);
+            let act = kind.generate(2, SizeClass::Tiny, Variant::Active);
+            let base_mem: u64 = base.streams.iter().map(WorkStream::memory_access_count).sum();
+            let act_mem: u64 = act.streams.iter().map(WorkStream::memory_access_count).sum();
+            assert!(
+                act_mem < base_mem,
+                "{kind}: active ({act_mem}) must issue fewer loads/stores than baseline ({base_mem})"
+            );
+        }
+    }
+
+    #[test]
+    fn size_classes_scale_the_work() {
+        let small = WorkloadKind::Mac.generate(2, SizeClass::Tiny, Variant::Active);
+        let big = WorkloadKind::Mac.generate(2, SizeClass::Medium, Variant::Active);
+        assert!(big.updates > small.updates);
+        assert!(SizeClass::Paper.factor() > SizeClass::Tiny.factor());
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let mut names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WorkloadKind::ALL.len());
+        assert!(WorkloadKind::Reduce.is_microbenchmark());
+        assert!(!WorkloadKind::Lud.is_microbenchmark());
+    }
+}

@@ -1,0 +1,143 @@
+//! The `lud` benchmark (Rodinia): LU decomposition of a dense matrix.
+//!
+//! The decomposition proceeds in phases `k = 1..n`: phase `k` updates every
+//! element of the trailing submatrix with a dot product of length `k`
+//! (`a[i][j] -= sum_{m<k} a[i][m] * a[m][j]`). Two properties matter for the
+//! evaluation:
+//!
+//! * the per-flow reduction length **grows with the phase index**, so early
+//!   phases have little reuse to amortise the offload cost while later phases
+//!   have a lot — this is the behaviour behind the dynamic-offloading case
+//!   study of Section 5.4 (Fig. 5.8);
+//! * the strided accesses to the column operand defeat the caches at large
+//!   sizes.
+//!
+//! [`Variant::Adaptive`] applies the paper's runtime knob: a phase is
+//! offloaded only when its updates-per-flow exceed the locality threshold
+//! `CACHE_BLK_SIZE/stride1 + CACHE_BLK_SIZE/stride2`; earlier phases run on
+//! the host exactly like the baseline.
+
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::{ActiveKernel, AdaptivePolicy};
+use ar_types::addr::CACHE_BLOCK_BYTES;
+use ar_types::ReduceOp;
+
+/// Matrix dimension per size class.
+fn dim(size: SizeClass) -> usize {
+    6 * size.factor()
+}
+
+/// Generates the lud workload.
+pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+    let n = dim(size);
+    let mut layout = MemoryLayout::default();
+    let a_base = layout.alloc_array(n * n);
+    // One accumulator per (phase, row) dot product, allocated densely.
+    let acc_base = layout.alloc_array(n * n);
+
+    let mut kernel = ActiveKernel::new(threads);
+    kernel.write_array(a_base, &(0..n * n).map(|i| element_value(1, i)).collect::<Vec<_>>());
+
+    // Row stride is 8 bytes (contiguous); column stride is n * 8 bytes.
+    let policy = AdaptivePolicy::new(CACHE_BLOCK_BYTES, 16);
+    let row_stride = 8;
+    let col_stride = (n * 8) as u64;
+
+    for k in 1..n {
+        // Phase k: for every remaining row i > k, reduce over m in 0..k.
+        let rows: Vec<usize> = (k..n).collect();
+        let offload = match variant {
+            Variant::Baseline => false,
+            Variant::Active => true,
+            Variant::Adaptive => policy.should_offload(k as u64, row_stride, col_stride),
+        };
+        for (t, (start, end)) in partition(rows.len(), threads).into_iter().enumerate() {
+            for &i in &rows[start..end] {
+                let acc = MemoryLayout::element(acc_base, k * n + i);
+                for m in 0..k {
+                    let a_im = MemoryLayout::element(a_base, i * n + m);
+                    let a_mi = MemoryLayout::element(a_base, m * n + i);
+                    if offload {
+                        kernel.update(t, ReduceOp::Mac, a_im, Some(a_mi), None, acc);
+                    } else {
+                        kernel.load(t, a_im);
+                        kernel.load(t, a_mi);
+                        kernel.compute(t, 2);
+                    }
+                }
+                if offload {
+                    kernel.gather_async(t, acc, ReduceOp::Mac, 1);
+                    kernel.compute(t, 2);
+                } else {
+                    kernel.compute(t, 2);
+                    kernel.store(t, MemoryLayout::element(a_base, i * n + k));
+                }
+            }
+        }
+        kernel.barrier_all(k as u32);
+    }
+    GeneratedWorkload::from_kernel("lud", variant, kernel)
+}
+
+/// The number of phases (useful for the Fig. 5.8 analysis).
+pub fn phases(size: SizeClass) -> usize {
+    dim(size) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::WorkItem;
+
+    #[test]
+    fn updates_per_flow_grow_with_the_phase() {
+        let n = dim(SizeClass::Tiny);
+        let w = generate(1, SizeClass::Tiny, Variant::Active);
+        // Total updates = sum over k of (n - k) * k.
+        let expected: u64 = (1..n).map(|k| ((n - k) * k) as u64).sum();
+        assert_eq!(w.updates, expected);
+        assert_eq!(phases(SizeClass::Tiny), n - 1);
+    }
+
+    #[test]
+    fn adaptive_variant_offloads_only_late_phases() {
+        let w_adaptive = generate(2, SizeClass::Small, Variant::Adaptive);
+        let w_active = generate(2, SizeClass::Small, Variant::Active);
+        let w_base = generate(2, SizeClass::Small, Variant::Baseline);
+        assert!(w_adaptive.updates > 0, "late phases must be offloaded");
+        assert!(
+            w_adaptive.updates < w_active.updates,
+            "early phases must stay on the host under the adaptive policy"
+        );
+        assert_eq!(w_base.updates, 0);
+        // Adaptive still performs the host work of the early phases.
+        let adaptive_mem: u64 = w_adaptive.streams.iter().map(|s| s.memory_access_count()).sum();
+        assert!(adaptive_mem > 0);
+    }
+
+    #[test]
+    fn phases_are_separated_by_barriers() {
+        let n = dim(SizeClass::Tiny);
+        let w = generate(2, SizeClass::Tiny, Variant::Baseline);
+        for s in &w.streams {
+            let barriers = s.iter().filter(|i| matches!(i, WorkItem::Barrier { .. })).count();
+            assert_eq!(barriers, n - 1);
+        }
+    }
+
+    #[test]
+    fn references_match_dot_products() {
+        let n = dim(SizeClass::Tiny);
+        let w = generate(1, SizeClass::Tiny, Variant::Active);
+        // Phase 1, row i = n-1: single product a[i][0] * a[0][i].
+        let i = n - 1;
+        let expected = element_value(1, i * n) * element_value(1, i);
+        let found = w
+            .references
+            .iter()
+            .any(|(_, v)| (v - expected).abs() < 1e-9);
+        assert!(found, "the phase-1 dot product for the last row must appear among the references");
+        assert_eq!(w.references.len(), (1..n).map(|k| n - k).sum::<usize>());
+    }
+}

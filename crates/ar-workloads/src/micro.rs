@@ -1,0 +1,191 @@
+//! The four data-intensive microbenchmarks of Section 4.2.2.
+//!
+//! `reduce` / `rand_reduce` sum all elements of one large array (sequential
+//! and random access order); `mac` / `rand_mac` accumulate the element-wise
+//! product of two large vectors. In the microbenchmarks the whole parallel
+//! phase is the optimisation region, which is why the paper sees the largest
+//! gains (and the largest data-movement reduction, Fig. 5.4b) here.
+
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::ActiveKernel;
+use ar_types::{Addr, ReduceOp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Number of array elements per size class (per vector for `mac`).
+fn elements(size: SizeClass) -> usize {
+    512 * size.factor() * size.factor()
+}
+
+/// Generates the `reduce` (sequential) or `rand_reduce` (random order)
+/// microbenchmark.
+pub fn reduce(threads: usize, size: SizeClass, variant: Variant, random: bool) -> GeneratedWorkload {
+    let n = elements(size);
+    let mut layout = MemoryLayout::default();
+    let a_base = layout.alloc_array(n);
+    let sum = layout.alloc_scalar();
+
+    let mut kernel = ActiveKernel::new(threads);
+    let values: Vec<f64> = (0..n).map(|i| element_value(1, i)).collect();
+    kernel.write_array(a_base, &values);
+
+    let order = access_order(n, random, 0x5eed_0001);
+    for (t, (start, end)) in partition(n, threads).into_iter().enumerate() {
+        for &i in &order[start..end] {
+            let a_i = MemoryLayout::element(a_base, i);
+            match variant {
+                Variant::Baseline => {
+                    kernel.load(t, a_i);
+                    kernel.compute(t, 1);
+                }
+                Variant::Active | Variant::Adaptive => {
+                    kernel.update(t, ReduceOp::Sum, a_i, None, None, sum);
+                }
+            }
+        }
+        finish_thread(&mut kernel, t, variant, sum, ReduceOp::Sum);
+    }
+    let name = if random { "rand_reduce" } else { "reduce" };
+    GeneratedWorkload::from_kernel(name, variant, kernel)
+}
+
+/// Generates the `mac` (sequential) or `rand_mac` (random pairs)
+/// microbenchmark: `sum += A[i] * B[i]`.
+pub fn mac(threads: usize, size: SizeClass, variant: Variant, random: bool) -> GeneratedWorkload {
+    let n = elements(size) / 2;
+    let mut layout = MemoryLayout::default();
+    let a_base = layout.alloc_array(n);
+    let b_base = layout.alloc_array(n);
+    let sum = layout.alloc_scalar();
+
+    let mut kernel = ActiveKernel::new(threads);
+    kernel.write_array(a_base, &(0..n).map(|i| element_value(1, i)).collect::<Vec<_>>());
+    kernel.write_array(b_base, &(0..n).map(|i| element_value(2, i)).collect::<Vec<_>>());
+
+    let order_a = access_order(n, random, 0x5eed_000a);
+    let order_b = access_order(n, random, 0x5eed_000b);
+    for (t, (start, end)) in partition(n, threads).into_iter().enumerate() {
+        for k in start..end {
+            let a_i = MemoryLayout::element(a_base, order_a[k]);
+            let b_i = MemoryLayout::element(b_base, order_b[k]);
+            match variant {
+                Variant::Baseline => {
+                    kernel.load(t, a_i);
+                    kernel.load(t, b_i);
+                    kernel.compute(t, 2);
+                }
+                Variant::Active | Variant::Adaptive => {
+                    kernel.update(t, ReduceOp::Mac, a_i, Some(b_i), None, sum);
+                }
+            }
+        }
+        finish_thread(&mut kernel, t, variant, sum, ReduceOp::Mac);
+    }
+    let name = if random { "rand_mac" } else { "mac" };
+    GeneratedWorkload::from_kernel(name, variant, kernel)
+}
+
+/// Per-thread epilogue: the baseline merges its local partial sum with an
+/// `atomic +=` on the shared accumulator; the active variants issue the
+/// gather (one per thread, released when every thread arrives).
+fn finish_thread(kernel: &mut ActiveKernel, thread: usize, variant: Variant, target: Addr, op: ReduceOp) {
+    match variant {
+        Variant::Baseline => {
+            kernel.compute(thread, 4);
+            kernel.atomic_rmw(thread, target);
+        }
+        Variant::Active | Variant::Adaptive => {
+            kernel.gather(thread, target, op);
+        }
+    }
+}
+
+/// Sequential or deterministically shuffled index order.
+fn access_order(n: usize, random: bool, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if random {
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::WorkItem;
+
+    #[test]
+    fn reduce_reference_is_the_array_sum() {
+        let w = reduce(4, SizeClass::Tiny, Variant::Active, false);
+        let expected: f64 = (0..elements(SizeClass::Tiny)).map(|i| element_value(1, i)).sum();
+        assert_eq!(w.references.len(), 1);
+        assert!((w.references[0].1 - expected).abs() < 1e-9);
+        assert_eq!(w.updates, elements(SizeClass::Tiny) as u64);
+    }
+
+    #[test]
+    fn rand_reduce_has_same_reference_as_reduce() {
+        // Summation is order-independent: shuffling the accesses must not
+        // change the reference result.
+        let seq = reduce(2, SizeClass::Tiny, Variant::Active, false);
+        let rnd = reduce(2, SizeClass::Tiny, Variant::Active, true);
+        assert!((seq.references[0].1 - rnd.references[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rand_variants_access_memory_in_a_different_order() {
+        let seq = reduce(1, SizeClass::Tiny, Variant::Baseline, false);
+        let rnd = reduce(1, SizeClass::Tiny, Variant::Baseline, true);
+        let seq_addrs: Vec<_> = seq.streams[0]
+            .iter()
+            .filter_map(|i| match i {
+                WorkItem::Load(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        let rnd_addrs: Vec<_> = rnd.streams[0]
+            .iter()
+            .filter_map(|i| match i {
+                WorkItem::Load(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seq_addrs.len(), rnd_addrs.len());
+        assert_ne!(seq_addrs, rnd_addrs);
+        let mut sorted = rnd_addrs.clone();
+        sorted.sort();
+        assert_eq!(sorted, seq_addrs, "random order must be a permutation of sequential order");
+    }
+
+    #[test]
+    fn mac_reference_is_the_dot_product() {
+        let w = mac(2, SizeClass::Tiny, Variant::Active, false);
+        let n = elements(SizeClass::Tiny) / 2;
+        let expected: f64 = (0..n).map(|i| element_value(1, i) * element_value(2, i)).sum();
+        assert!((w.references[0].1 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_issues_atomics_not_updates() {
+        let w = mac(4, SizeClass::Tiny, Variant::Baseline, false);
+        assert_eq!(w.updates, 0);
+        let atomics: usize = w
+            .streams
+            .iter()
+            .map(|s| s.iter().filter(|i| matches!(i, WorkItem::AtomicRmw { .. })).count())
+            .sum();
+        assert_eq!(atomics, 4, "one atomic merge per thread");
+    }
+
+    #[test]
+    fn every_thread_gathers_exactly_once_in_active_mode() {
+        let w = mac(8, SizeClass::Tiny, Variant::Active, true);
+        for s in &w.streams {
+            let gathers = s.iter().filter(|i| matches!(i, WorkItem::Gather { .. })).count();
+            assert_eq!(gathers, 1);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The `pagerank` benchmark (CRONO): one iteration of the rank update loop of
+//! Fig. 3.2.
+//!
+//! The kernel has two parts:
+//!
+//! 1. a **scatter phase** that pushes each vertex's current rank to its
+//!    out-neighbours (irregular, graph-driven accesses) — this phase is *not*
+//!    an Active-Routing target and is generated identically for every
+//!    variant, which is why the benchmark's total data movement does not
+//!    collapse the way the microbenchmarks' does (Fig. 5.4a);
+//! 2. the **rank update loop** over vertices, which the paper optimises:
+//!
+//!    ```text
+//!    diff += |v.next_pagerank - v.pagerank|;     // Update(.., abs)
+//!    v.pagerank = v.next_pagerank;               // Update(.., mov)
+//!    v.next_pagerank = 0.15 / num_vertices;      // Update(.., const_assign)
+//!    ```
+//!
+//! In the active variant the `diff` reduction is gathered between the
+//! abs-diff pass and the in-memory writes, so the offloaded reads of
+//! `pagerank`/`next_pagerank` never race with the `mov`/`const_assign`
+//! updates that overwrite them.
+
+use crate::graph::Graph;
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::ActiveKernel;
+use ar_types::ReduceOp;
+
+/// `(vertices, out_edges_per_vertex)` per size class.
+fn dims(size: SizeClass) -> (usize, usize) {
+    (128 * size.factor() * size.factor(), 4)
+}
+
+/// Generates the pagerank workload.
+pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+    let (vertices, degree) = dims(size);
+    let graph = Graph::preferential_attachment(vertices, degree, 0x5eed_9a9e);
+
+    let mut layout = MemoryLayout::default();
+    let rank_base = layout.alloc_array(vertices);
+    let next_base = layout.alloc_array(vertices);
+    let diff = layout.alloc_scalar();
+
+    let mut kernel = ActiveKernel::new(threads);
+    let initial_rank = 1.0 / vertices as f64;
+    kernel.write_array(rank_base, &vec![initial_rank; vertices]);
+    kernel.write_array(
+        next_base,
+        &(0..vertices).map(|i| initial_rank + element_value(3, i).abs() / 100.0).collect::<Vec<_>>(),
+    );
+
+    let ranges = partition(vertices, threads);
+
+    // Phase 1: scatter current ranks along out-edges (identical in every
+    // variant; not an offload target).
+    for (t, &(start, end)) in ranges.iter().enumerate() {
+        for v in start..end {
+            kernel.load(t, MemoryLayout::element(rank_base, v));
+            kernel.compute(t, 1);
+            for &u in graph.out_neighbors(v) {
+                kernel.load(t, MemoryLayout::element(next_base, u));
+                kernel.compute(t, 2);
+                kernel.store(t, MemoryLayout::element(next_base, u));
+            }
+        }
+    }
+    kernel.barrier_all(1);
+
+    // Phase 2a: convergence test `diff += |next - cur|`.
+    let reset = 0.15 / vertices as f64;
+    for (t, &(start, end)) in ranges.iter().enumerate() {
+        for v in start..end {
+            let rank_v = MemoryLayout::element(rank_base, v);
+            let next_v = MemoryLayout::element(next_base, v);
+            match variant {
+                Variant::Baseline => {
+                    kernel.load(t, next_v);
+                    kernel.load(t, rank_v);
+                    kernel.compute(t, 2);
+                }
+                Variant::Active | Variant::Adaptive => {
+                    kernel.update(t, ReduceOp::AbsDiff, next_v, Some(rank_v), None, diff);
+                }
+            }
+        }
+        // Baseline merges the thread-local diff atomically; active gathers.
+        match variant {
+            Variant::Baseline => {
+                kernel.compute(t, 4);
+                kernel.atomic_rmw(t, diff);
+            }
+            Variant::Active | Variant::Adaptive => kernel.gather(t, diff, ReduceOp::AbsDiff),
+        }
+    }
+
+    // Phase 2b: rank swap and reset (`mov` + `const_assign`); ordered after
+    // the diff gather so the offloaded writes cannot race the reads above.
+    for (t, &(start, end)) in ranges.iter().enumerate() {
+        for v in start..end {
+            let rank_v = MemoryLayout::element(rank_base, v);
+            let next_v = MemoryLayout::element(next_base, v);
+            match variant {
+                Variant::Baseline => {
+                    kernel.store(t, rank_v);
+                    kernel.store(t, next_v);
+                    kernel.compute(t, 2);
+                }
+                Variant::Active | Variant::Adaptive => {
+                    kernel.update(t, ReduceOp::Mov, next_v, None, None, rank_v);
+                    kernel.update(t, ReduceOp::ConstAssign, next_v, None, Some(reset), next_v);
+                }
+            }
+        }
+    }
+    kernel.barrier_all(2);
+
+    GeneratedWorkload::from_kernel("pagerank", variant, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::WorkItem;
+
+    #[test]
+    fn diff_reference_matches_hand_computation() {
+        let (vertices, _) = dims(SizeClass::Tiny);
+        let w = generate(4, SizeClass::Tiny, Variant::Active);
+        let initial = 1.0 / vertices as f64;
+        let expected: f64 = (0..vertices)
+            .map(|i| ((initial + element_value(3, i).abs() / 100.0) - initial).abs())
+            .sum();
+        // Exactly one gatherable reference: the diff accumulator.
+        assert_eq!(w.references.len(), 1);
+        assert!((w.references[0].1 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_variant_emits_three_update_kinds() {
+        let (vertices, _) = dims(SizeClass::Tiny);
+        let w = generate(2, SizeClass::Tiny, Variant::Active);
+        assert_eq!(w.updates, 3 * vertices as u64, "absdiff + mov + const_assign per vertex");
+        let movs: usize = w
+            .streams
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter(|i| matches!(i, WorkItem::Update { op: ReduceOp::Mov, .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(movs, vertices);
+    }
+
+    #[test]
+    fn scatter_phase_is_present_in_both_variants() {
+        let base = generate(2, SizeClass::Tiny, Variant::Baseline);
+        let act = generate(2, SizeClass::Tiny, Variant::Active);
+        let base_loads: u64 = base.streams.iter().map(|s| s.memory_access_count()).sum();
+        let act_loads: u64 = act.streams.iter().map(|s| s.memory_access_count()).sum();
+        assert!(act_loads > 0, "the scatter phase is never offloaded");
+        assert!(base_loads > act_loads, "the rank-update loop is offloaded only in active mode");
+    }
+
+    #[test]
+    fn gather_precedes_the_in_memory_writes() {
+        // The diff gather must appear before the first mov update in every
+        // thread's stream, otherwise the offloaded writes could race the
+        // offloaded reads.
+        let w = generate(2, SizeClass::Tiny, Variant::Active);
+        for s in &w.streams {
+            let items: Vec<&WorkItem> = s.iter().collect();
+            let gather_pos = items
+                .iter()
+                .position(|i| matches!(i, WorkItem::Gather { .. }))
+                .expect("every thread gathers diff");
+            let first_mov = items
+                .iter()
+                .position(|i| matches!(i, WorkItem::Update { op: ReduceOp::Mov, .. }))
+                .expect("every thread writes ranks");
+            assert!(gather_pos < first_mov);
+        }
+    }
+
+    #[test]
+    fn baseline_uses_atomics_for_the_shared_diff() {
+        let w = generate(4, SizeClass::Tiny, Variant::Baseline);
+        let atomics: usize = w
+            .streams
+            .iter()
+            .map(|s| s.iter().filter(|i| matches!(i, WorkItem::AtomicRmw { .. })).count())
+            .sum();
+        assert_eq!(atomics, 4);
+        assert_eq!(w.updates, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The `sgemm` benchmark (Parboil): dense matrix multiplication
+//! `C[i][j] = sum_k A[i][k] * B[k][j]`.
+//!
+//! Each output element is one multiply-accumulate reduction over `K`
+//! operand pairs; threads partition the rows of `C`. The column accesses to
+//! `B` stride through memory, which is what defeats the caches at the
+//! paper's 4096×4096 size; the [`SizeClass`] dimensions below keep the same
+//! access structure at a tractable scale.
+
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::ActiveKernel;
+use ar_types::ReduceOp;
+
+/// The (square) matrix dimension per size class.
+fn dim(size: SizeClass) -> usize {
+    4 * size.factor()
+}
+
+/// Generates the sgemm workload.
+pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+    let n = dim(size);
+    let mut layout = MemoryLayout::default();
+    let a_base = layout.alloc_array(n * n);
+    let b_base = layout.alloc_array(n * n);
+    let c_base = layout.alloc_array(n * n);
+
+    let mut kernel = ActiveKernel::new(threads);
+    kernel.write_array(a_base, &(0..n * n).map(|i| element_value(1, i)).collect::<Vec<_>>());
+    kernel.write_array(b_base, &(0..n * n).map(|i| element_value(2, i)).collect::<Vec<_>>());
+
+    for (t, (row_start, row_end)) in partition(n, threads).into_iter().enumerate() {
+        for i in row_start..row_end {
+            for j in 0..n {
+                let c_ij = MemoryLayout::element(c_base, i * n + j);
+                for k in 0..n {
+                    let a_ik = MemoryLayout::element(a_base, i * n + k);
+                    let b_kj = MemoryLayout::element(b_base, k * n + j);
+                    match variant {
+                        Variant::Baseline => {
+                            kernel.load(t, a_ik);
+                            kernel.load(t, b_kj);
+                            kernel.compute(t, 2);
+                        }
+                        Variant::Active | Variant::Adaptive => {
+                            kernel.update(t, ReduceOp::Mac, a_ik, Some(b_kj), None, c_ij);
+                        }
+                    }
+                }
+                match variant {
+                    Variant::Baseline => kernel.store(t, c_ij),
+                    Variant::Active | Variant::Adaptive => {
+                        kernel.gather_async(t, c_ij, ReduceOp::Mac, 1)
+                    }
+                }
+            }
+        }
+    }
+    GeneratedWorkload::from_kernel("sgemm", variant, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::Addr;
+
+    fn reference_c(n: usize, i: usize, j: usize) -> f64 {
+        (0..n).map(|k| element_value(1, i * n + k) * element_value(2, k * n + j)).sum()
+    }
+
+    #[test]
+    fn every_output_element_has_the_right_reference() {
+        let n = dim(SizeClass::Tiny);
+        let w = generate(2, SizeClass::Tiny, Variant::Active);
+        assert_eq!(w.references.len(), n * n);
+        // The references are sorted by address; rebuild the (i, j) mapping.
+        let refs: std::collections::HashMap<Addr, f64> = w.references.iter().copied().collect();
+        let c_base = w.references.iter().map(|(a, _)| *a).min().unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let addr = c_base.offset(((i * n + j) * 8) as u64);
+                let got = refs.get(&addr).copied().expect("every element has a flow");
+                assert!((got - reference_c(n, i, j)).abs() < 1e-9, "C[{i}][{j}]");
+            }
+        }
+        assert_eq!(w.updates, (n * n * n) as u64);
+    }
+
+    #[test]
+    fn work_scales_cubically_with_dimension() {
+        let small = generate(1, SizeClass::Tiny, Variant::Active);
+        let big = generate(1, SizeClass::Small, Variant::Active);
+        assert_eq!(big.updates / small.updates, 8, "doubling n must give 8x the updates");
+    }
+
+    #[test]
+    fn baseline_loads_two_operands_per_mac() {
+        let n = dim(SizeClass::Tiny);
+        let w = generate(1, SizeClass::Tiny, Variant::Baseline);
+        let loads: u64 = w.streams.iter().map(|s| s.memory_access_count()).sum();
+        // 2 loads per inner iteration plus 1 store per output element.
+        assert_eq!(loads, (2 * n * n * n + n * n) as u64);
+    }
+}

@@ -1,0 +1,124 @@
+//! The `spmv` benchmark (Parboil): sparse matrix-vector multiplication
+//! `y[i] = sum over nonzeros A[i][k] * x[k]`.
+//!
+//! The sparse structure makes the accesses to the dense vector `x` irregular,
+//! spreading a row's operands across many memory cubes — the effect the paper
+//! calls out when explaining why `spmv`'s EDP does not improve (Section
+//! 5.3.3). The paper's matrix is 4096×4096 with 0.7 sparsity (70 % zeros);
+//! the same density is kept here at scaled dimensions.
+
+use crate::layout::MemoryLayout;
+use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
+use active_routing::ActiveKernel;
+use ar_types::ReduceOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Matrix dimension per size class.
+fn dim(size: SizeClass) -> usize {
+    16 * size.factor()
+}
+
+/// Fraction of zero entries (the paper's "0.7 sparsity").
+const SPARSITY: f64 = 0.7;
+
+/// Generates the spmv workload.
+pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+    let n = dim(size);
+    let mut rng = StdRng::seed_from_u64(0x5eed_5b3f);
+    // Build the sparsity pattern: for each row, the columns of its nonzeros.
+    let rows: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..n).filter(|_| rng.gen::<f64>() >= SPARSITY).collect())
+        .collect();
+    let nnz: usize = rows.iter().map(Vec::len).sum();
+
+    let mut layout = MemoryLayout::default();
+    let vals_base = layout.alloc_array(nnz.max(1));
+    let x_base = layout.alloc_array(n);
+    let y_base = layout.alloc_array(n);
+
+    let mut kernel = ActiveKernel::new(threads);
+    kernel.write_array(vals_base, &(0..nnz).map(|i| element_value(1, i)).collect::<Vec<_>>());
+    kernel.write_array(x_base, &(0..n).map(|i| element_value(2, i)).collect::<Vec<_>>());
+
+    // Prefix offsets of each row into the packed value array.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for row in &rows {
+        offsets.push(offsets.last().unwrap() + row.len());
+    }
+
+    for (t, (row_start, row_end)) in partition(n, threads).into_iter().enumerate() {
+        for i in row_start..row_end {
+            let y_i = MemoryLayout::element(y_base, i);
+            if rows[i].is_empty() {
+                continue;
+            }
+            for (slot, &col) in rows[i].iter().enumerate() {
+                let a_val = MemoryLayout::element(vals_base, offsets[i] + slot);
+                let x_col = MemoryLayout::element(x_base, col);
+                match variant {
+                    Variant::Baseline => {
+                        // Load the column index, the value and the vector
+                        // element, multiply-accumulate.
+                        kernel.load(t, a_val);
+                        kernel.load(t, x_col);
+                        kernel.compute(t, 2);
+                    }
+                    Variant::Active | Variant::Adaptive => {
+                        kernel.update(t, ReduceOp::Mac, a_val, Some(x_col), None, y_i);
+                    }
+                }
+            }
+            match variant {
+                Variant::Baseline => kernel.store(t, y_i),
+                Variant::Active | Variant::Adaptive => kernel.gather_async(t, y_i, ReduceOp::Mac, 1),
+            }
+        }
+    }
+    GeneratedWorkload::from_kernel("spmv", variant, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_roughly_thirty_percent() {
+        let n = dim(SizeClass::Small);
+        let w = generate(1, SizeClass::Small, Variant::Active);
+        let density = w.updates as f64 / (n * n) as f64;
+        assert!(
+            (0.2..0.4).contains(&density),
+            "expected ~30% nonzeros, got {:.0}%",
+            density * 100.0
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(2, SizeClass::Tiny, Variant::Active);
+        let b = generate(2, SizeClass::Tiny, Variant::Active);
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.references, b.references);
+    }
+
+    #[test]
+    fn rows_with_nonzeros_have_references() {
+        let w = generate(2, SizeClass::Tiny, Variant::Active);
+        assert!(!w.references.is_empty());
+        assert!(w.references.len() <= dim(SizeClass::Tiny));
+        for (_, v) in &w.references {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn baseline_and_active_cover_the_same_nonzeros() {
+        let base = generate(2, SizeClass::Tiny, Variant::Baseline);
+        let act = generate(2, SizeClass::Tiny, Variant::Active);
+        let base_loads: u64 = base.streams.iter().map(|s| s.memory_access_count()).sum();
+        // Baseline: 2 loads per nonzero + 1 store per non-empty row.
+        assert!(base_loads >= 2 * act.updates);
+    }
+}

@@ -1,0 +1,124 @@
+//! One Criterion group per table/figure of the evaluation.
+//!
+//! Each group regenerates its artefact at the reduced benchmark scale: the
+//! simulation-heavy step (running the workload × configuration matrix) is
+//! measured separately from the cheap table-building step, and the resulting
+//! rows are printed once so the bench log contains the regenerated data.
+
+use ar_experiments::{adaptive::AdaptiveStudy, energy, heatmap, Artifact, EnergyMetric};
+use ar_workloads::WorkloadKind;
+use bench::{
+    bench_matrix, latency_table, print_artifact, single_workload_matrix, speedup_table,
+    traffic_table, BENCH_SCALE,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configure<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group
+}
+
+fn bench_table_3_1(c: &mut Criterion) {
+    print_artifact(Artifact::Table3_1);
+    let mut group = configure(c, "table_3_1");
+    group.bench_function("render", |b| b.iter(|| Artifact::Table3_1.render(BENCH_SCALE)));
+    group.finish();
+}
+
+fn bench_table_4_1(c: &mut Criterion) {
+    print_artifact(Artifact::Table4_1);
+    let mut group = configure(c, "table_4_1");
+    group.bench_function("render", |b| b.iter(|| Artifact::Table4_1.render(BENCH_SCALE)));
+    group.finish();
+}
+
+fn bench_fig5_1(c: &mut Criterion) {
+    // Fig. 5.1(a)/(b): runtime speedup. The matrix run is the measured step.
+    let matrix = bench_matrix(&[WorkloadKind::Reduce, WorkloadKind::Mac]);
+    println!("{}", speedup_table(&matrix));
+    let mut group = configure(c, "fig5_1_speedup");
+    group.bench_function("simulate_reduce_matrix", |b| {
+        b.iter(|| single_workload_matrix(WorkloadKind::Reduce))
+    });
+    group.bench_function("build_table", |b| b.iter(|| speedup_table(&matrix)));
+    group.finish();
+}
+
+fn bench_fig5_2(c: &mut Criterion) {
+    let matrix = bench_matrix(&[WorkloadKind::Mac, WorkloadKind::RandMac]);
+    println!("{}", latency_table(&matrix));
+    let mut group = configure(c, "fig5_2_latency");
+    group.bench_function("simulate_rand_mac_matrix", |b| {
+        b.iter(|| single_workload_matrix(WorkloadKind::RandMac))
+    });
+    group.bench_function("build_table", |b| b.iter(|| latency_table(&matrix)));
+    group.finish();
+}
+
+fn bench_fig5_3(c: &mut Criterion) {
+    let maps = heatmap::figure_5_3(BENCH_SCALE);
+    println!("{}", heatmap::to_table(&maps, "Figure 5.3 (bench scale)"));
+    let mut group = configure(c, "fig5_3_heatmap");
+    group.bench_function("simulate_lud_heatmaps", |b| b.iter(|| heatmap::figure_5_3(BENCH_SCALE)));
+    group.finish();
+}
+
+fn bench_fig5_4(c: &mut Criterion) {
+    let matrix = bench_matrix(&[WorkloadKind::Reduce, WorkloadKind::Mac]);
+    println!("{}", traffic_table(&matrix));
+    let mut group = configure(c, "fig5_4_data_movement");
+    group.bench_function("simulate_mac_matrix", |b| {
+        b.iter(|| single_workload_matrix(WorkloadKind::Mac))
+    });
+    group.bench_function("build_table", |b| b.iter(|| traffic_table(&matrix)));
+    group.finish();
+}
+
+fn bench_fig5_5_6_7(c: &mut Criterion) {
+    // Figs. 5.5-5.7 share the speedup matrix; only the energy accounting
+    // differs, so the accounting itself is the measured step.
+    let matrix = bench_matrix(&[WorkloadKind::RandMac]);
+    for (metric, title) in [
+        (EnergyMetric::Power, "Figure 5.5 (bench scale)"),
+        (EnergyMetric::Energy, "Figure 5.6 (bench scale)"),
+        (EnergyMetric::EnergyDelayProduct, "Figure 5.7 (bench scale)"),
+    ] {
+        println!("{}", energy::figure_energy(&matrix, metric, title));
+    }
+    let mut group = configure(c, "fig5_5_6_7_energy");
+    group.bench_function("power_table", |b| {
+        b.iter(|| energy::figure_energy(&matrix, EnergyMetric::Power, "Figure 5.5"))
+    });
+    group.bench_function("energy_table", |b| {
+        b.iter(|| energy::figure_energy(&matrix, EnergyMetric::Energy, "Figure 5.6"))
+    });
+    group.bench_function("edp_table", |b| {
+        b.iter(|| energy::figure_energy(&matrix, EnergyMetric::EnergyDelayProduct, "Figure 5.7"))
+    });
+    group.finish();
+}
+
+fn bench_fig5_8(c: &mut Criterion) {
+    let study = AdaptiveStudy::run(BENCH_SCALE);
+    println!("{}", study.speedup_table("Figure 5.8 (bench scale)"));
+    let mut group = configure(c, "fig5_8_adaptive");
+    group.bench_function("simulate_lud_three_configs", |b| b.iter(|| AdaptiveStudy::run(BENCH_SCALE)));
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table_3_1,
+    bench_table_4_1,
+    bench_fig5_1,
+    bench_fig5_2,
+    bench_fig5_3,
+    bench_fig5_4,
+    bench_fig5_5_6_7,
+    bench_fig5_8
+);
+criterion_main!(figures);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the simulator substrates themselves (ablation-style):
+//! how fast the memory network, the HMC cube model and a single-workload
+//! full-system run execute. These are not paper figures; they track the cost
+//! of the building blocks so regressions in the simulator are visible.
+
+use ar_system::runner;
+use ar_types::config::NamedConfig;
+use ar_workloads::{SizeClass, WorkloadKind};
+use bench::BENCH_SCALE;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_single_runs(c: &mut Criterion) {
+    let base = BENCH_SCALE.system_config();
+    let mut group = c.benchmark_group("full_system_single_run");
+    group.sample_size(10);
+    for (name, config) in [
+        ("reduce_hmc", NamedConfig::Hmc),
+        ("reduce_arf_tid", NamedConfig::ArfTid),
+        ("reduce_arf_addr", NamedConfig::ArfAddr),
+        ("reduce_art", NamedConfig::Art),
+        ("reduce_dram", NamedConfig::Dram),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                runner::run(&base, config, WorkloadKind::Reduce, SizeClass::Tiny)
+                    .expect("valid configuration")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(20);
+    for kind in [WorkloadKind::Pagerank, WorkloadKind::Sgemm, WorkloadKind::Spmv] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| kind.generate(4, SizeClass::Small, ar_workloads::Variant::Active))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(simulator, bench_single_runs, bench_workload_generation);
+criterion_main!(simulator);

@@ -1,0 +1,69 @@
+//! Helpers shared by the Criterion benchmark harness.
+//!
+//! Every table and figure of the evaluation has a benchmark group in
+//! `benches/figures.rs`; the helpers here build the reduced-scale run
+//! matrices those groups measure, and print each regenerated artefact once so
+//! that `cargo bench` output contains the same rows/series the paper reports.
+
+use ar_experiments::{latency, speedup, traffic, Artifact, ExperimentScale, Matrix, Table};
+use ar_types::config::NamedConfig;
+use ar_workloads::WorkloadKind;
+
+/// The scale every benchmark runs at. Benchmarks exist to exercise and time
+/// the figure-regeneration path, not to produce publication numbers; the
+/// `ar-experiments` binary runs the larger scales.
+pub const BENCH_SCALE: ExperimentScale = ExperimentScale::Quick;
+
+/// A reduced benchmark matrix: every workload of the requested set, but only
+/// the HMC baseline and the two forest configurations, so one Criterion
+/// sample stays in the tens-of-milliseconds range.
+pub fn bench_matrix(workloads: &[WorkloadKind]) -> Matrix {
+    Matrix::run(
+        workloads,
+        &[NamedConfig::Dram, NamedConfig::Hmc, NamedConfig::ArfTid, NamedConfig::ArfAddr],
+        BENCH_SCALE,
+    )
+}
+
+/// One-workload matrix used by the per-simulation benchmarks.
+pub fn single_workload_matrix(workload: WorkloadKind) -> Matrix {
+    bench_matrix(&[workload])
+}
+
+/// Builds the Fig. 5.1-style speedup table from a matrix.
+pub fn speedup_table(matrix: &Matrix) -> Table {
+    speedup::figure_5_1(matrix, "Figure 5.1 (bench scale)")
+}
+
+/// Builds the Fig. 5.2-style latency table from a matrix.
+pub fn latency_table(matrix: &Matrix) -> Table {
+    latency::figure_5_2(matrix, "Figure 5.2 (bench scale)")
+}
+
+/// Builds the Fig. 5.4-style traffic table from a matrix.
+pub fn traffic_table(matrix: &Matrix) -> Table {
+    traffic::figure_5_4(matrix, "Figure 5.4 (bench scale)")
+}
+
+/// Prints an artefact once (outside the measured closures) so the bench log
+/// carries the regenerated rows.
+pub fn print_artifact(artifact: Artifact) {
+    println!("==== {} (scale: {}) ====", artifact.name(), BENCH_SCALE);
+    println!("{}", artifact.render(BENCH_SCALE));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_matrix_contains_all_requested_workloads() {
+        let m = single_workload_matrix(WorkloadKind::Reduce);
+        assert_eq!(m.workloads, vec![WorkloadKind::Reduce]);
+        assert_eq!(m.configs.len(), 4);
+        let table = speedup_table(&m);
+        assert_eq!(table.rows.len(), 2, "one workload row plus gmean");
+        assert!(!latency_table(&m).rows.is_empty());
+        assert!(!traffic_table(&m).rows.is_empty());
+    }
+}

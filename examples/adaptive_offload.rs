@@ -1,0 +1,49 @@
+//! Dynamic offloading case study (Section 5.4, Fig. 5.8): LU decomposition
+//! whose early phases have good locality (better on the host) and whose late
+//! phases have long, low-reuse reductions (better offloaded).
+//!
+//! ```text
+//! cargo run --example adaptive_offload
+//! ```
+
+use ar_experiments::{adaptive::AdaptiveStudy, ExperimentScale};
+use ar_types::config::NamedConfig;
+
+fn main() {
+    let scale = ExperimentScale::Quick;
+    println!("LUD phase analysis and dynamic offloading (scale: {scale})\n");
+
+    let study = AdaptiveStudy::run(scale);
+    println!("{}", study.speedup_table("Speedup over the HMC baseline"));
+
+    // Print the windowed IPC series (the left panel of Fig. 5.8) for the two
+    // always-on configurations.
+    for config in [NamedConfig::Hmc, NamedConfig::ArfTid, NamedConfig::ArfTidAdaptive] {
+        let report = study.report(config).expect("configuration was run");
+        let series = &report.ipc_series;
+        println!(
+            "{config}: {} network cycles, {} updates offloaded, {} IPC samples",
+            report.network_cycles,
+            report.updates_offloaded,
+            series.len()
+        );
+        if !series.is_empty() {
+            let preview: Vec<String> =
+                series.points().iter().take(8).map(|(_, ipc)| format!("{ipc:.2}")).collect();
+            println!("  IPC (first windows): {}", preview.join(", "));
+        }
+    }
+
+    let hmc = study.report(NamedConfig::Hmc).unwrap();
+    let adaptive = study.report(NamedConfig::ArfTidAdaptive).unwrap();
+    let always = study.report(NamedConfig::ArfTid).unwrap();
+    println!(
+        "\nadaptive offloads {} of the {} updates the always-offload scheme issues",
+        adaptive.updates_offloaded, always.updates_offloaded
+    );
+    println!(
+        "speedup over HMC: always-offload {:.2}x, adaptive {:.2}x",
+        always.speedup_over(hmc),
+        adaptive.speedup_over(hmc)
+    );
+}

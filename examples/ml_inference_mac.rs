@@ -1,0 +1,47 @@
+//! Machine-learning scenario: the multiply-accumulate aggregation at the
+//! heart of neural-network inference (`h[j] += input[i] * weight[j][i]`),
+//! the `sum += input[i] * weight[j]` example from the paper's introduction.
+//!
+//! ```text
+//! cargo run --example ml_inference_mac
+//! ```
+//!
+//! Runs the `backprop` feed-forward benchmark and the `mac`/`rand_mac`
+//! microbenchmarks under the HMC baseline and both Active-Routing-Forest
+//! schemes, and reports runtime, update latency breakdown and data movement.
+
+use ar_experiments::{latency, speedup, traffic, ExperimentScale, Matrix};
+use ar_types::config::NamedConfig;
+use ar_workloads::WorkloadKind;
+
+fn main() {
+    let scale = ExperimentScale::Quick;
+    let workloads =
+        [WorkloadKind::Backprop, WorkloadKind::Mac, WorkloadKind::RandMac];
+    let configs = [
+        NamedConfig::Dram,
+        NamedConfig::Hmc,
+        NamedConfig::Art,
+        NamedConfig::ArfTid,
+        NamedConfig::ArfAddr,
+    ];
+
+    println!("Deep-learning aggregation workloads (scale: {scale})\n");
+    let matrix = Matrix::run(&workloads, &configs, scale);
+
+    println!("{}", speedup::figure_5_1(&matrix, "Runtime speedup over DRAM"));
+    println!("{}", latency::figure_5_2(&matrix, "Update roundtrip latency breakdown (cycles)"));
+    println!("{}", traffic::figure_5_4(&matrix, "Data movement normalized to HMC"));
+
+    // Highlight the per-flow behaviour the paper's introduction motivates.
+    let backprop = matrix.report(WorkloadKind::Backprop, NamedConfig::ArfTid).expect("run exists");
+    println!("backprop under ARF-tid:");
+    println!("  updates offloaded : {}", backprop.updates_offloaded);
+    println!("  gathers           : {}", backprop.gathers_offloaded);
+    println!("  ARE ALU ops       : {}", backprop.are_ops);
+    println!(
+        "  hidden-unit flows gathered : {} (first value {:.3})",
+        backprop.gather_results.len(),
+        backprop.gather_results.first().map(|(_, v)| *v).unwrap_or(0.0)
+    );
+}

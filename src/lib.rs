@@ -1,0 +1,19 @@
+//! Umbrella crate for the Active-Routing reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that the
+//! examples under `examples/` and the integration tests under `tests/` can use
+//! a single import root. Downstream users would normally depend on the
+//! individual crates (most importantly [`active_routing`] and [`ar_system`]).
+
+pub use active_routing;
+pub use ar_cache;
+pub use ar_cpu;
+pub use ar_dram;
+pub use ar_experiments;
+pub use ar_hmc;
+pub use ar_network;
+pub use ar_power;
+pub use ar_sim;
+pub use ar_system;
+pub use ar_types;
+pub use ar_workloads;

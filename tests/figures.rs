@@ -1,0 +1,96 @@
+//! Integration tests of the figure-regeneration harness: every artefact of
+//! the evaluation renders at the quick scale and carries the rows/series the
+//! paper reports.
+
+use active_routing_repro::ar_experiments::{
+    adaptive::AdaptiveStudy, energy, heatmap, latency, speedup, traffic, Artifact,
+    EnergyMetric, ExperimentScale, Matrix,
+};
+use active_routing_repro::ar_types::config::NamedConfig;
+use active_routing_repro::ar_workloads::WorkloadKind;
+
+const SCALE: ExperimentScale = ExperimentScale::Quick;
+
+#[test]
+fn configuration_tables_render() {
+    let t31 = Artifact::Table3_1.render(SCALE);
+    assert!(t31.contains("req_counter") && t31.contains("Gflag"));
+    let t41 = Artifact::Table4_1.render(SCALE);
+    assert!(t41.contains("Dragonfly") && t41.contains("O3cores"));
+}
+
+#[test]
+fn microbenchmark_figures_share_one_matrix() {
+    // One matrix drives Figs. 5.1(b), 5.2(b), 5.4(b) and 5.5-5.7 for the
+    // microbenchmarks, exactly as the experiments binary does at full scale.
+    let matrix = Matrix::run(
+        &[WorkloadKind::Reduce, WorkloadKind::RandMac],
+        &NamedConfig::ALL,
+        SCALE,
+    );
+
+    let fig51 = speedup::figure_5_1(&matrix, "Fig 5.1(b)");
+    assert_eq!(fig51.columns.len(), NamedConfig::ALL.len());
+    assert_eq!(fig51.rows.len(), 3, "two workloads + gmean");
+    for (_, values) in &fig51.rows {
+        assert!(values.iter().all(|v| *v > 0.0), "speedups are positive");
+    }
+
+    let fig52 = latency::figure_5_2(&matrix, "Fig 5.2(b)");
+    assert_eq!(fig52.rows.len(), 2 * latency::LATENCY_CONFIGS.len());
+
+    let fig54 = traffic::figure_5_4(&matrix, "Fig 5.4(b)");
+    for workload in ["reduce", "rand_mac"] {
+        let key = format!("{workload}/HMC");
+        assert!((fig54.value(&key, "total").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    for metric in [EnergyMetric::Power, EnergyMetric::Energy, EnergyMetric::EnergyDelayProduct] {
+        let table = energy::figure_energy(&matrix, metric, "Figs 5.5-5.7");
+        assert!(!table.rows.is_empty());
+        assert!(table
+            .rows
+            .iter()
+            .all(|(_, values)| values.iter().all(|v| v.is_finite() && *v >= 0.0)));
+    }
+}
+
+#[test]
+fn lud_heatmaps_distinguish_tid_from_addr_interleaving() {
+    let maps = heatmap::figure_5_3(SCALE);
+    assert_eq!(maps.len(), 2);
+    let tid = &maps[0];
+    let addr = &maps[1];
+    assert_eq!(tid.config, "ARF-tid");
+    assert_eq!(addr.config, "ARF-addr");
+    // Both schemes compute the same total number of updates; only the
+    // distribution over cubes differs.
+    let tid_total: u64 = tid.update_distribution.iter().sum();
+    let addr_total: u64 = addr.update_distribution.iter().sum();
+    assert_eq!(tid_total, addr_total);
+    assert!(tid_total > 0);
+}
+
+#[test]
+fn adaptive_case_study_reproduces_the_figure_5_8_ordering() {
+    let study = AdaptiveStudy::run(SCALE);
+    let table = study.speedup_table("Fig 5.8");
+    let hmc = table.value("speedup_over_HMC", "HMC").unwrap();
+    let adaptive = table.value("speedup_over_HMC", "ARF-tid-adaptive").unwrap();
+    assert!((hmc - 1.0).abs() < 1e-9);
+    assert!(adaptive > 0.0);
+    let offloaded_adaptive = table.value("updates_offloaded", "ARF-tid-adaptive").unwrap();
+    let offloaded_always = table.value("updates_offloaded", "ARF-tid").unwrap();
+    assert!(offloaded_adaptive > 0.0 && offloaded_adaptive < offloaded_always);
+}
+
+#[test]
+fn artifact_parser_covers_every_figure_and_table() {
+    for name in [
+        "3.1", "4.1", "5.1a", "5.1b", "5.2a", "5.2b", "5.3", "5.4a", "5.4b", "5.5", "5.6", "5.7",
+        "5.8",
+    ] {
+        assert!(Artifact::parse(name).is_some(), "artefact {name} must be recognised");
+    }
+    assert_eq!(Artifact::ALL.len(), 13);
+}
