@@ -164,10 +164,7 @@ impl ActiveKernel {
         imm: Option<f64>,
         target: Addr,
     ) {
-        assert!(
-            op.operand_count() < 2 || src2.is_some(),
-            "{op} needs two source operands"
-        );
+        assert!(op.operand_count() < 2 || src2.is_some(), "{op} needs two source operands");
         self.apply_reference(op, src1, src2, imm, target);
         self.update_count += 1;
         self.stream_mut(thread).push(WorkItem::Update { op, src1, src2, imm, target });
@@ -260,10 +257,7 @@ impl ActiveKernel {
         };
         let b = src2.map(|s| self.read_memory(s)).unwrap_or(0.0);
         if op.is_reduction() {
-            let entry = self
-                .references
-                .entry(target.block_key())
-                .or_insert((op, op.identity()));
+            let entry = self.references.entry(target.block_key()).or_insert((op, op.identity()));
             entry.1 = op.apply(entry.1, a, b);
         } else {
             // mov / const_assign update the functional memory image so later

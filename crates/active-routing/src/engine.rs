@@ -26,7 +26,7 @@
 use crate::flow::FlowTable;
 use crate::operand::OperandPool;
 use ar_network::DragonflyTopology;
-use ar_sim::LatencyQueue;
+use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::AddressMap;
 use ar_types::config::AreConfig;
 use ar_types::ids::NetNode;
@@ -239,6 +239,9 @@ pub struct ActiveRoutingEngine {
     pending_reads: HashMap<u64, ReadPurpose>,
     /// Operations waiting for (or inside) the ALU pipeline.
     alu_queue: LatencyQueue<AluOp>,
+    /// Output produced by [`Component::wake`], drained by the system through
+    /// [`ActiveRoutingEngine::take_output`].
+    pending_output: AreOutput,
     next_access_id: u64,
     next_packet_seq: u64,
     stats: AreStats,
@@ -247,7 +250,12 @@ pub struct ActiveRoutingEngine {
 impl ActiveRoutingEngine {
     /// Creates the engine for `cube` in a memory network described by
     /// `topology` with address interleaving `map`.
-    pub fn new(cube: CubeId, cfg: &AreConfig, topology: DragonflyTopology, map: AddressMap) -> Self {
+    pub fn new(
+        cube: CubeId,
+        cfg: &AreConfig,
+        topology: DragonflyTopology,
+        map: AddressMap,
+    ) -> Self {
         ActiveRoutingEngine {
             cube,
             topology,
@@ -259,6 +267,7 @@ impl ActiveRoutingEngine {
             stalled: VecDeque::new(),
             pending_reads: HashMap::new(),
             alu_queue: LatencyQueue::new(),
+            pending_output: AreOutput::default(),
             next_access_id: 0,
             next_packet_seq: 0,
             stats: AreStats::default(),
@@ -343,8 +352,17 @@ impl ActiveRoutingEngine {
     }
 
     fn handle_update(&mut self, now: Cycle, from: NetNode, kind: ActiveKind) -> AreOutput {
-        let ActiveKind::Update { flow, op, src1, src2, imm, compute_cube, thread, update_id, issued_at } =
-            kind
+        let ActiveKind::Update {
+            flow,
+            op,
+            src1,
+            src2,
+            imm,
+            compute_cube,
+            thread,
+            update_id,
+            issued_at,
+        } = kind
         else {
             unreachable!("handle_update called with a non-update packet")
         };
@@ -363,9 +381,8 @@ impl ActiveRoutingEngine {
             // Tree construction: extend the ARTree one hop towards the compute
             // cube and forward the update.
             self.stats.updates_forwarded += 1;
-            let next = self
-                .topology
-                .next_hop(NetNode::Cube(self.cube), NetNode::Cube(compute_cube));
+            let next =
+                self.topology.next_hop(NetNode::Cube(self.cube), NetNode::Cube(compute_cube));
             if tracked {
                 if let Some(entry) = self.flows.get_mut(&flow) {
                     entry.children.insert(next);
@@ -418,22 +435,32 @@ impl ActiveRoutingEngine {
             out.vault_accesses.push(VaultAccess { id, addr: ctx.target, write_value: Some(value) });
             self.stats.memory_writes += 1;
         }
-        self.alu_queue.push_after(now, ctx.op.alu_latency(), AluOp {
-            ctx,
-            src1: ctx.imm.unwrap_or(0.0),
-            src2: 0.0,
-            slot: None,
-        });
+        self.alu_queue.push_after(
+            now,
+            ctx.op.alu_latency(),
+            AluOp { ctx, src1: ctx.imm.unwrap_or(0.0), src2: 0.0, slot: None },
+        );
         out
     }
 
-    fn start_single_operand(&mut self, now: Cycle, mut ctx: UpdateContext, src1: Addr) -> AreOutput {
+    fn start_single_operand(
+        &mut self,
+        now: Cycle,
+        mut ctx: UpdateContext,
+        src1: Addr,
+    ) -> AreOutput {
         // Single-operand bypass: no operand buffer entry is reserved.
         ctx.requested_at = now;
         self.issue_operand_fetch(now, ctx, src1, None, 0)
     }
 
-    fn start_two_operand(&mut self, now: Cycle, ctx: UpdateContext, src1: Addr, src2: Addr) -> AreOutput {
+    fn start_two_operand(
+        &mut self,
+        now: Cycle,
+        ctx: UpdateContext,
+        src1: Addr,
+        src2: Addr,
+    ) -> AreOutput {
         match self.operands.try_reserve(ctx.flow, ctx.op, ctx.update_id) {
             Some(slot) => self.issue_two_operand(now, ctx, src1, src2, slot),
             None => {
@@ -552,12 +579,11 @@ impl ActiveRoutingEngine {
         match slot {
             None => {
                 // Single-operand bypass: straight to the ALU.
-                self.alu_queue.push_after(now, ctx.op.alu_latency(), AluOp {
-                    ctx,
-                    src1: value,
-                    src2: 0.0,
-                    slot: None,
-                });
+                self.alu_queue.push_after(
+                    now,
+                    ctx.op.alu_latency(),
+                    AluOp { ctx, src1: value, src2: 0.0, slot: None },
+                );
                 AreOutput::default()
             }
             Some(index) => {
@@ -570,12 +596,11 @@ impl ActiveRoutingEngine {
                     entry.ready()
                 };
                 if let Some((a, b)) = ready {
-                    self.alu_queue.push_after(now, ctx.op.alu_latency(), AluOp {
-                        ctx,
-                        src1: a,
-                        src2: b,
-                        slot: Some(index),
-                    });
+                    self.alu_queue.push_after(
+                        now,
+                        ctx.op.alu_latency(),
+                        AluOp { ctx, src1: a, src2: b, slot: Some(index) },
+                    );
                 }
                 AreOutput::default()
             }
@@ -639,6 +664,12 @@ impl ActiveRoutingEngine {
         AreOutput { packets: vec![packet], vault_accesses: Vec::new() }
     }
 
+    /// Drains the output accumulated by [`Component::wake`] calls since the
+    /// last drain.
+    pub fn take_output(&mut self) -> AreOutput {
+        std::mem::take(&mut self.pending_output)
+    }
+
     /// Advances the engine by one network cycle: retries updates stalled on
     /// the operand buffer pool and commits operations leaving the ALU.
     pub fn tick(&mut self, now: Cycle) -> AreOutput {
@@ -646,11 +677,19 @@ impl ActiveRoutingEngine {
 
         // Retry stalled two-operand updates while buffer entries are free.
         while let Some(stalled) = self.stalled.front().copied() {
-            match self.operands.try_reserve(stalled.ctx.flow, stalled.ctx.op, stalled.ctx.update_id) {
+            match self.operands.try_reserve(stalled.ctx.flow, stalled.ctx.op, stalled.ctx.update_id)
+            {
                 Some(slot) => {
                     self.stalled.pop_front();
-                    self.stats.operand_buffer_stall_cycles += now.saturating_sub(stalled.stalled_since);
-                    out.merge(self.issue_two_operand(now, stalled.ctx, stalled.src1, stalled.src2, slot));
+                    self.stats.operand_buffer_stall_cycles +=
+                        now.saturating_sub(stalled.stalled_since);
+                    out.merge(self.issue_two_operand(
+                        now,
+                        stalled.ctx,
+                        stalled.src1,
+                        stalled.src2,
+                        slot,
+                    ));
                 }
                 None => {
                     // Account one stall cycle for every update still waiting.
@@ -711,6 +750,26 @@ impl ActiveRoutingEngine {
         self.stats.request_latency_sum += request;
         self.stats.stall_latency_sum += stall;
         self.stats.response_latency_sum += response;
+    }
+}
+
+impl Component for ActiveRoutingEngine {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        // Stalled updates retry (and accrue stall statistics) every cycle;
+        // otherwise the next ALU completion is the next internal event.
+        // Packet handling and vault-read completions are external stimuli:
+        // the caller re-arms the engine after delivering them.
+        if !self.stalled.is_empty() {
+            NextWake::At(now + 1)
+        } else {
+            NextWake::from_next(self.alu_queue.next_ready_at())
+        }
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        let out = self.tick(now);
+        self.pending_output.merge(out);
+        self.next_wake(now)
     }
 }
 
@@ -858,8 +917,8 @@ mod tests {
         // plus one OperandReq packet to cube 1.
         let mut eng = engine(0);
         let f = flow(0x40);
-        let out =
-            eng.handle_packet(0, update_packet(0, f, ReduceOp::Mac, 0x100, Some(PAGE + 0x100), 0, 3));
+        let out = eng
+            .handle_packet(0, update_packet(0, f, ReduceOp::Mac, 0x100, Some(PAGE + 0x100), 0, 3));
         assert_eq!(out.vault_accesses.len(), 1);
         assert_eq!(out.packets.len(), 1);
         match &out.packets[0].kind {
@@ -913,8 +972,8 @@ mod tests {
     fn mac_update_completes_when_both_operands_arrive() {
         let mut eng = engine(0);
         let f = flow(0x40);
-        let out =
-            eng.handle_packet(0, update_packet(0, f, ReduceOp::Mac, 0x100, Some(PAGE + 0x100), 0, 3));
+        let out = eng
+            .handle_packet(0, update_packet(0, f, ReduceOp::Mac, 0x100, Some(PAGE + 0x100), 0, 3));
         // Complete the local read (operand 0 = 3.0).
         let local_id = out.vault_accesses[0].id;
         let _ = eng.complete_vault_read(1, local_id, 3.0);

@@ -252,8 +252,7 @@ impl HostOffloadController {
         for port in ports {
             let flow = FlowId::new(key, port);
             let entry_cube = self.topology.host_cube(port);
-            let kind =
-                ActiveKind::GatherReq { flow, op, expected_at_root: 1, thread };
+            let kind = ActiveKind::GatherReq { flow, op, expected_at_root: 1, thread };
             let packet = Packet::new(
                 self.next_packet_id(),
                 NetNode::Host(port),
@@ -271,7 +270,8 @@ impl HostOffloadController {
     /// Non-active packets (normal read responses) are ignored — they belong
     /// to the memory controllers, not the offload engine.
     pub fn handle_port_packet(&mut self, now: Cycle, port: PortId, packet: &Packet) -> HostOutput {
-        let PacketKind::Active(ActiveKind::GatherResp { flow, value, updates }) = packet.kind else {
+        let PacketKind::Active(ActiveKind::GatherResp { flow, value, updates }) = packet.kind
+        else {
             return HostOutput::default();
         };
         let key = flow.target;
@@ -325,7 +325,11 @@ mod tests {
     fn gather_cmd(thread: usize, target: u64, threads: u32) -> OffloadCommand {
         OffloadCommand {
             thread: ThreadId::new(thread),
-            kind: OffloadKind::Gather { target: Addr::new(target), op: ReduceOp::Sum, num_threads: threads },
+            kind: OffloadKind::Gather {
+                target: Addr::new(target),
+                op: ReduceOp::Sum,
+                num_threads: threads,
+            },
         }
     }
 
@@ -394,7 +398,8 @@ mod tests {
         }
         // Three trees answer with partial sums, the fourth finishes last.
         for (port, value) in [(0, 1.0), (1, 2.0), (2, 3.0)] {
-            let out = c.handle_port_packet(10, PortId::new(port), &gather_resp(port, 0x8000, value, 1));
+            let out =
+                c.handle_port_packet(10, PortId::new(port), &gather_resp(port, 0x8000, value, 1));
             assert!(out.completions.is_empty());
         }
         let out = c.handle_port_packet(20, PortId::new(3), &gather_resp(3, 0x8000, 4.0, 1));
@@ -431,7 +436,7 @@ mod tests {
         assert!(c.handle_port_packet(0, PortId::new(0), &read).is_empty());
         // A gather response for a flow with no pending barrier is dropped.
         assert!(c
-            .handle_port_packet(0, PortId::new(0), &gather_resp(0, 0xdead_c0, 1.0, 1))
+            .handle_port_packet(0, PortId::new(0), &gather_resp(0, 0x00de_adc0, 1.0, 1))
             .is_empty());
     }
 

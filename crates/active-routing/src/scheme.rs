@@ -81,14 +81,23 @@ impl PortSelector {
     /// The cube where an update with the given operands will be computed: the
     /// owning cube of a single operand, or the split point (last common cube
     /// of the two operand routes from the entry cube) for two operands.
-    pub fn compute_cube(&self, port: PortId, src1: Addr, src2: Option<Addr>, target: Addr) -> CubeId {
+    pub fn compute_cube(
+        &self,
+        port: PortId,
+        src1: Addr,
+        src2: Option<Addr>,
+        target: Addr,
+    ) -> CubeId {
         let entry = self.topology.host_cube(port);
         match src2 {
             None => {
                 // Zero-operand updates (const_assign) compute at the target's
                 // cube; single-operand updates at the operand's cube.
-                let dest = if src1 == target { self.cube_of(target) } else { self.cube_of(src1) };
-                dest
+                if src1 == target {
+                    self.cube_of(target)
+                } else {
+                    self.cube_of(src1)
+                }
             }
             Some(b) => self.topology.last_common_cube(entry, self.cube_of(src1), self.cube_of(b)),
         }
@@ -120,14 +129,27 @@ impl AdaptivePolicy {
     /// The offload threshold for a phase whose two operand streams have the
     /// given byte strides (elements farther apart than a block get no reuse).
     pub fn threshold(&self, stride1_bytes: u64, stride2_bytes: u64) -> u64 {
-        let t1 = if stride1_bytes == 0 { 0 } else { self.cache_block_bytes / stride1_bytes.min(self.cache_block_bytes) };
-        let t2 = if stride2_bytes == 0 { 0 } else { self.cache_block_bytes / stride2_bytes.min(self.cache_block_bytes) };
+        let t1 = if stride1_bytes == 0 {
+            0
+        } else {
+            self.cache_block_bytes / stride1_bytes.min(self.cache_block_bytes)
+        };
+        let t2 = if stride2_bytes == 0 {
+            0
+        } else {
+            self.cache_block_bytes / stride2_bytes.min(self.cache_block_bytes)
+        };
         (t1 + t2).max(1)
     }
 
     /// Decides whether a phase with `updates_per_flow` updates and the given
     /// strides should be offloaded (true) or executed on the host (false).
-    pub fn should_offload(&self, updates_per_flow: u64, stride1_bytes: u64, stride2_bytes: u64) -> bool {
+    pub fn should_offload(
+        &self,
+        updates_per_flow: u64,
+        stride1_bytes: u64,
+        stride2_bytes: u64,
+    ) -> bool {
         updates_per_flow > self.threshold(stride1_bytes, stride2_bytes)
     }
 
@@ -155,7 +177,10 @@ mod tests {
     fn art_always_uses_port_zero() {
         let s = selector(OffloadScheme::Art);
         for t in 0..16 {
-            assert_eq!(s.port_for_update(ThreadId::new(t), Addr::new(t as u64 * 4096)), PortId::new(0));
+            assert_eq!(
+                s.port_for_update(ThreadId::new(t), Addr::new(t as u64 * 4096)),
+                PortId::new(0)
+            );
         }
         assert_eq!(s.gather_ports(), vec![PortId::new(0)]);
     }

@@ -1,10 +1,9 @@
 //! A generic set-associative tag array with LRU replacement.
 
 use ar_types::Addr;
-use serde::{Deserialize, Serialize};
 
 /// A line evicted from a [`CacheArray`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine {
     /// Block-aligned address of the evicted line.
     pub addr: Addr,
@@ -12,7 +11,7 @@ pub struct EvictedLine {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Line {
     block: u64,
     dirty: bool,
@@ -23,7 +22,7 @@ struct Line {
 ///
 /// The array tracks presence and dirtiness only; coherence state lives in the
 /// directory of the [`crate::hierarchy::CacheHierarchy`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CacheArray {
     sets: Vec<Vec<Option<Line>>>,
     ways: usize,
@@ -127,10 +126,7 @@ impl CacheArray {
             .expect("set has ways");
         let victim = self.sets[set][lru_idx].expect("occupied");
         self.sets[set][lru_idx] = Some(Line { block, dirty, last_used: self.tick });
-        Some(EvictedLine {
-            addr: Addr::new(victim.block * self.block_bytes),
-            dirty: victim.dirty,
-        })
+        Some(EvictedLine { addr: Addr::new(victim.block * self.block_bytes), dirty: victim.dirty })
     }
 
     /// Removes `addr` from the array if present; returns the removed line.

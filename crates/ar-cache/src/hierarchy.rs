@@ -3,11 +3,10 @@
 use crate::array::CacheArray;
 use ar_types::config::CacheConfig;
 use ar_types::Addr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The kind of access performed by a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -26,7 +25,7 @@ impl AccessKind {
 }
 
 /// Which level of the hierarchy served the access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitLevel {
     /// Served by the core's private L1.
     L1,
@@ -35,7 +34,7 @@ pub enum HitLevel {
 }
 
 /// The outcome of a cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
     /// Level that served the access; `None` means main memory must be accessed.
     pub hit: Option<HitLevel>,
@@ -48,7 +47,7 @@ pub struct AccessResult {
 }
 
 /// Aggregate cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total L1 accesses.
     pub l1_accesses: u64,

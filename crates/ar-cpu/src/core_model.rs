@@ -1,13 +1,13 @@
 //! The out-of-order core timing model.
 
 use crate::mi::{MessageInterface, OffloadCommand, OffloadKind};
+use ar_sim::{Component, NextWake, SchedCtx};
 use ar_types::config::CoreConfig;
 use ar_types::{Addr, CoreId, Cycle, ThreadId, WorkItem, WorkStream};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The kind of memory access a core sends into the cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemAccessKind {
     /// A load.
     Read,
@@ -18,7 +18,7 @@ pub enum MemAccessKind {
 }
 
 /// A memory request emitted by a core. Request ids are unique per core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Core-local request identifier.
     pub req_id: u64,
@@ -36,7 +36,7 @@ pub struct CoreOutput {
 }
 
 /// Why the core could not retire or issue anything in a cycle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Cycles stalled with a memory access at the ROB head.
     pub memory: u64,
@@ -85,6 +85,9 @@ pub struct Core {
     outstanding_mem: usize,
     next_req_id: u64,
     mi: MessageInterface,
+    /// Memory requests produced by [`Component::wake`], drained by the
+    /// system through [`Core::take_requests`].
+    pending_requests: Vec<MemAccess>,
     instructions_retired: u64,
     cycles: u64,
     stalls: StallBreakdown,
@@ -107,6 +110,7 @@ impl Core {
             outstanding_mem: 0,
             next_req_id: 0,
             mi: MessageInterface::new(cfg.mi_queue_depth),
+            pending_requests: Vec::new(),
             instructions_retired: 0,
             cycles: 0,
             stalls: StallBreakdown::default(),
@@ -229,6 +233,12 @@ impl Core {
             }
         }
         self.issue_width - budget
+    }
+
+    /// Drains the memory requests issued by [`Component::wake`] calls since
+    /// the last drain, in issue order.
+    pub fn take_requests(&mut self) -> Vec<MemAccess> {
+        std::mem::take(&mut self.pending_requests)
     }
 
     /// Advances the core by one core cycle, returning any memory requests it
@@ -380,6 +390,30 @@ impl Core {
             }
         }
         out
+    }
+}
+
+impl Component for Core {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        // The core model retires/issues and accounts stalls every core cycle
+        // until its stream, ROB and MI have fully drained; the win of the
+        // event-driven kernel on the core side is skipping finished cores.
+        if self.is_done() {
+            NextWake::Idle
+        } else {
+            NextWake::At(now + 1)
+        }
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        // Honor the Component contract: a done core has no due work, so
+        // waking it must be a no-op (`tick` would still count a cycle).
+        if self.is_done() {
+            return NextWake::Idle;
+        }
+        let out = self.tick(now);
+        self.pending_requests.extend(out.mem_requests);
+        self.next_wake(now)
     }
 }
 

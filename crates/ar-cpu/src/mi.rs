@@ -8,11 +8,10 @@
 //! the memory network at the network clock rate.
 
 use ar_types::{Addr, ReduceOp, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The payload of an offload instruction captured by the MI.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OffloadKind {
     /// `Update(src1, src2, target, op)`.
     Update {
@@ -39,7 +38,7 @@ pub enum OffloadKind {
 }
 
 /// One offload command queued in a core's Message Interface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OffloadCommand {
     /// The thread (== core in this model) that issued the command.
     pub thread: ThreadId,

@@ -1,10 +1,9 @@
 //! Per-bank DRAM state: open row tracking and busy time.
 
 use ar_types::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// The row-buffer state of one DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BankState {
     /// No row is open (bank is precharged).
     Closed,
@@ -14,7 +13,7 @@ pub enum BankState {
 
 /// One DRAM bank: an open-row buffer plus the cycle until which the bank is
 /// busy with its current operation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Bank {
     state: BankState,
     busy_until: Cycle,
@@ -87,6 +86,7 @@ impl Bank {
     /// burst completes.
     ///
     /// The caller must ensure the bank [`is_free`](Bank::is_free) at `now`.
+    #[allow(clippy::too_many_arguments)] // the five DDR timing params are clearest spelled out
     pub fn access(
         &mut self,
         now: Cycle,

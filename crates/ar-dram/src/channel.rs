@@ -1,14 +1,13 @@
 //! A DRAM channel: request queue, banks, and the FR-FCFS-style scheduler.
 
 use crate::bank::Bank;
-use ar_sim::LatencyQueue;
+use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::DramAddressMap;
 use ar_types::config::DramConfig;
 use ar_types::{Addr, Cycle};
-use serde::{Deserialize, Serialize};
 
 /// A request presented to the DRAM system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramRequest {
     /// Caller-chosen identifier returned in the response.
     pub id: u64,
@@ -31,7 +30,7 @@ impl DramRequest {
 }
 
 /// A completed DRAM access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramResponse {
     /// Identifier of the originating request.
     pub id: u64,
@@ -208,6 +207,34 @@ impl Channel {
     /// Returns true if no requests are queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.completed.is_empty()
+    }
+
+    /// Completion cycle of the earliest outstanding access, if any.
+    pub fn next_completion_at(&self) -> Option<Cycle> {
+        self.completed.next_ready_at()
+    }
+
+    /// Returns true if requests are waiting to be scheduled.
+    pub fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
+    }
+}
+
+impl Component for Channel {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        // The FR-FCFS scheduler issues at most one request per cycle, so a
+        // non-empty queue needs per-cycle attention; otherwise the earliest
+        // data burst completion is the next event.
+        if self.has_queued() {
+            NextWake::At(now + 1)
+        } else {
+            NextWake::from_next(self.next_completion_at())
+        }
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        self.tick(now);
+        self.next_wake(now)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The multi-channel DRAM system presented to the memory controllers.
 
 use crate::channel::{Channel, DramRequest, DramResponse};
+use ar_sim::{Component, NextWake, SchedCtx};
 use ar_types::config::DramConfig;
 use ar_types::{Addr, Cycle};
 
@@ -14,7 +15,10 @@ pub struct DramSystem {
 impl DramSystem {
     /// Builds the DRAM system for the given configuration.
     pub fn new(cfg: &DramConfig) -> Self {
-        DramSystem { channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(), cfg: cfg.clone() }
+        DramSystem {
+            channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(),
+            cfg: cfg.clone(),
+        }
     }
 
     /// The channel index that owns `addr`.
@@ -41,7 +45,8 @@ impl DramSystem {
         }
     }
 
-    /// Advances every channel by one cycle.
+    /// Advances every channel by one cycle (an idle channel's tick is a
+    /// no-op).
     pub fn tick(&mut self, now: Cycle) {
         for ch in &mut self.channels {
             ch.tick(now);
@@ -86,6 +91,17 @@ impl DramSystem {
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.channels.len()
+    }
+}
+
+impl Component for DramSystem {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        self.channels.iter().fold(NextWake::Idle, |wake, ch| wake.min_with(ch.next_wake(now)))
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        self.tick(now);
+        self.next_wake(now)
     }
 }
 

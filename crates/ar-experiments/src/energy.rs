@@ -34,12 +34,8 @@ fn breakdown_table(
     power_cfg: &PowerConfig,
     title: &str,
 ) -> Table {
-    let columns = vec![
-        "cache".to_string(),
-        "memory".to_string(),
-        "network".to_string(),
-        "total".to_string(),
-    ];
+    let columns =
+        vec!["cache".to_string(), "memory".to_string(), "network".to_string(), "total".to_string()];
     let mut table = Table::new(title, "workload/config", columns);
     for &workload in &matrix.workloads {
         let Some(dram) = matrix.report(workload, NamedConfig::Dram) else { continue };
@@ -62,7 +58,12 @@ fn breakdown_table(
             };
             table.push_row(
                 format!("{}/{}", workload.name(), config),
-                vec![cache / base, memory / base, network / base, (cache + memory + network) / base],
+                vec![
+                    cache / base,
+                    memory / base,
+                    network / base,
+                    (cache + memory + network) / base,
+                ],
             );
         }
     }

@@ -150,7 +150,11 @@ impl Artifact {
             )
             .to_string(),
             Artifact::Fig5_2a => latency::figure_5_2(
-                &Matrix::run(&ar_workloads::WorkloadKind::BENCHMARKS, &latency::LATENCY_CONFIGS, scale),
+                &Matrix::run(
+                    &ar_workloads::WorkloadKind::BENCHMARKS,
+                    &latency::LATENCY_CONFIGS,
+                    scale,
+                ),
                 "Figure 5.2(a): benchmark update roundtrip latency (cycles)",
             )
             .to_string(),
@@ -169,7 +173,11 @@ impl Artifact {
             )
             .to_string(),
             Artifact::Fig5_4a => traffic::figure_5_4(
-                &Matrix::run(&ar_workloads::WorkloadKind::BENCHMARKS, &traffic::TRAFFIC_CONFIGS, scale),
+                &Matrix::run(
+                    &ar_workloads::WorkloadKind::BENCHMARKS,
+                    &traffic::TRAFFIC_CONFIGS,
+                    scale,
+                ),
                 "Figure 5.4(a): benchmark data movement normalized to HMC",
             )
             .to_string(),

@@ -23,7 +23,11 @@ impl Matrix {
     ///
     /// Panics if the scale's base configuration is invalid (it never is for
     /// the built-in scales).
-    pub fn run(workloads: &[WorkloadKind], configs: &[NamedConfig], scale: ExperimentScale) -> Self {
+    pub fn run(
+        workloads: &[WorkloadKind],
+        configs: &[NamedConfig],
+        scale: ExperimentScale,
+    ) -> Self {
         let base = scale.system_config();
         let size = scale.size_class();
         let reports = workloads

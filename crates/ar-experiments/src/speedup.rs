@@ -13,9 +13,8 @@ pub fn figure_5_1(matrix: &Matrix, title: &str) -> Table {
     let mut table = Table::new(title, "workload", columns);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); matrix.configs.len()];
     for (wi, workload) in matrix.workloads.iter().enumerate() {
-        let baseline = matrix
-            .report(*workload, NamedConfig::Dram)
-            .unwrap_or(&matrix.reports[wi][0]);
+        let baseline =
+            matrix.report(*workload, NamedConfig::Dram).unwrap_or(&matrix.reports[wi][0]);
         let mut row = Vec::new();
         for (ci, _) in matrix.configs.iter().enumerate() {
             let speedup = matrix.reports[wi][ci].speedup_over(baseline);

@@ -78,7 +78,9 @@ mod tests {
     #[test]
     fn table_3_1_lists_every_flow_entry_field() {
         let t = table_3_1();
-        for field in ["flow ID", "opcode", "result", "req_counter", "resp_counter", "parent", "Gflag"] {
+        for field in
+            ["flow ID", "opcode", "result", "req_counter", "resp_counter", "parent", "Gflag"]
+        {
             assert!(t.contains(field), "missing field {field}");
         }
     }

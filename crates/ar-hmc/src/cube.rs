@@ -1,7 +1,7 @@
 //! A whole memory cube: 32 vaults behind the intra-cube crossbar.
 
 use crate::vault::{Vault, VaultRequest, VaultResponse};
-use ar_sim::LatencyQueue;
+use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::AddressMap;
 use ar_types::config::HmcConfig;
 use ar_types::{Addr, CubeId, Cycle};
@@ -20,6 +20,11 @@ pub struct HmcCube {
     crossbar_latency: Cycle,
     /// Requests that found their vault queue full and are waiting to retry.
     retry: Vec<VaultRequest>,
+    /// Earliest vault-side event, folded over all vaults during the last
+    /// [`HmcCube::tick`]. Vault state only changes inside `tick`, so the
+    /// cache lets [`Component::next_wake`] stay O(1) instead of re-scanning
+    /// all 32 vaults.
+    vault_wake: NextWake,
     rejected: u64,
 }
 
@@ -35,6 +40,7 @@ impl HmcCube {
             map: AddressMap::new(network_cubes, cfg.vaults, cfg.banks_per_vault),
             crossbar_latency: cfg.crossbar_latency,
             retry: Vec::new(),
+            vault_wake: NextWake::Idle,
             rejected: 0,
         }
     }
@@ -60,7 +66,10 @@ impl HmcCube {
         Ok(())
     }
 
-    /// Advances the cube by one network cycle.
+    /// Advances the cube to `now`. Only vaults with queued requests or due
+    /// completions are visited; an idle vault is skipped (its tick is a
+    /// no-op), so the cost of a cube cycle is proportional to the number of
+    /// busy vaults rather than the vault count.
     pub fn tick(&mut self, now: Cycle) {
         // Retry requests that previously found a full vault queue.
         if !self.retry.is_empty() {
@@ -73,13 +82,21 @@ impl HmcCube {
         while let Some(req) = self.inbound.pop_ready(now) {
             self.dispatch(req);
         }
-        // Advance every vault and collect completions.
+        // Advance the busy vaults, collect due completions, and fold the
+        // earliest remaining vault event into the wake cache.
+        let mut vault_wake = NextWake::Idle;
         for vault in &mut self.vaults {
-            vault.tick(now);
-            while let Some(resp) = vault.pop_response(now) {
-                self.outbound.push_after(now, self.crossbar_latency, resp);
+            if vault.has_queued() {
+                vault.tick(now);
             }
+            if vault.next_completion_at().is_some_and(|at| at <= now) {
+                while let Some(resp) = vault.pop_response(now) {
+                    self.outbound.push_after(now, self.crossbar_latency, resp);
+                }
+            }
+            vault_wake = vault_wake.min_with(vault.next_wake(now));
         }
+        self.vault_wake = vault_wake;
     }
 
     fn dispatch(&mut self, req: VaultRequest) {
@@ -122,6 +139,25 @@ impl HmcCube {
     /// Number of vaults.
     pub fn vaults(&self) -> usize {
         self.vaults.len()
+    }
+}
+
+impl Component for HmcCube {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        let mut wake = self.vault_wake;
+        if !self.retry.is_empty() {
+            wake = wake.min_with(NextWake::At(now + 1));
+        }
+        wake = wake.min_opt(self.inbound.next_ready_at());
+        // The system pops crossed-back responses from `outbound`, so their
+        // readiness is a wake-up of this cube too.
+        wake = wake.min_opt(self.outbound.next_ready_at());
+        wake
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        self.tick(now);
+        self.next_wake(now)
     }
 }
 

@@ -1,13 +1,12 @@
 //! A single HMC vault: its controller queue and DRAM banks.
 
-use ar_sim::LatencyQueue;
+use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::config::HmcConfig;
 use ar_types::{Addr, Cycle};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A memory request presented to a vault controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VaultRequest {
     /// Caller-chosen identifier returned in the response.
     pub id: u64,
@@ -30,7 +29,7 @@ impl VaultRequest {
 }
 
 /// A completed vault access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VaultResponse {
     /// Identifier of the originating request.
     pub id: u64,
@@ -115,13 +114,28 @@ impl Vault {
         self.accesses += 1;
         self.completed.push_at(
             done,
-            VaultResponse { id: head.id, addr: head.addr, is_write: head.is_write, completed_at: done },
+            VaultResponse {
+                id: head.id,
+                addr: head.addr,
+                is_write: head.is_write,
+                completed_at: done,
+            },
         );
     }
 
     /// Removes one completed access available by `now`.
     pub fn pop_response(&mut self, now: Cycle) -> Option<VaultResponse> {
         self.completed.pop_ready(now)
+    }
+
+    /// Returns true if requests are waiting in the controller queue.
+    pub fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Completion cycle of the earliest outstanding access, if any.
+    pub fn next_completion_at(&self) -> Option<Cycle> {
+        self.completed.next_ready_at()
     }
 
     /// Total accesses served.
@@ -137,6 +151,23 @@ impl Vault {
     /// Returns true if no work is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.completed.is_empty()
+    }
+}
+
+impl Component for Vault {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        // A queued request issues on the next cycle (one per cycle over the
+        // TSV command bus); otherwise the next completion is the next event.
+        if self.has_queued() {
+            NextWake::At(now + 1)
+        } else {
+            NextWake::from_next(self.next_completion_at())
+        }
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        self.tick(now);
+        self.next_wake(now)
     }
 }
 

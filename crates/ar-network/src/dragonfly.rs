@@ -14,10 +14,9 @@
 //! destination cube`.
 
 use ar_types::ids::{CubeId, NetNode, PortId};
-use serde::{Deserialize, Serialize};
 
 /// The dragonfly topology: pure connectivity and routing functions, no state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DragonflyTopology {
     cubes: usize,
     groups: usize,
@@ -259,10 +258,7 @@ mod tests {
             let cube = NetNode::Cube(CubeId::new(c));
             for n in t.neighbors(CubeId::new(c)) {
                 if let NetNode::Cube(nc) = n {
-                    assert!(
-                        t.neighbors(nc).contains(&cube),
-                        "link {cube}->{n} is not symmetric"
-                    );
+                    assert!(t.neighbors(nc).contains(&cube), "link {cube}->{n} is not symmetric");
                 }
             }
         }
@@ -303,7 +299,7 @@ mod tests {
     fn inter_group_routing_uses_gateways() {
         let t = DragonflyTopology::paper();
         let hops = t.hop_count(NetNode::Cube(CubeId::new(1)), NetNode::Cube(CubeId::new(9)));
-        assert!(hops <= 3 && hops >= 1);
+        assert!((1..=3).contains(&hops));
     }
 
     #[test]
@@ -322,8 +318,14 @@ mod tests {
     #[test]
     fn split_point_with_same_cube_operands() {
         let t = DragonflyTopology::paper();
-        assert_eq!(t.last_common_cube(CubeId::new(0), CubeId::new(5), CubeId::new(5)), CubeId::new(5));
-        assert_eq!(t.last_common_cube(CubeId::new(3), CubeId::new(3), CubeId::new(3)), CubeId::new(3));
+        assert_eq!(
+            t.last_common_cube(CubeId::new(0), CubeId::new(5), CubeId::new(5)),
+            CubeId::new(5)
+        );
+        assert_eq!(
+            t.last_common_cube(CubeId::new(3), CubeId::new(3), CubeId::new(3)),
+            CubeId::new(3)
+        );
     }
 
     #[test]

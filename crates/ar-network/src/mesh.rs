@@ -7,18 +7,17 @@
 //! Byte-hops are accumulated for the on-chip part of the energy model.
 
 use ar_types::Cycle;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The on-chip mesh NoC model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MeshNoc {
     width: usize,
     hop_latency: Cycle,
     link_bytes_per_cycle: u32,
-    /// Cycle at which each directed link (from_tile, to_tile) becomes free.
-    #[serde(skip)]
-    link_free_at: HashMap<(usize, usize), Cycle>,
+    /// Cycle at which each directed link becomes free, indexed by
+    /// `from_tile * tiles + to_tile` (flat array: this sits on the path of
+    /// every cache transfer, so no hashing).
+    link_free_at: Vec<Cycle>,
     bytes_transferred: u64,
     byte_hops: u64,
     transfers: u64,
@@ -37,7 +36,7 @@ impl MeshNoc {
             width,
             hop_latency,
             link_bytes_per_cycle: link_bytes_per_cycle.max(1),
-            link_free_at: HashMap::new(),
+            link_free_at: vec![0; width * width * width * width],
             bytes_transferred: 0,
             byte_hops: 0,
             transfers: 0,
@@ -83,22 +82,6 @@ impl MeshNoc {
         (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
     }
 
-    /// The XY route between two tiles, exclusive of `from_tile`.
-    fn route(&self, from_tile: usize, to_tile: usize) -> Vec<usize> {
-        let (mut x, mut y) = self.coords(from_tile);
-        let (tx, ty) = self.coords(to_tile);
-        let mut tiles = Vec::new();
-        while x != tx {
-            x = if x < tx { x + 1 } else { x - 1 };
-            tiles.push(y * self.width + x);
-        }
-        while y != ty {
-            y = if y < ty { y + 1 } else { y - 1 };
-            tiles.push(y * self.width + x);
-        }
-        tiles
-    }
-
     /// Performs a transfer of `bytes` bytes from `from_tile` to `to_tile`
     /// starting at core cycle `now`, and returns the cycle at which the last
     /// byte arrives. Contention on each traversed link delays the transfer.
@@ -108,11 +91,23 @@ impl MeshNoc {
         if from_tile == to_tile {
             return now + 1;
         }
-        let serialization = (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
+        let serialization =
+            (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
         let mut t = now;
         let mut prev = from_tile;
-        for next in self.route(from_tile, to_tile) {
-            let free = self.link_free_at.entry((prev, next)).or_insert(0);
+        let tiles = self.tiles();
+        // Walk the XY route inline (X first, then Y) — this is on the path of
+        // every cache transfer, so no per-transfer allocation.
+        let (mut x, mut y) = self.coords(from_tile);
+        let (tx, ty) = self.coords(to_tile);
+        while (x, y) != (tx, ty) {
+            if x != tx {
+                x = if x < tx { x + 1 } else { x - 1 };
+            } else {
+                y = if y < ty { y + 1 } else { y - 1 };
+            }
+            let next = y * self.width + x;
+            let free = &mut self.link_free_at[prev * tiles + next];
             let start = t.max(*free);
             self.queueing_cycles += start - t;
             let done = start + serialization;
@@ -130,7 +125,8 @@ impl MeshNoc {
             return 1;
         }
         let hops = u64::from(self.hop_count(from_tile, to_tile));
-        let serialization = (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
+        let serialization =
+            (u64::from(bytes)).div_ceil(u64::from(self.link_bytes_per_cycle)).max(1);
         hops * (self.hop_latency + serialization)
     }
 

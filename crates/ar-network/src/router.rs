@@ -7,11 +7,11 @@
 //! scheme lose to the forest schemes in the paper (Section 5.2.2).
 
 use crate::dragonfly::DragonflyTopology;
-use ar_sim::BandwidthLink;
+use ar_sim::{BandwidthLink, Component, EventQueue, NextWake, SchedCtx};
 use ar_types::ids::{CubeId, NetNode, PortId};
 use ar_types::packet::{ActiveKind, Packet, PacketKind};
 use ar_types::Cycle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Aggregate traffic statistics of the memory network.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,12 +56,24 @@ impl NetworkStats {
 
 /// The memory network: dragonfly topology + per-link channels + per-node
 /// delivery queues.
+///
+/// The network is event-driven: every [`BandwidthLink::send`] schedules the
+/// packet's arrival in a future-event list, [`MemoryNetwork::tick`] only
+/// touches the links with arrivals due, and [`MemoryNetwork::next_wake`]
+/// reports the next arrival so the system driver can sleep until then.
+/// Links are kept in a `BTreeMap` so same-cycle processing order is
+/// deterministic.
 #[derive(Debug)]
 pub struct MemoryNetwork {
     topology: DragonflyTopology,
-    links: HashMap<(NetNode, NetNode), BandwidthLink<Packet>>,
+    links: BTreeMap<(NetNode, NetNode), BandwidthLink<Packet>>,
     delivered_cube: Vec<VecDeque<Packet>>,
     delivered_host: Vec<VecDeque<Packet>>,
+    /// Future-event list of packet arrivals, keyed by the link they arrive
+    /// on. One entry per in-flight packet.
+    arrivals: EventQueue<(NetNode, NetNode)>,
+    /// Packets sitting in a delivery queue, awaiting `pop_at_*`.
+    delivered: usize,
     stats: NetworkStats,
     hop_latency: Cycle,
     link_bytes_per_cycle: u32,
@@ -71,7 +83,7 @@ impl MemoryNetwork {
     /// Builds the network for a topology with the given per-hop latency
     /// (router pipeline + wire) and per-link bandwidth.
     pub fn new(topology: DragonflyTopology, hop_latency: Cycle, link_bytes_per_cycle: u32) -> Self {
-        let mut links = HashMap::new();
+        let mut links = BTreeMap::new();
         for (a, b) in topology.directed_links() {
             links.insert((a, b), BandwidthLink::new(hop_latency, link_bytes_per_cycle));
         }
@@ -82,6 +94,8 @@ impl MemoryNetwork {
             links,
             delivered_cube,
             delivered_host,
+            arrivals: EventQueue::new(),
+            delivered: 0,
             stats: NetworkStats::default(),
             hop_latency,
             link_bytes_per_cycle,
@@ -131,6 +145,7 @@ impl MemoryNetwork {
     fn deliver(&mut self, now: Cycle, packet: Packet) {
         self.stats.packets_delivered += 1;
         self.stats.total_latency += now.saturating_sub(packet.injected_at);
+        self.delivered += 1;
         match packet.dst {
             NetNode::Cube(c) => self.delivered_cube[c.index()].push_back(packet),
             NetNode::Host(p) => self.delivered_host[p.index()].push_back(packet),
@@ -146,43 +161,54 @@ impl MemoryNetwork {
         packet.hops += 1;
         self.stats.bit_hops += u64::from(packet.size_bytes()) * 8;
         let bytes = packet.size_bytes();
-        let link = self
-            .links
-            .get_mut(&(node, next))
-            .unwrap_or_else(|| panic!("no link {node} -> {next}"));
-        link.send(now, bytes, packet);
+        let link =
+            self.links.get_mut(&(node, next)).unwrap_or_else(|| panic!("no link {node} -> {next}"));
+        let arrives_at = link.send(now, bytes, packet);
+        self.arrivals.schedule(arrives_at, (node, next));
     }
 
-    /// Advances the network by one cycle: packets that have finished
-    /// traversing a link are forwarded to the next hop or delivered.
+    /// Advances the network to `now`: packets whose arrival is due are
+    /// forwarded to the next hop or delivered. Only links with due arrivals
+    /// are visited, in arrival order (FIFO among same-cycle arrivals).
     pub fn tick(&mut self, now: Cycle) {
-        let mut arrivals: Vec<(NetNode, Packet)> = Vec::new();
-        for ((_, to), link) in self.links.iter_mut() {
-            while let Some(p) = link.pop_arrived(now) {
-                arrivals.push((*to, p));
-            }
+        while let Some((_, key)) = self.arrivals.pop_due(now) {
+            let link = self.links.get_mut(&key).expect("scheduled link exists");
+            let packet = link.pop_arrived(now).expect("one arrival per scheduled event");
+            self.process_at(now, key.1, packet);
         }
-        for (node, packet) in arrivals {
-            self.process_at(now, node, packet);
-        }
+    }
+
+    /// Returns true if a packet is waiting in the given cube's delivery
+    /// queue.
+    pub fn has_delivery_at_cube(&self, cube: CubeId) -> bool {
+        !self.delivered_cube[cube.index()].is_empty()
+    }
+
+    /// Returns true if a packet is waiting in the given host port's delivery
+    /// queue.
+    pub fn has_delivery_at_host(&self, port: PortId) -> bool {
+        !self.delivered_host[port.index()].is_empty()
     }
 
     /// Removes the next packet delivered at a cube, if any.
     pub fn pop_at_cube(&mut self, cube: CubeId) -> Option<Packet> {
-        self.delivered_cube[cube.index()].pop_front()
+        let packet = self.delivered_cube[cube.index()].pop_front();
+        self.delivered -= packet.is_some() as usize;
+        packet
     }
 
     /// Removes the next packet delivered at a host port, if any.
     pub fn pop_at_host(&mut self, port: PortId) -> Option<Packet> {
-        self.delivered_host[port.index()].pop_front()
+        let packet = self.delivered_host[port.index()].pop_front();
+        self.delivered -= packet.is_some() as usize;
+        packet
     }
 
     /// Number of packets currently buffered or in flight anywhere in the
-    /// network (used to detect quiescence).
+    /// network (used to detect quiescence). The counts are tracked
+    /// incrementally, so this is O(1).
     pub fn in_flight(&self) -> usize {
-        self.links.values().map(BandwidthLink::in_flight).sum::<usize>()
-            + self.delivered_cube.iter().map(VecDeque::len).sum::<usize>()
-            + self.delivered_host.iter().map(VecDeque::len).sum::<usize>()
+        self.arrivals.len() + self.delivered
     }
 
     /// Returns true if nothing is queued or in flight.
@@ -206,6 +232,23 @@ impl MemoryNetwork {
     /// Per-link bandwidth (bytes per cycle) the network was configured with.
     pub fn link_bandwidth(&self) -> u32 {
         self.link_bytes_per_cycle
+    }
+}
+
+impl Component for MemoryNetwork {
+    fn next_wake(&self, now: Cycle) -> NextWake {
+        // Undrained delivery queues must be looked at on the very next cycle;
+        // otherwise the next link arrival is the next observable change.
+        if self.delivered > 0 {
+            NextWake::At(now + 1)
+        } else {
+            NextWake::from_next(self.arrivals.next_at())
+        }
+    }
+
+    fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
+        self.tick(now);
+        self.next_wake(now)
     }
 }
 

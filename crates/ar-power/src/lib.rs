@@ -40,10 +40,7 @@ pub use model::{ActivityCounters, EnergyBreakdown, EnergyModel, PowerBreakdown};
 /// infinities.
 pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
     let Some(&base) = values.first() else { return Vec::new() };
-    values
-        .iter()
-        .map(|&v| if base == 0.0 { 0.0 } else { v / base })
-        .collect()
+    values.iter().map(|&v| if base == 0.0 { 0.0 } else { v / base }).collect()
 }
 
 /// Geometric mean of a slice of positive values (used for the "gmean" bars of

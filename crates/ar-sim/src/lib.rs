@@ -1,15 +1,19 @@
 //! Simulation kernel for the Active-Routing reproduction.
 //!
-//! The full-system model in `ar-system` is cycle-driven: every component is
-//! ticked once per memory-network cycle. This crate provides the shared
-//! building blocks those components are made of:
+//! The full-system model in `ar-system` is event-driven: components request
+//! their next wake-up cycle through the [`component::Component`] trait and a
+//! [`component::Scheduler`] calendar, so only components with pending work
+//! are visited. This crate provides that scheduling layer plus the shared
+//! building blocks the components are made of:
 //!
+//! * [`component`] — the [`component::Component`] trait,
+//!   [`component::NextWake`] requests and the keyed
+//!   [`component::Scheduler`] driving the event loop;
 //! * [`queue::LatencyQueue`] — items that become visible after a fixed or
 //!   per-item delay (pipelines, wire latency, DRAM access completion);
 //! * [`queue::BandwidthLink`] — a bandwidth-limited, in-order link that
 //!   charges serialization delay per byte;
-//! * [`events::EventQueue`] — a classic future-event list for components that
-//!   prefer event-driven bookkeeping;
+//! * [`events::EventQueue`] — the future-event list underlying the scheduler;
 //! * [`stats`] — counters, histograms and windowed time series used to build
 //!   every figure of the evaluation;
 //! * [`rng`] — a deterministic RNG facade so simulations are reproducible.
@@ -25,11 +29,13 @@
 //! assert_eq!(q.pop_ready(5), Some("memory response"));
 //! ```
 
+pub mod component;
 pub mod events;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use component::{Component, NextWake, SchedCtx, Scheduler};
 pub use events::EventQueue;
 pub use queue::{BandwidthLink, LatencyQueue};
 pub use rng::SimRng;

@@ -134,8 +134,9 @@ impl<T> BandwidthLink<T> {
     }
 
     /// Sends a packet of `bytes` bytes at cycle `now`; it will be delivered
-    /// after queueing + serialization + propagation.
-    pub fn send(&mut self, now: Cycle, bytes: u32, item: T) {
+    /// after queueing + serialization + propagation. Returns the arrival
+    /// cycle, so callers can schedule an event-driven wake-up for it.
+    pub fn send(&mut self, now: Cycle, bytes: u32, item: T) -> Cycle {
         let start = self.free_at.max(now);
         self.queueing_cycles += start - now;
         let serialization = (bytes as u64).div_ceil(self.bytes_per_cycle as u64).max(1);
@@ -143,7 +144,14 @@ impl<T> BandwidthLink<T> {
         self.free_at = done;
         self.bytes_transferred += u64::from(bytes);
         self.packets_transferred += 1;
-        self.in_flight.push_back((done + self.latency, item));
+        let arrives_at = done + self.latency;
+        self.in_flight.push_back((arrives_at, item));
+        arrives_at
+    }
+
+    /// Arrival cycle of the oldest in-flight packet, if any.
+    pub fn next_arrival_at(&self) -> Option<Cycle> {
+        self.in_flight.front().map(|(at, _)| *at)
     }
 
     /// Removes and returns one packet that has fully arrived by `now`.
@@ -220,7 +228,8 @@ mod tests {
     fn bandwidth_link_serializes_packets() {
         let mut link: BandwidthLink<u32> = BandwidthLink::new(3, 16);
         // 64-byte packet takes 4 cycles to serialize + 3 latency = arrives at 7.
-        link.send(0, 64, 1);
+        assert_eq!(link.send(0, 64, 1), 7);
+        assert_eq!(link.next_arrival_at(), Some(7));
         assert_eq!(link.pop_arrived(6), None);
         assert_eq!(link.pop_arrived(7), Some(1));
         assert_eq!(link.bytes_transferred(), 64);

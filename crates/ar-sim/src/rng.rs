@@ -2,28 +2,53 @@
 //!
 //! All randomness in the workspace (workload data generation, random access
 //! patterns in `rand_reduce` / `rand_mac`, synthetic graph construction) goes
-//! through [`SimRng`], a thin facade over a seeded `SmallRng`, so a run is
-//! fully determined by its configuration and seed.
+//! through [`SimRng`], a self-contained xoshiro256++ generator seeded through
+//! SplitMix64, so a run is fully determined by its configuration and seed and
+//! the workspace needs no external RNG crate.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic, seedable random number generator.
+/// A deterministic, seedable random number generator (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+        let mut s = seed;
+        let state =
+            [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -33,7 +58,10 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply range reduction (Lemire); bias is negligible for
+        // simulation purposes and the mapping is deterministic.
+        let x = self.next_u64() as u128;
+        ((x * bound as u128) >> 64) as u64
     }
 
     /// Uniform `usize` index in `[0, len)`.
@@ -43,12 +71,12 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "len must be non-zero");
-        self.inner.gen_range(0..len)
+        self.next_below(len as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -64,7 +92,7 @@ impl SimRng {
     /// Fisher-Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.next_below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -72,7 +100,7 @@ impl SimRng {
     /// Forks a new generator whose stream is independent of, but determined
     /// by, this one (used to give each thread / component its own stream).
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(seed)
     }
 }

@@ -5,12 +5,11 @@
 //! traffic bytes (Fig. 5.4), energy (Figs. 5.5-5.7) and windowed IPC
 //! (Fig. 5.8).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A monotonically increasing counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -42,7 +41,7 @@ impl fmt::Display for Counter {
 }
 
 /// An accumulating sample statistic (count / sum / min / max / mean).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
@@ -132,7 +131,7 @@ impl Histogram {
 
 /// A time series sampled in fixed-size windows (e.g. IPC per 1M instructions,
 /// Fig. 5.8).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }
@@ -178,7 +177,7 @@ impl TimeSeries {
 /// Components register their statistics here with hierarchical names such as
 /// `"network.cube3.operand_buffer_stalls"`; the experiments crate reads them
 /// back to build figures.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,
@@ -207,7 +206,7 @@ impl Stats {
 
     /// Records a sample into the named histogram.
     pub fn record(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_insert_with(Histogram::new).record(value);
+        self.histograms.entry(name.to_string()).or_default().record(value);
     }
 
     /// Reads a histogram, returning an empty one if it was never touched.
@@ -231,7 +230,7 @@ impl Stats {
             self.counters.entry(k.clone()).or_default().add(v.get());
         }
         for (k, v) in &other.histograms {
-            self.histograms.entry(k.clone()).or_insert_with(Histogram::new).merge(v);
+            self.histograms.entry(k.clone()).or_default().merge(v);
         }
     }
 

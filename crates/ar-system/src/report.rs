@@ -4,10 +4,9 @@ use ar_power::{ActivityCounters, EnergyBreakdown, EnergyModel, PowerBreakdown};
 use ar_sim::TimeSeries;
 use ar_types::config::{NamedConfig, PowerConfig};
 use ar_types::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Mean update roundtrip latency breakdown (Fig. 5.2), in network cycles.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyBreakdown {
     /// Mean request component (host port to compute cube).
     pub request: f64,
@@ -25,7 +24,7 @@ impl LatencyBreakdown {
 }
 
 /// Data movement split into the four categories of Fig. 5.4, in bytes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DataMovement {
     /// Normal (non-active) request bytes on the memory network / DRAM bus.
     pub norm_req_bytes: u64,
@@ -45,7 +44,7 @@ impl DataMovement {
 }
 
 /// Per-cube activity used by the Fig. 5.3 heatmaps.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CubeActivity {
     /// Updates computed per cube ("update distribution").
     pub updates_computed: Vec<u64>,
@@ -56,7 +55,7 @@ pub struct CubeActivity {
 }
 
 /// Aggregated core stall cycles (core clock).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallSummary {
     /// Stalled with a memory access at the ROB head.
     pub memory: u64,
@@ -79,7 +78,7 @@ impl StallSummary {
 
 /// Everything measured by one simulation run. This is the single input from
 /// which every figure of the evaluation is regenerated.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,

@@ -105,11 +105,8 @@ mod tests {
     #[test]
     fn reduce_microbenchmark_runs_and_verifies_on_arf_tid() {
         let cfg = small_cfg();
-        let generated = WorkloadKind::Reduce.generate(
-            cfg.cores.count,
-            SizeClass::Tiny,
-            Variant::Active,
-        );
+        let generated =
+            WorkloadKind::Reduce.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
         let report = run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
             .expect("valid configuration");
         assert!(report.completed, "simulation must finish before the cycle limit");
@@ -161,7 +158,8 @@ mod tests {
     #[test]
     fn mismatched_scheme_and_streams_is_rejected() {
         let cfg = small_cfg().with_scheme(OffloadScheme::None);
-        let generated = WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
+        let generated =
+            WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
         let err = System::new(cfg, generated.streams, generated.memory);
         assert!(err.is_err(), "offload streams on a non-offloading scheme must be rejected");
     }

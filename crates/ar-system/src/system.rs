@@ -1,4 +1,4 @@
-//! The cycle-driven full-system model.
+//! The event-driven full-system model.
 //!
 //! One [`System`] wires together every substrate of the evaluation platform
 //! (Table 4.1): the out-of-order cores and their Message Interfaces, the
@@ -6,6 +6,19 @@
 //! DRAM baseline or the dragonfly memory network of HMC cubes with one
 //! Active-Routing Engine per cube. The system advances in memory-network
 //! cycles (1 GHz); the cores tick twice per network cycle (2 GHz).
+//!
+//! Time advances through the [`ar_sim::Component`] layer: every top-level
+//! component (the core cluster, the memory network, each cube, each AR
+//! engine, the DRAM backend, the IPC sampler) is identified by a [`SysKey`]
+//! and registers its next wake-up cycle in an [`ar_sim::Scheduler`]. The
+//! driver in [`System::run`] only processes cycles at which some component is
+//! due and, within such a cycle, only wakes the due components — idle
+//! routers, vaults and engines cost nothing. [`System::run_lockstep`] drives
+//! the *same* per-cycle step over every cycle and every component, exactly
+//! like the original lock-step simulator; the two kernels produce
+//! cycle-identical [`SimReport`]s (asserted by the equivalence tests), the
+//! event-driven one just skips the cycles and components that provably do
+//! nothing.
 //!
 //! Alongside the timing model the system keeps a *functional memory* (a map
 //! from address to f64). Offloaded operand reads return values from it and
@@ -20,7 +33,7 @@ use ar_cpu::{Core, MemAccess, MemAccessKind};
 use ar_dram::{DramRequest, DramSystem};
 use ar_hmc::{HmcCube, VaultRequest};
 use ar_network::{DragonflyTopology, MemoryNetwork, MeshNoc};
-use ar_sim::{LatencyQueue, TimeSeries};
+use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx, Scheduler, TimeSeries};
 use ar_types::addr::AddressMap;
 use ar_types::config::{MemoryMode, SystemConfig};
 use ar_types::error::ConfigError;
@@ -35,6 +48,29 @@ const ATOMIC_COHERENCE_PENALTY: u64 = 16;
 
 /// Core-cycle window over which the IPC time series is sampled (Fig. 5.8).
 const IPC_WINDOW_CORE_CYCLES: u64 = 2048;
+
+/// Scheduling key of one top-level component of the system.
+///
+/// The granularity is deliberately coarse (the whole core cluster is one
+/// key, a cube with its 32 vaults is one key): a key must be worth the
+/// calendar bookkeeping, and the intra-component skipping is handled by the
+/// component itself through its own [`Component::next_wake`] logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SysKey {
+    /// The core cluster: core pipelines, barrier release, MI drain.
+    Cores,
+    /// The DDR DRAM backend, including the system-side retry queue.
+    Dram,
+    /// The memory network.
+    Network,
+    /// One HMC cube (crossbar + vaults).
+    Cube(usize),
+    /// One per-cube Active-Routing Engine.
+    Engine(usize),
+    /// The windowed IPC sampler (keeps the Fig. 5.8 series cycle-exact even
+    /// when the kernel skips over the sampling boundary).
+    Ipc,
+}
 
 /// Why a vault access was issued (used to dispatch its completion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +135,13 @@ pub struct System {
     next_vault_id: u64,
     /// DRAM requests that found a full channel queue and wait to be retried.
     retry_dram: Vec<(Cycle, u64, Addr, bool)>,
+    /// Components stimulated during the current step, whose wake-up must be
+    /// re-armed in the scheduler before the step ends. Deduplicated on push
+    /// through `arm_flags` (one slot per [`SysKey`]), so membership checks
+    /// and the end-of-step sweep stay O(1) per key.
+    armq: Vec<SysKey>,
+    /// One dirty flag per `SysKey` slot (see [`System::key_slot`]).
+    arm_flags: Vec<bool>,
     /// Final gathered reduction results.
     gather_results: Vec<(Addr, f64)>,
     /// Windowed IPC samples.
@@ -133,8 +176,7 @@ impl System {
                 streams.len()
             )));
         }
-        let offloads_in_streams =
-            streams.iter().any(|s| s.iter().any(WorkItem::is_offload));
+        let offloads_in_streams = streams.iter().any(|s| s.iter().any(WorkItem::is_offload));
         if offloads_in_streams && !cfg.scheme.offloads() {
             return Err(ConfigError::new(
                 "work streams contain Update/Gather items but the scheme never offloads",
@@ -172,9 +214,10 @@ impl System {
                         ActiveRoutingEngine::new(CubeId::new(c), &cfg.are, topology.clone(), map)
                     })
                     .collect();
-                let controller = cfg.scheme.offloads().then(|| {
-                    HostOffloadController::new(cfg.scheme, topology.clone(), map)
-                });
+                let controller = cfg
+                    .scheme
+                    .offloads()
+                    .then(|| HostOffloadController::new(cfg.scheme, topology.clone(), map));
                 Backend::Hmc(Box::new(HmcBackend { network, cubes, engines, controller, topology }))
             }
         };
@@ -195,6 +238,8 @@ impl System {
             next_txn: 0,
             next_vault_id: 0,
             retry_dram: Vec::new(),
+            armq: Vec::new(),
+            arm_flags: vec![false; 4 + 2 * cfg.network.cubes],
             gather_results: Vec::new(),
             ipc_series: TimeSeries::new(),
             last_ipc_sample_insns: 0,
@@ -217,56 +262,206 @@ impl System {
     }
 
     /// Runs the simulation to completion (or to the configured cycle limit)
-    /// and returns the report.
-    pub fn run(mut self) -> SimReport {
+    /// with the event-driven kernel and returns the report.
+    ///
+    /// Components are only woken at cycles where they have due work, and
+    /// cycles in which no component is due are skipped entirely. The
+    /// resulting [`SimReport`] is cycle-identical to
+    /// [`System::run_lockstep`].
+    pub fn run(self) -> SimReport {
+        self.run_with(false)
+    }
+
+    /// Runs the simulation with the lock-step reference kernel: every cycle
+    /// is processed and every component is woken on each of them, exactly
+    /// like the original cycle-driven simulator.
+    ///
+    /// This exists to validate the event-driven kernel (the equivalence
+    /// tests assert identical reports from both drivers) and to benchmark
+    /// against it; simulations should use [`System::run`].
+    pub fn run_lockstep(self) -> SimReport {
+        self.run_with(true)
+    }
+
+    fn run_with(mut self, lockstep: bool) -> SimReport {
         let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
+        let mut sched: Scheduler<SysKey> = Scheduler::new();
+        sched.schedule(0, SysKey::Cores);
+        sched.schedule(self.next_ipc_boundary(0), SysKey::Ipc);
+        let mut due: Vec<SysKey> = Vec::new();
         let mut now: Cycle = 0;
         let mut completed = false;
         while now < max_cycles {
-            self.step(now);
+            sched.pop_due_into(now, &mut due);
+            self.step(now, (!lockstep).then_some(&due), &mut sched);
             if self.is_finished() {
                 completed = true;
                 break;
             }
-            now += 1;
+            now = if lockstep {
+                now + 1
+            } else {
+                match sched.next_cycle() {
+                    Some(at) => at.clamp(now + 1, max_cycles),
+                    // Nothing scheduled and not finished: no state can change
+                    // any more, so idle out to the cycle limit exactly like
+                    // the lock-step loop would.
+                    None => max_cycles,
+                }
+            };
         }
         self.into_report(now, completed)
     }
 
-    /// Advances the whole system by one memory-network cycle.
-    fn step(&mut self, now: Cycle) {
+    /// Processes one memory-network cycle.
+    ///
+    /// `due` is the set of components with scheduled wake-ups at `now`
+    /// (`None` means "everything", which is how the lock-step driver runs).
+    /// The phase order within a cycle is fixed — cores, barriers, Message
+    /// Interfaces, memory backend, IPC sampling — and matches the original
+    /// lock-step simulator; gating a phase on its key only skips work that
+    /// would have been a no-op.
+    fn step(&mut self, now: Cycle, due: Option<&[SysKey]>, sched: &mut Scheduler<SysKey>) {
+        debug_assert!(self.armq.is_empty());
+        let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
-        for sub in 0..ratio {
-            let core_cycle = now * ratio + sub;
-            self.tick_cores(core_cycle);
+        let mut ctx = SchedCtx::new(now);
+
+        // ------------------------------------------------------------------
+        // Core cluster: pipelines, barrier release, Message Interfaces.
+        // ------------------------------------------------------------------
+        if is_due(SysKey::Cores) && self.cores_active() {
+            for sub in 0..ratio {
+                let core_cycle = now * ratio + sub;
+                // Deliver finished memory requests first so dependent work
+                // can issue in the same cycle.
+                while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
+                    self.cores[core].complete_mem(req_id, core_cycle);
+                }
+                let mut requests: Vec<(usize, MemAccess)> = Vec::new();
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    if core.is_done() {
+                        continue;
+                    }
+                    core.wake(core_cycle, &mut ctx);
+                    requests.extend(core.take_requests().into_iter().map(|req| (i, req)));
+                }
+                for (core, req) in requests {
+                    self.handle_core_memory_request(core_cycle, core, req);
+                }
+            }
+            self.release_barriers(now * ratio);
+            self.drain_message_interfaces(now);
+            // The cluster re-arms itself for every cycle it stays active;
+            // once all cores are done it goes quiet for good.
+            if self.cores_active() {
+                sched.schedule(now + 1, SysKey::Cores);
+            }
         }
-        self.release_barriers(now * ratio);
-        self.drain_message_interfaces(now);
-        self.tick_memory(now);
+
+        // ------------------------------------------------------------------
+        // Memory side.
+        // ------------------------------------------------------------------
+        // A component stimulated by an earlier phase of this same cycle (e.g.
+        // a DRAM request issued by the cores phase) must be processed by its
+        // own phase *this* cycle, exactly as the lock-step order does — the
+        // armq doubles as that same-cycle stimulus record.
+        match self.backend {
+            Backend::Dram(_) => {
+                let dram_due = is_due(SysKey::Dram) || self.stimulated(SysKey::Dram);
+                self.step_dram(now, dram_due);
+            }
+            Backend::Hmc(_) => self.step_hmc(now, due),
+        }
+
+        // ------------------------------------------------------------------
+        // Bookkeeping.
+        // ------------------------------------------------------------------
         self.sample_ipc(now * ratio);
+        if is_due(SysKey::Ipc) {
+            sched.schedule(self.next_ipc_boundary(now), SysKey::Ipc);
+        }
+
+        // Re-arm every component woken or stimulated during this cycle
+        // (`armq` is already deduplicated by the push-side flags).
+        let mut touched = std::mem::take(&mut self.armq);
+        for &key in &touched {
+            self.arm_flags[Self::key_slot(key)] = false;
+            let wake = self.next_wake_of(now, key);
+            sched.schedule_next(wake, key);
+        }
+        touched.clear();
+        self.armq = touched;
+    }
+
+    /// Dense index of a scheduling key into `arm_flags`.
+    fn key_slot(key: SysKey) -> usize {
+        match key {
+            SysKey::Cores => 0,
+            SysKey::Dram => 1,
+            SysKey::Network => 2,
+            SysKey::Ipc => 3,
+            SysKey::Cube(c) => 4 + 2 * c,
+            SysKey::Engine(c) => 5 + 2 * c,
+        }
+    }
+
+    /// Records that `key` was stimulated this cycle (deduplicated). A free
+    /// function over the two fields so call sites holding a borrow of
+    /// `self.backend` can still record stimuli.
+    fn stimulate(armq: &mut Vec<SysKey>, arm_flags: &mut [bool], key: SysKey) {
+        let slot = Self::key_slot(key);
+        if !arm_flags[slot] {
+            arm_flags[slot] = true;
+            armq.push(key);
+        }
+    }
+
+    /// Returns true if `key` was stimulated earlier in the current step.
+    fn stimulated(&self, key: SysKey) -> bool {
+        self.arm_flags[Self::key_slot(key)]
+    }
+
+    /// Returns true while the core cluster still has work: an unfinished
+    /// core, or an in-flight completion that must be delivered.
+    fn cores_active(&self) -> bool {
+        !self.cores.iter().all(Core::is_done) || !self.core_completions.is_empty()
+    }
+
+    /// The wake-up request of a top-level component, queried after it was
+    /// woken or stimulated.
+    fn next_wake_of(&self, now: Cycle, key: SysKey) -> NextWake {
+        match (key, &self.backend) {
+            (SysKey::Dram, Backend::Dram(dram)) => self
+                .retry_dram
+                .iter()
+                .fold(dram.next_wake(now), |wake, (at, ..)| wake.min_with(NextWake::At(*at))),
+            (SysKey::Network, Backend::Hmc(hmc)) => hmc.network.next_wake(now),
+            (SysKey::Cube(c), Backend::Hmc(hmc)) => hmc.cubes[c].next_wake(now),
+            (SysKey::Engine(c), Backend::Hmc(hmc)) => hmc.engines[c].next_wake(now),
+            // Cores and the IPC sampler re-arm inline in `step`.
+            _ => NextWake::Idle,
+        }
+    }
+
+    /// The next network cycle after `now` at which the IPC window boundary
+    /// falls (i.e. `cycle * ratio` is a multiple of the window).
+    fn next_ipc_boundary(&self, now: Cycle) -> Cycle {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let ratio = self.cfg.core_cycles_per_network_cycle().max(1);
+        let period = (IPC_WINDOW_CORE_CYCLES / gcd(IPC_WINDOW_CORE_CYCLES, ratio)).max(1);
+        (now / period + 1) * period
     }
 
     // ------------------------------------------------------------------
     // Core side
     // ------------------------------------------------------------------
-
-    fn tick_cores(&mut self, core_cycle: Cycle) {
-        // Deliver finished memory requests first so dependent work can issue
-        // in the same cycle.
-        while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
-            self.cores[core].complete_mem(req_id, core_cycle);
-        }
-        let mut requests: Vec<(usize, MemAccess)> = Vec::new();
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            let out = core.tick(core_cycle);
-            for req in out.mem_requests {
-                requests.push((i, req));
-            }
-        }
-        for (core, req) in requests {
-            self.handle_core_memory_request(core_cycle, core, req);
-        }
-    }
 
     fn handle_core_memory_request(&mut self, core_cycle: Cycle, core: usize, req: MemAccess) {
         let kind = match req.kind {
@@ -277,8 +472,7 @@ impl System {
         let result = self.caches.access(core, req.addr, kind);
         let core_tile = self.noc.core_tile(core);
         let bank_tile = self.noc.bank_tile(result.l2_bank);
-        let atomic_penalty =
-            if kind == AccessKind::Atomic { ATOMIC_COHERENCE_PENALTY } else { 0 };
+        let atomic_penalty = if kind == AccessKind::Atomic { ATOMIC_COHERENCE_PENALTY } else { 0 };
 
         match result.hit {
             Some(HitLevel::L1) => {
@@ -297,10 +491,9 @@ impl System {
                 let mc_tile = self.noc.mc_tile(mc.index());
                 let at_bank = self.noc.transfer(core_cycle, core_tile, bank_tile, 16);
                 let at_mc = self.noc.transfer(at_bank, bank_tile, mc_tile, 16);
-                let noc_return =
-                    self.noc.ideal_latency(mc_tile, bank_tile, 80)
-                        + self.noc.ideal_latency(bank_tile, core_tile, 80)
-                        + atomic_penalty;
+                let noc_return = self.noc.ideal_latency(mc_tile, bank_tile, 80)
+                    + self.noc.ideal_latency(bank_tile, core_tile, 80)
+                    + atomic_penalty;
                 let txn = self.next_txn;
                 self.next_txn += 1;
                 self.mem_txns.insert(
@@ -327,7 +520,9 @@ impl System {
 
     fn memory_port_of(&self, addr: Addr) -> PortId {
         match &self.backend {
-            Backend::Dram(dram) => PortId::new(dram.channel_of(addr) % self.cfg.noc.memory_controllers),
+            Backend::Dram(dram) => {
+                PortId::new(dram.channel_of(addr) % self.cfg.noc.memory_controllers)
+            }
             Backend::Hmc(hmc) => {
                 let cube = CubeId::new(self.map.cube_of(addr));
                 hmc.topology.nearest_port(cube)
@@ -347,6 +542,7 @@ impl System {
                     // Channel queue full: retry on the next network cycle.
                     self.retry_dram.push((now + 1, txn, addr, is_write));
                 }
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Dram);
             }
             Backend::Hmc(hmc) => {
                 let port = self.mem_txns.get(&txn).map(|t| t.port).unwrap_or(PortId::new(0));
@@ -358,6 +554,7 @@ impl System {
                 };
                 let packet = Packet::from_host(txn | (1 << 59), port, cube, kind, now);
                 hmc.network.inject(now, packet);
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
             }
         }
     }
@@ -368,6 +565,7 @@ impl System {
                 let id = self.next_txn | (1 << 58);
                 self.next_txn += 1;
                 let _ = dram.try_push(now, DramRequest::write(id, addr));
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Dram);
             }
             Backend::Hmc(hmc) => {
                 let id = self.next_txn | (1 << 58);
@@ -386,6 +584,7 @@ impl System {
                     MemTxn { core: usize::MAX, req_id: 0, port, noc_return: 0, is_write: true },
                 );
                 hmc.network.inject(now, packet);
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
             }
         }
     }
@@ -422,6 +621,7 @@ impl System {
             return;
         };
         let mut back_invalidate = Vec::new();
+        let mut injected = false;
         for core in &mut self.cores {
             // One offload command per core per network cycle (the MI serialises
             // register writes into packets at the network clock).
@@ -429,9 +629,13 @@ impl System {
                 let out = controller.submit(now, cmd);
                 for (_, packet) in out.packets {
                     hmc.network.inject(now, packet);
+                    injected = true;
                 }
                 back_invalidate.extend(out.back_invalidate);
             }
+        }
+        if injected {
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
         }
         for addr in back_invalidate {
             let (copies, _dirty) = self.caches.back_invalidate(addr);
@@ -445,14 +649,10 @@ impl System {
     // Memory side
     // ------------------------------------------------------------------
 
-    fn tick_memory(&mut self, now: Cycle) {
-        match &mut self.backend {
-            Backend::Dram(_) => self.tick_dram(now),
-            Backend::Hmc(_) => self.tick_hmc(now),
+    fn step_dram(&mut self, now: Cycle, dram_due: bool) {
+        if !dram_due {
+            return;
         }
-    }
-
-    fn tick_dram(&mut self, now: Cycle) {
         // Retry requests that found their channel queue full.
         let retries = std::mem::take(&mut self.retry_dram);
         for (at, txn, addr, is_write) in retries {
@@ -462,9 +662,10 @@ impl System {
                 self.retry_dram.push((at, txn, addr, is_write));
             }
         }
-        let Backend::Dram(dram) = &mut self.backend else { return };
-        dram.tick(now);
         let ratio = self.cfg.core_cycles_per_network_cycle();
+        let mut ctx = SchedCtx::new(now);
+        let Backend::Dram(dram) = &mut self.backend else { return };
+        dram.wake(now, &mut ctx);
         while let Some(resp) = dram.pop_response(now) {
             if let Some(txn) = self.mem_txns.remove(&resp.id) {
                 if txn.core != usize::MAX {
@@ -473,22 +674,33 @@ impl System {
                 }
             }
         }
+        Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Dram);
     }
 
-    fn tick_hmc(&mut self, now: Cycle) {
+    fn step_hmc(&mut self, now: Cycle, due: Option<&[SysKey]>) {
+        let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
+        let mut ctx = SchedCtx::new(now);
         // Split-borrow the backend once.
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
 
-        hmc.network.tick(now);
+        if is_due(SysKey::Network) {
+            hmc.network.wake(now, &mut ctx);
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
+        }
 
-        // 1. Packets delivered at cubes.
+        // 1. Packets delivered at cubes, and the engines' own pipelines.
         let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
         for c in 0..hmc.cubes.len() {
-            while let Some(packet) = hmc.network.pop_at_cube(CubeId::new(c)) {
+            let cube_id = CubeId::new(c);
+            if !hmc.network.has_delivery_at_cube(cube_id) && !is_due(SysKey::Engine(c)) {
+                continue;
+            }
+            while let Some(packet) = hmc.network.pop_at_cube(cube_id) {
                 match &packet.kind {
-                    PacketKind::ReadReq { req_id, addr } | PacketKind::WriteReq { req_id, addr } => {
+                    PacketKind::ReadReq { req_id, addr }
+                    | PacketKind::WriteReq { req_id, addr } => {
                         let is_write = matches!(packet.kind, PacketKind::WriteReq { .. });
                         let id = *req_id;
                         let addr = *addr;
@@ -499,6 +711,7 @@ impl System {
                             VaultRequest::read(id, addr)
                         };
                         let _ = hmc.cubes[c].try_push(now, req);
+                        Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
                         self.hmc_bytes += 64;
                     }
                     PacketKind::ReadResp { .. } | PacketKind::WriteAck { .. } => {
@@ -511,10 +724,12 @@ impl System {
                 }
             }
             // Advance the engine's internal pipelines.
-            let tick_out = hmc.engines[c].tick(now);
+            hmc.engines[c].wake(now, &mut ctx);
+            let tick_out = hmc.engines[c].take_output();
             if !tick_out.is_empty() {
                 are_outputs.push((c, tick_out));
             }
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(c));
         }
         self.apply_are_outputs(now, are_outputs);
 
@@ -524,10 +739,16 @@ impl System {
         // 2. Advance the cubes and collect vault completions.
         let mut vault_completions: Vec<(usize, ar_hmc::VaultResponse)> = Vec::new();
         for (c, cube) in hmc.cubes.iter_mut().enumerate() {
-            cube.tick(now);
+            // Also woken when stimulated earlier this cycle (stage 1 pushes
+            // vault requests whose crossbar latency may be zero).
+            if !is_due(SysKey::Cube(c)) && !self.arm_flags[Self::key_slot(SysKey::Cube(c))] {
+                continue;
+            }
+            cube.wake(now, &mut ctx);
             while let Some(resp) = cube.pop_response(now) {
                 vault_completions.push((c, resp));
             }
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
         }
         let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
         for (c, resp) in vault_completions {
@@ -547,12 +768,14 @@ impl System {
                             now,
                         );
                         hmc.network.inject(now, packet);
+                        Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
                     }
                 }
                 Some(VaultPurpose::AreRead { cube, access_id }) => {
                     let value = self.func_mem.get(&resp.addr.as_u64()).copied().unwrap_or(0.0);
                     let out = hmc.engines[cube].complete_vault_read(now, access_id, value);
                     are_outputs.push((cube, out));
+                    Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(cube));
                 }
                 Some(VaultPurpose::AreWrite) | None => {}
             }
@@ -566,6 +789,9 @@ impl System {
         let mut completions = Vec::new();
         for p in 0..self.cfg.network.host_ports {
             let port = PortId::new(p);
+            if !hmc.network.has_delivery_at_host(port) {
+                continue;
+            }
             while let Some(packet) = hmc.network.pop_at_host(port) {
                 match &packet.kind {
                     PacketKind::ReadResp { req_id, .. } | PacketKind::WriteAck { req_id, .. } => {
@@ -607,6 +833,7 @@ impl System {
                 // this cube's own engine next cycle via the network's
                 // zero-hop delivery.
                 hmc.network.inject(now, packet);
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
             }
             for access in out.vault_accesses {
                 let id = (1 << 62) | self.next_vault_id;
@@ -625,6 +852,7 @@ impl System {
                     VaultRequest::read(id, access.addr)
                 };
                 let _ = hmc.cubes[cube].try_push(now, req);
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(cube));
                 self.hmc_bytes += 8;
             }
         }
@@ -635,7 +863,7 @@ impl System {
     // ------------------------------------------------------------------
 
     fn sample_ipc(&mut self, core_cycle: Cycle) {
-        if core_cycle == 0 || core_cycle % IPC_WINDOW_CORE_CYCLES != 0 {
+        if core_cycle == 0 || !core_cycle.is_multiple_of(IPC_WINDOW_CORE_CYCLES) {
             return;
         }
         let total: u64 = self.cores.iter().map(Core::instructions_retired).sum();

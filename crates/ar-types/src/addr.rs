@@ -6,7 +6,6 @@
 //! within a cube consecutive cache blocks are interleaved across the 32
 //! vaults. The DRAM baseline interleaves pages across its 4 channels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a cache block / memory access granularity in bytes.
@@ -27,7 +26,7 @@ pub const PAGE_BYTES: u64 = 4096;
 /// assert_eq!(a.block_aligned().as_u64(), 0x1_0040);
 /// assert_eq!(Addr::new(0x1_0041).block_aligned(), a.block_aligned());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -92,7 +91,7 @@ impl From<Addr> for u64 {
 /// timing model and the workloads can reason about operand placement:
 /// pages interleave across cubes, blocks interleave across vaults, and
 /// consecutive blocks within a vault interleave across its banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     /// Number of memory cubes in the network.
     pub cubes: usize,
@@ -138,7 +137,7 @@ impl Default for AddressMap {
 
 /// Address-to-channel mapping for the DDR DRAM baseline (4 memory
 /// controllers, page interleaved).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramAddressMap {
     /// Number of memory channels (memory controllers).
     pub channels: usize,

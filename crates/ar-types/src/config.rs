@@ -3,11 +3,10 @@
 
 use crate::addr::{AddressMap, DramAddressMap};
 use crate::error::ConfigError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which main-memory substrate the system uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryMode {
     /// Conventional DDR DRAM attached to 4 memory controllers (the `DRAM`
     /// baseline configuration).
@@ -18,7 +17,7 @@ pub enum MemoryMode {
 }
 
 /// The Active-Routing offloading scheme (Section 5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OffloadScheme {
     /// No offloading: all work executes on the host (DRAM and HMC baselines).
     None,
@@ -54,7 +53,7 @@ impl fmt::Display for OffloadScheme {
 }
 
 /// The five named configurations evaluated in Chapter 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NamedConfig {
     /// DDR baseline, everything on the host.
     Dram,
@@ -115,7 +114,7 @@ impl fmt::Display for NamedConfig {
 }
 
 /// Host core parameters ("CPU Core" row of Table 4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// Number of out-of-order cores.
     pub count: usize,
@@ -145,7 +144,7 @@ impl Default for CoreConfig {
 }
 
 /// Cache hierarchy parameters ("L1I/DCache" and "L2Cache" rows of Table 4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Private L1 data cache size in bytes.
     pub l1_bytes: usize,
@@ -184,7 +183,7 @@ impl Default for CacheConfig {
 }
 
 /// On-chip network parameters ("NoC" row of Table 4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NocConfig {
     /// Mesh width (4 for a 4x4 mesh).
     pub mesh_width: usize,
@@ -205,7 +204,7 @@ impl Default for NocConfig {
 /// DDR DRAM baseline parameters ("Memory / DRAM Baseline" row of Table 4.1).
 /// Timing values are in memory-bus cycles at 800 MHz (DDR-1600-like), matching
 /// the tRCD=14 / tRAS=34 / tRP=14 / tCL=14 / tBL=4 values in the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Number of memory controllers / channels.
     pub channels: usize,
@@ -260,7 +259,7 @@ impl DramConfig {
 }
 
 /// HMC cube parameters ("HMC" row of Table 4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HmcConfig {
     /// Capacity per cube in GiB (for reporting only).
     pub capacity_gib: usize,
@@ -299,7 +298,7 @@ impl Default for HmcConfig {
 }
 
 /// Memory-network parameters ("HMC-Net" row of Table 4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// Number of memory cubes.
     pub cubes: usize,
@@ -343,7 +342,7 @@ impl Default for NetworkConfig {
 }
 
 /// Active-Routing Engine parameters (Section 3.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreConfig {
     /// Maximum number of concurrently tracked flows per cube.
     pub flow_table_entries: usize,
@@ -373,7 +372,7 @@ impl Default for AreConfig {
 
 /// Energy constants used by the power model (Section 4.1): 5 pJ/bit per
 /// memory-network hop, 12 pJ/bit per HMC access, 39 pJ/bit per DRAM access.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerConfig {
     /// Energy per bit per memory-network hop, in picojoules.
     pub pj_per_bit_hop: f64,
@@ -406,7 +405,7 @@ impl Default for PowerConfig {
 }
 
 /// Complete system configuration (Table 4.1 plus the scheme under test).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Host core parameters.
     pub cores: CoreConfig,
@@ -529,7 +528,7 @@ impl SystemConfig {
         if self.network.cubes == 0 || self.network.host_ports == 0 {
             return Err(ConfigError::new("memory network needs at least one cube and one port"));
         }
-        if self.network.cubes % self.network.groups != 0 {
+        if !self.network.cubes.is_multiple_of(self.network.groups) {
             return Err(ConfigError::new("cube count must be divisible by dragonfly group count"));
         }
         if self.network.host_ports > self.network.groups {

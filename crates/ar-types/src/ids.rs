@@ -4,7 +4,6 @@
 //! wiring bug in a simulator of this size: passing a core index where a cube
 //! index is expected.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
@@ -12,7 +11,6 @@ macro_rules! id_type {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub usize);
 
@@ -80,7 +78,7 @@ id_type!(
 /// of the accumulator variable) together with the access port whose tree the
 /// flow uses — the same reduction target forms one tree per port under the
 /// Active-Routing-Forest schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId {
     /// Target (accumulator) address of the reduction.
     pub target: u64,
@@ -103,7 +101,7 @@ impl fmt::Display for FlowId {
 
 /// A node of the memory network: either a memory cube or one of the host
 /// access ports (HMC controllers) attached to the edge of the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NetNode {
     /// A memory cube.
     Cube(CubeId),

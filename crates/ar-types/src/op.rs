@@ -5,11 +5,10 @@
 //! commutative reduction over a flow (`sum += ...`) or performs a simple
 //! in-memory write (`mov`, `const_assign`) used by kernels such as PageRank.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The operation carried by an `Update` packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// `target += src1` — single-operand reduction (bypasses the operand buffer).
     Sum,

@@ -11,7 +11,6 @@ use crate::addr::Addr;
 use crate::ids::{CubeId, FlowId, NetNode, PortId, ThreadId};
 use crate::op::ReduceOp;
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Size in bytes of a packet header (request/response overhead in the HMC
 /// link protocol).
@@ -22,7 +21,7 @@ pub const DATA_BYTES: u32 = 64;
 pub const OPERAND_BYTES: u32 = 8;
 
 /// Identifier of an operand buffer entry inside a particular cube's ARE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OperandSlot {
     /// The cube whose ARE owns the operand buffer.
     pub cube: CubeId,
@@ -31,7 +30,7 @@ pub struct OperandSlot {
 }
 
 /// Payload of an active (Active-Routing) packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ActiveKind {
     /// An offloaded `Update(src1, src2, target, op)` command travelling from
     /// the host access port towards the cube where it will be computed,
@@ -143,7 +142,7 @@ impl ActiveKind {
 }
 
 /// The kind of a memory-network packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PacketKind {
     /// Normal read request for one cache block.
     ReadReq {
@@ -209,7 +208,7 @@ impl PacketKind {
 }
 
 /// A packet in flight in the memory network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
     /// Globally unique packet id.
     pub id: u64,
@@ -306,7 +305,8 @@ mod tests {
     fn response_classification_for_vc_selection() {
         assert!(PacketKind::ReadResp { req_id: 0, addr: Addr::new(0) }.is_response());
         assert!(!PacketKind::ReadReq { req_id: 0, addr: Addr::new(0) }.is_response());
-        let gr = PacketKind::Active(ActiveKind::GatherResp { flow: flow(), value: 0.0, updates: 0 });
+        let gr =
+            PacketKind::Active(ActiveKind::GatherResp { flow: flow(), value: 0.0, updates: 0 });
         assert!(gr.is_response());
     }
 

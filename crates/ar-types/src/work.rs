@@ -12,11 +12,10 @@
 use crate::addr::Addr;
 use crate::ids::ThreadId;
 use crate::op::ReduceOp;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One unit of work executed by a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkItem {
     /// `n` back-to-back ALU instructions with no memory access.
     Compute(u32),
@@ -97,7 +96,7 @@ impl WorkItem {
 }
 
 /// The full stream of work items for one thread.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WorkStream {
     /// The thread that executes this stream.
     pub thread: ThreadId,

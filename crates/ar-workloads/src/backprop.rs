@@ -26,7 +26,8 @@ pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedW
     let hidden_base = layout.alloc_array(hidden);
 
     let mut kernel = ActiveKernel::new(threads);
-    kernel.write_array(input_base, &(0..input_dim).map(|i| element_value(1, i)).collect::<Vec<_>>());
+    kernel
+        .write_array(input_base, &(0..input_dim).map(|i| element_value(1, i)).collect::<Vec<_>>());
     kernel.write_array(
         weight_base,
         &(0..input_dim * hidden).map(|i| element_value(2, i)).collect::<Vec<_>>(),
@@ -77,8 +78,7 @@ mod tests {
         let (input_dim, hidden) = dims(SizeClass::Tiny);
         assert_eq!(w.references.len(), hidden, "one flow per hidden unit");
         // Spot-check hidden unit 0: sum_i in[i] * w[0][i].
-        let expected: f64 =
-            (0..input_dim).map(|i| element_value(1, i) * element_value(2, i)).sum();
+        let expected: f64 = (0..input_dim).map(|i| element_value(1, i) * element_value(2, i)).sum();
         let first = w.references.iter().map(|(_, v)| *v).next().unwrap();
         assert!((first - expected).abs() < 1e-9);
         assert_eq!(w.updates, (input_dim * hidden) as u64);

@@ -6,8 +6,7 @@
 //! the memory system: a heavily skewed (power-law-like) degree distribution,
 //! which makes the per-vertex score accumulation touch memory irregularly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ar_sim::SimRng;
 
 /// A directed graph in compressed adjacency-list form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,19 +28,16 @@ impl Graph {
     pub fn preferential_attachment(vertices: usize, edges_per_vertex: usize, seed: u64) -> Self {
         assert!(vertices > 0, "graph needs at least one vertex");
         assert!(edges_per_vertex > 0, "graph needs at least one edge per vertex");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); vertices];
         // Endpoint pool for preferential attachment: vertices appear once per
         // incident edge, so sampling uniformly from the pool is degree-biased.
         let mut pool: Vec<usize> = vec![0];
-        for v in 1..vertices {
+        for (v, edges) in out_edges.iter_mut().enumerate().skip(1) {
             for _ in 0..edges_per_vertex {
-                let target = if rng.gen_bool(0.7) {
-                    pool[rng.gen_range(0..pool.len())]
-                } else {
-                    rng.gen_range(0..v)
-                };
-                out_edges[v].push(target);
+                let target =
+                    if rng.chance(0.7) { pool[rng.index(pool.len())] } else { rng.index(v) };
+                edges.push(target);
                 pool.push(target);
             }
             pool.push(v);

@@ -40,11 +40,10 @@ pub use layout::MemoryLayout;
 
 use active_routing::ActiveKernel;
 use ar_types::{Addr, WorkStream};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which flavour of a workload to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// The unoptimised kernel: loads, stores, compute and atomic merges on
     /// the host (run by the DRAM and HMC configurations).
@@ -80,7 +79,7 @@ impl fmt::Display for Variant {
 /// inside a test suite; each class scales every workload consistently and
 /// [`SizeClass::Paper`] is the largest still-tractable setting whose behaviour
 /// (working set ≫ LLC for the large classes) matches the paper's regime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SizeClass {
     /// Minimal size for unit tests (sub-second full-system runs).
     Tiny,
@@ -159,7 +158,7 @@ impl GeneratedWorkload {
 }
 
 /// The nine workloads of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Neural-network training feed-forward pass (Rodinia `backprop`).
     Backprop,
@@ -192,12 +191,8 @@ impl WorkloadKind {
     ];
 
     /// The four microbenchmarks (Fig. 5.1b etc.).
-    pub const MICROBENCHMARKS: [WorkloadKind; 4] = [
-        WorkloadKind::Reduce,
-        WorkloadKind::RandReduce,
-        WorkloadKind::Mac,
-        WorkloadKind::RandMac,
-    ];
+    pub const MICROBENCHMARKS: [WorkloadKind; 4] =
+        [WorkloadKind::Reduce, WorkloadKind::RandReduce, WorkloadKind::Mac, WorkloadKind::RandMac];
 
     /// All nine workloads.
     pub const ALL: [WorkloadKind; 9] = [

@@ -133,10 +133,7 @@ mod tests {
         // Phase 1, row i = n-1: single product a[i][0] * a[0][i].
         let i = n - 1;
         let expected = element_value(1, i * n) * element_value(1, i);
-        let found = w
-            .references
-            .iter()
-            .any(|(_, v)| (v - expected).abs() < 1e-9);
+        let found = w.references.iter().any(|(_, v)| (v - expected).abs() < 1e-9);
         assert!(found, "the phase-1 dot product for the last row must appear among the references");
         assert_eq!(w.references.len(), (1..n).map(|k| n - k).sum::<usize>());
     }

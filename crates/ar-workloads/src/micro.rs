@@ -9,10 +9,8 @@
 use crate::layout::MemoryLayout;
 use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
 use active_routing::ActiveKernel;
+use ar_sim::SimRng;
 use ar_types::{Addr, ReduceOp};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Number of array elements per size class (per vector for `mac`).
 fn elements(size: SizeClass) -> usize {
@@ -21,7 +19,12 @@ fn elements(size: SizeClass) -> usize {
 
 /// Generates the `reduce` (sequential) or `rand_reduce` (random order)
 /// microbenchmark.
-pub fn reduce(threads: usize, size: SizeClass, variant: Variant, random: bool) -> GeneratedWorkload {
+pub fn reduce(
+    threads: usize,
+    size: SizeClass,
+    variant: Variant,
+    random: bool,
+) -> GeneratedWorkload {
     let n = elements(size);
     let mut layout = MemoryLayout::default();
     let a_base = layout.alloc_array(n);
@@ -90,7 +93,13 @@ pub fn mac(threads: usize, size: SizeClass, variant: Variant, random: bool) -> G
 /// Per-thread epilogue: the baseline merges its local partial sum with an
 /// `atomic +=` on the shared accumulator; the active variants issue the
 /// gather (one per thread, released when every thread arrives).
-fn finish_thread(kernel: &mut ActiveKernel, thread: usize, variant: Variant, target: Addr, op: ReduceOp) {
+fn finish_thread(
+    kernel: &mut ActiveKernel,
+    thread: usize,
+    variant: Variant,
+    target: Addr,
+    op: ReduceOp,
+) {
     match variant {
         Variant::Baseline => {
             kernel.compute(thread, 4);
@@ -106,8 +115,8 @@ fn finish_thread(kernel: &mut ActiveKernel, thread: usize, variant: Variant, tar
 fn access_order(n: usize, random: bool, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
     if random {
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        let mut rng = SimRng::seed_from_u64(seed);
+        rng.shuffle(&mut order);
     }
     order
 }

@@ -47,7 +47,9 @@ pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedW
     kernel.write_array(rank_base, &vec![initial_rank; vertices]);
     kernel.write_array(
         next_base,
-        &(0..vertices).map(|i| initial_rank + element_value(3, i).abs() / 100.0).collect::<Vec<_>>(),
+        &(0..vertices)
+            .map(|i| initial_rank + element_value(3, i).abs() / 100.0)
+            .collect::<Vec<_>>(),
     );
 
     let ranges = partition(vertices, threads);
@@ -145,9 +147,7 @@ mod tests {
             .streams
             .iter()
             .map(|s| {
-                s.iter()
-                    .filter(|i| matches!(i, WorkItem::Update { op: ReduceOp::Mov, .. }))
-                    .count()
+                s.iter().filter(|i| matches!(i, WorkItem::Update { op: ReduceOp::Mov, .. })).count()
             })
             .sum();
         assert_eq!(movs, vertices);

@@ -10,9 +10,8 @@
 use crate::layout::MemoryLayout;
 use crate::{element_value, partition, GeneratedWorkload, SizeClass, Variant};
 use active_routing::ActiveKernel;
+use ar_sim::SimRng;
 use ar_types::ReduceOp;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Matrix dimension per size class.
 fn dim(size: SizeClass) -> usize {
@@ -25,11 +24,10 @@ const SPARSITY: f64 = 0.7;
 /// Generates the spmv workload.
 pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
     let n = dim(size);
-    let mut rng = StdRng::seed_from_u64(0x5eed_5b3f);
+    let mut rng = SimRng::seed_from_u64(0x5eed_5b3f);
     // Build the sparsity pattern: for each row, the columns of its nonzeros.
-    let rows: Vec<Vec<usize>> = (0..n)
-        .map(|_| (0..n).filter(|_| rng.gen::<f64>() >= SPARSITY).collect())
-        .collect();
+    let rows: Vec<Vec<usize>> =
+        (0..n).map(|_| (0..n).filter(|_| rng.unit() >= SPARSITY).collect()).collect();
     let nnz: usize = rows.iter().map(Vec::len).sum();
 
     let mut layout = MemoryLayout::default();
@@ -72,7 +70,9 @@ pub fn generate(threads: usize, size: SizeClass, variant: Variant) -> GeneratedW
             }
             match variant {
                 Variant::Baseline => kernel.store(t, y_i),
-                Variant::Active | Variant::Adaptive => kernel.gather_async(t, y_i, ReduceOp::Mac, 1),
+                Variant::Active | Variant::Adaptive => {
+                    kernel.gather_async(t, y_i, ReduceOp::Mac, 1)
+                }
             }
         }
     }

@@ -106,7 +106,9 @@ fn bench_fig5_8(c: &mut Criterion) {
     let study = AdaptiveStudy::run(BENCH_SCALE);
     println!("{}", study.speedup_table("Figure 5.8 (bench scale)"));
     let mut group = configure(c, "fig5_8_adaptive");
-    group.bench_function("simulate_lud_three_configs", |b| b.iter(|| AdaptiveStudy::run(BENCH_SCALE)));
+    group.bench_function("simulate_lud_three_configs", |b| {
+        b.iter(|| AdaptiveStudy::run(BENCH_SCALE))
+    });
     group.finish();
 }
 

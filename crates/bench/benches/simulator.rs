@@ -30,6 +30,45 @@ fn bench_single_runs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Event-driven vs lock-step kernel throughput on the workloads the
+/// scheduler targets: sparse ones (pagerank, spmv) where most components
+/// idle most cycles, and a dense one (sgemm) as the no-regression control.
+/// Both kernels produce identical reports (see the equivalence tests); only
+/// the wall-clock differs. The printed cycle counts let
+/// simulated-cycles-per-wall-second be derived from the reported times.
+fn bench_kernel_throughput(c: &mut Criterion) {
+    let base = BENCH_SCALE.system_config();
+    let mut group = c.benchmark_group("kernel_throughput");
+    group.sample_size(10);
+    for (name, workload) in [
+        ("pagerank", WorkloadKind::Pagerank),
+        ("spmv", WorkloadKind::Spmv),
+        ("sgemm", WorkloadKind::Sgemm),
+    ] {
+        let report = runner::run(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
+            .expect("valid configuration");
+        println!(
+            "kernel_throughput/{name}: {} simulated network cycles per run",
+            report.network_cycles
+        );
+        group.bench_function(&format!("{name}_event_driven"), |b| {
+            b.iter(|| {
+                runner::build(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
+                    .expect("valid configuration")
+                    .run()
+            })
+        });
+        group.bench_function(&format!("{name}_lockstep"), |b| {
+            b.iter(|| {
+                runner::build(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
+                    .expect("valid configuration")
+                    .run_lockstep()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -41,5 +80,5 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(simulator, bench_single_runs, bench_workload_generation);
+criterion_group!(simulator, bench_single_runs, bench_kernel_throughput, bench_workload_generation);
 criterion_main!(simulator);

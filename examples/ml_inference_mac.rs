@@ -16,8 +16,7 @@ use ar_workloads::WorkloadKind;
 
 fn main() {
     let scale = ExperimentScale::Quick;
-    let workloads =
-        [WorkloadKind::Backprop, WorkloadKind::Mac, WorkloadKind::RandMac];
+    let workloads = [WorkloadKind::Backprop, WorkloadKind::Mac, WorkloadKind::RandMac];
     let configs = [
         NamedConfig::Dram,
         NamedConfig::Hmc,

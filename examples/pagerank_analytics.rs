@@ -46,13 +46,6 @@ fn main() {
     let hmc = matrix.report(WorkloadKind::Pagerank, NamedConfig::Hmc).expect("run exists");
     println!("ARF-tid vs HMC:");
     println!("  runtime        : {} vs {} network cycles", arf.network_cycles, hmc.network_cycles);
-    println!(
-        "  off-chip bytes : {} vs {}",
-        arf.data_movement.total(),
-        hmc.data_movement.total()
-    );
-    println!(
-        "  gathered diff  : {:?}",
-        arf.gather_results.first().map(|(_, v)| *v)
-    );
+    println!("  off-chip bytes : {} vs {}", arf.data_movement.total(), hmc.data_movement.total());
+    println!("  gathered diff  : {:?}", arf.gather_results.first().map(|(_, v)| *v));
 }

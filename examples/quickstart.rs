@@ -75,10 +75,7 @@ fn main() {
     println!("  in-network reduction    : {measured:.1}");
     println!("  HMC baseline runtime    : {} network cycles", hmc_report.network_cycles);
     println!("  ARF-tid runtime         : {} network cycles", arf_report.network_cycles);
-    println!(
-        "  speedup (ARF-tid / HMC) : {:.2}x",
-        arf_report.speedup_over(&hmc_report)
-    );
+    println!("  speedup (ARF-tid / HMC) : {:.2}x", arf_report.speedup_over(&hmc_report));
     println!(
         "  updates offloaded       : {} ({} gathers)",
         arf_report.updates_offloaded, arf_report.gathers_offloaded

@@ -3,8 +3,8 @@
 //! paper reports.
 
 use active_routing_repro::ar_experiments::{
-    adaptive::AdaptiveStudy, energy, heatmap, latency, speedup, traffic, Artifact,
-    EnergyMetric, ExperimentScale, Matrix,
+    adaptive::AdaptiveStudy, energy, heatmap, latency, speedup, traffic, Artifact, EnergyMetric,
+    ExperimentScale, Matrix,
 };
 use active_routing_repro::ar_types::config::NamedConfig;
 use active_routing_repro::ar_workloads::WorkloadKind;
@@ -23,11 +23,8 @@ fn configuration_tables_render() {
 fn microbenchmark_figures_share_one_matrix() {
     // One matrix drives Figs. 5.1(b), 5.2(b), 5.4(b) and 5.5-5.7 for the
     // microbenchmarks, exactly as the experiments binary does at full scale.
-    let matrix = Matrix::run(
-        &[WorkloadKind::Reduce, WorkloadKind::RandMac],
-        &NamedConfig::ALL,
-        SCALE,
-    );
+    let matrix =
+        Matrix::run(&[WorkloadKind::Reduce, WorkloadKind::RandMac], &NamedConfig::ALL, SCALE);
 
     let fig51 = speedup::figure_5_1(&matrix, "Fig 5.1(b)");
     assert_eq!(fig51.columns.len(), NamedConfig::ALL.len());

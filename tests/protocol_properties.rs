@@ -1,29 +1,24 @@
-//! Property-based integration tests of the Active-Routing protocol: for
-//! arbitrary update sets, the in-network three-phase reduction must reproduce
-//! the functional reference under every offload scheme, every flow entry must
-//! be released, and the routing substrate must stay loop-free.
+//! Property-style integration tests of the Active-Routing protocol: for
+//! randomized update sets, the in-network three-phase reduction must
+//! reproduce the functional reference under every offload scheme, every flow
+//! entry must be released, and the routing substrate must stay loop-free.
+//!
+//! Cases are generated with the workspace's own deterministic [`SimRng`] (the
+//! build environment has no network access for a property-testing crate), so
+//! every run exercises the same case set and failures are reproducible.
 
 use active_routing_repro::active_routing::ActiveKernel;
 use active_routing_repro::ar_network::DragonflyTopology;
+use active_routing_repro::ar_sim::SimRng;
 use active_routing_repro::ar_system::{runner, System};
 use active_routing_repro::ar_types::config::{NamedConfig, OffloadScheme, SystemConfig};
 use active_routing_repro::ar_types::ids::{CubeId, NetNode, PortId};
 use active_routing_repro::ar_types::{Addr, ReduceOp};
-use proptest::prelude::*;
 
 fn quick_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::small();
     cfg.max_cycles = 10_000_000;
     cfg
-}
-
-/// Strategy: a small set of updates described as (thread, op, a-index,
-/// b-index, target-index) over a handful of reduction targets.
-fn updates_strategy() -> impl Strategy<Value = Vec<(usize, u8, u16, u16, u8)>> {
-    prop::collection::vec(
-        (0usize..4, 0u8..3, 0u16..512, 0u16..512, 0u8..3),
-        1..80,
-    )
 }
 
 fn op_of(code: u8) -> ReduceOp {
@@ -34,21 +29,39 @@ fn op_of(code: u8) -> ReduceOp {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+/// One randomized update set: `(thread, op-code, a-index, b-index, t-index)`.
+fn random_updates(rng: &mut SimRng) -> Vec<(usize, u8, u16, u16, u8)> {
+    let len = 1 + rng.index(79);
+    (0..len)
+        .map(|_| {
+            (
+                rng.index(4),
+                rng.next_below(3) as u8,
+                rng.next_below(512) as u16,
+                rng.next_below(512) as u16,
+                rng.next_below(3) as u8,
+            )
+        })
+        .collect()
+}
 
-    /// Arbitrary mixes of Sum / Mac / AbsDiff updates over arbitrary operand
-    /// placements reduce to the functional reference under every scheme.
-    #[test]
-    fn random_update_sets_reduce_correctly(updates in updates_strategy(), scheme_idx in 0usize..3) {
-        let scheme = [OffloadScheme::Art, OffloadScheme::ArfTid, OffloadScheme::ArfAddr][scheme_idx];
+/// Arbitrary mixes of Sum / Mac / AbsDiff updates over arbitrary operand
+/// placements reduce to the functional reference under every scheme.
+#[test]
+fn random_update_sets_reduce_correctly() {
+    let mut rng = SimRng::seed_from_u64(0xA11C_E5ED);
+    for case in 0..12 {
+        let updates = random_updates(&mut rng);
+        let scheme = [OffloadScheme::Art, OffloadScheme::ArfTid, OffloadScheme::ArfAddr][case % 3];
         let threads = 4;
         let mut kernel = ActiveKernel::new(threads);
         let a_base = Addr::new(0x1000_0000);
         let b_base = Addr::new(0x2000_0000);
         let t_base = Addr::new(0x3000_0000);
-        let a = kernel.write_array(a_base, &(0..512).map(|i| (i % 13) as f64 * 0.5).collect::<Vec<_>>());
-        let b = kernel.write_array(b_base, &(0..512).map(|i| (i % 11) as f64 * 0.25).collect::<Vec<_>>());
+        let a = kernel
+            .write_array(a_base, &(0..512).map(|i| (i % 13) as f64 * 0.5).collect::<Vec<_>>());
+        let b = kernel
+            .write_array(b_base, &(0..512).map(|i| (i % 11) as f64 * 0.25).collect::<Vec<_>>());
         let targets: Vec<Addr> = (0..3).map(|i| t_base.offset(i * 4096)).collect();
 
         let mut used_targets = std::collections::BTreeMap::new();
@@ -68,43 +81,53 @@ proptest! {
         let memory = kernel.memory_image();
 
         let cfg = quick_cfg().with_scheme(scheme);
-        let report = System::new(cfg, kernel.into_streams(), memory)
-            .expect("valid configuration")
-            .run();
-        prop_assert!(report.completed, "simulation must quiesce");
-        prop_assert_eq!(runner::verify_gathers(&report, &references), 0);
-        prop_assert_eq!(report.updates_offloaded, updates.len() as u64);
+        let report =
+            System::new(cfg, kernel.into_streams(), memory).expect("valid configuration").run();
+        assert!(report.completed, "case {case}: simulation must quiesce");
+        assert_eq!(
+            runner::verify_gathers(&report, &references),
+            0,
+            "case {case} under {scheme:?} must reproduce its references"
+        );
+        assert_eq!(report.updates_offloaded, updates.len() as u64, "case {case}");
     }
+}
 
-    /// Minimal routing on the dragonfly never loops and the split point of
-    /// any operand pair lies on both operands' paths from any entry cube.
-    #[test]
-    fn dragonfly_routing_and_split_points_are_consistent(
-        entry in 0usize..16, a in 0usize..16, b in 0usize..16,
-    ) {
-        let topo = DragonflyTopology::paper();
-        let entry = CubeId::new(entry);
-        let a = CubeId::new(a);
-        let b = CubeId::new(b);
-        let split = topo.last_common_cube(entry, a, b);
-        let path_a = topo.path(NetNode::Cube(entry), NetNode::Cube(a));
-        let path_b = topo.path(NetNode::Cube(entry), NetNode::Cube(b));
-        prop_assert!(path_a.contains(&NetNode::Cube(split)));
-        prop_assert!(path_b.contains(&NetNode::Cube(split)));
-        prop_assert!(path_a.len() <= 5 && path_b.len() <= 5, "minimal paths are short");
-    }
-
-    /// Every cube resolves to a valid nearest host port, and cubes directly
-    /// attached to a port resolve to that port.
-    #[test]
-    fn nearest_port_is_total_and_consistent(cube in 0usize..16) {
-        let topo = DragonflyTopology::paper();
-        let port = topo.nearest_port(CubeId::new(cube));
-        prop_assert!(port.index() < topo.host_ports());
-        for p in 0..topo.host_ports() {
-            let attached = topo.host_cube(PortId::new(p));
-            prop_assert_eq!(topo.nearest_port(attached), PortId::new(p));
+/// Minimal routing on the dragonfly never loops and the split point of any
+/// operand pair lies on both operands' paths from any entry cube. Checked
+/// exhaustively over all (entry, a, b) triples.
+#[test]
+fn dragonfly_routing_and_split_points_are_consistent() {
+    let topo = DragonflyTopology::paper();
+    for entry in 0..16 {
+        for a in 0..16 {
+            for b in 0..16 {
+                let entry = CubeId::new(entry);
+                let a = CubeId::new(a);
+                let b = CubeId::new(b);
+                let split = topo.last_common_cube(entry, a, b);
+                let path_a = topo.path(NetNode::Cube(entry), NetNode::Cube(a));
+                let path_b = topo.path(NetNode::Cube(entry), NetNode::Cube(b));
+                assert!(path_a.contains(&NetNode::Cube(split)));
+                assert!(path_b.contains(&NetNode::Cube(split)));
+                assert!(path_a.len() <= 5 && path_b.len() <= 5, "minimal paths are short");
+            }
         }
+    }
+}
+
+/// Every cube resolves to a valid nearest host port, and cubes directly
+/// attached to a port resolve to that port.
+#[test]
+fn nearest_port_is_total_and_consistent() {
+    let topo = DragonflyTopology::paper();
+    for cube in 0..16 {
+        let port = topo.nearest_port(CubeId::new(cube));
+        assert!(port.index() < topo.host_ports());
+    }
+    for p in 0..topo.host_ports() {
+        let attached = topo.host_cube(PortId::new(p));
+        assert_eq!(topo.nearest_port(attached), PortId::new(p));
     }
 }
 

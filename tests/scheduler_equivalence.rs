@@ -1,0 +1,110 @@
+//! Lock-step vs event-driven kernel equivalence.
+//!
+//! The event-driven scheduler in `ar-sim`/`ar-system` must be a pure
+//! wall-clock optimisation: skipping a cycle (or a component within a cycle)
+//! is only legal when processing it would have been a no-op. These tests
+//! build the same system twice and assert that [`System::run`] (event-driven)
+//! and [`System::run_lockstep`] (every component, every cycle) produce
+//! *identical* [`SimReport`]s — every cycle count, stall counter, byte
+//! counter, latency breakdown, gather result and IPC sample.
+
+use active_routing_repro::ar_system::{runner, SimReport};
+use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
+use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
+
+/// All six named configurations (`NamedConfig::ALL` covers the five plotted
+/// ones; the adaptive study adds the sixth).
+const ALL_SIX: [NamedConfig; 6] = [
+    NamedConfig::Dram,
+    NamedConfig::Hmc,
+    NamedConfig::Art,
+    NamedConfig::ArfTid,
+    NamedConfig::ArfAddr,
+    NamedConfig::ArfTidAdaptive,
+];
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.caches.l1_bytes = 2 * 1024;
+    cfg.caches.l2_bytes = 8 * 1024;
+    cfg.max_cycles = 10_000_000;
+    cfg
+}
+
+fn run_both(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> (SimReport, SimReport) {
+    let cfg = quick_cfg();
+    let event = runner::build(&cfg, config, kind, size).expect("valid configuration").run();
+    let lockstep =
+        runner::build(&cfg, config, kind, size).expect("valid configuration").run_lockstep();
+    (event, lockstep)
+}
+
+fn assert_identical(event: &SimReport, lockstep: &SimReport, label: &str) {
+    // Compare the load-bearing scalars individually first so a mismatch
+    // reports *what* diverged, then the whole report (which also covers the
+    // gather results and the IPC series).
+    assert_eq!(event.network_cycles, lockstep.network_cycles, "{label}: network cycles");
+    assert_eq!(event.core_cycles, lockstep.core_cycles, "{label}: core cycles");
+    assert_eq!(event.instructions, lockstep.instructions, "{label}: instructions");
+    assert_eq!(event.completed, lockstep.completed, "{label}: completion");
+    assert_eq!(event.stalls, lockstep.stalls, "{label}: stall breakdown");
+    assert_eq!(event.l1_accesses, lockstep.l1_accesses, "{label}: L1 accesses");
+    assert_eq!(event.l2_accesses, lockstep.l2_accesses, "{label}: L2 accesses");
+    assert_eq!(event.updates_offloaded, lockstep.updates_offloaded, "{label}: updates");
+    assert_eq!(event.gathers_offloaded, lockstep.gathers_offloaded, "{label}: gathers");
+    assert_eq!(event.update_latency, lockstep.update_latency, "{label}: update latency");
+    assert_eq!(event.data_movement, lockstep.data_movement, "{label}: data movement");
+    assert_eq!(event.noc_byte_hops, lockstep.noc_byte_hops, "{label}: NoC byte hops");
+    assert_eq!(event.network_byte_hops, lockstep.network_byte_hops, "{label}: net byte hops");
+    assert_eq!(event.hmc_bytes, lockstep.hmc_bytes, "{label}: HMC bytes");
+    assert_eq!(event.dram_bytes, lockstep.dram_bytes, "{label}: DRAM bytes");
+    assert_eq!(event.are_ops, lockstep.are_ops, "{label}: ARE ops");
+    assert_eq!(event.cube_activity, lockstep.cube_activity, "{label}: cube activity");
+    assert_eq!(event.gather_results, lockstep.gather_results, "{label}: gather results");
+    assert_eq!(event, lockstep, "{label}: full report");
+}
+
+/// The acceptance gate of the refactor: on a pagerank run, every one of the
+/// six named configurations must report identical statistics under both
+/// kernels.
+#[test]
+fn pagerank_reports_identical_across_all_six_configs() {
+    for named in ALL_SIX {
+        let (event, lockstep) = run_both(named, WorkloadKind::Pagerank, SizeClass::Tiny);
+        assert!(event.completed, "{named}: pagerank must finish");
+        assert_identical(&event, &lockstep, &format!("pagerank/{named}"));
+    }
+}
+
+/// A second, memory-heavier workload across the offloading configurations,
+/// and spmv on the two baselines, to cover the DRAM retry and vault paths.
+#[test]
+fn other_workloads_spot_check_equivalence() {
+    for (named, kind) in [
+        (NamedConfig::Dram, WorkloadKind::Spmv),
+        (NamedConfig::Hmc, WorkloadKind::Spmv),
+        (NamedConfig::ArfTid, WorkloadKind::RandMac),
+        (NamedConfig::ArfAddr, WorkloadKind::Backprop),
+    ] {
+        let (event, lockstep) = run_both(named, kind, SizeClass::Tiny);
+        assert_identical(&event, &lockstep, &format!("{kind}/{named}"));
+    }
+}
+
+/// The cycle limit must cut both kernels off at the same point with the same
+/// (incomplete) statistics.
+#[test]
+fn cycle_limit_truncates_both_kernels_identically() {
+    let mut cfg = quick_cfg();
+    cfg.max_cycles = 500;
+    let event = runner::build(&cfg, NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Tiny)
+        .expect("valid")
+        .run();
+    let lockstep =
+        runner::build(&cfg, NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Tiny)
+            .expect("valid")
+            .run_lockstep();
+    assert!(!event.completed, "500 cycles must not be enough");
+    assert_identical(&event, &lockstep, "truncated pagerank/ARF-tid");
+    assert_eq!(event.network_cycles, 500);
+}
