@@ -9,7 +9,7 @@
 use crate::scale::ExperimentScale;
 use crate::table::Table;
 use ar_sim::TimeSeries;
-use ar_system::{runner, SimReport};
+use ar_system::{SimReport, Sweep};
 use ar_types::config::NamedConfig;
 use ar_workloads::WorkloadKind;
 
@@ -26,17 +26,17 @@ pub struct AdaptiveStudy {
 }
 
 impl AdaptiveStudy {
-    /// Runs `lud` under the three configurations.
+    /// Runs `lud` under the three configurations, one sweep worker per
+    /// configuration.
     pub fn run(scale: ExperimentScale) -> Self {
-        let base = scale.system_config();
-        let reports = ADAPTIVE_CONFIGS
-            .iter()
-            .map(|&c| {
-                runner::run(&base, c, WorkloadKind::Lud, scale.size_class())
-                    .expect("built-in scales are valid")
-            })
-            .collect();
-        AdaptiveStudy { reports }
+        let results = Sweep::new(scale.system_config())
+            .configs(ADAPTIVE_CONFIGS)
+            .workloads([WorkloadKind::Lud])
+            .size(scale.size_class())
+            .threads(ADAPTIVE_CONFIGS.len())
+            .run()
+            .expect("built-in scales are valid");
+        AdaptiveStudy { reports: results.cells.into_iter().map(|c| c.report).collect() }
     }
 
     /// The report of one configuration.

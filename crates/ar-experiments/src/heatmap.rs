@@ -4,7 +4,7 @@
 
 use crate::scale::ExperimentScale;
 use crate::table::Table;
-use ar_system::{runner, SimReport};
+use ar_system::{SimReport, Simulation};
 use ar_types::config::NamedConfig;
 use ar_workloads::WorkloadKind;
 
@@ -60,8 +60,14 @@ pub fn figure_5_3(scale: ExperimentScale) -> Vec<Heatmap> {
     [NamedConfig::ArfTid, NamedConfig::ArfAddr]
         .iter()
         .map(|&config| {
-            let report = runner::run(&base, config, WorkloadKind::Lud, scale.size_class())
-                .expect("built-in scales are valid");
+            let report = Simulation::builder()
+                .config(base.clone())
+                .named(config)
+                .workload(WorkloadKind::Lud)
+                .size(scale.size_class())
+                .build()
+                .expect("built-in scales are valid")
+                .run();
             Heatmap::from_report(&report)
         })
         .collect()

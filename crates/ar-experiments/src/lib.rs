@@ -17,13 +17,15 @@
 //! | Fig. 5.8 | [`adaptive::AdaptiveStudy`] | lud phase analysis + dynamic offloading |
 //!
 //! All artefacts are produced from [`matrix::Matrix`] runs of the full-system
-//! simulator at a chosen [`scale::ExperimentScale`], and rendered as
-//! [`table::Table`] values (text or CSV). The `ar-experiments` binary drives
-//! them from the command line:
+//! simulator at a chosen [`scale::ExperimentScale`] (the matrix fans its
+//! cells out over worker threads through [`ar_system::Sweep`]), and rendered
+//! as [`table::Table`] values (text, CSV, or JSON). The `ar-experiments`
+//! binary drives them from the command line:
 //!
 //! ```text
 //! cargo run -p ar-experiments --release -- --figure 5.1a --scale standard
 //! cargo run -p ar-experiments --release -- --all --scale quick
+//! cargo run -p ar-experiments --release -- --figure 5.1a --json
 //! ```
 
 pub mod adaptive;
@@ -136,84 +138,104 @@ impl Artifact {
     /// runs are not shared between artefacts here; callers that want several
     /// figures from one matrix should use the figure modules directly.
     pub fn render(self, scale: ExperimentScale) -> String {
+        match self.produce(scale) {
+            ArtifactOutput::Text(text) => text,
+            ArtifactOutput::Table(table) => table.to_string(),
+        }
+    }
+
+    /// Runs the artefact at the given scale and renders it as one JSON
+    /// document: `{artifact, scale, table}` for figure tables, or
+    /// `{artifact, scale, text}` for the prose configuration tables.
+    pub fn render_json(self, scale: ExperimentScale) -> String {
+        let (key, body) = match self.produce(scale) {
+            ArtifactOutput::Text(text) => ("text", ar_types::Json::from(text)),
+            ArtifactOutput::Table(table) => ("table", table.to_json()),
+        };
+        ar_types::Json::obj([
+            ("artifact", ar_types::Json::from(self.name())),
+            ("scale", ar_types::Json::from(scale.to_string())),
+            (key, body),
+        ])
+        .render()
+    }
+
+    fn produce(self, scale: ExperimentScale) -> ArtifactOutput {
         match self {
-            Artifact::Table3_1 => tables::table_3_1(),
-            Artifact::Table4_1 => tables::table_4_1(&scale.system_config()),
-            Artifact::Fig5_1a => speedup::figure_5_1(
+            Artifact::Table3_1 => ArtifactOutput::Text(tables::table_3_1()),
+            Artifact::Table4_1 => ArtifactOutput::Text(tables::table_4_1(&scale.system_config())),
+            Artifact::Fig5_1a => ArtifactOutput::Table(speedup::figure_5_1(
                 &Matrix::benchmarks(scale),
                 "Figure 5.1(a): benchmark runtime speedup over DRAM",
-            )
-            .to_string(),
-            Artifact::Fig5_1b => speedup::figure_5_1(
+            )),
+            Artifact::Fig5_1b => ArtifactOutput::Table(speedup::figure_5_1(
                 &Matrix::microbenchmarks(scale),
                 "Figure 5.1(b): microbenchmark runtime speedup over DRAM",
-            )
-            .to_string(),
-            Artifact::Fig5_2a => latency::figure_5_2(
+            )),
+            Artifact::Fig5_2a => ArtifactOutput::Table(latency::figure_5_2(
                 &Matrix::run(
                     &ar_workloads::WorkloadKind::BENCHMARKS,
                     &latency::LATENCY_CONFIGS,
                     scale,
                 ),
                 "Figure 5.2(a): benchmark update roundtrip latency (cycles)",
-            )
-            .to_string(),
-            Artifact::Fig5_2b => latency::figure_5_2(
+            )),
+            Artifact::Fig5_2b => ArtifactOutput::Table(latency::figure_5_2(
                 &Matrix::run(
                     &ar_workloads::WorkloadKind::MICROBENCHMARKS,
                     &latency::LATENCY_CONFIGS,
                     scale,
                 ),
                 "Figure 5.2(b): microbenchmark update roundtrip latency (cycles)",
-            )
-            .to_string(),
-            Artifact::Fig5_3 => heatmap::to_table(
+            )),
+            Artifact::Fig5_3 => ArtifactOutput::Table(heatmap::to_table(
                 &heatmap::figure_5_3(scale),
                 "Figure 5.3: lud per-cube stalls / update / operand distribution",
-            )
-            .to_string(),
-            Artifact::Fig5_4a => traffic::figure_5_4(
+            )),
+            Artifact::Fig5_4a => ArtifactOutput::Table(traffic::figure_5_4(
                 &Matrix::run(
                     &ar_workloads::WorkloadKind::BENCHMARKS,
                     &traffic::TRAFFIC_CONFIGS,
                     scale,
                 ),
                 "Figure 5.4(a): benchmark data movement normalized to HMC",
-            )
-            .to_string(),
-            Artifact::Fig5_4b => traffic::figure_5_4(
+            )),
+            Artifact::Fig5_4b => ArtifactOutput::Table(traffic::figure_5_4(
                 &Matrix::run(
                     &ar_workloads::WorkloadKind::MICROBENCHMARKS,
                     &traffic::TRAFFIC_CONFIGS,
                     scale,
                 ),
                 "Figure 5.4(b): microbenchmark data movement normalized to HMC",
-            )
-            .to_string(),
-            Artifact::Fig5_5 => energy::figure_energy(
+            )),
+            Artifact::Fig5_5 => ArtifactOutput::Table(energy::figure_energy(
                 &Matrix::benchmarks(scale),
                 EnergyMetric::Power,
                 "Figure 5.5: normalized power breakdown over DRAM",
-            )
-            .to_string(),
-            Artifact::Fig5_6 => energy::figure_energy(
+            )),
+            Artifact::Fig5_6 => ArtifactOutput::Table(energy::figure_energy(
                 &Matrix::benchmarks(scale),
                 EnergyMetric::Energy,
                 "Figure 5.6: normalized energy breakdown over DRAM",
-            )
-            .to_string(),
-            Artifact::Fig5_7 => energy::figure_energy(
+            )),
+            Artifact::Fig5_7 => ArtifactOutput::Table(energy::figure_energy(
                 &Matrix::benchmarks(scale),
                 EnergyMetric::EnergyDelayProduct,
                 "Figure 5.7: normalized energy-delay product over DRAM",
-            )
-            .to_string(),
+            )),
             Artifact::Fig5_8 => {
                 let study = AdaptiveStudy::run(scale);
-                study.speedup_table("Figure 5.8: lud dynamic offloading").to_string()
+                ArtifactOutput::Table(study.speedup_table("Figure 5.8: lud dynamic offloading"))
             }
         }
     }
+}
+
+/// What producing an artefact yields: a numeric table for the figures, plain
+/// prose for the two configuration tables.
+enum ArtifactOutput {
+    Text(String),
+    Table(Table),
 }
 
 #[cfg(test)]
@@ -237,5 +259,20 @@ mod tests {
         assert!(t31.contains("flow ID"));
         let t41 = Artifact::Table4_1.render(ExperimentScale::Quick);
         assert!(t41.contains("Dragonfly"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_labelled() {
+        use ar_types::Json;
+        // A prose table serialises as {artifact, scale, text}.
+        let doc = Json::parse(&Artifact::Table4_1.render_json(ExperimentScale::Quick)).unwrap();
+        assert_eq!(doc.get("artifact").and_then(Json::as_str), Some("Table 4.1"));
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("quick"));
+        assert!(doc.get("text").and_then(Json::as_str).unwrap().contains("Dragonfly"));
+
+        // A figure serialises its table with rows and columns.
+        let doc = Json::parse(&Artifact::Fig5_8.render_json(ExperimentScale::Quick)).unwrap();
+        let table = doc.get("table").expect("figure artefacts carry a table");
+        assert!(!table.get("rows").and_then(Json::as_array).unwrap().is_empty());
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! ar-experiments --all --scale quick
 //! ar-experiments --figure 5.1a --scale standard
+//! ar-experiments --figure 5.1a --json
 //! ar-experiments --table 4.1
 //! ar-experiments --list
 //! ```
@@ -11,8 +12,9 @@ use ar_experiments::{Artifact, ExperimentScale};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full]\n\
-     ids: 3.1 4.1 5.1a 5.1b 5.2a 5.2b 5.3 5.4a 5.4b 5.5 5.6 5.7 5.8"
+    "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full] [--json]\n\
+     ids: 3.1 4.1 5.1a 5.1b 5.2a 5.2b 5.3 5.4a 5.4b 5.5 5.6 5.7 5.8\n\
+     --json emits one machine-readable JSON document per selected artefact"
 }
 
 fn main() -> ExitCode {
@@ -21,12 +23,14 @@ fn main() -> ExitCode {
     let mut selected: Vec<Artifact> = Vec::new();
     let mut list = false;
     let mut all = false;
+    let mut json = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--list" => list = true,
             "--all" => all = true,
+            "--json" => json = true,
             "--scale" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
@@ -83,7 +87,11 @@ fn main() -> ExitCode {
 
     for artifact in selected {
         eprintln!("[ar-experiments] running {} at scale {scale} ...", artifact.name());
-        println!("{}", artifact.render(scale));
+        if json {
+            println!("{}", artifact.render_json(scale));
+        } else {
+            println!("{}", artifact.render(scale));
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,7 +1,12 @@
 //! The workload × configuration run matrix shared by Figures 5.1 and 5.4-5.7.
+//!
+//! Since the driver redesign the matrix is a thin shape adapter over
+//! [`ar_system::Sweep`]: the runs fan out over worker threads (one per
+//! available core by default) and the reports come back in deterministic
+//! row/column order, identical to a serial run.
 
 use crate::scale::ExperimentScale;
-use ar_system::{runner, SimReport};
+use ar_system::{SimReport, Sweep};
 use ar_types::config::NamedConfig;
 use ar_workloads::WorkloadKind;
 
@@ -17,7 +22,8 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Runs every workload under every configuration at the given scale.
+    /// Runs every workload under every configuration at the given scale,
+    /// fanning the cells out over one worker thread per available core.
     ///
     /// # Panics
     ///
@@ -28,14 +34,39 @@ impl Matrix {
         configs: &[NamedConfig],
         scale: ExperimentScale,
     ) -> Self {
-        let base = scale.system_config();
-        let size = scale.size_class();
+        Matrix::run_with_threads(workloads, configs, scale, 0)
+    }
+
+    /// [`Matrix::run`] with an explicit worker-thread count (`1` = serial,
+    /// `0` = available parallelism). The reports are identical for every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale's base configuration is invalid (it never is for
+    /// the built-in scales).
+    pub fn run_with_threads(
+        workloads: &[WorkloadKind],
+        configs: &[NamedConfig],
+        scale: ExperimentScale,
+        threads: usize,
+    ) -> Self {
+        let results = Sweep::new(scale.system_config())
+            .configs(configs.iter().copied())
+            .workloads(workloads.iter().copied())
+            .size(scale.size_class())
+            .threads(threads)
+            .run()
+            .expect("built-in scales are valid");
+        // The sweep order is workload-major over a single size, i.e. exactly
+        // row-major over this matrix.
+        let mut cells = results.cells.into_iter();
         let reports = workloads
             .iter()
-            .map(|&w| {
+            .map(|_| {
                 configs
                     .iter()
-                    .map(|&c| runner::run(&base, c, w, size).expect("built-in scales are valid"))
+                    .map(|_| cells.next().expect("sweep covers every cell").report)
                     .collect()
             })
             .collect();
@@ -86,5 +117,21 @@ mod tests {
         assert!(hmc.completed && arf.completed);
         assert!(m.report(WorkloadKind::Mac, NamedConfig::Hmc).is_none());
         assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn matrix_cells_land_in_their_labelled_slots_regardless_of_threads() {
+        for threads in [1, 4] {
+            let m = Matrix::run_with_threads(
+                &[WorkloadKind::Reduce, WorkloadKind::Mac],
+                &[NamedConfig::Hmc, NamedConfig::ArfTid],
+                ExperimentScale::Quick,
+                threads,
+            );
+            for (workload, config, report) in m.iter() {
+                assert_eq!(report.workload, workload.to_string());
+                assert_eq!(report.config_label, config.to_string());
+            }
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Plain-text table rendering shared by every experiment.
 
+use ar_types::json::Json;
 use std::fmt;
 
 /// A labelled table of numeric series: one row per workload (or field), one
@@ -48,6 +49,26 @@ impl Table {
     pub fn column(&self, column: &str) -> Option<Vec<f64>> {
         let col = self.columns.iter().position(|c| c == column)?;
         Some(self.rows.iter().map(|(_, vals)| vals[col]).collect())
+    }
+
+    /// Serialises the table as a JSON document:
+    /// `{title, row_label, columns, rows: [{name, values}]}` — the
+    /// machine-readable form behind `ar-experiments --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::from(self.title.clone())),
+            ("row_label", Json::from(self.row_label.clone())),
+            ("columns", Json::arr(self.columns.iter().map(String::as_str))),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|(name, values)| {
+                    Json::obj([
+                        ("name", Json::from(name.as_str())),
+                        ("values", Json::arr(values.iter().copied())),
+                    ])
+                })),
+            ),
+        ])
     }
 
     /// Renders the table as CSV (header row first).
@@ -140,5 +161,19 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = sample();
         t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn json_form_carries_every_cell() {
+        let doc = sample().to_json();
+        assert_eq!(doc.get("title").and_then(Json::as_str), Some("Figure X"));
+        assert_eq!(doc.get("columns").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        let rows = doc.get("rows").and_then(Json::as_array).expect("rows array");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("mac"));
+        let values = rows[0].get("values").and_then(Json::as_array).expect("values");
+        assert_eq!(values[1].as_f64(), Some(2.5));
+        // The document parses back from its rendered text.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
     }
 }

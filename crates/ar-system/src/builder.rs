@@ -1,0 +1,389 @@
+//! The typed experiment-driver entry point: [`Simulation`] and
+//! [`SimulationBuilder`].
+//!
+//! The builder pairs a base [`SystemConfig`] with a [`NamedConfig`], a
+//! [`Workload`] (one of the built-in [`ar_workloads::WorkloadKind`]s or any
+//! custom implementation), a [`SizeClass`] and optional streaming
+//! [`Observer`]s, and produces a ready-to-run [`Simulation`]. It subsumes the
+//! free functions of the [`crate::runner`] module, which remain as thin
+//! deprecated shims.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_system::Simulation;
+//! use ar_types::config::{NamedConfig, SystemConfig};
+//! use ar_workloads::{SizeClass, WorkloadKind};
+//!
+//! let mut cfg = SystemConfig::small();
+//! cfg.max_cycles = 2_000_000;
+//! let sim = Simulation::builder()
+//!     .config(cfg)
+//!     .named(NamedConfig::ArfTid)
+//!     .workload(WorkloadKind::Reduce)
+//!     .size(SizeClass::Tiny)
+//!     .build()
+//!     .expect("valid configuration");
+//! let references = sim.references().to_vec();
+//! let report = sim.run();
+//! assert!(report.completed);
+//! assert_eq!(ar_system::runner::verify_gathers(&report, &references), 0);
+//! ```
+
+use crate::observer::Observer;
+use crate::report::SimReport;
+use crate::system::System;
+use ar_types::config::{MemoryMode, NamedConfig, SystemConfig};
+use ar_types::error::ConfigError;
+use ar_types::Addr;
+use ar_workloads::{SizeClass, Variant, Workload};
+use std::sync::Arc;
+
+/// A fully wired simulation: the system, its attached observers, and the
+/// workload's functional reference results.
+pub struct Simulation {
+    system: System,
+    observers: Vec<Box<dyn Observer>>,
+    references: Vec<(Addr, f64)>,
+    lockstep: bool,
+}
+
+impl Simulation {
+    /// Starts building a simulation. See the [module docs](self) for the
+    /// full call chain.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+
+    /// The workload's functional reference results (`(target, expected)`),
+    /// for checking the run's gathered values with
+    /// [`crate::runner::verify_gathers`]. Empty for baseline variants.
+    pub fn references(&self) -> &[(Addr, f64)] {
+        &self.references
+    }
+
+    /// Runs the simulation to completion (or to the cycle limit, or to an
+    /// observer-requested stop) and returns the report.
+    pub fn run(mut self) -> SimReport {
+        if self.lockstep {
+            self.system.run_lockstep_observed(&mut self.observers)
+        } else {
+            self.system.run_observed(&mut self.observers)
+        }
+    }
+
+    /// Unwraps the underlying [`System`], discarding observers — for callers
+    /// that need the raw run methods (e.g. the kernel benchmarks).
+    pub fn into_system(self) -> System {
+        self.system
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("system", &self.system)
+            .field("observers", &self.observers.len())
+            .field("references", &self.references.len())
+            .field("lockstep", &self.lockstep)
+            .finish()
+    }
+}
+
+/// Builder for a [`Simulation`]; create one with [`Simulation::builder`].
+///
+/// Only the workload is mandatory. Defaults: the Table 4.1 base
+/// configuration ([`SystemConfig::paper`]), no named overlay,
+/// [`SizeClass::Small`], the variant implied by the offload scheme, no
+/// observers, the event-driven kernel.
+pub struct SimulationBuilder {
+    base: SystemConfig,
+    named: Option<NamedConfig>,
+    workload: Option<Arc<dyn Workload>>,
+    size: SizeClass,
+    variant: Option<Variant>,
+    observers: Vec<Box<dyn Observer>>,
+    lockstep: bool,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    /// Creates a builder with the defaults described on the type.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            base: SystemConfig::paper(),
+            named: None,
+            workload: None,
+            size: SizeClass::Small,
+            variant: None,
+            observers: Vec::new(),
+            lockstep: false,
+        }
+    }
+
+    /// Sets the base system configuration (platform dimensions, timings,
+    /// cycle limit). Applied before the named overlay.
+    #[must_use]
+    pub fn config(mut self, base: SystemConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Overlays one of the named evaluation configurations (memory mode +
+    /// offload scheme) and uses its display name as the report label.
+    #[must_use]
+    pub fn named(mut self, named: NamedConfig) -> Self {
+        self.named = Some(named);
+        self
+    }
+
+    /// Sets the workload. Accepts any [`Workload`], including the built-in
+    /// [`ar_workloads::WorkloadKind`] variants.
+    #[must_use]
+    pub fn workload(mut self, workload: impl Workload + 'static) -> Self {
+        self.workload = Some(Arc::new(workload));
+        self
+    }
+
+    /// Sets the workload from an already-shared handle (e.g. one obtained
+    /// from a [`ar_workloads::WorkloadRegistry`]).
+    #[must_use]
+    pub fn workload_arc(mut self, workload: Arc<dyn Workload>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the problem-size class (default [`SizeClass::Small`]).
+    #[must_use]
+    pub fn size(mut self, size: SizeClass) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Overrides the workload variant. Without this, the variant follows the
+    /// offload scheme: baselines run [`Variant::Baseline`], the adaptive
+    /// scheme runs [`Variant::Adaptive`], every other scheme
+    /// [`Variant::Active`] — the pairing of Section 5.1.
+    #[must_use]
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Attaches a streaming [`Observer`]. May be called repeatedly; events
+    /// fan out to every observer in attachment order.
+    #[must_use]
+    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Uses the lock-step reference kernel instead of the event-driven one
+    /// (for equivalence tests and benchmarks).
+    #[must_use]
+    pub fn lockstep(mut self) -> Self {
+        self.lockstep = true;
+        self
+    }
+
+    /// Generates the workload, validates the configuration and wires the
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when no workload was set or when the
+    /// (overlaid) configuration is inconsistent.
+    pub fn build(self) -> Result<Simulation, ConfigError> {
+        let workload = self.workload.ok_or_else(|| {
+            ConfigError::new("SimulationBuilder needs a workload (.workload(..))")
+        })?;
+        let cfg = match self.named {
+            Some(named) => self.base.named(named),
+            None => self.base,
+        };
+        let variant = self.variant.unwrap_or_else(|| variant_for_scheme(cfg.scheme));
+        let generated = workload.generate(cfg.cores.count, self.size, variant);
+        let label = match self.named {
+            Some(named) => named.to_string(),
+            None if cfg.scheme.offloads() => cfg.scheme.to_string(),
+            None => match cfg.memory_mode {
+                MemoryMode::DdrBaseline => "DRAM".to_string(),
+                MemoryMode::HmcNetwork => "HMC".to_string(),
+            },
+        };
+        let system = System::new(cfg, generated.streams, generated.memory)?
+            .with_labels(generated.name, label);
+        Ok(Simulation {
+            system,
+            observers: self.observers,
+            references: generated.references,
+            lockstep: self.lockstep,
+        })
+    }
+}
+
+/// The workload variant implied by an offload scheme (Section 5.1 / 5.4):
+/// baselines run the unoptimised kernels, the adaptive scheme the
+/// dynamically offloaded ones, everything else the offloaded ones. The
+/// single source of this pairing — the builder and the deprecated
+/// [`crate::runner::variant_for`] shim both delegate here.
+pub fn variant_for_scheme(scheme: ar_types::config::OffloadScheme) -> Variant {
+    use ar_types::config::OffloadScheme;
+    match scheme {
+        OffloadScheme::None => Variant::Baseline,
+        OffloadScheme::ArfTidAdaptive => Variant::Adaptive,
+        OffloadScheme::Art | OffloadScheme::ArfTid | OffloadScheme::ArfAddr => Variant::Active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{ObserverControl, SampleRecorder, SimEvent};
+    use crate::runner;
+    use ar_workloads::{GeneratedWorkload, WorkloadKind};
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 2_000_000;
+        cfg
+    }
+
+    #[test]
+    fn builder_requires_a_workload() {
+        let err = Simulation::builder().config(small_cfg()).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_matches_the_runner_shim() {
+        let cfg = small_cfg();
+        let via_builder = Simulation::builder()
+            .config(cfg.clone())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+            .build()
+            .expect("valid")
+            .run();
+        #[allow(deprecated)]
+        let via_shim =
+            runner::run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
+                .expect("valid");
+        assert_eq!(via_builder, via_shim);
+    }
+
+    #[test]
+    fn variant_follows_the_scheme_unless_overridden() {
+        assert_eq!(variant_for_scheme(NamedConfig::Hmc.scheme()), Variant::Baseline);
+        assert_eq!(variant_for_scheme(NamedConfig::ArfTidAdaptive.scheme()), Variant::Adaptive);
+        assert_eq!(variant_for_scheme(NamedConfig::Art.scheme()), Variant::Active);
+
+        // Forcing the baseline variant onto an offloading config runs it
+        // without any offloads.
+        let report = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Mac)
+            .size(SizeClass::Tiny)
+            .variant(Variant::Baseline)
+            .build()
+            .expect("valid")
+            .run();
+        assert!(report.completed);
+        assert_eq!(report.updates_offloaded, 0);
+    }
+
+    #[test]
+    fn labels_without_a_named_config_fall_back_to_the_scheme() {
+        let mut cfg = small_cfg();
+        cfg.memory_mode = MemoryMode::DdrBaseline;
+        let report = Simulation::builder()
+            .config(cfg)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(report.config_label, "DRAM");
+        assert_eq!(report.workload, "reduce");
+    }
+
+    #[test]
+    fn observers_stream_events_and_can_stop_the_run() {
+        // A full run streams samples and gathers.
+        let report = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+            .observer(SampleRecorder::new())
+            .build()
+            .expect("valid")
+            .run();
+        assert!(report.completed);
+
+        // An immediately-stopping observer truncates it.
+        struct StopNow;
+        impl crate::Observer for StopNow {
+            fn on_event(&mut self, _: &SimEvent) -> ObserverControl {
+                ObserverControl::Stop
+            }
+        }
+        let stopped = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+            .observer(StopNow)
+            .build()
+            .expect("valid")
+            .run();
+        assert!(!stopped.completed, "an early stop must report an incomplete run");
+    }
+
+    #[test]
+    fn custom_workloads_run_through_the_builder() {
+        struct ComputeOnly;
+        impl Workload for ComputeOnly {
+            fn name(&self) -> &str {
+                "compute_only"
+            }
+            fn generate(
+                &self,
+                threads: usize,
+                _size: SizeClass,
+                variant: Variant,
+            ) -> GeneratedWorkload {
+                let mut kernel = active_routing::ActiveKernel::new(threads);
+                for t in 0..threads {
+                    kernel.compute(t, 64);
+                }
+                GeneratedWorkload {
+                    name: "compute_only".to_string(),
+                    variant,
+                    streams: kernel.into_streams(),
+                    memory: Vec::new(),
+                    references: Vec::new(),
+                    updates: 0,
+                }
+            }
+        }
+        let report = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::Hmc)
+            .workload(ComputeOnly)
+            .size(SizeClass::Tiny)
+            .build()
+            .expect("valid")
+            .run();
+        assert!(report.completed);
+        assert_eq!(report.workload, "compute_only");
+        assert!(report.instructions > 0);
+    }
+}

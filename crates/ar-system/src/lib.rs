@@ -13,31 +13,60 @@
 //! * the host offload controller that turns Message-Interface commands into
 //!   active packets and collects gather results.
 //!
-//! The entry points are [`System`] (explicit streams + memory image) and the
-//! [`runner`] helpers that pair a [`ar_types::config::NamedConfig`] with an
-//! [`ar_workloads::WorkloadKind`]. Every run produces a [`SimReport`], the
-//! single input from which the experiments crate regenerates each figure of
-//! the paper's evaluation.
+//! # Driving experiments
+//!
+//! The experiment-driver surface has three layers:
+//!
+//! * [`SimulationBuilder`] (via [`Simulation::builder`]) — one run: pair a
+//!   base [`ar_types::config::SystemConfig`] with a named configuration, any
+//!   [`ar_workloads::Workload`] and a size class, optionally attach
+//!   streaming [`Observer`]s, and [`Simulation::run`] it to a [`SimReport`];
+//! * [`Sweep`] — a configs × workloads × sizes matrix fanned out over
+//!   `std::thread` workers with deterministic, thread-count-independent
+//!   result ordering;
+//! * [`System`] — the raw model, for hand-built
+//!   [`ar_types::WorkStream`]s and memory images.
+//!
+//! The pre-redesign free functions ([`runner::build`], [`runner::run`],
+//! [`runner::run_all_configs`]) remain as deprecated shims over the builder.
+//! Every run produces a [`SimReport`], the single input from which the
+//! experiments crate regenerates each figure of the paper's evaluation;
+//! [`SimReport::to_json`] / [`SimReport::from_json`] serialise it through
+//! the in-tree [`ar_types::json`] shim.
 //!
 //! # Example
 //!
 //! ```
-//! use ar_system::runner;
+//! use ar_system::Simulation;
 //! use ar_types::config::{NamedConfig, SystemConfig};
 //! use ar_workloads::{SizeClass, WorkloadKind};
 //!
 //! let mut cfg = SystemConfig::small();
 //! cfg.max_cycles = 2_000_000;
-//! let report = runner::run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
-//!     .expect("valid configuration");
+//! let report = Simulation::builder()
+//!     .config(cfg)
+//!     .named(NamedConfig::ArfTid)
+//!     .workload(WorkloadKind::Reduce)
+//!     .size(SizeClass::Tiny)
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
 //! assert!(report.completed);
 //! assert!(report.updates_offloaded > 0);
 //! ```
 
+pub mod builder;
+pub mod observer;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod system;
 
+pub use builder::{variant_for_scheme, Simulation, SimulationBuilder};
+pub use observer::{
+    DeadlineStop, Observer, ObserverControl, RunInfo, Sample, SampleRecorder, SimEvent,
+};
 pub use report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
-pub use runner::{build, run, run_all_configs, variant_for, verify_gathers};
+pub use runner::{variant_for, verify_gathers};
+pub use sweep::{Sweep, SweepCell, SweepResults};
 pub use system::System;

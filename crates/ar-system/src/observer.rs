@@ -1,0 +1,272 @@
+//! Streaming observation of a running simulation.
+//!
+//! A [`SimReport`] only becomes available once a run ends;
+//! an [`Observer`] instead receives [`SimEvent`]s *while the event-driven
+//! kernel executes* — periodic IPC samples, gather completions, barrier
+//! releases — and can stop the run early. Observers are attached through
+//! [`SimulationBuilder::observer`](crate::SimulationBuilder::observer) (or
+//! [`System::run_observed`](crate::System::run_observed)); runs without
+//! observers pay nothing.
+//!
+//! Observers never influence simulated timing: the kernel produces exactly
+//! the same cycle-level behaviour with or without them (only
+//! [`ObserverControl::Stop`] cuts the run short, the same way the
+//! `max_cycles` limit does).
+//!
+//! # Example
+//!
+//! ```
+//! use ar_system::{Observer, ObserverControl, SimEvent, Simulation};
+//! use ar_types::config::{NamedConfig, SystemConfig};
+//! use ar_workloads::{SizeClass, WorkloadKind};
+//!
+//! /// Counts gather completions as they stream out of the network.
+//! #[derive(Default)]
+//! struct GatherCounter {
+//!     seen: usize,
+//! }
+//!
+//! impl Observer for GatherCounter {
+//!     fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+//!         if let SimEvent::GatherCompleted { .. } = event {
+//!             self.seen += 1;
+//!         }
+//!         ObserverControl::Continue
+//!     }
+//! }
+//!
+//! let mut cfg = SystemConfig::small();
+//! cfg.max_cycles = 2_000_000;
+//! let report = Simulation::builder()
+//!     .config(cfg)
+//!     .named(NamedConfig::ArfTid)
+//!     .workload(WorkloadKind::Reduce)
+//!     .size(SizeClass::Tiny)
+//!     .observer(GatherCounter::default())
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//! assert!(report.completed);
+//! ```
+
+use crate::report::SimReport;
+use ar_types::config::SystemConfig;
+use ar_types::{Addr, Cycle};
+
+/// Identification of the run an observer is attached to, passed to
+/// [`Observer::on_start`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunInfo<'a> {
+    /// Workload label of the run (may be empty for hand-built systems).
+    pub workload: &'a str,
+    /// Configuration label of the run.
+    pub config_label: &'a str,
+    /// The full system configuration being simulated.
+    pub cfg: &'a SystemConfig,
+}
+
+/// One periodic statistics sample (taken at every IPC window boundary, the
+/// same cadence as the Fig. 5.8 time series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Memory-network cycle of the sample.
+    pub network_cycle: Cycle,
+    /// Core cycle of the sample.
+    pub core_cycle: Cycle,
+    /// Total instructions retired so far, across all cores.
+    pub instructions: u64,
+    /// IPC over the window that just closed.
+    pub window_ipc: f64,
+}
+
+/// An event streamed to observers during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A periodic statistics sample.
+    Sample(Sample),
+    /// An offloaded gather delivered its final reduction value to the host.
+    GatherCompleted {
+        /// Memory-network cycle of the completion.
+        network_cycle: Cycle,
+        /// Reduction target address.
+        target: Addr,
+        /// Gathered value.
+        value: f64,
+    },
+    /// All threads reached a barrier and it was released.
+    BarrierReleased {
+        /// Core cycle of the release.
+        core_cycle: Cycle,
+        /// Barrier id.
+        id: u32,
+    },
+}
+
+/// Whether the simulation should continue after an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObserverControl {
+    /// Keep simulating.
+    #[default]
+    Continue,
+    /// Stop at the end of the current cycle. The run's report is returned
+    /// as-is with `completed == false` (unless the system happened to finish
+    /// on that same cycle).
+    Stop,
+}
+
+/// A streaming consumer of simulation events.
+///
+/// All methods have no-op defaults, so an implementation only overrides what
+/// it cares about.
+pub trait Observer {
+    /// Called once before the first cycle is processed.
+    fn on_start(&mut self, _run: &RunInfo<'_>) {}
+
+    /// Called for every [`SimEvent`]. Returning [`ObserverControl::Stop`]
+    /// ends the run at the current cycle.
+    fn on_event(&mut self, _event: &SimEvent) -> ObserverControl {
+        ObserverControl::Continue
+    }
+
+    /// Called once with the final report (after `completed` is known).
+    fn on_finish(&mut self, _report: &SimReport) {}
+}
+
+/// An [`Observer`] that records every [`Sample`] it sees — the simplest
+/// useful stat sink, and the one the examples use to stream IPC.
+#[derive(Debug, Default)]
+pub struct SampleRecorder {
+    samples: Vec<Sample>,
+}
+
+impl SampleRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded samples, in simulation order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+impl Observer for SampleRecorder {
+    fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+        if let SimEvent::Sample(sample) = event {
+            self.samples.push(*sample);
+        }
+        ObserverControl::Continue
+    }
+}
+
+/// An [`Observer`] that stops the run once a sample at or past a network
+/// cycle deadline is seen — early exit for "simulate roughly the first N
+/// cycles" studies without touching `max_cycles`.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineStop {
+    deadline: Cycle,
+}
+
+impl DeadlineStop {
+    /// Stops at the first sample taken at or after `deadline` network cycles.
+    pub fn at(deadline: Cycle) -> Self {
+        DeadlineStop { deadline }
+    }
+}
+
+impl Observer for DeadlineStop {
+    fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+        match event {
+            SimEvent::Sample(sample) if sample.network_cycle >= self.deadline => {
+                ObserverControl::Stop
+            }
+            _ => ObserverControl::Continue,
+        }
+    }
+}
+
+/// The driver-side fan-out over the observers of one run. Internal to the
+/// kernel: it exists so `System::step` can emit events without caring how
+/// many observers are attached (none being the common, free case).
+pub(crate) struct ObserverHub<'a> {
+    observers: &'a mut [Box<dyn Observer>],
+    stop: bool,
+}
+
+impl<'a> ObserverHub<'a> {
+    pub(crate) fn new(observers: &'a mut [Box<dyn Observer>]) -> Self {
+        ObserverHub { observers, stop: false }
+    }
+
+    /// True when no observer is attached (events need not be built).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// True once any observer requested a stop.
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop
+    }
+
+    pub(crate) fn start(&mut self, run: &RunInfo<'_>) {
+        for observer in self.observers.iter_mut() {
+            observer.on_start(run);
+        }
+    }
+
+    pub(crate) fn emit(&mut self, event: &SimEvent) {
+        for observer in self.observers.iter_mut() {
+            if observer.on_event(event) == ObserverControl::Stop {
+                self.stop = true;
+            }
+        }
+    }
+
+    pub(crate) fn finish(&mut self, report: &SimReport) {
+        for observer in self.observers.iter_mut() {
+            observer.on_finish(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_recorder_collects_only_samples() {
+        let mut recorder = SampleRecorder::new();
+        let sample = Sample { network_cycle: 10, core_cycle: 20, instructions: 5, window_ipc: 0.5 };
+        assert_eq!(recorder.on_event(&SimEvent::Sample(sample)), ObserverControl::Continue);
+        let gather =
+            SimEvent::GatherCompleted { network_cycle: 11, target: Addr::new(0x40), value: 1.0 };
+        assert_eq!(recorder.on_event(&gather), ObserverControl::Continue);
+        assert_eq!(recorder.samples(), &[sample]);
+    }
+
+    #[test]
+    fn deadline_stop_fires_at_or_after_the_deadline() {
+        let mut stop = DeadlineStop::at(100);
+        let early = Sample { network_cycle: 99, core_cycle: 0, instructions: 0, window_ipc: 0.0 };
+        let late = Sample { network_cycle: 100, ..early };
+        assert_eq!(stop.on_event(&SimEvent::Sample(early)), ObserverControl::Continue);
+        assert_eq!(stop.on_event(&SimEvent::Sample(late)), ObserverControl::Stop);
+    }
+
+    #[test]
+    fn hub_latches_stop_across_observers() {
+        let mut observers: Vec<Box<dyn Observer>> =
+            vec![Box::new(SampleRecorder::new()), Box::new(DeadlineStop::at(0))];
+        let mut hub = ObserverHub::new(&mut observers);
+        assert!(!hub.stopped());
+        hub.emit(&SimEvent::Sample(Sample {
+            network_cycle: 5,
+            core_cycle: 10,
+            instructions: 1,
+            window_ipc: 0.1,
+        }));
+        assert!(hub.stopped());
+        assert!(!hub.is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 use ar_power::{ActivityCounters, EnergyBreakdown, EnergyModel, PowerBreakdown};
 use ar_sim::TimeSeries;
 use ar_types::config::{NamedConfig, PowerConfig};
+use ar_types::json::{Json, JsonError};
 use ar_types::Addr;
 
 /// Mean update roundtrip latency breakdown (Fig. 5.2), in network cycles.
@@ -208,6 +209,193 @@ impl SimReport {
     pub fn label_for(config: NamedConfig) -> String {
         config.to_string()
     }
+
+    /// Serialises the full report as a [`Json`] document (the machine-
+    /// readable form behind `ar-experiments --json`). Every counter, series
+    /// and gather result is included; [`SimReport::from_json`] restores an
+    /// identical report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.clone())),
+            ("config_label", Json::from(self.config_label.clone())),
+            ("network_cycles", Json::from(self.network_cycles)),
+            ("core_cycles", Json::from(self.core_cycles)),
+            ("instructions", Json::from(self.instructions)),
+            ("completed", Json::from(self.completed)),
+            (
+                "stalls",
+                Json::obj([
+                    ("memory", self.stalls.memory),
+                    ("gather", self.stalls.gather),
+                    ("barrier", self.stalls.barrier),
+                    ("offload", self.stalls.offload),
+                    ("rob_full", self.stalls.rob_full),
+                ]),
+            ),
+            ("l1_accesses", Json::from(self.l1_accesses)),
+            ("l1_hits", Json::from(self.l1_hits)),
+            ("l2_accesses", Json::from(self.l2_accesses)),
+            ("l2_hits", Json::from(self.l2_hits)),
+            ("invalidations", Json::from(self.invalidations)),
+            ("updates_offloaded", Json::from(self.updates_offloaded)),
+            ("gathers_offloaded", Json::from(self.gathers_offloaded)),
+            (
+                "update_latency",
+                Json::obj([
+                    ("request", self.update_latency.request),
+                    ("stall", self.update_latency.stall),
+                    ("response", self.update_latency.response),
+                ]),
+            ),
+            (
+                "data_movement",
+                Json::obj([
+                    ("norm_req_bytes", self.data_movement.norm_req_bytes),
+                    ("norm_resp_bytes", self.data_movement.norm_resp_bytes),
+                    ("active_req_bytes", self.data_movement.active_req_bytes),
+                    ("active_resp_bytes", self.data_movement.active_resp_bytes),
+                ]),
+            ),
+            ("noc_byte_hops", Json::from(self.noc_byte_hops)),
+            ("network_byte_hops", Json::from(self.network_byte_hops)),
+            ("hmc_bytes", Json::from(self.hmc_bytes)),
+            ("dram_bytes", Json::from(self.dram_bytes)),
+            ("are_ops", Json::from(self.are_ops)),
+            (
+                "cube_activity",
+                Json::obj([
+                    ("updates_computed", Json::arr(self.cube_activity.updates_computed.clone())),
+                    ("operands_served", Json::arr(self.cube_activity.operands_served.clone())),
+                    (
+                        "operand_buffer_stalls",
+                        Json::arr(self.cube_activity.operand_buffer_stalls.clone()),
+                    ),
+                ]),
+            ),
+            (
+                "gather_results",
+                Json::arr(self.gather_results.iter().map(|(addr, value)| {
+                    Json::arr([Json::from(addr.as_u64()), Json::from(*value)])
+                })),
+            ),
+            (
+                "ipc_series",
+                Json::arr(
+                    self.ipc_series
+                        .points()
+                        .iter()
+                        .map(|&(x, y)| Json::arr([Json::from(x), Json::from(y)])),
+                ),
+            ),
+            ("network_clock_ghz", Json::from(self.network_clock_ghz)),
+        ])
+    }
+
+    /// Reconstructs a report from [`SimReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or has the wrong type.
+    pub fn from_json(doc: &Json) -> Result<SimReport, JsonError> {
+        fn missing(key: &str) -> JsonError {
+            JsonError { message: format!("missing or mistyped field {key:?}"), offset: 0 }
+        }
+        fn u(doc: &Json, key: &str) -> Result<u64, JsonError> {
+            doc.get(key).and_then(Json::as_u64).ok_or_else(|| missing(key))
+        }
+        fn f(doc: &Json, key: &str) -> Result<f64, JsonError> {
+            doc.get(key).and_then(Json::as_f64).ok_or_else(|| missing(key))
+        }
+        fn s(doc: &Json, key: &str) -> Result<String, JsonError> {
+            doc.get(key).and_then(Json::as_str).map(str::to_string).ok_or_else(|| missing(key))
+        }
+        fn obj<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+            doc.get(key).ok_or_else(|| missing(key))
+        }
+        fn u_vec(doc: &Json, key: &str) -> Result<Vec<u64>, JsonError> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .and_then(|items| items.iter().map(Json::as_u64).collect::<Option<Vec<u64>>>())
+                .ok_or_else(|| missing(key))
+        }
+        fn pairs(doc: &Json, key: &str) -> Result<Vec<(f64, f64)>, JsonError> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .and_then(|items| {
+                    items
+                        .iter()
+                        .map(|p| match p.as_array()? {
+                            [x, y] => Some((x.as_f64()?, y.as_f64()?)),
+                            _ => None,
+                        })
+                        .collect::<Option<Vec<(f64, f64)>>>()
+                })
+                .ok_or_else(|| missing(key))
+        }
+
+        let stalls = obj(doc, "stalls")?;
+        let latency = obj(doc, "update_latency")?;
+        let movement = obj(doc, "data_movement")?;
+        let activity = obj(doc, "cube_activity")?;
+        let mut ipc_series = TimeSeries::new();
+        for (x, y) in pairs(doc, "ipc_series")? {
+            ipc_series.push(x, y);
+        }
+        let gather_results = pairs(doc, "gather_results")?
+            .into_iter()
+            .map(|(addr, value)| (Addr::new(addr as u64), value))
+            .collect::<Vec<(Addr, f64)>>();
+
+        Ok(SimReport {
+            workload: s(doc, "workload")?,
+            config_label: s(doc, "config_label")?,
+            network_cycles: u(doc, "network_cycles")?,
+            core_cycles: u(doc, "core_cycles")?,
+            instructions: u(doc, "instructions")?,
+            completed: doc
+                .get("completed")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| missing("completed"))?,
+            stalls: StallSummary {
+                memory: u(stalls, "memory")?,
+                gather: u(stalls, "gather")?,
+                barrier: u(stalls, "barrier")?,
+                offload: u(stalls, "offload")?,
+                rob_full: u(stalls, "rob_full")?,
+            },
+            l1_accesses: u(doc, "l1_accesses")?,
+            l1_hits: u(doc, "l1_hits")?,
+            l2_accesses: u(doc, "l2_accesses")?,
+            l2_hits: u(doc, "l2_hits")?,
+            invalidations: u(doc, "invalidations")?,
+            updates_offloaded: u(doc, "updates_offloaded")?,
+            gathers_offloaded: u(doc, "gathers_offloaded")?,
+            update_latency: LatencyBreakdown {
+                request: f(latency, "request")?,
+                stall: f(latency, "stall")?,
+                response: f(latency, "response")?,
+            },
+            data_movement: DataMovement {
+                norm_req_bytes: u(movement, "norm_req_bytes")?,
+                norm_resp_bytes: u(movement, "norm_resp_bytes")?,
+                active_req_bytes: u(movement, "active_req_bytes")?,
+                active_resp_bytes: u(movement, "active_resp_bytes")?,
+            },
+            noc_byte_hops: u(doc, "noc_byte_hops")?,
+            network_byte_hops: u(doc, "network_byte_hops")?,
+            hmc_bytes: u(doc, "hmc_bytes")?,
+            dram_bytes: u(doc, "dram_bytes")?,
+            are_ops: u(doc, "are_ops")?,
+            cube_activity: CubeActivity {
+                updates_computed: u_vec(activity, "updates_computed")?,
+                operands_served: u_vec(activity, "operands_served")?,
+                operand_buffer_stalls: u_vec(activity, "operand_buffer_stalls")?,
+            },
+            gather_results,
+            ipc_series,
+            network_clock_ghz: f(doc, "network_clock_ghz")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +442,39 @@ mod tests {
         assert!(r.energy(&cfg).total_pj() > 0.0);
         assert!(r.power(&cfg).total_w() > 0.0);
         assert!(r.energy_delay_product(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut r = report(1234);
+        r.stalls = StallSummary { memory: 1, gather: 2, barrier: 3, offload: 4, rob_full: 5 };
+        r.update_latency = LatencyBreakdown { request: 10.5, stall: 0.25, response: 7.0 };
+        r.data_movement = DataMovement {
+            norm_req_bytes: 11,
+            norm_resp_bytes: 22,
+            active_req_bytes: 33,
+            active_resp_bytes: 44,
+        };
+        r.cube_activity = CubeActivity {
+            updates_computed: vec![1, 2, 3],
+            operands_served: vec![4, 5, 6],
+            operand_buffer_stalls: vec![0, 0, 9],
+        };
+        r.gather_results = vec![(Addr::new(0x3000_0040), -1.5), (Addr::new(0x88), 2.25)];
+        r.ipc_series.push(2048.0, 0.75);
+        r.ipc_series.push(4096.0, 1.25);
+
+        let text = r.to_json().render();
+        let parsed = SimReport::from_json(&Json::parse(&text).expect("valid JSON"))
+            .expect("well-formed report document");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let doc = Json::parse(r#"{"workload": "x"}"#).unwrap();
+        let err = SimReport::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("missing or mistyped"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! Convenience entry points that pair a named configuration (Section 5.1)
-//! with a workload and run the full-system simulation.
+//! The original free-function driver surface, kept as thin shims over
+//! [`Simulation`] for one release.
+//!
+//! New code should use [`crate::SimulationBuilder`] (single runs) and
+//! [`crate::Sweep`] (matrices); see the README migration guide. The
+//! verification helper [`verify_gathers`] is not deprecated, and
+//! [`variant_for`] remains as a convenience alias over the builder's
+//! [`crate::variant_for_scheme`].
 
+use crate::builder::Simulation;
 use crate::report::SimReport;
 use crate::system::System;
 use ar_types::config::{NamedConfig, SystemConfig};
@@ -12,11 +19,7 @@ use ar_workloads::{SizeClass, Variant, WorkloadKind};
 /// run the offloaded kernels, and ARF-tid-adaptive runs the dynamically
 /// offloaded kernels (Section 5.4).
 pub fn variant_for(config: NamedConfig) -> Variant {
-    match config {
-        NamedConfig::Dram | NamedConfig::Hmc => Variant::Baseline,
-        NamedConfig::Art | NamedConfig::ArfTid | NamedConfig::ArfAddr => Variant::Active,
-        NamedConfig::ArfTidAdaptive => Variant::Adaptive,
-    }
+    crate::variant_for_scheme(config.scheme())
 }
 
 /// Builds the system for one workload under one named configuration.
@@ -24,17 +27,23 @@ pub fn variant_for(config: NamedConfig) -> Variant {
 /// # Errors
 ///
 /// Returns a [`ConfigError`] if the base configuration is inconsistent.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Simulation::builder().config(..).named(..).workload(..).size(..).build()"
+)]
 pub fn build(
     base: &SystemConfig,
     config: NamedConfig,
     workload: WorkloadKind,
     size: SizeClass,
 ) -> Result<System, ConfigError> {
-    let cfg = base.clone().named(config);
-    let generated = workload.generate(cfg.cores.count, size, variant_for(config));
-    let system = System::new(cfg, generated.streams, generated.memory)?
-        .with_labels(workload.name(), config.to_string());
-    Ok(system)
+    Ok(Simulation::builder()
+        .config(base.clone())
+        .named(config)
+        .workload(workload)
+        .size(size)
+        .build()?
+        .into_system())
 }
 
 /// Runs one workload under one named configuration and returns the report.
@@ -42,13 +51,23 @@ pub fn build(
 /// # Errors
 ///
 /// Returns a [`ConfigError`] if the base configuration is inconsistent.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Simulation::builder().config(..).named(..).workload(..).size(..).build()?.run()"
+)]
 pub fn run(
     base: &SystemConfig,
     config: NamedConfig,
     workload: WorkloadKind,
     size: SizeClass,
 ) -> Result<SimReport, ConfigError> {
-    Ok(build(base, config, workload, size)?.run())
+    Ok(Simulation::builder()
+        .config(base.clone())
+        .named(config)
+        .workload(workload)
+        .size(size)
+        .build()?
+        .run())
 }
 
 /// Runs one workload under every configuration of Fig. 5.1 (DRAM, HMC, ART,
@@ -57,12 +76,18 @@ pub fn run(
 /// # Errors
 ///
 /// Returns a [`ConfigError`] if the base configuration is inconsistent.
+#[deprecated(since = "0.1.0", note = "use Sweep::new(base).configs(NamedConfig::ALL)..run()")]
 pub fn run_all_configs(
     base: &SystemConfig,
     workload: WorkloadKind,
     size: SizeClass,
 ) -> Result<Vec<SimReport>, ConfigError> {
-    NamedConfig::ALL.iter().map(|&c| run(base, c, workload, size)).collect()
+    let results = crate::Sweep::new(base.clone())
+        .configs(NamedConfig::ALL)
+        .workloads([workload])
+        .size(size)
+        .run()?;
+    Ok(results.cells.into_iter().map(|c| c.report).collect())
 }
 
 /// Checks a report's gathered reduction results against the workload's
@@ -84,6 +109,7 @@ fn relative_eq(a: f64, b: f64) -> bool {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ar_types::config::OffloadScheme;
@@ -162,5 +188,16 @@ mod tests {
             WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
         let err = System::new(cfg, generated.streams, generated.memory);
         assert!(err.is_err(), "offload streams on a non-offloading scheme must be rejected");
+    }
+
+    #[test]
+    fn run_all_configs_covers_the_plotted_five_in_order() {
+        let reports = run_all_configs(&small_cfg(), WorkloadKind::Reduce, SizeClass::Tiny)
+            .expect("valid configuration");
+        assert_eq!(reports.len(), NamedConfig::ALL.len());
+        for (report, config) in reports.iter().zip(NamedConfig::ALL) {
+            assert_eq!(report.config_label, config.to_string());
+            assert!(report.completed);
+        }
     }
 }

@@ -1,0 +1,364 @@
+//! Parallel experiment sweeps over a configs × workloads × sizes matrix.
+//!
+//! A [`Sweep`] fans the cross product out onto `std::thread` workers (the
+//! simulator itself stays single-threaded and deterministic per run) and
+//! returns the reports in a deterministic order — workload-major, then
+//! configuration, then size — that is byte-identical to running the same
+//! points serially. This is the engine behind the `ar-experiments` figure
+//! matrix and the `--json` CLI output.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_system::Sweep;
+//! use ar_types::config::{NamedConfig, SystemConfig};
+//! use ar_workloads::{SizeClass, WorkloadKind};
+//!
+//! let mut cfg = SystemConfig::small();
+//! cfg.max_cycles = 2_000_000;
+//! let results = Sweep::new(cfg)
+//!     .configs([NamedConfig::Hmc, NamedConfig::ArfTid])
+//!     .workloads([WorkloadKind::Reduce, WorkloadKind::Mac])
+//!     .size(SizeClass::Tiny)
+//!     .threads(2)
+//!     .run()
+//!     .expect("valid sweep");
+//! assert_eq!(results.len(), 4);
+//! let hmc = results.report("reduce", NamedConfig::Hmc, SizeClass::Tiny).unwrap();
+//! let arf = results.report("reduce", NamedConfig::ArfTid, SizeClass::Tiny).unwrap();
+//! assert!(arf.completed && hmc.completed);
+//! ```
+
+use crate::builder::Simulation;
+use crate::report::SimReport;
+use ar_types::config::{NamedConfig, SystemConfig};
+use ar_types::error::ConfigError;
+use ar_workloads::{SizeClass, Workload, WorkloadKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One completed sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Workload name of this point.
+    pub workload: String,
+    /// Named configuration of this point.
+    pub config: NamedConfig,
+    /// Size class of this point.
+    pub size: SizeClass,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+/// The results of a sweep, in deterministic workload-major order
+/// (`for workload { for config { for size { .. } } }`), independent of the
+/// worker-thread count.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResults {
+    /// The completed points, in sweep order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResults {
+    /// Number of completed points.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns true for an empty sweep.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The report of one `(workload, config, size)` point, if it was swept.
+    pub fn report(
+        &self,
+        workload: &str,
+        config: NamedConfig,
+        size: SizeClass,
+    ) -> Option<&SimReport> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.config == config && c.size == size)
+            .map(|c| &c.report)
+    }
+
+    /// Iterates over the reports in sweep order.
+    pub fn reports(&self) -> impl Iterator<Item = &SimReport> {
+        self.cells.iter().map(|c| &c.report)
+    }
+}
+
+/// A configs × workloads × sizes sweep driver. See the [module docs](self).
+pub struct Sweep {
+    base: SystemConfig,
+    configs: Vec<NamedConfig>,
+    workloads: Vec<Arc<dyn Workload>>,
+    sizes: Vec<SizeClass>,
+    threads: usize,
+}
+
+impl Sweep {
+    /// Creates a sweep over the given base configuration with empty axes and
+    /// one worker thread.
+    pub fn new(base: SystemConfig) -> Self {
+        Sweep { base, configs: Vec::new(), workloads: Vec::new(), sizes: Vec::new(), threads: 1 }
+    }
+
+    /// Appends named configurations to the config axis.
+    #[must_use]
+    pub fn configs(mut self, configs: impl IntoIterator<Item = NamedConfig>) -> Self {
+        self.configs.extend(configs);
+        self
+    }
+
+    /// Appends one named configuration.
+    #[must_use]
+    pub fn config(mut self, config: NamedConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Appends built-in workloads to the workload axis.
+    #[must_use]
+    pub fn workloads(mut self, kinds: impl IntoIterator<Item = WorkloadKind>) -> Self {
+        for kind in kinds {
+            self.workloads.push(Arc::new(kind));
+        }
+        self
+    }
+
+    /// Appends one workload (built-in or custom).
+    #[must_use]
+    pub fn workload(mut self, workload: impl Workload + 'static) -> Self {
+        self.workloads.push(Arc::new(workload));
+        self
+    }
+
+    /// Appends one already-shared workload handle (e.g. from a
+    /// [`ar_workloads::WorkloadRegistry`]).
+    #[must_use]
+    pub fn workload_arc(mut self, workload: Arc<dyn Workload>) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Appends size classes to the size axis.
+    #[must_use]
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = SizeClass>) -> Self {
+        self.sizes.extend(sizes);
+        self
+    }
+
+    /// Appends one size class.
+    #[must_use]
+    pub fn size(mut self, size: SizeClass) -> Self {
+        self.sizes.push(size);
+        self
+    }
+
+    /// Sets the worker-thread count. `1` (the default) runs serially on the
+    /// calling thread; `0` uses the machine's available parallelism. The
+    /// results are identical for every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of points the sweep will run.
+    pub fn point_count(&self) -> usize {
+        self.configs.len() * self.workloads.len() * self.sizes.len()
+    }
+
+    /// Runs every point and returns the reports in sweep order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when an axis is empty or the base
+    /// configuration is inconsistent under one of the named overlays — both
+    /// checked before any simulation starts. Building an individual point
+    /// can still fail mid-sweep (e.g. a custom [`Workload`] whose streams
+    /// offload under a non-offloading configuration); the sweep then stops
+    /// claiming new points, finishes only the points already in flight, and
+    /// returns the first error in sweep order.
+    pub fn run(&self) -> Result<SweepResults, ConfigError> {
+        if self.configs.is_empty() || self.workloads.is_empty() || self.sizes.is_empty() {
+            return Err(ConfigError::new(
+                "a sweep needs at least one config, one workload and one size",
+            ));
+        }
+        for &config in &self.configs {
+            self.base.clone().named(config).validate()?;
+        }
+
+        // The job list in deterministic sweep order; workers claim jobs by
+        // index and write results back by index, so the output order never
+        // depends on scheduling.
+        let jobs: Vec<(Arc<dyn Workload>, NamedConfig, SizeClass)> = self
+            .workloads
+            .iter()
+            .flat_map(|w| {
+                self.configs
+                    .iter()
+                    .flat_map(move |&c| self.sizes.iter().map(move |&s| (w.clone(), c, s)))
+            })
+            .collect();
+
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            n => n,
+        }
+        .min(jobs.len())
+        .max(1);
+
+        let run_job = |(workload, config, size): &(Arc<dyn Workload>, NamedConfig, SizeClass)| {
+            let report = Simulation::builder()
+                .config(self.base.clone())
+                .named(*config)
+                .workload_arc(workload.clone())
+                .size(*size)
+                .build()?
+                .run();
+            Ok::<SweepCell, ConfigError>(SweepCell {
+                workload: report.workload.clone(),
+                config: *config,
+                size: *size,
+                report,
+            })
+        };
+
+        let mut cells: Vec<SweepCell> = Vec::with_capacity(jobs.len());
+        if workers == 1 {
+            for job in &jobs {
+                cells.push(run_job(job)?);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = std::sync::atomic::AtomicBool::new(false);
+            let slots: Vec<Mutex<Option<Result<SweepCell, ConfigError>>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // Stop claiming new points once any worker hit an
+                        // error; in-flight points still finish.
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let result = run_job(job);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            });
+            for slot in slots {
+                // Unfilled slots only exist after a failure cut the sweep
+                // short; the error surfaces from an earlier filled slot (the
+                // first in sweep order once cells are collected below) or,
+                // for claimed-but-skipped points, from the flag.
+                match slot.into_inner().expect("result slot poisoned") {
+                    Some(result) => cells.push(result?),
+                    None => {
+                        debug_assert!(failed.load(Ordering::Relaxed));
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(SweepResults { cells })
+    }
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("configs", &self.configs)
+            .field("workloads", &self.workloads.iter().map(|w| w.name()).collect::<Vec<_>>())
+            .field("sizes", &self.sizes)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 2_000_000;
+        cfg
+    }
+
+    #[test]
+    fn empty_axes_are_rejected_before_running() {
+        assert!(Sweep::new(small_cfg()).run().is_err());
+        assert!(Sweep::new(small_cfg()).config(NamedConfig::Hmc).run().is_err());
+        let sweep =
+            Sweep::new(small_cfg()).config(NamedConfig::Hmc).workloads([WorkloadKind::Reduce]);
+        assert!(sweep.run().is_err(), "missing size axis");
+        assert_eq!(sweep.point_count(), 0);
+    }
+
+    #[test]
+    fn results_are_ordered_workload_major() {
+        let results = Sweep::new(small_cfg())
+            .configs([NamedConfig::Hmc, NamedConfig::ArfTid])
+            .workloads([WorkloadKind::Reduce, WorkloadKind::Mac])
+            .size(SizeClass::Tiny)
+            .run()
+            .expect("valid sweep");
+        let order: Vec<(String, NamedConfig)> =
+            results.cells.iter().map(|c| (c.workload.clone(), c.config)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("reduce".to_string(), NamedConfig::Hmc),
+                ("reduce".to_string(), NamedConfig::ArfTid),
+                ("mac".to_string(), NamedConfig::Hmc),
+                ("mac".to_string(), NamedConfig::ArfTid),
+            ]
+        );
+        assert!(results.report("mac", NamedConfig::ArfTid, SizeClass::Tiny).is_some());
+        assert!(results.report("mac", NamedConfig::Dram, SizeClass::Tiny).is_none());
+        assert_eq!(results.reports().count(), 4);
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_are_identical() {
+        let make = |threads| {
+            Sweep::new(small_cfg())
+                .configs([NamedConfig::Hmc, NamedConfig::ArfTid, NamedConfig::ArfAddr])
+                .workloads([WorkloadKind::Reduce, WorkloadKind::Mac])
+                .size(SizeClass::Tiny)
+                .threads(threads)
+        };
+        let serial = make(1).run().expect("serial run");
+        for threads in [2, 3, 8] {
+            let parallel = make(threads).run().expect("parallel run");
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.cells.iter().zip(&serial.cells) {
+                assert_eq!(a.workload, b.workload);
+                assert_eq!(a.config, b.config);
+                assert_eq!(a.report, b.report, "{}/{}", a.workload, a.config);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_named_overlay_fails_fast() {
+        let mut cfg = small_cfg();
+        cfg.network.groups = 3; // cubes=4 not divisible by 3
+        let err = Sweep::new(cfg)
+            .config(NamedConfig::Hmc)
+            .workloads([WorkloadKind::Reduce])
+            .size(SizeClass::Tiny)
+            .run();
+        assert!(err.is_err());
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! Time advances through the [`ar_sim::Component`] layer: every top-level
 //! component (the core cluster, the memory network, each cube, each AR
-//! engine, the DRAM backend, the IPC sampler) is identified by a [`SysKey`]
+//! engine, the DRAM backend, the IPC sampler) is identified by a `SysKey`
 //! and registers its next wake-up cycle in an [`ar_sim::Scheduler`]. The
 //! driver in [`System::run`] only processes cycles at which some component is
 //! due and, within such a cycle, only wakes the due components — idle
@@ -26,6 +26,7 @@
 //! numerical reduction results that the tests compare against the workload's
 //! reference values.
 
+use crate::observer::{Observer, ObserverHub, RunInfo, Sample, SimEvent};
 use crate::report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
 use active_routing::{ActiveRoutingEngine, AreOutput, HostOffloadController};
 use ar_cache::{AccessKind, CacheHierarchy, HitLevel};
@@ -142,6 +143,18 @@ pub struct System {
     armq: Vec<SysKey>,
     /// One dirty flag per `SysKey` slot (see [`System::key_slot`]).
     arm_flags: Vec<bool>,
+    /// Cores that have fully retired their stream. A core's done flag only
+    /// flips during its own wake, so the counter is maintained in the cores
+    /// phase and makes the cluster-activity check O(1).
+    cores_done: usize,
+    /// Cached busy flag per `SysKey` slot (cubes, engines, DRAM). A
+    /// component's state only changes in a cycle that stimulates it, so the
+    /// end-of-step re-arm sweep keeps these flags (and `busy_count`) exact
+    /// while touching only the components that actually did work.
+    busy: Vec<bool>,
+    /// Number of `true` entries in `busy` — the global outstanding-work
+    /// counter behind the O(1) [`System::is_finished`] check.
+    busy_count: usize,
     /// Final gathered reduction results.
     gather_results: Vec<(Addr, f64)>,
     /// Windowed IPC samples.
@@ -223,7 +236,11 @@ impl System {
         };
 
         let func_mem = memory.into_iter().map(|(a, v)| (a.as_u64(), v)).collect();
+        let cores_done = cores.iter().filter(|c| c.is_done()).count();
         Ok(System {
+            cores_done,
+            busy: vec![false; 4 + 2 * cfg.network.cubes],
+            busy_count: 0,
             label: String::new(),
             workload: String::new(),
             map,
@@ -269,7 +286,7 @@ impl System {
     /// resulting [`SimReport`] is cycle-identical to
     /// [`System::run_lockstep`].
     pub fn run(self) -> SimReport {
-        self.run_with(false)
+        self.run_with(false, &mut [])
     }
 
     /// Runs the simulation with the lock-step reference kernel: every cycle
@@ -280,11 +297,27 @@ impl System {
     /// tests assert identical reports from both drivers) and to benchmark
     /// against it; simulations should use [`System::run`].
     pub fn run_lockstep(self) -> SimReport {
-        self.run_with(true)
+        self.run_with(true, &mut [])
     }
 
-    fn run_with(mut self, lockstep: bool) -> SimReport {
+    /// Runs the event-driven kernel with the given streaming observers
+    /// attached (see [`crate::Observer`]). Observation never changes the
+    /// simulated behaviour; an observer can only cut the run short.
+    pub fn run_observed(self, observers: &mut [Box<dyn Observer>]) -> SimReport {
+        self.run_with(false, observers)
+    }
+
+    /// Runs the lock-step reference kernel with observers attached. The
+    /// event stream is identical to [`System::run_observed`] (events are tied
+    /// to simulated cycles, not to kernel scheduling).
+    pub fn run_lockstep_observed(self, observers: &mut [Box<dyn Observer>]) -> SimReport {
+        self.run_with(true, observers)
+    }
+
+    fn run_with(mut self, lockstep: bool, observers: &mut [Box<dyn Observer>]) -> SimReport {
         let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
+        let mut hub = ObserverHub::new(observers);
+        hub.start(&RunInfo { workload: &self.workload, config_label: &self.label, cfg: &self.cfg });
         let mut sched: Scheduler<SysKey> = Scheduler::new();
         sched.schedule(0, SysKey::Cores);
         sched.schedule(self.next_ipc_boundary(0), SysKey::Ipc);
@@ -293,9 +326,12 @@ impl System {
         let mut completed = false;
         while now < max_cycles {
             sched.pop_due_into(now, &mut due);
-            self.step(now, (!lockstep).then_some(&due), &mut sched);
+            self.step(now, (!lockstep).then_some(&due), &mut sched, &mut hub);
             if self.is_finished() {
                 completed = true;
+                break;
+            }
+            if hub.stopped() {
                 break;
             }
             now = if lockstep {
@@ -310,7 +346,9 @@ impl System {
                 }
             };
         }
-        self.into_report(now, completed)
+        let report = self.into_report(now, completed);
+        hub.finish(&report);
+        report
     }
 
     /// Processes one memory-network cycle.
@@ -321,7 +359,13 @@ impl System {
     /// Interfaces, memory backend, IPC sampling — and matches the original
     /// lock-step simulator; gating a phase on its key only skips work that
     /// would have been a no-op.
-    fn step(&mut self, now: Cycle, due: Option<&[SysKey]>, sched: &mut Scheduler<SysKey>) {
+    fn step(
+        &mut self,
+        now: Cycle,
+        due: Option<&[SysKey]>,
+        sched: &mut Scheduler<SysKey>,
+        hub: &mut ObserverHub<'_>,
+    ) {
         debug_assert!(self.armq.is_empty());
         let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
@@ -339,18 +383,25 @@ impl System {
                     self.cores[core].complete_mem(req_id, core_cycle);
                 }
                 let mut requests: Vec<(usize, MemAccess)> = Vec::new();
+                let mut newly_done = 0;
                 for (i, core) in self.cores.iter_mut().enumerate() {
                     if core.is_done() {
                         continue;
                     }
                     core.wake(core_cycle, &mut ctx);
                     requests.extend(core.take_requests().into_iter().map(|req| (i, req)));
+                    // A core only transitions to done while it retires, i.e.
+                    // during its own wake — count the transition here.
+                    if core.is_done() {
+                        newly_done += 1;
+                    }
                 }
+                self.cores_done += newly_done;
                 for (core, req) in requests {
                     self.handle_core_memory_request(core_cycle, core, req);
                 }
             }
-            self.release_barriers(now * ratio);
+            self.release_barriers(now * ratio, hub);
             self.drain_message_interfaces(now);
             // The cluster re-arms itself for every cycle it stays active;
             // once all cores are done it goes quiet for good.
@@ -371,27 +422,52 @@ impl System {
                 let dram_due = is_due(SysKey::Dram) || self.stimulated(SysKey::Dram);
                 self.step_dram(now, dram_due);
             }
-            Backend::Hmc(_) => self.step_hmc(now, due),
+            Backend::Hmc(_) => self.step_hmc(now, due, hub),
         }
 
         // ------------------------------------------------------------------
         // Bookkeeping.
         // ------------------------------------------------------------------
-        self.sample_ipc(now * ratio);
+        self.sample_ipc(now, ratio, hub);
         if is_due(SysKey::Ipc) {
             sched.schedule(self.next_ipc_boundary(now), SysKey::Ipc);
         }
 
         // Re-arm every component woken or stimulated during this cycle
-        // (`armq` is already deduplicated by the push-side flags).
+        // (`armq` is already deduplicated by the push-side flags), and
+        // refresh its cached busy flag: a component's state only changes in
+        // a cycle that touches it, so this sweep keeps the outstanding-work
+        // counter behind `is_finished` exact.
         let mut touched = std::mem::take(&mut self.armq);
         for &key in &touched {
-            self.arm_flags[Self::key_slot(key)] = false;
+            let slot = Self::key_slot(key);
+            self.arm_flags[slot] = false;
+            let busy = self.component_busy(key);
+            if busy != self.busy[slot] {
+                self.busy[slot] = busy;
+                if busy {
+                    self.busy_count += 1;
+                } else {
+                    self.busy_count -= 1;
+                }
+            }
             let wake = self.next_wake_of(now, key);
             sched.schedule_next(wake, key);
         }
         touched.clear();
         self.armq = touched;
+    }
+
+    /// Whether a memory-side component currently holds in-flight work.
+    /// Core-side keys always report idle here; the cluster is tracked by
+    /// `cores_done` and `core_completions` instead.
+    fn component_busy(&self, key: SysKey) -> bool {
+        match (key, &self.backend) {
+            (SysKey::Dram, Backend::Dram(dram)) => !dram.is_idle(),
+            (SysKey::Cube(c), Backend::Hmc(hmc)) => !hmc.cubes[c].is_idle(),
+            (SysKey::Engine(c), Backend::Hmc(hmc)) => !hmc.engines[c].is_idle(),
+            _ => false,
+        }
     }
 
     /// Dense index of a scheduling key into `arm_flags`.
@@ -423,9 +499,10 @@ impl System {
     }
 
     /// Returns true while the core cluster still has work: an unfinished
-    /// core, or an in-flight completion that must be delivered.
+    /// core, or an in-flight completion that must be delivered. O(1): the
+    /// done-core counter is maintained in the cores phase.
     fn cores_active(&self) -> bool {
-        !self.cores.iter().all(Core::is_done) || !self.core_completions.is_empty()
+        self.cores_done < self.cores.len() || !self.core_completions.is_empty()
     }
 
     /// The wake-up request of a top-level component, queried after it was
@@ -589,7 +666,7 @@ impl System {
         }
     }
 
-    fn release_barriers(&mut self, core_cycle: Cycle) {
+    fn release_barriers(&mut self, core_cycle: Cycle, hub: &mut ObserverHub<'_>) {
         let mut waiting: Vec<u32> = Vec::new();
         for core in &self.cores {
             if core.is_done() {
@@ -607,6 +684,9 @@ impl System {
         for core in &mut self.cores {
             core.release_barrier(id, core_cycle);
         }
+        if !hub.is_empty() {
+            hub.emit(&SimEvent::BarrierReleased { core_cycle, id });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -622,6 +702,7 @@ impl System {
         };
         let mut back_invalidate = Vec::new();
         let mut injected = false;
+        let mut newly_done = 0;
         for core in &mut self.cores {
             // One offload command per core per network cycle (the MI serialises
             // register writes into packets at the network clock).
@@ -632,8 +713,15 @@ impl System {
                     injected = true;
                 }
                 back_invalidate.extend(out.back_invalidate);
+                // Draining the last Message-Interface command can be the
+                // core's final pending work: a non-empty MI keeps `is_done`
+                // false, so this pop is a possible done transition.
+                if core.is_done() {
+                    newly_done += 1;
+                }
             }
         }
+        self.cores_done += newly_done;
         if injected {
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
         }
@@ -677,7 +765,7 @@ impl System {
         Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Dram);
     }
 
-    fn step_hmc(&mut self, now: Cycle, due: Option<&[SysKey]>) {
+    fn step_hmc(&mut self, now: Cycle, due: Option<&[SysKey]>, hub: &mut ObserverHub<'_>) {
         let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
         let mut ctx = SchedCtx::new(now);
@@ -815,6 +903,13 @@ impl System {
         for done in completions {
             self.func_mem.insert(done.target.as_u64(), done.value);
             self.gather_results.push((done.target, done.value));
+            if !hub.is_empty() {
+                hub.emit(&SimEvent::GatherCompleted {
+                    network_cycle: now,
+                    target: done.target,
+                    value: done.value,
+                });
+            }
             let core_cycle = now * ratio;
             for thread in &done.threads {
                 if thread.index() < self.cores.len() {
@@ -862,7 +957,8 @@ impl System {
     // Bookkeeping
     // ------------------------------------------------------------------
 
-    fn sample_ipc(&mut self, core_cycle: Cycle) {
+    fn sample_ipc(&mut self, now: Cycle, ratio: u64, hub: &mut ObserverHub<'_>) {
+        let core_cycle = now * ratio;
         if core_cycle == 0 || !core_cycle.is_multiple_of(IPC_WINDOW_CORE_CYCLES) {
             return;
         }
@@ -871,9 +967,46 @@ impl System {
         self.last_ipc_sample_insns = total;
         let ipc = delta as f64 / IPC_WINDOW_CORE_CYCLES as f64;
         self.ipc_series.push(core_cycle as f64, ipc);
+        if !hub.is_empty() {
+            hub.emit(&SimEvent::Sample(Sample {
+                network_cycle: now,
+                core_cycle,
+                instructions: total,
+                window_ipc: ipc,
+            }));
+        }
     }
 
+    /// Whether the whole system is quiescent. O(1): the core cluster is
+    /// covered by the done-core counter and the completion queue, the memory
+    /// side by the cached busy-component counter maintained in `step`'s
+    /// re-arm sweep (plus the already-O(1) network and controller checks).
     fn is_finished(&self) -> bool {
+        let finished = self.cores_done == self.cores.len()
+            && self.core_completions.is_empty()
+            && match &self.backend {
+                Backend::Dram(_) => self.busy_count == 0 && self.retry_dram.is_empty(),
+                Backend::Hmc(hmc) => {
+                    self.busy_count == 0
+                        && hmc.network.is_quiescent()
+                        && hmc
+                            .controller
+                            .as_ref()
+                            .map(HostOffloadController::is_idle)
+                            .unwrap_or(true)
+                }
+            };
+        debug_assert_eq!(
+            finished,
+            self.is_finished_scan(),
+            "the quiescence tracker diverged from the full component scan"
+        );
+        finished
+    }
+
+    /// The original full-scan quiescence check, kept as the debug-mode oracle
+    /// for the counter-based [`System::is_finished`].
+    fn is_finished_scan(&self) -> bool {
         if !self.cores.iter().all(Core::is_done) {
             return false;
         }

@@ -52,7 +52,9 @@ impl fmt::Display for OffloadScheme {
     }
 }
 
-/// The five named configurations evaluated in Chapter 5.
+/// The six named configurations evaluated in Chapter 5: the five plotted in
+/// Figs. 5.1–5.7 ([`NamedConfig::ALL`]) plus the dynamic-offloading variant
+/// of the Section 5.4 case study ([`NamedConfig::ALL_WITH_ADAPTIVE`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NamedConfig {
     /// DDR baseline, everything on the host.
@@ -70,13 +72,26 @@ pub enum NamedConfig {
 }
 
 impl NamedConfig {
-    /// All configurations plotted in Figs. 5.1 and 5.5-5.7.
+    /// The five configurations plotted in Figs. 5.1 and 5.5-5.7. The
+    /// adaptive variant is deliberately absent here (the paper only evaluates
+    /// it in the Fig. 5.8 case study); use
+    /// [`NamedConfig::ALL_WITH_ADAPTIVE`] to cover every variant.
     pub const ALL: [NamedConfig; 5] = [
         NamedConfig::Dram,
         NamedConfig::Hmc,
         NamedConfig::Art,
         NamedConfig::ArfTid,
         NamedConfig::ArfAddr,
+    ];
+
+    /// Every named configuration, including `ARF-tid-adaptive` (Section 5.4).
+    pub const ALL_WITH_ADAPTIVE: [NamedConfig; 6] = [
+        NamedConfig::Dram,
+        NamedConfig::Hmc,
+        NamedConfig::Art,
+        NamedConfig::ArfTid,
+        NamedConfig::ArfAddr,
+        NamedConfig::ArfTidAdaptive,
     ];
 
     /// The memory mode of this configuration.
@@ -618,6 +633,13 @@ mod tests {
         let mut cfg = SystemConfig::paper();
         cfg.network.groups = 3;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn all_with_adaptive_extends_the_plotted_five() {
+        assert_eq!(NamedConfig::ALL_WITH_ADAPTIVE[..5], NamedConfig::ALL);
+        assert_eq!(NamedConfig::ALL_WITH_ADAPTIVE[5], NamedConfig::ArfTidAdaptive);
+        assert!(!NamedConfig::ALL.contains(&NamedConfig::ArfTidAdaptive));
     }
 
     #[test]

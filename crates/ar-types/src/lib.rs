@@ -5,7 +5,8 @@
 //! types — simulated physical [`addr::Addr`]esses, component identifiers,
 //! reduction [`op::ReduceOp`]erations, network [`packet::Packet`]s, the
 //! per-thread [`work::WorkItem`] representation consumed by the core model,
-//! and the [`config::SystemConfig`] describing Table 4.1 of the paper.
+//! the [`config::SystemConfig`] describing Table 4.1 of the paper, and the
+//! dependency-free [`json`] document model used for machine-readable reports.
 //!
 //! # Example
 //!
@@ -21,6 +22,7 @@ pub mod addr;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod op;
 pub mod packet;
 pub mod work;
@@ -29,6 +31,7 @@ pub use addr::Addr;
 pub use config::{MemoryMode, OffloadScheme, SystemConfig};
 pub use error::ConfigError;
 pub use ids::{CoreId, CubeId, FlowId, PortId, ThreadId, VaultId};
+pub use json::{Json, JsonError};
 pub use op::ReduceOp;
 pub use packet::{ActiveKind, Packet, PacketKind};
 pub use work::{WorkItem, WorkStream};

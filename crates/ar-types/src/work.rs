@@ -96,7 +96,7 @@ impl WorkItem {
 }
 
 /// The full stream of work items for one thread.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkStream {
     /// The thread that executes this stream.
     pub thread: ThreadId,

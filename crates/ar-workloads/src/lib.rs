@@ -25,6 +25,11 @@
 //! with `Update`/`Gather` offloads. [`Variant::Adaptive`] applies the
 //! dynamic-offloading knob of Section 5.4 (meaningful for `lud`, identical to
 //! `Active` elsewhere).
+//!
+//! The nine built-ins are the closed [`WorkloadKind`] enum; the open
+//! [`registry::Workload`] trait (which `WorkloadKind` implements) and the
+//! [`registry::WorkloadRegistry`] let examples and tests plug custom
+//! scenarios into the same experiment drivers.
 
 pub mod backprop;
 pub mod graph;
@@ -32,11 +37,13 @@ pub mod layout;
 pub mod lud;
 pub mod micro;
 pub mod pagerank;
+pub mod registry;
 pub mod sgemm;
 pub mod spmv;
 
 pub use graph::Graph;
 pub use layout::MemoryLayout;
+pub use registry::{Workload, WorkloadRegistry};
 
 use active_routing::ActiveKernel;
 use ar_types::{Addr, WorkStream};
@@ -119,7 +126,7 @@ impl fmt::Display for SizeClass {
 #[derive(Debug, Clone)]
 pub struct GeneratedWorkload {
     /// Workload name (e.g. `"pagerank"`).
-    pub name: &'static str,
+    pub name: String,
     /// The variant that was generated.
     pub variant: Variant,
     /// Per-thread work streams for the core model.
@@ -134,10 +141,12 @@ pub struct GeneratedWorkload {
 }
 
 impl GeneratedWorkload {
-    /// Builds the result from a populated [`ActiveKernel`].
-    pub(crate) fn from_kernel(name: &'static str, variant: Variant, kernel: ActiveKernel) -> Self {
+    /// Builds the result from a populated [`ActiveKernel`] — the usual way a
+    /// custom [`registry::Workload`] assembles its streams, memory image and
+    /// reference results.
+    pub fn from_kernel(name: impl Into<String>, variant: Variant, kernel: ActiveKernel) -> Self {
         GeneratedWorkload {
-            name,
+            name: name.into(),
             variant,
             memory: kernel.memory_image(),
             references: kernel.references(),

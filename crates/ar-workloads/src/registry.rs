@@ -1,0 +1,222 @@
+//! The pluggable [`Workload`] trait and a name-keyed registry.
+//!
+//! [`crate::WorkloadKind`] covers the nine scenarios of the paper's
+//! evaluation; the trait opens the same driver surface
+//! (`ar_system::SimulationBuilder`, `ar_system::Sweep`) to custom scenarios
+//! defined by examples, tests or downstream users. A registry maps display
+//! names to workload implementations so command-line tools can resolve
+//! user-supplied names against both the built-ins and any registered
+//! extensions.
+//!
+//! # Example
+//!
+//! ```
+//! use ar_workloads::{
+//!     GeneratedWorkload, SizeClass, Variant, Workload, WorkloadKind, WorkloadRegistry,
+//! };
+//!
+//! /// A trivial custom scenario: every thread issues one compute block.
+//! struct Spin;
+//!
+//! impl Workload for Spin {
+//!     fn name(&self) -> &str {
+//!         "spin"
+//!     }
+//!
+//!     fn generate(&self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+//!         let mut kernel = active_routing::ActiveKernel::new(threads);
+//!         for t in 0..threads {
+//!             kernel.compute(t, 100 * size.factor() as u32);
+//!         }
+//!         GeneratedWorkload {
+//!             name: self.name().to_string(),
+//!             variant,
+//!             streams: kernel.into_streams(),
+//!             memory: Vec::new(),
+//!             references: Vec::new(),
+//!             updates: 0,
+//!         }
+//!     }
+//! }
+//!
+//! let mut registry = WorkloadRegistry::builtin();
+//! registry.register(Spin);
+//! assert!(registry.get("spin").is_some());
+//! assert!(registry.get("pagerank").is_some()); // built-in
+//! let w = registry.get("spin").unwrap();
+//! assert_eq!(w.generate(2, SizeClass::Tiny, Variant::Baseline).streams.len(), 2);
+//! assert_eq!(WorkloadKind::Pagerank.name(), "pagerank");
+//! ```
+
+use crate::{GeneratedWorkload, SizeClass, Variant, WorkloadKind};
+use std::sync::Arc;
+
+/// A simulatable scenario: anything that can produce per-thread work streams,
+/// an initial memory image and functional reference results.
+///
+/// Implementations must be `Send + Sync`: the `ar_system::Sweep` driver
+/// shares one workload instance across its worker threads and calls
+/// [`Workload::generate`] concurrently for different sweep points.
+pub trait Workload: Send + Sync {
+    /// The display name, used for report labels and registry lookup.
+    fn name(&self) -> &str;
+
+    /// Generates the workload's streams, memory image and references for
+    /// `threads` cores at the given size and variant.
+    ///
+    /// Implementations that have no distinct offloaded form may return the
+    /// same streams for every [`Variant`]; the variant still records which
+    /// flavour was requested.
+    fn generate(&self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload;
+}
+
+impl Workload for WorkloadKind {
+    fn name(&self) -> &str {
+        WorkloadKind::name(*self)
+    }
+
+    fn generate(&self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        WorkloadKind::generate(*self, threads, size, variant)
+    }
+}
+
+/// A name-keyed collection of [`Workload`]s.
+///
+/// Registration is last-wins: registering a workload whose name collides
+/// with an existing entry (including a built-in) replaces it, so tests can
+/// shadow a built-in scenario with an instrumented variant.
+#[derive(Clone, Default)]
+pub struct WorkloadRegistry {
+    entries: Vec<Arc<dyn Workload>>,
+}
+
+impl WorkloadRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with the nine built-in workloads of
+    /// the evaluation ([`WorkloadKind::ALL`]).
+    pub fn builtin() -> Self {
+        let mut registry = Self::new();
+        for kind in WorkloadKind::ALL {
+            registry.register(kind);
+        }
+        registry
+    }
+
+    /// Registers a workload, replacing any existing entry of the same name.
+    /// Returns the shared handle under which it was stored.
+    pub fn register(&mut self, workload: impl Workload + 'static) -> Arc<dyn Workload> {
+        self.register_arc(Arc::new(workload))
+    }
+
+    /// Registers an already-shared workload, replacing any same-named entry.
+    pub fn register_arc(&mut self, workload: Arc<dyn Workload>) -> Arc<dyn Workload> {
+        self.entries.retain(|w| w.name() != workload.name());
+        self.entries.push(workload.clone());
+        workload
+    }
+
+    /// Looks up a workload by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Workload>> {
+        self.entries.iter().find(|w| w.name() == name).cloned()
+    }
+
+    /// The registered workloads, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Workload>> {
+        self.entries.iter()
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|w| w.name()).collect()
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for WorkloadRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Custom(&'static str);
+
+    impl Workload for Custom {
+        fn name(&self) -> &str {
+            self.0
+        }
+
+        fn generate(&self, threads: usize, _: SizeClass, variant: Variant) -> GeneratedWorkload {
+            let mut kernel = active_routing::ActiveKernel::new(threads);
+            for t in 0..threads {
+                kernel.compute(t, 1);
+            }
+            GeneratedWorkload {
+                name: self.0.to_string(),
+                variant,
+                streams: kernel.into_streams(),
+                memory: Vec::new(),
+                references: Vec::new(),
+                updates: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_registry_covers_all_nine_workloads() {
+        let registry = WorkloadRegistry::builtin();
+        assert_eq!(registry.len(), WorkloadKind::ALL.len());
+        for kind in WorkloadKind::ALL {
+            let w = registry.get(WorkloadKind::name(kind)).expect("built-in registered");
+            assert_eq!(w.name(), WorkloadKind::name(kind));
+        }
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn registration_is_last_wins() {
+        let mut registry = WorkloadRegistry::new();
+        assert!(registry.is_empty());
+        registry.register(Custom("a"));
+        registry.register(Custom("b"));
+        let replacement = registry.register(Custom("a"));
+        assert_eq!(registry.len(), 2);
+        assert!(Arc::ptr_eq(&registry.get("a").unwrap(), &replacement));
+        assert_eq!(registry.names(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn trait_and_inherent_generate_agree_for_builtins() {
+        let registry = WorkloadRegistry::builtin();
+        let via_registry =
+            registry.get("mac").unwrap().generate(2, SizeClass::Tiny, Variant::Active);
+        let direct = WorkloadKind::Mac.generate(2, SizeClass::Tiny, Variant::Active);
+        assert_eq!(via_registry.streams, direct.streams);
+        assert_eq!(via_registry.references, direct.references);
+        assert_eq!(via_registry.name, direct.name);
+    }
+
+    #[test]
+    fn custom_workloads_generate_through_the_trait() {
+        let w: Arc<dyn Workload> = Arc::new(Custom("spin"));
+        let generated = w.generate(3, SizeClass::Tiny, Variant::Baseline);
+        assert_eq!(generated.streams.len(), 3);
+        assert_eq!(generated.name, "spin");
+    }
+}

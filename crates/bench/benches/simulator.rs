@@ -3,7 +3,7 @@
 //! full-system run execute. These are not paper figures; they track the cost
 //! of the building blocks so regressions in the simulator are visible.
 
-use ar_system::runner;
+use ar_system::Simulation;
 use ar_types::config::NamedConfig;
 use ar_workloads::{SizeClass, WorkloadKind};
 use bench::BENCH_SCALE;
@@ -22,8 +22,14 @@ fn bench_single_runs(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                runner::run(&base, config, WorkloadKind::Reduce, SizeClass::Tiny)
+                Simulation::builder()
+                    .config(base.clone())
+                    .named(config)
+                    .workload(WorkloadKind::Reduce)
+                    .size(SizeClass::Tiny)
+                    .build()
                     .expect("valid configuration")
+                    .run()
             })
         });
     }
@@ -45,26 +51,23 @@ fn bench_kernel_throughput(c: &mut Criterion) {
         ("spmv", WorkloadKind::Spmv),
         ("sgemm", WorkloadKind::Sgemm),
     ] {
-        let report = runner::run(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
-            .expect("valid configuration");
+        let build = || {
+            Simulation::builder()
+                .config(base.clone())
+                .named(NamedConfig::ArfTid)
+                .workload(workload)
+                .size(SizeClass::Small)
+                .build()
+                .expect("valid configuration")
+                .into_system()
+        };
+        let report = build().run();
         println!(
             "kernel_throughput/{name}: {} simulated network cycles per run",
             report.network_cycles
         );
-        group.bench_function(&format!("{name}_event_driven"), |b| {
-            b.iter(|| {
-                runner::build(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
-                    .expect("valid configuration")
-                    .run()
-            })
-        });
-        group.bench_function(&format!("{name}_lockstep"), |b| {
-            b.iter(|| {
-                runner::build(&base, NamedConfig::ArfTid, workload, SizeClass::Small)
-                    .expect("valid configuration")
-                    .run_lockstep()
-            })
-        });
+        group.bench_function(&format!("{name}_event_driven"), |b| b.iter(|| build().run()));
+        group.bench_function(&format!("{name}_lockstep"), |b| b.iter(|| build().run_lockstep()));
     }
     group.finish();
 }

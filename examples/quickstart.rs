@@ -1,76 +1,95 @@
-//! Quickstart: offload a dot-product reduction with the Active-Routing
-//! programming interface and run it through the full-system simulator.
+//! Quickstart: define a custom dot-product workload with the Active-Routing
+//! programming interface, run it through the `SimulationBuilder`, stream
+//! statistics with an observer, and compare against the HMC baseline.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! The example builds the same kernel twice — once with ordinary loads (what
-//! the HMC baseline runs) and once with `Update`/`Gather` offloads — runs
-//! both on the scaled-down platform, checks the gathered result against the
-//! functional reference, and prints the speedup.
+//! The `Workload` implementation builds the same kernel two ways — ordinary
+//! loads (what the HMC baseline runs) and `Update`/`Gather` offloads — so the
+//! builder's scheme-implied variant selection picks the right one per
+//! configuration. The gathered result is checked against the functional
+//! reference the kernel records.
 
 use active_routing::ActiveKernel;
-use ar_system::System;
+use ar_system::{runner, SampleRecorder, Simulation};
 use ar_types::config::{NamedConfig, SystemConfig};
 use ar_types::{Addr, ReduceOp};
+use ar_workloads::{GeneratedWorkload, SizeClass, Variant, Workload};
+
+/// `sum += A[i] * B[i]` over `elements` values, as a pluggable workload.
+struct DotProduct {
+    elements: usize,
+}
+
+impl Workload for DotProduct {
+    fn name(&self) -> &str {
+        "dot_product"
+    }
+
+    fn generate(&self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        let elements = self.elements * size.factor();
+        let a_values: Vec<f64> = (0..elements).map(|i| (i % 7) as f64).collect();
+        let b_values: Vec<f64> = (0..elements).map(|i| (i % 5) as f64).collect();
+        let sum = Addr::new(0x3000_0000);
+
+        let mut kernel = ActiveKernel::new(threads);
+        // Pages interleave across cubes, so multi-page vectors spread over
+        // the memory network.
+        let a = kernel.write_array(Addr::new(0x1000_0000), &a_values);
+        let b = kernel.write_array(Addr::new(0x2000_0000), &b_values);
+        if variant.offloads() {
+            for i in 0..elements {
+                kernel.update(i % threads, ReduceOp::Mac, a[i], Some(b[i]), None, sum);
+            }
+            kernel.gather_all(sum, ReduceOp::Mac);
+        } else {
+            for i in 0..elements {
+                let t = i % threads;
+                kernel.load(t, a[i]);
+                kernel.load(t, b[i]);
+                kernel.compute(t, 2);
+            }
+            for t in 0..threads {
+                kernel.atomic_rmw(t, sum);
+            }
+        }
+        GeneratedWorkload::from_kernel("dot_product", variant, kernel)
+    }
+}
 
 fn main() {
-    let elements = 2048usize;
-    let threads = 4usize;
-
-    // Base addresses for the two source vectors and the accumulator. Pages
-    // interleave across cubes, so a multi-page vector spreads over the memory
-    // network.
-    let a_base = Addr::new(0x1000_0000);
-    let b_base = Addr::new(0x2000_0000);
-    let sum = Addr::new(0x3000_0000);
-
-    // --- Active variant: sum += A[i] * B[i] offloaded with Update/Gather. ---
-    let mut active = ActiveKernel::new(threads);
-    let a = active.write_array(a_base, &(0..elements).map(|i| (i % 7) as f64).collect::<Vec<_>>());
-    let b = active.write_array(b_base, &(0..elements).map(|i| (i % 5) as f64).collect::<Vec<_>>());
-    for i in 0..elements {
-        active.update(i % threads, ReduceOp::Mac, a[i], Some(b[i]), None, sum);
-    }
-    active.gather_all(sum, ReduceOp::Mac);
-    let expected = active.reference(sum).expect("the kernel records a reference result");
-
-    // --- Baseline variant: the same loop with ordinary loads. ---
-    let mut baseline = ActiveKernel::new(threads);
-    baseline.write_array(a_base, &(0..elements).map(|i| (i % 7) as f64).collect::<Vec<_>>());
-    baseline.write_array(b_base, &(0..elements).map(|i| (i % 5) as f64).collect::<Vec<_>>());
-    for i in 0..elements {
-        let t = i % threads;
-        baseline.load(t, a[i]);
-        baseline.load(t, b[i]);
-        baseline.compute(t, 2);
-    }
-    for t in 0..threads {
-        baseline.atomic_rmw(t, sum);
-    }
-
-    // --- Run both on the scaled-down platform. ---
     let mut cfg = SystemConfig::small();
     cfg.caches.l1_bytes = 2 * 1024;
     cfg.caches.l2_bytes = 8 * 1024;
     cfg.max_cycles = 10_000_000;
 
-    let hmc_cfg = cfg.clone().named(NamedConfig::Hmc);
-    let hmc_report = System::new(hmc_cfg, baseline.into_streams(), Vec::new())
+    // HMC baseline: the builder derives Variant::Baseline from the scheme.
+    let hmc_report = Simulation::builder()
+        .config(cfg.clone())
+        .named(NamedConfig::Hmc)
+        .workload(DotProduct { elements: 2048 })
+        .size(SizeClass::Tiny)
+        .build()
         .expect("valid configuration")
-        .with_labels("quickstart", "HMC")
         .run();
 
-    let arf_cfg = cfg.named(NamedConfig::ArfTid);
-    let memory = active.memory_image();
-    let arf_report = System::new(arf_cfg, active.into_streams(), memory)
-        .expect("valid configuration")
-        .with_labels("quickstart", "ARF-tid")
-        .run();
+    // ARF-tid: the offloaded variant, with an observer streaming IPC samples.
+    let sim = Simulation::builder()
+        .config(cfg)
+        .named(NamedConfig::ArfTid)
+        .workload(DotProduct { elements: 2048 })
+        .size(SizeClass::Tiny)
+        .observer(SampleRecorder::new())
+        .build()
+        .expect("valid configuration");
+    let references = sim.references().to_vec();
+    let arf_report = sim.run();
 
-    let measured = arf_report.gather_result(sum).expect("the gather completed");
-    println!("Active-Routing quickstart: sum += A[i] * B[i] over {elements} elements");
+    let (sum, expected) = references.first().expect("the kernel records a reference");
+    let measured = arf_report.gather_result(*sum).expect("the gather completed");
+    println!("Active-Routing quickstart: sum += A[i] * B[i]");
     println!("  reference result        : {expected:.1}");
     println!("  in-network reduction    : {measured:.1}");
     println!("  HMC baseline runtime    : {} network cycles", hmc_report.network_cycles);
@@ -80,5 +99,5 @@ fn main() {
         "  updates offloaded       : {} ({} gathers)",
         arf_report.updates_offloaded, arf_report.gathers_offloaded
     );
-    assert!((measured - expected).abs() < 1e-6 * expected.abs().max(1.0));
+    assert_eq!(runner::verify_gathers(&arf_report, &references), 0);
 }

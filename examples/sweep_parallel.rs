@@ -1,0 +1,72 @@
+//! Parallel experiment sweeps: the 5-config × 3-workload quick-scale matrix
+//! fanned out over worker threads, with a determinism check against the
+//! serial run and a wall-clock comparison.
+//!
+//! ```text
+//! cargo run --release --example sweep_parallel
+//! ```
+
+use ar_system::{Sweep, SweepResults};
+use ar_types::config::{NamedConfig, SystemConfig};
+use ar_workloads::{SizeClass, WorkloadKind};
+use std::time::Instant;
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.caches.l1_bytes = 2 * 1024;
+    cfg.caches.l2_bytes = 8 * 1024;
+    cfg.max_cycles = 10_000_000;
+    cfg
+}
+
+fn sweep(threads: usize) -> (SweepResults, f64) {
+    let start = Instant::now();
+    let results = Sweep::new(quick_cfg())
+        .configs(NamedConfig::ALL)
+        .workloads([WorkloadKind::Pagerank, WorkloadKind::Spmv, WorkloadKind::RandMac])
+        .size(SizeClass::Small)
+        .threads(threads)
+        .run()
+        .expect("valid sweep");
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    // Exercise the threaded path even on a single-CPU machine; the wall-clock
+    // win only materialises with real cores to spread over.
+    let workers = cores.clamp(2, 8);
+    println!("Sweeping 3 workloads x {} configs (quick scale)\n", NamedConfig::ALL.len());
+
+    let (serial, serial_secs) = sweep(1);
+    println!("  serial   (1 worker ): {serial_secs:.3} s for {} runs", serial.len());
+    let (parallel, parallel_secs) = sweep(workers);
+    println!("  parallel ({workers} workers): {parallel_secs:.3} s for {} runs", parallel.len());
+    println!("  speedup: {:.2}x", serial_secs / parallel_secs.max(1e-9));
+    if cores == 1 {
+        println!("  (single-CPU machine: no wall-clock win is possible here)");
+    }
+
+    // Determinism: the parallel reports are identical to the serial ones,
+    // cell by cell, in the same order.
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.report, b.report, "{}/{} diverged", a.workload, a.config);
+    }
+    println!("  all {} parallel reports are byte-identical to the serial sweep\n", serial.len());
+
+    // The sweep is the engine behind the figures: summarise one metric here.
+    println!("network cycles per run:");
+    for workload in ["pagerank", "spmv", "rand_mac"] {
+        let row: Vec<String> = NamedConfig::ALL
+            .iter()
+            .map(|&c| {
+                let report = serial.report(workload, c, SizeClass::Small).expect("swept");
+                format!("{c}={}", report.network_cycles)
+            })
+            .collect();
+        println!("  {workload:<9} {}", row.join("  "));
+    }
+}

@@ -8,20 +8,13 @@
 //! *identical* [`SimReport`]s — every cycle count, stall counter, byte
 //! counter, latency breakdown, gather result and IPC sample.
 
-use active_routing_repro::ar_system::{runner, SimReport};
+use active_routing_repro::ar_system::{SimReport, Simulation, SimulationBuilder};
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
 use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
 
 /// All six named configurations (`NamedConfig::ALL` covers the five plotted
-/// ones; the adaptive study adds the sixth).
-const ALL_SIX: [NamedConfig; 6] = [
-    NamedConfig::Dram,
-    NamedConfig::Hmc,
-    NamedConfig::Art,
-    NamedConfig::ArfTid,
-    NamedConfig::ArfAddr,
-    NamedConfig::ArfTidAdaptive,
-];
+/// ones; `ALL_WITH_ADAPTIVE` adds the sixth).
+const ALL_SIX: [NamedConfig; 6] = NamedConfig::ALL_WITH_ADAPTIVE;
 
 fn quick_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::small();
@@ -31,11 +24,14 @@ fn quick_cfg() -> SystemConfig {
     cfg
 }
 
+fn builder(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> SimulationBuilder {
+    Simulation::builder().config(quick_cfg()).named(config).workload(kind).size(size)
+}
+
 fn run_both(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> (SimReport, SimReport) {
-    let cfg = quick_cfg();
-    let event = runner::build(&cfg, config, kind, size).expect("valid configuration").run();
+    let event = builder(config, kind, size).build().expect("valid configuration").run();
     let lockstep =
-        runner::build(&cfg, config, kind, size).expect("valid configuration").run_lockstep();
+        builder(config, kind, size).lockstep().build().expect("valid configuration").run();
     (event, lockstep)
 }
 
@@ -97,13 +93,19 @@ fn other_workloads_spot_check_equivalence() {
 fn cycle_limit_truncates_both_kernels_identically() {
     let mut cfg = quick_cfg();
     cfg.max_cycles = 500;
-    let event = runner::build(&cfg, NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Tiny)
-        .expect("valid")
-        .run();
-    let lockstep =
-        runner::build(&cfg, NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Tiny)
-            .expect("valid")
-            .run_lockstep();
+    let truncated = |lockstep: bool| {
+        let mut b = Simulation::builder()
+            .config(cfg.clone())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Pagerank)
+            .size(SizeClass::Tiny);
+        if lockstep {
+            b = b.lockstep();
+        }
+        b.build().expect("valid").run()
+    };
+    let event = truncated(false);
+    let lockstep = truncated(true);
     assert!(!event.completed, "500 cycles must not be enough");
     assert_identical(&event, &lockstep, "truncated pagerank/ARF-tid");
     assert_eq!(event.network_cycles, 500);

@@ -1,0 +1,221 @@
+//! Integration tests of the redesigned experiment-driver API: builder,
+//! pluggable workloads, streaming observers, parallel sweeps and JSON
+//! serialisation.
+
+use active_routing_repro::ar_system::{
+    runner, Observer, ObserverControl, SampleRecorder, SimEvent, SimReport, Simulation, Sweep,
+};
+use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
+use active_routing_repro::ar_types::{Addr, Json};
+use active_routing_repro::ar_workloads::{
+    GeneratedWorkload, SizeClass, Variant, Workload, WorkloadKind, WorkloadRegistry,
+};
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.caches.l1_bytes = 2 * 1024;
+    cfg.caches.l2_bytes = 8 * 1024;
+    cfg.max_cycles = 10_000_000;
+    cfg
+}
+
+/// The acceptance sweep of the API redesign: a 5-config × 3-workload
+/// quick-scale matrix through `Sweep` produces reports identical to serial
+/// single runs, for every worker-thread count.
+#[test]
+fn sweep_reports_are_identical_to_serial_runs_across_thread_counts() {
+    let configs = NamedConfig::ALL;
+    let workloads = [WorkloadKind::Reduce, WorkloadKind::Mac, WorkloadKind::Spmv];
+
+    // Serial reference: one builder run per point, in sweep order.
+    let mut serial: Vec<SimReport> = Vec::new();
+    for workload in workloads {
+        for config in configs {
+            serial.push(
+                Simulation::builder()
+                    .config(quick_cfg())
+                    .named(config)
+                    .workload(workload)
+                    .size(SizeClass::Tiny)
+                    .build()
+                    .expect("valid configuration")
+                    .run(),
+            );
+        }
+    }
+
+    for threads in [1, 2, 4] {
+        let results = Sweep::new(quick_cfg())
+            .configs(configs)
+            .workloads(workloads)
+            .size(SizeClass::Tiny)
+            .threads(threads)
+            .run()
+            .expect("valid sweep");
+        assert_eq!(results.len(), serial.len());
+        for (cell, reference) in results.cells.iter().zip(&serial) {
+            assert_eq!(
+                &cell.report, reference,
+                "{threads} threads: {}/{} must match the serial run",
+                cell.workload, cell.config
+            );
+        }
+    }
+}
+
+/// The deprecated shims remain behaviourally identical to the builder.
+#[test]
+#[allow(deprecated)]
+fn deprecated_runner_shims_match_the_builder() {
+    let cfg = quick_cfg();
+    let shim = runner::run(&cfg, NamedConfig::ArfAddr, WorkloadKind::RandReduce, SizeClass::Tiny)
+        .expect("valid configuration");
+    let built = Simulation::builder()
+        .config(cfg.clone())
+        .named(NamedConfig::ArfAddr)
+        .workload(WorkloadKind::RandReduce)
+        .size(SizeClass::Tiny)
+        .build()
+        .expect("valid configuration")
+        .run();
+    assert_eq!(shim, built);
+
+    let all = runner::run_all_configs(&cfg, WorkloadKind::Reduce, SizeClass::Tiny)
+        .expect("valid configuration");
+    assert_eq!(all.len(), NamedConfig::ALL.len());
+}
+
+/// A custom workload registered in a `WorkloadRegistry` runs end to end
+/// through the builder and the sweep, and its reductions verify.
+#[test]
+fn custom_registered_workload_runs_end_to_end() {
+    /// `sum += A[i]` over a caller-chosen element count — the reduce
+    /// microbenchmark reduced to its essentials, defined outside the
+    /// workspace's built-in enum.
+    struct CustomReduce {
+        elements: usize,
+    }
+
+    impl Workload for CustomReduce {
+        fn name(&self) -> &str {
+            "custom_reduce"
+        }
+
+        fn generate(&self, threads: usize, size: SizeClass, variant: Variant) -> GeneratedWorkload {
+            use active_routing_repro::ar_types::ReduceOp;
+            let elements = self.elements * size.factor();
+            let mut kernel = active_routing::ActiveKernel::new(threads);
+            let values: Vec<f64> = (0..elements).map(|i| (i % 13) as f64 * 0.5).collect();
+            let addrs = kernel.write_array(Addr::new(0x5000_0000), &values);
+            let target = Addr::new(0x6000_0000);
+            if variant.offloads() {
+                for (i, &addr) in addrs.iter().enumerate() {
+                    kernel.update(i % threads, ReduceOp::Sum, addr, None, None, target);
+                }
+                kernel.gather_all(target, ReduceOp::Sum);
+            } else {
+                for (i, &addr) in addrs.iter().enumerate() {
+                    let thread = i % threads;
+                    kernel.load(thread, addr);
+                    kernel.compute(thread, 1);
+                }
+                for t in 0..threads {
+                    kernel.atomic_rmw(t, target);
+                }
+            }
+            GeneratedWorkload::from_kernel("custom_reduce", variant, kernel)
+        }
+    }
+
+    let mut registry = WorkloadRegistry::builtin();
+    registry.register(CustomReduce { elements: 512 });
+    let workload = registry.get("custom_reduce").expect("registered");
+
+    let sim = Simulation::builder()
+        .config(quick_cfg())
+        .named(NamedConfig::ArfTid)
+        .workload_arc(workload.clone())
+        .size(SizeClass::Tiny)
+        .build()
+        .expect("valid configuration");
+    let references = sim.references().to_vec();
+    assert!(!references.is_empty(), "the offloaded variant records references");
+    let report = sim.run();
+    assert!(report.completed, "custom workload must quiesce");
+    assert_eq!(report.workload, "custom_reduce");
+    assert!(report.updates_offloaded > 0);
+    assert_eq!(runner::verify_gathers(&report, &references), 0);
+
+    // The same handle slots into a sweep next to a built-in.
+    let results = Sweep::new(quick_cfg())
+        .configs([NamedConfig::Hmc, NamedConfig::ArfTid])
+        .workload_arc(workload)
+        .workloads([WorkloadKind::Reduce])
+        .size(SizeClass::Tiny)
+        .threads(2)
+        .run()
+        .expect("valid sweep");
+    assert_eq!(results.len(), 4);
+    let custom = results.report("custom_reduce", NamedConfig::ArfTid, SizeClass::Tiny).unwrap();
+    assert!(custom.completed && custom.updates_offloaded > 0);
+}
+
+/// A full `SimReport` from a real run survives the JSON round trip exactly.
+#[test]
+fn sim_report_round_trips_through_json() {
+    let report = Simulation::builder()
+        .config(quick_cfg())
+        .named(NamedConfig::ArfTid)
+        .workload(WorkloadKind::Pagerank)
+        .size(SizeClass::Tiny)
+        .build()
+        .expect("valid configuration")
+        .run();
+    assert!(report.completed);
+    let text = report.to_json().render();
+    let parsed = SimReport::from_json(&Json::parse(&text).expect("valid JSON"))
+        .expect("well-formed report document");
+    assert_eq!(parsed, report, "every field must survive serialisation");
+}
+
+/// Observers stream samples and gather events during a run without changing
+/// the produced report, and can stop a run early.
+#[test]
+fn observers_stream_events_without_perturbing_the_run() {
+    // Lud uses barriers between phases and gathers per phase: both event
+    // kinds fire. Compare against an unobserved run.
+    let build = || {
+        Simulation::builder()
+            .config(quick_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Lud)
+            .size(SizeClass::Tiny)
+    };
+    let unobserved = build().build().expect("valid").run();
+
+    // Re-run with observers; SampleRecorder exercises the sample path.
+    let log = std::sync::Arc::new(std::sync::Mutex::new((0usize, 0usize)));
+    struct Shared(std::sync::Arc<std::sync::Mutex<(usize, usize)>>);
+    impl Observer for Shared {
+        fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+            let mut counts = self.0.lock().unwrap();
+            match event {
+                SimEvent::GatherCompleted { .. } => counts.0 += 1,
+                SimEvent::BarrierReleased { .. } => counts.1 += 1,
+                SimEvent::Sample(_) => {}
+            }
+            ObserverControl::Continue
+        }
+    }
+    let observed = build()
+        .observer(Shared(log.clone()))
+        .observer(SampleRecorder::new())
+        .build()
+        .expect("valid")
+        .run();
+    assert_eq!(observed, unobserved, "observation must not perturb the simulation");
+    let (gathers, barriers) = *log.lock().unwrap();
+    assert_eq!(gathers as u64, observed.gather_results.len() as u64);
+    assert!(gathers > 0, "lud gathers per phase");
+    assert!(barriers > 0, "lud synchronises between phases");
+}
