@@ -57,6 +57,40 @@ impl StallBreakdown {
     }
 }
 
+/// Why a parked core is blocked. Only the event-waiting causes appear here:
+/// a core never parks on an offload (Message-Interface-full) or ROB-pressure
+/// stall with a retirable head, because those resolve through the regular
+/// per-cycle machinery rather than an external completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Blocked on a memory response ([`Core::complete_mem`]).
+    Memory,
+    /// Blocked on a gather result ([`Core::complete_gather`]).
+    Gather,
+    /// Blocked at a barrier ([`Core::release_barrier`]).
+    Barrier,
+}
+
+/// Interval-based stall bookkeeping of a parked core.
+///
+/// While parked, the core is provably inert: its ROB head waits on an
+/// external event and the issue stage cannot make progress either, so every
+/// skipped cycle would have been a stall tick attributed to `cause`. The
+/// whole interval is settled in one shot by the first tick after `since`
+/// (see [`Core::tick`]), which keeps the stall counters byte-identical to
+/// per-cycle accrual.
+#[derive(Debug, Clone, Copy)]
+struct Parked {
+    /// First core cycle whose stall has not yet been added to the counters.
+    since: Cycle,
+    /// Stall cause at the ROB head for every cycle of the parked interval
+    /// (the head cannot change state without unparking the core).
+    cause: StallCause,
+    /// Set once an external completion flipped a ROB slot: the core must be
+    /// ticked again, and [`Core::is_parked`] stops reporting it as inert.
+    runnable: bool,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SlotState {
     Ready(Cycle),
@@ -91,6 +125,8 @@ pub struct Core {
     instructions_retired: u64,
     cycles: u64,
     stalls: StallBreakdown,
+    /// Interval-accounting state while the core sleeps on an external event.
+    parked: Option<Parked>,
     updates_offloaded: u64,
     gathers_offloaded: u64,
 }
@@ -114,6 +150,7 @@ impl Core {
             instructions_retired: 0,
             cycles: 0,
             stalls: StallBreakdown::default(),
+            parked: None,
             updates_offloaded: 0,
             gathers_offloaded: 0,
         }
@@ -181,12 +218,63 @@ impl Core {
         })
     }
 
+    /// Returns true while the core sleeps on an external event: its ROB head
+    /// waits on a memory response, gather result or barrier release, the
+    /// issue stage is blocked too, and no completion has arrived yet.
+    ///
+    /// Skipping [`Core::tick`] for a parked core is behaviour-preserving:
+    /// the first tick after the event settles the whole skipped interval
+    /// into the stall counter per-cycle accrual would have used (and into
+    /// [`Core::cycles`]). The event delivery methods ([`Core::complete_mem`],
+    /// [`Core::complete_gather`], [`Core::release_barrier`]) clear this flag,
+    /// so the driver ticks the core again exactly when a per-cycle driver
+    /// would first see it make progress.
+    pub fn is_parked(&self) -> bool {
+        self.parked.as_ref().is_some_and(|p| !p.runnable)
+    }
+
+    /// Marks a parked core runnable after an external completion flipped one
+    /// of its ROB slots. The pending interval stays recorded; the next tick
+    /// settles it.
+    fn unpark(&mut self) {
+        if let Some(parked) = &mut self.parked {
+            parked.runnable = true;
+        }
+    }
+
+    /// Adds the parked interval `[since, now)` to the stall counter of the
+    /// recorded cause (and to the cycle counter), making the totals identical
+    /// to what per-cycle ticking over the skipped interval would have
+    /// accrued. No-op when the core is not parked.
+    fn settle(&mut self, now: Cycle) {
+        if let Some(parked) = self.parked.take() {
+            let span = now.saturating_sub(parked.since);
+            if span > 0 {
+                self.cycles += span;
+                match parked.cause {
+                    StallCause::Memory => self.stalls.memory += span,
+                    StallCause::Gather => self.stalls.gather += span,
+                    StallCause::Barrier => self.stalls.barrier += span,
+                }
+            }
+        }
+    }
+
+    /// Settles any still-parked interval up to (excluding) `end`, the first
+    /// core cycle the simulation did not process. Called by the system when a
+    /// run is cut off by the cycle limit while cores are still blocked, so
+    /// truncated reports match per-cycle accrual too.
+    pub fn settle_to(&mut self, end: Cycle) {
+        self.settle(end);
+    }
+
     /// Marks the memory request `req_id` as completed at cycle `now`.
     pub fn complete_mem(&mut self, req_id: u64, now: Cycle) {
         for slot in &mut self.rob {
             if slot.state == SlotState::WaitingMem(req_id) {
                 slot.state = SlotState::Ready(now);
                 self.outstanding_mem = self.outstanding_mem.saturating_sub(1);
+                self.unpark();
                 return;
             }
         }
@@ -194,19 +282,29 @@ impl Core {
 
     /// Marks a pending gather on `target` as completed at cycle `now`.
     pub fn complete_gather(&mut self, target: Addr, now: Cycle) {
+        let mut flipped = false;
         for slot in &mut self.rob {
             if slot.state == SlotState::WaitingGather(target) {
                 slot.state = SlotState::Ready(now);
+                flipped = true;
             }
+        }
+        if flipped {
+            self.unpark();
         }
     }
 
     /// Releases a barrier the core is waiting at.
     pub fn release_barrier(&mut self, id: u32, now: Cycle) {
+        let mut flipped = false;
         for slot in &mut self.rob {
             if slot.state == SlotState::WaitingBarrier(id) {
                 slot.state = SlotState::Ready(now);
+                flipped = true;
             }
+        }
+        if flipped {
+            self.unpark();
         }
     }
 
@@ -243,7 +341,12 @@ impl Core {
 
     /// Advances the core by one core cycle, returning any memory requests it
     /// issued.
+    ///
+    /// If the core was parked (see [`Core::is_parked`]), the skipped interval
+    /// is settled into the stall counters first, so ticking per cycle and
+    /// sleeping until the blocking event produce identical statistics.
     pub fn tick(&mut self, now: Cycle) -> CoreOutput {
+        self.settle(now);
         self.cycles += 1;
         let mut out = CoreOutput::default();
         let retired = self.retire(now);
@@ -375,18 +478,40 @@ impl Core {
         // Stall accounting: a cycle with no retirement and no issue is a stall
         // attributed to whatever blocks the ROB head (or the issue stage).
         if retired == 0 && issued == 0 && !self.is_done() {
-            match self.rob.front().map(|s| s.state) {
-                Some(SlotState::WaitingMem(_)) => self.stalls.memory += 1,
-                Some(SlotState::WaitingGather(_)) => self.stalls.gather += 1,
-                Some(SlotState::WaitingBarrier(_)) => self.stalls.barrier += 1,
-                _ => match blocked_reason {
-                    Some("offload") => self.stalls.offload += 1,
-                    Some("rob") => self.stalls.rob_full += 1,
-                    Some("mem") => self.stalls.memory += 1,
-                    Some("barrier") => self.stalls.barrier += 1,
-                    Some("gather") => self.stalls.gather += 1,
-                    _ => {}
-                },
+            let head_cause = match self.rob.front().map(|s| s.state) {
+                Some(SlotState::WaitingMem(_)) => {
+                    self.stalls.memory += 1;
+                    Some(StallCause::Memory)
+                }
+                Some(SlotState::WaitingGather(_)) => {
+                    self.stalls.gather += 1;
+                    Some(StallCause::Gather)
+                }
+                Some(SlotState::WaitingBarrier(_)) => {
+                    self.stalls.barrier += 1;
+                    Some(StallCause::Barrier)
+                }
+                _ => {
+                    match blocked_reason {
+                        Some("offload") => self.stalls.offload += 1,
+                        Some("rob") => self.stalls.rob_full += 1,
+                        Some("mem") => self.stalls.memory += 1,
+                        Some("barrier") => self.stalls.barrier += 1,
+                        Some("gather") => self.stalls.gather += 1,
+                        _ => {}
+                    }
+                    None
+                }
+            };
+            // Park: with the ROB head waiting on an external event, the only
+            // way the *issue* stage could still make progress without one is
+            // a Message-Interface drain freeing an "offload"-blocked slot, so
+            // every other fully-stalled cycle repeats identically until a
+            // completion arrives. Future cycles are settled at the next tick.
+            if let Some(cause) = head_cause {
+                if blocked_reason != Some("offload") {
+                    self.parked = Some(Parked { since: now + 1, cause, runnable: false });
+                }
             }
         }
         out
@@ -395,10 +520,12 @@ impl Core {
 
 impl Component for Core {
     fn next_wake(&self, now: Cycle) -> NextWake {
-        // The core model retires/issues and accounts stalls every core cycle
-        // until its stream, ROB and MI have fully drained; the win of the
-        // event-driven kernel on the core side is skipping finished cores.
-        if self.is_done() {
+        // A running core retires/issues and accounts stalls every core cycle.
+        // Finished cores are inert for good; parked cores are inert until an
+        // external completion re-arms them (whoever delivers the completion
+        // is responsible for waking the core, per the Component contract) —
+        // their skipped stall cycles are settled at the next tick.
+        if self.is_done() || self.is_parked() {
             NextWake::Idle
         } else {
             NextWake::At(now + 1)
@@ -563,5 +690,107 @@ mod tests {
         let mut c = core_with(vec![WorkItem::AtomicRmw { addr: Addr::new(0x100) }]);
         let out = c.tick(0);
         assert_eq!(out.mem_requests[0].kind, MemAccessKind::Atomic);
+    }
+
+    #[test]
+    fn blocked_core_parks_and_settles_like_per_cycle_accrual() {
+        let items = vec![WorkItem::Load(Addr::new(0x40)), WorkItem::Compute(4)];
+        // Reference: tick every cycle.
+        let mut eager = core_with(items.clone());
+        let req = eager.tick(0).mem_requests[0];
+        for t in 1..40 {
+            eager.tick(t);
+        }
+        eager.complete_mem(req.req_id, 40);
+        for t in 40..45 {
+            eager.tick(t);
+        }
+        // Lazy: skip every cycle for which the core reports itself parked.
+        let mut lazy = core_with(items);
+        let req = lazy.tick(0).mem_requests[0];
+        let mut ticks = 1u64;
+        for t in 1..40 {
+            if !lazy.is_parked() {
+                lazy.tick(t);
+                ticks += 1;
+            }
+        }
+        assert!(lazy.is_parked(), "core must park on the blocking load");
+        lazy.complete_mem(req.req_id, 40);
+        assert!(!lazy.is_parked(), "completion must make the core runnable");
+        for t in 40..45 {
+            lazy.tick(t);
+            ticks += 1;
+        }
+        assert!(eager.is_done() && lazy.is_done());
+        assert_eq!(lazy.stalls(), eager.stalls(), "settled interval must equal per-cycle accrual");
+        assert_eq!(lazy.cycles(), eager.cycles());
+        assert_eq!(lazy.instructions_retired(), eager.instructions_retired());
+        assert!(ticks < eager.cycles(), "the lazy run must actually skip ticks");
+    }
+
+    #[test]
+    fn spurious_tick_of_parked_core_is_harmless() {
+        let mut c = core_with(vec![WorkItem::Load(Addr::new(0x40))]);
+        let req = c.tick(0).mem_requests[0];
+        c.tick(1);
+        assert!(c.is_parked());
+        // A driver that ignores the parked hint (the lock-step kernel) keeps
+        // ticking: each tick settles a zero-length interval and re-parks.
+        c.tick(2);
+        c.tick(3);
+        assert!(c.is_parked());
+        assert_eq!(c.stalls().memory, 3);
+        c.complete_mem(req.req_id, 10);
+        c.tick(10);
+        assert!(c.is_done());
+        // Cycles 1..=9 stalled on memory exactly as per-cycle ticking would,
+        // and every cycle 0..=10 is counted as ticked.
+        assert_eq!(c.stalls().memory, 9);
+        assert_eq!(c.cycles(), 11);
+    }
+
+    #[test]
+    fn truncated_run_settles_parked_interval_at_the_end() {
+        let mut c = core_with(vec![WorkItem::Load(Addr::new(0x40))]);
+        c.tick(0);
+        c.tick(1);
+        assert!(c.is_parked());
+        c.settle_to(100);
+        // Cycles 0 and 1 ticked (cycle 1 stalled), cycles 2..=99 settled.
+        assert_eq!(c.stalls().memory, 99);
+        assert_eq!(c.cycles(), 100);
+        assert!(!c.is_parked(), "settling consumes the parked state");
+    }
+
+    #[test]
+    fn mi_backpressure_never_parks() {
+        // Head blocked on memory *and* issue blocked on a full MI: the MI is
+        // drained by the system each network cycle, so the core must keep
+        // ticking (parking would miss the post-drain issue opportunity).
+        let mut items = vec![WorkItem::Load(Addr::new(0x40))];
+        items.extend((0..64).map(|i| WorkItem::Update {
+            op: ReduceOp::Sum,
+            src1: Addr::new(0x1000 + i * 64),
+            src2: None,
+            imm: None,
+            target: Addr::new(0x8000),
+        }));
+        let mut c = core_with(items);
+        for t in 0..50 {
+            c.tick(t);
+        }
+        assert!(c.stalls().offload > 0 || c.stalls().memory > 0);
+        assert!(!c.is_parked(), "offload-blocked cores must not park");
+    }
+
+    #[test]
+    fn parked_core_reports_idle_wake() {
+        let mut c = core_with(vec![WorkItem::Load(Addr::new(0x40))]);
+        let req = c.tick(0).mem_requests[0];
+        c.tick(1);
+        assert_eq!(c.next_wake(1), NextWake::Idle);
+        c.complete_mem(req.req_id, 5);
+        assert_eq!(c.next_wake(5), NextWake::At(6));
     }
 }

@@ -10,9 +10,16 @@
 //! first-order behaviour the paper relies on: baseline runs are limited by
 //! memory stalls, Active-Routing runs are limited by offload bandwidth and
 //! gather latency.
+//!
+//! Stall cycles are accounted lazily: a core whose ROB head waits on an
+//! external event (memory response, gather result, barrier release) *parks*
+//! ([`Core::is_parked`]) and may be skipped by an event-driven driver; the
+//! first tick after the event settles the whole skipped interval into the
+//! stall counter per-cycle ticking would have used, so both driving styles
+//! produce byte-identical statistics.
 
 pub mod core_model;
 pub mod mi;
 
-pub use core_model::{Core, CoreOutput, MemAccess, MemAccessKind};
+pub use core_model::{Core, CoreOutput, MemAccess, MemAccessKind, StallBreakdown, StallCause};
 pub use mi::{MessageInterface, OffloadCommand, OffloadKind};

@@ -69,7 +69,10 @@ impl HmcCube {
     /// Advances the cube to `now`. Only vaults with queued requests or due
     /// completions are visited; an idle vault is skipped (its tick is a
     /// no-op), so the cost of a cube cycle is proportional to the number of
-    /// busy vaults rather than the vault count.
+    /// busy vaults rather than the vault count. Each visited vault drains its
+    /// whole backlog in the one call (see [`Vault::tick`]), so after this
+    /// returns the cube's next event is a completion or retry — never a
+    /// "queue still busy" per-cycle re-arm.
     pub fn tick(&mut self, now: Cycle) {
         // Retry requests that previously found a full vault queue.
         if !self.retry.is_empty() {
@@ -207,6 +210,30 @@ mod tests {
         assert_eq!(done, total);
         assert_eq!(cube.accesses(), total);
         assert_eq!(cube.vaults(), 32);
+    }
+
+    #[test]
+    fn busy_cube_rearms_at_completions_not_per_cycle() {
+        // The batched vault drain removes per-cycle re-arms: after a tick
+        // with a deep backlog, the cube's next wake is the earliest future
+        // event (crossbar delivery or vault completion), strictly later than
+        // `now + 1` once the crossbar has drained.
+        let cfg = HmcConfig::default();
+        let mut cube = HmcCube::new(CubeId::new(0), &cfg, 16);
+        for i in 0..8u64 {
+            cube.try_push(0, VaultRequest::read(i, Addr::new(i * 64))).unwrap();
+        }
+        // Let the requests cross the crossbar and be drained into the banks.
+        let arrive = cfg.crossbar_latency;
+        cube.tick(arrive);
+        assert!(!cube.is_idle());
+        let wake = cube.next_wake(arrive);
+        let first_done = arrive + cfg.vault_access_latency;
+        assert_eq!(
+            wake,
+            ar_sim::NextWake::At(first_done),
+            "a drained cube must sleep until its first completion"
+        );
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct Vault {
     bank_occupancy: Cycle,
     bank_busy_penalty: Cycle,
     queue_depth: usize,
+    /// Earliest cycle at which the TSV command bus can issue the next
+    /// request (one issue per cycle). Lets [`Vault::tick`] drain the whole
+    /// backlog in one wake by assigning each request its virtual issue
+    /// cycle, instead of being re-woken every cycle while queued.
+    next_issue_at: Cycle,
     accesses: u64,
     bank_conflicts: u64,
 }
@@ -68,6 +73,7 @@ impl Vault {
             bank_occupancy: cfg.bank_occupancy,
             bank_busy_penalty: cfg.bank_busy_penalty,
             queue_depth: cfg.vault_queue_depth,
+            next_issue_at: 0,
             accesses: 0,
             bank_conflicts: 0,
         }
@@ -96,31 +102,44 @@ impl Vault {
         (addr.block_index() % self.banks as u64) as usize
     }
 
-    /// Advances the vault controller: issues the request at the head of the
-    /// queue if its bank is (or becomes) available.
+    /// Advances the vault controller: drains *every* queued request in one
+    /// batch, charging each its issue cycle on the one-per-cycle TSV command
+    /// bus.
+    ///
+    /// The TSV command bandwidth still admits only one issue per cycle, so
+    /// the `k`-th queued request is issued at virtual cycle
+    /// `max(now, next_issue_cursor) + k` with the per-bank busy/penalty rules
+    /// applied in that order — exactly the cycle a per-cycle driver would
+    /// have issued it at, because arrivals are FIFO and a request arriving
+    /// mid-backlog queues *behind* the already-virtual-issued ones (the
+    /// cursor persists across wakes). Draining the backlog in one wake means
+    /// the vault never needs per-cycle re-arms while queued: after a drain
+    /// its only future event is a completion ([`Vault::next_completion_at`]).
     pub fn tick(&mut self, now: Cycle) {
-        let Some(&head) = self.queue.front() else { return };
-        let bank = self.bank_of(head.addr);
-        let busy_until = self.bank_busy_until[bank];
-        let conflict = busy_until > now;
-        let start = if conflict { busy_until + self.bank_busy_penalty } else { now };
-        // Issue at most one access per cycle per vault (TSV command bandwidth).
-        self.queue.pop_front();
-        if conflict {
-            self.bank_conflicts += 1;
+        let mut issue_at = self.next_issue_at.max(now);
+        while let Some(head) = self.queue.pop_front() {
+            let bank = self.bank_of(head.addr);
+            let busy_until = self.bank_busy_until[bank];
+            let conflict = busy_until > issue_at;
+            let start = if conflict { busy_until + self.bank_busy_penalty } else { issue_at };
+            if conflict {
+                self.bank_conflicts += 1;
+            }
+            let done = start + self.access_latency;
+            self.bank_busy_until[bank] = start + self.bank_occupancy.max(1);
+            self.accesses += 1;
+            self.completed.push_at(
+                done,
+                VaultResponse {
+                    id: head.id,
+                    addr: head.addr,
+                    is_write: head.is_write,
+                    completed_at: done,
+                },
+            );
+            issue_at += 1;
         }
-        let done = start + self.access_latency;
-        self.bank_busy_until[bank] = start + self.bank_occupancy.max(1);
-        self.accesses += 1;
-        self.completed.push_at(
-            done,
-            VaultResponse {
-                id: head.id,
-                addr: head.addr,
-                is_write: head.is_write,
-                completed_at: done,
-            },
-        );
+        self.next_issue_at = issue_at;
     }
 
     /// Removes one completed access available by `now`.
@@ -156,8 +175,9 @@ impl Vault {
 
 impl Component for Vault {
     fn next_wake(&self, now: Cycle) -> NextWake {
-        // A queued request issues on the next cycle (one per cycle over the
-        // TSV command bus); otherwise the next completion is the next event.
+        // After a wake the queue is empty (tick drains the whole batch), so
+        // the only future events are completions. A non-empty queue can only
+        // mean an external push since the last wake: drain it next cycle.
         if self.has_queued() {
             NextWake::At(now + 1)
         } else {
@@ -212,6 +232,60 @@ mod tests {
         v.tick(0);
         v.tick(1);
         assert_eq!(v.bank_conflicts(), 0);
+    }
+
+    #[test]
+    fn batch_drain_charges_one_issue_per_cycle() {
+        // Three requests to three different banks, drained in ONE tick: the
+        // TSV command bus still issues one per cycle, so completions are
+        // staggered exactly as per-cycle ticking would stagger them.
+        let mut v = Vault::new(&cfg());
+        v.push(VaultRequest::read(1, Addr::new(0)));
+        v.push(VaultRequest::read(2, Addr::new(64)));
+        v.push(VaultRequest::read(3, Addr::new(128)));
+        v.tick(0);
+        assert!(!v.has_queued(), "tick must drain the whole backlog");
+        assert_eq!(v.accesses(), 3);
+        assert_eq!(v.bank_conflicts(), 0);
+        let l = cfg().vault_access_latency;
+        for (t, id) in [(l, 1), (l + 1, 2), (l + 2, 3)] {
+            assert!(v.pop_response(t.saturating_sub(1)).is_none(), "id {id} must not be early");
+            assert_eq!(v.pop_response(t).unwrap().id, id);
+        }
+        assert!(v.is_idle());
+    }
+
+    #[test]
+    fn issue_cursor_persists_across_wakes() {
+        // A request arriving while a previous batch is still (virtually)
+        // issuing queues behind it, exactly like the per-cycle model.
+        let mut v = Vault::new(&cfg());
+        v.push(VaultRequest::read(1, Addr::new(0)));
+        v.push(VaultRequest::read(2, Addr::new(64)));
+        v.tick(0); // virtual issues at cycles 0 and 1
+        v.push(VaultRequest::read(3, Addr::new(128)));
+        v.tick(1); // cursor is 2: id 3 issues at cycle 2, not 1
+        let l = cfg().vault_access_latency;
+        assert_eq!(v.next_completion_at(), Some(l));
+        let mut last = None;
+        for t in 0..l + 3 {
+            while let Some(r) = v.pop_response(t) {
+                last = Some((t, r.id));
+            }
+        }
+        assert_eq!(last, Some((l + 2, 3)));
+    }
+
+    #[test]
+    fn drained_vault_wakes_only_for_completions() {
+        let mut v = Vault::new(&cfg());
+        v.push(VaultRequest::read(1, Addr::new(0)));
+        assert_eq!(v.next_wake(0), NextWake::At(1), "external push wakes the drain");
+        v.tick(0);
+        let l = cfg().vault_access_latency;
+        assert_eq!(v.next_wake(0), NextWake::At(l), "post-drain wake is the completion");
+        assert_eq!(v.pop_response(l).unwrap().id, 1);
+        assert_eq!(v.next_wake(l), NextWake::Idle);
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //! and registers its next wake-up cycle in an [`ar_sim::Scheduler`]. The
 //! driver in [`System::run`] only processes cycles at which some component is
 //! due and, within such a cycle, only wakes the due components — idle
-//! routers, vaults and engines cost nothing. [`System::run_lockstep`] drives
-//! the *same* per-cycle step over every cycle and every component, exactly
-//! like the original lock-step simulator; the two kernels produce
+//! routers, vaults and engines cost nothing. Cores blocked on a memory
+//! response, gather result or barrier park (`ar_cpu::Core::is_parked`) and
+//! are skipped too; the whole cluster sleeps once every core is parked and
+//! is re-armed by the memory side when it delivers the unblocking event,
+//! with each parked core settling its stalled interval — split by cause —
+//! at the next tick. [`System::run_lockstep`] drives the *same* per-cycle
+//! step over every cycle and every component (including parked cores),
+//! exactly like the original lock-step simulator; the two kernels produce
 //! cycle-identical [`SimReport`]s (asserted by the equivalence tests), the
 //! event-driven one just skips the cycles and components that provably do
 //! nothing.
@@ -319,19 +324,28 @@ impl System {
         let mut hub = ObserverHub::new(observers);
         hub.start(&RunInfo { workload: &self.workload, config_label: &self.label, cfg: &self.cfg });
         let mut sched: Scheduler<SysKey> = Scheduler::new();
-        sched.schedule(0, SysKey::Cores);
+        sched.wake(SysKey::Cores);
         sched.schedule(self.next_ipc_boundary(0), SysKey::Ipc);
         let mut due: Vec<SysKey> = Vec::new();
         let mut now: Cycle = 0;
         let mut completed = false;
+        // First network cycle the kernel did *not* process: cores still
+        // parked when the run ends settle their open stall intervals up to
+        // this boundary. Breaking out after `step(now)` means cycle `now`
+        // was fully processed (the lock-step reference ticked parked cores
+        // through it), so the boundary is `now + 1` there; running the loop
+        // to exhaustion leaves `now == max_cycles` unprocessed.
+        let mut first_unprocessed = max_cycles;
         while now < max_cycles {
             sched.pop_due_into(now, &mut due);
             self.step(now, (!lockstep).then_some(&due), &mut sched, &mut hub);
             if self.is_finished() {
                 completed = true;
+                first_unprocessed = now + 1;
                 break;
             }
             if hub.stopped() {
+                first_unprocessed = now + 1;
                 break;
             }
             now = if lockstep {
@@ -345,6 +359,12 @@ impl System {
                     None => max_cycles,
                 }
             };
+        }
+        // Saturating: with no cycle limit (`max_cycles == 0` ⇒ u64::MAX) an
+        // idled-out run would otherwise overflow the core-cycle conversion.
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        for core in &mut self.cores {
+            core.settle_to(first_unprocessed.saturating_mul(ratio));
         }
         let report = self.into_report(now, completed);
         hub.finish(&report);
@@ -375,6 +395,13 @@ impl System {
         // Core cluster: pipelines, barrier release, Message Interfaces.
         // ------------------------------------------------------------------
         if is_due(SysKey::Cores) && self.cores_active() {
+            // The event-driven kernel also skips *parked* cores (blocked on a
+            // memory response, gather result or barrier; see
+            // `Core::is_parked`): their skipped stall cycles are settled in
+            // one shot by the tick that follows the unblocking event. The
+            // lock-step reference keeps ticking them, exercising the
+            // per-cycle accrual path the settled intervals must match.
+            let skip_parked = due.is_some();
             for sub in 0..ratio {
                 let core_cycle = now * ratio + sub;
                 // Deliver finished memory requests first so dependent work
@@ -385,7 +412,7 @@ impl System {
                 let mut requests: Vec<(usize, MemAccess)> = Vec::new();
                 let mut newly_done = 0;
                 for (i, core) in self.cores.iter_mut().enumerate() {
-                    if core.is_done() {
+                    if core.is_done() || (skip_parked && core.is_parked()) {
                         continue;
                     }
                     core.wake(core_cycle, &mut ctx);
@@ -403,11 +430,11 @@ impl System {
             }
             self.release_barriers(now * ratio, hub);
             self.drain_message_interfaces(now);
-            // The cluster re-arms itself for every cycle it stays active;
-            // once all cores are done it goes quiet for good.
-            if self.cores_active() {
-                sched.schedule(now + 1, SysKey::Cores);
-            }
+            // Re-arm lazily: every network cycle while some core still ticks
+            // (or has Message-Interface commands to drain), otherwise only at
+            // the next pending completion delivery. A fully parked cluster
+            // sleeps until the memory side stimulates it.
+            sched.schedule_next(self.cores_next_wake(now), SysKey::Cores);
         }
 
         // ------------------------------------------------------------------
@@ -505,6 +532,32 @@ impl System {
         self.cores_done < self.cores.len() || !self.core_completions.is_empty()
     }
 
+    /// The core cluster's wake-up request.
+    ///
+    /// The cluster must be processed every network cycle while any core can
+    /// still tick (not done, not parked) or holds undrained Message-Interface
+    /// commands (the MI serialises one command per core per network cycle
+    /// regardless of the core's pipeline being blocked). When every core
+    /// sleeps on an external event, the only reason to wake is delivering a
+    /// queued memory completion — at exactly the network cycle whose sub-loop
+    /// contains its core-cycle deadline, so delivery (and the parked core's
+    /// settling tick) lands on the same cycle the lock-step kernel processes
+    /// it.
+    fn cores_next_wake(&self, now: Cycle) -> NextWake {
+        let ticking =
+            self.cores.iter().any(|c| (!c.is_done() && !c.is_parked()) || !c.mi().is_empty());
+        if ticking {
+            return NextWake::At(now + 1);
+        }
+        match self.core_completions.next_ready_at() {
+            Some(at) => {
+                let ratio = self.cfg.core_cycles_per_network_cycle();
+                NextWake::At((at / ratio).max(now + 1))
+            }
+            None => NextWake::Idle,
+        }
+    }
+
     /// The wake-up request of a top-level component, queried after it was
     /// woken or stimulated.
     fn next_wake_of(&self, now: Cycle, key: SysKey) -> NextWake {
@@ -516,7 +569,11 @@ impl System {
             (SysKey::Network, Backend::Hmc(hmc)) => hmc.network.next_wake(now),
             (SysKey::Cube(c), Backend::Hmc(hmc)) => hmc.cubes[c].next_wake(now),
             (SysKey::Engine(c), Backend::Hmc(hmc)) => hmc.engines[c].next_wake(now),
-            // Cores and the IPC sampler re-arm inline in `step`.
+            // The memory side re-arms a sleeping cluster when it delivers a
+            // completion or gather result to it (the cores phase itself
+            // re-arms inline).
+            (SysKey::Cores, _) => self.cores_next_wake(now),
+            // The IPC sampler re-arms inline in `step`.
             _ => NextWake::Idle,
         }
     }
@@ -759,6 +816,8 @@ impl System {
                 if txn.core != usize::MAX {
                     let done = now * ratio + txn.noc_return.max(1);
                     self.core_completions.push_at(done, (txn.core, txn.req_id));
+                    // A sleeping cluster must be re-armed for the delivery.
+                    Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cores);
                 }
             }
         }
@@ -887,6 +946,8 @@ impl System {
                             if txn.core != usize::MAX {
                                 let done = now * ratio + txn.noc_return.max(1);
                                 self.core_completions.push_at(done, (txn.core, txn.req_id));
+                                // Re-arm a sleeping cluster for the delivery.
+                                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cores);
                             }
                         }
                     }
@@ -914,6 +975,9 @@ impl System {
             for thread in &done.threads {
                 if thread.index() < self.cores.len() {
                     self.cores[thread.index()].complete_gather(done.target, core_cycle);
+                    // The gather result unparks its waiting cores: the
+                    // cluster must tick them on the next network cycle.
+                    Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cores);
                 }
             }
         }
@@ -1031,6 +1095,8 @@ impl System {
         let mut instructions = 0;
         let mut updates_offloaded = 0;
         let mut gathers_offloaded = 0;
+        // Parked cores were settled by `run_with` before this is called, so
+        // the per-core stall counters already reflect every processed cycle.
         for core in &self.cores {
             let s = core.stalls();
             stalls.memory += s.memory;

@@ -1,0 +1,227 @@
+//! Property-style tests of the lazy timing models, generated with the
+//! workspace's own deterministic [`SimRng`] (the build environment has no
+//! network access for a property-testing crate, so cases are in-tree and
+//! reproducible by construction).
+//!
+//! Two families:
+//!
+//! 1. **Interval accounting**: for randomized work streams and event
+//!    timings, driving a [`Core`] lazily (skipping every cycle it reports
+//!    itself parked, settling at the next tick) must accrue *exactly* the
+//!    stall totals, cycle counts and instruction counts of per-cycle
+//!    ticking — the sum of the settled intervals equals the per-cycle sum.
+//! 2. **Quiescence tracking**: under randomized system configurations, the
+//!    O(1) busy-counter `is_finished` must agree with the full-scan oracle
+//!    (enforced by the `debug_assert` inside `System::is_finished`, which
+//!    these unoptimized test runs execute on every processed cycle), and the
+//!    event-driven and lock-step kernels must still produce identical
+//!    reports.
+
+use active_routing_repro::ar_cpu::{Core, OffloadKind, StallBreakdown};
+use active_routing_repro::ar_sim::SimRng;
+use active_routing_repro::ar_system::{SimReport, Simulation};
+use active_routing_repro::ar_types::config::{CoreConfig, NamedConfig, SystemConfig};
+use active_routing_repro::ar_types::{
+    Addr, CoreId, Cycle, ReduceOp, ThreadId, WorkItem, WorkStream,
+};
+use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
+
+/// Deterministic per-id latency so both driving styles see the exact same
+/// event schedule without sharing an RNG cursor.
+fn delay_of(id: u64) -> Cycle {
+    1 + (id.wrapping_mul(2654435761) >> 7) % 37
+}
+
+/// A randomized single-thread work stream mixing every item kind.
+fn random_stream(rng: &mut SimRng) -> Vec<WorkItem> {
+    let len = 5 + rng.index(40);
+    let mut barrier_id = 0u32;
+    (0..len)
+        .map(|_| match rng.next_below(8) {
+            0 | 1 => WorkItem::Compute(1 + rng.next_below(60) as u32),
+            2 | 3 => WorkItem::Load(Addr::new(rng.next_below(1 << 16) * 8)),
+            4 => WorkItem::Store(Addr::new(rng.next_below(1 << 16) * 8)),
+            5 => WorkItem::Update {
+                op: ReduceOp::Sum,
+                src1: Addr::new(0x1000_0000 + rng.next_below(512) * 8),
+                src2: None,
+                imm: None,
+                target: Addr::new(0x3000_0000 + rng.next_below(4) * 8),
+            },
+            6 => WorkItem::Gather {
+                target: Addr::new(0x3000_0000 + rng.next_below(4) * 8),
+                op: ReduceOp::Sum,
+                num_threads: 1,
+                wait: rng.next_below(2) == 0,
+            },
+            _ => {
+                barrier_id += 1;
+                WorkItem::Barrier { id: barrier_id }
+            }
+        })
+        .collect()
+}
+
+/// Outcome of driving one core to completion (or the cycle horizon).
+#[derive(Debug, PartialEq, Eq)]
+struct DriveResult {
+    stalls: StallBreakdown,
+    cycles: u64,
+    instructions: u64,
+    done: bool,
+    finished_at: Option<Cycle>,
+}
+
+/// Drives a core over `items` with externally scheduled completions, either
+/// per-cycle (`lazy = false`, the reference accrual) or skipping parked
+/// cycles (`lazy = true`). Event *schedules* are pure functions of request
+/// ids and stream content, so both styles see identical stimuli. Returns the
+/// accounting outcome plus the number of ticks actually executed.
+fn drive(items: &[WorkItem], cfg: &CoreConfig, lazy: bool, horizon: Cycle) -> (DriveResult, u64) {
+    let mut stream = WorkStream::new(ThreadId::new(0));
+    stream.extend(items.to_vec());
+    let mut core = Core::new(CoreId::new(0), cfg, stream);
+    let mut completions: Vec<(Cycle, u64)> = Vec::new();
+    let mut gathers: Vec<(Cycle, Addr)> = Vec::new();
+    let mut barrier_release: Option<(Cycle, u32)> = None;
+    let mut ticks = 0u64;
+    let mut finished_at = None;
+    for now in 0..horizon {
+        // Deliveries first, mirroring the system's within-cycle phase order.
+        let mut delivered = Vec::new();
+        completions.retain(|&(at, id)| {
+            if at == now {
+                delivered.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in delivered {
+            core.complete_mem(id, now);
+        }
+        let mut arrived = Vec::new();
+        gathers.retain(|&(at, target)| {
+            if at == now {
+                arrived.push(target);
+                false
+            } else {
+                true
+            }
+        });
+        for target in arrived {
+            core.complete_gather(target, now);
+        }
+        if let Some((at, id)) = barrier_release {
+            if at == now {
+                core.release_barrier(id, now);
+                barrier_release = None;
+            }
+        }
+        if core.is_done() {
+            finished_at = Some(now);
+            break;
+        }
+        if !(lazy && core.is_parked()) {
+            let out = core.tick(now);
+            ticks += 1;
+            for req in out.mem_requests {
+                completions.push((now + delay_of(req.req_id), req.req_id));
+            }
+        }
+        // The Message Interface drains once per network cycle (two core
+        // cycles), parked or not — exactly like `System`.
+        if now % 2 == 0 {
+            if let Some(cmd) = core.mi_mut().pop() {
+                if let OffloadKind::Gather { target, .. } = cmd.kind {
+                    gathers.push((now + delay_of(target.as_u64()), target));
+                }
+            }
+        }
+        // Single-core barrier: release a few cycles after the core blocks.
+        // Both styles observe the blocked core at the same cycle, because
+        // the barrier-issuing tick is never skipped.
+        if barrier_release.is_none() {
+            if let Some(id) = core.waiting_barrier() {
+                barrier_release = Some((now + 3 + u64::from(id) % 5, id));
+            }
+        }
+    }
+    core.settle_to(horizon.min(finished_at.unwrap_or(horizon)));
+    (
+        DriveResult {
+            stalls: core.stalls(),
+            cycles: core.cycles(),
+            instructions: core.instructions_retired(),
+            done: core.is_done(),
+            finished_at,
+        },
+        ticks,
+    )
+}
+
+/// The sum of settled stall intervals must equal per-cycle accrual, for every
+/// stall category, across randomized streams, core shapes and event timings.
+#[test]
+fn settled_intervals_equal_per_cycle_stall_totals() {
+    let mut rng = SimRng::seed_from_u64(0x57A1_1ACC);
+    let mut skipped_any = false;
+    for case in 0..120 {
+        let items = random_stream(&mut rng);
+        // Randomize the core shape too: narrow ROBs and tight MSHR limits
+        // exercise the do-not-park conditions (rob/mem/offload blockers).
+        let cfg = CoreConfig {
+            count: 1,
+            issue_width: [1, 2, 8][rng.index(3)],
+            rob_entries: [4, 16, 64][rng.index(3)],
+            max_outstanding_mem: [1, 2, 8][rng.index(3)],
+            mi_queue_depth: [1, 4][rng.index(2)],
+            ..CoreConfig::default()
+        };
+        let horizon = 50_000;
+        let (eager, eager_ticks) = drive(&items, &cfg, false, horizon);
+        let (lazy, lazy_ticks) = drive(&items, &cfg, true, horizon);
+        assert!(eager.done, "case {case}: reference drive must finish: {items:?}");
+        assert_eq!(lazy, eager, "case {case}: lazy accounting diverged for {items:?} / {cfg:?}");
+        assert!(lazy_ticks <= eager_ticks, "case {case}: lazy must never tick more often");
+        skipped_any |= lazy_ticks < eager_ticks;
+    }
+    assert!(skipped_any, "the case set must exercise actual parked skipping");
+}
+
+/// Randomized system configurations: the counter-based quiescence check must
+/// agree with the full scan (debug_assert oracle inside `is_finished`, armed
+/// in these unoptimized builds) and both kernels must agree on the report.
+#[test]
+fn busy_counter_quiescence_matches_full_scan_oracle_under_random_configs() {
+    let mut rng = SimRng::seed_from_u64(0x0B5E_55ED);
+    for case in 0..10 {
+        let mut cfg = SystemConfig::small();
+        cfg.cores.count = [1, 2, 4][rng.index(3)];
+        cfg.cores.issue_width = [2, 8][rng.index(2)];
+        cfg.cores.rob_entries = [8, 64][rng.index(2)];
+        cfg.cores.max_outstanding_mem = [2, 8][rng.index(2)];
+        cfg.cores.mi_queue_depth = [1, 8][rng.index(2)];
+        cfg.caches.l1_bytes = [1024, 4 * 1024][rng.index(2)];
+        cfg.caches.l2_bytes = [8 * 1024, 64 * 1024][rng.index(2)];
+        cfg.hmc.vault_queue_depth = [2, 16][rng.index(2)];
+        cfg.max_cycles = 10_000_000;
+        let named = NamedConfig::ALL_WITH_ADAPTIVE[rng.index(6)];
+        let kind = WorkloadKind::ALL[rng.index(9)];
+        let run = |lockstep: bool| -> SimReport {
+            let mut b = Simulation::builder()
+                .config(cfg.clone())
+                .named(named)
+                .workload(kind)
+                .size(SizeClass::Tiny);
+            if lockstep {
+                b = b.lockstep();
+            }
+            b.build().expect("randomized configuration must validate").run()
+        };
+        let event = run(false);
+        let lockstep = run(true);
+        assert!(event.completed, "case {case} ({kind}/{named}): run must quiesce");
+        assert_eq!(event, lockstep, "case {case} ({kind}/{named}): kernels diverged");
+    }
+}

@@ -7,14 +7,18 @@
 //! and [`System::run_lockstep`] (every component, every cycle) produce
 //! *identical* [`SimReport`]s — every cycle count, stall counter, byte
 //! counter, latency breakdown, gather result and IPC sample.
+//!
+//! This suite is the safety net of the lazy timing models: parked cores
+//! (interval-based stall accounting) and batched vault drains are skipped by
+//! the event-driven kernel but exercised per cycle by the lock-step
+//! reference, so any divergence in their settle/batch arithmetic surfaces
+//! here as a report mismatch. The full matrix covers **all nine built-in
+//! workloads × all six named configurations** at quick scale, one test per
+//! workload, with every assertion naming its (workload, config) cell.
 
-use active_routing_repro::ar_system::{SimReport, Simulation, SimulationBuilder};
+use active_routing_repro::ar_system::{DeadlineStop, SimReport, Simulation, SimulationBuilder};
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
 use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
-
-/// All six named configurations (`NamedConfig::ALL` covers the five plotted
-/// ones; `ALL_WITH_ADAPTIVE` adds the sixth).
-const ALL_SIX: [NamedConfig; 6] = NamedConfig::ALL_WITH_ADAPTIVE;
 
 fn quick_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::small();
@@ -60,35 +64,66 @@ fn assert_identical(event: &SimReport, lockstep: &SimReport, label: &str) {
     assert_eq!(event, lockstep, "{label}: full report");
 }
 
-/// The acceptance gate of the refactor: on a pagerank run, every one of the
-/// six named configurations must report identical statistics under both
-/// kernels.
-#[test]
-fn pagerank_reports_identical_across_all_six_configs() {
-    for named in ALL_SIX {
-        let (event, lockstep) = run_both(named, WorkloadKind::Pagerank, SizeClass::Tiny);
-        assert!(event.completed, "{named}: pagerank must finish");
-        assert_identical(&event, &lockstep, &format!("pagerank/{named}"));
-    }
-}
-
-/// A second, memory-heavier workload across the offloading configurations,
-/// and spmv on the two baselines, to cover the DRAM retry and vault paths.
-#[test]
-fn other_workloads_spot_check_equivalence() {
-    for (named, kind) in [
-        (NamedConfig::Dram, WorkloadKind::Spmv),
-        (NamedConfig::Hmc, WorkloadKind::Spmv),
-        (NamedConfig::ArfTid, WorkloadKind::RandMac),
-        (NamedConfig::ArfAddr, WorkloadKind::Backprop),
-    ] {
+/// Shared matrix helper: runs one workload under every named configuration
+/// (the five plotted ones plus ARF-tid-adaptive) with both kernels and
+/// asserts identical reports, naming the failing (workload, config) cell.
+fn assert_workload_equivalence(kind: WorkloadKind) {
+    for named in NamedConfig::ALL_WITH_ADAPTIVE {
         let (event, lockstep) = run_both(named, kind, SizeClass::Tiny);
+        assert!(event.completed, "{kind}/{named}: run must finish within the cycle limit");
         assert_identical(&event, &lockstep, &format!("{kind}/{named}"));
     }
 }
 
+#[test]
+fn backprop_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Backprop);
+}
+
+#[test]
+fn lud_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Lud);
+}
+
+#[test]
+fn pagerank_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Pagerank);
+}
+
+#[test]
+fn sgemm_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Sgemm);
+}
+
+#[test]
+fn spmv_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Spmv);
+}
+
+#[test]
+fn reduce_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Reduce);
+}
+
+#[test]
+fn rand_reduce_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::RandReduce);
+}
+
+#[test]
+fn mac_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::Mac);
+}
+
+#[test]
+fn rand_mac_equivalence_across_all_configs() {
+    assert_workload_equivalence(WorkloadKind::RandMac);
+}
+
 /// The cycle limit must cut both kernels off at the same point with the same
-/// (incomplete) statistics.
+/// (incomplete) statistics — including the stall intervals of cores that are
+/// still parked when the limit strikes, which the event-driven kernel settles
+/// at report time.
 #[test]
 fn cycle_limit_truncates_both_kernels_identically() {
     let mut cfg = quick_cfg();
@@ -109,4 +144,49 @@ fn cycle_limit_truncates_both_kernels_identically() {
     assert!(!event.completed, "500 cycles must not be enough");
     assert_identical(&event, &lockstep, "truncated pagerank/ARF-tid");
     assert_eq!(event.network_cycles, 500);
+}
+
+/// An observer stopping the run early must also leave both kernels with
+/// identical (incomplete) statistics. This cuts the run *after* a fully
+/// processed cycle — unlike the cycle-limit exit — so it pins the settlement
+/// boundary for cores that are still parked when the stop lands.
+#[test]
+fn observer_stop_truncates_both_kernels_identically() {
+    for deadline in [1024u64, 2048, 3072] {
+        let run = |lockstep: bool| {
+            let mut b = builder(NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Small)
+                .observer(DeadlineStop::at(deadline));
+            if lockstep {
+                b = b.lockstep();
+            }
+            b.build().expect("valid").run()
+        };
+        let event = run(false);
+        let lockstep = run(true);
+        assert!(!event.completed, "deadline {deadline} must cut the small run short");
+        assert_identical(&event, &lockstep, &format!("deadline-{deadline} pagerank/ARF-tid"));
+    }
+}
+
+/// Same truncation check on a baseline (no-offload) configuration, where the
+/// parked-core path is exercised through plain memory stalls.
+#[test]
+fn cycle_limit_truncates_identically_on_the_dram_baseline() {
+    let mut cfg = quick_cfg();
+    cfg.max_cycles = 60;
+    let truncated = |lockstep: bool| {
+        let mut b = Simulation::builder()
+            .config(cfg.clone())
+            .named(NamedConfig::Dram)
+            .workload(WorkloadKind::Spmv)
+            .size(SizeClass::Tiny);
+        if lockstep {
+            b = b.lockstep();
+        }
+        b.build().expect("valid").run()
+    };
+    let event = truncated(false);
+    let lockstep = truncated(true);
+    assert!(!event.completed, "60 cycles must not be enough");
+    assert_identical(&event, &lockstep, "truncated spmv/DRAM");
 }
