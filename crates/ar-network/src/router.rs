@@ -197,6 +197,26 @@ impl MemoryNetwork {
         packet
     }
 
+    /// Removes and returns a cube's entire delivery queue in arrival order —
+    /// the per-shard inbox handed to the cube's tick job when cube shards
+    /// run on worker threads. Equivalent to calling
+    /// [`MemoryNetwork::pop_at_cube`] until it returns `None`.
+    pub fn take_at_cube(&mut self, cube: CubeId) -> VecDeque<Packet> {
+        let mut queue = VecDeque::new();
+        self.swap_at_cube(cube, &mut queue);
+        queue
+    }
+
+    /// Swaps a cube's delivery queue with `replacement` (which must be
+    /// empty): the deliveries move out, the replacement's spare capacity
+    /// moves in. The allocation-free form of [`MemoryNetwork::take_at_cube`]
+    /// for a driver that recycles per-cube inbox buffers every cycle.
+    pub fn swap_at_cube(&mut self, cube: CubeId, replacement: &mut VecDeque<Packet>) {
+        debug_assert!(replacement.is_empty(), "the replacement inbox must be drained");
+        self.delivered -= self.delivered_cube[cube.index()].len();
+        std::mem::swap(&mut self.delivered_cube[cube.index()], replacement);
+    }
+
     /// Removes the next packet delivered at a host port, if any.
     pub fn pop_at_host(&mut self, port: PortId) -> Option<Packet> {
         let packet = self.delivered_host[port.index()].pop_front();
@@ -366,6 +386,27 @@ mod tests {
         }
         assert!(net.host_port_queueing(PortId::new(0)) > 0);
         assert_eq!(net.stats().packets_delivered, 64);
+    }
+
+    #[test]
+    fn take_at_cube_drains_the_whole_delivery_queue_in_order() {
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 16);
+        for id in 0..4 {
+            // Zero-hop self-delivery lands in the queue immediately.
+            let p = Packet::new(
+                id,
+                NetNode::Cube(CubeId::new(2)),
+                NetNode::Cube(CubeId::new(2)),
+                PacketKind::WriteAck { req_id: id, addr: Addr::new(0) },
+                0,
+            );
+            net.inject(0, p);
+        }
+        assert!(net.has_delivery_at_cube(CubeId::new(2)));
+        let inbox = net.take_at_cube(CubeId::new(2));
+        assert_eq!(inbox.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(!net.has_delivery_at_cube(CubeId::new(2)));
+        assert!(net.is_quiescent(), "taking the inbox must keep the in-flight count exact");
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub struct SimulationBuilder {
     variant: Option<Variant>,
     observers: Vec<Box<dyn Observer>>,
     lockstep: bool,
+    threads: usize,
 }
 
 impl Default for SimulationBuilder {
@@ -123,6 +124,7 @@ impl SimulationBuilder {
             variant: None,
             observers: Vec::new(),
             lockstep: false,
+            threads: 1,
         }
     }
 
@@ -191,6 +193,21 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the thread count of the sharded event-driven kernel (see
+    /// [`System::with_threads`]): due cube shards tick concurrently within a
+    /// cycle, with cross-shard effects merged deterministically, so the
+    /// report is byte-identical for every value. Default `1` (serial); `0`
+    /// resolves to the machine's available parallelism, and explicit counts
+    /// are clamped to it at build time — workers beyond physical CPUs only
+    /// add scheduling overhead, never speedup ([`System::with_threads`] is
+    /// the unclamped low-level knob). Ignored by the lock-step reference
+    /// kernel.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Generates the workload, validates the configuration and wires the
     /// system.
     ///
@@ -216,8 +233,14 @@ impl SimulationBuilder {
                 MemoryMode::HmcNetwork => "HMC".to_string(),
             },
         };
+        let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = match self.threads {
+            0 => available,
+            n => n.min(available),
+        };
         let system = System::new(cfg, generated.streams, generated.memory)?
-            .with_labels(generated.name, label);
+            .with_labels(generated.name, label)
+            .with_threads(threads);
         Ok(Simulation {
             system,
             observers: self.observers,

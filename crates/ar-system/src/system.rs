@@ -39,14 +39,16 @@ use ar_cpu::{Core, MemAccess, MemAccessKind};
 use ar_dram::{DramRequest, DramSystem};
 use ar_hmc::{HmcCube, VaultRequest};
 use ar_network::{DragonflyTopology, MemoryNetwork, MeshNoc};
-use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx, Scheduler, TimeSeries};
+use ar_sim::{
+    Component, LatencyQueue, NextWake, SchedCtx, ShardedScheduler, TimeSeries, WorkerPool,
+};
 use ar_types::addr::AddressMap;
 use ar_types::config::{MemoryMode, SystemConfig};
 use ar_types::error::ConfigError;
 use ar_types::ids::NetNode;
 use ar_types::packet::{Packet, PacketKind};
 use ar_types::{Addr, CubeId, Cycle, PortId, WorkItem, WorkStream};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Extra core cycles charged to an atomic read-modify-write for its
 /// directory round trip, on top of the normal write path.
@@ -61,6 +63,12 @@ const IPC_WINDOW_CORE_CYCLES: u64 = 2048;
 /// key, a cube with its 32 vaults is one key): a key must be worth the
 /// calendar bookkeeping, and the intra-component skipping is handled by the
 /// component itself through its own [`Component::next_wake`] logic.
+///
+/// Keys are grouped into *shards* for the sharded calendar and the parallel
+/// cube sub-phases (see [`SysKey::shard`]): the core cluster (with the IPC
+/// sampler), the DRAM backend, the memory network, and one shard per cube
+/// holding the cube and its Active-Routing engine — the two keys whose state
+/// a cube-shard tick job mutates together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum SysKey {
     /// The core cluster: core pipelines, barrier release, MI drain.
@@ -77,6 +85,154 @@ enum SysKey {
     /// when the kernel skips over the sampling boundary).
     Ipc,
 }
+
+impl SysKey {
+    /// Shards below this index are the fixed singleton shards (cores + IPC
+    /// sampler, DRAM, network); cube shards follow, one per cube.
+    const FIXED_SHARDS: usize = 3;
+
+    /// The shard a key belongs to.
+    fn shard(self) -> usize {
+        match self {
+            SysKey::Cores | SysKey::Ipc => 0,
+            SysKey::Dram => 1,
+            SysKey::Network => 2,
+            SysKey::Cube(c) | SysKey::Engine(c) => Self::FIXED_SHARDS + c,
+        }
+    }
+}
+
+/// Cross-shard effects recorded by one cube shard's delivery/engine tick
+/// job (sub-phase 1 of the HMC step), applied serially in cube-index order
+/// at the merge boundary so the result is byte-identical to the serial
+/// per-cube loop regardless of worker count.
+#[derive(Debug, Default)]
+struct CubeOutbox {
+    /// Request ids of normal (core-transaction) vault accesses pushed this
+    /// cycle, registered in the shared purpose map at merge time.
+    normal_ids: Vec<u64>,
+    /// DRAM traffic charged by this shard (64 B per normal access; operand
+    /// accesses are charged when the engine outputs are applied).
+    hmc_bytes: u64,
+    /// The cube received at least one vault request, so `SysKey::Cube` must
+    /// be stimulated for sub-phase 2.
+    cube_stimulated: bool,
+    /// Engine outputs (packets + operand/vault accesses), in emission order:
+    /// one entry per handled active packet, plus the pipeline tick's output.
+    are_outputs: Vec<AreOutput>,
+}
+
+/// Reusable per-cube buffers for the HMC sub-phase jobs. Taken out of the
+/// system when a cube's job is built and moved back at the merge, so inbox
+/// and outbox capacities survive across cycles instead of being reallocated
+/// 10^5 times per run.
+#[derive(Debug, Default)]
+struct CubeScratch {
+    /// The cube's network deliveries, swapped out of the network's per-cube
+    /// queue (whose spare capacity is left behind in exchange).
+    inbox: VecDeque<Packet>,
+    outbox: CubeOutbox,
+    /// Vault completions popped in sub-phase 2, in pop order.
+    completions: Vec<ar_hmc::VaultResponse>,
+}
+
+/// One cube shard's sub-phase-1 job: drain the cube's network inbox and
+/// advance its engine pipelines. Holds disjoint `&mut`s into the backend, so
+/// a batch of these can tick on worker threads.
+struct CubeDeliveryJob<'a> {
+    cube_index: usize,
+    cube: &'a mut HmcCube,
+    engine: &'a mut ActiveRoutingEngine,
+    scratch: &'a mut CubeScratch,
+}
+
+impl CubeDeliveryJob<'_> {
+    /// The per-cube body of sub-phase 1, operation-for-operation the serial
+    /// loop's order: deliver packets (vault pushes and engine handling in
+    /// arrival order), then advance the engine pipelines.
+    fn tick(&mut self, now: Cycle) {
+        let mut ctx = SchedCtx::new(now);
+        while let Some(packet) = self.scratch.inbox.pop_front() {
+            match &packet.kind {
+                PacketKind::ReadReq { req_id, addr } | PacketKind::WriteReq { req_id, addr } => {
+                    let is_write = matches!(packet.kind, PacketKind::WriteReq { .. });
+                    let id = *req_id;
+                    let addr = *addr;
+                    let req = if is_write {
+                        VaultRequest::write(id, addr)
+                    } else {
+                        VaultRequest::read(id, addr)
+                    };
+                    let _ = self.cube.try_push(now, req);
+                    self.scratch.outbox.normal_ids.push(id);
+                    self.scratch.outbox.cube_stimulated = true;
+                    self.scratch.outbox.hmc_bytes += 64;
+                }
+                PacketKind::ReadResp { .. } | PacketKind::WriteAck { .. } => {
+                    // Responses are only ever destined to host ports.
+                }
+                PacketKind::Active(_) => {
+                    let out = self.engine.handle_packet(now, packet);
+                    self.scratch.outbox.are_outputs.push(out);
+                }
+            }
+        }
+        self.engine.wake(now, &mut ctx);
+        let tick_out = self.engine.take_output();
+        if !tick_out.is_empty() {
+            self.scratch.outbox.are_outputs.push(tick_out);
+        }
+    }
+}
+
+/// One cube shard's sub-phase-2 job: advance the crossbar and vaults, and
+/// collect the completions that crossed back, in pop order.
+struct VaultDrainJob<'a> {
+    cube_index: usize,
+    cube: &'a mut HmcCube,
+    scratch: &'a mut CubeScratch,
+}
+
+impl VaultDrainJob<'_> {
+    fn tick(&mut self, now: Cycle) {
+        let mut ctx = SchedCtx::new(now);
+        self.cube.wake(now, &mut ctx);
+        while let Some(resp) = self.cube.pop_response(now) {
+            self.scratch.completions.push(resp);
+        }
+    }
+}
+
+/// Minimum number of due cube shards worth fanning out to the worker pool.
+/// A dispatch costs a few hundred nanoseconds (publish, claim traffic,
+/// completion wait) while a typical cube tick is shorter than that, so
+/// small batches run inline. The threshold only decides *placement*, never
+/// the merged result.
+const PARALLEL_BATCH_MIN: usize = 4;
+
+/// Runs one tick job per participating cube shard — on the worker pool when
+/// one is attached and the batch is worth a dispatch, inline otherwise. Jobs
+/// only mutate their own shard and outbox, so placement cannot change the
+/// merged result.
+fn run_shard_jobs<T: Send>(
+    pool: Option<&mut WorkerPool>,
+    jobs: &mut [T],
+    f: impl Fn(&mut T) + Sync,
+) {
+    match pool {
+        Some(pool) if jobs.len() >= PARALLEL_BATCH_MIN => pool.run(jobs, |_, job| f(job)),
+        _ => jobs.iter_mut().for_each(f),
+    }
+}
+
+// The cube-shard jobs cross thread boundaries inside `WorkerPool::run`; this
+// pins the Send-cleanliness of the whole HMC tick path (cube, vaults,
+// engine, packets) at compile time, close to the code that relies on it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CubeDeliveryJob<'_>>();
+    assert_send::<VaultDrainJob<'_>>();
+};
 
 /// Why a vault access was issued (used to dispatch its completion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +325,15 @@ pub struct System {
     hmc_bytes: u64,
     /// Back-invalidations performed for offloaded updates.
     back_invalidations: u64,
+    /// Worker threads for the sharded kernel (see [`System::with_threads`]):
+    /// 1 = serial (the default), 0 = available parallelism.
+    threads: usize,
+    /// Reusable per-cube job buffers (one per cube; empty for DRAM).
+    cube_scratch: Vec<CubeScratch>,
+    /// Reusable engine-output merge buffer.
+    are_scratch: Vec<(usize, AreOutput)>,
+    /// Reusable vault-completion merge buffer.
+    completion_scratch: Vec<(usize, ar_hmc::VaultResponse)>,
 }
 
 impl System {
@@ -242,10 +407,20 @@ impl System {
 
         let func_mem = memory.into_iter().map(|(a, v)| (a.as_u64(), v)).collect();
         let cores_done = cores.iter().filter(|c| c.is_done()).count();
+        // One slot per possible SysKey, sized from the cube count of the
+        // *constructed* backend rather than from layout assumptions about the
+        // config: the DRAM baseline instantiates no cubes (its network config
+        // is never validated against the slot layout), so sizing from
+        // `cfg.network.cubes` would alias or overrun if the two disagreed.
+        let cube_count = Self::backend_cube_count(&backend);
+        let slot_count = 4 + 2 * cube_count;
         Ok(System {
             cores_done,
-            busy: vec![false; 4 + 2 * cfg.network.cubes],
+            busy: vec![false; slot_count],
             busy_count: 0,
+            cube_scratch: (0..cube_count).map(|_| CubeScratch::default()).collect(),
+            are_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
             label: String::new(),
             workload: String::new(),
             map,
@@ -261,14 +436,46 @@ impl System {
             next_vault_id: 0,
             retry_dram: Vec::new(),
             armq: Vec::new(),
-            arm_flags: vec![false; 4 + 2 * cfg.network.cubes],
+            arm_flags: vec![false; slot_count],
             gather_results: Vec::new(),
             ipc_series: TimeSeries::new(),
             last_ipc_sample_insns: 0,
             hmc_bytes: 0,
             back_invalidations: 0,
+            threads: 1,
             cfg,
         })
+    }
+
+    /// Number of cubes the backend actually instantiated (0 for the DRAM
+    /// baseline) — the source of truth for the slot tables and the shard
+    /// count.
+    fn backend_cube_count(backend: &Backend) -> usize {
+        match backend {
+            Backend::Dram(_) => 0,
+            Backend::Hmc(hmc) => hmc.cubes.len(),
+        }
+    }
+
+    /// Sets the thread count of the sharded event-driven kernel: within a
+    /// cycle, due cube shards (each cube with its Active-Routing engine)
+    /// tick concurrently on a persistent worker pool, and their cross-shard
+    /// effects are merged in cube-index order at the sub-phase boundary, so
+    /// the [`SimReport`] is byte-identical for every thread count.
+    ///
+    /// `1` (the default) keeps the fully serial kernel; `0` resolves to the
+    /// machine's available parallelism. This low-level knob uses explicit
+    /// counts *as given* — [`crate::SimulationBuilder::threads`] is the
+    /// policy layer that clamps requests to the host's parallelism, because
+    /// oversubscribed workers can only add scheduling overhead, never
+    /// speedup (the report is identical either way). The unclamped form is
+    /// what lets the pool path be exercised on any host.
+    /// [`System::run_lockstep`] ignores the knob — the lock-step reference
+    /// is always serial.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the labels recorded in the report.
@@ -323,9 +530,22 @@ impl System {
         let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut hub = ObserverHub::new(observers);
         hub.start(&RunInfo { workload: &self.workload, config_label: &self.label, cfg: &self.cfg });
-        let mut sched: Scheduler<SysKey> = Scheduler::new();
+        // The calendar is sharded by `SysKey::shard` (cores | dram | network
+        // | per-cube); its merged pop yields the same sorted due sets a
+        // single calendar would, so both kernels run on it unchanged.
+        let shard_count = SysKey::FIXED_SHARDS + Self::backend_cube_count(&self.backend);
+        let mut sched: ShardedScheduler<SysKey> = ShardedScheduler::new(shard_count, SysKey::shard);
         sched.wake(SysKey::Cores);
         sched.schedule(self.next_ipc_boundary(0), SysKey::Ipc);
+        // The worker pool that ticks due cube shards concurrently. Spawned
+        // once per run and reused every cycle; only the event-driven kernel
+        // on the HMC backend has shard parallelism to exploit.
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        let mut pool = (!lockstep && threads > 1 && matches!(self.backend, Backend::Hmc(_)))
+            .then(|| WorkerPool::new(threads));
         let mut due: Vec<SysKey> = Vec::new();
         let mut now: Cycle = 0;
         let mut completed = false;
@@ -338,7 +558,7 @@ impl System {
         let mut first_unprocessed = max_cycles;
         while now < max_cycles {
             sched.pop_due_into(now, &mut due);
-            self.step(now, (!lockstep).then_some(&due), &mut sched, &mut hub);
+            self.step(now, (!lockstep).then_some(&due), &mut sched, &mut hub, pool.as_mut());
             if self.is_finished() {
                 completed = true;
                 first_unprocessed = now + 1;
@@ -383,8 +603,9 @@ impl System {
         &mut self,
         now: Cycle,
         due: Option<&[SysKey]>,
-        sched: &mut Scheduler<SysKey>,
+        sched: &mut ShardedScheduler<SysKey>,
         hub: &mut ObserverHub<'_>,
+        pool: Option<&mut WorkerPool>,
     ) {
         debug_assert!(self.armq.is_empty());
         let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
@@ -449,7 +670,7 @@ impl System {
                 let dram_due = is_due(SysKey::Dram) || self.stimulated(SysKey::Dram);
                 self.step_dram(now, dram_due);
             }
-            Backend::Hmc(_) => self.step_hmc(now, due, hub),
+            Backend::Hmc(_) => self.step_hmc(now, due, hub, pool),
         }
 
         // ------------------------------------------------------------------
@@ -514,6 +735,12 @@ impl System {
     /// `self.backend` can still record stimuli.
     fn stimulate(armq: &mut Vec<SysKey>, arm_flags: &mut [bool], key: SysKey) {
         let slot = Self::key_slot(key);
+        debug_assert!(
+            slot < arm_flags.len(),
+            "stimulated {key:?} (slot {slot}) outside the {}-slot table — slot table out of \
+             sync with the backend's cube count",
+            arm_flags.len()
+        );
         if !arm_flags[slot] {
             arm_flags[slot] = true;
             armq.push(key);
@@ -522,7 +749,13 @@ impl System {
 
     /// Returns true if `key` was stimulated earlier in the current step.
     fn stimulated(&self, key: SysKey) -> bool {
-        self.arm_flags[Self::key_slot(key)]
+        let slot = Self::key_slot(key);
+        debug_assert!(
+            slot < self.arm_flags.len(),
+            "queried {key:?} (slot {slot}) outside the {}-slot table",
+            self.arm_flags.len()
+        );
+        self.arm_flags[slot]
     }
 
     /// Returns true while the core cluster still has work: an unfinished
@@ -824,7 +1057,22 @@ impl System {
         Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Dram);
     }
 
-    fn step_hmc(&mut self, now: Cycle, due: Option<&[SysKey]>, hub: &mut ObserverHub<'_>) {
+    /// One HMC-side network cycle, in four sub-phases with the same order as
+    /// the original serial loop: the network tick, the per-cube delivery /
+    /// engine sub-phase, the per-cube vault-drain sub-phase, and the host
+    /// ports. The two per-cube sub-phases tick their due cube shards through
+    /// tick jobs — concurrently when a [`WorkerPool`] is attached — and every
+    /// cross-shard effect (purpose-map entries, traffic bytes, engine
+    /// outputs, completions, stimuli) goes through a per-shard outbox merged
+    /// in cube-index order at the sub-phase boundary, so the schedule of
+    /// observable effects is byte-identical to the serial kernel.
+    fn step_hmc(
+        &mut self,
+        now: Cycle,
+        due: Option<&[SysKey]>,
+        hub: &mut ObserverHub<'_>,
+        mut pool: Option<&mut WorkerPool>,
+    ) {
         let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
         let mut ctx = SchedCtx::new(now);
@@ -837,68 +1085,72 @@ impl System {
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
         }
 
-        // 1. Packets delivered at cubes, and the engines' own pipelines.
-        let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
-        for c in 0..hmc.cubes.len() {
+        // 1. Packets delivered at cubes, and the engines' own pipelines: one
+        // job per cube shard with a pending delivery or a due engine. Taking
+        // the inbox up front is equivalent to the old per-packet pop — no new
+        // delivery can appear at a cube until these outputs are applied.
+        let mut jobs: Vec<CubeDeliveryJob<'_>> = Vec::with_capacity(hmc.cubes.len());
+        for ((c, (cube, engine)), scratch) in hmc
+            .cubes
+            .iter_mut()
+            .zip(hmc.engines.iter_mut())
+            .enumerate()
+            .zip(self.cube_scratch.iter_mut())
+        {
             let cube_id = CubeId::new(c);
             if !hmc.network.has_delivery_at_cube(cube_id) && !is_due(SysKey::Engine(c)) {
                 continue;
             }
-            while let Some(packet) = hmc.network.pop_at_cube(cube_id) {
-                match &packet.kind {
-                    PacketKind::ReadReq { req_id, addr }
-                    | PacketKind::WriteReq { req_id, addr } => {
-                        let is_write = matches!(packet.kind, PacketKind::WriteReq { .. });
-                        let id = *req_id;
-                        let addr = *addr;
-                        self.vault_purpose.insert(id, VaultPurpose::Normal { txn: id });
-                        let req = if is_write {
-                            VaultRequest::write(id, addr)
-                        } else {
-                            VaultRequest::read(id, addr)
-                        };
-                        let _ = hmc.cubes[c].try_push(now, req);
-                        Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
-                        self.hmc_bytes += 64;
-                    }
-                    PacketKind::ReadResp { .. } | PacketKind::WriteAck { .. } => {
-                        // Responses are only ever destined to host ports.
-                    }
-                    PacketKind::Active(_) => {
-                        let out = hmc.engines[c].handle_packet(now, packet);
-                        are_outputs.push((c, out));
-                    }
-                }
+            hmc.network.swap_at_cube(cube_id, &mut scratch.inbox);
+            jobs.push(CubeDeliveryJob { cube_index: c, cube, engine, scratch });
+        }
+        run_shard_jobs(pool.as_deref_mut(), &mut jobs, |job| job.tick(now));
+        // Merge the outboxes in cube-index order (jobs were built ascending).
+        let mut are_outputs = std::mem::take(&mut self.are_scratch);
+        for job in &mut jobs {
+            let c = job.cube_index;
+            for id in job.scratch.outbox.normal_ids.drain(..) {
+                self.vault_purpose.insert(id, VaultPurpose::Normal { txn: id });
             }
-            // Advance the engine's internal pipelines.
-            hmc.engines[c].wake(now, &mut ctx);
-            let tick_out = hmc.engines[c].take_output();
-            if !tick_out.is_empty() {
-                are_outputs.push((c, tick_out));
+            self.hmc_bytes += job.scratch.outbox.hmc_bytes;
+            job.scratch.outbox.hmc_bytes = 0;
+            if job.scratch.outbox.cube_stimulated {
+                job.scratch.outbox.cube_stimulated = false;
+                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
             }
+            are_outputs.extend(job.scratch.outbox.are_outputs.drain(..).map(|out| (c, out)));
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(c));
         }
-        self.apply_are_outputs(now, are_outputs);
+        drop(jobs);
+        self.apply_are_outputs(now, &mut are_outputs);
+        self.are_scratch = are_outputs;
 
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
 
-        // 2. Advance the cubes and collect vault completions.
-        let mut vault_completions: Vec<(usize, ar_hmc::VaultResponse)> = Vec::new();
-        for (c, cube) in hmc.cubes.iter_mut().enumerate() {
-            // Also woken when stimulated earlier this cycle (stage 1 pushes
-            // vault requests whose crossbar latency may be zero).
+        // 2. Advance the cubes and collect vault completions: one job per
+        // cube shard that is due — or was stimulated earlier this cycle
+        // (sub-phase 1 pushes vault requests whose crossbar latency may be
+        // zero).
+        let mut jobs: Vec<VaultDrainJob<'_>> = Vec::with_capacity(hmc.cubes.len());
+        for ((c, cube), scratch) in
+            hmc.cubes.iter_mut().enumerate().zip(self.cube_scratch.iter_mut())
+        {
             if !is_due(SysKey::Cube(c)) && !self.arm_flags[Self::key_slot(SysKey::Cube(c))] {
                 continue;
             }
-            cube.wake(now, &mut ctx);
-            while let Some(resp) = cube.pop_response(now) {
-                vault_completions.push((c, resp));
-            }
+            jobs.push(VaultDrainJob { cube_index: c, cube, scratch });
+        }
+        run_shard_jobs(pool, &mut jobs, |job| job.tick(now));
+        let mut vault_completions = std::mem::take(&mut self.completion_scratch);
+        for job in &mut jobs {
+            let c = job.cube_index;
+            vault_completions.extend(job.scratch.completions.drain(..).map(|resp| (c, resp)));
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
         }
-        let mut are_outputs: Vec<(usize, AreOutput)> = Vec::new();
-        for (c, resp) in vault_completions {
+        drop(jobs);
+        let mut are_outputs = std::mem::take(&mut self.are_scratch);
+        for (c, resp) in vault_completions.drain(..) {
             match self.vault_purpose.remove(&resp.id) {
                 Some(VaultPurpose::Normal { txn }) => {
                     if let Some(info) = self.mem_txns.get(&txn) {
@@ -927,7 +1179,9 @@ impl System {
                 Some(VaultPurpose::AreWrite) | None => {}
             }
         }
-        self.apply_are_outputs(now, are_outputs);
+        self.completion_scratch = vault_completions;
+        self.apply_are_outputs(now, &mut are_outputs);
+        self.are_scratch = are_outputs;
 
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
@@ -983,10 +1237,13 @@ impl System {
         }
     }
 
-    fn apply_are_outputs(&mut self, now: Cycle, outputs: Vec<(usize, AreOutput)>) {
+    /// Applies collected engine outputs (network injections, operand vault
+    /// accesses) in emission order, draining `outputs` so its buffer can be
+    /// recycled by the caller.
+    fn apply_are_outputs(&mut self, now: Cycle, outputs: &mut Vec<(usize, AreOutput)>) {
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
-        for (cube, out) in outputs {
+        for (cube, out) in outputs.drain(..) {
             for packet in out.packets {
                 // Packets whose destination is the local cube are handled by
                 // this cube's own engine next cycle via the network's

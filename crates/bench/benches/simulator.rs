@@ -72,6 +72,48 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-scaling of the sharded event-driven kernel: the scheduler
+/// partitions the system into shards (cores | network | per-cube) and ticks
+/// due cube shards on a worker pool, with per-shard outboxes merged in cube
+/// order — reports are byte-identical at every thread count (asserted by the
+/// equivalence suite), so only the wall clock varies here. Requests are
+/// clamped to the host's parallelism: on a small machine the higher counts
+/// degrade to the serial kernel and the rows should read as parity. The
+/// offload configurations (engine + vault work per cube) are where extra
+/// threads can pay off; quick-scale and memory-only runs mostly measure that
+/// the sharding machinery costs nothing.
+fn bench_kernel_threads(c: &mut Criterion) {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    let scales: [(&str, ar_types::config::SystemConfig, SizeClass, usize); 2] = [
+        ("quick", BENCH_SCALE.system_config(), SizeClass::Small, 10),
+        ("paper", ar_experiments::ExperimentScale::Full.system_config(), SizeClass::Paper, 3),
+    ];
+    for (scale, base, size, samples) in scales {
+        let mut group = c.benchmark_group(format!("kernel_threads_{scale}"));
+        group.sample_size(samples);
+        for (name, workload) in [
+            ("pagerank", WorkloadKind::Pagerank),
+            ("spmv", WorkloadKind::Spmv),
+            ("sgemm", WorkloadKind::Sgemm),
+        ] {
+            for threads in THREADS {
+                let build = || {
+                    Simulation::builder()
+                        .config(base.clone())
+                        .named(NamedConfig::ArfTid)
+                        .workload(workload)
+                        .size(size)
+                        .threads(threads)
+                        .build()
+                        .expect("valid configuration")
+                };
+                group.bench_function(&format!("{name}_t{threads}"), |b| b.iter(|| build().run()));
+            }
+        }
+        group.finish();
+    }
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -83,5 +125,11 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(simulator, bench_single_runs, bench_kernel_throughput, bench_workload_generation);
+criterion_group!(
+    simulator,
+    bench_single_runs,
+    bench_kernel_throughput,
+    bench_kernel_threads,
+    bench_workload_generation
+);
 criterion_main!(simulator);

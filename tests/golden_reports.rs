@@ -48,15 +48,25 @@ fn fixture_path(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> Pat
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
 
-fn simulate(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> SimReport {
+fn simulate_threads(
+    config: NamedConfig,
+    kind: WorkloadKind,
+    size: SizeClass,
+    threads: usize,
+) -> SimReport {
     Simulation::builder()
         .config(quick_cfg())
         .named(config)
         .workload(kind)
         .size(size)
+        .threads(threads)
         .build()
         .expect("valid configuration")
         .run()
+}
+
+fn simulate(config: NamedConfig, kind: WorkloadKind, size: SizeClass) -> SimReport {
+    simulate_threads(config, kind, size, 1)
 }
 
 #[test]
@@ -98,6 +108,30 @@ fn golden_corpus_matches_fixtures() {
             regenerated.len(),
             regenerated.join(", ")
         );
+    }
+}
+
+/// The sharded parallel kernel must reproduce the frozen corpus *unchanged*:
+/// the fixtures were recorded single-threaded, so any thread-count-dependent
+/// behaviour (an order-sensitive outbox merge, a shard job leaking outside
+/// its shard) fails against the exact same bytes the serial kernel pins.
+/// Skipped under `UPDATE_GOLDEN=1` — fixtures are only ever regenerated from
+/// the single-threaded kernel.
+#[test]
+fn golden_corpus_matches_fixtures_with_four_threads() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        eprintln!("UPDATE_GOLDEN=1: skipping the threads=4 comparison (regeneration mode)");
+        return;
+    }
+    for (config, kind, size) in CELLS {
+        let label = format!("{kind}/{config}/{size} @ threads=4");
+        let report = simulate_threads(config, kind, size, 4);
+        let path = fixture_path(config, kind, size);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{label}: missing fixture {} ({e})", path.display()));
+        let golden = SimReport::from_json(&Json::parse(&text).expect("well-formed fixture JSON"))
+            .expect("fixture must deserialize");
+        assert_eq!(report, golden, "{label}: sharded kernel drifted from the golden fixture");
     }
 }
 

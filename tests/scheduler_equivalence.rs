@@ -15,6 +15,17 @@
 //! here as a report mismatch. The full matrix covers **all nine built-in
 //! workloads × all six named configurations** at quick scale, one test per
 //! workload, with every assertion naming its (workload, config) cell.
+//!
+//! The matrix also carries a **sharded axis**: every cell additionally runs
+//! the event-driven kernel with `threads(2)` and `threads(4)` — due cube
+//! shards ticking on the worker pool, cross-shard effects merged through the
+//! per-shard outboxes — and those reports must be byte-identical to the
+//! single-threaded ones. A divergence here means an outbox merge is
+//! order-sensitive or a shard job touched state outside its shard. The
+//! builder clamps thread requests to the host's parallelism, so a dedicated
+//! test additionally forces the worker pool through the unclamped
+//! `System::with_threads`, guaranteeing the pool path runs with real worker
+//! threads even on a single-CPU machine.
 
 use active_routing_repro::ar_system::{DeadlineStop, SimReport, Simulation, SimulationBuilder};
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
@@ -64,14 +75,28 @@ fn assert_identical(event: &SimReport, lockstep: &SimReport, label: &str) {
     assert_eq!(event, lockstep, "{label}: full report");
 }
 
+/// The thread counts of the sharded axis (1 is the plain event kernel the
+/// lock-step comparison already covers).
+const SHARDED_THREADS: [usize; 2] = [2, 4];
+
 /// Shared matrix helper: runs one workload under every named configuration
 /// (the five plotted ones plus ARF-tid-adaptive) with both kernels and
 /// asserts identical reports, naming the failing (workload, config) cell.
+/// Each cell then re-runs the event-driven kernel at `threads ∈ {2, 4}` and
+/// requires byte-identical reports from the sharded parallel kernel too.
 fn assert_workload_equivalence(kind: WorkloadKind) {
     for named in NamedConfig::ALL_WITH_ADAPTIVE {
         let (event, lockstep) = run_both(named, kind, SizeClass::Tiny);
         assert!(event.completed, "{kind}/{named}: run must finish within the cycle limit");
         assert_identical(&event, &lockstep, &format!("{kind}/{named}"));
+        for threads in SHARDED_THREADS {
+            let sharded = builder(named, kind, SizeClass::Tiny)
+                .threads(threads)
+                .build()
+                .expect("valid configuration")
+                .run();
+            assert_identical(&event, &sharded, &format!("{kind}/{named} @ threads={threads}"));
+        }
     }
 }
 
@@ -120,6 +145,36 @@ fn rand_mac_equivalence_across_all_configs() {
     assert_workload_equivalence(WorkloadKind::RandMac);
 }
 
+/// The builder clamps thread requests to the host's available parallelism,
+/// so on a small CI machine the sharded axis above may resolve to the inline
+/// path. This test forces the worker pool through the unclamped low-level
+/// `System::with_threads` on representative cells, so pool-executed shard
+/// jobs and the cube-order outbox merges run with *real worker threads* on
+/// any host — and must still be byte-identical to the serial kernel.
+#[test]
+fn forced_worker_pool_is_byte_identical_on_any_host() {
+    for (named, kind) in [
+        (NamedConfig::ArfTid, WorkloadKind::Pagerank),
+        (NamedConfig::Art, WorkloadKind::Reduce),
+        (NamedConfig::Hmc, WorkloadKind::Spmv),
+    ] {
+        let serial = builder(named, kind, SizeClass::Tiny).build().expect("valid").run();
+        for threads in SHARDED_THREADS {
+            let forced = builder(named, kind, SizeClass::Tiny)
+                .build()
+                .expect("valid")
+                .into_system()
+                .with_threads(threads)
+                .run();
+            assert_identical(
+                &serial,
+                &forced,
+                &format!("{kind}/{named} forced pool @ threads={threads}"),
+            );
+        }
+    }
+}
+
 /// The cycle limit must cut both kernels off at the same point with the same
 /// (incomplete) statistics — including the stall intervals of cores that are
 /// still parked when the limit strikes, which the event-driven kernel settles
@@ -144,6 +199,20 @@ fn cycle_limit_truncates_both_kernels_identically() {
     assert!(!event.completed, "500 cycles must not be enough");
     assert_identical(&event, &lockstep, "truncated pagerank/ARF-tid");
     assert_eq!(event.network_cycles, 500);
+    // The sharded kernel must be cut off at the identical point, including
+    // the still-parked cores' settled stall intervals.
+    for threads in SHARDED_THREADS {
+        let sharded = Simulation::builder()
+            .config(cfg.clone())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Pagerank)
+            .size(SizeClass::Tiny)
+            .threads(threads)
+            .build()
+            .expect("valid")
+            .run();
+        assert_identical(&event, &sharded, &format!("truncated pagerank @ threads={threads}"));
+    }
 }
 
 /// An observer stopping the run early must also leave both kernels with
@@ -165,6 +234,21 @@ fn observer_stop_truncates_both_kernels_identically() {
         let lockstep = run(true);
         assert!(!event.completed, "deadline {deadline} must cut the small run short");
         assert_identical(&event, &lockstep, &format!("deadline-{deadline} pagerank/ARF-tid"));
+        // Observer-driven stops land on the same cycle with the same
+        // statistics when cube shards tick on the worker pool.
+        for threads in SHARDED_THREADS {
+            let sharded = builder(NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Small)
+                .observer(DeadlineStop::at(deadline))
+                .threads(threads)
+                .build()
+                .expect("valid")
+                .run();
+            assert_identical(
+                &event,
+                &sharded,
+                &format!("deadline-{deadline} pagerank @ threads={threads}"),
+            );
+        }
     }
 }
 
