@@ -2,8 +2,8 @@
 
 use crate::array::CacheArray;
 use ar_types::config::CacheConfig;
+use ar_types::hash::FastHashMap;
 use ar_types::Addr;
-use std::collections::HashMap;
 
 /// The kind of access performed by a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,7 @@ impl DirEntry {
 pub struct CacheHierarchy {
     l1: Vec<CacheArray>,
     l2: Vec<CacheArray>,
-    directory: HashMap<u64, DirEntry>,
+    directory: FastHashMap<u64, DirEntry>,
     cfg: CacheConfig,
     stats: CacheStats,
 }
@@ -127,7 +127,7 @@ impl CacheHierarchy {
             l2: (0..cfg.l2_banks)
                 .map(|_| CacheArray::new(bank_bytes, cfg.l2_ways, cfg.block_bytes))
                 .collect(),
-            directory: HashMap::new(),
+            directory: FastHashMap::default(),
             cfg: cfg.clone(),
             stats: CacheStats::default(),
         }

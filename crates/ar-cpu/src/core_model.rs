@@ -1,5 +1,6 @@
 //! The out-of-order core timing model.
 
+use crate::fastforward::{self, FastForward, MIN_SKIPPED_CYCLES};
 use crate::mi::{MessageInterface, OffloadCommand, OffloadKind};
 use ar_sim::{Component, NextWake, SchedCtx};
 use ar_types::config::CoreConfig;
@@ -127,6 +128,14 @@ pub struct Core {
     stalls: StallBreakdown,
     /// Interval-accounting state while the core sleeps on an external event.
     parked: Option<Parked>,
+    /// Id of the one unresolved barrier in the ROB, if any (the issue stage
+    /// stops at a barrier, so a second one cannot enter before the first is
+    /// released).
+    waiting_barrier_id: Option<u32>,
+    /// Pending analytically-scheduled bulk compute/drain interval (armed by
+    /// an event-driven driver through [`Core::try_fast_forward`]; never set
+    /// by per-cycle ticking).
+    fast_forward: Option<FastForward>,
     updates_offloaded: u64,
     gathers_offloaded: u64,
 }
@@ -151,6 +160,8 @@ impl Core {
             cycles: 0,
             stalls: StallBreakdown::default(),
             parked: None,
+            waiting_barrier_id: None,
+            fast_forward: None,
             updates_offloaded: 0,
             gathers_offloaded: 0,
         }
@@ -210,12 +221,21 @@ impl Core {
             && self.mi.is_empty()
     }
 
-    /// If the core is blocked at a barrier, returns the barrier id.
+    /// If the core is blocked at a barrier, returns the barrier id. O(1):
+    /// the id is tracked when the barrier issues and cleared when it is
+    /// released — at most one barrier can be unresolved at a time, because
+    /// the issue stage stops at it. (The barrier-release scan runs every
+    /// network cycle over every core, so this must not walk the ROB.)
     pub fn waiting_barrier(&self) -> Option<u32> {
-        self.rob.iter().find_map(|s| match s.state {
-            SlotState::WaitingBarrier(id) => Some(id),
-            _ => None,
-        })
+        debug_assert_eq!(
+            self.waiting_barrier_id,
+            self.rob.iter().find_map(|s| match s.state {
+                SlotState::WaitingBarrier(id) => Some(id),
+                _ => None,
+            }),
+            "the tracked barrier id diverged from the ROB scan"
+        );
+        self.waiting_barrier_id
     }
 
     /// Returns true while the core sleeps on an external event: its ROB head
@@ -260,12 +280,161 @@ impl Core {
         }
     }
 
-    /// Settles any still-parked interval up to (excluding) `end`, the first
-    /// core cycle the simulation did not process. Called by the system when a
-    /// run is cut off by the cycle limit while cores are still blocked, so
-    /// truncated reports match per-cycle accrual too.
+    /// Settles any still-open lazy interval — a parked stall interval or a
+    /// pending fast-forwarded compute interval — up to (excluding) `end`,
+    /// the first core cycle the simulation did not process. Called by the
+    /// system when a run is cut off by the cycle limit or an observer stop,
+    /// so truncated reports match per-cycle accrual too.
     pub fn settle_to(&mut self, end: Cycle) {
+        self.settle_compute_to(end);
         self.settle(end);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk compute fast-forward
+    // ------------------------------------------------------------------
+
+    /// Attempts to arm a fast-forwarded interval starting at core cycle
+    /// `since` (the cycle after the tick that just ran). Succeeds only when
+    /// the upcoming cycles are provably pure — every ROB slot is already
+    /// retirable and the stream head is a compute run (or, with an empty
+    /// stream and Message Interface, a plain ROB drain) — and when the
+    /// closed-form schedule covers at least
+    /// [`MIN_SKIPPED_CYCLES`]
+    /// cycles. See the [`crate::fastforward`] module docs for the interval
+    /// shapes and the purity argument.
+    ///
+    /// Only event-driven drivers call this; per-cycle ticking never arms an
+    /// interval, which keeps the lock-step kernel a genuine per-cycle
+    /// oracle for the analytic schedule.
+    pub fn try_fast_forward(&mut self, since: Cycle) -> bool {
+        if self.fast_forward.is_some() || self.parked.is_some() || self.outstanding_mem > 0 {
+            return false;
+        }
+        let head_compute =
+            self.partial_compute > 0 || matches!(self.stream.peek(), Some(WorkItem::Compute(_)));
+        let drain = !head_compute
+            && self.partial_compute == 0
+            && self.stream.is_empty()
+            && self.mi.is_empty()
+            && !self.rob.is_empty();
+        if !head_compute && !drain {
+            return false;
+        }
+        // Nothing external may be able to intervene: every ROB slot must
+        // already be retirable. (A waiting slot is exactly what a memory
+        // completion, gather result or barrier release could flip.)
+        if !self.rob.iter().all(|s| matches!(s.state, SlotState::Ready(t) if t <= since)) {
+            return false;
+        }
+        let w = u64::from(self.issue_width);
+        let q = self.rob_insns as u64;
+        let skippable = if head_compute {
+            let run = self.compute_run_insns();
+            fastforward::plan_compute(q, run, w, self.rob_entries as u64)
+        } else {
+            fastforward::plan_drain(q, w)
+        };
+        if skippable < MIN_SKIPPED_CYCLES {
+            return false;
+        }
+        self.fast_forward =
+            Some(FastForward { since, until: since + skippable, applied_to: since });
+        true
+    }
+
+    /// Compute instructions at the stream head: the unissued remainder of
+    /// the current compute item plus every consecutive `Compute` item after
+    /// it.
+    fn compute_run_insns(&self) -> u64 {
+        u64::from(self.partial_compute)
+            + self
+                .stream
+                .iter()
+                .map_while(|item| match item {
+                    WorkItem::Compute(n) => Some(u64::from(*n)),
+                    _ => None,
+                })
+                .sum::<u64>()
+    }
+
+    /// The first core cycle at which a pending fast-forwarded interval needs
+    /// its next real tick, if one is armed.
+    pub fn fast_forward_until(&self) -> Option<Cycle> {
+        self.fast_forward.map(|ff| ff.until)
+    }
+
+    /// Returns true while `now` lies inside a pending fast-forwarded
+    /// interval. The event-driven driver skips the core's tick for such
+    /// cycles — their effects are applied analytically by the settle that
+    /// precedes the next real tick.
+    pub fn is_fast_forwarding(&self, now: Cycle) -> bool {
+        self.fast_forward.is_some_and(|ff| now < ff.until)
+    }
+
+    /// Applies the not-yet-settled prefix `[applied_to, min(end, until))` of
+    /// a pending fast-forwarded interval: cycle and retirement counters,
+    /// stream consumption and the final ROB occupancy, all exactly as
+    /// per-cycle ticking over those cycles would have left them. No-op
+    /// without a pending interval, so callers (the IPC sampler, truncation
+    /// paths) can invoke it unconditionally. A partial settle keeps the
+    /// remainder of the interval pending.
+    pub fn settle_compute_to(&mut self, end: Cycle) {
+        let Some(ff) = self.fast_forward else { return };
+        let stop = end.min(ff.until);
+        if stop <= ff.applied_to {
+            return;
+        }
+        let d = stop - ff.applied_to;
+        let rem = self.compute_run_insns();
+        let adv = fastforward::advance(
+            self.rob_insns as u64,
+            rem,
+            u64::from(self.issue_width),
+            self.rob_entries as u64,
+            d,
+        );
+        self.cycles += d;
+        self.instructions_retired += adv.retired;
+        self.consume_issued(adv.issued);
+        // Rebuild the ROB as merged ready slots. Any partitioning of a
+        // contiguous run of retirable slots is behaviourally identical: the
+        // retire stage crosses slot boundaries while its budget lasts, the
+        // issue stage only inspects the youngest slot's *state*, and every
+        // merged instruction was (or becomes) ready no later than `stop`,
+        // which is the earliest cycle the next tick can observe it.
+        self.rob.clear();
+        let mut left = adv.rob_insns;
+        while left > 0 {
+            let chunk = left.min(u64::from(u32::MAX));
+            self.rob.push_back(RobSlot { insns: chunk as u32, state: SlotState::Ready(stop) });
+            left -= chunk;
+        }
+        self.rob_insns = adv.rob_insns as usize;
+        self.fast_forward =
+            if stop == ff.until { None } else { Some(FastForward { applied_to: stop, ..ff }) };
+    }
+
+    /// Removes `issued` instructions from the head of the compute run,
+    /// popping stream items and updating the partially-issued remainder the
+    /// way per-cycle issuing would have.
+    fn consume_issued(&mut self, mut n: u64) {
+        let from_partial = u64::from(self.partial_compute).min(n);
+        self.partial_compute -= from_partial as u32;
+        n -= from_partial;
+        while n > 0 {
+            match self.stream.pop() {
+                Some(WorkItem::Compute(m)) => {
+                    if u64::from(m) <= n {
+                        n -= u64::from(m);
+                    } else {
+                        self.partial_compute = m - n as u32;
+                        n = 0;
+                    }
+                }
+                other => unreachable!("fast-forward issued past the compute run: {other:?}"),
+            }
+        }
     }
 
     /// Marks the memory request `req_id` as completed at cycle `now`.
@@ -304,12 +473,31 @@ impl Core {
             }
         }
         if flipped {
+            if self.waiting_barrier_id == Some(id) {
+                self.waiting_barrier_id = None;
+            }
             self.unpark();
         }
     }
 
     fn rob_space(&self) -> usize {
         self.rob_entries.saturating_sub(self.rob_insns)
+    }
+
+    /// [`Core::rob_space`] clamped into the `u32` domain of the per-cycle
+    /// issue arithmetic. `rob_entries` is a `usize`, so on 64-bit hosts the
+    /// free space can exceed `u32::MAX`; a plain `as` cast would *truncate*
+    /// (e.g. `2^32 + 2` → `2`) and silently throttle — or spuriously block —
+    /// the issue stage on huge-ROB configurations. Saturating keeps the cap
+    /// inactive whenever the true space exceeds any possible `take`.
+    fn rob_space_u32(&self) -> u32 {
+        let space = self.rob_space();
+        let clamped = u32::try_from(space).unwrap_or(u32::MAX);
+        debug_assert!(
+            clamped as usize == space || space > u32::MAX as usize,
+            "the rob_space clamp must only engage past the u32 cast boundary"
+        );
+        clamped
     }
 
     fn retire(&mut self, now: Cycle) -> u32 {
@@ -339,6 +527,13 @@ impl Core {
         std::mem::take(&mut self.pending_requests)
     }
 
+    /// Drains the same requests as [`Core::take_requests`] without giving up
+    /// the buffer, so its capacity is reused by later wakes — the
+    /// allocation-free form the system's hot loop uses.
+    pub fn drain_requests(&mut self) -> std::vec::Drain<'_, MemAccess> {
+        self.pending_requests.drain(..)
+    }
+
     /// Advances the core by one core cycle, returning any memory requests it
     /// issued.
     ///
@@ -346,9 +541,21 @@ impl Core {
     /// is settled into the stall counters first, so ticking per cycle and
     /// sleeping until the blocking event produce identical statistics.
     pub fn tick(&mut self, now: Cycle) -> CoreOutput {
+        let mut out = CoreOutput::default();
+        self.tick_into(now, &mut out.mem_requests);
+        out
+    }
+
+    /// The allocation-free body of [`Core::tick`]: issued memory requests are
+    /// appended to `out` instead of being returned in a fresh vector.
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemAccess>) {
+        // A real tick supersedes any pending fast-forwarded interval: the
+        // already-elapsed prefix settles analytically, cycle `now` (and
+        // whatever follows) is handled per cycle.
+        self.settle_compute_to(now);
+        self.fast_forward = None;
         self.settle(now);
         self.cycles += 1;
-        let mut out = CoreOutput::default();
         let retired = self.retire(now);
 
         let mut budget = self.issue_width;
@@ -387,7 +594,7 @@ impl Core {
                 }
             }
             if self.partial_compute > 0 {
-                let take = self.partial_compute.min(budget).min(self.rob_space() as u32);
+                let take = self.partial_compute.min(budget).min(self.rob_space_u32());
                 if take == 0 {
                     blocked_reason = Some("rob");
                     break;
@@ -415,7 +622,7 @@ impl Core {
                     let insns = item.instruction_count() as u32;
                     let req_id = self.next_req_id;
                     self.next_req_id += 1;
-                    out.mem_requests.push(MemAccess { req_id, addr, kind });
+                    out.push(MemAccess { req_id, addr, kind });
                     self.rob.push_back(RobSlot { insns, state: SlotState::WaitingMem(req_id) });
                     self.rob_insns += insns as usize;
                     self.outstanding_mem += 1;
@@ -467,6 +674,7 @@ impl Core {
                 WorkItem::Barrier { id } => {
                     self.rob.push_back(RobSlot { insns: 1, state: SlotState::WaitingBarrier(id) });
                     self.rob_insns += 1;
+                    self.waiting_barrier_id = Some(id);
                     self.stream.pop();
                     issued += 1;
                     blocked_reason = Some("barrier");
@@ -514,7 +722,6 @@ impl Core {
                 }
             }
         }
-        out
     }
 }
 
@@ -524,9 +731,13 @@ impl Component for Core {
         // Finished cores are inert for good; parked cores are inert until an
         // external completion re-arms them (whoever delivers the completion
         // is responsible for waking the core, per the Component contract) —
-        // their skipped stall cycles are settled at the next tick.
+        // their skipped stall cycles are settled at the next tick. A core
+        // inside a fast-forwarded interval needs no tick before the
+        // interval's end: its intermediate cycles are applied analytically.
         if self.is_done() || self.is_parked() {
             NextWake::Idle
+        } else if let Some(until) = self.fast_forward_until() {
+            NextWake::At(until.max(now + 1))
         } else {
             NextWake::At(now + 1)
         }
@@ -538,8 +749,9 @@ impl Component for Core {
         if self.is_done() {
             return NextWake::Idle;
         }
-        let out = self.tick(now);
-        self.pending_requests.extend(out.mem_requests);
+        let mut pending = std::mem::take(&mut self.pending_requests);
+        self.tick_into(now, &mut pending);
+        self.pending_requests = pending;
         self.next_wake(now)
     }
 }
@@ -792,5 +1004,211 @@ mod tests {
         assert_eq!(c.next_wake(1), NextWake::Idle);
         c.complete_mem(req.req_id, 5);
         assert_eq!(c.next_wake(5), NextWake::At(6));
+    }
+
+    /// Drives a core to completion, either per cycle (`ff = false`) or
+    /// arming/skipping fast-forwarded intervals the way the event-driven
+    /// kernel does (`ff = true`). Memory requests complete after a fixed
+    /// per-id delay so both styles see the identical event schedule. Returns
+    /// the number of real ticks executed.
+    fn drive_ff(items: &[WorkItem], ff: bool) -> (Core, u64) {
+        let mut c = core_with(items.to_vec());
+        let mut completions: Vec<(Cycle, u64)> = Vec::new();
+        let mut ticks = 0u64;
+        for t in 0..200_000u64 {
+            let mut due: Vec<u64> = Vec::new();
+            completions.retain(|&(at, id)| {
+                if at == t {
+                    due.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            for id in due {
+                c.complete_mem(id, t);
+            }
+            if c.is_done() {
+                break;
+            }
+            if ff && c.is_fast_forwarding(t) {
+                continue;
+            }
+            let out = c.tick(t);
+            for req in out.mem_requests {
+                completions.push((t + 20 + req.req_id % 5, req.req_id));
+            }
+            ticks += 1;
+            if ff {
+                c.try_fast_forward(t + 1);
+            }
+        }
+        assert!(c.is_done(), "drive must finish");
+        (c, ticks)
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_on_compute_heavy_streams() {
+        for items in [
+            vec![WorkItem::Compute(10_000)],
+            vec![WorkItem::Compute(513), WorkItem::Compute(4_000), WorkItem::Compute(1)],
+            // The run ends at a non-compute item: the interval must stop
+            // before the cycle that could peek at the store.
+            vec![
+                WorkItem::Compute(2_000),
+                WorkItem::Store(Addr::new(0x80)),
+                WorkItem::Compute(777),
+            ],
+        ] {
+            let (eager, eager_ticks) = drive_ff(&items, false);
+            let (lazy, lazy_ticks) = drive_ff(&items, true);
+            assert_eq!(lazy.cycles(), eager.cycles(), "{items:?}");
+            assert_eq!(lazy.instructions_retired(), eager.instructions_retired(), "{items:?}");
+            assert_eq!(lazy.stalls(), eager.stalls(), "{items:?}");
+            assert!(
+                lazy_ticks < eager_ticks / 4,
+                "fast-forward must skip the bulk of the block: {lazy_ticks} vs {eager_ticks}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_drain_finishes_on_the_per_cycle_done_cycle() {
+        // The drain interval at the end of the stream excludes the final
+        // retirement cycle, so the done transition happens in a real tick on
+        // exactly the per-cycle cycle (barrier release and quiescence depend
+        // on that).
+        let items = vec![WorkItem::Compute(512)];
+        let (eager, eager_ticks) = drive_ff(&items, false);
+        let (lazy, lazy_ticks) = drive_ff(&items, true);
+        assert_eq!(lazy.cycles(), eager.cycles());
+        assert_eq!(lazy.instructions_retired(), eager.instructions_retired());
+        assert!(lazy_ticks < eager_ticks);
+    }
+
+    #[test]
+    fn fast_forward_split_points_match_per_cycle_prefixes() {
+        let items = vec![WorkItem::Compute(4_096)];
+        let mut eager = core_with(items.clone());
+        let mut lazy = core_with(items);
+        eager.tick(0);
+        lazy.tick(0);
+        assert!(lazy.try_fast_forward(1), "a 4k block must arm");
+        let until = lazy.fast_forward_until().expect("armed");
+        let mut t = 1u64;
+        for p in [2u64, 7, 63, 200, until] {
+            assert!(p <= until, "probe past the interval");
+            while t < p {
+                eager.tick(t);
+                t += 1;
+            }
+            // Settling a prefix (the IPC sampler's view) must reproduce the
+            // per-cycle counters at that exact boundary.
+            lazy.settle_compute_to(p);
+            assert_eq!(lazy.instructions_retired(), eager.instructions_retired(), "at {p}");
+            assert_eq!(lazy.cycles(), eager.cycles(), "at {p}");
+        }
+        // From the interval's end both drive identically to completion.
+        while !eager.is_done() {
+            eager.tick(t);
+            lazy.tick(t);
+            t += 1;
+        }
+        assert!(lazy.is_done());
+        assert_eq!(lazy.instructions_retired(), eager.instructions_retired());
+        assert_eq!(lazy.cycles(), eager.cycles());
+        assert_eq!(lazy.stalls(), eager.stalls());
+    }
+
+    #[test]
+    fn spurious_tick_mid_interval_settles_the_prefix_and_cancels_the_rest() {
+        let items = vec![WorkItem::Compute(4_096)];
+        let mut eager = core_with(items.clone());
+        let mut lazy = core_with(items);
+        eager.tick(0);
+        lazy.tick(0);
+        assert!(lazy.try_fast_forward(1));
+        for t in 1..50 {
+            eager.tick(t);
+        }
+        // A driver that ignores the interval (the lock-step kernel never has
+        // one, but the contract must hold) ticks mid-interval: the prefix
+        // settles, the remainder is re-derived per cycle.
+        lazy.tick(49);
+        assert!(lazy.fast_forward_until().is_none(), "a real tick cancels the pending interval");
+        assert_eq!(lazy.instructions_retired(), eager.instructions_retired());
+        assert_eq!(lazy.cycles(), eager.cycles());
+    }
+
+    #[test]
+    fn fast_forward_refuses_states_an_external_event_could_flip() {
+        // Outstanding memory: a completion could arrive mid-interval.
+        let mut c = core_with(vec![WorkItem::Load(Addr::new(0x40)), WorkItem::Compute(4_096)]);
+        c.tick(0);
+        assert!(!c.try_fast_forward(1), "an in-flight load forbids fast-forwarding");
+        // Ticking on, the block fills the ROB behind the blocked load and
+        // the core parks on it: still ineligible.
+        for t in 1..20 {
+            c.tick(t);
+        }
+        assert!(c.is_parked());
+        assert!(!c.try_fast_forward(20));
+
+        // A barrier at the ROB head could be released externally.
+        let mut c = core_with(vec![WorkItem::Barrier { id: 1 }, WorkItem::Compute(4_096)]);
+        c.tick(0);
+        assert!(!c.try_fast_forward(1), "a waiting barrier forbids fast-forwarding");
+
+        // Short blocks are not worth an interval.
+        let mut c = core_with(vec![WorkItem::Compute(16)]);
+        c.tick(0);
+        assert!(
+            !c.try_fast_forward(1),
+            "an 8-wide core swallows 16 insns without skippable cycles"
+        );
+
+        // A non-empty Message Interface forbids the end-of-stream drain
+        // (`is_done` keys off the MI, whose drain timing is external).
+        let mut c = core_with(vec![WorkItem::Update {
+            op: ReduceOp::Sum,
+            src1: Addr::new(0x40),
+            src2: None,
+            imm: None,
+            target: Addr::new(0x8000),
+        }]);
+        c.tick(0);
+        assert!(!c.try_fast_forward(1), "a queued offload command forbids the drain interval");
+    }
+
+    #[test]
+    fn fast_forwarding_core_reports_the_interval_end_as_next_wake() {
+        let mut c = core_with(vec![WorkItem::Compute(4_096)]);
+        c.tick(0);
+        assert!(c.try_fast_forward(1));
+        let until = c.fast_forward_until().expect("armed");
+        assert!(until > 1 + MIN_SKIPPED_CYCLES);
+        assert_eq!(c.next_wake(1), NextWake::At(until));
+        assert!(c.is_fast_forwarding(until - 1));
+        assert!(!c.is_fast_forwarding(until));
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn huge_rob_space_is_not_truncated_by_the_u32_cast() {
+        // Regression: `rob_space()` is a usize; with `rob_entries` past the
+        // u32 boundary, the old `as u32` cast wrapped (2^32 + 2 -> 2) and
+        // capped the first cycle's issue at 2 instructions instead of the
+        // full issue width.
+        let cfg = CoreConfig { rob_entries: u32::MAX as usize + 2, ..CoreConfig::default() };
+        let mut stream = WorkStream::new(ThreadId::new(0));
+        stream.push(WorkItem::Compute(64));
+        let mut c = Core::new(CoreId::new(0), &cfg, stream);
+        c.tick(0);
+        c.tick(1);
+        assert_eq!(
+            c.instructions_retired(),
+            u64::from(cfg.issue_width),
+            "the first cycle's issue must not be capped by a truncated ROB-space cast"
+        );
     }
 }

@@ -1,0 +1,299 @@
+//! Closed-form scheduling of bulk compute intervals ("fast-forward").
+//!
+//! When a core's ROB holds only `Ready` slots and the head of its work
+//! stream is a run of `Compute` items, every upcoming cycle is a pure
+//! function of three numbers: the ROB occupancy `q` (instructions), the
+//! issue width `w`, and the ROB capacity `rcap`. Nothing external can
+//! intervene — there is no outstanding memory request to complete, no
+//! gather or barrier to release, and the issue stage touches nothing but
+//! the compute run — so the per-cycle retire/issue schedule can be computed
+//! in closed form instead of being ground out one [`Core::tick`] at a time:
+//!
+//! ```text
+//! retired(c) = min(w, q)                      // all ROB slots are ready
+//! issued(c)  = min(w, rcap - q + retired(c))  // capped by the freed space
+//! ```
+//!
+//! The recurrence reaches a fixed point within a couple of cycles (the
+//! occupancy settles at `min(w, rcap)`-throughput steady state), after
+//! which every remaining cycle is identical — that is the jump this module
+//! implements. Two interval shapes exist:
+//!
+//! * **Compute intervals** (`plan_compute`): the stream head is a compute
+//!   run of `run` instructions. The interval covers every cycle that issues
+//!   *strictly less* than the remaining run — the cycle that could exhaust
+//!   the run (and would peek at the next, possibly non-compute, stream
+//!   item) is excluded and executes as a normal tick.
+//! * **Drain intervals** (`plan_drain`): the stream is exhausted and the
+//!   ROB retires `w` ready instructions per cycle until empty. The final
+//!   retirement cycle is excluded so the core's done transition happens in
+//!   a real tick, on exactly the cycle a per-cycle driver would see it
+//!   (barrier release and system quiescence both key off that transition).
+//!
+//! No stall is ever accrued inside either interval shape: a cycle with no
+//! issue must have retired (occupancy at capacity implies a ready head),
+//! and a cycle with no retirement must have issued (an empty ROB leaves
+//! space), so the `retired == 0 && issued == 0` stall condition of
+//! [`Core::tick`] cannot hold. `rob_full` back-pressure *does* occur when
+//! the block outruns retirement — the issue stage caps at the freed space —
+//! but such cycles still retire and therefore accrue nothing, exactly like
+//! the per-cycle loop.
+//!
+//! The interval is applied *lazily* (see `FastForward`): arming records
+//! only `[since, until)`, and `advance` settles any prefix on demand, so
+//! cycle-limit truncation, observer stops and IPC-sample boundaries that
+//! land mid-interval split it with per-cycle-identical numbers.
+//!
+//! [`Core::tick`]: crate::Core::tick
+
+use ar_types::Cycle;
+
+/// Minimum number of skippable cycles for which arming a fast-forward is
+/// worthwhile. Entering and settling an interval costs an eligibility scan
+/// and an ROB rebuild; below this many saved wakes the per-cycle path is
+/// cheaper. The threshold only decides *placement* of work, never the
+/// simulated numbers — both paths produce byte-identical statistics.
+pub const MIN_SKIPPED_CYCLES: u64 = 4;
+
+/// Minimum longest-compute-block length (dynamic instructions) for which a
+/// workload profits from the fast path. Streams whose compute blocks are
+/// all shorter than this can never clear [`MIN_SKIPPED_CYCLES`] at
+/// realistic issue widths, so drivers use the block-length statistics a
+/// workload exposes (`ar_workloads::ComputeBlockStats`) to skip arming
+/// attempts entirely.
+pub const PROFITABLE_BLOCK_INSNS: u64 = 32;
+
+/// A pending fast-forwarded interval of core cycles `[since, until)`.
+///
+/// While pending, the owning core is provably inert to the outside world:
+/// it emits no memory requests and no offload commands, and no external
+/// completion can target it. The interval's effects (cycles, retirements,
+/// stream consumption, ROB occupancy) are applied lazily by
+/// `Core::settle_compute_to`, which advances `applied_to` — possibly in
+/// several steps, when an IPC sample or a truncation boundary lands inside
+/// the interval.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FastForward {
+    /// First core cycle covered by the interval.
+    #[allow(dead_code)] // recorded for debugging/assertions
+    pub since: Cycle,
+    /// First core cycle *not* covered: the next normal tick happens here.
+    pub until: Cycle,
+    /// Cycles `[since, applied_to)` have already been settled into the
+    /// core's counters and ROB.
+    pub applied_to: Cycle,
+}
+
+/// Outcome of advancing the retire/issue recurrence by some cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Advanced {
+    /// Instructions retired over the advanced cycles.
+    pub retired: u64,
+    /// Compute instructions issued from the stream over the advanced cycles.
+    pub issued: u64,
+    /// ROB occupancy (instructions) after the advanced cycles.
+    pub rob_insns: u64,
+}
+
+/// Number of *pure* cycles from a compute-interval entry state: cycles in
+/// which the issue stage consumes strictly less than the remaining run, so
+/// the stream beyond the run is never peeked. `q0` is the ROB occupancy in
+/// instructions (all slots ready), `run` the compute instructions at the
+/// stream head, `w` the issue width and `rcap` the ROB capacity.
+pub(crate) fn plan_compute(q0: u64, run: u64, w: u64, rcap: u64) -> u64 {
+    debug_assert!(w > 0 && rcap > 0);
+    let mut q = q0;
+    let mut rem = run;
+    let mut k = 0u64;
+    loop {
+        let retired = q.min(w);
+        let after_retire = q - retired;
+        let cap = w.min(rcap.saturating_sub(after_retire));
+        if cap >= rem {
+            // This cycle could exhaust the run and peek past it: impure.
+            break;
+        }
+        let next = after_retire + cap;
+        if next == q {
+            // Fixed point: every following cycle issues `cap` (>= 1, since a
+            // zero-issue fixed point would need an empty ROB with free
+            // space). Count the cycles that keep the issue strictly below
+            // the remaining run: cycle j (0-based from here) is pure while
+            // (j + 1) * cap < rem.
+            k += (rem - 1) / cap;
+            break;
+        }
+        k += 1;
+        rem -= cap;
+        q = next;
+    }
+    k
+}
+
+/// Number of skippable cycles of a drain interval: the stream is exhausted
+/// and `q0` ready instructions retire at `w` per cycle. The cycle that
+/// retires the last instruction is excluded — it runs as a normal tick so
+/// the core's done transition lands on the per-cycle-exact cycle.
+pub(crate) fn plan_drain(q0: u64, w: u64) -> u64 {
+    debug_assert!(w > 0);
+    q0.div_ceil(w).saturating_sub(1)
+}
+
+/// Advances the retire/issue recurrence by exactly `d` cycles and returns
+/// the accumulated effects. `rem` is the remaining compute run (0 for a
+/// drain interval). `d` must not exceed the pure-cycle count of the
+/// corresponding `plan_*` call — within that bound the recurrence never
+/// exhausts the run, which the debug assertions check.
+pub(crate) fn advance(q0: u64, rem0: u64, w: u64, rcap: u64, d: u64) -> Advanced {
+    debug_assert!(w > 0 && rcap > 0);
+    if rem0 == 0 {
+        // Drain interval: every covered cycle retires exactly `w` (the plan
+        // excludes the final, possibly partial, retirement cycle).
+        let retired = d * w;
+        debug_assert!(retired < q0 || d == 0, "drain interval advanced past the last retirement");
+        return Advanced { retired, issued: 0, rob_insns: q0 - retired };
+    }
+    let mut q = q0;
+    let mut rem = rem0;
+    let mut retired = 0u64;
+    let mut issued = 0u64;
+    let mut left = d;
+    while left > 0 {
+        let r = q.min(w);
+        let after_retire = q - r;
+        let i = w.min(rcap.saturating_sub(after_retire));
+        debug_assert!(i < rem, "fast-forward advanced into an impure cycle");
+        let next = after_retire + i;
+        if next == q {
+            // Fixed point: the remaining cycles are all identical.
+            retired += r * left;
+            issued += i * left;
+            debug_assert!(i * left < rem, "steady state advanced past the compute run");
+            rem -= i * left;
+            left = 0;
+        } else {
+            retired += r;
+            issued += i;
+            rem -= i;
+            q = next;
+            left -= 1;
+        }
+    }
+    Advanced { retired, issued, rob_insns: q0 + issued - retired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_sim::SimRng;
+
+    /// The reference: one cycle of the retire/issue recurrence, exactly as
+    /// `Core::tick` performs it for an all-ready ROB and a compute-run head.
+    fn reference_cycle(q: &mut u64, rem: &mut u64, w: u64, rcap: u64) -> (u64, u64) {
+        let retired = (*q).min(w);
+        *q -= retired;
+        let issued = w.min(rcap.saturating_sub(*q)).min(*rem);
+        *q += issued;
+        *rem -= issued;
+        (retired, issued)
+    }
+
+    /// Pure-cycle count by brute force: cycles that issue strictly less than
+    /// the remaining run.
+    fn brute_plan_compute(q0: u64, run: u64, w: u64, rcap: u64) -> u64 {
+        let (mut q, mut rem, mut k) = (q0, run, 0);
+        loop {
+            let (mut probe_q, mut probe_rem) = (q, rem);
+            let (_, issued) = reference_cycle(&mut probe_q, &mut probe_rem, w, rcap);
+            if issued >= rem {
+                return k;
+            }
+            q = probe_q;
+            rem = probe_rem;
+            k += 1;
+        }
+    }
+
+    #[test]
+    fn plan_compute_matches_brute_force_over_random_shapes() {
+        let mut rng = SimRng::seed_from_u64(0xFA57_F05D);
+        for _ in 0..500 {
+            let w = 1 + rng.next_below(16);
+            let rcap = 1 + rng.next_below(256);
+            let q0 = rng.next_below(rcap + 3); // the ROB can overshoot by 2
+            let run = rng.next_below(5_000);
+            assert_eq!(
+                plan_compute(q0, run, w, rcap),
+                brute_plan_compute(q0, run, w, rcap),
+                "q0={q0} run={run} w={w} rcap={rcap}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_matches_brute_force_at_every_split_point() {
+        let mut rng = SimRng::seed_from_u64(0x005E_771E);
+        for _ in 0..200 {
+            let w = 1 + rng.next_below(8);
+            let rcap = 1 + rng.next_below(64);
+            let q0 = rng.next_below(rcap + 3);
+            let run = rng.next_below(1_000);
+            let k = plan_compute(q0, run, w, rcap);
+            // Brute-force the whole interval once, checking every prefix.
+            let (mut q, mut rem) = (q0, run);
+            let (mut retired, mut issued) = (0u64, 0u64);
+            for d in 0..=k.min(200) {
+                assert_eq!(
+                    advance(q0, run, w, rcap, d),
+                    Advanced { retired, issued, rob_insns: q },
+                    "split at {d}/{k}: q0={q0} run={run} w={w} rcap={rcap}"
+                );
+                if d < k {
+                    let (r, i) = reference_cycle(&mut q, &mut rem, w, rcap);
+                    retired += r;
+                    issued += i;
+                }
+            }
+            // Large-k cases: the closed form must agree at the far end too.
+            if k > 200 {
+                let far = advance(q0, run, w, rcap, k);
+                assert!(far.issued < run, "the interval may never exhaust the run");
+                assert_eq!(far.rob_insns, q0 + far.issued - far.retired);
+            }
+        }
+    }
+
+    #[test]
+    fn drain_plan_excludes_the_final_retirement_cycle() {
+        assert_eq!(plan_drain(0, 8), 0);
+        assert_eq!(plan_drain(8, 8), 0);
+        assert_eq!(plan_drain(9, 8), 1);
+        assert_eq!(plan_drain(64, 8), 7);
+        assert_eq!(plan_drain(65, 8), 8);
+        // The covered cycles retire w each and never empty the ROB.
+        let a = advance(65, 0, 8, 64, 8);
+        assert_eq!(a, Advanced { retired: 64, issued: 0, rob_insns: 1 });
+    }
+
+    #[test]
+    fn steady_state_throughput_is_min_of_width_and_capacity() {
+        // Wide core, small ROB: capacity-bound.
+        let k = plan_compute(0, 10_001, 8, 4);
+        let a = advance(0, 10_001, 8, 4, k);
+        assert_eq!(a.issued, 10_000, "all but one instruction issues inside the interval");
+        assert!(k <= 10_000 / 4 + 2);
+        // Narrow core, big ROB: width-bound.
+        let k = plan_compute(0, 10_001, 2, 64);
+        assert!(k >= 10_000 / 2 - 2);
+    }
+
+    #[test]
+    fn tiny_runs_are_not_fast_forwardable() {
+        // A run the first cycle can swallow entirely yields no pure cycles.
+        assert_eq!(plan_compute(0, 8, 8, 64), 0);
+        assert_eq!(plan_compute(0, 1, 8, 64), 0);
+        assert_eq!(plan_compute(0, 0, 8, 64), 0);
+        // One extra instruction leaves exactly one pure cycle.
+        assert_eq!(plan_compute(0, 9, 8, 64), 1);
+    }
+}

@@ -17,9 +17,20 @@
 //! first tick after the event settles the whole skipped interval into the
 //! stall counter per-cycle ticking would have used, so both driving styles
 //! produce byte-identical statistics.
+//!
+//! Bulk compute work is scheduled analytically: when a core's ROB holds
+//! only retirable slots and its stream head is a compute run, the whole
+//! retire/issue schedule of the run is a closed-form function of the issue
+//! width and ROB capacity ([`fastforward`]). An event-driven driver arms
+//! the interval through [`Core::try_fast_forward`] and sleeps the core
+//! until [`Core::fast_forward_until`]; samples and truncations landing
+//! inside the interval split it with [`Core::settle_compute_to`], so the
+//! statistics stay byte-identical to per-cycle ticking at every boundary.
 
 pub mod core_model;
+pub mod fastforward;
 pub mod mi;
 
 pub use core_model::{Core, CoreOutput, MemAccess, MemAccessKind, StallBreakdown, StallCause};
+pub use fastforward::{MIN_SKIPPED_CYCLES, PROFITABLE_BLOCK_INSNS};
 pub use mi::{MessageInterface, OffloadCommand, OffloadKind};

@@ -105,6 +105,7 @@ pub struct SimulationBuilder {
     observers: Vec<Box<dyn Observer>>,
     lockstep: bool,
     threads: usize,
+    fast_forward: Option<bool>,
 }
 
 impl Default for SimulationBuilder {
@@ -125,6 +126,7 @@ impl SimulationBuilder {
             observers: Vec::new(),
             lockstep: false,
             threads: 1,
+            fast_forward: None,
         }
     }
 
@@ -208,6 +210,25 @@ impl SimulationBuilder {
         self
     }
 
+    /// Forces bulk compute fast-forwarding on or off (see
+    /// [`System::with_fast_forward`]).
+    ///
+    /// Without this call the builder decides automatically from the
+    /// generated workload's compute-block statistics
+    /// ([`ar_workloads::GeneratedWorkload::compute_block_stats`]): the fast
+    /// path is armed only when some block is at least
+    /// [`ar_cpu::PROFITABLE_BLOCK_INSNS`] instructions long, because shorter
+    /// blocks never yield a skippable interval and the per-tick eligibility
+    /// probes would be pure overhead. The [`SimReport`] is byte-identical in
+    /// every mode — the equivalence suite's on/off axis asserts exactly that
+    /// — so the knob (and the auto decision) only place wall-clock work.
+    /// Ignored by the lock-step reference kernel, which never fast-forwards.
+    #[must_use]
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = Some(enabled);
+        self
+    }
+
     /// Generates the workload, validates the configuration and wires the
     /// system.
     ///
@@ -238,9 +259,13 @@ impl SimulationBuilder {
             0 => available,
             n => n.min(available),
         };
+        let fast_forward = self.fast_forward.unwrap_or_else(|| {
+            generated.compute_block_stats().longest_block >= ar_cpu::PROFITABLE_BLOCK_INSNS
+        });
         let system = System::new(cfg, generated.streams, generated.memory)?
             .with_labels(generated.name, label)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_fast_forward(fast_forward);
         Ok(Simulation {
             system,
             observers: self.observers,

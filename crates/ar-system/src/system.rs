@@ -18,7 +18,11 @@
 //! are skipped too; the whole cluster sleeps once every core is parked and
 //! is re-armed by the memory side when it delivers the unblocking event,
 //! with each parked core settling its stalled interval — split by cause —
-//! at the next tick. [`System::run_lockstep`] drives the *same* per-cycle
+//! at the next tick. Cores grinding through bulk compute blocks are
+//! *fast-forwarded* (`ar_cpu::Core::try_fast_forward`): the block's
+//! retire/issue schedule is computed in closed form and the core sleeps
+//! until the block's end, with IPC samples and truncations splitting the
+//! interval exactly. [`System::run_lockstep`] drives the *same* per-cycle
 //! step over every cycle and every component (including parked cores),
 //! exactly like the original lock-step simulator; the two kernels produce
 //! cycle-identical [`SimReport`]s (asserted by the equivalence tests), the
@@ -45,10 +49,11 @@ use ar_sim::{
 use ar_types::addr::AddressMap;
 use ar_types::config::{MemoryMode, SystemConfig};
 use ar_types::error::ConfigError;
+use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
 use ar_types::packet::{Packet, PacketKind};
 use ar_types::{Addr, CubeId, Cycle, PortId, WorkItem, WorkStream};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Extra core cycles charged to an atomic read-modify-write for its
 /// directory round trip, on top of the normal write path.
@@ -140,7 +145,6 @@ struct CubeScratch {
 /// advance its engine pipelines. Holds disjoint `&mut`s into the backend, so
 /// a batch of these can tick on worker threads.
 struct CubeDeliveryJob<'a> {
-    cube_index: usize,
     cube: &'a mut HmcCube,
     engine: &'a mut ActiveRoutingEngine,
     scratch: &'a mut CubeScratch,
@@ -188,7 +192,6 @@ impl CubeDeliveryJob<'_> {
 /// One cube shard's sub-phase-2 job: advance the crossbar and vaults, and
 /// collect the completions that crossed back, in pop order.
 struct VaultDrainJob<'a> {
-    cube_index: usize,
     cube: &'a mut HmcCube,
     scratch: &'a mut CubeScratch,
 }
@@ -286,13 +289,13 @@ pub struct System {
     noc: MeshNoc,
     backend: Backend,
     /// Functional memory contents.
-    func_mem: HashMap<u64, f64>,
+    func_mem: FastHashMap<u64, f64>,
     /// Completions scheduled for core memory requests, in core cycles.
     core_completions: LatencyQueue<(usize, u64)>,
     /// Outstanding core memory transactions by transaction id.
-    mem_txns: HashMap<u64, MemTxn>,
+    mem_txns: FastHashMap<u64, MemTxn>,
     /// Purpose of every outstanding vault access, by vault request id.
-    vault_purpose: HashMap<u64, VaultPurpose>,
+    vault_purpose: FastHashMap<u64, VaultPurpose>,
     next_txn: u64,
     next_vault_id: u64,
     /// DRAM requests that found a full channel queue and wait to be retried.
@@ -328,6 +331,35 @@ pub struct System {
     /// Worker threads for the sharded kernel (see [`System::with_threads`]):
     /// 1 = serial (the default), 0 = available parallelism.
     threads: usize,
+    /// Whether the event-driven kernel may arm bulk compute fast-forward
+    /// intervals on the cores (see [`System::with_fast_forward`]). The
+    /// lock-step reference ignores the knob — it never fast-forwards.
+    fast_forward: bool,
+    /// Reusable `(core, request)` buffer of the cores phase, so the hot
+    /// per-core-cycle loop allocates nothing.
+    core_requests: Vec<(usize, MemAccess)>,
+    /// Dense per-core gate of the event kernel's cluster sub-loop: the
+    /// first core cycle at which core `i` needs its next tick. `0` means
+    /// every cycle, `u64::MAX` means sleeping (done, or parked until an
+    /// external completion resets the slot), and a fast-forwarding core
+    /// carries its interval's end. The per-core state lives behind several
+    /// pointer chases inside `Core`; this array keeps the skip decision —
+    /// made `cores × core-cycles` times per run — on one cache line.
+    /// Spurious zeroes are harmless (a woken core re-derives its state);
+    /// the invariant is only that no slot overshoots the core's true next
+    /// due tick. The lock-step kernel ignores the gate and ticks everything.
+    core_wake_at: Vec<Cycle>,
+    /// Dense per-core "Message Interface holds commands" flags plus their
+    /// population count. Commands only enter an MI during the core's own
+    /// wake and only leave in the drain phase, so both sites keep the flags
+    /// exact; the drain loop and the cluster wake-up calculation then never
+    /// touch an idle core's queue.
+    mi_pending: Vec<bool>,
+    /// Number of `true` entries in `mi_pending`.
+    mi_pending_cores: usize,
+    /// Reusable list of the cube-shard indices participating in the current
+    /// HMC sub-phase (ascending — the outbox merge order).
+    cube_participants: Vec<usize>,
     /// Reusable per-cube job buffers (one per cube; empty for DRAM).
     cube_scratch: Vec<CubeScratch>,
     /// Reusable engine-output merge buffer.
@@ -407,6 +439,8 @@ impl System {
 
         let func_mem = memory.into_iter().map(|(a, v)| (a.as_u64(), v)).collect();
         let cores_done = cores.iter().filter(|c| c.is_done()).count();
+        let core_wake_at = cores.iter().map(|c| if c.is_done() { u64::MAX } else { 0 }).collect();
+        let mi_pending = vec![false; cores.len()];
         // One slot per possible SysKey, sized from the cube count of the
         // *constructed* backend rather than from layout assumptions about the
         // config: the DRAM baseline instantiates no cubes (its network config
@@ -430,8 +464,8 @@ impl System {
             backend,
             func_mem,
             core_completions: LatencyQueue::new(),
-            mem_txns: HashMap::new(),
-            vault_purpose: HashMap::new(),
+            mem_txns: FastHashMap::default(),
+            vault_purpose: FastHashMap::default(),
             next_txn: 0,
             next_vault_id: 0,
             retry_dram: Vec::new(),
@@ -443,6 +477,12 @@ impl System {
             hmc_bytes: 0,
             back_invalidations: 0,
             threads: 1,
+            fast_forward: true,
+            core_requests: Vec::new(),
+            core_wake_at,
+            mi_pending,
+            mi_pending_cores: 0,
+            cube_participants: Vec::new(),
             cfg,
         })
     }
@@ -475,6 +515,27 @@ impl System {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables bulk compute fast-forwarding in the event-driven
+    /// kernel (default: enabled).
+    ///
+    /// When enabled, a core whose ROB holds only retirable slots and whose
+    /// stream head is a compute run computes the run's retire/issue schedule
+    /// in closed form (`ar_cpu::Core::try_fast_forward`) and sleeps until
+    /// the interval's end instead of being ticked every core cycle; the
+    /// end-of-stream ROB drain is covered the same way. IPC samples,
+    /// observer stops and the cycle limit landing inside an interval split
+    /// it (`Core::settle_compute_to`), so the [`SimReport`] is byte-identical
+    /// either way — the knob only decides wall-clock placement of the work,
+    /// which is what lets the equivalence suite carry an on/off axis and the
+    /// bench regression gate compare the two. [`System::run_lockstep`]
+    /// ignores the knob: the per-cycle reference is the oracle the analytic
+    /// schedule is validated against.
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -618,36 +679,80 @@ impl System {
         if is_due(SysKey::Cores) && self.cores_active() {
             // The event-driven kernel also skips *parked* cores (blocked on a
             // memory response, gather result or barrier; see
-            // `Core::is_parked`): their skipped stall cycles are settled in
-            // one shot by the tick that follows the unblocking event. The
-            // lock-step reference keeps ticking them, exercising the
-            // per-cycle accrual path the settled intervals must match.
-            let skip_parked = due.is_some();
+            // `Core::is_parked`) and cores inside a fast-forwarded compute
+            // interval (`Core::is_fast_forwarding`): their skipped cycles are
+            // settled in one shot by the tick that follows the unblocking
+            // event or the interval's end. The lock-step reference keeps
+            // ticking every core per cycle — and never arms an interval — so
+            // it stays the per-cycle oracle the settle arithmetic must match.
+            let event_kernel = due.is_some();
             for sub in 0..ratio {
                 let core_cycle = now * ratio + sub;
                 // Deliver finished memory requests first so dependent work
                 // can issue in the same cycle.
                 while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
                     self.cores[core].complete_mem(req_id, core_cycle);
+                    // The completion may unpark the core: re-open its gate
+                    // (spuriously waking a still-blocked core is harmless).
+                    self.core_wake_at[core] = 0;
                 }
-                let mut requests: Vec<(usize, MemAccess)> = Vec::new();
+                let mut requests = std::mem::take(&mut self.core_requests);
                 let mut newly_done = 0;
                 for (i, core) in self.cores.iter_mut().enumerate() {
-                    if core.is_done() || (skip_parked && core.is_parked()) {
+                    if event_kernel {
+                        // The dense gate folds done, parked and
+                        // fast-forwarding into one contiguous load.
+                        if self.core_wake_at[i] > core_cycle {
+                            continue;
+                        }
+                        // An unpark site may spuriously re-open the gate of
+                        // an already-done core (e.g. a fire-and-forget
+                        // gather result arriving after its issuer retired
+                        // everything): restore the gate without re-counting
+                        // the core's done transition.
+                        if core.is_done() {
+                            self.core_wake_at[i] = u64::MAX;
+                            continue;
+                        }
+                    } else if core.is_done() {
                         continue;
                     }
                     core.wake(core_cycle, &mut ctx);
-                    requests.extend(core.take_requests().into_iter().map(|req| (i, req)));
+                    requests.extend(core.drain_requests().map(|req| (i, req)));
+                    // Offload commands only enter the MI during the wake:
+                    // refresh the drain phase's dense flag.
+                    let mi_now = !core.mi().is_empty();
+                    if mi_now != self.mi_pending[i] {
+                        self.mi_pending[i] = mi_now;
+                        if mi_now {
+                            self.mi_pending_cores += 1;
+                        } else {
+                            self.mi_pending_cores -= 1;
+                        }
+                    }
                     // A core only transitions to done while it retires, i.e.
-                    // during its own wake — count the transition here.
+                    // during its own wake — count the transition here, and
+                    // refresh the gate from the wake's outcome.
                     if core.is_done() {
                         newly_done += 1;
+                        self.core_wake_at[i] = u64::MAX;
+                    } else if core.is_parked() {
+                        self.core_wake_at[i] = u64::MAX;
+                    } else if event_kernel
+                        && self.fast_forward
+                        && core.try_fast_forward(core_cycle + 1)
+                    {
+                        self.core_wake_at[i] =
+                            core.fast_forward_until().expect("interval just armed");
+                    } else {
+                        self.core_wake_at[i] = 0;
                     }
                 }
                 self.cores_done += newly_done;
-                for (core, req) in requests {
+                for (core, req) in requests.drain(..) {
                     self.handle_core_memory_request(core_cycle, core, req);
                 }
+                self.core_requests = requests;
             }
             self.release_barriers(now * ratio, hub);
             self.drain_message_interfaces(now);
@@ -768,26 +873,38 @@ impl System {
     /// The core cluster's wake-up request.
     ///
     /// The cluster must be processed every network cycle while any core can
-    /// still tick (not done, not parked) or holds undrained Message-Interface
-    /// commands (the MI serialises one command per core per network cycle
-    /// regardless of the core's pipeline being blocked). When every core
-    /// sleeps on an external event, the only reason to wake is delivering a
-    /// queued memory completion — at exactly the network cycle whose sub-loop
-    /// contains its core-cycle deadline, so delivery (and the parked core's
-    /// settling tick) lands on the same cycle the lock-step kernel processes
-    /// it.
+    /// still tick (not done, not parked, not fast-forwarding) or holds
+    /// undrained Message-Interface commands (the MI serialises one command
+    /// per core per network cycle regardless of the core's pipeline being
+    /// blocked). A fast-forwarding core needs its next tick only at its
+    /// interval's end, and a parked core only when its completion is
+    /// delivered — both at exactly the network cycle whose sub-loop contains
+    /// the core-cycle deadline, so the settling tick lands on the same cycle
+    /// the lock-step kernel processes it. A cluster with nothing but sleeping
+    /// cores idles until the earliest such deadline (or until the memory side
+    /// stimulates it).
     fn cores_next_wake(&self, now: Cycle) -> NextWake {
-        let ticking =
-            self.cores.iter().any(|c| (!c.is_done() && !c.is_parked()) || !c.mi().is_empty());
-        if ticking {
+        // Undrained Message-Interface commands keep the cluster hot (the MI
+        // serialises one command per network cycle regardless of the
+        // pipeline being blocked).
+        if self.mi_pending_cores > 0 {
             return NextWake::At(now + 1);
         }
-        match self.core_completions.next_ready_at() {
-            Some(at) => {
-                let ratio = self.cfg.core_cycles_per_network_cycle();
-                NextWake::At((at / ratio).max(now + 1))
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        let mut wake = NextWake::Idle;
+        for &at in &self.core_wake_at {
+            match at {
+                u64::MAX => {}
+                // A runnable core ticks every cycle — nothing can be earlier.
+                0 => return NextWake::At(now + 1),
+                // The tick at core cycle `at` belongs to the network cycle
+                // whose sub-loop covers it.
+                at => wake = wake.min_with(NextWake::At((at / ratio).max(now + 1))),
             }
-            None => NextWake::Idle,
+        }
+        match self.core_completions.next_ready_at() {
+            Some(at) => wake.min_with(NextWake::At((at / ratio).max(now + 1))),
+            None => wake,
         }
     }
 
@@ -971,8 +1088,13 @@ impl System {
             return;
         }
         let id = *waiting.iter().min().expect("non-empty");
-        for core in &mut self.cores {
+        for (i, core) in self.cores.iter_mut().enumerate() {
             core.release_barrier(id, core_cycle);
+            // Released cores must tick again; re-open every live gate (the
+            // cores not at this barrier were runnable anyway).
+            if !core.is_done() {
+                self.core_wake_at[i] = 0;
+            }
         }
         if !hub.is_empty() {
             hub.emit(&SimEvent::BarrierReleased { core_cycle, id });
@@ -984,6 +1106,9 @@ impl System {
     // ------------------------------------------------------------------
 
     fn drain_message_interfaces(&mut self, now: Cycle) {
+        if self.mi_pending_cores == 0 {
+            return;
+        }
         let Backend::Hmc(hmc) = &mut self.backend else {
             return;
         };
@@ -993,7 +1118,10 @@ impl System {
         let mut back_invalidate = Vec::new();
         let mut injected = false;
         let mut newly_done = 0;
-        for core in &mut self.cores {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if !self.mi_pending[i] {
+                continue;
+            }
             // One offload command per core per network cycle (the MI serialises
             // register writes into packets at the network clock).
             if let Some(cmd) = core.mi_mut().pop() {
@@ -1003,11 +1131,16 @@ impl System {
                     injected = true;
                 }
                 back_invalidate.extend(out.back_invalidate);
+                if core.mi().is_empty() {
+                    self.mi_pending[i] = false;
+                    self.mi_pending_cores -= 1;
+                }
                 // Draining the last Message-Interface command can be the
                 // core's final pending work: a non-empty MI keeps `is_done`
                 // false, so this pop is a possible done transition.
                 if core.is_done() {
                     newly_done += 1;
+                    self.core_wake_at[i] = u64::MAX;
                 }
             }
         }
@@ -1086,69 +1219,109 @@ impl System {
         }
 
         // 1. Packets delivered at cubes, and the engines' own pipelines: one
-        // job per cube shard with a pending delivery or a due engine. Taking
+        // tick per cube shard with a pending delivery or a due engine. Taking
         // the inbox up front is equivalent to the old per-packet pop — no new
-        // delivery can appear at a cube until these outputs are applied.
-        let mut jobs: Vec<CubeDeliveryJob<'_>> = Vec::with_capacity(hmc.cubes.len());
-        for ((c, (cube, engine)), scratch) in hmc
-            .cubes
-            .iter_mut()
-            .zip(hmc.engines.iter_mut())
-            .enumerate()
-            .zip(self.cube_scratch.iter_mut())
-        {
+        // delivery can appear at a cube until these outputs are applied. The
+        // participating shard indices live in a persistent scratch, and the
+        // borrow-holding job vector is only materialised when the batch is
+        // worth a worker-pool dispatch — the serial hot path (small batches,
+        // single-threaded hosts) allocates nothing per cycle.
+        let mut participants = std::mem::take(&mut self.cube_participants);
+        participants.clear();
+        for c in 0..hmc.cubes.len() {
             let cube_id = CubeId::new(c);
             if !hmc.network.has_delivery_at_cube(cube_id) && !is_due(SysKey::Engine(c)) {
                 continue;
             }
-            hmc.network.swap_at_cube(cube_id, &mut scratch.inbox);
-            jobs.push(CubeDeliveryJob { cube_index: c, cube, engine, scratch });
+            hmc.network.swap_at_cube(cube_id, &mut self.cube_scratch[c].inbox);
+            participants.push(c);
         }
-        run_shard_jobs(pool.as_deref_mut(), &mut jobs, |job| job.tick(now));
-        // Merge the outboxes in cube-index order (jobs were built ascending).
+        if pool.is_some() && participants.len() >= PARALLEL_BATCH_MIN {
+            let mut jobs: Vec<CubeDeliveryJob<'_>> = Vec::with_capacity(participants.len());
+            let mut next = participants.iter().peekable();
+            for ((c, (cube, engine)), scratch) in hmc
+                .cubes
+                .iter_mut()
+                .zip(hmc.engines.iter_mut())
+                .enumerate()
+                .zip(self.cube_scratch.iter_mut())
+            {
+                if next.peek() == Some(&&c) {
+                    next.next();
+                    jobs.push(CubeDeliveryJob { cube, engine, scratch });
+                }
+            }
+            run_shard_jobs(pool.as_deref_mut(), &mut jobs, |job| job.tick(now));
+        } else {
+            for &c in &participants {
+                CubeDeliveryJob {
+                    cube: &mut hmc.cubes[c],
+                    engine: &mut hmc.engines[c],
+                    scratch: &mut self.cube_scratch[c],
+                }
+                .tick(now);
+            }
+        }
+        // Merge the outboxes in cube-index order (participants are ascending).
         let mut are_outputs = std::mem::take(&mut self.are_scratch);
-        for job in &mut jobs {
-            let c = job.cube_index;
-            for id in job.scratch.outbox.normal_ids.drain(..) {
+        for &c in &participants {
+            let outbox = &mut self.cube_scratch[c].outbox;
+            for id in outbox.normal_ids.drain(..) {
                 self.vault_purpose.insert(id, VaultPurpose::Normal { txn: id });
             }
-            self.hmc_bytes += job.scratch.outbox.hmc_bytes;
-            job.scratch.outbox.hmc_bytes = 0;
-            if job.scratch.outbox.cube_stimulated {
-                job.scratch.outbox.cube_stimulated = false;
+            self.hmc_bytes += outbox.hmc_bytes;
+            outbox.hmc_bytes = 0;
+            if outbox.cube_stimulated {
+                outbox.cube_stimulated = false;
                 Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
             }
-            are_outputs.extend(job.scratch.outbox.are_outputs.drain(..).map(|out| (c, out)));
+            are_outputs.extend(outbox.are_outputs.drain(..).map(|out| (c, out)));
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(c));
         }
-        drop(jobs);
+        self.cube_participants = participants;
         self.apply_are_outputs(now, &mut are_outputs);
         self.are_scratch = are_outputs;
 
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
 
-        // 2. Advance the cubes and collect vault completions: one job per
+        // 2. Advance the cubes and collect vault completions: one tick per
         // cube shard that is due — or was stimulated earlier this cycle
         // (sub-phase 1 pushes vault requests whose crossbar latency may be
-        // zero).
-        let mut jobs: Vec<VaultDrainJob<'_>> = Vec::with_capacity(hmc.cubes.len());
-        for ((c, cube), scratch) in
-            hmc.cubes.iter_mut().enumerate().zip(self.cube_scratch.iter_mut())
-        {
-            if !is_due(SysKey::Cube(c)) && !self.arm_flags[Self::key_slot(SysKey::Cube(c))] {
-                continue;
+        // zero). Same placement rule as sub-phase 1: the job vector only
+        // exists for a pool dispatch.
+        let mut participants = std::mem::take(&mut self.cube_participants);
+        participants.clear();
+        for c in 0..hmc.cubes.len() {
+            if is_due(SysKey::Cube(c)) || self.arm_flags[Self::key_slot(SysKey::Cube(c))] {
+                participants.push(c);
             }
-            jobs.push(VaultDrainJob { cube_index: c, cube, scratch });
         }
-        run_shard_jobs(pool, &mut jobs, |job| job.tick(now));
+        if pool.is_some() && participants.len() >= PARALLEL_BATCH_MIN {
+            let mut jobs: Vec<VaultDrainJob<'_>> = Vec::with_capacity(participants.len());
+            let mut next = participants.iter().peekable();
+            for ((c, cube), scratch) in
+                hmc.cubes.iter_mut().enumerate().zip(self.cube_scratch.iter_mut())
+            {
+                if next.peek() == Some(&&c) {
+                    next.next();
+                    jobs.push(VaultDrainJob { cube, scratch });
+                }
+            }
+            run_shard_jobs(pool, &mut jobs, |job| job.tick(now));
+        } else {
+            for &c in &participants {
+                VaultDrainJob { cube: &mut hmc.cubes[c], scratch: &mut self.cube_scratch[c] }
+                    .tick(now);
+            }
+        }
         let mut vault_completions = std::mem::take(&mut self.completion_scratch);
-        for job in &mut jobs {
-            let c = job.cube_index;
-            vault_completions.extend(job.scratch.completions.drain(..).map(|resp| (c, resp)));
+        for &c in &participants {
+            let scratch = &mut self.cube_scratch[c];
+            vault_completions.extend(scratch.completions.drain(..).map(|resp| (c, resp)));
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
         }
-        drop(jobs);
+        self.cube_participants = participants;
         let mut are_outputs = std::mem::take(&mut self.are_scratch);
         for (c, resp) in vault_completions.drain(..) {
             match self.vault_purpose.remove(&resp.id) {
@@ -1229,9 +1402,14 @@ impl System {
             for thread in &done.threads {
                 if thread.index() < self.cores.len() {
                     self.cores[thread.index()].complete_gather(done.target, core_cycle);
-                    // The gather result unparks its waiting cores: the
-                    // cluster must tick them on the next network cycle.
-                    Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cores);
+                    // The gather result unparks its waiting cores: re-open
+                    // their gates and re-arm the sleeping cluster. A
+                    // fire-and-forget gather can complete after its issuer
+                    // already finished — a done core's gate stays closed.
+                    if !self.cores[thread.index()].is_done() {
+                        self.core_wake_at[thread.index()] = 0;
+                        Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cores);
+                    }
                 }
             }
         }
@@ -1282,6 +1460,15 @@ impl System {
         let core_cycle = now * ratio;
         if core_cycle == 0 || !core_cycle.is_multiple_of(IPC_WINDOW_CORE_CYCLES) {
             return;
+        }
+        // A sample boundary landing inside a fast-forwarded compute interval
+        // splits it: the prefix up to the end of this network cycle's core
+        // sub-cycles settles (matching the ticks the lock-step kernel has
+        // executed by this point in its step), the remainder stays pending.
+        // Parked cores need no settling here — a blocked core retires
+        // nothing, so its instruction count is already exact.
+        for core in &mut self.cores {
+            core.settle_compute_to(core_cycle + ratio);
         }
         let total: u64 = self.cores.iter().map(Core::instructions_retired).sum();
         let delta = total - self.last_ipc_sample_insns;
@@ -1343,6 +1530,14 @@ impl System {
                     && hmc.controller.as_ref().map(HostOffloadController::is_idle).unwrap_or(true)
             }
         }
+    }
+
+    /// Number of cores currently inside a pending fast-forwarded interval
+    /// (crate-internal: the arming probe the kernel tests use, since the
+    /// whole point of fast-forwarding is that reports cannot tell).
+    #[cfg(test)]
+    fn cores_fast_forwarding(&self) -> usize {
+        self.cores.iter().filter(|c| c.fast_forward_until().is_some()).count()
     }
 
     fn into_report(self, network_cycles: u64, completed: bool) -> SimReport {
@@ -1437,5 +1632,80 @@ impl System {
             }
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_types::ThreadId;
+
+    /// A system whose cores each run one huge compute block.
+    fn compute_block_system() -> System {
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 1_000_000;
+        let streams = (0..cfg.cores.count)
+            .map(|t| {
+                let mut s = WorkStream::new(ThreadId::new(t));
+                s.push(WorkItem::Compute(100_000));
+                s
+            })
+            .collect();
+        System::new(cfg, streams, Vec::new()).expect("valid configuration")
+    }
+
+    /// Drives `steps` cycles through `System::step` the way `run_with` does,
+    /// in event (`Some(due)`) or lock-step (`None`) mode.
+    fn drive_steps(sys: &mut System, event: bool, steps: u64) {
+        let shard_count = SysKey::FIXED_SHARDS + System::backend_cube_count(&sys.backend);
+        let mut sched: ShardedScheduler<SysKey> = ShardedScheduler::new(shard_count, SysKey::shard);
+        sched.wake(SysKey::Cores);
+        sched.schedule(sys.next_ipc_boundary(0), SysKey::Ipc);
+        let mut due: Vec<SysKey> = Vec::new();
+        let mut hub = ObserverHub::new(&mut []);
+        for now in 0..steps {
+            sched.pop_due_into(now, &mut due);
+            sys.step(now, event.then_some(&due[..]), &mut sched, &mut hub, None);
+        }
+    }
+
+    /// The arming probe: reports are byte-identical with and without
+    /// fast-forwarding (that is the whole contract), so this is the one
+    /// place that verifies the event kernel's cores phase really arms
+    /// intervals on compute blocks — and that the lock-step reference and
+    /// the disabled knob never do.
+    #[test]
+    fn event_kernel_arms_fast_forward_on_compute_blocks() {
+        let mut sys = compute_block_system();
+        drive_steps(&mut sys, true, 4);
+        assert_eq!(
+            sys.cores_fast_forwarding(),
+            sys.cores.len(),
+            "every compute-block core must be inside a fast-forwarded interval"
+        );
+
+        let mut lockstep = compute_block_system();
+        drive_steps(&mut lockstep, false, 4);
+        assert_eq!(lockstep.cores_fast_forwarding(), 0, "the per-cycle oracle must never arm");
+
+        let mut disabled = compute_block_system().with_fast_forward(false);
+        drive_steps(&mut disabled, true, 4);
+        assert_eq!(disabled.cores_fast_forwarding(), 0, "the knob must gate arming");
+    }
+
+    /// With every core fast-forwarding, the cluster must sleep until the
+    /// earliest interval end instead of re-arming every network cycle.
+    #[test]
+    fn fast_forwarding_cluster_sleeps_until_the_interval_end() {
+        let mut sys = compute_block_system();
+        drive_steps(&mut sys, true, 4);
+        let until = sys.cores[0].fast_forward_until().expect("armed");
+        let ratio = sys.cfg.core_cycles_per_network_cycle();
+        match sys.cores_next_wake(3) {
+            NextWake::At(at) => {
+                assert_eq!(at, until / ratio, "cluster must wake at the interval end")
+            }
+            NextWake::Idle => panic!("a fast-forwarding cluster still has scheduled work"),
+        }
     }
 }

@@ -21,6 +21,7 @@
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod op;

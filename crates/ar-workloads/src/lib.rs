@@ -46,7 +46,7 @@ pub use layout::MemoryLayout;
 pub use registry::{Workload, WorkloadRegistry};
 
 use active_routing::ActiveKernel;
-use ar_types::{Addr, WorkStream};
+use ar_types::{Addr, WorkItem, WorkStream};
 use std::fmt;
 
 /// Which flavour of a workload to generate.
@@ -163,6 +163,63 @@ impl GeneratedWorkload {
     /// Total dynamic instructions represented by the streams.
     pub fn total_instructions(&self) -> u64 {
         self.streams.iter().map(WorkStream::instruction_count).sum()
+    }
+
+    /// Statistics over the compute blocks of every stream (see
+    /// [`ComputeBlockStats`]). Drivers use these to decide whether arming
+    /// the core model's bulk fast-forward path can pay off for this
+    /// workload.
+    pub fn compute_block_stats(&self) -> ComputeBlockStats {
+        let mut stats = ComputeBlockStats::default();
+        for stream in &self.streams {
+            let mut current = 0u64;
+            for item in stream.iter() {
+                match item {
+                    WorkItem::Compute(n) => current += u64::from(*n),
+                    _ => stats.close_block(&mut current),
+                }
+            }
+            stats.close_block(&mut current);
+        }
+        stats
+    }
+}
+
+/// Statistics over a workload's *compute blocks* — maximal runs of
+/// consecutive [`WorkItem::Compute`] items in a stream, measured in dynamic
+/// instructions. The core model can schedule such a block analytically
+/// ("fast-forward", `ar_cpu::fastforward`) instead of ticking through it
+/// cycle by cycle, but only blocks longer than a profitability threshold
+/// ever produce a skippable interval; these statistics are what the
+/// experiment driver consults to pick the fast path per workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComputeBlockStats {
+    /// Number of compute blocks across all streams.
+    pub blocks: u64,
+    /// Total compute instructions across all blocks.
+    pub total_insns: u64,
+    /// Length of the longest block, in instructions.
+    pub longest_block: u64,
+}
+
+impl ComputeBlockStats {
+    /// Folds a finished block into the totals and resets the accumulator.
+    fn close_block(&mut self, current: &mut u64) {
+        if *current > 0 {
+            self.blocks += 1;
+            self.total_insns += *current;
+            self.longest_block = self.longest_block.max(*current);
+            *current = 0;
+        }
+    }
+
+    /// Mean block length in instructions (0.0 without any block).
+    pub fn mean_block(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.total_insns as f64 / self.blocks as f64
+        }
     }
 }
 
@@ -358,6 +415,33 @@ mod tests {
         let big = WorkloadKind::Mac.generate(2, SizeClass::Medium, Variant::Active);
         assert!(big.updates > small.updates);
         assert!(SizeClass::Paper.factor() > SizeClass::Tiny.factor());
+    }
+
+    #[test]
+    fn compute_block_stats_count_maximal_runs() {
+        let mut w = WorkloadKind::Mac.generate(1, SizeClass::Tiny, Variant::Baseline);
+        // mac baseline: [load, load, compute(2)] per pair + the epilogue
+        // [compute(4), atomic]: the longest block is the final pair's
+        // compute(2) merged with the adjacent epilogue compute(4).
+        let stats = w.compute_block_stats();
+        assert!(stats.blocks > 0);
+        assert_eq!(stats.longest_block, 6);
+        assert!(stats.mean_block() >= 2.0);
+        // Consecutive Compute items merge into one block.
+        let mut stream = WorkStream::new(ar_types::ThreadId::new(0));
+        stream.extend([
+            WorkItem::Compute(3),
+            WorkItem::Compute(5),
+            WorkItem::Load(Addr::new(0)),
+            WorkItem::Compute(2),
+        ]);
+        w.streams = vec![stream];
+        let stats = w.compute_block_stats();
+        assert_eq!(stats, ComputeBlockStats { blocks: 2, total_insns: 10, longest_block: 8 });
+        // An empty stream has no blocks.
+        w.streams = vec![WorkStream::new(ar_types::ThreadId::new(0))];
+        assert_eq!(w.compute_block_stats(), ComputeBlockStats::default());
+        assert_eq!(w.compute_block_stats().mean_block(), 0.0);
     }
 
     #[test]

@@ -114,6 +114,47 @@ fn bench_kernel_threads(c: &mut Criterion) {
     }
 }
 
+/// Bulk compute fast-forwarding on the workload shape it targets: long
+/// compute blocks between cache misses (`bench::ComputeBursts`). The event
+/// kernel computes each block's retire/issue schedule in closed form and
+/// sleeps the core for the block's duration; the `_off` rows run the same
+/// simulation with per-cycle issuing (the PR 4 event kernel), and the
+/// lock-step row is the full per-cycle reference. All three produce
+/// byte-identical reports — only the wall clock differs. The built-in
+/// workloads (see `kernel_throughput`) carry only short blocks and are
+/// unaffected either way; the release regression gate pins that too.
+fn bench_kernel_fastforward(c: &mut Criterion) {
+    let base = BENCH_SCALE.system_config();
+    let mut group = c.benchmark_group("kernel_fastforward");
+    group.sample_size(10);
+    for (name, blocks, insns) in
+        [("bursts_100k", 24usize, 100_000u32), ("bursts_8k", 96, 8_192), ("bursts_512", 384, 512)]
+    {
+        let bursts = bench::ComputeBursts { blocks_per_thread: blocks, block_insns: insns };
+        let build = |fast_forward: bool| {
+            Simulation::builder()
+                .config(base.clone())
+                .named(NamedConfig::Hmc)
+                .workload(bursts)
+                .size(SizeClass::Tiny)
+                .fast_forward(fast_forward)
+                .build()
+                .expect("valid configuration")
+                .into_system()
+        };
+        let report = build(true).run();
+        println!(
+            "kernel_fastforward/{name}: {} simulated network cycles per run",
+            report.network_cycles
+        );
+        group.bench_function(&format!("{name}_fast_forward"), |b| b.iter(|| build(true).run()));
+        group.bench_function(&format!("{name}_off"), |b| b.iter(|| build(false).run()));
+        group
+            .bench_function(&format!("{name}_lockstep"), |b| b.iter(|| build(true).run_lockstep()));
+    }
+    group.finish();
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -130,6 +171,7 @@ criterion_group!(
     bench_single_runs,
     bench_kernel_throughput,
     bench_kernel_threads,
+    bench_kernel_fastforward,
     bench_workload_generation
 );
 criterion_main!(simulator);

@@ -7,7 +7,8 @@
 
 use ar_experiments::{latency, speedup, traffic, Artifact, ExperimentScale, Matrix, Table};
 use ar_types::config::NamedConfig;
-use ar_workloads::WorkloadKind;
+use ar_types::{Addr, ThreadId, WorkItem, WorkStream};
+use ar_workloads::{GeneratedWorkload, SizeClass, Variant, Workload, WorkloadKind};
 
 /// The scale every benchmark runs at. Benchmarks exist to exercise and time
 /// the figure-regeneration path, not to produce publication numbers; the
@@ -43,6 +44,50 @@ pub fn latency_table(matrix: &Matrix) -> Table {
 /// Builds the Fig. 5.4-style traffic table from a matrix.
 pub fn traffic_table(matrix: &Matrix) -> Table {
     traffic::figure_5_4(matrix, "Figure 5.4 (bench scale)")
+}
+
+/// A synthetic compute-burst workload for the fast-forward kernel
+/// benchmarks and regression gates: every thread alternates a cache-miss
+/// load with a long compute block, so the core model's bulk fast-forward
+/// path (`ar_cpu::fastforward`) dominates the run. The nine built-in
+/// workloads carry only short compute blocks (their streams are memory- and
+/// offload-bound, the regime the paper evaluates), which is exactly why the
+/// fast path needs its own discriminating benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeBursts {
+    /// Compute blocks per thread.
+    pub blocks_per_thread: usize,
+    /// Instructions per block (one block runs `insns / issue_width` cycles).
+    pub block_insns: u32,
+}
+
+impl Workload for ComputeBursts {
+    fn name(&self) -> &str {
+        "compute_bursts"
+    }
+
+    fn generate(&self, threads: usize, _size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        let streams = (0..threads)
+            .map(|t| {
+                let mut s = WorkStream::new(ThreadId::new(t));
+                for i in 0..self.blocks_per_thread {
+                    let line = (t * self.blocks_per_thread + i) * 64;
+                    s.push(WorkItem::Load(Addr::new(0x4_0000 + line as u64)));
+                    s.push(WorkItem::Compute(3));
+                    s.push(WorkItem::Compute(self.block_insns));
+                }
+                s
+            })
+            .collect();
+        GeneratedWorkload {
+            name: "compute_bursts".to_string(),
+            variant,
+            streams,
+            memory: Vec::new(),
+            references: Vec::new(),
+            updates: 0,
+        }
+    }
 }
 
 /// Prints an artefact once (outside the measured closures) so the bench log

@@ -119,3 +119,102 @@ fn sharded_threads_do_not_regress_on_paper_scale_pagerank() {
          {sharded:?} vs {serial:?}"
     );
 }
+
+fn build_paper_ff(fast_forward: bool) -> ar_system::System {
+    Simulation::builder()
+        .config(ar_experiments::ExperimentScale::Full.system_config())
+        .named(NamedConfig::ArfTid)
+        .workload(WorkloadKind::Pagerank)
+        .size(SizeClass::Paper)
+        .fast_forward(fast_forward)
+        .build()
+        .expect("valid configuration")
+        .into_system()
+}
+
+/// Bulk compute fast-forwarding must not cost wall-clock on paper-scale
+/// pagerank: forcing it on may not run meaningfully slower than the
+/// fast-forward-free event kernel (the PR 4 behaviour), and must produce
+/// the identical report. Pagerank's streams carry only short compute
+/// blocks, so what this gates is the overhead of the per-tick eligibility
+/// probes and the end-of-stream drain intervals — the regime where a
+/// mis-tuned threshold would silently tax every paper run. The 15%
+/// head-room absorbs scheduler noise on shared runners.
+#[test]
+fn fast_forward_does_not_regress_on_paper_scale_pagerank() {
+    let _ = build_paper_ff(false).run();
+    let mut reports: Vec<ar_system::SimReport> = Vec::new();
+    let mut time = |fast_forward: bool| {
+        best_of(3, || {
+            let sys = build_paper_ff(fast_forward);
+            let start = Instant::now();
+            let report = sys.run();
+            let elapsed = start.elapsed();
+            assert!(report.completed);
+            reports.push(report);
+            elapsed
+        })
+    };
+    let off = time(false);
+    let on = time(true);
+    println!(
+        "paper-scale pagerank/ARF-tid: fast-forward off {:?} vs on {:?} ({:.2}x)",
+        off,
+        on,
+        off.as_secs_f64() / on.as_secs_f64()
+    );
+    let first = &reports[0];
+    assert!(reports.iter().all(|r| r == first), "fast-forward changed the simulation result");
+    assert!(
+        on.as_secs_f64() <= off.as_secs_f64() * 1.15,
+        "fast-forwarding regressed past the plain event kernel on pagerank: {on:?} vs {off:?}"
+    );
+}
+
+/// On a workload the fast path is *for* — long compute blocks between
+/// cache misses — fast-forwarding must deliver a real speedup, not just
+/// parity, at an identical report. This is the discriminating gate: a
+/// change that keeps equivalence but silently stops arming intervals (or
+/// arms them without sleeping the cluster) fails here.
+#[test]
+fn fast_forward_speeds_up_compute_bursts() {
+    let bursts = bench::ComputeBursts { blocks_per_thread: 24, block_insns: 100_000 };
+    let build = |fast_forward: bool| {
+        Simulation::builder()
+            .config(bench::BENCH_SCALE.system_config())
+            .named(NamedConfig::Hmc)
+            .workload(bursts)
+            .size(SizeClass::Tiny)
+            .fast_forward(fast_forward)
+            .build()
+            .expect("valid configuration")
+            .into_system()
+    };
+    let _ = build(true).run();
+    let mut reports: Vec<ar_system::SimReport> = Vec::new();
+    let mut time = |fast_forward: bool| {
+        best_of(3, || {
+            let sys = build(fast_forward);
+            let start = Instant::now();
+            let report = sys.run();
+            let elapsed = start.elapsed();
+            assert!(report.completed);
+            reports.push(report);
+            elapsed
+        })
+    };
+    let off = time(false);
+    let on = time(true);
+    println!(
+        "compute bursts: fast-forward off {:?} vs on {:?} ({:.2}x)",
+        off,
+        on,
+        off.as_secs_f64() / on.as_secs_f64()
+    );
+    let first = &reports[0];
+    assert!(reports.iter().all(|r| r == first), "fast-forward changed the simulation result");
+    assert!(
+        on.as_secs_f64() * 2.0 <= off.as_secs_f64(),
+        "fast-forwarding must at least halve the compute-burst wall time: {on:?} vs {off:?}"
+    );
+}

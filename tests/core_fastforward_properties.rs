@@ -1,0 +1,428 @@
+//! Differential test harness for the bulk compute fast-forward path
+//! (`ar_cpu::fastforward`).
+//!
+//! Two layers, both driven by the workspace's deterministic [`SimRng`]:
+//!
+//! 1. **Core-level differential**: randomized work streams (with
+//!    fast-forwardable compute blocks mixed into every other item kind) ×
+//!    randomized core shapes (issue widths, ROB sizes, outstanding-memory
+//!    limits, MI depths) are driven twice over the identical external event
+//!    schedule — per cycle, and skipping fast-forwarded intervals the way
+//!    the event kernel does. The two drives must produce *byte-identical*
+//!    [`CoreOutput`] sequences (every memory request on its exact cycle),
+//!    stall breakdowns, cycle counts and retired counts, including when the
+//!    drive is truncated at a random cycle limit mid-interval and when
+//!    instruction counts are probed at random sample boundaries inside an
+//!    interval.
+//! 2. **System-level interaction**: a compute-burst workload whose blocks
+//!    span several IPC windows runs under both kernels and both
+//!    fast-forward modes; reports, streamed IPC samples
+//!    ([`SampleRecorder`]-style) and [`DeadlineStop`] early exits landing
+//!    *strictly inside* a fast-forwarded block must match the per-cycle
+//!    kernel sample-for-sample.
+
+use active_routing_repro::ar_cpu::{Core, MemAccess, OffloadKind, StallBreakdown};
+use active_routing_repro::ar_sim::SimRng;
+use active_routing_repro::ar_system::{
+    DeadlineStop, Observer, ObserverControl, Sample, SimEvent, Simulation, SimulationBuilder,
+};
+use active_routing_repro::ar_types::config::{CoreConfig, NamedConfig, SystemConfig};
+use active_routing_repro::ar_types::{
+    Addr, CoreId, Cycle, ReduceOp, ThreadId, WorkItem, WorkStream,
+};
+use active_routing_repro::ar_workloads::{GeneratedWorkload, SizeClass, Variant, Workload};
+use std::sync::{Arc, Mutex};
+
+/// Deterministic per-id latency so both driving styles see the exact same
+/// event schedule without sharing an RNG cursor.
+fn delay_of(id: u64) -> Cycle {
+    1 + (id.wrapping_mul(2654435761) >> 7) % 37
+}
+
+/// A randomized single-thread work stream mixing every item kind, with
+/// fast-forwardable compute blocks (hundreds to thousands of instructions)
+/// salted in between the short ones.
+fn random_stream(rng: &mut SimRng) -> Vec<WorkItem> {
+    let len = 5 + rng.index(30);
+    let mut barrier_id = 0u32;
+    (0..len)
+        .map(|_| match rng.next_below(10) {
+            0 | 1 => WorkItem::Compute(1 + rng.next_below(60) as u32),
+            2 | 3 => WorkItem::Compute(64 + rng.next_below(1_500) as u32),
+            4 => WorkItem::Load(Addr::new(rng.next_below(1 << 16) * 8)),
+            5 => WorkItem::Store(Addr::new(rng.next_below(1 << 16) * 8)),
+            6 => WorkItem::Load(Addr::new(rng.next_below(1 << 16) * 8)),
+            7 => WorkItem::Update {
+                op: ReduceOp::Sum,
+                src1: Addr::new(0x1000_0000 + rng.next_below(512) * 8),
+                src2: None,
+                imm: None,
+                target: Addr::new(0x3000_0000 + rng.next_below(4) * 8),
+            },
+            8 => WorkItem::Gather {
+                target: Addr::new(0x3000_0000 + rng.next_below(4) * 8),
+                op: ReduceOp::Sum,
+                num_threads: 1,
+                wait: rng.next_below(2) == 0,
+            },
+            _ => {
+                barrier_id += 1;
+                WorkItem::Barrier { id: barrier_id }
+            }
+        })
+        .collect()
+}
+
+/// Outcome of driving one core to completion (or the cycle horizon).
+#[derive(Debug, PartialEq)]
+struct DriveResult {
+    stalls: StallBreakdown,
+    cycles: u64,
+    instructions: u64,
+    done: bool,
+    finished_at: Option<Cycle>,
+    /// Every memory request with the core cycle it was issued on.
+    outputs: Vec<(Cycle, MemAccess)>,
+    /// `instructions_retired` observed at each probe cycle (the view an IPC
+    /// sample at that boundary would take).
+    probed: Vec<u64>,
+}
+
+/// Drives a core over `items` with externally scheduled completions, either
+/// per cycle (`ff = false`, the reference) or arming and skipping
+/// fast-forwarded intervals the way the event-driven kernel does
+/// (`ff = true`). Event *schedules* are pure functions of request ids and
+/// stream content, so both styles see identical stimuli. `probes` are
+/// cycles at which the retired-instruction count is read (settling the
+/// interval prefix first, exactly like the IPC sampler). Returns the
+/// accounting outcome plus the number of real ticks executed and the number
+/// of intervals armed.
+fn drive(
+    items: &[WorkItem],
+    cfg: &CoreConfig,
+    ff: bool,
+    horizon: Cycle,
+    probes: &[Cycle],
+) -> (DriveResult, u64, u64) {
+    let mut stream = WorkStream::new(ThreadId::new(0));
+    stream.extend(items.to_vec());
+    let mut core = Core::new(CoreId::new(0), cfg, stream);
+    let mut completions: Vec<(Cycle, u64)> = Vec::new();
+    let mut gathers: Vec<(Cycle, Addr)> = Vec::new();
+    let mut barrier_release: Option<(Cycle, u32)> = None;
+    let mut ticks = 0u64;
+    let mut armed = 0u64;
+    let mut finished_at = None;
+    let mut outputs: Vec<(Cycle, MemAccess)> = Vec::new();
+    let mut probed: Vec<u64> = Vec::new();
+    for now in 0..horizon {
+        if probes.contains(&now) {
+            // An IPC sample at this boundary: the pending interval prefix
+            // settles first, then the count is read.
+            core.settle_compute_to(now);
+            probed.push(core.instructions_retired());
+        }
+        // Deliveries first, mirroring the system's within-cycle phase order.
+        let mut delivered = Vec::new();
+        completions.retain(|&(at, id)| {
+            if at == now {
+                delivered.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in delivered {
+            core.complete_mem(id, now);
+        }
+        let mut arrived = Vec::new();
+        gathers.retain(|&(at, target)| {
+            if at == now {
+                arrived.push(target);
+                false
+            } else {
+                true
+            }
+        });
+        for target in arrived {
+            core.complete_gather(target, now);
+        }
+        if let Some((at, id)) = barrier_release {
+            if at == now {
+                core.release_barrier(id, now);
+                barrier_release = None;
+            }
+        }
+        if core.is_done() {
+            finished_at = Some(now);
+            break;
+        }
+        // The tick itself — skipped inside a pending interval, exactly like
+        // the event kernel's cores phase.
+        if !(ff && core.is_fast_forwarding(now)) {
+            let out = core.tick(now);
+            ticks += 1;
+            for req in out.mem_requests {
+                completions.push((now + delay_of(req.req_id), req.req_id));
+                outputs.push((now, req));
+            }
+            if ff && core.try_fast_forward(now + 1) {
+                armed += 1;
+            }
+        }
+        // The Message Interface drains once per network cycle (two core
+        // cycles), whether or not the core ticked — exactly like `System`.
+        if now % 2 == 0 {
+            if let Some(cmd) = core.mi_mut().pop() {
+                if let OffloadKind::Gather { target, .. } = cmd.kind {
+                    gathers.push((now + delay_of(target.as_u64()), target));
+                }
+            }
+        }
+        // Single-core barrier: release a few cycles after the core blocks.
+        if barrier_release.is_none() {
+            if let Some(id) = core.waiting_barrier() {
+                barrier_release = Some((now + 3 + u64::from(id) % 5, id));
+            }
+        }
+    }
+    core.settle_to(horizon.min(finished_at.unwrap_or(horizon)));
+    (
+        DriveResult {
+            stalls: core.stalls(),
+            cycles: core.cycles(),
+            instructions: core.instructions_retired(),
+            done: core.is_done(),
+            finished_at,
+            outputs,
+            probed,
+        },
+        ticks,
+        armed,
+    )
+}
+
+fn random_core_cfg(rng: &mut SimRng) -> CoreConfig {
+    CoreConfig {
+        count: 1,
+        issue_width: [1, 2, 8][rng.index(3)],
+        rob_entries: [4, 16, 64][rng.index(3)],
+        max_outstanding_mem: [1, 2, 8][rng.index(3)],
+        mi_queue_depth: [1, 4][rng.index(2)],
+        ..CoreConfig::default()
+    }
+}
+
+const HORIZON: Cycle = 150_000;
+
+/// The main differential sweep: ≥150 random (stream, core shape) cases, each
+/// driven per cycle and with fast-forwarding over the identical event
+/// schedule, asserting byte-identical outputs, stall breakdowns and counts —
+/// plus sample-style probes of the retired count at random cycles.
+#[test]
+fn fast_forward_drive_is_byte_identical_to_per_cycle() {
+    let mut rng = SimRng::seed_from_u64(0xFF5D_C0DE);
+    let mut total_armed = 0u64;
+    let mut total_saved = 0u64;
+    for case in 0..160 {
+        let items = random_stream(&mut rng);
+        let cfg = random_core_cfg(&mut rng);
+        let mut probes: Vec<Cycle> = (0..3).map(|_| rng.next_below(40_000)).collect();
+        probes.sort_unstable();
+        probes.dedup();
+        let (eager, eager_ticks, _) = drive(&items, &cfg, false, HORIZON, &probes);
+        let (lazy, lazy_ticks, armed) = drive(&items, &cfg, true, HORIZON, &probes);
+        assert!(eager.done, "case {case}: reference drive must finish: {items:?}");
+        assert_eq!(lazy, eager, "case {case}: fast-forward diverged for {items:?} / {cfg:?}");
+        assert!(lazy_ticks <= eager_ticks, "case {case}: fast-forward may never tick more often");
+        total_armed += armed;
+        total_saved += eager_ticks - lazy_ticks;
+    }
+    assert!(
+        total_armed >= 100,
+        "the case set must arm a meaningful number of intervals (armed {total_armed})"
+    );
+    assert!(
+        total_saved > 50_000,
+        "fast-forwarding must skip a meaningful number of ticks (saved {total_saved})"
+    );
+}
+
+/// Truncation: cutting both drives off at a random cycle limit — often in
+/// the middle of a pending interval — must settle to identical numbers, the
+/// way the system settles cores when `max_cycles` strikes.
+#[test]
+fn truncated_fast_forward_drives_settle_identically() {
+    let mut rng = SimRng::seed_from_u64(0x7C_0FF5);
+    let mut cut_mid_interval = 0u64;
+    for case in 0..60 {
+        let items = random_stream(&mut rng);
+        let cfg = random_core_cfg(&mut rng);
+        let (eager_full, _, _) = drive(&items, &cfg, false, HORIZON, &[]);
+        assert!(eager_full.done, "case {case}: reference drive must finish");
+        let finish = eager_full.finished_at.expect("finished");
+        if finish < 2 {
+            continue;
+        }
+        let horizon = 1 + rng.next_below(finish);
+        let (eager, _, _) = drive(&items, &cfg, false, horizon, &[]);
+        let (lazy, lazy_ticks, armed) = drive(&items, &cfg, true, horizon, &[]);
+        assert_eq!(lazy, eager, "case {case}: truncated drive diverged for {items:?} / {cfg:?}");
+        // `cycles` counts every simulated cycle up to the cut, ticked or
+        // settled, so a truncated interval counts only its elapsed prefix.
+        if armed > 0 && lazy_ticks < lazy.cycles {
+            cut_mid_interval += 1;
+        }
+    }
+    assert!(
+        cut_mid_interval > 5,
+        "the case set must cut through pending intervals (hit {cut_mid_interval})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// System-level interaction: samples and early exits inside a block.
+// ---------------------------------------------------------------------------
+
+/// A workload whose compute blocks span several IPC windows (one window is
+/// 2048 core cycles; a 100k-instruction block runs for ~12.5k cycles on the
+/// 8-wide cores), separated by loads so the blocks start and end at
+/// data-dependent cycles.
+struct ComputeBursts;
+
+impl Workload for ComputeBursts {
+    fn name(&self) -> &str {
+        "compute_bursts"
+    }
+
+    fn generate(&self, threads: usize, _size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        let mut kernel = active_routing_repro::active_routing::ActiveKernel::new(threads);
+        for t in 0..threads {
+            for i in 0..4usize {
+                kernel.load(t, Addr::new(0x4_0000 + ((t * 8 + i) * 64) as u64));
+                kernel.compute(t, 3);
+                kernel.compute(t, 100_000);
+            }
+        }
+        GeneratedWorkload {
+            name: "compute_bursts".to_string(),
+            variant,
+            streams: kernel.into_streams(),
+            memory: Vec::new(),
+            references: Vec::new(),
+            updates: 0,
+        }
+    }
+}
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.caches.l1_bytes = 2 * 1024;
+    cfg.caches.l2_bytes = 8 * 1024;
+    cfg.max_cycles = 10_000_000;
+    cfg
+}
+
+fn bursts_builder() -> SimulationBuilder {
+    Simulation::builder()
+        .config(quick_cfg())
+        .named(NamedConfig::Hmc)
+        .workload(ComputeBursts)
+        .size(SizeClass::Tiny)
+}
+
+/// An observer that shares its recorded samples, so tests can compare the
+/// streams of two runs (the bundled `SampleRecorder` is consumed by the
+/// run).
+#[derive(Clone, Default)]
+struct SharedSamples(Arc<Mutex<Vec<Sample>>>);
+
+impl Observer for SharedSamples {
+    fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+        if let SimEvent::Sample(sample) = event {
+            self.0.lock().expect("sample log").push(*sample);
+        }
+        ObserverControl::Continue
+    }
+}
+
+/// IPC samples taken while every core sits inside a fast-forwarded block
+/// must match the per-cycle kernel sample-for-sample: same cycles, same
+/// cumulative instruction counts, same window IPC.
+#[test]
+fn ipc_samples_inside_fast_forwarded_blocks_match_per_cycle() {
+    let run = |lockstep: bool, ff: bool| {
+        let samples = SharedSamples::default();
+        let mut b = bursts_builder().fast_forward(ff).observer(samples.clone());
+        if lockstep {
+            b = b.lockstep();
+        }
+        let report = b.build().expect("valid").run();
+        let log = samples.0.lock().expect("sample log").clone();
+        (report, log)
+    };
+    let (event_report, event_samples) = run(false, true);
+    let (lockstep_report, lockstep_samples) = run(true, true);
+    let (off_report, off_samples) = run(false, false);
+    assert!(event_report.completed);
+    assert_eq!(event_report, lockstep_report, "kernels diverged on compute bursts");
+    assert_eq!(event_report, off_report, "the fast-forward knob changed the report");
+    assert!(
+        event_samples.len() >= 20,
+        "the bursts must span many IPC windows (got {} samples)",
+        event_samples.len()
+    );
+    assert_eq!(event_samples, lockstep_samples, "IPC samples diverged inside the blocks");
+    assert_eq!(event_samples, off_samples, "the knob changed the sample stream");
+}
+
+/// A `DeadlineStop` landing strictly inside a fast-forwarded block must cut
+/// the event kernel at the same cycle, with the same settled (incomplete)
+/// statistics, as the per-cycle kernel.
+#[test]
+fn deadline_stop_inside_a_fast_forwarded_block_matches_per_cycle() {
+    // One IPC window is 1024 network cycles; the first burst alone spans
+    // ~6 windows, so these deadlines land mid-block.
+    for deadline in [1024u64, 2048, 4096] {
+        let run = |lockstep: bool, ff: bool| {
+            let mut b = bursts_builder().fast_forward(ff).observer(DeadlineStop::at(deadline));
+            if lockstep {
+                b = b.lockstep();
+            }
+            b.build().expect("valid").run()
+        };
+        let event = run(false, true);
+        let lockstep = run(true, true);
+        let off = run(false, false);
+        assert!(!event.completed, "deadline {deadline} must cut the run short");
+        assert_eq!(event, lockstep, "deadline-{deadline}: kernels diverged");
+        assert_eq!(event, off, "deadline-{deadline}: the fast-forward knob changed the report");
+    }
+}
+
+/// The same workload truncated by a raw cycle limit (not an observer):
+/// `max_cycles` lands inside a block and the settled prefix must match.
+#[test]
+fn cycle_limit_inside_a_fast_forwarded_block_matches_per_cycle() {
+    for limit in [700u64, 1500, 3000] {
+        let mut cfg = quick_cfg();
+        cfg.max_cycles = limit;
+        let run = |lockstep: bool| {
+            let mut b = Simulation::builder()
+                .config(cfg.clone())
+                .named(NamedConfig::Hmc)
+                .workload(ComputeBursts)
+                .size(SizeClass::Tiny)
+                .fast_forward(true);
+            if lockstep {
+                b = b.lockstep();
+            }
+            b.build().expect("valid").run()
+        };
+        let event = run(false);
+        let lockstep = run(true);
+        assert!(!event.completed, "limit {limit} must truncate the run");
+        assert_eq!(event.network_cycles, limit);
+        assert_eq!(event, lockstep, "limit-{limit}: kernels diverged mid-block");
+    }
+}

@@ -79,11 +79,19 @@ fn assert_identical(event: &SimReport, lockstep: &SimReport, label: &str) {
 /// lock-step comparison already covers).
 const SHARDED_THREADS: [usize; 2] = [2, 4];
 
+/// The thread counts of the fast-forward axis.
+const FAST_FORWARD_THREADS: [usize; 2] = [1, 4];
+
 /// Shared matrix helper: runs one workload under every named configuration
 /// (the five plotted ones plus ARF-tid-adaptive) with both kernels and
 /// asserts identical reports, naming the failing (workload, config) cell.
 /// Each cell then re-runs the event-driven kernel at `threads ∈ {2, 4}` and
-/// requires byte-identical reports from the sharded parallel kernel too.
+/// requires byte-identical reports from the sharded parallel kernel too,
+/// and finally sweeps the **fast-forward axis**: bulk compute
+/// fast-forwarding forced on and off at `threads ∈ {1, 4}` (the builder's
+/// default is decided by the workload's compute-block statistics, so both
+/// forced modes genuinely differ from some default) — the analytic
+/// retire/issue schedule may never change a single report byte.
 fn assert_workload_equivalence(kind: WorkloadKind) {
     for named in NamedConfig::ALL_WITH_ADAPTIVE {
         let (event, lockstep) = run_both(named, kind, SizeClass::Tiny);
@@ -96,6 +104,21 @@ fn assert_workload_equivalence(kind: WorkloadKind) {
                 .expect("valid configuration")
                 .run();
             assert_identical(&event, &sharded, &format!("{kind}/{named} @ threads={threads}"));
+        }
+        for ff in [true, false] {
+            for threads in FAST_FORWARD_THREADS {
+                let fast = builder(named, kind, SizeClass::Tiny)
+                    .fast_forward(ff)
+                    .threads(threads)
+                    .build()
+                    .expect("valid configuration")
+                    .run();
+                assert_identical(
+                    &event,
+                    &fast,
+                    &format!("{kind}/{named} @ fast_forward={ff} threads={threads}"),
+                );
+            }
         }
     }
 }
@@ -143,6 +166,37 @@ fn mac_equivalence_across_all_configs() {
 #[test]
 fn rand_mac_equivalence_across_all_configs() {
     assert_workload_equivalence(WorkloadKind::RandMac);
+}
+
+/// Regression: at small (not tiny) scale, `lud`'s fire-and-forget gathers
+/// can deliver their results *after* the issuing core has already retired
+/// everything — the completion must not perturb the done-core bookkeeping
+/// (a done core re-counted as "newly done" once inflated the counter, shut
+/// the cluster phase down with Message-Interface commands still queued, and
+/// livelocked the run to the cycle limit). The Tiny-size matrix above never
+/// reaches this interleaving, so this cell pins it at `SizeClass::Small`
+/// across both kernels and both fast-forward modes.
+#[test]
+fn late_gather_completions_after_core_retirement_keep_kernels_equivalent() {
+    let event = builder(NamedConfig::ArfTid, WorkloadKind::Lud, SizeClass::Small)
+        .build()
+        .expect("valid")
+        .run();
+    assert!(event.completed, "the event kernel must finish the small lud run");
+    let lockstep = builder(NamedConfig::ArfTid, WorkloadKind::Lud, SizeClass::Small)
+        .lockstep()
+        .build()
+        .expect("valid")
+        .run();
+    assert_identical(&event, &lockstep, "lud/ARF-tid @ small");
+    for ff in [true, false] {
+        let fast = builder(NamedConfig::ArfTid, WorkloadKind::Lud, SizeClass::Small)
+            .fast_forward(ff)
+            .build()
+            .expect("valid")
+            .run();
+        assert_identical(&event, &fast, &format!("lud/ARF-tid @ small fast_forward={ff}"));
+    }
 }
 
 /// The builder clamps thread requests to the host's available parallelism,
@@ -212,6 +266,20 @@ fn cycle_limit_truncates_both_kernels_identically() {
             .expect("valid")
             .run();
         assert_identical(&event, &sharded, &format!("truncated pagerank @ threads={threads}"));
+    }
+    // Forced fast-forwarding must settle any interval the limit cuts
+    // through to the identical truncated numbers.
+    for ff in [true, false] {
+        let fast = Simulation::builder()
+            .config(cfg.clone())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Pagerank)
+            .size(SizeClass::Tiny)
+            .fast_forward(ff)
+            .build()
+            .expect("valid")
+            .run();
+        assert_identical(&event, &fast, &format!("truncated pagerank @ fast_forward={ff}"));
     }
 }
 
