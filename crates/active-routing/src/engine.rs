@@ -29,10 +29,10 @@ use ar_network::DragonflyTopology;
 use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::AddressMap;
 use ar_types::config::AreConfig;
+use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
 use ar_types::packet::{ActiveKind, OperandSlot, Packet, PacketKind};
 use ar_types::{Addr, CubeId, Cycle, FlowId, ReduceOp};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// A read or write the engine wants performed against the local cube's
@@ -68,9 +68,23 @@ pub struct AreOutput {
 
 impl AreOutput {
     /// Merges another output into this one.
+    ///
+    /// Both lists are appended, so within each list the emission order of
+    /// `other` is preserved after `self`'s. Callers that combine outputs of
+    /// several engines (the sharded kernel's per-cube outbox merge) must
+    /// merge in ascending cube-index order: packets injected into the memory
+    /// network in the same cycle are queued per link in merge order, so any
+    /// other order would change link-level FIFO order and with it the
+    /// report.
     pub fn merge(&mut self, mut other: AreOutput) {
         self.packets.append(&mut other.packets);
         self.vault_accesses.append(&mut other.vault_accesses);
+    }
+
+    /// Clears both lists, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.vault_accesses.clear();
     }
 
     /// Returns true if nothing was produced.
@@ -235,8 +249,10 @@ pub struct ActiveRoutingEngine {
     alu_issue_per_cycle: u32,
     /// Updates waiting for an operand buffer entry.
     stalled: VecDeque<StalledUpdate>,
-    /// Outstanding local vault reads issued by this engine.
-    pending_reads: HashMap<u64, ReadPurpose>,
+    /// Outstanding local vault reads issued by this engine. Keyed by small
+    /// integers and probed on every operand fetch/completion, so it uses the
+    /// deterministic [`FastHashMap`]; it is never iterated.
+    pending_reads: FastHashMap<u64, ReadPurpose>,
     /// Operations waiting for (or inside) the ALU pipeline.
     alu_queue: LatencyQueue<AluOp>,
     /// Output produced by [`Component::wake`], drained by the system through
@@ -265,7 +281,7 @@ impl ActiveRoutingEngine {
             decode_latency: cfg.decode_latency,
             alu_issue_per_cycle: cfg.alu_issue_per_cycle.max(1),
             stalled: VecDeque::new(),
-            pending_reads: HashMap::new(),
+            pending_reads: FastHashMap::default(),
             alu_queue: LatencyQueue::new(),
             pending_output: AreOutput::default(),
             next_access_id: 0,
@@ -338,20 +354,29 @@ impl ActiveRoutingEngine {
     /// Panics if the packet is not an active packet; normal memory packets
     /// are handled by the vault controllers, not the ARE.
     pub fn handle_packet(&mut self, now: Cycle, packet: Packet) -> AreOutput {
+        let mut out = AreOutput::default();
+        self.handle_packet_into(now, packet, &mut out);
+        out
+    }
+
+    /// Like [`ActiveRoutingEngine::handle_packet`], but appends into a
+    /// caller-owned output so a driver handling many packets per cycle can
+    /// reuse one accumulator instead of allocating per packet.
+    pub fn handle_packet_into(&mut self, now: Cycle, packet: Packet, out: &mut AreOutput) {
         let PacketKind::Active(kind) = packet.kind else {
             panic!("ARE only decodes active packets, got {:?}", packet.kind)
         };
         let now = now + self.decode_latency;
         match kind {
-            ActiveKind::Update { .. } => self.handle_update(now, packet.src, kind),
-            ActiveKind::OperandReq { .. } => self.handle_operand_req(now, packet.src, kind),
-            ActiveKind::OperandResp { .. } => self.handle_operand_resp(now, kind),
-            ActiveKind::GatherReq { .. } => self.handle_gather_req(now, packet.src, kind),
-            ActiveKind::GatherResp { .. } => self.handle_gather_resp(now, packet.src, kind),
+            ActiveKind::Update { .. } => self.handle_update(now, packet.src, kind, out),
+            ActiveKind::OperandReq { .. } => self.handle_operand_req(now, packet.src, kind, out),
+            ActiveKind::OperandResp { .. } => self.handle_operand_resp(now, kind, out),
+            ActiveKind::GatherReq { .. } => self.handle_gather_req(now, packet.src, kind, out),
+            ActiveKind::GatherResp { .. } => self.handle_gather_resp(now, packet.src, kind, out),
         }
     }
 
-    fn handle_update(&mut self, now: Cycle, from: NetNode, kind: ActiveKind) -> AreOutput {
+    fn handle_update(&mut self, now: Cycle, from: NetNode, kind: ActiveKind, out: &mut AreOutput) {
         let ActiveKind::Update {
             flow,
             op,
@@ -400,7 +425,8 @@ impl ActiveRoutingEngine {
                 issued_at,
             };
             let packet = self.make_packet(next, fwd, now);
-            return AreOutput { packets: vec![packet], vault_accesses: Vec::new() };
+            out.packets.push(packet);
+            return;
         }
 
         // Near-data processing at the compute cube.
@@ -417,19 +443,18 @@ impl ActiveRoutingEngine {
             tracked,
         };
         match op.operand_count() {
-            0 => self.start_zero_operand(now, ctx),
-            1 => self.start_single_operand(now, ctx, src1),
+            0 => self.start_zero_operand(now, ctx, out),
+            1 => self.start_single_operand(now, ctx, src1, out),
             _ => {
                 let src2 = src2.expect("two-operand update must carry src2");
-                self.start_two_operand(now, ctx, src1, src2)
+                self.start_two_operand(now, ctx, src1, src2, out)
             }
         }
     }
 
-    fn start_zero_operand(&mut self, now: Cycle, ctx: UpdateContext) -> AreOutput {
+    fn start_zero_operand(&mut self, now: Cycle, ctx: UpdateContext, out: &mut AreOutput) {
         // const_assign / nop: write the immediate (if any) to the target and
         // commit straight away — there is nothing to fetch.
-        let mut out = AreOutput::default();
         if let (ReduceOp::ConstAssign, Some(value)) = (ctx.op, ctx.imm) {
             let id = self.next_access();
             out.vault_accesses.push(VaultAccess { id, addr: ctx.target, write_value: Some(value) });
@@ -440,7 +465,6 @@ impl ActiveRoutingEngine {
             ctx.op.alu_latency(),
             AluOp { ctx, src1: ctx.imm.unwrap_or(0.0), src2: 0.0, slot: None },
         );
-        out
     }
 
     fn start_single_operand(
@@ -448,10 +472,11 @@ impl ActiveRoutingEngine {
         now: Cycle,
         mut ctx: UpdateContext,
         src1: Addr,
-    ) -> AreOutput {
+        out: &mut AreOutput,
+    ) {
         // Single-operand bypass: no operand buffer entry is reserved.
         ctx.requested_at = now;
-        self.issue_operand_fetch(now, ctx, src1, None, 0)
+        self.issue_operand_fetch(now, ctx, src1, None, 0, out);
     }
 
     fn start_two_operand(
@@ -460,12 +485,12 @@ impl ActiveRoutingEngine {
         ctx: UpdateContext,
         src1: Addr,
         src2: Addr,
-    ) -> AreOutput {
+        out: &mut AreOutput,
+    ) {
         match self.operands.try_reserve(ctx.flow, ctx.op, ctx.update_id) {
-            Some(slot) => self.issue_two_operand(now, ctx, src1, src2, slot),
+            Some(slot) => self.issue_two_operand(now, ctx, src1, src2, slot, out),
             None => {
                 self.stalled.push_back(StalledUpdate { ctx, src1, src2, stalled_since: now });
-                AreOutput::default()
             }
         }
     }
@@ -477,11 +502,11 @@ impl ActiveRoutingEngine {
         src1: Addr,
         src2: Addr,
         slot: usize,
-    ) -> AreOutput {
+        out: &mut AreOutput,
+    ) {
         ctx.requested_at = now;
-        let mut out = self.issue_operand_fetch(now, ctx, src1, Some(slot), 0);
-        out.merge(self.issue_operand_fetch(now, ctx, src2, Some(slot), 1));
-        out
+        self.issue_operand_fetch(now, ctx, src1, Some(slot), 0, out);
+        self.issue_operand_fetch(now, ctx, src2, Some(slot), 1, out);
     }
 
     /// Issues the fetch of one operand: a local vault read when the operand
@@ -493,9 +518,9 @@ impl ActiveRoutingEngine {
         addr: Addr,
         slot: Option<usize>,
         which: u8,
-    ) -> AreOutput {
+        out: &mut AreOutput,
+    ) {
         let owner = self.cube_of(addr);
-        let mut out = AreOutput::default();
         if owner == self.cube {
             self.stats.operand_reads_local += 1;
             let id = self.next_access();
@@ -518,10 +543,15 @@ impl ActiveRoutingEngine {
             let packet = self.make_packet(NetNode::Cube(owner), kind, now);
             out.packets.push(packet);
         }
-        out
     }
 
-    fn handle_operand_req(&mut self, _now: Cycle, from: NetNode, kind: ActiveKind) -> AreOutput {
+    fn handle_operand_req(
+        &mut self,
+        _now: Cycle,
+        from: NetNode,
+        kind: ActiveKind,
+        out: &mut AreOutput,
+    ) {
         let ActiveKind::OperandReq { flow, slot, addr, which, update_id, op } = kind else {
             unreachable!("handle_operand_req called with a different packet")
         };
@@ -531,13 +561,10 @@ impl ActiveRoutingEngine {
             id,
             ReadPurpose::RemoteOperand { requester: from, flow, slot, which, update_id, op },
         );
-        AreOutput {
-            packets: Vec::new(),
-            vault_accesses: vec![VaultAccess { id, addr, write_value: None }],
-        }
+        out.vault_accesses.push(VaultAccess { id, addr, write_value: None });
     }
 
-    fn handle_operand_resp(&mut self, now: Cycle, kind: ActiveKind) -> AreOutput {
+    fn handle_operand_resp(&mut self, now: Cycle, kind: ActiveKind, _out: &mut AreOutput) {
         let ActiveKind::OperandResp { which, value, update_id, .. } = kind else {
             unreachable!("handle_operand_resp called with a different packet")
         };
@@ -545,25 +572,39 @@ impl ActiveRoutingEngine {
         let Some(ReadPurpose::LocalOperand { ctx, slot, which }) = self.pending_reads.remove(&key)
         else {
             // The response does not match any outstanding fetch; drop it.
-            return AreOutput::default();
+            return;
         };
-        self.operand_arrived(now, ctx, slot, which, value)
+        self.operand_arrived(now, ctx, slot, which, value);
     }
 
     /// Delivers the value of a local vault read previously requested through
     /// [`AreOutput::vault_accesses`].
     pub fn complete_vault_read(&mut self, now: Cycle, access_id: u64, value: f64) -> AreOutput {
+        let mut out = AreOutput::default();
+        self.complete_vault_read_into(now, access_id, value, &mut out);
+        out
+    }
+
+    /// Like [`ActiveRoutingEngine::complete_vault_read`], but appends into a
+    /// caller-owned output.
+    pub fn complete_vault_read_into(
+        &mut self,
+        now: Cycle,
+        access_id: u64,
+        value: f64,
+        out: &mut AreOutput,
+    ) {
         let Some(purpose) = self.pending_reads.remove(&access_id) else {
-            return AreOutput::default();
+            return;
         };
         match purpose {
             ReadPurpose::LocalOperand { ctx, slot, which } => {
-                self.operand_arrived(now, ctx, slot, which, value)
+                self.operand_arrived(now, ctx, slot, which, value);
             }
             ReadPurpose::RemoteOperand { requester, flow, slot, which, update_id, op } => {
                 let kind = ActiveKind::OperandResp { flow, slot, which, value, update_id, op };
                 let packet = self.make_packet(requester, kind, now);
-                AreOutput { packets: vec![packet], vault_accesses: Vec::new() }
+                out.packets.push(packet);
             }
         }
     }
@@ -575,7 +616,7 @@ impl ActiveRoutingEngine {
         slot: Option<usize>,
         which: u8,
         value: f64,
-    ) -> AreOutput {
+    ) {
         match slot {
             None => {
                 // Single-operand bypass: straight to the ALU.
@@ -584,7 +625,6 @@ impl ActiveRoutingEngine {
                     ctx.op.alu_latency(),
                     AluOp { ctx, src1: value, src2: 0.0, slot: None },
                 );
-                AreOutput::default()
             }
             Some(index) => {
                 let ready = {
@@ -602,12 +642,17 @@ impl ActiveRoutingEngine {
                         AluOp { ctx, src1: a, src2: b, slot: Some(index) },
                     );
                 }
-                AreOutput::default()
             }
         }
     }
 
-    fn handle_gather_req(&mut self, now: Cycle, from: NetNode, kind: ActiveKind) -> AreOutput {
+    fn handle_gather_req(
+        &mut self,
+        now: Cycle,
+        from: NetNode,
+        kind: ActiveKind,
+        out: &mut AreOutput,
+    ) {
         let ActiveKind::GatherReq { flow, op, expected_at_root, thread } = kind else {
             unreachable!("handle_gather_req called with a different packet")
         };
@@ -621,21 +666,25 @@ impl ActiveRoutingEngine {
         entry.gather_expected = entry.gather_expected.max(expected_at_root);
         if entry.gather_arrivals < entry.gather_expected {
             // Implicit barrier at the root: wait for the remaining gathers.
-            return AreOutput::default();
+            return;
         }
         entry.gflag = true;
         let children: Vec<NetNode> = entry.children.iter().copied().collect();
-        let mut out = AreOutput::default();
         for child in children {
             let kind = ActiveKind::GatherReq { flow, op, expected_at_root: 1, thread };
             let packet = self.make_packet(child, kind, now);
             out.packets.push(packet);
         }
-        out.merge(self.try_complete(now, flow));
-        out
+        self.try_complete(now, flow, out);
     }
 
-    fn handle_gather_resp(&mut self, now: Cycle, from: NetNode, kind: ActiveKind) -> AreOutput {
+    fn handle_gather_resp(
+        &mut self,
+        now: Cycle,
+        from: NetNode,
+        kind: ActiveKind,
+        out: &mut AreOutput,
+    ) {
         let ActiveKind::GatherResp { flow, value, updates } = kind else {
             unreachable!("handle_gather_resp called with a different packet")
         };
@@ -643,25 +692,25 @@ impl ActiveRoutingEngine {
             entry.absorb_child(from, value);
             entry.resp_counter += updates;
         }
-        self.try_complete(now, flow)
+        self.try_complete(now, flow, out);
     }
 
     /// If the subtree rooted at this cube has finished (gather requested and
     /// every counted update committed), reply to the parent and release the
     /// flow entry.
-    fn try_complete(&mut self, now: Cycle, flow: FlowId) -> AreOutput {
+    fn try_complete(&mut self, now: Cycle, flow: FlowId, out: &mut AreOutput) {
         let done = match self.flows.get(&flow) {
             Some(entry) => entry.gflag && entry.req_counter == entry.resp_counter,
             None => false,
         };
         if !done {
-            return AreOutput::default();
+            return;
         }
         let entry = self.flows.release(&flow).expect("checked above");
         self.stats.gather_responses_sent += 1;
         let kind = ActiveKind::GatherResp { flow, value: entry.result, updates: entry.req_counter };
         let packet = self.make_packet(entry.parent, kind, now);
-        AreOutput { packets: vec![packet], vault_accesses: Vec::new() }
+        out.packets.push(packet);
     }
 
     /// Drains the output accumulated by [`Component::wake`] calls since the
@@ -674,7 +723,13 @@ impl ActiveRoutingEngine {
     /// the operand buffer pool and commits operations leaving the ALU.
     pub fn tick(&mut self, now: Cycle) -> AreOutput {
         let mut out = AreOutput::default();
+        self.tick_into(now, &mut out);
+        out
+    }
 
+    /// Like [`ActiveRoutingEngine::tick`], but appends into a caller-owned
+    /// output.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut AreOutput) {
         // Retry stalled two-operand updates while buffer entries are free.
         while let Some(stalled) = self.stalled.front().copied() {
             match self.operands.try_reserve(stalled.ctx.flow, stalled.ctx.op, stalled.ctx.update_id)
@@ -683,13 +738,7 @@ impl ActiveRoutingEngine {
                     self.stalled.pop_front();
                     self.stats.operand_buffer_stall_cycles +=
                         now.saturating_sub(stalled.stalled_since);
-                    out.merge(self.issue_two_operand(
-                        now,
-                        stalled.ctx,
-                        stalled.src1,
-                        stalled.src2,
-                        slot,
-                    ));
+                    self.issue_two_operand(now, stalled.ctx, stalled.src1, stalled.src2, slot, out);
                 }
                 None => {
                     // Account one stall cycle for every update still waiting.
@@ -703,16 +752,14 @@ impl ActiveRoutingEngine {
         // elapsed.
         for _ in 0..self.alu_issue_per_cycle {
             let Some(op) = self.alu_queue.pop_ready(now) else { break };
-            out.merge(self.commit(now, op));
+            self.commit(now, op, out);
         }
-        out
     }
 
-    fn commit(&mut self, now: Cycle, alu: AluOp) -> AreOutput {
+    fn commit(&mut self, now: Cycle, alu: AluOp, out: &mut AreOutput) {
         self.stats.alu_ops += 1;
         self.stats.updates_committed += 1;
         let ctx = alu.ctx;
-        let mut out = AreOutput::default();
 
         if let Some(index) = alu.slot {
             self.operands.release(index);
@@ -724,7 +771,7 @@ impl ActiveRoutingEngine {
                 entry.commit_value(contribution);
             }
             self.record_latency(now, &ctx);
-            out.merge(self.try_complete(now, ctx.flow));
+            self.try_complete(now, ctx.flow, out);
         } else {
             // Non-reduction update (mov): write the fetched value to the
             // target address in this cube's memory.
@@ -739,7 +786,6 @@ impl ActiveRoutingEngine {
             }
             self.record_latency(now, &ctx);
         }
-        out
     }
 
     fn record_latency(&mut self, now: Cycle, ctx: &UpdateContext) {
@@ -767,8 +813,10 @@ impl Component for ActiveRoutingEngine {
     }
 
     fn wake(&mut self, now: Cycle, _ctx: &mut SchedCtx) -> NextWake {
-        let out = self.tick(now);
-        self.pending_output.merge(out);
+        // Append straight into the pending output — no per-wake allocation.
+        let mut out = std::mem::take(&mut self.pending_output);
+        self.tick_into(now, &mut out);
+        self.pending_output = out;
         self.next_wake(now)
     }
 }
@@ -1210,5 +1258,53 @@ mod tests {
         assert!(stats.mean_request_latency() >= 50.0);
         assert!(stats.mean_response_latency() >= 29.0);
         assert_eq!(stats.mean_stall_latency(), 0.0);
+    }
+
+    /// `AreOutput::merge` is the sharded kernel's outbox-combining
+    /// primitive: merging per-cube outputs in ascending cube-index order
+    /// must reproduce exactly the concatenation the serial per-cube loop
+    /// emits — per list, in emission order, with nothing reordered across
+    /// cube boundaries. (Same-cycle packets queue per link in merge order,
+    /// so any permutation would change link-level FIFO order and the
+    /// report; `System::step_hmc` debug-asserts the ascending order.)
+    #[test]
+    fn merge_preserves_cube_index_emission_order() {
+        // Three per-cube outputs with overlapping, interleavable content.
+        let f = flow(0x40);
+        let per_cube: Vec<AreOutput> = (0..3u64)
+            .map(|c| AreOutput {
+                packets: (0..2)
+                    .map(|i| update_packet(5, f, ReduceOp::Sum, 0x80, None, 5, c * 10 + i))
+                    .collect(),
+                vault_accesses: (0..2)
+                    .map(|i| VaultAccess {
+                        id: c * 10 + i,
+                        addr: Addr::new(0x1000 + (c * 10 + i) * 8),
+                        write_value: None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut merged = AreOutput::default();
+        for out in &per_cube {
+            merged.merge(out.clone());
+        }
+        let serial: Vec<u64> =
+            per_cube.iter().flat_map(|o| o.packets.iter().map(|p| p.id)).collect();
+        assert_eq!(merged.packets.iter().map(|p| p.id).collect::<Vec<_>>(), serial);
+        let serial_accesses: Vec<u64> =
+            per_cube.iter().flat_map(|o| o.vault_accesses.iter().map(|a| a.id)).collect();
+        assert_eq!(merged.vault_accesses.iter().map(|a| a.id).collect::<Vec<_>>(), serial_accesses);
+        // Merging is deterministic: the same inputs merge to the same output.
+        let mut again = AreOutput::default();
+        for out in &per_cube {
+            again.merge(out.clone());
+        }
+        assert_eq!(again, merged);
+        // And `clear` resets content but keeps the buffers.
+        let cap = (merged.packets.capacity(), merged.vault_accesses.capacity());
+        merged.clear();
+        assert!(merged.is_empty());
+        assert_eq!((merged.packets.capacity(), merged.vault_accesses.capacity()), cap);
     }
 }

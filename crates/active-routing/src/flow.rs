@@ -6,9 +6,10 @@
 //! the parent link of the ARTree, the set of child links, and the gather
 //! flag.
 
+use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
 use ar_types::{FlowId, ReduceOp};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// One entry of the Active Flow Table — the fields of Table 3.1.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,7 +87,11 @@ impl FlowEntry {
 /// The per-cube Active Flow Table: a bounded map from flow id to entry.
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: HashMap<FlowId, FlowEntry>,
+    /// Live flows, keyed by flow id. Probed on every update/gather that
+    /// touches the cube, so it uses the deterministic [`FastHashMap`]; the
+    /// only iteration ([`FlowTable::iter`]) feeds order-insensitive
+    /// consumers (tests, reporting aggregates).
+    entries: FastHashMap<FlowId, FlowEntry>,
     capacity: usize,
     /// Maximum number of simultaneously live flows observed (for reporting).
     high_watermark: usize,
@@ -97,7 +102,7 @@ pub struct FlowTable {
 impl FlowTable {
     /// Creates a flow table with room for `capacity` concurrent flows.
     pub fn new(capacity: usize) -> Self {
-        FlowTable { entries: HashMap::new(), capacity, high_watermark: 0, overflows: 0 }
+        FlowTable { entries: FastHashMap::default(), capacity, high_watermark: 0, overflows: 0 }
     }
 
     /// Returns the entry for `flow`, registering a new one (with the given

@@ -28,10 +28,10 @@ use ar_cpu::{OffloadCommand, OffloadKind};
 use ar_network::DragonflyTopology;
 use ar_types::addr::AddressMap;
 use ar_types::config::OffloadScheme;
+use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
 use ar_types::packet::{ActiveKind, Packet, PacketKind};
 use ar_types::{Addr, Cycle, FlowId, PortId, ReduceOp, ThreadId};
-use std::collections::HashMap;
 
 /// A finished gather: the flow's final value and the threads to wake.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +66,17 @@ impl HostOutput {
     /// Returns true if nothing was produced.
     pub fn is_empty(&self) -> bool {
         self.packets.is_empty() && self.back_invalidate.is_empty() && self.completions.is_empty()
+    }
+
+    /// Empties all three lists, keeping their capacity. The appending entry
+    /// points ([`HostOffloadController::submit_into`],
+    /// [`HostOffloadController::handle_port_packet_into`]) let a caller reuse
+    /// one cleared buffer across an entire run instead of allocating fresh
+    /// vectors per command on the drain hot path.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.back_invalidate.clear();
+        self.completions.clear();
     }
 }
 
@@ -102,7 +113,7 @@ pub struct HostStats {
 pub struct HostOffloadController {
     selector: PortSelector,
     topology: DragonflyTopology,
-    pending: HashMap<u64, PendingGather>,
+    pending: FastHashMap<u64, PendingGather>,
     next_update_id: u64,
     next_packet_id: u64,
     stats: HostStats,
@@ -115,7 +126,7 @@ impl HostOffloadController {
         HostOffloadController {
             selector: PortSelector::new(scheme, topology.clone(), map),
             topology,
-            pending: HashMap::new(),
+            pending: FastHashMap::default(),
             next_update_id: 0,
             next_packet_id: 1 << 60,
             stats: HostStats::default(),
@@ -154,14 +165,26 @@ impl HostOffloadController {
     }
 
     /// Handles one offload command drained from a core's Message Interface at
-    /// network cycle `now`.
+    /// network cycle `now`. Allocates a fresh [`HostOutput`]; hot paths use
+    /// the appending [`HostOffloadController::submit_into`] instead.
     pub fn submit(&mut self, now: Cycle, cmd: OffloadCommand) -> HostOutput {
+        let mut out = HostOutput::default();
+        self.submit_into(now, cmd, &mut out);
+        out
+    }
+
+    /// Handles one offload command, *appending* everything produced to `out`
+    /// (nothing is cleared). The system's drain phase batches a cycle's
+    /// submissions into one reused buffer this way — append order is
+    /// submission order, so injecting the batched packets afterwards is
+    /// indistinguishable from injecting after every submit.
+    pub fn submit_into(&mut self, now: Cycle, cmd: OffloadCommand, out: &mut HostOutput) {
         match cmd.kind {
             OffloadKind::Update { op, src1, src2, imm, target } => {
-                self.submit_update(now, cmd.thread, op, src1, src2, imm, target)
+                self.submit_update(now, cmd.thread, op, src1, src2, imm, target, out);
             }
             OffloadKind::Gather { target, op, num_threads } => {
-                self.submit_gather(now, cmd.thread, target, op, num_threads)
+                self.submit_gather(now, cmd.thread, target, op, num_threads, out);
             }
         }
     }
@@ -176,7 +199,8 @@ impl HostOffloadController {
         src2: Option<Addr>,
         imm: Option<f64>,
         target: Addr,
-    ) -> HostOutput {
+        out: &mut HostOutput,
+    ) {
         let port = self.selector.port_for_update(thread, src1);
         let flow = FlowId::new(target.as_u64(), port);
         let compute_cube = if op.is_reduction() {
@@ -213,11 +237,12 @@ impl HostOffloadController {
             now,
         );
 
-        let mut back_invalidate = vec![src1, target];
+        out.packets.push((port, packet));
+        out.back_invalidate.push(src1);
+        out.back_invalidate.push(target);
         if let Some(b) = src2 {
-            back_invalidate.push(b);
+            out.back_invalidate.push(b);
         }
-        HostOutput { packets: vec![(port, packet)], back_invalidate, completions: Vec::new() }
     }
 
     fn submit_gather(
@@ -227,7 +252,8 @@ impl HostOffloadController {
         target: Addr,
         op: ReduceOp,
         num_threads: u32,
-    ) -> HostOutput {
+        out: &mut HostOutput,
+    ) {
         self.stats.gathers_received += 1;
         let key = target.as_u64();
         let pending = self.pending.entry(key).or_insert_with(|| PendingGather {
@@ -242,13 +268,12 @@ impl HostOffloadController {
         pending.num_threads = pending.num_threads.max(num_threads);
         pending.arrived_threads.push(thread);
         if pending.issued || (pending.arrived_threads.len() as u32) < pending.num_threads {
-            return HostOutput::default();
+            return;
         }
         pending.issued = true;
         let ports = self.selector.gather_ports();
         pending.outstanding_ports = ports.clone();
 
-        let mut out = HostOutput::default();
         for port in ports {
             let flow = FlowId::new(key, port);
             let entry_cube = self.topology.host_cube(port);
@@ -263,41 +288,52 @@ impl HostOffloadController {
             self.stats.gather_requests_sent += 1;
             out.packets.push((port, packet));
         }
-        out
     }
 
     /// Handles a packet delivered back to one of the host access ports.
     /// Non-active packets (normal read responses) are ignored — they belong
-    /// to the memory controllers, not the offload engine.
+    /// to the memory controllers, not the offload engine. Allocates a fresh
+    /// [`HostOutput`]; the system's port phase uses the appending
+    /// [`HostOffloadController::handle_port_packet_into`].
     pub fn handle_port_packet(&mut self, now: Cycle, port: PortId, packet: &Packet) -> HostOutput {
+        let mut out = HostOutput::default();
+        self.handle_port_packet_into(now, port, packet, &mut out);
+        out
+    }
+
+    /// Handles a packet delivered back to a host access port, *appending*
+    /// everything produced to `out`.
+    pub fn handle_port_packet_into(
+        &mut self,
+        now: Cycle,
+        port: PortId,
+        packet: &Packet,
+        out: &mut HostOutput,
+    ) {
         let PacketKind::Active(ActiveKind::GatherResp { flow, value, updates }) = packet.kind
         else {
-            return HostOutput::default();
+            return;
         };
         let key = flow.target;
         let Some(pending) = self.pending.get_mut(&key) else {
-            return HostOutput::default();
+            return;
         };
         pending.value = pending.op.merge(pending.value, value);
         pending.updates += updates;
         pending.outstanding_ports.retain(|p| *p != port);
         if !pending.outstanding_ports.is_empty() {
-            return HostOutput::default();
+            return;
         }
         let finished = self.pending.remove(&key).expect("entry present");
         self.stats.gathers_completed += 1;
-        HostOutput {
-            packets: Vec::new(),
-            back_invalidate: Vec::new(),
-            completions: vec![GatherCompletion {
-                target: Addr::new(key),
-                op: finished.op,
-                value: finished.value,
-                updates: finished.updates,
-                threads: finished.arrived_threads,
-                completed_at: now,
-            }],
-        }
+        out.completions.push(GatherCompletion {
+            target: Addr::new(key),
+            op: finished.op,
+            value: finished.value,
+            updates: finished.updates,
+            threads: finished.arrived_threads,
+            completed_at: now,
+        });
     }
 }
 

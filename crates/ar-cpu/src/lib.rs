@@ -31,6 +31,9 @@ pub mod core_model;
 pub mod fastforward;
 pub mod mi;
 
-pub use core_model::{Core, CoreOutput, MemAccess, MemAccessKind, StallBreakdown, StallCause};
+pub use core_model::{
+    Core, CoreOutput, MemAccess, MemAccessKind, OffloadDrainOutcome, OffloadDrainProbe,
+    StallBreakdown, StallCause,
+};
 pub use fastforward::{MIN_SKIPPED_CYCLES, PROFITABLE_BLOCK_INSNS};
 pub use mi::{MessageInterface, OffloadCommand, OffloadKind};

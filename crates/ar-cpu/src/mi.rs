@@ -83,9 +83,32 @@ impl MessageInterface {
         true
     }
 
+    /// Enqueues a command without a capacity check, counting it as accepted.
+    ///
+    /// Only the offload-drain fast-forward commit uses this: it replays a
+    /// planned window's pushes and pops in bulk, so the queue may transiently
+    /// exceed `depth` between the push loop and the pop loop. Every push it
+    /// replays was verified admissible by the planner (the per-cycle path
+    /// only pushes after [`MessageInterface::has_space`]), so the rejected
+    /// counter must not move.
+    pub(crate) fn push_unchecked(&mut self, cmd: OffloadCommand) {
+        self.accepted += 1;
+        self.queue.push_back(cmd);
+    }
+
     /// Removes the oldest queued command.
     pub fn pop(&mut self) -> Option<OffloadCommand> {
         self.queue.pop_front()
+    }
+
+    /// Iterates the queued commands front (oldest) to back.
+    pub fn iter(&self) -> impl Iterator<Item = &OffloadCommand> {
+        self.queue.iter()
+    }
+
+    /// The configured queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// Peeks at the oldest queued command.

@@ -106,6 +106,7 @@ pub struct SimulationBuilder {
     lockstep: bool,
     threads: usize,
     fast_forward: Option<bool>,
+    drain_fast_forward: Option<bool>,
 }
 
 impl Default for SimulationBuilder {
@@ -127,6 +128,7 @@ impl SimulationBuilder {
             lockstep: false,
             threads: 1,
             fast_forward: None,
+            drain_fast_forward: None,
         }
     }
 
@@ -229,6 +231,23 @@ impl SimulationBuilder {
         self
     }
 
+    /// Forces offload-drain fast-forwarding on or off (see
+    /// [`System::with_drain_fast_forward`]).
+    ///
+    /// Without this call the builder enables the drain planner exactly when
+    /// the generated workload offloads at all (`updates > 0`): a workload
+    /// with no `Update` items can never enter the MI-full drain regime, so
+    /// the per-cycle arming probe would be pure overhead. As with compute
+    /// fast-forwarding, the [`SimReport`] is byte-identical in every mode —
+    /// the equivalence suite's on/off axis asserts exactly that — so the
+    /// knob only places wall-clock work. Ignored by the lock-step reference
+    /// kernel, which never plans drain windows.
+    #[must_use]
+    pub fn drain_fast_forward(mut self, enabled: bool) -> Self {
+        self.drain_fast_forward = Some(enabled);
+        self
+    }
+
     /// Generates the workload, validates the configuration and wires the
     /// system.
     ///
@@ -262,10 +281,12 @@ impl SimulationBuilder {
         let fast_forward = self.fast_forward.unwrap_or_else(|| {
             generated.compute_block_stats().longest_block >= ar_cpu::PROFITABLE_BLOCK_INSNS
         });
+        let drain_fast_forward = self.drain_fast_forward.unwrap_or(generated.updates > 0);
         let system = System::new(cfg, generated.streams, generated.memory)?
             .with_labels(generated.name, label)
             .with_threads(threads)
-            .with_fast_forward(fast_forward);
+            .with_fast_forward(fast_forward)
+            .with_drain_fast_forward(drain_fast_forward);
         Ok(Simulation {
             system,
             observers: self.observers,

@@ -1,0 +1,371 @@
+//! Closed-form planning of system-level offload-drain windows.
+//!
+//! In the MI-full offload regime — cores issuing a long run of `Update`
+//! items against a back-pressuring Message Interface — the whole cluster
+//! reduces to a deterministic scalar recurrence: each core cycle retires up
+//! to `issue_width` instructions from an all-retirable ROB and issues head
+//! updates while the ROB and MI have space, and each network cycle the
+//! system drains one command per non-empty MI into the host controller.
+//! Nothing external can intervene once the system has verified the arming
+//! guards (no outstanding memory requests or undelivered completions, an
+//! idle host controller, every other core inert — see
+//! `System::try_arm_offload_drain`), so the per-cycle kernel's behaviour
+//! over the window is a pure function of three scalars per core: ROB
+//! occupancy in instructions, MI occupancy and the remaining update run.
+//!
+//! [`plan`] iterates exactly that recurrence — the same checks, in the same
+//! order, as `Core::tick`'s retire and issue stages (`rob_space() == 0`
+//! first, then the stream peek, then the MI-space check) and the system's
+//! one-pop-per-cycle MI drain — over plain integers instead of the ROB
+//! `VecDeque`, the stream and the scheduler. The ROB's slot partitioning is
+//! irrelevant in this regime because occupancy is counted in instructions
+//! and the retire stage crosses slot boundaries (`Core::rob_space`), and
+//! every slot issued inside the window is retirable by its first retire
+//! opportunity (`Ready(cycle + 1)`). The planner stops the window before
+//! any cycle in which the issue stage would peek past the update run — the
+//! peeked item could issue a memory access or offload a gather, which is no
+//! longer plannable — and before any externally imposed boundary the system
+//! passes in (`max_cycles`: IPC sample boundaries, the global cycle limit,
+//! a fast-forwarding core's interval end), so `SimReport`s stay
+//! byte-identical to the lock-step oracle at every split point.
+//!
+//! The pop schedule the planner emits is replayed by the system at the
+//! commands' true network cycles (`System::flush_drain_outbox`): host
+//! controller submissions and packet injections keep their exact per-cycle
+//! timing and ordering, so the memory side cannot tell a planned window
+//! from a ticked one. Only the core-side per-cycle ticking is skipped; its
+//! aggregate effect is applied in one shot by `Core::finish_offload_drain`.
+
+use ar_cpu::OffloadDrainProbe;
+use ar_types::WorkItem;
+
+/// Minimum window length (network cycles) worth arming: shorter windows are
+/// ticked per cycle, the planner's probe/commit overhead would dominate.
+pub(crate) const MIN_DRAIN_CYCLES: u64 = 8;
+
+/// Cap on the commands one window may schedule for submission. Bounds the
+/// outbox memory of very long drains; the regime re-arms immediately after
+/// a capped window, so long drains run as a chain of windows.
+pub(crate) const MAX_WINDOW_POPS: u64 = 16_384;
+
+/// How a window cycle's issue stage ended, for stall attribution. Mirrors
+/// the `blocked_reason` strings of `Core::tick`'s issue loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    None,
+    Offload,
+    Rob,
+}
+
+/// Evolving scalar state and accumulators of one drain core inside the
+/// planner. Constructed from the core's [`OffloadDrainProbe`]; the
+/// accumulators become the core's `OffloadDrainOutcome` when the window
+/// commits.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreDrain {
+    issue_width: u64,
+    rob_entries: u64,
+    mi_depth: u64,
+    /// ROB occupancy in instructions (all retirable).
+    q: u64,
+    /// MI occupancy in commands.
+    mi_len: u64,
+    /// `Update` items left in the stream-head run.
+    updates_left: u64,
+    /// Instructions retired inside the window so far.
+    pub retired: u64,
+    /// Fully-stalled cycles attributed to a full Message Interface.
+    pub stall_offload: u64,
+    /// Fully-stalled cycles attributed to a full ROB.
+    pub stall_rob_full: u64,
+    /// Stream updates issued (popped from the stream, pushed into the MI).
+    pub pushes: u64,
+    /// Commands drained from the MI front.
+    pub pops: u64,
+}
+
+impl CoreDrain {
+    pub(crate) fn new(probe: &OffloadDrainProbe) -> Self {
+        CoreDrain {
+            issue_width: probe.issue_width,
+            rob_entries: probe.rob_entries,
+            mi_depth: probe.mi_depth,
+            q: probe.rob_insns,
+            mi_len: probe.mi_len,
+            updates_left: probe.update_run,
+            retired: 0,
+            stall_offload: 0,
+            stall_rob_full: 0,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// Advances this core by one network cycle: `ratio` core ticks (retire,
+    /// then issue, then stall attribution — the exact order and checks of
+    /// `Core::tick` restricted to the drain regime) followed by the
+    /// system's one MI pop. Returns `None` when a tick would peek past the
+    /// update run (the window must end before this cycle), otherwise
+    /// whether the MI drained a command.
+    fn advance_network_cycle(&mut self, ratio: u64) -> Option<bool> {
+        for _ in 0..ratio {
+            // Retire: every ROB instruction is retirable (slots issued in
+            // the window become ready the cycle after their push), so the
+            // stage always retires `min(occupancy, width)`.
+            let retired = self.q.min(self.issue_width);
+            self.q -= retired;
+            self.retired += retired;
+            // Issue: head updates while the ROB and MI have space, with the
+            // same check order as the per-cycle issue loop.
+            let mut budget = self.issue_width;
+            let mut issued = 0u64;
+            let mut blocked = Blocked::None;
+            while budget > 0 {
+                if self.rob_entries.saturating_sub(self.q) == 0 {
+                    blocked = Blocked::Rob;
+                    break;
+                }
+                // The real issue stage peeks the stream here; past the run
+                // the peeked item is no longer an `Update`, so the cycle is
+                // not plannable and the window ends before it.
+                if self.updates_left == 0 {
+                    return None;
+                }
+                if self.mi_len == self.mi_depth {
+                    blocked = Blocked::Offload;
+                    break;
+                }
+                self.q += WorkItem::UPDATE_INSNS;
+                self.mi_len += 1;
+                self.updates_left -= 1;
+                self.pushes += 1;
+                issued += WorkItem::UPDATE_INSNS;
+                budget = budget.saturating_sub(WorkItem::UPDATE_INSNS);
+            }
+            if retired == 0 && issued == 0 {
+                match blocked {
+                    Blocked::Offload => self.stall_offload += 1,
+                    Blocked::Rob => self.stall_rob_full += 1,
+                    Blocked::None => {}
+                }
+            }
+        }
+        if self.mi_len > 0 {
+            self.mi_len -= 1;
+            self.pops += 1;
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+}
+
+/// Plans one drain window over `cores` (window-relative network cycles
+/// `1..=max_cycles`), mutating each core's scalars/accumulators to the
+/// window end and appending every MI pop to `pops` as
+/// `(window-relative cycle, index into cores)` in cycle-major, then
+/// input-order — the submission order `System::drain_message_interfaces`
+/// would have used. Returns the planned window length in network cycles
+/// (possibly 0). A cycle in which any core's issue stage would peek past
+/// its update run ends the window *before* that cycle, atomically for all
+/// cores; planning also stops once `max_pops` commands are scheduled.
+pub(crate) fn plan(
+    cores: &mut [CoreDrain],
+    ratio: u64,
+    max_cycles: u64,
+    max_pops: u64,
+    pops: &mut Vec<(u64, u32)>,
+) -> u64 {
+    debug_assert!(ratio > 0, "core/network clock ratio must be non-zero");
+    let mut snapshot = cores.to_vec();
+    let mut total_pops = 0u64;
+    let mut planned = 0u64;
+    'window: for rel in 1..=max_cycles {
+        snapshot.copy_from_slice(cores);
+        let pops_mark = pops.len();
+        for (idx, core) in cores.iter_mut().enumerate() {
+            match core.advance_network_cycle(ratio) {
+                // Peek past the run: drop this cycle for *all* cores.
+                None => {
+                    cores.copy_from_slice(&snapshot);
+                    pops.truncate(pops_mark);
+                    break 'window;
+                }
+                Some(true) => {
+                    total_pops += 1;
+                    pops.push((rel, idx as u32));
+                }
+                Some(false) => {}
+            }
+        }
+        planned = rel;
+        if total_pops >= max_pops {
+            break;
+        }
+    }
+    planned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_cpu::{Core, OffloadDrainOutcome};
+    use ar_sim::SimRng;
+    use ar_types::config::CoreConfig;
+    use ar_types::{Addr, CoreId, Cycle, ReduceOp, WorkStream};
+
+    fn update_item(i: u64) -> WorkItem {
+        WorkItem::Update {
+            op: ReduceOp::Sum,
+            src1: Addr::new(0x1000 + i * 8),
+            src2: None,
+            imm: None,
+            target: Addr::new(0x8_0000 + (i % 7) * 8),
+        }
+    }
+
+    /// Drives `core` per cycle over `ncs` network cycles starting at network
+    /// cycle `start_nc` — `ratio` ticks then one MI pop, exactly the system's
+    /// cores phase in the drain regime — and returns the popped commands.
+    fn drive_per_cycle(core: &mut Core, start_nc: Cycle, ncs: u64, ratio: u64) -> Vec<u64> {
+        let mut pop_cycles = Vec::new();
+        for nc in start_nc..start_nc + ncs {
+            for sub in 0..ratio {
+                // Past the update run the core may legitimately issue memory
+                // (the appended follower); both cores do so identically, and
+                // no responses arrive, so the comparison stays exact.
+                let _ = core.tick(nc * ratio + sub);
+            }
+            if core.mi_mut().pop().is_some() {
+                pop_cycles.push(nc);
+            }
+        }
+        pop_cycles
+    }
+
+    /// The planner and per-cycle ticking must agree on every counter and on
+    /// the post-window behaviour, across random widths, ROB sizes, MI
+    /// depths, run lengths, warm-up states and clock ratios.
+    #[test]
+    fn planned_windows_match_per_cycle_ticking() {
+        let mut rng = SimRng::seed_from_u64(0xd5a1_0e6f);
+        for case in 0..200 {
+            let ratio = 1 + rng.next_below(3);
+            let cfg = CoreConfig {
+                issue_width: [1, 2, 4, 8][rng.index(4)],
+                rob_entries: [4, 8, 32, 96][rng.index(4)],
+                mi_queue_depth: [1, 2, 4, 16][rng.index(4)],
+                ..CoreConfig::default()
+            };
+            let run = 4 + rng.next_below(160);
+            let mut stream = WorkStream::new(ar_types::ThreadId::new(0));
+            for i in 0..run {
+                stream.push(update_item(i));
+            }
+            // A non-update follower half the time, exercising the peek-stop.
+            if rng.chance(0.5) {
+                stream.push(WorkItem::Load(Addr::new(0x9_0000)));
+            }
+            let mut oracle = Core::new(CoreId::new(0), &cfg, stream.clone());
+            let mut planned_core = Core::new(CoreId::new(0), &cfg, stream);
+            // Warm both cores identically into a mid-drain state.
+            let warmup = rng.next_below(6);
+            drive_per_cycle(&mut oracle, 0, warmup, ratio);
+            drive_per_cycle(&mut planned_core, 0, warmup, ratio);
+
+            let since = warmup * ratio;
+            let Some(probe) = planned_core.offload_drain_probe(since, MAX_WINDOW_POPS + 32) else {
+                continue; // warm-up consumed the run — nothing to plan
+            };
+            let mut cores = vec![CoreDrain::new(&probe)];
+            let mut pops = Vec::new();
+            let max_cycles = 1 + rng.next_below(400);
+            let ncs = plan(&mut cores, ratio, max_cycles, MAX_WINDOW_POPS, &mut pops);
+            assert!(ncs <= max_cycles);
+            if ncs == 0 {
+                continue;
+            }
+            let plan_result = cores[0];
+            assert_eq!(plan_result.pops, pops.len() as u64);
+
+            // Collect the commands the system would submit, then commit.
+            let mut commands = Vec::new();
+            planned_core.peek_drain_commands(plan_result.pops, &mut commands);
+            planned_core.finish_offload_drain(&OffloadDrainOutcome {
+                core_cycles: ncs * ratio,
+                end_ready_at: (warmup + ncs) * ratio,
+                retired: plan_result.retired,
+                stall_offload: plan_result.stall_offload,
+                stall_rob_full: plan_result.stall_rob_full,
+                pushes: plan_result.pushes,
+                pops: plan_result.pops,
+            });
+
+            // The oracle ticks the same window per cycle; its popped
+            // commands must equal the planned submission schedule.
+            let mut oracle_cmds = Vec::new();
+            for nc in warmup..warmup + ncs {
+                for sub in 0..ratio {
+                    let out = oracle.tick(nc * ratio + sub);
+                    assert!(out.mem_requests.is_empty());
+                }
+                if let Some(cmd) = oracle.mi_mut().pop() {
+                    oracle_cmds.push((nc - warmup + 1, cmd));
+                }
+            }
+            assert_eq!(oracle_cmds.len(), commands.len(), "case {case}: pop count");
+            for (i, ((rel, cmd), planned_cmd)) in oracle_cmds.iter().zip(&commands).enumerate() {
+                assert_eq!(*rel, pops[i].0, "case {case}: pop {i} cycle");
+                assert_eq!(cmd, planned_cmd, "case {case}: pop {i} command");
+            }
+
+            let check = |oracle: &Core, planned: &Core, when: &str| {
+                assert_eq!(oracle.cycles(), planned.cycles(), "case {case} {when}: cycles");
+                assert_eq!(
+                    oracle.instructions_retired(),
+                    planned.instructions_retired(),
+                    "case {case} {when}: retired"
+                );
+                assert_eq!(oracle.stalls(), planned.stalls(), "case {case} {when}: stalls");
+                assert_eq!(
+                    oracle.updates_offloaded(),
+                    planned.updates_offloaded(),
+                    "case {case} {when}: updates"
+                );
+                assert_eq!(oracle.mi().len(), planned.mi().len(), "case {case} {when}: MI");
+                assert_eq!(oracle.is_done(), planned.is_done(), "case {case} {when}: done");
+            };
+            check(&oracle, &planned_core, "at window end");
+
+            // Continue both per cycle past the window: the merged-ROB
+            // rebuild must be behaviourally invisible.
+            let tail_pops_o = drive_per_cycle(&mut oracle, warmup + ncs, 40, ratio);
+            let tail_pops_p = drive_per_cycle(&mut planned_core, warmup + ncs, 40, ratio);
+            assert_eq!(tail_pops_o, tail_pops_p, "case {case}: post-window pop schedule");
+            check(&oracle, &planned_core, "after the window tail");
+        }
+    }
+
+    /// The pop budget truncates the window without corrupting the schedule.
+    #[test]
+    fn pop_budget_caps_the_window() {
+        let cfg = CoreConfig {
+            issue_width: 4,
+            rob_entries: 32,
+            mi_queue_depth: 4,
+            ..CoreConfig::default()
+        };
+        let mut stream = WorkStream::new(ar_types::ThreadId::new(0));
+        for i in 0..500 {
+            stream.push(update_item(i));
+        }
+        let core = Core::new(CoreId::new(0), &cfg, stream);
+        let probe = core.offload_drain_probe(0, 1_000).expect("fresh update run probes");
+        let mut cores = vec![CoreDrain::new(&probe)];
+        let mut pops = Vec::new();
+        let ncs = plan(&mut cores, 2, 10_000, 10, &mut pops);
+        assert!(cores[0].pops >= 10, "window must stop only once the budget is met");
+        assert_eq!(pops.len() as u64, cores[0].pops);
+        assert!(ncs < 10_000);
+    }
+}

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod builder;
+mod drain;
 pub mod observer;
 pub mod report;
 pub mod runner;

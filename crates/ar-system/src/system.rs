@@ -35,11 +35,12 @@
 //! numerical reduction results that the tests compare against the workload's
 //! reference values.
 
+use crate::drain::{self, CoreDrain, MAX_WINDOW_POPS, MIN_DRAIN_CYCLES};
 use crate::observer::{Observer, ObserverHub, RunInfo, Sample, SimEvent};
 use crate::report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
-use active_routing::{ActiveRoutingEngine, AreOutput, HostOffloadController};
+use active_routing::{ActiveRoutingEngine, AreOutput, HostOffloadController, HostOutput};
 use ar_cache::{AccessKind, CacheHierarchy, HitLevel};
-use ar_cpu::{Core, MemAccess, MemAccessKind};
+use ar_cpu::{Core, MemAccess, MemAccessKind, OffloadCommand, OffloadDrainOutcome};
 use ar_dram::{DramRequest, DramSystem};
 use ar_hmc::{HmcCube, VaultRequest};
 use ar_network::{DragonflyTopology, MemoryNetwork, MeshNoc};
@@ -122,9 +123,14 @@ struct CubeOutbox {
     /// The cube received at least one vault request, so `SysKey::Cube` must
     /// be stimulated for sub-phase 2.
     cube_stimulated: bool,
-    /// Engine outputs (packets + operand/vault accesses), in emission order:
-    /// one entry per handled active packet, plus the pipeline tick's output.
-    are_outputs: Vec<AreOutput>,
+    /// Engine output (packets + operand/vault accesses) accumulated across
+    /// the handled active packets and the pipeline tick, in emission order.
+    /// One reused accumulator per cube: within each list the order equals
+    /// the old one-output-per-packet scheme's concatenation, and packets and
+    /// vault accesses feed disjoint subsystems (network injection vs. vault
+    /// queues), so collapsing the per-packet boundaries cannot change the
+    /// report.
+    are_output: AreOutput,
 }
 
 /// Reusable per-cube buffers for the HMC sub-phase jobs. Taken out of the
@@ -155,7 +161,6 @@ impl CubeDeliveryJob<'_> {
     /// loop's order: deliver packets (vault pushes and engine handling in
     /// arrival order), then advance the engine pipelines.
     fn tick(&mut self, now: Cycle) {
-        let mut ctx = SchedCtx::new(now);
         while let Some(packet) = self.scratch.inbox.pop_front() {
             match &packet.kind {
                 PacketKind::ReadReq { req_id, addr } | PacketKind::WriteReq { req_id, addr } => {
@@ -176,16 +181,15 @@ impl CubeDeliveryJob<'_> {
                     // Responses are only ever destined to host ports.
                 }
                 PacketKind::Active(_) => {
-                    let out = self.engine.handle_packet(now, packet);
-                    self.scratch.outbox.are_outputs.push(out);
+                    self.engine.handle_packet_into(
+                        now,
+                        packet,
+                        &mut self.scratch.outbox.are_output,
+                    );
                 }
             }
         }
-        self.engine.wake(now, &mut ctx);
-        let tick_out = self.engine.take_output();
-        if !tick_out.is_empty() {
-            self.scratch.outbox.are_outputs.push(tick_out);
-        }
+        self.engine.tick_into(now, &mut self.scratch.outbox.are_output);
     }
 }
 
@@ -259,6 +263,16 @@ struct MemTxn {
     /// the memory controller.
     noc_return: u64,
     is_write: bool,
+}
+
+/// One host-controller submission planned by an offload-drain window: a
+/// command some core's Message Interface pops at network cycle `cycle`. The
+/// pop itself was already applied when the window committed; only the
+/// submission's timing and order must be replayed exactly.
+#[derive(Debug, Clone, Copy)]
+struct DrainInjection {
+    cycle: Cycle,
+    cmd: OffloadCommand,
 }
 
 /// The memory substrate behind the caches.
@@ -335,6 +349,27 @@ pub struct System {
     /// intervals on the cores (see [`System::with_fast_forward`]). The
     /// lock-step reference ignores the knob — it never fast-forwards.
     fast_forward: bool,
+    /// Whether the event-driven kernel may plan whole offload-drain windows
+    /// in closed form (see [`System::with_drain_fast_forward`]). The
+    /// lock-step reference ignores the knob — it never plans.
+    drain_fast_forward: bool,
+    /// First network cycle *not* covered by the currently planned drain
+    /// window (0 = no window pending). While `now < drain_until` the cores
+    /// phase only replays the window's submission schedule from
+    /// `drain_outbox`; the cores' own state was already committed to the
+    /// window end when the window was armed.
+    drain_until: Cycle,
+    /// The planned host-controller submissions of the current drain window,
+    /// cycle-major and core-ascending within a cycle — exactly the order the
+    /// per-cycle drain phase would have produced them in.
+    drain_outbox: VecDeque<DrainInjection>,
+    /// Offload-drain windows planned so far (diagnostics only — the whole
+    /// contract is that the report cannot tell).
+    drain_windows: u64,
+    /// Reusable controller-output buffer of the drain phases, so submitting
+    /// a command allocates nothing (its back-invalidate list doubles as the
+    /// batch applied after each cycle's submissions).
+    host_scratch: HostOutput,
     /// Reusable `(core, request)` buffer of the cores phase, so the hot
     /// per-core-cycle loop allocates nothing.
     core_requests: Vec<(usize, MemAccess)>,
@@ -364,6 +399,9 @@ pub struct System {
     cube_scratch: Vec<CubeScratch>,
     /// Reusable engine-output merge buffer.
     are_scratch: Vec<(usize, AreOutput)>,
+    /// Pool of emptied engine-output accumulators recycled between the
+    /// vault-completion merge and the apply step.
+    are_spare: Vec<AreOutput>,
     /// Reusable vault-completion merge buffer.
     completion_scratch: Vec<(usize, ar_hmc::VaultResponse)>,
 }
@@ -454,6 +492,7 @@ impl System {
             busy_count: 0,
             cube_scratch: (0..cube_count).map(|_| CubeScratch::default()).collect(),
             are_scratch: Vec::new(),
+            are_spare: Vec::new(),
             completion_scratch: Vec::new(),
             label: String::new(),
             workload: String::new(),
@@ -478,6 +517,11 @@ impl System {
             back_invalidations: 0,
             threads: 1,
             fast_forward: true,
+            drain_fast_forward: true,
+            drain_until: 0,
+            drain_outbox: VecDeque::new(),
+            drain_windows: 0,
+            host_scratch: HostOutput::default(),
             core_requests: Vec::new(),
             core_wake_at,
             mi_pending,
@@ -536,6 +580,32 @@ impl System {
     #[must_use]
     pub fn with_fast_forward(mut self, enabled: bool) -> Self {
         self.fast_forward = enabled;
+        self
+    }
+
+    /// Enables or disables system-level offload-drain fast-forwarding in the
+    /// event-driven kernel (default: enabled).
+    ///
+    /// When enabled, a cluster caught in the MI-full offload regime — every
+    /// runnable core issuing a head run of `Update` items against a
+    /// back-pressuring Message Interface, no memory responses or gather
+    /// completions in flight, the host controller idle — has its whole drain
+    /// schedule computed in closed form (the `drain` planner module)
+    /// instead of being
+    /// ticked every core cycle: the cores' retire/issue/stall effects commit
+    /// in one shot, and only the per-cycle host-controller submissions are
+    /// replayed at their true network cycles, so the memory side sees
+    /// exactly the packet sequence per-cycle ticking would have produced.
+    /// Windows end before any IPC sample boundary, observer-visible event,
+    /// cycle limit or regime change, so the [`SimReport`] is byte-identical
+    /// either way — the knob only decides wall-clock placement of the work,
+    /// which is what lets the equivalence suite carry an on/off axis and the
+    /// bench regression gate compare the two. [`System::run_lockstep`]
+    /// ignores the knob: the per-cycle reference is the oracle the planned
+    /// schedule is validated against.
+    #[must_use]
+    pub fn with_drain_fast_forward(mut self, enabled: bool) -> Self {
+        self.drain_fast_forward = enabled;
         self
     }
 
@@ -671,7 +741,6 @@ impl System {
         debug_assert!(self.armq.is_empty());
         let is_due = |key: SysKey| due.is_none_or(|set| set.binary_search(&key).is_ok());
         let ratio = self.cfg.core_cycles_per_network_cycle();
-        let mut ctx = SchedCtx::new(now);
 
         // ------------------------------------------------------------------
         // Core cluster: pipelines, barrier release, Message Interfaces.
@@ -686,81 +755,18 @@ impl System {
             // ticking every core per cycle — and never arms an interval — so
             // it stays the per-cycle oracle the settle arithmetic must match.
             let event_kernel = due.is_some();
-            for sub in 0..ratio {
-                let core_cycle = now * ratio + sub;
-                // Deliver finished memory requests first so dependent work
-                // can issue in the same cycle.
-                while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
-                    self.cores[core].complete_mem(req_id, core_cycle);
-                    // The completion may unpark the core: re-open its gate
-                    // (spuriously waking a still-blocked core is harmless).
-                    self.core_wake_at[core] = 0;
-                }
-                let mut requests = std::mem::take(&mut self.core_requests);
-                let mut newly_done = 0;
-                for (i, core) in self.cores.iter_mut().enumerate() {
-                    if event_kernel {
-                        // The dense gate folds done, parked and
-                        // fast-forwarding into one contiguous load.
-                        if self.core_wake_at[i] > core_cycle {
-                            continue;
-                        }
-                        // An unpark site may spuriously re-open the gate of
-                        // an already-done core (e.g. a fire-and-forget
-                        // gather result arriving after its issuer retired
-                        // everything): restore the gate without re-counting
-                        // the core's done transition.
-                        if core.is_done() {
-                            self.core_wake_at[i] = u64::MAX;
-                            continue;
-                        }
-                    } else if core.is_done() {
-                        continue;
-                    }
-                    core.wake(core_cycle, &mut ctx);
-                    requests.extend(core.drain_requests().map(|req| (i, req)));
-                    // Offload commands only enter the MI during the wake:
-                    // refresh the drain phase's dense flag.
-                    let mi_now = !core.mi().is_empty();
-                    if mi_now != self.mi_pending[i] {
-                        self.mi_pending[i] = mi_now;
-                        if mi_now {
-                            self.mi_pending_cores += 1;
-                        } else {
-                            self.mi_pending_cores -= 1;
-                        }
-                    }
-                    // A core only transitions to done while it retires, i.e.
-                    // during its own wake — count the transition here, and
-                    // refresh the gate from the wake's outcome.
-                    if core.is_done() {
-                        newly_done += 1;
-                        self.core_wake_at[i] = u64::MAX;
-                    } else if core.is_parked() {
-                        self.core_wake_at[i] = u64::MAX;
-                    } else if event_kernel
-                        && self.fast_forward
-                        && core.try_fast_forward(core_cycle + 1)
-                    {
-                        self.core_wake_at[i] =
-                            core.fast_forward_until().expect("interval just armed");
-                    } else {
-                        self.core_wake_at[i] = 0;
-                    }
-                }
-                self.cores_done += newly_done;
-                for (core, req) in requests.drain(..) {
-                    self.handle_core_memory_request(core_cycle, core, req);
-                }
-                self.core_requests = requests;
+            if event_kernel && now < self.drain_until {
+                // A planned offload-drain window covers this cycle: every
+                // core's pipeline state was already committed to the window
+                // end when the window was armed, so the cluster only replays
+                // the window's host-controller submissions due now — at
+                // their true cycles and in their true order, keeping the
+                // memory side cycle-exact.
+                self.flush_drain_outbox(now);
+                sched.schedule_next(self.cores_next_wake(now), SysKey::Cores);
+            } else {
+                self.step_cores(now, ratio, event_kernel, sched, hub);
             }
-            self.release_barriers(now * ratio, hub);
-            self.drain_message_interfaces(now);
-            // Re-arm lazily: every network cycle while some core still ticks
-            // (or has Message-Interface commands to drain), otherwise only at
-            // the next pending completion delivery. A fully parked cluster
-            // sleeps until the memory side stimulates it.
-            sched.schedule_next(self.cores_next_wake(now), SysKey::Cores);
         }
 
         // ------------------------------------------------------------------
@@ -809,6 +815,102 @@ impl System {
         }
         touched.clear();
         self.armq = touched;
+    }
+
+    /// The normal cores phase of one network cycle: the per-core-cycle
+    /// sub-loop (completion delivery, pipeline wakes, memory issue), barrier
+    /// release, the Message-Interface drain, and — in the event kernel — an
+    /// attempt to arm a new offload-drain window before the cluster's next
+    /// wake-up is scheduled.
+    fn step_cores(
+        &mut self,
+        now: Cycle,
+        ratio: u64,
+        event_kernel: bool,
+        sched: &mut ShardedScheduler<SysKey>,
+        hub: &mut ObserverHub<'_>,
+    ) {
+        let mut ctx = SchedCtx::new(now);
+        for sub in 0..ratio {
+            let core_cycle = now * ratio + sub;
+            // Deliver finished memory requests first so dependent work
+            // can issue in the same cycle.
+            while let Some((core, req_id)) = self.core_completions.pop_ready(core_cycle) {
+                self.cores[core].complete_mem(req_id, core_cycle);
+                // The completion may unpark the core: re-open its gate
+                // (spuriously waking a still-blocked core is harmless).
+                self.core_wake_at[core] = 0;
+            }
+            let mut requests = std::mem::take(&mut self.core_requests);
+            let mut newly_done = 0;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if event_kernel {
+                    // The dense gate folds done, parked and
+                    // fast-forwarding into one contiguous load.
+                    if self.core_wake_at[i] > core_cycle {
+                        continue;
+                    }
+                    // An unpark site may spuriously re-open the gate of
+                    // an already-done core (e.g. a fire-and-forget
+                    // gather result arriving after its issuer retired
+                    // everything): restore the gate without re-counting
+                    // the core's done transition.
+                    if core.is_done() {
+                        self.core_wake_at[i] = u64::MAX;
+                        continue;
+                    }
+                } else if core.is_done() {
+                    continue;
+                }
+                core.wake(core_cycle, &mut ctx);
+                requests.extend(core.drain_requests().map(|req| (i, req)));
+                // Offload commands only enter the MI during the wake:
+                // refresh the drain phase's dense flag.
+                let mi_now = !core.mi().is_empty();
+                if mi_now != self.mi_pending[i] {
+                    self.mi_pending[i] = mi_now;
+                    if mi_now {
+                        self.mi_pending_cores += 1;
+                    } else {
+                        self.mi_pending_cores -= 1;
+                    }
+                }
+                // A core only transitions to done while it retires, i.e.
+                // during its own wake — count the transition here, and
+                // refresh the gate from the wake's outcome.
+                if core.is_done() {
+                    newly_done += 1;
+                    self.core_wake_at[i] = u64::MAX;
+                } else if core.is_parked() {
+                    self.core_wake_at[i] = u64::MAX;
+                } else if event_kernel && self.fast_forward && core.try_fast_forward(core_cycle + 1)
+                {
+                    self.core_wake_at[i] = core.fast_forward_until().expect("interval just armed");
+                } else {
+                    self.core_wake_at[i] = 0;
+                }
+            }
+            self.cores_done += newly_done;
+            for (core, req) in requests.drain(..) {
+                self.handle_core_memory_request(core_cycle, core, req);
+            }
+            self.core_requests = requests;
+        }
+        self.release_barriers(now * ratio, hub);
+        self.drain_message_interfaces(now);
+        // With this cycle's per-cycle work done, the cluster may now be in
+        // the purely deterministic offload-drain regime: plan the whole
+        // window in closed form instead of ticking through it. Barrier
+        // release above may have stopped the run through an observer — an
+        // armed window would then leak past the stop, so never arm one.
+        if event_kernel && self.drain_fast_forward && !hub.stopped() {
+            self.try_arm_offload_drain(now);
+        }
+        // Re-arm lazily: every network cycle while some core still ticks
+        // (or has Message-Interface commands to drain), otherwise only at
+        // the next pending completion delivery. A fully parked cluster
+        // sleeps until the memory side stimulates it.
+        sched.schedule_next(self.cores_next_wake(now), SysKey::Cores);
     }
 
     /// Whether a memory-side component currently holds in-flight work.
@@ -884,6 +986,15 @@ impl System {
     /// cores idles until the earliest such deadline (or until the memory side
     /// stimulates it).
     fn cores_next_wake(&self, now: Cycle) -> NextWake {
+        // A planned offload-drain window owns the cluster's schedule: the
+        // next wake is the next planned submission (or the window's end,
+        // where normal ticking resumes). This must come first — the dense
+        // per-core gates and MI flags already describe the *post-window*
+        // state, so the checks below would wake the cluster mid-window.
+        if now < self.drain_until {
+            let at = self.drain_outbox.front().map_or(self.drain_until, |inj| inj.cycle);
+            return NextWake::At(at.max(now + 1));
+        }
         // Undrained Message-Interface commands keep the cluster hot (the MI
         // serialises one command per network cycle regardless of the
         // pipeline being blocked).
@@ -1115,8 +1226,11 @@ impl System {
         let Some(controller) = hmc.controller.as_mut() else {
             return;
         };
-        let mut back_invalidate = Vec::new();
-        let mut injected = false;
+        // The cycle's submissions batch into the reused controller buffer
+        // (append order is submission order), so the hot path allocates
+        // nothing and the batched injection below is indistinguishable from
+        // injecting after every submit.
+        self.host_scratch.clear();
         let mut newly_done = 0;
         for (i, core) in self.cores.iter_mut().enumerate() {
             if !self.mi_pending[i] {
@@ -1125,12 +1239,7 @@ impl System {
             // One offload command per core per network cycle (the MI serialises
             // register writes into packets at the network clock).
             if let Some(cmd) = core.mi_mut().pop() {
-                let out = controller.submit(now, cmd);
-                for (_, packet) in out.packets {
-                    hmc.network.inject(now, packet);
-                    injected = true;
-                }
-                back_invalidate.extend(out.back_invalidate);
+                controller.submit_into(now, cmd, &mut self.host_scratch);
                 if core.mi().is_empty() {
                     self.mi_pending[i] = false;
                     self.mi_pending_cores -= 1;
@@ -1145,10 +1254,210 @@ impl System {
             }
         }
         self.cores_done += newly_done;
-        if injected {
+        // Submitting MI commands only produces packets and back-invalidations
+        // (gather completions arrive through the host ports).
+        debug_assert!(self.host_scratch.completions.is_empty());
+        if !self.host_scratch.packets.is_empty() {
+            for (_, packet) in self.host_scratch.packets.drain(..) {
+                hmc.network.inject(now, packet);
+            }
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
         }
-        for addr in back_invalidate {
+        for addr in self.host_scratch.back_invalidate.drain(..) {
+            let (copies, _dirty) = self.caches.back_invalidate(addr);
+            if copies > 0 {
+                self.back_invalidations += 1;
+            }
+        }
+    }
+
+    /// Tries to plan an offload-drain window starting after network cycle
+    /// `now` (see [`crate::drain`]). Called at the end of the event kernel's
+    /// cores phase, after this cycle's Message-Interface drain; on success
+    /// every drain core's pipeline state is committed to the window end in
+    /// one shot, the planned submissions are queued in `drain_outbox`, and
+    /// `drain_until` makes the cores phase replay-only until the window
+    /// ends.
+    ///
+    /// The guards establish that nothing outside the plan can touch the
+    /// cluster inside the window:
+    /// * the host controller is idle — no gather barrier can complete, so no
+    ///   gate opens and no observer event fires from the ports;
+    /// * no core memory transaction or completion is in flight — no core can
+    ///   unpark and the memory side cannot stimulate the cluster;
+    /// * every runnable core probes as a pure drain core
+    ///   ([`Core::offload_drain_probe`]); parked and done cores stay inert
+    ///   for the whole window (a barrier cannot release while a drain core
+    ///   still runs), and a compute-fast-forwarding core caps the window
+    ///   before its wake-up;
+    /// * the window closes before the next IPC sample boundary and before
+    ///   the cycle limit, and never opens *on* a boundary — the sample later
+    ///   in this same step must not read counters already advanced past the
+    ///   window.
+    fn try_arm_offload_drain(&mut self, now: Cycle) {
+        debug_assert!(self.drain_until <= now, "armed while a window is still open");
+        let ratio = self.cfg.core_cycles_per_network_cycle();
+        let core_cycle = now * ratio;
+        if core_cycle != 0 && core_cycle.is_multiple_of(IPC_WINDOW_CORE_CYCLES) {
+            return;
+        }
+        // The last network cycle the window may cover.
+        let mut horizon = self.next_ipc_boundary(now) - 1;
+        if self.cfg.max_cycles != 0 {
+            horizon = horizon.min(self.cfg.max_cycles.saturating_sub(1));
+        }
+        if horizon < now + MIN_DRAIN_CYCLES {
+            return;
+        }
+        match &self.backend {
+            Backend::Hmc(hmc) => match &hmc.controller {
+                Some(controller) if controller.is_idle() => {}
+                _ => return,
+            },
+            Backend::Dram(_) => return,
+        }
+        if !self.core_completions.is_empty() {
+            return;
+        }
+        // In-flight core transactions (loads/atomics awaiting a response)
+        // would deliver mid-window; cache writebacks (`core == usize::MAX`)
+        // never touch the cluster. The map is bounded by the per-core
+        // outstanding-request limits, so this scan is cheap.
+        if self.mem_txns.values().any(|txn| txn.core != usize::MAX) {
+            return;
+        }
+        // Classify every core: runnable cores must probe as drain cores,
+        // sleeping cores must be genuinely inert for the whole window.
+        let since = (now + 1) * ratio;
+        // Deep enough that truncating the probe's run walk can never end a
+        // window early: over `n` cycles a core pushes at most `n` drained
+        // commands plus one queue fill (see `crate::drain`).
+        let max_run = (horizon - now) + self.cfg.cores.mi_queue_depth as u64 + 8;
+        let mut drain_cores: Vec<usize> = Vec::new();
+        let mut states: Vec<CoreDrain> = Vec::new();
+        for i in 0..self.cores.len() {
+            match self.core_wake_at[i] {
+                0 => {
+                    let Some(probe) = self.cores[i].offload_drain_probe(since, max_run) else {
+                        return;
+                    };
+                    drain_cores.push(i);
+                    states.push(CoreDrain::new(&probe));
+                }
+                u64::MAX => {
+                    // Parked or done. Such a core never ticks mid-window,
+                    // but a non-empty MI would still demand per-cycle drain
+                    // service the plan does not model.
+                    if !self.cores[i].mi().is_empty() {
+                        return;
+                    }
+                }
+                at => {
+                    // A compute-fast-forwarding core sleeps until core cycle
+                    // `at`: close the window before the network cycle whose
+                    // sub-loop ticks it.
+                    if !self.cores[i].mi().is_empty() {
+                        return;
+                    }
+                    let wake_nc = at / ratio;
+                    if wake_nc <= now + MIN_DRAIN_CYCLES {
+                        return;
+                    }
+                    horizon = horizon.min(wake_nc - 1);
+                }
+            }
+        }
+        if drain_cores.is_empty() {
+            return;
+        }
+        // Plan the window on pure scalars (the fast-forward caps above may
+        // have pulled the horizon in).
+        let mut pops: Vec<(u64, u32)> = Vec::new();
+        let n = drain::plan(&mut states, ratio, horizon - now, MAX_WINDOW_POPS, &mut pops);
+        if n < MIN_DRAIN_CYCLES {
+            return;
+        }
+        // Commit: collect each drain core's submission stream, expand the
+        // pop schedule into the outbox (cycle-major, core-ascending within a
+        // cycle — exactly the per-cycle drain phase's submission order), and
+        // apply the window to every drain core in one shot.
+        debug_assert!(self.drain_outbox.is_empty(), "outbox left over from a previous window");
+        let mut commands: Vec<Vec<OffloadCommand>> = Vec::with_capacity(drain_cores.len());
+        for (slot, &i) in drain_cores.iter().enumerate() {
+            let mut list = Vec::with_capacity(states[slot].pops as usize);
+            self.cores[i].peek_drain_commands(states[slot].pops, &mut list);
+            debug_assert_eq!(list.len() as u64, states[slot].pops);
+            commands.push(list);
+        }
+        let mut cursors = vec![0usize; drain_cores.len()];
+        for &(rel, slot) in &pops {
+            let slot = slot as usize;
+            let cmd = commands[slot][cursors[slot]];
+            cursors[slot] += 1;
+            self.drain_outbox.push_back(DrainInjection { cycle: now + rel, cmd });
+        }
+        let end_ready_at = (now + 1 + n) * ratio;
+        for (slot, &i) in drain_cores.iter().enumerate() {
+            let st = &states[slot];
+            self.cores[i].finish_offload_drain(&OffloadDrainOutcome {
+                core_cycles: n * ratio,
+                end_ready_at,
+                retired: st.retired,
+                stall_offload: st.stall_offload,
+                stall_rob_full: st.stall_rob_full,
+                pushes: st.pushes,
+                pops: st.pops,
+            });
+            debug_assert!(!self.cores[i].is_done(), "a drain window cannot finish a core");
+            // The dense MI flag must describe the post-window queue for the
+            // cycle that resumes normal draining.
+            let mi_now = !self.cores[i].mi().is_empty();
+            if mi_now != self.mi_pending[i] {
+                self.mi_pending[i] = mi_now;
+                if mi_now {
+                    self.mi_pending_cores += 1;
+                } else {
+                    self.mi_pending_cores -= 1;
+                }
+            }
+        }
+        self.drain_until = now + n + 1;
+        self.drain_windows += 1;
+    }
+
+    /// Replays the planned submissions of the current drain window that are
+    /// due at `now`: each command is submitted to the host controller and
+    /// the batch's packets injected exactly as the per-cycle drain phase
+    /// would have, then the back-invalidations apply in submission order.
+    fn flush_drain_outbox(&mut self, now: Cycle) {
+        debug_assert!(now < self.drain_until);
+        let Backend::Hmc(hmc) = &mut self.backend else {
+            debug_assert!(false, "drain windows only arm on the HMC backend");
+            return;
+        };
+        let Some(controller) = hmc.controller.as_mut() else {
+            debug_assert!(false, "drain windows only arm with a host controller");
+            return;
+        };
+        self.host_scratch.clear();
+        while let Some(front) = self.drain_outbox.front() {
+            if front.cycle > now {
+                break;
+            }
+            debug_assert_eq!(front.cycle, now, "a planned submission cycle was skipped");
+            let inj = self.drain_outbox.pop_front().expect("front just checked");
+            controller.submit_into(now, inj.cmd, &mut self.host_scratch);
+        }
+        // Drain windows submit only `Update` commands: packets and
+        // back-invalidations, never gather completions.
+        debug_assert!(self.host_scratch.completions.is_empty());
+        if !self.host_scratch.packets.is_empty() {
+            for (_, packet) in self.host_scratch.packets.drain(..) {
+                hmc.network.inject(now, packet);
+            }
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
+        }
+        for addr in self.host_scratch.back_invalidate.drain(..) {
             let (copies, _dirty) = self.caches.back_invalidate(addr);
             if copies > 0 {
                 self.back_invalidations += 1;
@@ -1262,8 +1571,17 @@ impl System {
                 .tick(now);
             }
         }
-        // Merge the outboxes in cube-index order (participants are ascending).
-        let mut are_outputs = std::mem::take(&mut self.are_scratch);
+        // Merge the outboxes in cube-index order (participants are
+        // ascending): the per-cube accumulators are applied one after the
+        // other, so every network injection and vault push lands in the same
+        // order as the serial per-cube loop. Each accumulator is drained in
+        // place and handed back to its outbox, so its capacity persists
+        // across cycles.
+        debug_assert!(
+            participants.windows(2).all(|w| w[0] < w[1]),
+            "per-cube outboxes must merge in ascending cube-index order \
+             (same-cycle packets queue per link in merge order)"
+        );
         for &c in &participants {
             let outbox = &mut self.cube_scratch[c].outbox;
             for id in outbox.normal_ids.drain(..) {
@@ -1275,12 +1593,12 @@ impl System {
                 outbox.cube_stimulated = false;
                 Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(c));
             }
-            are_outputs.extend(outbox.are_outputs.drain(..).map(|out| (c, out)));
             Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(c));
+            let mut out = std::mem::take(&mut self.cube_scratch[c].outbox.are_output);
+            self.apply_cube_output(now, c, &mut out);
+            self.cube_scratch[c].outbox.are_output = out;
         }
         self.cube_participants = participants;
-        self.apply_are_outputs(now, &mut are_outputs);
-        self.are_scratch = are_outputs;
 
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
@@ -1345,7 +1663,8 @@ impl System {
                 }
                 Some(VaultPurpose::AreRead { cube, access_id }) => {
                     let value = self.func_mem.get(&resp.addr.as_u64()).copied().unwrap_or(0.0);
-                    let out = hmc.engines[cube].complete_vault_read(now, access_id, value);
+                    let mut out = self.are_spare.pop().unwrap_or_default();
+                    hmc.engines[cube].complete_vault_read_into(now, access_id, value, &mut out);
                     are_outputs.push((cube, out));
                     Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Engine(cube));
                 }
@@ -1416,39 +1735,46 @@ impl System {
     }
 
     /// Applies collected engine outputs (network injections, operand vault
-    /// accesses) in emission order, draining `outputs` so its buffer can be
-    /// recycled by the caller.
+    /// accesses) in emission order, draining `outputs` and recycling the
+    /// emptied accumulators through the spare pool.
     fn apply_are_outputs(&mut self, now: Cycle, outputs: &mut Vec<(usize, AreOutput)>) {
+        for (cube, mut out) in outputs.drain(..) {
+            self.apply_cube_output(now, cube, &mut out);
+            self.are_spare.push(out);
+        }
+    }
+
+    /// Applies one cube's engine output in emission order, draining its
+    /// lists in place so the buffer keeps its capacity for reuse.
+    fn apply_cube_output(&mut self, now: Cycle, cube: usize, out: &mut AreOutput) {
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
-        for (cube, out) in outputs.drain(..) {
-            for packet in out.packets {
-                // Packets whose destination is the local cube are handled by
-                // this cube's own engine next cycle via the network's
-                // zero-hop delivery.
-                hmc.network.inject(now, packet);
-                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
-            }
-            for access in out.vault_accesses {
-                let id = (1 << 62) | self.next_vault_id;
-                self.next_vault_id += 1;
-                let purpose = match access.write_value {
-                    Some(value) => {
-                        self.func_mem.insert(access.addr.as_u64(), value);
-                        VaultPurpose::AreWrite
-                    }
-                    None => VaultPurpose::AreRead { cube, access_id: access.id },
-                };
-                self.vault_purpose.insert(id, purpose);
-                let req = if access.write_value.is_some() {
-                    VaultRequest::write(id, access.addr)
-                } else {
-                    VaultRequest::read(id, access.addr)
-                };
-                let _ = hmc.cubes[cube].try_push(now, req);
-                Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(cube));
-                self.hmc_bytes += 8;
-            }
+        for packet in out.packets.drain(..) {
+            // Packets whose destination is the local cube are handled by
+            // this cube's own engine next cycle via the network's
+            // zero-hop delivery.
+            hmc.network.inject(now, packet);
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Network);
+        }
+        for access in out.vault_accesses.drain(..) {
+            let id = (1 << 62) | self.next_vault_id;
+            self.next_vault_id += 1;
+            let purpose = match access.write_value {
+                Some(value) => {
+                    self.func_mem.insert(access.addr.as_u64(), value);
+                    VaultPurpose::AreWrite
+                }
+                None => VaultPurpose::AreRead { cube, access_id: access.id },
+            };
+            self.vault_purpose.insert(id, purpose);
+            let req = if access.write_value.is_some() {
+                VaultRequest::write(id, access.addr)
+            } else {
+                VaultRequest::read(id, access.addr)
+            };
+            let _ = hmc.cubes[cube].try_push(now, req);
+            Self::stimulate(&mut self.armq, &mut self.arm_flags, SysKey::Cube(cube));
+            self.hmc_bytes += 8;
         }
     }
 
@@ -1538,6 +1864,14 @@ impl System {
     #[cfg(test)]
     fn cores_fast_forwarding(&self) -> usize {
         self.cores.iter().filter(|c| c.fast_forward_until().is_some()).count()
+    }
+
+    /// Number of offload-drain windows planned so far. A diagnostic: the
+    /// whole point of the planner is that reports cannot tell a planned
+    /// window from per-cycle ticking, so the only observable trace is this
+    /// counter (the kernel tests and the bench harness read it).
+    pub fn drain_windows(&self) -> u64 {
+        self.drain_windows
     }
 
     fn into_report(self, network_cycles: u64, completed: bool) -> SimReport {
@@ -1707,5 +2041,94 @@ mod tests {
             }
             NextWake::Idle => panic!("a fast-forwarding cluster still has scheduled work"),
         }
+    }
+
+    /// A system whose cores each issue a long run of `Update` offloads — the
+    /// MI-full drain regime of the offload-drain fast-forward.
+    fn offload_run_system() -> System {
+        let mut cfg = SystemConfig::small().with_scheme(ar_types::config::OffloadScheme::ArfTid);
+        cfg.max_cycles = 1_000_000;
+        let streams = (0..cfg.cores.count)
+            .map(|t| {
+                let mut s = WorkStream::new(ThreadId::new(t));
+                for i in 0..2_000u64 {
+                    s.push(WorkItem::Update {
+                        op: ar_types::ReduceOp::Sum,
+                        src1: Addr::new(0x10_0000 + (t as u64 * 2_000 + i) * 8),
+                        src2: None,
+                        imm: None,
+                        target: Addr::new(0x80_0000 + t as u64 * 64),
+                    });
+                }
+                s.push(WorkItem::Gather {
+                    target: Addr::new(0x80_0000 + t as u64 * 64),
+                    op: ar_types::ReduceOp::Sum,
+                    num_threads: 1,
+                    wait: true,
+                });
+                s
+            })
+            .collect();
+        System::new(cfg, streams, Vec::new()).expect("valid configuration")
+    }
+
+    /// The drain-window arming probe: reports are byte-identical with and
+    /// without the window planner (the equivalence suite owns that axis), so
+    /// this is the one place that verifies the event kernel really plans
+    /// windows in the offload regime — and that the lock-step reference and
+    /// the disabled knob never do.
+    #[test]
+    fn event_kernel_plans_drain_windows_on_offload_runs() {
+        let mut sys = offload_run_system();
+        drive_steps(&mut sys, true, 64);
+        assert!(sys.drain_windows() > 0, "the offload regime must arm a drain window");
+
+        let mut lockstep = offload_run_system();
+        drive_steps(&mut lockstep, false, 64);
+        assert_eq!(lockstep.drain_windows(), 0, "the per-cycle oracle must never plan");
+
+        let mut disabled = offload_run_system().with_drain_fast_forward(false);
+        drive_steps(&mut disabled, true, 64);
+        assert_eq!(disabled.drain_windows(), 0, "the knob must gate planning");
+    }
+
+    /// Inside a planned window the cluster must wake only at the planned
+    /// submission cycles, never every network cycle.
+    #[test]
+    fn drain_window_cluster_wakes_at_planned_submissions_only() {
+        let mut sys = offload_run_system();
+        let mut steps = 0;
+        while sys.drain_windows() == 0 {
+            drive_steps(&mut sys, true, steps + 1);
+            steps += 1;
+            assert!(steps < 64, "offload regime must arm within a few cycles");
+            if sys.drain_windows() > 0 {
+                break;
+            }
+            sys = offload_run_system();
+        }
+        assert!(sys.drain_until > 0);
+        let now = sys.drain_until - 1;
+        match sys.cores_next_wake(now.saturating_sub(1)) {
+            NextWake::At(at) => {
+                let front = sys.drain_outbox.front().map_or(sys.drain_until, |inj| inj.cycle);
+                assert_eq!(at, front.max(now), "cluster must wake at the next planned submission");
+            }
+            NextWake::Idle => panic!("a window-covered cluster still has scheduled submissions"),
+        }
+    }
+
+    /// End-to-end: the offload-regime run finishes with the identical report
+    /// whether the drain schedule is planned or ticked, and the planner
+    /// actually covers a substantial share of the run.
+    #[test]
+    fn planned_and_ticked_offload_runs_report_identically() {
+        let planned = offload_run_system().run();
+        let ticked = offload_run_system().with_drain_fast_forward(false).run();
+        let lockstep = offload_run_system().run_lockstep();
+        assert_eq!(planned, ticked, "drain planning must not change the report");
+        assert_eq!(planned, lockstep, "the event kernel must match the per-cycle oracle");
+        assert!(planned.completed);
+        assert_eq!(planned.updates_offloaded, 4 * 2_000);
     }
 }

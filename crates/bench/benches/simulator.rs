@@ -155,6 +155,49 @@ fn bench_kernel_fastforward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The system-level offload-drain fast-forward on the workload shape it
+/// targets: long MI-full `Update` runs (`bench::OffloadBursts`) under the
+/// ARF-tid offload scheme. The event kernel plans each back-pressured drain
+/// interval in closed form (`ar_system::drain`) and sleeps the whole core
+/// cluster until the interval ends, submitting the planned commands from a
+/// precomputed outbox; the `_off` rows run the same simulation with the
+/// planner disabled (per-cycle MI pops, the PR 5 event kernel), and the
+/// lock-step row is the full per-cycle reference. All three produce
+/// byte-identical reports — only the wall clock differs. Quick scale gates
+/// the planner's win on a small cluster; paper scale is the configuration
+/// the figure-regeneration runs actually pay for.
+fn bench_kernel_offload(c: &mut Criterion) {
+    let scales: [(&str, ar_types::config::SystemConfig, usize, usize); 2] = [
+        ("quick", BENCH_SCALE.system_config(), 4_096, 10),
+        ("paper", ar_experiments::ExperimentScale::Full.system_config(), 8_192, 3),
+    ];
+    for (scale, base, updates, samples) in scales {
+        let mut group = c.benchmark_group(format!("kernel_offload_{scale}"));
+        group.sample_size(samples);
+        let bursts = bench::OffloadBursts { updates_per_thread: updates };
+        let build = |drain: bool| {
+            Simulation::builder()
+                .config(base.clone())
+                .named(NamedConfig::ArfTid)
+                .workload(bursts)
+                .size(SizeClass::Tiny)
+                .drain_fast_forward(drain)
+                .build()
+                .expect("valid configuration")
+                .into_system()
+        };
+        let report = build(true).run();
+        println!(
+            "kernel_offload_{scale}: {} simulated network cycles, {} updates offloaded per run",
+            report.network_cycles, report.updates_offloaded
+        );
+        group.bench_function("bursts_drain_fast_forward", |b| b.iter(|| build(true).run()));
+        group.bench_function("bursts_off", |b| b.iter(|| build(false).run()));
+        group.bench_function("bursts_lockstep", |b| b.iter(|| build(true).run_lockstep()));
+        group.finish();
+    }
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -172,6 +215,7 @@ criterion_group!(
     bench_kernel_throughput,
     bench_kernel_threads,
     bench_kernel_fastforward,
+    bench_kernel_offload,
     bench_workload_generation
 );
 criterion_main!(simulator);

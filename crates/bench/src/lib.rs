@@ -90,6 +90,60 @@ impl Workload for ComputeBursts {
     }
 }
 
+/// A synthetic offload-burst workload for the offload-drain fast-forward
+/// benchmarks and regression gates: every thread issues long uninterrupted
+/// `Update` runs against a back-pressuring Message Interface — the MI-full
+/// drain regime `ar_system::drain` computes in closed form — and closes its
+/// flow with one gather. The nine built-in workloads interleave their update
+/// runs with loads and computes, so their windows are shorter; this one
+/// maximizes the planner's share of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadBursts {
+    /// `Update` items per thread.
+    pub updates_per_thread: usize,
+}
+
+impl Workload for OffloadBursts {
+    fn name(&self) -> &str {
+        "offload_bursts"
+    }
+
+    fn generate(&self, threads: usize, _size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        let streams = (0..threads)
+            .map(|t| {
+                let mut s = WorkStream::new(ThreadId::new(t));
+                let target = Addr::new(0x3000_0000 + t as u64 * 64);
+                for i in 0..self.updates_per_thread {
+                    let src1 =
+                        Addr::new(0x1000_0000 + ((t * self.updates_per_thread + i) * 8) as u64);
+                    s.push(WorkItem::Update {
+                        op: ar_types::ReduceOp::Sum,
+                        src1,
+                        src2: None,
+                        imm: None,
+                        target,
+                    });
+                }
+                s.push(WorkItem::Gather {
+                    target,
+                    op: ar_types::ReduceOp::Sum,
+                    num_threads: 1,
+                    wait: true,
+                });
+                s
+            })
+            .collect();
+        GeneratedWorkload {
+            name: "offload_bursts".to_string(),
+            variant,
+            streams,
+            memory: Vec::new(),
+            references: Vec::new(),
+            updates: (threads * self.updates_per_thread) as u64,
+        }
+    }
+}
+
 /// Prints an artefact once (outside the measured closures) so the bench log
 /// carries the regenerated rows.
 pub fn print_artifact(artifact: Artifact) {

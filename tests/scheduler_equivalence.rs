@@ -79,7 +79,7 @@ fn assert_identical(event: &SimReport, lockstep: &SimReport, label: &str) {
 /// lock-step comparison already covers).
 const SHARDED_THREADS: [usize; 2] = [2, 4];
 
-/// The thread counts of the fast-forward axis.
+/// The thread counts of the fast-forward axes (compute and offload-drain).
 const FAST_FORWARD_THREADS: [usize; 2] = [1, 4];
 
 /// Shared matrix helper: runs one workload under every named configuration
@@ -92,6 +92,14 @@ const FAST_FORWARD_THREADS: [usize; 2] = [1, 4];
 /// default is decided by the workload's compute-block statistics, so both
 /// forced modes genuinely differ from some default) — the analytic
 /// retire/issue schedule may never change a single report byte.
+///
+/// The final sweep is the **offload-drain axis**: the closed-form drain
+/// planner forced on and off at `threads ∈ {1, 4}` (the builder's default
+/// enables it exactly when the workload offloads, so both forced modes
+/// differ from some default). A planned drain window replays the whole
+/// MI-full interval — retire/issue schedules, Message-Interface pops, host
+/// submissions, stall attribution — from the scalar model, and none of it
+/// may change a single report byte.
 fn assert_workload_equivalence(kind: WorkloadKind) {
     for named in NamedConfig::ALL_WITH_ADAPTIVE {
         let (event, lockstep) = run_both(named, kind, SizeClass::Tiny);
@@ -117,6 +125,21 @@ fn assert_workload_equivalence(kind: WorkloadKind) {
                     &event,
                     &fast,
                     &format!("{kind}/{named} @ fast_forward={ff} threads={threads}"),
+                );
+            }
+        }
+        for dff in [true, false] {
+            for threads in FAST_FORWARD_THREADS {
+                let drained = builder(named, kind, SizeClass::Tiny)
+                    .drain_fast_forward(dff)
+                    .threads(threads)
+                    .build()
+                    .expect("valid configuration")
+                    .run();
+                assert_identical(
+                    &event,
+                    &drained,
+                    &format!("{kind}/{named} @ drain_fast_forward={dff} threads={threads}"),
                 );
             }
         }
@@ -281,6 +304,18 @@ fn cycle_limit_truncates_both_kernels_identically() {
             .run();
         assert_identical(&event, &fast, &format!("truncated pagerank @ fast_forward={ff}"));
     }
+    // The drain planner caps every window at `max_cycles - 1`, so a forced-on
+    // run must hit the limit with the identical truncated numbers.
+    let drained = Simulation::builder()
+        .config(cfg.clone())
+        .named(NamedConfig::ArfTid)
+        .workload(WorkloadKind::Pagerank)
+        .size(SizeClass::Tiny)
+        .drain_fast_forward(true)
+        .build()
+        .expect("valid")
+        .run();
+    assert_identical(&event, &drained, "truncated pagerank @ drain_fast_forward=true");
 }
 
 /// An observer stopping the run early must also leave both kernels with
@@ -317,6 +352,21 @@ fn observer_stop_truncates_both_kernels_identically() {
                 &format!("deadline-{deadline} pagerank @ threads={threads}"),
             );
         }
+        // Windows never arm while an observer has stopped the run, and the
+        // stop boundary can never land inside a window (drain arming is
+        // excluded on IPC boundaries, where deadline stops fire) — forced-on
+        // planning must truncate to the identical report.
+        let drained = builder(NamedConfig::ArfTid, WorkloadKind::Pagerank, SizeClass::Small)
+            .observer(DeadlineStop::at(deadline))
+            .drain_fast_forward(true)
+            .build()
+            .expect("valid")
+            .run();
+        assert_identical(
+            &event,
+            &drained,
+            &format!("deadline-{deadline} pagerank @ drain_fast_forward=true"),
+        );
     }
 }
 
