@@ -29,6 +29,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod backend;
 pub mod energy;
 pub mod heatmap;
 pub mod latency;

@@ -6,19 +6,105 @@
 //! ar-experiments --figure 5.1a --json
 //! ar-experiments --table 4.1
 //! ar-experiments --list
+//! ar-experiments serve --scale quick --cache target/sweep-cache
+//! ar-experiments --all --cached 127.0.0.1:7171
 //! ```
 
-use ar_experiments::{Artifact, ExperimentScale};
+use ar_experiments::{backend, Artifact, ExperimentScale};
+use ar_serve::{ServerConfig, SweepServer};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full] [--json]\n\
+    "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full] [--json] [--cached <addr>]\n\
+     \u{20}      ar-experiments serve [--scale quick|standard|full] [--addr <ip:port>] [--cache <dir>] [--workers <n>]\n\
      ids: 3.1 4.1 5.1a 5.1b 5.2a 5.2b 5.3 5.4a 5.4b 5.5 5.6 5.7 5.8\n\
-     --json emits one machine-readable JSON document per selected artefact"
+     --json emits one machine-readable JSON document per selected artefact\n\
+     --cached resolves matrix cells through a running sweep server (start one with `serve`)\n\
+     serve runs a persistent sweep daemon with a content-addressed report cache"
+}
+
+/// Runs the `serve` subcommand: a persistent sweep daemon over the scale's
+/// base configuration.
+fn serve(args: &[String]) -> ExitCode {
+    let mut scale = ExperimentScale::Quick;
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut cache = "target/sweep-cache".to_string();
+    let mut workers = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1).cloned().ok_or_else(|| {
+                eprintln!("{} needs a value\n{}", args[i], usage());
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                let Ok(name) = value(i) else { return ExitCode::FAILURE };
+                match ExperimentScale::parse(&name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale {name:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            "--addr" => {
+                let Ok(v) = value(i) else { return ExitCode::FAILURE };
+                addr = v;
+                i += 1;
+            }
+            "--cache" => {
+                let Ok(v) = value(i) else { return ExitCode::FAILURE };
+                cache = v;
+                i += 1;
+            }
+            "--workers" => {
+                let Ok(v) = value(i) else { return ExitCode::FAILURE };
+                match v.parse() {
+                    Ok(n) => workers = n,
+                    Err(_) => {
+                        eprintln!("--workers needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown serve argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let config = ServerConfig::new(scale.system_config(), &cache).workers(workers);
+    let server = match SweepServer::bind(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-parseable: scripts bind port 0 and scrape the actual port.
+    println!("[ar-serve] listening on {} scale {scale} cache {cache}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
     let mut scale = ExperimentScale::Quick;
     let mut selected: Vec<Artifact> = Vec::new();
     let mut list = false;
@@ -31,6 +117,14 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--all" => all = true,
             "--json" => json = true,
+            "--cached" => {
+                i += 1;
+                let Some(addr) = args.get(i) else {
+                    eprintln!("--cached needs a server address\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                backend::use_server(addr);
+            }
             "--scale" => {
                 i += 1;
                 let Some(name) = args.get(i) else {

@@ -3,10 +3,15 @@
 //! Since the driver redesign the matrix is a thin shape adapter over
 //! [`ar_system::Sweep`]: the runs fan out over worker threads (one per
 //! available core by default) and the reports come back in deterministic
-//! row/column order, identical to a serial run.
+//! row/column order, identical to a serial run. When a sweep server is
+//! configured ([`crate::backend::use_server`]) the cells are resolved
+//! remotely instead, against the server's persistent report cache; the
+//! simulator's determinism makes the two paths byte-identical.
 
+use crate::backend;
 use crate::scale::ExperimentScale;
-use ar_system::{SimReport, Sweep};
+use ar_serve::SweepClient;
+use ar_system::{CellKey, SimReport, Sweep};
 use ar_types::config::NamedConfig;
 use ar_workloads::WorkloadKind;
 
@@ -51,6 +56,9 @@ impl Matrix {
         scale: ExperimentScale,
         threads: usize,
     ) -> Self {
+        if let Some(addr) = backend::server() {
+            return Matrix::run_via_server(&addr, workloads, configs, scale);
+        }
         let results = Sweep::new(scale.system_config())
             .configs(configs.iter().copied())
             .workloads(workloads.iter().copied())
@@ -67,6 +75,60 @@ impl Matrix {
                 configs
                     .iter()
                     .map(|_| cells.next().expect("sweep covers every cell").report)
+                    .collect()
+            })
+            .collect();
+        Matrix { workloads: workloads.to_vec(), configs: configs.to_vec(), reports }
+    }
+
+    /// Resolves the matrix through the sweep server at `addr`; cells the
+    /// server has cached come back without simulating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server is unreachable, fails a cell, or — the
+    /// correctness guard — simulates a different base configuration than
+    /// this scale (its hello banner carries the base's content hash).
+    fn run_via_server(
+        addr: &str,
+        workloads: &[WorkloadKind],
+        configs: &[NamedConfig],
+        scale: ExperimentScale,
+    ) -> Self {
+        let mut client =
+            SweepClient::connect(addr).unwrap_or_else(|e| panic!("sweep server {addr}: {e}"));
+        let base_hash = scale.system_config().to_json().content_hash();
+        assert_eq!(
+            client.base_hash(),
+            base_hash,
+            "sweep server {addr} simulates a different base configuration; \
+             start it with `ar-experiments serve --scale {scale}`"
+        );
+        let cells: Vec<CellKey> = workloads
+            .iter()
+            .flat_map(|w| {
+                configs.iter().map(move |&c| CellKey::new(w.name(), c, scale.size_class()))
+            })
+            .collect();
+        let outcomes = client
+            .run_cells(&cells)
+            .unwrap_or_else(|e| panic!("sweep server {addr} failed the matrix: {e}"));
+        let cached = outcomes.iter().filter(|o| o.cached).count();
+        eprintln!(
+            "[ar-experiments] sweep server resolved {} cells ({} cached, {} computed)",
+            outcomes.len(),
+            cached,
+            outcomes.len() - cached
+        );
+        // The request was laid out row-major, so the outcomes (which arrive
+        // in request order) reshape directly.
+        let mut outcomes = outcomes.into_iter();
+        let reports = workloads
+            .iter()
+            .map(|_| {
+                configs
+                    .iter()
+                    .map(|_| outcomes.next().expect("server answers every cell").report)
                     .collect()
             })
             .collect();

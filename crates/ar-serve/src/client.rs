@@ -1,0 +1,214 @@
+//! A blocking client for the sweep server.
+//!
+//! [`SweepClient`] wraps one TCP connection: it validates the server's
+//! [`Event::Hello`] banner on connect and exposes each request as a method.
+//! The interesting one is [`SweepClient::run_cells`] (and its streaming
+//! sibling [`SweepClient::run_cells_observed`]), which submits a batch of
+//! [`CellKey`]s and blocks until every report is back — served from the
+//! server's cache, computed fresh, or shared with a concurrent client.
+
+use crate::protocol::{
+    read_line, write_line, CellStatus, Event, Request, StatsSnapshot, PROTOCOL_VERSION,
+};
+use ar_system::{CellKey, SimReport};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The resolution of one requested cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The requested cell.
+    pub cell: CellKey,
+    /// How the server disposed of the cell at accept time.
+    pub status: CellStatus,
+    /// True when the report came from the server's persistent cache.
+    pub cached: bool,
+    /// True when the run was shared with at least one other subscriber.
+    pub shared: bool,
+    /// The report.
+    pub report: SimReport,
+}
+
+/// Batch totals reported by the server's closing `sweep_done` event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells computed fresh for this request.
+    pub runs: usize,
+    /// Cells that joined runs already in flight.
+    pub joined: usize,
+}
+
+/// A connected sweep-server client.
+pub struct SweepClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    schema: u32,
+    base_hash: u64,
+}
+
+impl SweepClient {
+    /// Connects and validates the server banner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a non-hello first message, or a
+    /// [`PROTOCOL_VERSION`] mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<SweepClient> {
+        let writer = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(writer.try_clone()?);
+        match read_event(&mut reader)? {
+            Event::Hello { proto, schema, base_hash } => {
+                if proto != PROTOCOL_VERSION {
+                    return Err(bad(format!(
+                        "server speaks protocol v{proto}, this client v{PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(SweepClient { reader, writer, schema, base_hash })
+            }
+            other => Err(bad(format!("expected hello, got {other:?}"))),
+        }
+    }
+
+    /// The server's cache-key schema version.
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
+    /// The content hash of the server's base configuration.
+    pub fn base_hash(&self) -> u64 {
+        self.base_hash
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unexpected reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        write_line(&mut self.writer, &Request::Ping.to_json())?;
+        match read_event(&mut self.reader)? {
+            Event::Pong => Ok(()),
+            other => Err(bad(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's scheduler counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unexpected reply.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        write_line(&mut self.writer, &Request::Stats.to_json())?;
+        match read_event(&mut self.reader)? {
+            Event::Stats(snapshot) => Ok(snapshot),
+            other => Err(bad(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down and consumes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unexpected reply.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        write_line(&mut self.writer, &Request::Shutdown.to_json())?;
+        match read_event(&mut self.reader)? {
+            Event::ShuttingDown => Ok(()),
+            other => Err(bad(format!("expected shutting_down, got {other:?}"))),
+        }
+    }
+
+    /// Runs a batch of cells and blocks until every report is back, in
+    /// request order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a server-side cell failure (unknown
+    /// workload, invalid configuration, shutdown), or a protocol violation.
+    pub fn run_cells(&mut self, cells: &[CellKey]) -> io::Result<Vec<CellOutcome>> {
+        self.run_cells_observed(cells, false, |_| {}).map(|(outcomes, _)| outcomes)
+    }
+
+    /// Like [`SweepClient::run_cells`], but streams every intermediate
+    /// [`Event`] (accepts, running notices, progress samples when
+    /// `progress` is set) to `on_event` as it arrives, and also returns the
+    /// server's closing totals.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SweepClient::run_cells`].
+    pub fn run_cells_observed(
+        &mut self,
+        cells: &[CellKey],
+        progress: bool,
+        mut on_event: impl FnMut(&Event),
+    ) -> io::Result<(Vec<CellOutcome>, RunTotals)> {
+        let request = Request::Run { progress, cells: cells.to_vec() };
+        write_line(&mut self.writer, &request.to_json())?;
+        let mut statuses: Vec<Option<CellStatus>> = vec![None; cells.len()];
+        let mut outcomes: Vec<Option<CellOutcome>> = vec![None; cells.len()];
+        // A failed cell is reported only after the whole exchange has been
+        // drained to `sweep_done`, so the connection stays usable.
+        let mut first_failure: Option<io::Error> = None;
+        let totals = loop {
+            let event = read_event(&mut self.reader)?;
+            on_event(&event);
+            match event {
+                Event::Accepted { index, status, .. } => {
+                    *slot(&mut statuses, index)? = Some(status);
+                }
+                Event::Running { .. } | Event::Progress { .. } => {}
+                Event::Done { index, cached, shared, report } => {
+                    let cell = cells
+                        .get(index)
+                        .ok_or_else(|| bad(format!("done for unknown cell {index}")))?
+                        .clone();
+                    let status = statuses[index]
+                        .ok_or_else(|| bad(format!("done before accepted for cell {index}")))?;
+                    *slot(&mut outcomes, index)? =
+                        Some(CellOutcome { cell, status, cached, shared, report: *report });
+                }
+                Event::CellError { index, message } => {
+                    if first_failure.is_none() {
+                        first_failure = Some(bad(format!("cell {index} failed: {message}")));
+                    }
+                }
+                Event::SweepDone { hits, runs, joined } => {
+                    break RunTotals { hits, runs, joined };
+                }
+                Event::Error { message } => {
+                    return Err(bad(format!("server rejected the request: {message}")));
+                }
+                other => return Err(bad(format!("unexpected event {other:?}"))),
+            }
+        };
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.ok_or_else(|| bad(format!("no report for cell {i}"))))
+            .collect::<io::Result<Vec<CellOutcome>>>()?;
+        Ok((outcomes, totals))
+    }
+}
+
+/// Reads and decodes one event line; EOF is an `UnexpectedEof` error here,
+/// because every client read sits inside a request/response exchange.
+fn read_event(reader: &mut BufReader<TcpStream>) -> io::Result<Event> {
+    let doc = read_line(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+    Event::from_json(&doc).map_err(|e| bad(format!("malformed event: {e}")))
+}
+
+fn slot<T>(slots: &mut [Option<T>], index: usize) -> io::Result<&mut Option<T>> {
+    let len = slots.len();
+    slots.get_mut(index).ok_or_else(|| bad(format!("event for cell {index}, request had {len}")))
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}

@@ -4,9 +4,9 @@
 //! The builder pairs a base [`SystemConfig`] with a [`NamedConfig`], a
 //! [`Workload`] (one of the built-in [`ar_workloads::WorkloadKind`]s or any
 //! custom implementation), a [`SizeClass`] and optional streaming
-//! [`Observer`]s, and produces a ready-to-run [`Simulation`]. It subsumes the
-//! free functions of the [`crate::runner`] module, which remain as thin
-//! deprecated shims.
+//! [`Observer`]s, and produces a ready-to-run [`Simulation`]. It subsumed
+//! (and has since replaced) the free-function drivers that used to live in
+//! [`crate::runner`]; that module now only keeps the verification helpers.
 //!
 //! # Example
 //!
@@ -300,7 +300,7 @@ impl SimulationBuilder {
 /// baselines run the unoptimised kernels, the adaptive scheme the
 /// dynamically offloaded ones, everything else the offloaded ones. The
 /// single source of this pairing — the builder and the deprecated
-/// [`crate::runner::variant_for`] shim both delegate here.
+/// [`crate::runner::variant_for`] alias both delegate here.
 pub fn variant_for_scheme(scheme: ar_types::config::OffloadScheme) -> Variant {
     use ar_types::config::OffloadScheme;
     match scheme {
@@ -314,7 +314,6 @@ pub fn variant_for_scheme(scheme: ar_types::config::OffloadScheme) -> Variant {
 mod tests {
     use super::*;
     use crate::observer::{ObserverControl, SampleRecorder, SimEvent};
-    use crate::runner;
     use ar_workloads::{GeneratedWorkload, WorkloadKind};
 
     fn small_cfg() -> SystemConfig {
@@ -330,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_the_runner_shim() {
+    fn builder_matches_the_cell_key_path() {
         let cfg = small_cfg();
         let via_builder = Simulation::builder()
             .config(cfg.clone())
@@ -340,11 +339,14 @@ mod tests {
             .build()
             .expect("valid")
             .run();
-        #[allow(deprecated)]
-        let via_shim =
-            runner::run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
-                .expect("valid");
-        assert_eq!(via_builder, via_shim);
+        // The sweep server executes cells through CellKey::configure; the
+        // two construction paths must stay behaviourally identical.
+        let via_cell = crate::CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Tiny)
+            .configure(&cfg, std::sync::Arc::new(WorkloadKind::Reduce))
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(via_builder, via_cell);
     }
 
     #[test]

@@ -27,8 +27,9 @@
 //! * [`System`] — the raw model, for hand-built
 //!   [`ar_types::WorkStream`]s and memory images.
 //!
-//! The pre-redesign free functions ([`runner::build`], [`runner::run`],
-//! [`runner::run_all_configs`]) remain as deprecated shims over the builder.
+//! A sweep point can also travel as a [`CellKey`] — workload name, named
+//! configuration, size and knobs — which is how the `ar-serve` sweep server
+//! schedules, deduplicates and content-addresses remote runs.
 //! Every run produces a [`SimReport`], the single input from which the
 //! experiments crate regenerates each figure of the paper's evaluation;
 //! [`SimReport::to_json`] / [`SimReport::from_json`] serialise it through
@@ -69,5 +70,5 @@ pub use observer::{
 };
 pub use report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
 pub use runner::{variant_for, verify_gathers};
-pub use sweep::{Sweep, SweepCell, SweepResults};
+pub use sweep::{CellKey, CellKnobs, Sweep, SweepCell, SweepResults, CACHE_SCHEMA_VERSION};
 pub use system::System;

@@ -1,18 +1,16 @@
-//! The original free-function driver surface, kept as thin shims over
-//! [`Simulation`] for one release.
+//! Free-function helpers shared by the experiment drivers.
 //!
-//! New code should use [`crate::SimulationBuilder`] (single runs) and
-//! [`crate::Sweep`] (matrices); see the README migration guide. The
-//! verification helper [`verify_gathers`] is not deprecated, and
-//! [`variant_for`] remains as a convenience alias over the builder's
+//! The pre-redesign driver surface (`build`, `run`, `run_all_configs`) lived
+//! here as deprecated shims for one release; they are gone now — use
+//! [`crate::SimulationBuilder`] for single runs and [`crate::Sweep`] for
+//! matrices (see the README migration guide). What remains is the
+//! functional-verification helper [`verify_gathers`] and the
+//! [`variant_for`] convenience alias over the builder's
 //! [`crate::variant_for_scheme`].
 
-use crate::builder::Simulation;
 use crate::report::SimReport;
-use crate::system::System;
-use ar_types::config::{NamedConfig, SystemConfig};
-use ar_types::error::ConfigError;
-use ar_workloads::{SizeClass, Variant, WorkloadKind};
+use ar_types::config::NamedConfig;
+use ar_workloads::Variant;
 
 /// The workload variant a named configuration executes: the DRAM and HMC
 /// baselines run the unoptimised kernels, the Active-Routing configurations
@@ -20,74 +18,6 @@ use ar_workloads::{SizeClass, Variant, WorkloadKind};
 /// offloaded kernels (Section 5.4).
 pub fn variant_for(config: NamedConfig) -> Variant {
     crate::variant_for_scheme(config.scheme())
-}
-
-/// Builds the system for one workload under one named configuration.
-///
-/// # Errors
-///
-/// Returns a [`ConfigError`] if the base configuration is inconsistent.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Simulation::builder().config(..).named(..).workload(..).size(..).build()"
-)]
-pub fn build(
-    base: &SystemConfig,
-    config: NamedConfig,
-    workload: WorkloadKind,
-    size: SizeClass,
-) -> Result<System, ConfigError> {
-    Ok(Simulation::builder()
-        .config(base.clone())
-        .named(config)
-        .workload(workload)
-        .size(size)
-        .build()?
-        .into_system())
-}
-
-/// Runs one workload under one named configuration and returns the report.
-///
-/// # Errors
-///
-/// Returns a [`ConfigError`] if the base configuration is inconsistent.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Simulation::builder().config(..).named(..).workload(..).size(..).build()?.run()"
-)]
-pub fn run(
-    base: &SystemConfig,
-    config: NamedConfig,
-    workload: WorkloadKind,
-    size: SizeClass,
-) -> Result<SimReport, ConfigError> {
-    Ok(Simulation::builder()
-        .config(base.clone())
-        .named(config)
-        .workload(workload)
-        .size(size)
-        .build()?
-        .run())
-}
-
-/// Runs one workload under every configuration of Fig. 5.1 (DRAM, HMC, ART,
-/// ARF-tid, ARF-addr) and returns the reports in that order.
-///
-/// # Errors
-///
-/// Returns a [`ConfigError`] if the base configuration is inconsistent.
-#[deprecated(since = "0.1.0", note = "use Sweep::new(base).configs(NamedConfig::ALL)..run()")]
-pub fn run_all_configs(
-    base: &SystemConfig,
-    workload: WorkloadKind,
-    size: SizeClass,
-) -> Result<Vec<SimReport>, ConfigError> {
-    let results = crate::Sweep::new(base.clone())
-        .configs(NamedConfig::ALL)
-        .workloads([workload])
-        .size(size)
-        .run()?;
-    Ok(results.cells.into_iter().map(|c| c.report).collect())
 }
 
 /// Checks a report's gathered reduction results against the workload's
@@ -109,15 +39,35 @@ fn relative_eq(a: f64, b: f64) -> bool {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use ar_types::config::OffloadScheme;
+    use crate::builder::Simulation;
+    use crate::system::System;
+    use ar_types::config::{OffloadScheme, SystemConfig};
+    use ar_types::error::ConfigError;
+    use ar_workloads::{SizeClass, WorkloadKind};
 
     fn small_cfg() -> SystemConfig {
         let mut cfg = SystemConfig::small();
         cfg.max_cycles = 2_000_000;
         cfg
+    }
+
+    /// One run through the builder — what the removed `run` shim delegated
+    /// to, inlined into the tests it used to serve.
+    fn run_one(
+        cfg: &SystemConfig,
+        named: NamedConfig,
+        workload: WorkloadKind,
+        size: SizeClass,
+    ) -> Result<SimReport, ConfigError> {
+        Ok(Simulation::builder()
+            .config(cfg.clone())
+            .named(named)
+            .workload(workload)
+            .size(size)
+            .build()?
+            .run())
     }
 
     #[test]
@@ -133,7 +83,7 @@ mod tests {
         let cfg = small_cfg();
         let generated =
             WorkloadKind::Reduce.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
-        let report = run(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
+        let report = run_one(&cfg, NamedConfig::ArfTid, WorkloadKind::Reduce, SizeClass::Tiny)
             .expect("valid configuration");
         assert!(report.completed, "simulation must finish before the cycle limit");
         assert!(report.updates_offloaded > 0);
@@ -146,7 +96,7 @@ mod tests {
         let generated =
             WorkloadKind::Mac.generate(cfg.cores.count, SizeClass::Tiny, Variant::Active);
         for named in [NamedConfig::Art, NamedConfig::ArfTid, NamedConfig::ArfAddr] {
-            let report = run(&cfg, named, WorkloadKind::Mac, SizeClass::Tiny).expect("valid");
+            let report = run_one(&cfg, named, WorkloadKind::Mac, SizeClass::Tiny).expect("valid");
             assert!(report.completed, "{named} must finish");
             assert_eq!(
                 verify_gathers(&report, &generated.references),
@@ -160,7 +110,8 @@ mod tests {
     fn baseline_configs_run_without_offloading() {
         let cfg = small_cfg();
         for named in [NamedConfig::Dram, NamedConfig::Hmc] {
-            let report = run(&cfg, named, WorkloadKind::Reduce, SizeClass::Tiny).expect("valid");
+            let report =
+                run_one(&cfg, named, WorkloadKind::Reduce, SizeClass::Tiny).expect("valid");
             assert!(report.completed, "{named} must finish");
             assert_eq!(report.updates_offloaded, 0);
             assert!(report.instructions > 0);
@@ -171,8 +122,8 @@ mod tests {
     #[test]
     fn offloading_reduces_offchip_normal_traffic_for_mac() {
         let cfg = small_cfg();
-        let hmc = run(&cfg, NamedConfig::Hmc, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
-        let arf = run(&cfg, NamedConfig::ArfTid, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
+        let hmc = run_one(&cfg, NamedConfig::Hmc, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
+        let arf = run_one(&cfg, NamedConfig::ArfTid, WorkloadKind::Mac, SizeClass::Tiny).unwrap();
         assert!(
             arf.data_movement.norm_resp_bytes < hmc.data_movement.norm_resp_bytes,
             "offloading must replace cache-block fills with operand-sized active traffic"
@@ -191,13 +142,17 @@ mod tests {
     }
 
     #[test]
-    fn run_all_configs_covers_the_plotted_five_in_order() {
-        let reports = run_all_configs(&small_cfg(), WorkloadKind::Reduce, SizeClass::Tiny)
+    fn sweep_covers_the_plotted_five_in_order() {
+        let results = crate::Sweep::new(small_cfg())
+            .configs(NamedConfig::ALL)
+            .workloads([WorkloadKind::Reduce])
+            .size(SizeClass::Tiny)
+            .run()
             .expect("valid configuration");
-        assert_eq!(reports.len(), NamedConfig::ALL.len());
-        for (report, config) in reports.iter().zip(NamedConfig::ALL) {
-            assert_eq!(report.config_label, config.to_string());
-            assert!(report.completed);
+        assert_eq!(results.len(), NamedConfig::ALL.len());
+        for (cell, config) in results.cells.iter().zip(NamedConfig::ALL) {
+            assert_eq!(cell.report.config_label, config.to_string());
+            assert!(cell.report.completed);
         }
     }
 }

@@ -29,13 +29,210 @@
 //! assert!(arf.completed && hmc.completed);
 //! ```
 
-use crate::builder::Simulation;
+use crate::builder::{Simulation, SimulationBuilder};
 use crate::report::SimReport;
 use ar_types::config::{NamedConfig, SystemConfig};
 use ar_types::error::ConfigError;
+use ar_types::json::{Json, JsonError};
 use ar_workloads::{SizeClass, Workload, WorkloadKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Version stamp of the cached-report key schema.
+///
+/// Every [`CellKey::cache_key`] document embeds this constant, so bumping it
+/// orphans (invalidates) every existing sweep-server cache entry at once.
+/// Bump it whenever the *semantics* of a [`SimReport`] change without the
+/// inputs changing — a counter means something new, a timing-model fix alters
+/// results for identical configurations, a field is added or removed — i.e.
+/// whenever the golden-report corpus under `tests/fixtures/` has to be
+/// regenerated. Configuration and workload changes never need a bump: they
+/// are part of the key itself.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Execution knobs of one sweep cell.
+///
+/// The first three knobs place wall-clock work without affecting the
+/// [`SimReport`] — the equivalence suite pins byte-identical reports across
+/// every thread count and both fast-forward modes — so they are deliberately
+/// *excluded* from [`CellKey::cache_key`]: a report computed at
+/// `threads = 4` is a sound cache hit for a later `threads = 1` request.
+/// `cycle_limit` truncates the simulation and therefore *is* part of the
+/// key (folded into the effective configuration's `max_cycles`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellKnobs {
+    /// Sharded-kernel thread count
+    /// ([`SimulationBuilder::threads`]; `0` = available parallelism).
+    pub threads: usize,
+    /// Forces bulk compute fast-forwarding on or off; `None` keeps the
+    /// builder's automatic decision ([`SimulationBuilder::fast_forward`]).
+    pub fast_forward: Option<bool>,
+    /// Forces offload-drain fast-forwarding on or off; `None` keeps the
+    /// builder's automatic decision
+    /// ([`SimulationBuilder::drain_fast_forward`]).
+    pub drain_fast_forward: Option<bool>,
+    /// Overrides the base configuration's `max_cycles` when set.
+    pub cycle_limit: Option<u64>,
+}
+
+impl Default for CellKnobs {
+    /// The builder's own defaults: serial kernel, automatic fast-forward
+    /// decisions, the base configuration's cycle limit.
+    fn default() -> Self {
+        CellKnobs { threads: 1, fast_forward: None, drain_fast_forward: None, cycle_limit: None }
+    }
+}
+
+/// The identity of one sweep cell: which workload, under which named
+/// configuration, at which size, with which [`CellKnobs`].
+///
+/// This is the unit the sweep server schedules and caches by. The workload
+/// travels as its registry *name* (resolved against an
+/// [`ar_workloads::WorkloadRegistry`] on the executing side) so a cell key
+/// can cross a process boundary; [`CellKey::to_json`] / [`CellKey::from_json`]
+/// are the wire encoding and [`CellKey::cache_key`] the canonical
+/// content-address document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    /// Workload name, as returned by [`Workload::name`].
+    pub workload: String,
+    /// Named configuration of the cell.
+    pub config: NamedConfig,
+    /// Problem-size class of the cell.
+    pub size: SizeClass,
+    /// Execution knobs.
+    pub knobs: CellKnobs,
+}
+
+impl CellKey {
+    /// A cell key with default knobs.
+    pub fn new(workload: impl Into<String>, config: NamedConfig, size: SizeClass) -> Self {
+        CellKey { workload: workload.into(), config, size, knobs: CellKnobs::default() }
+    }
+
+    /// Returns a copy with the given knobs.
+    #[must_use]
+    pub fn with_knobs(mut self, knobs: CellKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// A short human-readable label (`workload/config/size`).
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.config, self.size)
+    }
+
+    /// The [`SimulationBuilder`] for this cell over a base configuration:
+    /// named overlay, size, and every knob applied. Callers attach observers
+    /// and `build()` — both [`Sweep::run`] and the sweep server execute
+    /// cells through here, so a cached report and a fresh run share one
+    /// construction path.
+    pub fn configure(&self, base: &SystemConfig, workload: Arc<dyn Workload>) -> SimulationBuilder {
+        let mut cfg = base.clone();
+        if let Some(limit) = self.knobs.cycle_limit {
+            cfg.max_cycles = limit;
+        }
+        let mut builder = Simulation::builder()
+            .config(cfg)
+            .named(self.config)
+            .workload_arc(workload)
+            .size(self.size)
+            .threads(self.knobs.threads);
+        if let Some(ff) = self.knobs.fast_forward {
+            builder = builder.fast_forward(ff);
+        }
+        if let Some(dff) = self.knobs.drain_fast_forward {
+            builder = builder.drain_fast_forward(dff);
+        }
+        builder
+    }
+
+    /// The canonical cache-key document of this cell over a base
+    /// configuration: `{schema, workload, size, config, base}` where `base`
+    /// is the *effective* configuration — named overlay applied and
+    /// `cycle_limit` folded into `max_cycles`, so the same effective limit
+    /// expressed either way produces the same key. Report-neutral knobs
+    /// (threads, fast-forward modes) are excluded; see [`CellKnobs`].
+    ///
+    /// Content-hash this document ([`Json::content_hash`]) to get the cache
+    /// address of the cell's report.
+    pub fn cache_key(&self, base: &SystemConfig) -> Json {
+        let mut effective = base.clone().named(self.config);
+        if let Some(limit) = self.knobs.cycle_limit {
+            effective.max_cycles = limit;
+        }
+        Json::obj([
+            ("schema", Json::from(CACHE_SCHEMA_VERSION)),
+            ("workload", Json::from(self.workload.clone())),
+            ("size", Json::from(self.size.to_string())),
+            ("config", Json::from(self.config.to_string())),
+            ("base", effective.to_json()),
+        ])
+    }
+
+    /// The content hash of [`CellKey::cache_key`] — the cell's cache address
+    /// under the given base configuration.
+    pub fn cache_hash(&self, base: &SystemConfig) -> u64 {
+        self.cache_key(base).content_hash()
+    }
+
+    /// Encodes the cell key (including knobs) for the wire.
+    pub fn to_json(&self) -> Json {
+        let opt_bool = |v: Option<bool>| v.map(Json::from).unwrap_or(Json::Null);
+        Json::obj([
+            ("workload", Json::from(self.workload.clone())),
+            ("config", Json::from(self.config.to_string())),
+            ("size", Json::from(self.size.to_string())),
+            ("threads", Json::from(self.knobs.threads)),
+            ("fast_forward", opt_bool(self.knobs.fast_forward)),
+            ("drain_fast_forward", opt_bool(self.knobs.drain_fast_forward)),
+            ("cycle_limit", self.knobs.cycle_limit.map(Json::from).unwrap_or(Json::Null)),
+        ])
+    }
+
+    /// Decodes a [`CellKey::to_json`] document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing, mistyped, or names
+    /// an unknown configuration or size class.
+    pub fn from_json(doc: &Json) -> Result<CellKey, JsonError> {
+        fn bad(what: &str) -> JsonError {
+            JsonError { message: format!("missing or mistyped cell field {what:?}"), offset: 0 }
+        }
+        let workload =
+            doc.get("workload").and_then(Json::as_str).ok_or_else(|| bad("workload"))?.to_string();
+        let config = doc
+            .get("config")
+            .and_then(Json::as_str)
+            .and_then(NamedConfig::parse)
+            .ok_or_else(|| bad("config"))?;
+        let size = doc
+            .get("size")
+            .and_then(Json::as_str)
+            .and_then(SizeClass::parse)
+            .ok_or_else(|| bad("size"))?;
+        let opt_bool = |key: &str| match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_bool().map(Some).ok_or_else(|| bad(key)),
+        };
+        let knobs = CellKnobs {
+            threads: doc
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("threads"))?
+                .try_into()
+                .map_err(|_| bad("threads"))?,
+            fast_forward: opt_bool("fast_forward")?,
+            drain_fast_forward: opt_bool("drain_fast_forward")?,
+            cycle_limit: match doc.get("cycle_limit") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| bad("cycle_limit"))?),
+            },
+        };
+        Ok(CellKey { workload, config, size, knobs })
+    }
+}
 
 /// One completed sweep point.
 #[derive(Debug, Clone)]
@@ -171,6 +368,20 @@ impl Sweep {
         self.configs.len() * self.workloads.len() * self.sizes.len()
     }
 
+    /// The [`CellKey`] of every point, in sweep order (workload-major, then
+    /// configuration, then size) with default knobs — the request a client
+    /// sends to a sweep server to compute this matrix remotely.
+    pub fn cell_keys(&self) -> Vec<CellKey> {
+        self.workloads
+            .iter()
+            .flat_map(|w| {
+                self.configs.iter().flat_map(move |&c| {
+                    self.sizes.iter().map(move |&s| CellKey::new(w.name(), c, s))
+                })
+            })
+            .collect()
+    }
+
     /// Runs every point and returns the reports in sweep order.
     ///
     /// # Errors
@@ -213,13 +424,8 @@ impl Sweep {
         .max(1);
 
         let run_job = |(workload, config, size): &(Arc<dyn Workload>, NamedConfig, SizeClass)| {
-            let report = Simulation::builder()
-                .config(self.base.clone())
-                .named(*config)
-                .workload_arc(workload.clone())
-                .size(*size)
-                .build()?
-                .run();
+            let key = CellKey::new(workload.name(), *config, *size);
+            let report = key.configure(&self.base, workload.clone()).build()?.run();
             Ok::<SweepCell, ConfigError>(SweepCell {
                 workload: report.workload.clone(),
                 config: *config,
@@ -348,6 +554,106 @@ mod tests {
                 assert_eq!(a.report, b.report, "{}/{}", a.workload, a.config);
             }
         }
+    }
+
+    #[test]
+    fn cell_keys_enumerate_in_sweep_order_and_round_trip_the_wire() {
+        let sweep = Sweep::new(small_cfg())
+            .configs([NamedConfig::Hmc, NamedConfig::ArfTid])
+            .workloads([WorkloadKind::Reduce, WorkloadKind::Mac])
+            .sizes([SizeClass::Tiny]);
+        let keys = sweep.cell_keys();
+        assert_eq!(keys.len(), sweep.point_count());
+        let labels: Vec<String> = keys.iter().map(CellKey::label).collect();
+        assert_eq!(
+            labels,
+            ["reduce/HMC/tiny", "reduce/ARF-tid/tiny", "mac/HMC/tiny", "mac/ARF-tid/tiny"]
+        );
+        for key in &keys {
+            let wired = CellKey::from_json(&key.to_json()).expect("well-formed key doc");
+            assert_eq!(&wired, key);
+        }
+        // Knobs survive the wire too, including explicit fast-forward forcing.
+        let knobbed = keys[0].clone().with_knobs(CellKnobs {
+            threads: 4,
+            fast_forward: Some(false),
+            drain_fast_forward: Some(true),
+            cycle_limit: Some(12_345),
+        });
+        assert_eq!(CellKey::from_json(&knobbed.to_json()).unwrap(), knobbed);
+        // Malformed documents are rejected.
+        assert!(CellKey::from_json(&Json::parse(r#"{"workload":"x"}"#).unwrap()).is_err());
+        let bad_cfg = r#"{"workload":"mac","config":"NOPE","size":"tiny","threads":1}"#;
+        assert!(CellKey::from_json(&Json::parse(bad_cfg).unwrap()).is_err());
+    }
+
+    #[test]
+    fn cache_keys_ignore_report_neutral_knobs_and_track_semantic_ones() {
+        let base = small_cfg();
+        let key = CellKey::new("pagerank", NamedConfig::ArfTid, SizeClass::Tiny);
+        let addr = key.cache_hash(&base);
+        // threads / fast-forward knobs never change the report, so they must
+        // share the cache address...
+        let neutral = key.clone().with_knobs(CellKnobs {
+            threads: 8,
+            fast_forward: Some(true),
+            drain_fast_forward: Some(false),
+            cycle_limit: None,
+        });
+        assert_eq!(neutral.cache_hash(&base), addr);
+        // ...while the cycle limit, the named config, the size, the workload
+        // and any base-config field all do change it.
+        let limited =
+            key.clone().with_knobs(CellKnobs { cycle_limit: Some(99), ..CellKnobs::default() });
+        assert_ne!(limited.cache_hash(&base), addr);
+        assert_ne!(
+            CellKey::new("spmv", NamedConfig::ArfTid, SizeClass::Tiny).cache_hash(&base),
+            addr
+        );
+        assert_ne!(
+            CellKey::new("pagerank", NamedConfig::Hmc, SizeClass::Tiny).cache_hash(&base),
+            addr
+        );
+        assert_ne!(
+            CellKey::new("pagerank", NamedConfig::ArfTid, SizeClass::Small).cache_hash(&base),
+            addr
+        );
+        let mut tweaked = base.clone();
+        tweaked.hmc.vault_access_latency += 1;
+        assert_ne!(key.cache_hash(&tweaked), addr);
+        // A cycle limit equal to the base max_cycles folds away: the key is
+        // the *effective* configuration.
+        let folded = key
+            .clone()
+            .with_knobs(CellKnobs { cycle_limit: Some(base.max_cycles), ..CellKnobs::default() });
+        assert_eq!(folded.cache_hash(&base), addr);
+        assert_eq!(
+            key.cache_key(&base).get("schema").and_then(Json::as_u64),
+            Some(u64::from(CACHE_SCHEMA_VERSION))
+        );
+    }
+
+    #[test]
+    fn configured_cells_reproduce_sweep_reports() {
+        let base = small_cfg();
+        let results = Sweep::new(base.clone())
+            .config(NamedConfig::ArfTid)
+            .workloads([WorkloadKind::Mac])
+            .size(SizeClass::Tiny)
+            .run()
+            .expect("valid sweep");
+        let key = CellKey::new("mac", NamedConfig::ArfTid, SizeClass::Tiny);
+        let direct =
+            key.configure(&base, Arc::new(WorkloadKind::Mac)).build().expect("valid cell").run();
+        assert_eq!(&direct, &results.cells[0].report);
+        // The cycle-limit knob truncates the run.
+        let truncated = key
+            .with_knobs(CellKnobs { cycle_limit: Some(100), ..CellKnobs::default() })
+            .configure(&base, Arc::new(WorkloadKind::Mac))
+            .build()
+            .expect("valid cell")
+            .run();
+        assert!(!truncated.completed);
     }
 
     #[test]

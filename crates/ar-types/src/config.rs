@@ -3,6 +3,7 @@
 
 use crate::addr::{AddressMap, DramAddressMap};
 use crate::error::ConfigError;
+use crate::json::Json;
 use std::fmt;
 
 /// Which main-memory substrate the system uses.
@@ -100,6 +101,15 @@ impl NamedConfig {
             NamedConfig::Dram => MemoryMode::DdrBaseline,
             _ => MemoryMode::HmcNetwork,
         }
+    }
+
+    /// Parses a configuration display name (as produced by
+    /// [`fmt::Display`], case-insensitively): `"DRAM"`, `"HMC"`, `"ART"`,
+    /// `"ARF-tid"`, `"ARF-addr"`, `"ARF-tid-adaptive"`.
+    pub fn parse(name: &str) -> Option<Self> {
+        NamedConfig::ALL_WITH_ADAPTIVE
+            .into_iter()
+            .find(|c| c.to_string().eq_ignore_ascii_case(name))
     }
 
     /// The offload scheme of this configuration.
@@ -567,6 +577,130 @@ impl SystemConfig {
         }
         Ok(())
     }
+
+    /// Encodes every field of the configuration as a [`Json`] document.
+    ///
+    /// This is a one-way encoding used for *content addressing*: the
+    /// sweep-server result cache includes it (canonically rendered) in each
+    /// cache key, so changing any timing parameter, platform dimension or
+    /// the cycle limit automatically invalidates the affected entries. There
+    /// is deliberately no `from_json` — configurations travel as code, only
+    /// their identity travels as data.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "cores",
+                Json::obj([
+                    ("count", Json::from(self.cores.count)),
+                    ("clock_ghz", Json::from(self.cores.clock_ghz)),
+                    ("issue_width", Json::from(self.cores.issue_width)),
+                    ("rob_entries", Json::from(self.cores.rob_entries)),
+                    ("max_outstanding_mem", Json::from(self.cores.max_outstanding_mem)),
+                    ("mi_queue_depth", Json::from(self.cores.mi_queue_depth)),
+                ]),
+            ),
+            (
+                "caches",
+                Json::obj([
+                    ("l1_bytes", Json::from(self.caches.l1_bytes)),
+                    ("l1_ways", Json::from(self.caches.l1_ways)),
+                    ("l1_hit_latency", Json::from(self.caches.l1_hit_latency)),
+                    ("l2_bytes", Json::from(self.caches.l2_bytes)),
+                    ("l2_ways", Json::from(self.caches.l2_ways)),
+                    ("l2_hit_latency", Json::from(self.caches.l2_hit_latency)),
+                    ("l2_banks", Json::from(self.caches.l2_banks)),
+                    ("mshrs", Json::from(self.caches.mshrs)),
+                    ("block_bytes", Json::from(self.caches.block_bytes)),
+                ]),
+            ),
+            (
+                "noc",
+                Json::obj([
+                    ("mesh_width", Json::from(self.noc.mesh_width)),
+                    ("hop_latency", Json::from(self.noc.hop_latency)),
+                    ("link_bytes_per_cycle", Json::from(self.noc.link_bytes_per_cycle)),
+                    ("memory_controllers", Json::from(self.noc.memory_controllers)),
+                ]),
+            ),
+            (
+                "dram",
+                Json::obj([
+                    ("channels", Json::from(self.dram.channels)),
+                    ("ranks_per_channel", Json::from(self.dram.ranks_per_channel)),
+                    ("banks_per_rank", Json::from(self.dram.banks_per_rank)),
+                    ("t_rcd", Json::from(self.dram.t_rcd)),
+                    ("t_ras", Json::from(self.dram.t_ras)),
+                    ("t_rp", Json::from(self.dram.t_rp)),
+                    ("t_cl", Json::from(self.dram.t_cl)),
+                    ("t_bl", Json::from(self.dram.t_bl)),
+                    ("t_rr", Json::from(self.dram.t_rr)),
+                    ("bus_ghz", Json::from(self.dram.bus_ghz)),
+                    ("queue_depth", Json::from(self.dram.queue_depth)),
+                    ("capacity_gib", Json::from(self.dram.capacity_gib)),
+                ]),
+            ),
+            (
+                "hmc",
+                Json::obj([
+                    ("capacity_gib", Json::from(self.hmc.capacity_gib)),
+                    ("layers", Json::from(self.hmc.layers)),
+                    ("vaults", Json::from(self.hmc.vaults)),
+                    ("banks_per_vault", Json::from(self.hmc.banks_per_vault)),
+                    ("vault_access_latency", Json::from(self.hmc.vault_access_latency)),
+                    ("bank_busy_penalty", Json::from(self.hmc.bank_busy_penalty)),
+                    ("vault_queue_depth", Json::from(self.hmc.vault_queue_depth)),
+                    ("bank_occupancy", Json::from(self.hmc.bank_occupancy)),
+                    ("crossbar_latency", Json::from(self.hmc.crossbar_latency)),
+                ]),
+            ),
+            (
+                "network",
+                Json::obj([
+                    ("cubes", Json::from(self.network.cubes)),
+                    ("host_ports", Json::from(self.network.host_ports)),
+                    ("groups", Json::from(self.network.groups)),
+                    ("lanes", Json::from(self.network.lanes)),
+                    ("gbps_per_lane", Json::from(self.network.gbps_per_lane)),
+                    ("clock_ghz", Json::from(self.network.clock_ghz)),
+                    ("hop_latency", Json::from(self.network.hop_latency)),
+                    ("virtual_channels", Json::from(self.network.virtual_channels)),
+                    ("vc_buffer_packets", Json::from(self.network.vc_buffer_packets)),
+                    ("link_bytes_per_cycle", Json::from(self.network.link_bytes_per_cycle)),
+                ]),
+            ),
+            (
+                "are",
+                Json::obj([
+                    ("flow_table_entries", Json::from(self.are.flow_table_entries)),
+                    ("operand_buffers", Json::from(self.are.operand_buffers)),
+                    ("alu_issue_per_cycle", Json::from(self.are.alu_issue_per_cycle)),
+                    ("decode_latency", Json::from(self.are.decode_latency)),
+                    ("adaptive_threshold", Json::from(self.are.adaptive_threshold)),
+                ]),
+            ),
+            (
+                "power",
+                Json::obj([
+                    ("pj_per_bit_hop", Json::from(self.power.pj_per_bit_hop)),
+                    ("pj_per_bit_hmc", Json::from(self.power.pj_per_bit_hmc)),
+                    ("pj_per_bit_dram", Json::from(self.power.pj_per_bit_dram)),
+                    ("pj_per_l1_access", Json::from(self.power.pj_per_l1_access)),
+                    ("pj_per_l2_access", Json::from(self.power.pj_per_l2_access)),
+                    ("pj_per_bit_noc_hop", Json::from(self.power.pj_per_bit_noc_hop)),
+                    ("pj_per_are_op", Json::from(self.power.pj_per_are_op)),
+                ]),
+            ),
+            (
+                "memory_mode",
+                Json::from(match self.memory_mode {
+                    MemoryMode::DdrBaseline => "ddr_baseline",
+                    MemoryMode::HmcNetwork => "hmc_network",
+                }),
+            ),
+            ("scheme", Json::from(self.scheme.to_string())),
+            ("max_cycles", Json::from(self.max_cycles)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -647,5 +781,26 @@ mod tests {
         assert_eq!(OffloadScheme::ArfTid.to_string(), "ARF-tid");
         assert_eq!(NamedConfig::Dram.to_string(), "DRAM");
         assert_eq!(NamedConfig::ArfTidAdaptive.to_string(), "ARF-tid-adaptive");
+    }
+
+    #[test]
+    fn config_json_identity_tracks_every_knob() {
+        let paper = SystemConfig::paper().to_json();
+        // Distinct configurations get distinct content addresses...
+        assert_ne!(paper.content_hash(), SystemConfig::small().to_json().content_hash());
+        let mut tweaked = SystemConfig::paper();
+        tweaked.hmc.vault_access_latency += 1;
+        assert_ne!(paper.content_hash(), tweaked.to_json().content_hash());
+        let mut limited = SystemConfig::paper();
+        limited.max_cycles /= 2;
+        assert_ne!(paper.content_hash(), limited.to_json().content_hash());
+        // ...while an identical clone hashes identically.
+        assert_eq!(paper.content_hash(), SystemConfig::paper().to_json().content_hash());
+        // Spot-check the encoding itself.
+        assert_eq!(
+            paper.get("cores").and_then(|c| c.get("count")).and_then(Json::as_u64),
+            Some(16)
+        );
+        assert_eq!(paper.get("scheme").and_then(Json::as_str), Some("none"));
     }
 }

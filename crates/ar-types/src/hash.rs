@@ -82,6 +82,33 @@ impl Hasher for FastHasher {
     }
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte string with 64-bit FNV-1a.
+///
+/// Unlike [`FastHasher`] (a per-word scheme tuned for hash-*table* probes),
+/// FNV-1a consumes the input byte by byte, so the digest of a rendered
+/// document is independent of how the caller chunks it — the property a
+/// *content address* needs. The sweep-server result cache keys every report
+/// by `fnv1a_64` of the canonical JSON encoding of its inputs
+/// ([`crate::json::Json::content_hash`]).
+///
+/// This is not a cryptographic hash: it protects against accidental
+/// collisions and corruption, not against an adversary crafting keys. Cache
+/// consumers additionally store the full key document next to each entry and
+/// compare it on lookup, so even an FNV collision degrades to a cache miss
+/// rather than a wrong report.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// A `HashMap` using [`FastHasher`].
 pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
@@ -121,6 +148,17 @@ mod tests {
             low.insert(hash_of(i) & 0xFFFF);
         }
         assert!(low.len() > 900, "low bits must spread ({} distinct)", low.len());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        // Chunking must not matter: the digest is a pure function of bytes.
+        let doc = br#"{"config":"ARF-tid","workload":"pagerank"}"#;
+        assert_eq!(fnv1a_64(doc), fnv1a_64(&[&doc[..7], &doc[7..]].concat()));
     }
 
     #[test]

@@ -198,6 +198,55 @@ impl Json {
         }
     }
 
+    /// Renders the value as *canonical* compact JSON: identical to
+    /// [`Json::render`] except that object keys are emitted in ascending
+    /// byte order at every nesting level (duplicate keys keep their relative
+    /// order). Two documents that differ only in key order therefore render
+    /// to the same byte string, which makes the output suitable for content
+    /// addressing — see [`Json::content_hash`].
+    pub fn canonical_render(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    /// The 64-bit FNV-1a digest of [`Json::canonical_render`]. This is the
+    /// content address the sweep-server result cache files reports under:
+    /// any reordering-insensitive change to the document changes the hash.
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::fnv1a_64(self.canonical_render().as_bytes())
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0).then(a.cmp(&b)));
+                out.push('{');
+                for (i, &idx) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(&pairs[idx].0, out);
+                    out.push(':');
+                    pairs[idx].1.write_canonical(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out),
+        }
+    }
+
     /// Parses a JSON document.
     ///
     /// # Errors
@@ -518,6 +567,28 @@ mod tests {
         let err = Json::parse("[1, oops]").unwrap_err();
         assert!(err.offset >= 4, "offset should point into the input: {err}");
         assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn canonical_rendering_is_key_order_independent() {
+        let a = Json::obj([
+            ("b", Json::from(1_u64)),
+            ("a", Json::obj([("y", Json::from(2_u64)), ("x", Json::Null)])),
+        ]);
+        let b = Json::obj([
+            ("a", Json::obj([("x", Json::Null), ("y", Json::from(2_u64))])),
+            ("b", Json::from(1_u64)),
+        ]);
+        assert_eq!(a.canonical_render(), r#"{"a":{"x":null,"y":2},"b":1}"#);
+        assert_eq!(a.canonical_render(), b.canonical_render());
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Plain rendering preserves insertion order, so it differs here.
+        assert_ne!(a.render(), b.render());
+        // A value change must change the content address.
+        let c = Json::obj([("b", Json::from(2_u64)), ("a", Json::Null)]);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // Canonical output is still valid JSON that parses back.
+        assert_eq!(Json::parse(&a.canonical_render()).unwrap().get("b").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub enum SizeClass {
 }
 
 impl SizeClass {
+    /// Every size class, smallest first.
+    pub const ALL: [SizeClass; 4] =
+        [SizeClass::Tiny, SizeClass::Small, SizeClass::Medium, SizeClass::Paper];
+
     /// A scale factor used by the per-workload dimension tables.
     pub fn factor(self) -> usize {
         match self {
@@ -107,6 +111,11 @@ impl SizeClass {
             SizeClass::Medium => 4,
             SizeClass::Paper => 8,
         }
+    }
+
+    /// Parses a size-class display name (`tiny`, `small`, `medium`, `paper`).
+    pub fn parse(name: &str) -> Option<Self> {
+        SizeClass::ALL.into_iter().find(|s| s.to_string() == name)
     }
 }
 

@@ -1,0 +1,97 @@
+//! Simulation as a service: an in-process sweep server with its
+//! content-addressed report cache, driven by two TCP clients.
+//!
+//! The session below shows every disposition a cell can get — computed
+//! fresh (`queued`), served from the persistent cache (`hit`), and joined
+//! to a run another client already has in flight (`joined`) — plus the
+//! live progress stream and the byte-identity of cached and fresh reports.
+//!
+//! ```text
+//! cargo run --release --example sweep_client
+//! ```
+
+use ar_serve::{CellStatus, Event, ServerConfig, SweepClient, SweepServer};
+use ar_system::CellKey;
+use ar_types::config::{NamedConfig, SystemConfig};
+use ar_workloads::SizeClass;
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.max_cycles = 2_000_000;
+    cfg
+}
+
+fn main() -> std::io::Result<()> {
+    // Bind an ephemeral port; `ar-experiments serve` wraps the same types
+    // behind a command line for a long-running daemon.
+    let cache = std::env::temp_dir().join(format!("ar-sweep-example-{}", std::process::id()));
+    let server = SweepServer::bind("127.0.0.1:0", ServerConfig::new(quick_cfg(), &cache))
+        .expect("bind an ephemeral port")
+        .spawn();
+    println!("server on {} (cache {})", server.addr(), cache.display());
+
+    let mut client = SweepClient::connect(server.addr())?;
+    println!(
+        "connected: protocol ok, cache schema v{}, base hash {:016x}\n",
+        client.schema(),
+        client.base_hash()
+    );
+
+    // One cell, observed: `running` marks the start of the simulation and
+    // `progress` streams windowed IPC straight out of the kernel.
+    let cell = CellKey::new("pagerank", NamedConfig::ArfTid, SizeClass::Small);
+    println!("fresh run of {} with progress streaming:", cell.label());
+    let (outcomes, totals) =
+        client.run_cells_observed(std::slice::from_ref(&cell), true, |event| match event {
+            Event::Running { .. } => println!("  running ..."),
+            Event::Progress { network_cycle, window_ipc, .. } => {
+                println!("  cycle {network_cycle:>8}  window IPC {window_ipc:.3}");
+            }
+            _ => {}
+        })?;
+    let fresh = &outcomes[0];
+    assert_eq!(fresh.status, CellStatus::Queued, "a cold cache computes");
+    println!(
+        "  done: {} network cycles, {} updates offloaded ({} computed)\n",
+        fresh.report.network_cycles, fresh.report.updates_offloaded, totals.runs
+    );
+
+    // The same cell again: a cache hit, byte-identical to the fresh report.
+    let cached = &client.run_cells(std::slice::from_ref(&cell))?[0];
+    assert_eq!(cached.status, CellStatus::Hit);
+    assert_eq!(
+        fresh.report.to_json().render(),
+        cached.report.to_json().render(),
+        "cached reports are byte-identical to fresh ones"
+    );
+    println!("second request: served from the cache, byte-identical report\n");
+
+    // Two clients, one run: while this client's batch occupies the server,
+    // a second connection asking for an in-flight cell joins it instead of
+    // simulating again.
+    let slow = CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Small);
+    let addr = server.addr();
+    let racer = std::thread::spawn(move || {
+        let mut second = SweepClient::connect(addr).expect("second client connects");
+        while second.stats().expect("stats").in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let slow = CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Small);
+        second.run_cells(std::slice::from_ref(&slow)).expect("joined run")
+    });
+    let mine = client.run_cells(std::slice::from_ref(&slow))?;
+    let theirs = racer.join().expect("second client finishes");
+    println!("concurrent request for {}:", slow.label());
+    println!("  first client:  {} (shared: {})", mine[0].status.name(), mine[0].shared);
+    println!("  second client: {} (shared: {})", theirs[0].status.name(), theirs[0].shared);
+    assert_eq!(mine[0].report, theirs[0].report, "one run, one report, two clients");
+
+    let stats = client.stats()?;
+    println!(
+        "\nserver counters: {} runs, {} cache hits, {} dedup joins",
+        stats.runs, stats.cache_hits, stats.dedup_joins
+    );
+    server.shutdown()?;
+    let _ = std::fs::remove_dir_all(&cache);
+    Ok(())
+}

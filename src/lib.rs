@@ -13,6 +13,7 @@ pub use ar_experiments;
 pub use ar_hmc;
 pub use ar_network;
 pub use ar_power;
+pub use ar_serve;
 pub use ar_sim;
 pub use ar_system;
 pub use ar_types;

@@ -1,0 +1,213 @@
+//! Property tests of the `ar_types::json` serialisation layer.
+//!
+//! The sweep server persists whole [`SimReport`]s through this layer and
+//! promises byte-identical cached reports, so the encoding must be lossless
+//! over the full value space a report can inhabit — not just the handful of
+//! shapes the unit tests pin. These tests drive [`SimRng`] to generate
+//! hundreds of adversarial reports (hostile strings, extreme counters,
+//! raw-bit doubles, empty and bulky collections) and check the two
+//! directions independently:
+//!
+//! * round trip: `SimReport::from_json(parse(render(to_json(r)))) == r`,
+//!   and the re-rendered bytes are identical (the cache's hit criterion);
+//! * rejection: truncated documents, structurally damaged documents and
+//!   plain garbage never silently decode into a report.
+
+use active_routing_repro::ar_sim::SimRng;
+use active_routing_repro::ar_system::{
+    CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary,
+};
+use active_routing_repro::ar_types::{Addr, Json};
+
+/// Largest integer the f64-backed number model round-trips exactly.
+const MAX_EXACT: u64 = 1 << 53;
+
+/// A counter anywhere in `[0, 2^53]`, biased towards the edges.
+fn counter(rng: &mut SimRng) -> u64 {
+    match rng.index(4) {
+        0 => rng.next_below(16),
+        1 => rng.next_below(1_000_000),
+        2 => MAX_EXACT - rng.next_below(16),
+        _ => rng.next_below(MAX_EXACT + 1),
+    }
+}
+
+/// Any finite f64, from raw bit patterns (subnormals, huge magnitudes,
+/// negative zero) mixed with tamer ranges.
+fn double(rng: &mut SimRng) -> f64 {
+    match rng.index(4) {
+        0 => rng.range_f64(-1.0e6, 1.0e6),
+        1 => rng.unit(),
+        2 => rng.next_below(MAX_EXACT) as f64,
+        _ => loop {
+            let candidate = f64::from_bits(rng.next_u64());
+            if candidate.is_finite() {
+                break candidate;
+            }
+        },
+    }
+}
+
+/// A string sprinkled with everything the escaper has to handle: quotes,
+/// backslashes, control characters, multi-byte unicode.
+fn hostile_string(rng: &mut SimRng) -> String {
+    const POOL: &[char] =
+        &['a', 'Z', '9', '"', '\\', '/', '\n', '\t', '\r', '\u{0}', '\u{1f}', 'é', '雨', '🦀', ' '];
+    (0..rng.index(24)).map(|_| POOL[rng.index(POOL.len())]).collect()
+}
+
+fn u64_vec(rng: &mut SimRng, max_len: usize) -> Vec<u64> {
+    (0..rng.index(max_len + 1)).map(|_| counter(rng)).collect()
+}
+
+/// A random report covering the full shape space of [`SimReport::to_json`].
+fn random_report(rng: &mut SimRng) -> SimReport {
+    let mut report = SimReport {
+        workload: hostile_string(rng),
+        config_label: hostile_string(rng),
+        network_cycles: counter(rng),
+        core_cycles: counter(rng),
+        instructions: counter(rng),
+        completed: rng.chance(0.5),
+        stalls: StallSummary {
+            memory: counter(rng),
+            gather: counter(rng),
+            barrier: counter(rng),
+            offload: counter(rng),
+            rob_full: counter(rng),
+        },
+        l1_accesses: counter(rng),
+        l1_hits: counter(rng),
+        l2_accesses: counter(rng),
+        l2_hits: counter(rng),
+        invalidations: counter(rng),
+        updates_offloaded: counter(rng),
+        gathers_offloaded: counter(rng),
+        update_latency: LatencyBreakdown {
+            request: double(rng),
+            stall: double(rng),
+            response: double(rng),
+        },
+        data_movement: DataMovement {
+            norm_req_bytes: counter(rng),
+            norm_resp_bytes: counter(rng),
+            active_req_bytes: counter(rng),
+            active_resp_bytes: counter(rng),
+        },
+        noc_byte_hops: counter(rng),
+        network_byte_hops: counter(rng),
+        hmc_bytes: counter(rng),
+        dram_bytes: counter(rng),
+        are_ops: counter(rng),
+        cube_activity: CubeActivity {
+            updates_computed: u64_vec(rng, 20),
+            operands_served: u64_vec(rng, 20),
+            operand_buffer_stalls: u64_vec(rng, 20),
+        },
+        // Gather addresses travel through the f64 number model, so they are
+        // exact only up to 2^53 — same bound as every other counter.
+        gather_results: (0..rng.index(12))
+            .map(|_| (Addr::new(counter(rng)), double(rng)))
+            .collect(),
+        ipc_series: Default::default(),
+        network_clock_ghz: double(rng),
+    };
+    for _ in 0..rng.index(40) {
+        report.ipc_series.push(double(rng), double(rng));
+    }
+    report
+}
+
+#[test]
+fn random_reports_round_trip_through_json_bytes() {
+    for seed in 0..300 {
+        let mut rng = SimRng::seed_from_u64(0xA11C_E5ED ^ seed);
+        let report = random_report(&mut rng);
+        let rendered = report.to_json().render();
+        let parsed = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("seed {seed}: rendered report must parse: {e}"));
+        let restored = SimReport::from_json(&parsed)
+            .unwrap_or_else(|e| panic!("seed {seed}: parsed report must decode: {e}"));
+        assert_eq!(restored, report, "seed {seed}: round trip must be lossless");
+        // The cache compares *bytes*; a lossless value round trip must also
+        // be a stable byte round trip.
+        assert_eq!(restored.to_json().render(), rendered, "seed {seed}: bytes must be stable");
+        // Canonical rendering (the content-address form) is stable too.
+        assert_eq!(
+            restored.to_json().canonical_render(),
+            report.to_json().canonical_render(),
+            "seed {seed}: canonical bytes must be stable"
+        );
+    }
+}
+
+#[test]
+fn truncated_report_documents_never_parse() {
+    let mut rng = SimRng::seed_from_u64(0x7EC4_0FF5);
+    let rendered = random_report(&mut rng).to_json().render();
+    // Every strict prefix of an object document is unbalanced, so the parser
+    // must reject all of them (the empty prefix included).
+    for len in 0..rendered.len() {
+        if !rendered.is_char_boundary(len) {
+            continue;
+        }
+        assert!(
+            Json::parse(&rendered[..len]).is_err(),
+            "a {len}-byte prefix of a {}-byte report must not parse",
+            rendered.len()
+        );
+    }
+}
+
+#[test]
+fn structurally_damaged_documents_never_decode() {
+    let mut rng = SimRng::seed_from_u64(0x0BAD_D0C5);
+    let doc = random_report(&mut rng).to_json();
+    let Json::Obj(pairs) = &doc else { panic!("reports encode as objects") };
+    for (victim, _) in pairs {
+        // Dropping any top-level field must fail decoding...
+        let dropped = Json::Obj(
+            pairs.iter().filter(|(k, _)| k != victim).cloned().collect::<Vec<(String, Json)>>(),
+        );
+        assert!(
+            SimReport::from_json(&dropped).is_err(),
+            "report without field {victim:?} must not decode"
+        );
+        // ...and so must nulling it out (every field is typed).
+        let nulled = Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), if k == victim { Json::Null } else { v.clone() }))
+                .collect::<Vec<(String, Json)>>(),
+        );
+        assert!(
+            SimReport::from_json(&nulled).is_err(),
+            "report with nulled field {victim:?} must not decode"
+        );
+    }
+    // Non-object documents are rejected outright.
+    for wrong in [Json::Null, Json::from(3.0), Json::from("report"), Json::arr([Json::Null])] {
+        assert!(SimReport::from_json(&wrong).is_err());
+    }
+}
+
+#[test]
+fn garbage_input_never_silently_decodes() {
+    const POOL: &[u8] = b"{}[]\",:0123456789.truefalsenul \\xZ";
+    let mut rng = SimRng::seed_from_u64(0x06A4_BA6E);
+    for round in 0..500 {
+        let garbage: String =
+            (0..rng.index(60)).map(|_| char::from(POOL[rng.index(POOL.len())])).collect();
+        // Random fragments may happen to be valid JSON scalars; the property
+        // is that the pipeline never yields a report from them. (A garbage
+        // fragment can't be a valid *report* object: field names, nesting
+        // and types would all have to line up, which a 60-byte soup cannot.)
+        match Json::parse(&garbage) {
+            Err(_) => {}
+            Ok(doc) => assert!(
+                SimReport::from_json(&doc).is_err(),
+                "round {round}: garbage {garbage:?} must not decode into a report"
+            ),
+        }
+    }
+}

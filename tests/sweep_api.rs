@@ -3,7 +3,8 @@
 //! serialisation.
 
 use active_routing_repro::ar_system::{
-    runner, Observer, ObserverControl, SampleRecorder, SimEvent, SimReport, Simulation, Sweep,
+    runner, CellKey, Observer, ObserverControl, SampleRecorder, SimEvent, SimReport, Simulation,
+    Sweep,
 };
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
 use active_routing_repro::ar_types::{Addr, Json};
@@ -63,13 +64,20 @@ fn sweep_reports_are_identical_to_serial_runs_across_thread_counts() {
     }
 }
 
-/// The deprecated shims remain behaviourally identical to the builder.
+/// A cell that crossed a process boundary as JSON (the sweep-server wire
+/// format) runs identically to the same point expressed with the builder.
 #[test]
-#[allow(deprecated)]
-fn deprecated_runner_shims_match_the_builder() {
+fn wire_round_tripped_cells_match_the_builder() {
     let cfg = quick_cfg();
-    let shim = runner::run(&cfg, NamedConfig::ArfAddr, WorkloadKind::RandReduce, SizeClass::Tiny)
-        .expect("valid configuration");
+    let key = CellKey::new("rand_reduce", NamedConfig::ArfAddr, SizeClass::Tiny);
+    let wired = CellKey::from_json(&Json::parse(&key.to_json().render()).expect("valid JSON"))
+        .expect("well-formed cell document");
+    let registry = WorkloadRegistry::builtin();
+    let via_cell = wired
+        .configure(&cfg, registry.get("rand_reduce").expect("built-in workload"))
+        .build()
+        .expect("valid configuration")
+        .run();
     let built = Simulation::builder()
         .config(cfg.clone())
         .named(NamedConfig::ArfAddr)
@@ -78,11 +86,7 @@ fn deprecated_runner_shims_match_the_builder() {
         .build()
         .expect("valid configuration")
         .run();
-    assert_eq!(shim, built);
-
-    let all = runner::run_all_configs(&cfg, WorkloadKind::Reduce, SizeClass::Tiny)
-        .expect("valid configuration");
-    assert_eq!(all.len(), NamedConfig::ALL.len());
+    assert_eq!(via_cell, built);
 }
 
 /// A custom workload registered in a `WorkloadRegistry` runs end to end

@@ -1,0 +1,217 @@
+//! End-to-end tests of the sweep server: a real daemon on an ephemeral
+//! port, real TCP clients, a real on-disk cache.
+//!
+//! Covered here (unit tests inside `ar-serve` cover the cache store and the
+//! wire encodings in isolation):
+//!
+//! * fresh runs land in the cache, and a second request returns a report
+//!   that is byte-identical to the fresh one;
+//! * two clients asking for the same in-flight cell share one run
+//!   (in-flight dedup), with both receiving the shared report;
+//! * progress streaming delivers `running` and IPC `progress` events;
+//! * the cache outlives the server: a new daemon over the same directory
+//!   serves everything from disk (zero recomputed cells);
+//! * a full sweep matrix resubmitted through the server recomputes nothing.
+
+use active_routing_repro::ar_serve::{CellStatus, ServerConfig, SweepClient, SweepServer};
+use active_routing_repro::ar_system::{CellKey, Sweep};
+use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
+use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
+use std::path::PathBuf;
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.max_cycles = 2_000_000;
+    cfg
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("ar-sweep-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn start(tag: &str, workers: usize) -> (active_routing_repro::ar_serve::RunningServer, PathBuf) {
+    let cache = temp_cache(tag);
+    let server =
+        SweepServer::bind("127.0.0.1:0", ServerConfig::new(quick_cfg(), &cache).workers(workers))
+            .expect("bind an ephemeral port")
+            .spawn();
+    (server, cache)
+}
+
+#[test]
+fn cached_reports_are_byte_identical_to_fresh_ones() {
+    let (server, cache) = start("bytes", 2);
+    let mut client = SweepClient::connect(server.addr()).expect("connect");
+    client.ping().expect("server answers pings");
+
+    let cells = [
+        CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Tiny),
+        CellKey::new("mac", NamedConfig::Hmc, SizeClass::Tiny),
+    ];
+    let fresh = client.run_cells(&cells).expect("fresh run");
+    assert!(fresh.iter().all(|o| !o.cached), "first pass computes everything");
+    assert!(fresh.iter().all(|o| o.status == CellStatus::Queued));
+
+    let cached = client.run_cells(&cells).expect("cached run");
+    assert!(cached.iter().all(|o| o.cached), "second pass is all cache hits");
+    assert!(cached.iter().all(|o| o.status == CellStatus::Hit));
+    for (fresh, cached) in fresh.iter().zip(&cached) {
+        assert_eq!(fresh.report, cached.report, "{}", fresh.cell.label());
+        assert_eq!(
+            fresh.report.to_json().render(),
+            cached.report.to_json().render(),
+            "{}: cached report must be byte-identical to the fresh one",
+            fresh.cell.label()
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.runs, 2, "two simulations executed");
+    assert_eq!(stats.cache_hits, 2, "two hits on the second pass");
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn concurrent_clients_share_one_in_flight_run() {
+    // One worker: the first cell of the batch occupies it, so the second
+    // cell stays queued while the second client asks for it — dedup must
+    // attach the second client to the queued job instead of re-running it.
+    let (server, cache) = start("dedup", 1);
+    let occupier = CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Small);
+    let target = CellKey::new("mac", NamedConfig::ArfTid, SizeClass::Tiny);
+
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || {
+        let mut first = SweepClient::connect(addr).expect("first client connects");
+        first.run_cells(&[occupier, target]).expect("first client's batch")
+    });
+
+    // Wait until both jobs are registered, then ask for the queued one.
+    let mut second = SweepClient::connect(server.addr()).expect("second client connects");
+    while second.stats().expect("stats").in_flight < 2 {
+        std::thread::yield_now();
+    }
+    let target = CellKey::new("mac", NamedConfig::ArfTid, SizeClass::Tiny);
+    let joined = second.run_cells(std::slice::from_ref(&target)).expect("joined run");
+    assert_eq!(joined[0].status, CellStatus::Joined, "second client rides the queued job");
+    assert!(joined[0].shared, "the run is marked shared");
+    assert!(!joined[0].cached, "a shared run is not a cache hit");
+
+    let first = handle.join().expect("first client finishes");
+    assert_eq!(first[1].report, joined[0].report, "both clients get the one report");
+    assert!(first[1].shared, "the originating client sees the sharing too");
+
+    let stats = second.stats().expect("stats");
+    assert_eq!(stats.runs, 2, "occupier + target: each cell simulated exactly once");
+    assert_eq!(stats.dedup_joins, 1, "one join recorded");
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn progress_streams_while_a_cell_runs() {
+    let (server, cache) = start("progress", 1);
+    let mut client = SweepClient::connect(server.addr()).expect("connect");
+    // A Small cell: long enough (several IPC windows of 2048 core cycles)
+    // that samples are guaranteed; a Tiny run can finish inside the first
+    // window and legitimately stream nothing.
+    let cells = [CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Small)];
+    let (mut running, mut progress) = (0usize, 0usize);
+    let (outcomes, totals) = client
+        .run_cells_observed(&cells, true, |event| {
+            use active_routing_repro::ar_serve::Event;
+            match event {
+                Event::Running { .. } => running += 1,
+                Event::Progress { .. } => progress += 1,
+                _ => {}
+            }
+        })
+        .expect("observed run");
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(totals.runs, 1);
+    assert_eq!(running, 1, "exactly one running notice for a fresh cell");
+    assert!(progress > 0, "IPC samples stream while the cell simulates");
+
+    // A cache hit streams no progress (nothing runs).
+    let (_, progress_events) = {
+        let mut progress = 0usize;
+        let r = client
+            .run_cells_observed(&cells, true, |event| {
+                if matches!(event, active_routing_repro::ar_serve::Event::Progress { .. }) {
+                    progress += 1;
+                }
+            })
+            .expect("cached run");
+        (r, progress)
+    };
+    assert_eq!(progress_events, 0, "cache hits stream no samples");
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn the_cache_outlives_the_server_and_matrices_resubmit_for_free() {
+    let cache = temp_cache("restart");
+    let sweep = Sweep::new(quick_cfg())
+        .configs([NamedConfig::Hmc, NamedConfig::ArfTid])
+        .workloads([WorkloadKind::Reduce, WorkloadKind::Mac])
+        .size(SizeClass::Tiny);
+    let cells = sweep.cell_keys();
+
+    // First daemon: compute the whole matrix.
+    let server =
+        SweepServer::bind("127.0.0.1:0", ServerConfig::new(quick_cfg(), &cache).workers(2))
+            .expect("bind")
+            .spawn();
+    let mut client = SweepClient::connect(server.addr()).expect("connect");
+    let fresh = client.run_cells(&cells).expect("fresh matrix");
+    assert_eq!(fresh.iter().filter(|o| !o.cached).count(), cells.len());
+    // The local sweep and the served matrix agree cell by cell.
+    let local = sweep.run().expect("local sweep");
+    for (outcome, cell) in fresh.iter().zip(&local.cells) {
+        assert_eq!(outcome.report, cell.report, "{}", outcome.cell.label());
+    }
+    server.shutdown().expect("clean shutdown");
+
+    // Second daemon over the same directory: zero recomputed cells.
+    let server =
+        SweepServer::bind("127.0.0.1:0", ServerConfig::new(quick_cfg(), &cache).workers(2))
+            .expect("rebind")
+            .spawn();
+    let mut client = SweepClient::connect(server.addr()).expect("reconnect");
+    let resubmitted = client.run_cells(&cells).expect("resubmitted matrix");
+    assert!(
+        resubmitted.iter().all(|o| o.cached),
+        "a restarted server serves the whole matrix from disk"
+    );
+    assert_eq!(server.stats().runs, 0, "zero cells recomputed");
+    for (fresh, cached) in fresh.iter().zip(&resubmitted) {
+        assert_eq!(
+            fresh.report.to_json().render(),
+            cached.report.to_json().render(),
+            "{}: byte-identical across a server restart",
+            fresh.cell.label()
+        );
+    }
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn unknown_workloads_fail_the_cell_not_the_server() {
+    let (server, cache) = start("unknown", 1);
+    let mut client = SweepClient::connect(server.addr()).expect("connect");
+    let bogus = [CellKey::new("no_such_workload", NamedConfig::Hmc, SizeClass::Tiny)];
+    let err = client.run_cells(&bogus).expect_err("unknown workloads are an error");
+    assert!(err.to_string().contains("no_such_workload"), "{err}");
+
+    // The same connection stays usable; real work still runs.
+    let good = [CellKey::new("reduce", NamedConfig::Hmc, SizeClass::Tiny)];
+    let outcomes = client.run_cells(&good).expect("valid cell still works");
+    assert!(outcomes[0].report.completed);
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
