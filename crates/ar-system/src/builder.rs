@@ -107,6 +107,7 @@ pub struct SimulationBuilder {
     threads: usize,
     fast_forward: Option<bool>,
     drain_fast_forward: Option<bool>,
+    cross_cycle: Option<bool>,
 }
 
 impl Default for SimulationBuilder {
@@ -129,6 +130,7 @@ impl SimulationBuilder {
             threads: 1,
             fast_forward: None,
             drain_fast_forward: None,
+            cross_cycle: None,
         }
     }
 
@@ -248,6 +250,23 @@ impl SimulationBuilder {
         self
     }
 
+    /// Forces bounded-lag cross-cycle execution on or off (see
+    /// [`System::with_cross_cycle`]).
+    ///
+    /// Without this call the kernel runs with cross-cycle execution enabled:
+    /// the arming pass self-gates (it only opens a run-ahead window when a
+    /// cube's pending work sits strictly below its conservative lookahead
+    /// horizon), so there is no workload statistic to auto-tune on. As with
+    /// the other kernel knobs, the [`SimReport`] is byte-identical in every
+    /// mode — the equivalence suite's on/off axis asserts exactly that — so
+    /// the knob only places wall-clock work. Ignored by the lock-step
+    /// reference kernel, which never runs ahead.
+    #[must_use]
+    pub fn cross_cycle(mut self, enabled: bool) -> Self {
+        self.cross_cycle = Some(enabled);
+        self
+    }
+
     /// Generates the workload, validates the configuration and wires the
     /// system.
     ///
@@ -286,7 +305,8 @@ impl SimulationBuilder {
             .with_labels(generated.name, label)
             .with_threads(threads)
             .with_fast_forward(fast_forward)
-            .with_drain_fast_forward(drain_fast_forward);
+            .with_drain_fast_forward(drain_fast_forward)
+            .with_cross_cycle(self.cross_cycle.unwrap_or(true));
         Ok(Simulation {
             system,
             observers: self.observers,

@@ -58,6 +58,7 @@
 
 pub mod builder;
 mod drain;
+mod lookahead;
 pub mod observer;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,223 @@
+//! Minimum cross-shard delivery latencies for conservative cross-cycle
+//! execution.
+//!
+//! Bounded-lag run-ahead (see `System::with_cross_cycle`) needs, for every
+//! pair of shards, a *lookahead*: the minimum number of network cycles any
+//! influence needs to travel from one to the other. On the dragonfly that is
+//! the minimal-route hop count times the per-hop latency — bandwidth
+//! serialization, link queueing and crossbar/TSV traversal only ever add on
+//! top, so the product is a sound lower bound. The table is precomputed once
+//! per simulation from the topology; lookups on the arming path are O(1).
+
+use ar_network::DragonflyTopology;
+use ar_types::ids::{CubeId, NetNode, PortId};
+use ar_types::Cycle;
+
+/// Precomputed minimum delivery latencies between the shards of the memory
+/// system: cube↔cube and cube↔host-side (the host side covers the cores,
+/// whose packets enter and leave the network through the host ports).
+#[derive(Debug, Clone)]
+pub(crate) struct LookaheadTable {
+    /// `cube_cube[from * cubes + to]`: min cycles for a packet injected at
+    /// cube `from` to arrive at cube `to` (0 on the diagonal).
+    cube_cube: Vec<Cycle>,
+    /// `host_cube[to]`: min cycles from any host port to cube `to`.
+    host_cube: Vec<Cycle>,
+    /// `cube_host[from]`: min cycles from cube `from` to any host port.
+    cube_host: Vec<Cycle>,
+    /// Smallest `host_cube` entry: the fastest the host side can influence
+    /// *any* cube. Cached for the arming fast path.
+    min_host_cube: Cycle,
+    cubes: usize,
+}
+
+impl LookaheadTable {
+    /// Builds the table for a topology with the given per-hop latency.
+    pub fn new(topology: &DragonflyTopology, hop_latency: Cycle) -> Self {
+        let cubes = topology.cubes();
+        let ports = topology.host_ports();
+        let lat = |from: NetNode, to: NetNode| -> Cycle {
+            Cycle::from(topology.hop_count(from, to)) * hop_latency
+        };
+        let mut cube_cube = Vec::with_capacity(cubes * cubes);
+        for from in 0..cubes {
+            for to in 0..cubes {
+                cube_cube
+                    .push(lat(NetNode::Cube(CubeId::new(from)), NetNode::Cube(CubeId::new(to))));
+            }
+        }
+        let port_nodes: Vec<NetNode> = (0..ports).map(|p| NetNode::Host(PortId::new(p))).collect();
+        let host_cube = (0..cubes)
+            .map(|to| {
+                port_nodes
+                    .iter()
+                    .map(|&p| lat(p, NetNode::Cube(CubeId::new(to))))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let cube_host = (0..cubes)
+            .map(|from| {
+                port_nodes
+                    .iter()
+                    .map(|&p| lat(NetNode::Cube(CubeId::new(from)), p))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut table = LookaheadTable { cube_cube, host_cube, cube_host, min_host_cube: 0, cubes };
+        table.close_over_relays();
+        table.min_host_cube = table.host_cube.iter().copied().min().unwrap_or(0);
+        table
+    }
+
+    /// Closes the table under relaying (Floyd–Warshall over the cubes plus
+    /// the host side as one extra node).
+    ///
+    /// The deterministic dragonfly route between two nodes is minimal only
+    /// per the routing function — it need not satisfy the triangle
+    /// inequality, while the horizon math composes legs freely (an influence
+    /// may bounce through any cube's engine or any host port). After the
+    /// closure every entry is a lower bound over *all* relay chains, so
+    /// `a→b→c` can never undercut the tabled `a→c`.
+    fn close_over_relays(&mut self) {
+        let n = self.cubes;
+        // Node n is the host side: packets can leave at one port and
+        // re-enter at another at no tabled cost, which the single-node
+        // encoding (min over ports on each leg) captures exactly.
+        let host = n;
+        let mut dist = vec![0 as Cycle; (n + 1) * (n + 1)];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * (n + 1) + b] = self.cube_cube[a * n + b];
+            }
+            dist[a * (n + 1) + host] = self.cube_host[a];
+            dist[host * (n + 1) + a] = self.host_cube[a];
+        }
+        for via in 0..=n {
+            for a in 0..=n {
+                let through = dist[a * (n + 1) + via];
+                for b in 0..=n {
+                    let relayed = through.saturating_add(dist[via * (n + 1) + b]);
+                    let direct = &mut dist[a * (n + 1) + b];
+                    *direct = (*direct).min(relayed);
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                self.cube_cube[a * n + b] = dist[a * (n + 1) + b];
+            }
+            self.cube_host[a] = dist[a * (n + 1) + host];
+            self.host_cube[a] = dist[host * (n + 1) + a];
+        }
+    }
+
+    /// Min cycles for traffic injected at cube `from` to reach cube `to`.
+    pub fn cube_to_cube(&self, from: usize, to: usize) -> Cycle {
+        self.cube_cube[from * self.cubes + to]
+    }
+
+    /// Min cycles for traffic injected at any host port to reach cube `to`.
+    pub fn host_to_cube(&self, to: usize) -> Cycle {
+        self.host_cube[to]
+    }
+
+    /// Min cycles for host-side traffic to reach the *closest* cube — the
+    /// tightest host-activity cap any cube's horizon can see.
+    pub fn min_host_to_cube(&self) -> Cycle {
+        self.min_host_cube
+    }
+
+    /// Min cycles for traffic injected at cube `from` to reach any host
+    /// port.
+    pub fn cube_to_host(&self, from: usize) -> Cycle {
+        self.cube_host[from]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_lower_bounds_the_routed_path() {
+        let topo = DragonflyTopology::paper();
+        let table = LookaheadTable::new(&topo, 3);
+        let cubes = topo.cubes();
+        for from in 0..cubes {
+            assert_eq!(table.cube_to_cube(from, from), 0, "diagonal must be zero");
+            for to in 0..cubes {
+                let hops = topo
+                    .hop_count(NetNode::Cube(CubeId::new(from)), NetNode::Cube(CubeId::new(to)));
+                assert!(table.cube_to_cube(from, to) <= Cycle::from(hops) * 3);
+                if from != to {
+                    assert!(
+                        table.cube_to_cube(from, to) >= 3,
+                        "distinct cubes are at least one hop apart"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_bounds_lower_bound_every_port() {
+        let topo = DragonflyTopology::paper();
+        let table = LookaheadTable::new(&topo, 2);
+        for c in 0..topo.cubes() {
+            let min_in = (0..topo.host_ports())
+                .map(|p| {
+                    topo.hop_count(NetNode::Host(PortId::new(p)), NetNode::Cube(CubeId::new(c)))
+                })
+                .min()
+                .unwrap();
+            let min_out = (0..topo.host_ports())
+                .map(|p| {
+                    topo.hop_count(NetNode::Cube(CubeId::new(c)), NetNode::Host(PortId::new(p)))
+                })
+                .min()
+                .unwrap();
+            assert!(table.host_to_cube(c) <= Cycle::from(min_in) * 2);
+            assert!(table.cube_to_host(c) <= Cycle::from(min_out) * 2);
+            assert!(table.host_to_cube(c) >= 2, "every cube is at least one hop from a port");
+            assert!(table.cube_to_host(c) >= 2, "every cube is at least one hop from a port");
+        }
+    }
+
+    #[test]
+    fn closed_table_satisfies_the_triangle_inequality() {
+        // The horizon math composes legs freely (an influence may bounce
+        // through any cube's engine or the host side), so every tabled
+        // distance must respect the triangle inequality — including legs
+        // through the host, where deterministic dragonfly routing alone
+        // gives no such guarantee.
+        for topo in [DragonflyTopology::paper(), DragonflyTopology::new(4, 1, 1)] {
+            let table = LookaheadTable::new(&topo, 5);
+            let n = topo.cubes();
+            for a in 0..n {
+                for b in 0..n {
+                    for via in 0..n {
+                        assert!(
+                            table.cube_to_cube(a, b)
+                                <= table.cube_to_cube(a, via) + table.cube_to_cube(via, b),
+                            "triangle inequality violated at {a}->{via}->{b}"
+                        );
+                    }
+                    assert!(
+                        table.cube_to_cube(a, b) <= table.cube_to_host(a) + table.host_to_cube(b),
+                        "host relay undercuts the tabled {a}->{b} distance"
+                    );
+                    assert!(
+                        table.cube_to_host(a) <= table.cube_to_cube(a, b) + table.cube_to_host(b),
+                        "cube relay undercuts the tabled {a}->host distance"
+                    );
+                    assert!(
+                        table.host_to_cube(b) <= table.host_to_cube(a) + table.cube_to_cube(a, b),
+                        "cube relay undercuts the tabled host->{b} distance"
+                    );
+                }
+            }
+        }
+    }
+}

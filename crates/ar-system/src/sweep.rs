@@ -52,13 +52,14 @@ pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
 /// Execution knobs of one sweep cell.
 ///
-/// The first three knobs place wall-clock work without affecting the
-/// [`SimReport`] — the equivalence suite pins byte-identical reports across
-/// every thread count and both fast-forward modes — so they are deliberately
-/// *excluded* from [`CellKey::cache_key`]: a report computed at
-/// `threads = 4` is a sound cache hit for a later `threads = 1` request.
-/// `cycle_limit` truncates the simulation and therefore *is* part of the
-/// key (folded into the effective configuration's `max_cycles`).
+/// The kernel knobs (threads, the fast-forward modes, cross-cycle
+/// execution) place wall-clock work without affecting the [`SimReport`] —
+/// the equivalence suite pins byte-identical reports across every thread
+/// count and every knob setting — so they are deliberately *excluded* from
+/// [`CellKey::cache_key`]: a report computed at `threads = 4` is a sound
+/// cache hit for a later `threads = 1` request. `cycle_limit` truncates the
+/// simulation and therefore *is* part of the key (folded into the effective
+/// configuration's `max_cycles`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellKnobs {
     /// Sharded-kernel thread count
@@ -71,15 +72,25 @@ pub struct CellKnobs {
     /// builder's automatic decision
     /// ([`SimulationBuilder::drain_fast_forward`]).
     pub drain_fast_forward: Option<bool>,
+    /// Forces bounded-lag cross-cycle execution on or off; `None` keeps the
+    /// builder's default (enabled; [`SimulationBuilder::cross_cycle`]).
+    pub cross_cycle: Option<bool>,
     /// Overrides the base configuration's `max_cycles` when set.
     pub cycle_limit: Option<u64>,
 }
 
 impl Default for CellKnobs {
     /// The builder's own defaults: serial kernel, automatic fast-forward
-    /// decisions, the base configuration's cycle limit.
+    /// decisions, cross-cycle execution enabled, the base configuration's
+    /// cycle limit.
     fn default() -> Self {
-        CellKnobs { threads: 1, fast_forward: None, drain_fast_forward: None, cycle_limit: None }
+        CellKnobs {
+            threads: 1,
+            fast_forward: None,
+            drain_fast_forward: None,
+            cross_cycle: None,
+            cycle_limit: None,
+        }
     }
 }
 
@@ -144,6 +155,9 @@ impl CellKey {
         if let Some(dff) = self.knobs.drain_fast_forward {
             builder = builder.drain_fast_forward(dff);
         }
+        if let Some(cc) = self.knobs.cross_cycle {
+            builder = builder.cross_cycle(cc);
+        }
         builder
     }
 
@@ -186,6 +200,7 @@ impl CellKey {
             ("threads", Json::from(self.knobs.threads)),
             ("fast_forward", opt_bool(self.knobs.fast_forward)),
             ("drain_fast_forward", opt_bool(self.knobs.drain_fast_forward)),
+            ("cross_cycle", opt_bool(self.knobs.cross_cycle)),
             ("cycle_limit", self.knobs.cycle_limit.map(Json::from).unwrap_or(Json::Null)),
         ])
     }
@@ -225,6 +240,7 @@ impl CellKey {
                 .map_err(|_| bad("threads"))?,
             fast_forward: opt_bool("fast_forward")?,
             drain_fast_forward: opt_bool("drain_fast_forward")?,
+            cross_cycle: opt_bool("cross_cycle")?,
             cycle_limit: match doc.get("cycle_limit") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_u64().ok_or_else(|| bad("cycle_limit"))?),
@@ -578,6 +594,7 @@ mod tests {
             threads: 4,
             fast_forward: Some(false),
             drain_fast_forward: Some(true),
+            cross_cycle: Some(false),
             cycle_limit: Some(12_345),
         });
         assert_eq!(CellKey::from_json(&knobbed.to_json()).unwrap(), knobbed);
@@ -598,9 +615,18 @@ mod tests {
             threads: 8,
             fast_forward: Some(true),
             drain_fast_forward: Some(false),
+            cross_cycle: None,
             cycle_limit: None,
         });
         assert_eq!(neutral.cache_hash(&base), addr);
+        // Cross-cycle execution is report-neutral too: forcing it on or off
+        // must keep the cell at the same cache address, so reports computed
+        // before the knob existed stay valid hits.
+        for forced in [Some(true), Some(false)] {
+            let crossed =
+                key.clone().with_knobs(CellKnobs { cross_cycle: forced, ..CellKnobs::default() });
+            assert_eq!(crossed.cache_hash(&base), addr);
+        }
         // ...while the cycle limit, the named config, the size, the workload
         // and any base-config field all do change it.
         let limited =

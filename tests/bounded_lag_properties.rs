@@ -1,0 +1,306 @@
+//! Differential property suite for bounded-lag cross-cycle execution
+//! (`ar_system::lookahead` + the window arming/replay path in `System`).
+//!
+//! A cross-cycle window lets an isolated cube tick several cycles past the
+//! global clock: a conservative horizon — folded from the topology's
+//! metric-closed minimum delivery latencies, the in-flight packet arrival
+//! bounds and every other shard's earliest possible emission — bounds the
+//! first cycle any outside influence could still reach the cube, and the
+//! cube's private calendar is advanced strictly below it. Every response
+//! popped along the way is stamped with its true cycle and merged only when
+//! the global clock arrives. The correctness contract is *byte identity*:
+//! for any topology, any latency geometry and any truncation, the report
+//! with run-ahead on must equal the report with it off and the per-cycle
+//! lock-step reference. This suite sweeps that contract over randomized
+//! inputs, all driven by the workspace's deterministic [`SimRng`]:
+//!
+//! * random dragonfly shapes (cube/group/host-port counts from the valid
+//!   grid) and random hop latencies — the inputs of the lookahead table,
+//!   so horizons range from "never arms" to many-cycle windows;
+//! * random vault access / crossbar latencies — the depth of the vault
+//!   shadow a window runs ahead into;
+//! * random `max_cycles` truncations and observer-driven [`DeadlineStop`]
+//!   split points, which may land while windows are open;
+//! * IPC sample probes ([`Sample`] streams compared sample-for-sample);
+//! * the sharded kernel (`threads ∈ {2, 4}`) and the forced worker pool on
+//!   top of the run-ahead path.
+//!
+//! **Causality oracle.** The kernel carries `debug_assert!`s on the window
+//! path: a packet may never be delivered to a cube inside its window, a
+//! window cube's engine may never wake mid-window, and every replayed
+//! completion must merge at exactly its recorded stamp — i.e. the horizon
+//! never admits an influence timestamped before the receiver's local clock.
+//! This suite runs under `cargo test` (dev profile), where those asserts
+//! are armed, so any unsound horizon aborts the run instead of silently
+//! reordering it; the CI release pass re-runs the suite for the timing-race
+//! surface of the pooled path.
+
+use active_routing_repro::ar_sim::SimRng;
+use active_routing_repro::ar_system::{
+    DeadlineStop, Observer, ObserverControl, Sample, SimEvent, SimReport, Simulation,
+};
+use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
+use active_routing_repro::ar_types::{Addr, ThreadId, WorkItem, WorkStream};
+use active_routing_repro::ar_workloads::{
+    GeneratedWorkload, SizeClass, Variant, Workload, WorkloadKind,
+};
+use std::sync::{Arc, Mutex};
+
+/// The valid dragonfly shapes the sweep samples from: `cubes` must divide
+/// evenly into `groups` and `host_ports <= groups`. Spans single-group,
+/// partially-ported and the paper's 16-cube geometry.
+const TOPOLOGIES: [(usize, usize, usize); 5] =
+    [(4, 1, 1), (4, 2, 2), (8, 2, 2), (8, 4, 2), (16, 4, 4)];
+
+/// A random latency geometry: the scalars the lookahead table and the
+/// horizon fold run on. Short hop latencies shrink horizons (often below
+/// the minimum window, so arming genuinely bails); long vault latencies
+/// deepen the shadow a window runs ahead into.
+fn random_cfg(rng: &mut SimRng) -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    let (cubes, groups, ports) = TOPOLOGIES[rng.index(TOPOLOGIES.len())];
+    cfg.network.cubes = cubes;
+    cfg.network.groups = groups;
+    cfg.network.host_ports = ports;
+    cfg.network.hop_latency = [1, 2, 3, 5][rng.index(4)];
+    cfg.hmc.vault_access_latency = [4, 10, 22, 40][rng.index(4)];
+    cfg.hmc.crossbar_latency = [1, 2, 4][rng.index(3)];
+    cfg.max_cycles = 10_000_000;
+    cfg
+}
+
+/// A randomized load-heavy workload: each thread issues strided loads into
+/// a private address span, salted with short computes. Pure loads keep the
+/// Active-Routing engines idle — the regime where cubes sit in their vault
+/// shadows and windows actually arm. Generation is a pure function of the
+/// seed, so every builder call sees the identical streams.
+struct VaultShadowMix {
+    seed: u64,
+}
+
+impl Workload for VaultShadowMix {
+    fn name(&self) -> &str {
+        "vault_shadow_mix"
+    }
+
+    fn generate(&self, threads: usize, _size: SizeClass, variant: Variant) -> GeneratedWorkload {
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let streams = (0..threads)
+            .map(|t| {
+                let mut s = WorkStream::new(ThreadId::new(t));
+                let stride = 4096 * (1 + rng.next_below(4));
+                // Long enough that full runs span several IPC sample windows
+                // (1024 network cycles each), so deadline split points have
+                // sample boundaries to land on.
+                let count = 256 + rng.next_below(768);
+                for i in 0..count {
+                    if rng.chance(0.15) {
+                        s.push(WorkItem::Compute(1 + rng.next_below(20) as u32));
+                    }
+                    s.push(WorkItem::Load(Addr::new(
+                        0x40_0000 + t as u64 * 0x10_0000 + i * stride,
+                    )));
+                }
+                s
+            })
+            .collect();
+        GeneratedWorkload {
+            name: "vault_shadow_mix".to_string(),
+            variant,
+            streams,
+            memory: Vec::new(),
+            references: Vec::new(),
+            updates: 0,
+        }
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, label: &str) {
+    assert_eq!(a.network_cycles, b.network_cycles, "{label}: network cycles");
+    assert_eq!(a.instructions, b.instructions, "{label}: instructions");
+    assert_eq!(a.stalls, b.stalls, "{label}: stall breakdown");
+    assert_eq!(a.hmc_bytes, b.hmc_bytes, "{label}: HMC bytes");
+    assert_eq!(a.cube_activity, b.cube_activity, "{label}: cube activity");
+    assert_eq!(a.gather_results, b.gather_results, "{label}: gather results");
+    assert_eq!(a, b, "{label}: full report");
+}
+
+/// The main differential sweep: random topologies × latency geometries ×
+/// built-in workloads, each run with run-ahead on, off, under the lock-step
+/// reference and on the sharded kernel — five byte-identical reports per
+/// case. The window count of the on-runs is accumulated so the sweep proves
+/// run-ahead genuinely engaged somewhere, not just that nothing diverged.
+#[test]
+fn cross_cycle_is_byte_identical_across_random_geometries() {
+    let kinds =
+        [WorkloadKind::Reduce, WorkloadKind::Spmv, WorkloadKind::Mac, WorkloadKind::Pagerank];
+    let configs = [NamedConfig::Hmc, NamedConfig::ArfTid, NamedConfig::Art];
+    let mut rng = SimRng::seed_from_u64(0xB0_07DE);
+    let mut armed = 0u64;
+    for case in 0..8u64 {
+        let cfg = random_cfg(&mut rng);
+        let kind = kinds[rng.index(kinds.len())];
+        let named = configs[rng.index(configs.len())];
+        let build = || {
+            Simulation::builder()
+                .config(cfg.clone())
+                .named(named)
+                .workload(kind)
+                .size(SizeClass::Tiny)
+        };
+        let label = format!("case {case} ({kind}/{named})");
+        let (on, windows) =
+            build().cross_cycle(true).build().expect("valid").into_system().run_counting_windows();
+        armed += windows;
+        assert!(on.completed, "{label}: the run must finish");
+        let off = build().cross_cycle(false).build().expect("valid").run();
+        assert_reports_identical(&on, &off, &format!("{label}: run-ahead on vs off"));
+        let lockstep = build().lockstep().build().expect("valid").run();
+        assert_reports_identical(&on, &lockstep, &format!("{label}: run-ahead vs lock-step"));
+        for threads in [2usize, 4] {
+            let sharded = build().cross_cycle(true).threads(threads).build().expect("valid").run();
+            assert_reports_identical(&on, &sharded, &format!("{label} @ threads={threads}"));
+        }
+    }
+    assert!(armed > 0, "the sweep must arm at least one cross-cycle window (armed {armed})");
+}
+
+/// The vault-shadow regime: pure strided loads keep every engine idle, so
+/// windows arm across random strides, latencies and topologies — and the
+/// replayed completions must merge to byte-identical reports, including on
+/// the *forced* worker pool (real worker threads regardless of host CPUs).
+#[test]
+fn vault_shadow_replays_merge_identically_across_kernels() {
+    let mut rng = SimRng::seed_from_u64(0x5AD_0FF);
+    let mut armed = 0u64;
+    for case in 0..6u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let build = || {
+            Simulation::builder()
+                .config(cfg.clone())
+                .workload(VaultShadowMix { seed })
+                .size(SizeClass::Tiny)
+        };
+        let (on, windows) =
+            build().cross_cycle(true).build().expect("valid").into_system().run_counting_windows();
+        armed += windows;
+        assert!(on.completed, "case {case}: the load mix must finish");
+        let off = build().cross_cycle(false).build().expect("valid").run();
+        assert_reports_identical(&on, &off, &format!("case {case}: run-ahead on vs off"));
+        let lockstep = build().lockstep().build().expect("valid").run();
+        assert_reports_identical(&on, &lockstep, &format!("case {case}: vs lock-step"));
+        let pooled = build()
+            .build()
+            .expect("valid")
+            .into_system()
+            .with_threads(2)
+            .with_cross_cycle(true)
+            .run();
+        assert_reports_identical(&on, &pooled, &format!("case {case}: forced pool @ threads=2"));
+    }
+    assert!(armed > 0, "the vault shadows must arm cross-cycle windows (armed {armed})");
+}
+
+/// Random `max_cycles` truncations: the horizon is capped at the cycle
+/// limit and the report never reads run-ahead state beyond it, so a limit
+/// landing anywhere — including where a window would otherwise extend —
+/// must settle all kernels to identical (incomplete) statistics.
+#[test]
+fn random_cycle_limits_truncate_identically_under_cross_cycle() {
+    let mut rng = SimRng::seed_from_u64(0x7C_C717);
+    let mut truncated = 0u64;
+    for case in 0..8u64 {
+        let mut cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        cfg.max_cycles = 50 + rng.next_below(3_000);
+        let build = || {
+            Simulation::builder()
+                .config(cfg.clone())
+                .workload(VaultShadowMix { seed })
+                .size(SizeClass::Tiny)
+        };
+        let on = build().cross_cycle(true).build().expect("valid").run();
+        let off = build().cross_cycle(false).build().expect("valid").run();
+        let lockstep = build().lockstep().build().expect("valid").run();
+        assert_reports_identical(&on, &off, &format!("case {case}: truncated on vs off"));
+        assert_reports_identical(&on, &lockstep, &format!("case {case}: truncated vs lock-step"));
+        if !on.completed {
+            truncated += 1;
+            assert_eq!(on.network_cycles, cfg.max_cycles, "case {case}: cut at the limit");
+        }
+    }
+    assert!(truncated >= 4, "the limit sweep must actually truncate runs (hit {truncated})");
+}
+
+/// An observer that shares its recorded samples so two runs' streams can be
+/// compared (the bundled `SampleRecorder` is consumed by the run).
+#[derive(Clone, Default)]
+struct SharedSamples(Arc<Mutex<Vec<Sample>>>);
+
+impl Observer for SharedSamples {
+    fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+        if let SimEvent::Sample(sample) = event {
+            self.0.lock().expect("sample log").push(*sample);
+        }
+        ObserverControl::Continue
+    }
+}
+
+/// Random [`DeadlineStop`] split points and IPC sample streams: a stop or a
+/// sample boundary may land while a window holds not-yet-merged replays,
+/// and neither the (incomplete) report nor a single recorded sample may
+/// differ from the per-cycle kernels. The split point is drawn uniformly
+/// from the run's *actual* length (measured by an uninstrumented pre-run),
+/// so every case genuinely cuts the run mid-flight.
+#[test]
+fn random_stop_points_and_sample_streams_match_per_cycle() {
+    let mut rng = SimRng::seed_from_u64(0xDEAD_11EF);
+    let mut stopped = 0u64;
+    for case in 0..5u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let full = Simulation::builder()
+            .config(cfg.clone())
+            .workload(VaultShadowMix { seed })
+            .size(SizeClass::Tiny)
+            .build()
+            .expect("valid")
+            .run();
+        assert!(full.completed, "case {case}: the uncut run must finish");
+        // A deadline stop fires at the first IPC sample at or past the
+        // deadline, so draw split points at or below the run's last sample
+        // boundary — every case then genuinely cuts the run mid-flight.
+        let last_sample = (full.network_cycles - 1) / 1024 * 1024;
+        assert!(last_sample >= 1024, "case {case}: the run must span several sample windows");
+        let deadline = 1 + rng.next_below(last_sample);
+        let run = |cc: bool, lockstep: bool| {
+            let samples = SharedSamples::default();
+            let mut b = Simulation::builder()
+                .config(cfg.clone())
+                .workload(VaultShadowMix { seed })
+                .size(SizeClass::Tiny)
+                .cross_cycle(cc)
+                .observer(samples.clone())
+                .observer(DeadlineStop::at(deadline));
+            if lockstep {
+                b = b.lockstep();
+            }
+            let report = b.build().expect("valid").run();
+            let log = samples.0.lock().expect("sample log").clone();
+            (report, log)
+        };
+        let (on_report, on_samples) = run(true, false);
+        let (off_report, off_samples) = run(false, false);
+        let (lockstep_report, lockstep_samples) = run(true, true);
+        let label = format!("case {case} (deadline {deadline})");
+        assert_reports_identical(&on_report, &off_report, &format!("{label}: on vs off"));
+        assert_reports_identical(&on_report, &lockstep_report, &format!("{label}: vs lock-step"));
+        assert_eq!(on_samples, off_samples, "{label}: the knob changed the sample stream");
+        assert_eq!(on_samples, lockstep_samples, "{label}: sample streams diverged");
+        if !on_report.completed {
+            stopped += 1;
+        }
+    }
+    assert!(stopped >= 4, "the deadline sweep must actually cut runs short (hit {stopped})");
+}
