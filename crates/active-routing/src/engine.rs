@@ -67,16 +67,17 @@ pub struct AreOutput {
 }
 
 impl AreOutput {
-    /// Merges another output into this one.
+    /// Merges another output into this one, draining `other` in place.
     ///
     /// Both lists are appended, so within each list the emission order of
-    /// `other` is preserved after `self`'s. Callers that combine outputs of
-    /// several engines (the sharded kernel's per-cube outbox merge) must
-    /// merge in ascending cube-index order: packets injected into the memory
-    /// network in the same cycle are queued per link in merge order, so any
-    /// other order would change link-level FIFO order and with it the
-    /// report.
-    pub fn merge(&mut self, mut other: AreOutput) {
+    /// `other` is preserved after `self`'s; `other` is left empty with its
+    /// capacity intact, ready to be recycled as an accumulator. Callers that
+    /// combine outputs of several engines (the sharded kernel's per-cube
+    /// outbox merge) must merge in ascending cube-index order: packets
+    /// injected into the memory network in the same cycle are queued per
+    /// link in merge order, so any other order would change link-level FIFO
+    /// order and with it the report.
+    pub fn merge_from(&mut self, other: &mut AreOutput) {
         self.packets.append(&mut other.packets);
         self.vault_accesses.append(&mut other.vault_accesses);
     }
@@ -1260,13 +1261,15 @@ mod tests {
         assert_eq!(stats.mean_stall_latency(), 0.0);
     }
 
-    /// `AreOutput::merge` is the sharded kernel's outbox-combining
+    /// `AreOutput::merge_from` is the sharded kernel's outbox-combining
     /// primitive: merging per-cube outputs in ascending cube-index order
     /// must reproduce exactly the concatenation the serial per-cube loop
     /// emits — per list, in emission order, with nothing reordered across
     /// cube boundaries. (Same-cycle packets queue per link in merge order,
     /// so any permutation would change link-level FIFO order and the
-    /// report; `System::step_hmc` debug-asserts the ascending order.)
+    /// report; `System::step_hmc` debug-asserts the ascending order.) The
+    /// merge borrows and drains its source in place — no clone, and the
+    /// drained source keeps its buffers for recycling.
     #[test]
     fn merge_preserves_cube_index_emission_order() {
         // Three per-cube outputs with overlapping, interleavable content.
@@ -1286,8 +1289,12 @@ mod tests {
             })
             .collect();
         let mut merged = AreOutput::default();
-        for out in &per_cube {
-            merged.merge(out.clone());
+        let mut sources = per_cube.clone();
+        for out in &mut sources {
+            let cap = out.packets.capacity();
+            merged.merge_from(out);
+            assert!(out.is_empty(), "merge_from drains its source in place");
+            assert_eq!(out.packets.capacity(), cap, "a drained source keeps its buffers");
         }
         let serial: Vec<u64> =
             per_cube.iter().flat_map(|o| o.packets.iter().map(|p| p.id)).collect();
@@ -1297,8 +1304,9 @@ mod tests {
         assert_eq!(merged.vault_accesses.iter().map(|a| a.id).collect::<Vec<_>>(), serial_accesses);
         // Merging is deterministic: the same inputs merge to the same output.
         let mut again = AreOutput::default();
-        for out in &per_cube {
-            again.merge(out.clone());
+        let mut sources = per_cube.clone();
+        for out in &mut sources {
+            again.merge_from(out);
         }
         assert_eq!(again, merged);
         // And `clear` resets content but keeps the buffers.

@@ -114,6 +114,16 @@ pub struct HostOffloadController {
     selector: PortSelector,
     topology: DragonflyTopology,
     pending: FastHashMap<u64, PendingGather>,
+    /// Finished gather records recycled into the next barrier, so the
+    /// steady-state gather path reuses its buffers instead of allocating
+    /// per flow.
+    spare_gathers: Vec<PendingGather>,
+    /// Thread lists handed out in [`GatherCompletion`]s and given back by
+    /// the consumer through
+    /// [`HostOffloadController::recycle_thread_list`].
+    spare_threads: Vec<Vec<ThreadId>>,
+    /// Reusable gather-port scratch of [`HostOffloadController::submit_gather`].
+    port_scratch: Vec<PortId>,
     next_update_id: u64,
     next_packet_id: u64,
     stats: HostStats,
@@ -127,6 +137,9 @@ impl HostOffloadController {
             selector: PortSelector::new(scheme, topology.clone(), map),
             topology,
             pending: FastHashMap::default(),
+            spare_gathers: Vec::new(),
+            spare_threads: Vec::new(),
+            port_scratch: Vec::new(),
             next_update_id: 0,
             next_packet_id: 1 << 60,
             stats: HostStats::default(),
@@ -256,25 +269,52 @@ impl HostOffloadController {
     ) {
         self.stats.gathers_received += 1;
         let key = target.as_u64();
-        let pending = self.pending.entry(key).or_insert_with(|| PendingGather {
-            op,
-            num_threads,
-            arrived_threads: Vec::new(),
-            outstanding_ports: Vec::new(),
-            value: op.identity(),
-            updates: 0,
-            issued: false,
-        });
+        let pending = match self.pending.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                // Recycle a finished barrier's record (buffers and all)
+                // rather than allocating a fresh one per flow.
+                let mut fresh = self.spare_gathers.pop().unwrap_or_else(|| PendingGather {
+                    op,
+                    num_threads: 0,
+                    arrived_threads: Vec::new(),
+                    outstanding_ports: Vec::new(),
+                    value: 0.0,
+                    updates: 0,
+                    issued: false,
+                });
+                fresh.op = op;
+                fresh.num_threads = num_threads;
+                if fresh.arrived_threads.capacity() == 0 {
+                    // The previous completion moved the thread list out; a
+                    // recycled one takes its place if the consumer gave any
+                    // back.
+                    if let Some(list) = self.spare_threads.pop() {
+                        fresh.arrived_threads = list;
+                    }
+                }
+                fresh.arrived_threads.clear();
+                fresh.outstanding_ports.clear();
+                fresh.value = op.identity();
+                fresh.updates = 0;
+                fresh.issued = false;
+                slot.insert(fresh)
+            }
+        };
         pending.num_threads = pending.num_threads.max(num_threads);
         pending.arrived_threads.push(thread);
         if pending.issued || (pending.arrived_threads.len() as u32) < pending.num_threads {
             return;
         }
         pending.issued = true;
-        let ports = self.selector.gather_ports();
-        pending.outstanding_ports = ports.clone();
+        // Fill the barrier's outstanding-port list through the reusable
+        // scratch: no per-gather allocation, no clone.
+        let mut ports = std::mem::take(&mut self.port_scratch);
+        debug_assert!(ports.is_empty());
+        self.selector.gather_ports_into(&mut ports);
+        pending.outstanding_ports.extend_from_slice(&ports);
 
-        for port in ports {
+        for &port in &ports {
             let flow = FlowId::new(key, port);
             let entry_cube = self.topology.host_cube(port);
             let kind = ActiveKind::GatherReq { flow, op, expected_at_root: 1, thread };
@@ -288,6 +328,8 @@ impl HostOffloadController {
             self.stats.gather_requests_sent += 1;
             out.packets.push((port, packet));
         }
+        ports.clear();
+        self.port_scratch = ports;
     }
 
     /// Handles a packet delivered back to one of the host access ports.
@@ -324,16 +366,32 @@ impl HostOffloadController {
         if !pending.outstanding_ports.is_empty() {
             return;
         }
-        let finished = self.pending.remove(&key).expect("entry present");
+        let mut finished = self.pending.remove(&key).expect("entry present");
         self.stats.gathers_completed += 1;
         out.completions.push(GatherCompletion {
             target: Addr::new(key),
             op: finished.op,
             value: finished.value,
             updates: finished.updates,
-            threads: finished.arrived_threads,
+            threads: std::mem::take(&mut finished.arrived_threads),
             completed_at: now,
         });
+        // The record (and its outstanding-ports buffer) goes back to the
+        // spare pool for the next barrier on this flow or another.
+        self.spare_gathers.push(finished);
+    }
+
+    /// Gives a [`GatherCompletion`]'s thread list back for reuse, closing
+    /// the recycling loop: barrier records, their port lists and their
+    /// thread lists all cycle through the controller, so the steady-state
+    /// gather path allocates nothing.
+    pub fn recycle_thread_list(&mut self, mut threads: Vec<ThreadId>) {
+        threads.clear();
+        // Bound the stash: one list per conceivable concurrent barrier is
+        // plenty, and an unbounded stash would look like a leak.
+        if self.spare_threads.len() < 64 {
+            self.spare_threads.push(threads);
+        }
     }
 }
 

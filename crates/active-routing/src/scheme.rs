@@ -71,10 +71,18 @@ impl PortSelector {
     /// All ports that may carry trees of a flow under this scheme (gathers are
     /// replicated to each of them).
     pub fn gather_ports(&self) -> Vec<PortId> {
+        let mut ports = Vec::new();
+        self.gather_ports_into(&mut ports);
+        ports
+    }
+
+    /// Appends the gather ports to `out` — the allocation-free form of
+    /// [`PortSelector::gather_ports`] for callers that recycle the buffer.
+    pub fn gather_ports_into(&self, out: &mut Vec<PortId>) {
         match self.scheme {
-            OffloadScheme::None => Vec::new(),
-            OffloadScheme::Art => vec![PortId::new(0)],
-            _ => (0..self.ports).map(PortId::new).collect(),
+            OffloadScheme::None => {}
+            OffloadScheme::Art => out.push(PortId::new(0)),
+            _ => out.extend((0..self.ports).map(PortId::new)),
         }
     }
 

@@ -85,24 +85,42 @@ impl CacheStats {
     }
 }
 
-/// Directory entry: which cores hold the block in their L1.
-#[derive(Debug, Clone, Default)]
+/// Directory entry: which cores hold the block in their L1. A fixed
+/// four-word bitmask covers machines up to 256 cores (the weak-scaling
+/// configuration has 160) without a heap allocation per entry.
+#[derive(Debug, Clone, Copy, Default)]
 struct DirEntry {
-    sharers: u64,
+    sharers: [u64; 4],
 }
 
 impl DirEntry {
+    /// Largest core index the mask can represent, checked at construction.
+    const CAPACITY: usize = 256;
+
     fn add(&mut self, core: usize) {
-        self.sharers |= 1 << core;
+        self.sharers[core / 64] |= 1 << (core % 64);
     }
     fn remove(&mut self, core: usize) {
-        self.sharers &= !(1 << core);
+        self.sharers[core / 64] &= !(1 << (core % 64));
     }
-    fn others(&self, core: usize) -> u32 {
-        (self.sharers & !(1 << core)).count_ones()
+    fn contains(&self, core: usize) -> bool {
+        self.sharers[core / 64] & (1 << (core % 64)) != 0
     }
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..64).filter(|i| self.sharers & (1 << i) != 0)
+    fn count(&self) -> u32 {
+        self.sharers.iter().map(|w| w.count_ones()).sum()
+    }
+    /// Iterates the set core indices in ascending order, without allocating.
+    fn iter(&self) -> impl Iterator<Item = usize> {
+        self.sharers.into_iter().enumerate().flat_map(|(word, mut bits)| {
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(word * 64 + bit)
+            })
+        })
     }
 }
 
@@ -119,6 +137,11 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Builds the hierarchy for `cores` cores with the given configuration.
     pub fn new(cores: usize, cfg: &CacheConfig) -> Self {
+        assert!(
+            cores <= DirEntry::CAPACITY,
+            "the directory sharer mask supports at most {} cores",
+            DirEntry::CAPACITY
+        );
         let bank_bytes = (cfg.l2_bytes / cfg.l2_banks).max(cfg.block_bytes * cfg.l2_ways);
         CacheHierarchy {
             l1: (0..cores)
@@ -227,14 +250,20 @@ impl CacheHierarchy {
     fn invalidate_other_sharers(&mut self, core: usize, addr: Addr) -> u32 {
         let block = addr.block_index();
         let Some(entry) = self.directory.get_mut(&block) else { return 0 };
-        let count = entry.others(core);
+        let mut others = *entry;
+        others.remove(core);
+        let count = others.count();
         if count > 0 {
-            let sharers: Vec<usize> = entry.iter().filter(|&s| s != core).collect();
-            for s in sharers {
+            // Only the writer's own copy survives.
+            let keep = entry.contains(core);
+            *entry = DirEntry::default();
+            if keep {
+                entry.add(core);
+            }
+            for s in others.iter() {
                 if s < self.l1.len() {
                     self.l1[s].invalidate(addr);
                 }
-                entry.remove(s);
             }
         }
         count

@@ -63,7 +63,16 @@ impl MessageInterface {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "MI queue depth must be non-zero");
-        MessageInterface { queue: VecDeque::new(), depth, accepted: 0, rejected: 0 }
+        // One slot of headroom over the configured depth: the offload-drain
+        // replay (`push_unchecked`) may transiently overfill the queue
+        // between its push and pop loops, and the reserve keeps even that
+        // path off the allocator.
+        MessageInterface {
+            queue: VecDeque::with_capacity(depth + 1),
+            depth,
+            accepted: 0,
+            rejected: 0,
+        }
     }
 
     /// Returns true if another command can be accepted.

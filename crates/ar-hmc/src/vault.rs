@@ -64,10 +64,17 @@ pub struct Vault {
 impl Vault {
     /// Creates a vault from the cube configuration.
     pub fn new(cfg: &HmcConfig) -> Self {
+        // Reserve both queues up front: the controller queue is bounded by
+        // its configured depth, and the batch drain can move a full
+        // controller queue into the completion queue while a previous
+        // batch's accesses are still completing, so two queue depths plus
+        // one access per bank covers the completion queue's occupancy.
         Vault {
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(cfg.vault_queue_depth),
             bank_busy_until: vec![0; cfg.banks_per_vault],
-            completed: LatencyQueue::new(),
+            completed: LatencyQueue::with_capacity(
+                2 * (cfg.vault_queue_depth + cfg.banks_per_vault),
+            ),
             banks: cfg.banks_per_vault,
             access_latency: cfg.vault_access_latency,
             bank_occupancy: cfg.bank_occupancy,

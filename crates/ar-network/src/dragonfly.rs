@@ -168,26 +168,44 @@ impl DragonflyTopology {
     }
 
     /// Number of links traversed on the minimal path from `from` to `to`.
+    /// Walks the route with [`DragonflyTopology::next_hop`] instead of
+    /// materializing it: this runs per memory request (port selection,
+    /// writeback targeting), where a per-call `Vec` would dominate the event
+    /// loop's allocation profile.
     pub fn hop_count(&self, from: NetNode, to: NetNode) -> u32 {
-        (self.path(from, to).len() - 1) as u32
+        let mut cur = from;
+        let mut hops = 0;
+        while cur != to {
+            cur = self.next_hop(cur, to);
+            hops += 1;
+            debug_assert!(hops <= self.cubes as u32 + 2, "routing loop detected");
+        }
+        hops
     }
 
     /// The last cube that the minimal paths from `entry` to `a` and from
     /// `entry` to `b` have in common — the *split point* at which a
     /// two-operand Update reserves its operand buffer and replicates operand
-    /// requests (Section 3.3.2).
+    /// requests (Section 3.3.2). Walks both routes in lock-step without
+    /// materializing them (this runs per offloaded two-operand Update).
     pub fn last_common_cube(&self, entry: CubeId, a: CubeId, b: CubeId) -> CubeId {
-        let pa = self.path(NetNode::Cube(entry), NetNode::Cube(a));
-        let pb = self.path(NetNode::Cube(entry), NetNode::Cube(b));
+        let (a, b) = (NetNode::Cube(a), NetNode::Cube(b));
+        let mut x = NetNode::Cube(entry);
+        let mut y = x;
         let mut last = entry;
-        for (x, y) in pa.iter().zip(pb.iter()) {
-            if x == y {
-                if let NetNode::Cube(c) = x {
-                    last = *c;
-                }
-            } else {
+        loop {
+            if x != y {
                 break;
             }
+            if let NetNode::Cube(c) = x {
+                last = c;
+            }
+            if x == a || y == b {
+                // One path ended; nothing further can be common to both.
+                break;
+            }
+            x = self.next_hop(x, a);
+            y = self.next_hop(y, b);
         }
         last
     }

@@ -10,6 +10,7 @@ use crate::dragonfly::DragonflyTopology;
 use ar_sim::{BandwidthLink, Component, EventQueue, NextWake, SchedCtx};
 use ar_types::ids::{CubeId, NetNode, PortId};
 use ar_types::packet::{ActiveKind, Packet, PacketKind};
+use ar_types::pool::{PacketPool, PacketRef};
 use ar_types::Cycle;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -63,12 +64,21 @@ impl NetworkStats {
 /// reports the next arrival so the system driver can sleep until then.
 /// Links are kept in a `BTreeMap` so same-cycle processing order is
 /// deterministic.
+///
+/// In-flight packets live in a [`PacketPool`]: a packet's bytes move into
+/// the pool once at [`MemoryNetwork::inject`] and out once when popped at
+/// its destination; in between, the link buffers and delivery queues only
+/// move 8-byte [`PacketRef`] handles, and per-hop bandwidth charging reads
+/// the pool's cached wire size. Pooling is placement-only — routing order,
+/// stats and delivery order are identical to moving packets by value.
 #[derive(Debug)]
 pub struct MemoryNetwork {
     topology: DragonflyTopology,
-    links: BTreeMap<(NetNode, NetNode), BandwidthLink<Packet>>,
-    delivered_cube: Vec<VecDeque<Packet>>,
-    delivered_host: Vec<VecDeque<Packet>>,
+    /// Storage for every in-flight packet; the queues below hold handles.
+    pool: PacketPool,
+    links: BTreeMap<(NetNode, NetNode), BandwidthLink<PacketRef>>,
+    delivered_cube: Vec<VecDeque<PacketRef>>,
+    delivered_host: Vec<VecDeque<PacketRef>>,
     /// Future-event list of packet arrivals, keyed by the link they arrive
     /// on. One entry per in-flight packet.
     arrivals: EventQueue<(NetNode, NetNode)>,
@@ -91,6 +101,7 @@ impl MemoryNetwork {
         let delivered_host = (0..topology.host_ports()).map(|_| VecDeque::new()).collect();
         MemoryNetwork {
             topology,
+            pool: PacketPool::new(),
             links,
             delivered_cube,
             delivered_host,
@@ -112,8 +123,7 @@ impl MemoryNetwork {
         &self.stats
     }
 
-    fn classify(&mut self, packet: &Packet) {
-        let bytes = u64::from(packet.size_bytes());
+    fn classify(&mut self, packet: &Packet, bytes: u64) {
         match &packet.kind {
             PacketKind::ReadReq { .. } | PacketKind::WriteReq { .. } => {
                 self.stats.norm_req_bytes += bytes;
@@ -132,38 +142,44 @@ impl MemoryNetwork {
         }
     }
 
-    /// Injects a packet at its source node. The packet starts routing
-    /// immediately (or is delivered directly if source equals destination).
+    /// Injects a packet at its source node. The packet moves into the pool
+    /// here and starts routing immediately (or is delivered directly if
+    /// source equals destination).
     pub fn inject(&mut self, now: Cycle, packet: Packet) {
+        let bytes = packet.size_bytes();
         self.stats.packets_injected += 1;
-        self.stats.bytes_injected += u64::from(packet.size_bytes());
-        self.classify(&packet);
+        self.stats.bytes_injected += u64::from(bytes);
+        self.classify(&packet, u64::from(bytes));
         let src = packet.src;
-        self.process_at(now, src, packet);
+        let r = self.pool.alloc(packet);
+        self.process_at(now, src, r);
     }
 
-    fn deliver(&mut self, now: Cycle, packet: Packet) {
+    fn deliver(&mut self, now: Cycle, r: PacketRef) {
+        let packet = self.pool.get(r);
+        let (dst, injected_at) = (packet.dst, packet.injected_at);
         self.stats.packets_delivered += 1;
-        self.stats.total_latency += now.saturating_sub(packet.injected_at);
+        self.stats.total_latency += now.saturating_sub(injected_at);
         self.delivered += 1;
-        match packet.dst {
-            NetNode::Cube(c) => self.delivered_cube[c.index()].push_back(packet),
-            NetNode::Host(p) => self.delivered_host[p.index()].push_back(packet),
+        match dst {
+            NetNode::Cube(c) => self.delivered_cube[c.index()].push_back(r),
+            NetNode::Host(p) => self.delivered_host[p.index()].push_back(r),
         }
     }
 
-    fn process_at(&mut self, now: Cycle, node: NetNode, mut packet: Packet) {
-        if node == packet.dst {
-            self.deliver(now, packet);
+    fn process_at(&mut self, now: Cycle, node: NetNode, r: PacketRef) {
+        let dst = self.pool.get(r).dst;
+        if node == dst {
+            self.deliver(now, r);
             return;
         }
-        let next = self.topology.next_hop(node, packet.dst);
-        packet.hops += 1;
-        self.stats.bit_hops += u64::from(packet.size_bytes()) * 8;
-        let bytes = packet.size_bytes();
+        let next = self.topology.next_hop(node, dst);
+        let bytes = self.pool.size_bytes(r);
+        self.pool.get_mut(r).hops += 1;
+        self.stats.bit_hops += u64::from(bytes) * 8;
         let link =
             self.links.get_mut(&(node, next)).unwrap_or_else(|| panic!("no link {node} -> {next}"));
-        let arrives_at = link.send(now, bytes, packet);
+        let arrives_at = link.send(now, bytes, r);
         self.arrivals.schedule(arrives_at, (node, next));
     }
 
@@ -173,8 +189,8 @@ impl MemoryNetwork {
     pub fn tick(&mut self, now: Cycle) {
         while let Some((_, key)) = self.arrivals.pop_due(now) {
             let link = self.links.get_mut(&key).expect("scheduled link exists");
-            let packet = link.pop_arrived(now).expect("one arrival per scheduled event");
-            self.process_at(now, key.1, packet);
+            let r = link.pop_arrived(now).expect("one arrival per scheduled event");
+            self.process_at(now, key.1, r);
         }
     }
 
@@ -190,11 +206,12 @@ impl MemoryNetwork {
         !self.delivered_host[port.index()].is_empty()
     }
 
-    /// Removes the next packet delivered at a cube, if any.
+    /// Removes the next packet delivered at a cube, if any. The packet moves
+    /// out of the pool and its slot is recycled.
     pub fn pop_at_cube(&mut self, cube: CubeId) -> Option<Packet> {
-        let packet = self.delivered_cube[cube.index()].pop_front();
-        self.delivered -= packet.is_some() as usize;
-        packet
+        let r = self.delivered_cube[cube.index()].pop_front()?;
+        self.delivered -= 1;
+        Some(self.pool.free(r))
     }
 
     /// Removes and returns a cube's entire delivery queue in arrival order —
@@ -203,32 +220,53 @@ impl MemoryNetwork {
     /// [`MemoryNetwork::pop_at_cube`] until it returns `None`.
     pub fn take_at_cube(&mut self, cube: CubeId) -> VecDeque<Packet> {
         let mut queue = VecDeque::new();
-        self.swap_at_cube(cube, &mut queue);
+        self.drain_at_cube_into(cube, &mut queue);
         queue
     }
 
-    /// Swaps a cube's delivery queue with `replacement` (which must be
-    /// empty): the deliveries move out, the replacement's spare capacity
-    /// moves in. The allocation-free form of [`MemoryNetwork::take_at_cube`]
-    /// for a driver that recycles per-cube inbox buffers every cycle.
-    pub fn swap_at_cube(&mut self, cube: CubeId, replacement: &mut VecDeque<Packet>) {
-        debug_assert!(replacement.is_empty(), "the replacement inbox must be drained");
-        self.delivered -= self.delivered_cube[cube.index()].len();
-        std::mem::swap(&mut self.delivered_cube[cube.index()], replacement);
+    /// Drains a cube's delivery queue into `inbox` in arrival order, moving
+    /// each packet out of the pool. The allocation-free form of
+    /// [`MemoryNetwork::take_at_cube`] for a driver that recycles per-cube
+    /// inbox buffers every cycle: `inbox` keeps its spare capacity and the
+    /// pool recycles the slots.
+    pub fn drain_at_cube_into(&mut self, cube: CubeId, inbox: &mut VecDeque<Packet>) {
+        let Self { pool, delivered_cube, delivered, .. } = self;
+        let queue = &mut delivered_cube[cube.index()];
+        *delivered -= queue.len();
+        while let Some(r) = queue.pop_front() {
+            inbox.push_back(pool.free(r));
+        }
     }
 
-    /// Removes the next packet delivered at a host port, if any.
+    /// Removes the next packet delivered at a host port, if any. The packet
+    /// moves out of the pool and its slot is recycled.
     pub fn pop_at_host(&mut self, port: PortId) -> Option<Packet> {
-        let packet = self.delivered_host[port.index()].pop_front();
-        self.delivered -= packet.is_some() as usize;
-        packet
+        let r = self.delivered_host[port.index()].pop_front()?;
+        self.delivered -= 1;
+        Some(self.pool.free(r))
     }
 
     /// Number of packets currently buffered or in flight anywhere in the
     /// network (used to detect quiescence). The counts are tracked
     /// incrementally, so this is O(1).
     pub fn in_flight(&self) -> usize {
+        debug_assert_eq!(
+            self.pool.live(),
+            self.arrivals.len() + self.delivered,
+            "every pooled packet is on a link or in a delivery queue"
+        );
         self.arrivals.len() + self.delivered
+    }
+
+    /// Peak number of simultaneously in-flight packets over the run — the
+    /// pool's high-water mark, i.e. the in-flight packet footprint.
+    pub fn peak_in_flight(&self) -> usize {
+        self.pool.high_water()
+    }
+
+    /// Slots the in-flight packet pool has grown to (live + free).
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
     }
 
     /// Returns true if any delivery queue (cube or host) holds an undrained

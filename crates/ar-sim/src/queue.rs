@@ -50,6 +50,13 @@ impl<T> LatencyQueue<T> {
         Self::default()
     }
 
+    /// Creates an empty queue with room for `capacity` in-flight items, so a
+    /// component whose occupancy bound is known up front (e.g. a vault's
+    /// controller-queue depth) never grows the heap on the hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LatencyQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
     /// Inserts an item that becomes ready at the given cycle.
     pub fn push_at(&mut self, ready_at: Cycle, item: T) {
         let seq = self.next_seq;

@@ -142,9 +142,23 @@ impl TimeSeries {
         TimeSeries { points: Vec::new() }
     }
 
+    /// Creates an empty series with room for `capacity` points, so a sampler
+    /// that knows its maximum window count up front never reallocates on the
+    /// sampling hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeries { points: Vec::with_capacity(capacity) }
+    }
+
     /// Appends a point (x = window position, y = value).
     pub fn push(&mut self, x: f64, y: f64) {
         self.points.push((x, y));
+    }
+
+    /// Drops the spare capacity of an up-front reservation, so a finished
+    /// series retained in a report (or a cache of reports) only holds its
+    /// actual points.
+    pub fn shrink_to_fit(&mut self) {
+        self.points.shrink_to_fit();
     }
 
     /// The recorded points, in insertion order.

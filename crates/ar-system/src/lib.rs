@@ -72,4 +72,4 @@ pub use observer::{
 pub use report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
 pub use runner::{variant_for, verify_gathers};
 pub use sweep::{CellKey, CellKnobs, Sweep, SweepCell, SweepResults, CACHE_SCHEMA_VERSION};
-pub use system::System;
+pub use system::{RunFootprint, System};

@@ -360,6 +360,19 @@ struct HmcBackend {
     topology: DragonflyTopology,
 }
 
+/// Memory-footprint diagnostics of a finished run
+/// ([`System::run_with_footprint`]): the simulator's own in-flight storage,
+/// not a property of the simulated machine. Zero on the DRAM backend, which
+/// has no packet pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunFootprint {
+    /// Peak number of simultaneously pooled in-flight packets.
+    pub peak_packets_in_flight: usize,
+    /// Slots the packet pool ended the run with (its free list never
+    /// shrinks, so this is also the storage high-water mark).
+    pub packet_pool_capacity: usize,
+}
+
 /// The full-system model.
 #[derive(Debug)]
 pub struct System {
@@ -435,6 +448,16 @@ pub struct System {
     /// Offload-drain windows planned so far (diagnostics only — the whole
     /// contract is that the report cannot tell).
     drain_windows: u64,
+    /// Reusable buffers of `try_arm_offload_drain`, so planning a window
+    /// allocates nothing once they reach their high-water capacities: the
+    /// drain-core index list, their planner states, the pop schedule, the
+    /// peeked command streams (flat), and the per-core read cursors into
+    /// that flat buffer.
+    drain_plan_cores: Vec<usize>,
+    drain_plan_states: Vec<CoreDrain>,
+    drain_plan_pops: Vec<(u64, u32)>,
+    drain_plan_commands: Vec<OffloadCommand>,
+    drain_plan_cursors: Vec<usize>,
     /// Reusable controller-output buffer of the drain phases, so submitting
     /// a command allocates nothing (its back-invalidate list doubles as the
     /// batch applied after each cycle's submissions).
@@ -626,7 +649,16 @@ impl System {
             armq: Vec::new(),
             arm_flags: vec![false; slot_count],
             gather_results: Vec::new(),
-            ipc_series: TimeSeries::new(),
+            // Sized for the worst-case sample count up front, so the
+            // sampler never reallocates mid-run (the zero-alloc steady-state
+            // gate measures this); the spare capacity is dropped again when
+            // the report is built.
+            ipc_series: TimeSeries::with_capacity(
+                (cfg.max_cycles / IPC_WINDOW_CORE_CYCLES)
+                    .saturating_mul(cfg.core_cycles_per_network_cycle())
+                    .min(1 << 20) as usize
+                    + 2,
+            ),
             last_ipc_sample_insns: 0,
             hmc_bytes: 0,
             back_invalidations: 0,
@@ -636,6 +668,11 @@ impl System {
             drain_until: 0,
             drain_outbox: VecDeque::new(),
             drain_windows: 0,
+            drain_plan_cores: Vec::new(),
+            drain_plan_states: Vec::new(),
+            drain_plan_pops: Vec::new(),
+            drain_plan_commands: Vec::new(),
+            drain_plan_cursors: Vec::new(),
             host_scratch: HostOutput::default(),
             core_requests: Vec::new(),
             core_wake_at,
@@ -769,6 +806,18 @@ impl System {
         self.run_with(false, &mut []).0
     }
 
+    /// Runs the event-driven kernel and also returns the run's
+    /// [`RunFootprint`] — the simulator's own peak in-flight storage.
+    ///
+    /// Like [`System::run_counting_windows`], the extra value is diagnostic
+    /// only and never appears in the [`SimReport`]: reports are pinned
+    /// byte-identical across kernels and golden snapshots, while the
+    /// footprint describes the simulator process, not the simulated machine.
+    pub fn run_with_footprint(self) -> (SimReport, RunFootprint) {
+        let (report, _, footprint) = self.run_with_diagnostics(false, &mut []);
+        (report, footprint)
+    }
+
     /// Runs the event-driven kernel and also returns the number of
     /// cross-cycle run-ahead windows the run armed (the consuming signature
     /// of [`System::run`] hides the [`System::cross_cycle_windows`] probe).
@@ -806,7 +855,16 @@ impl System {
         self.run_with(true, observers).0
     }
 
-    fn run_with(mut self, lockstep: bool, observers: &mut [Box<dyn Observer>]) -> (SimReport, u64) {
+    fn run_with(self, lockstep: bool, observers: &mut [Box<dyn Observer>]) -> (SimReport, u64) {
+        let (report, windows, _) = self.run_with_diagnostics(lockstep, observers);
+        (report, windows)
+    }
+
+    fn run_with_diagnostics(
+        mut self,
+        lockstep: bool,
+        observers: &mut [Box<dyn Observer>],
+    ) -> (SimReport, u64, RunFootprint) {
         let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut hub = ObserverHub::new(observers);
         hub.start(&RunInfo { workload: &self.workload, config_label: &self.label, cfg: &self.cfg });
@@ -867,9 +925,16 @@ impl System {
             core.settle_to(first_unprocessed.saturating_mul(ratio));
         }
         let windows = self.cross_cycle_windows;
+        let footprint = match &self.backend {
+            Backend::Hmc(hmc) => RunFootprint {
+                peak_packets_in_flight: hmc.network.peak_in_flight(),
+                packet_pool_capacity: hmc.network.pool_capacity(),
+            },
+            Backend::Dram(_) => RunFootprint::default(),
+        };
         let report = self.into_report(now, completed);
         hub.finish(&report);
-        (report, windows)
+        (report, windows, footprint)
     }
 
     /// Processes one memory-network cycle.
@@ -1352,20 +1417,21 @@ impl System {
     }
 
     fn release_barriers(&mut self, core_cycle: Cycle, hub: &mut ObserverHub<'_>) {
-        let mut waiting: Vec<u32> = Vec::new();
+        // Running min over the waiting cores; this probes every network cycle,
+        // so it must not allocate.
+        let mut lowest: Option<u32> = None;
         for core in &self.cores {
             if core.is_done() {
                 continue;
             }
             match core.waiting_barrier() {
-                Some(id) => waiting.push(id),
+                Some(id) => lowest = Some(lowest.map_or(id, |m| m.min(id))),
                 None => return, // someone is still running: no release possible
             }
         }
-        if waiting.is_empty() {
+        let Some(id) = lowest else {
             return;
-        }
-        let id = *waiting.iter().min().expect("non-empty");
+        };
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.release_barrier(id, core_cycle);
             // Released cores must tick again; re-open every live gate (the
@@ -1500,16 +1566,21 @@ impl System {
         // window early: over `n` cycles a core pushes at most `n` drained
         // commands plus one queue fill (see `crate::drain`).
         let max_run = (horizon - now) + self.cfg.cores.mi_queue_depth as u64 + 8;
-        let mut drain_cores: Vec<usize> = Vec::new();
-        let mut states: Vec<CoreDrain> = Vec::new();
+        // Reused across windows (cleared here, not at the end: the classify
+        // loop below can bail out half-filled).
+        self.drain_plan_cores.clear();
+        self.drain_plan_states.clear();
+        self.drain_plan_pops.clear();
+        self.drain_plan_commands.clear();
+        self.drain_plan_cursors.clear();
         for i in 0..self.cores.len() {
             match self.core_wake_at[i] {
                 0 => {
                     let Some(probe) = self.cores[i].offload_drain_probe(since, max_run) else {
                         return;
                     };
-                    drain_cores.push(i);
-                    states.push(CoreDrain::new(&probe));
+                    self.drain_plan_cores.push(i);
+                    self.drain_plan_states.push(CoreDrain::new(&probe));
                 }
                 u64::MAX => {
                     // Parked or done. Such a core never ticks mid-window,
@@ -1534,38 +1605,49 @@ impl System {
                 }
             }
         }
-        if drain_cores.is_empty() {
+        if self.drain_plan_cores.is_empty() {
             return;
         }
         // Plan the window on pure scalars (the fast-forward caps above may
         // have pulled the horizon in).
-        let mut pops: Vec<(u64, u32)> = Vec::new();
-        let n = drain::plan(&mut states, ratio, horizon - now, MAX_WINDOW_POPS, &mut pops);
+        let n = drain::plan(
+            &mut self.drain_plan_states,
+            ratio,
+            horizon - now,
+            MAX_WINDOW_POPS,
+            &mut self.drain_plan_pops,
+        );
         if n < MIN_DRAIN_CYCLES {
             return;
         }
-        // Commit: collect each drain core's submission stream, expand the
-        // pop schedule into the outbox (cycle-major, core-ascending within a
+        // Commit: collect each drain core's submission stream (flat, with a
+        // cursor marking where each core's span starts), expand the pop
+        // schedule into the outbox (cycle-major, core-ascending within a
         // cycle — exactly the per-cycle drain phase's submission order), and
         // apply the window to every drain core in one shot.
         debug_assert!(self.drain_outbox.is_empty(), "outbox left over from a previous window");
-        let mut commands: Vec<Vec<OffloadCommand>> = Vec::with_capacity(drain_cores.len());
-        for (slot, &i) in drain_cores.iter().enumerate() {
-            let mut list = Vec::with_capacity(states[slot].pops as usize);
-            self.cores[i].peek_drain_commands(states[slot].pops, &mut list);
-            debug_assert_eq!(list.len() as u64, states[slot].pops);
-            commands.push(list);
+        for slot in 0..self.drain_plan_cores.len() {
+            let i = self.drain_plan_cores[slot];
+            let start = self.drain_plan_commands.len();
+            self.cores[i].peek_drain_commands(
+                self.drain_plan_states[slot].pops,
+                &mut self.drain_plan_commands,
+            );
+            debug_assert_eq!(
+                (self.drain_plan_commands.len() - start) as u64,
+                self.drain_plan_states[slot].pops
+            );
+            self.drain_plan_cursors.push(start);
         }
-        let mut cursors = vec![0usize; drain_cores.len()];
-        for &(rel, slot) in &pops {
+        for &(rel, slot) in &self.drain_plan_pops {
             let slot = slot as usize;
-            let cmd = commands[slot][cursors[slot]];
-            cursors[slot] += 1;
+            let cmd = self.drain_plan_commands[self.drain_plan_cursors[slot]];
+            self.drain_plan_cursors[slot] += 1;
             self.drain_outbox.push_back(DrainInjection { cycle: now + rel, cmd });
         }
         let end_ready_at = (now + 1 + n) * ratio;
-        for (slot, &i) in drain_cores.iter().enumerate() {
-            let st = &states[slot];
+        for (slot, &i) in self.drain_plan_cores.iter().enumerate() {
+            let st = &self.drain_plan_states[slot];
             self.cores[i].finish_offload_drain(&OffloadDrainOutcome {
                 core_cycles: n * ratio,
                 end_ready_at,
@@ -1744,7 +1826,7 @@ impl System {
             if !hmc.network.has_delivery_at_cube(cube_id) && !is_due(SysKey::Engine(c)) {
                 continue;
             }
-            hmc.network.swap_at_cube(cube_id, &mut self.cube_scratch[c].inbox);
+            hmc.network.drain_at_cube_into(cube_id, &mut self.cube_scratch[c].inbox);
             participants.push(c);
         }
         if pool.is_some() && participants.len() >= PARALLEL_BATCH_MIN {
@@ -1900,8 +1982,11 @@ impl System {
         let Backend::Hmc(hmc) = &mut self.backend else { return };
         let hmc = hmc.as_mut();
 
-        // 3. Packets delivered at the host ports.
-        let mut completions = Vec::new();
+        // 3. Packets delivered at the host ports. Completions accumulate in
+        // the reused host-output scratch (empty outside the drain phases), so
+        // the steady-state port loop allocates nothing.
+        let mut scratch = std::mem::take(&mut self.host_scratch);
+        debug_assert!(scratch.is_empty(), "the host scratch must be drained between phases");
         for p in 0..self.cfg.network.host_ports {
             let port = PortId::new(p);
             if !hmc.network.has_delivery_at_host(port) {
@@ -1921,15 +2006,14 @@ impl System {
                     }
                     PacketKind::Active(_) => {
                         if let Some(controller) = hmc.controller.as_mut() {
-                            let out = controller.handle_port_packet(now, port, &packet);
-                            completions.extend(out.completions);
+                            controller.handle_port_packet_into(now, port, &packet, &mut scratch);
                         }
                     }
                     _ => {}
                 }
             }
         }
-        for done in completions {
+        for done in scratch.completions.drain(..) {
             self.func_mem.insert(done.target.as_u64(), done.value);
             self.gather_results.push((done.target, done.value));
             if !hub.is_empty() {
@@ -1953,7 +2037,13 @@ impl System {
                     }
                 }
             }
+            // Close the recycling loop: the thread list goes back to the
+            // controller for the next gather barrier.
+            if let Some(controller) = hmc.controller.as_mut() {
+                controller.recycle_thread_list(done.threads);
+            }
         }
+        self.host_scratch = scratch;
 
         // With the cycle's observable effects committed, eligible cube
         // shards may now run ahead of the global clock under conservative
@@ -2344,7 +2434,14 @@ impl System {
             gathers_offloaded,
             noc_byte_hops: self.noc.byte_hops(),
             gather_results: self.gather_results,
-            ipc_series: self.ipc_series,
+            ipc_series: {
+                // Drop the sampler's up-front reservation (sized for the
+                // worst-case window count) before the series is retained in
+                // the report.
+                let mut series = self.ipc_series;
+                series.shrink_to_fit();
+                series
+            },
             network_clock_ghz: self.cfg.network.clock_ghz,
             ..SimReport::default()
         };

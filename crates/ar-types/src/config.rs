@@ -498,6 +498,24 @@ impl SystemConfig {
         cfg
     }
 
+    /// The weak-scaling configuration: a 10x machine over the paper's
+    /// (Table 4.1) design point — 160 cores on a 13x13 mesh driving a
+    /// 160-cube dragonfly of 10 groups (16 cubes per group, all-to-all
+    /// intra-group, 8 host access ports). The per-component architecture
+    /// (cores, caches, HMC internals, ARE) is identical to
+    /// [`SystemConfig::paper`]; only the machine is wider, which is what the
+    /// `kernel_weak_scaling` bench group measures in-flight footprint and
+    /// wall clock against.
+    pub fn scaled() -> Self {
+        let mut cfg = SystemConfig::paper();
+        cfg.cores.count = 160;
+        cfg.noc.mesh_width = 13;
+        cfg.network.cubes = 160;
+        cfg.network.groups = 10;
+        cfg.network.host_ports = 8;
+        cfg
+    }
+
     /// Returns a copy configured as one of the named evaluation configs.
     #[must_use]
     pub fn named(mut self, named: NamedConfig) -> Self {
@@ -728,6 +746,21 @@ mod tests {
     #[test]
     fn small_config_is_valid() {
         assert!(SystemConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_config_is_a_valid_10x_machine() {
+        let cfg = SystemConfig::scaled();
+        assert!(cfg.validate().is_ok());
+        let paper = SystemConfig::paper();
+        assert_eq!(cfg.cores.count, 10 * paper.cores.count);
+        assert_eq!(cfg.network.cubes, 10 * paper.network.cubes);
+        assert!(cfg.network.cubes.is_multiple_of(cfg.network.groups));
+        assert!(cfg.network.host_ports <= cfg.network.groups);
+        // The per-component architecture is unchanged.
+        assert_eq!(cfg.hmc, paper.hmc);
+        assert_eq!(cfg.caches, paper.caches);
+        assert_eq!(cfg.are, paper.are);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod ids;
 pub mod json;
 pub mod op;
 pub mod packet;
+pub mod pool;
 pub mod work;
 
 pub use addr::Addr;
@@ -35,6 +36,7 @@ pub use ids::{CoreId, CubeId, FlowId, PortId, ThreadId, VaultId};
 pub use json::{Json, JsonError};
 pub use op::ReduceOp;
 pub use packet::{ActiveKind, Packet, PacketKind};
+pub use pool::{PacketPool, PacketRef};
 pub use work::{WorkItem, WorkStream};
 
 /// A simulation timestamp, measured in memory-network clock cycles (1 GHz in

@@ -1,0 +1,274 @@
+//! Pooled, index-addressed storage for in-flight packets.
+//!
+//! The memory-network hot paths move every in-flight [`Packet`] by value:
+//! through the dragonfly link buffers, the arrival calendar and the per-node
+//! delivery queues, a packet is moved once per hop and its `size_bytes()`
+//! (a match over the kind) is recomputed several times per hop. At paper
+//! scale that is tolerable; at the weak-scaling sizes the ROADMAP asks for
+//! (10x the cubes and cores) the moves and the per-slot footprint dominate.
+//!
+//! [`PacketPool`] is a generational slab: packets are stored once, in place,
+//! and the queues between routers hold compact [`PacketRef`] handles (8
+//! bytes, `Copy`) instead. A slot is recycled through a free list when its
+//! packet leaves the network, and its *generation* is bumped so a stale
+//! handle can be caught (`debug_assert`s on every access — the release build
+//! trusts the network's ownership discipline, which the debug test suite
+//! pins). The packet's wire size is computed once at [`PacketPool::alloc`]
+//! and cached next to the slot, so per-hop bandwidth charging reads a field
+//! instead of re-deriving the size from the payload.
+//!
+//! The pool is *placement-only* infrastructure: it decides where packet
+//! bytes live, never what the simulation computes. The equivalence suite
+//! runs the same workloads over pooled and direct storage and requires
+//! byte-identical reports.
+
+use crate::packet::Packet;
+
+/// A compact, `Copy` handle to a packet stored in a [`PacketPool`].
+///
+/// The handle stays valid from [`PacketPool::alloc`] until the matching
+/// [`PacketPool::free`]; using it after the slot was freed (or against a
+/// different pool) is a logic error, caught by generation checks in debug
+/// builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    index: u32,
+    gen: u32,
+}
+
+impl PacketRef {
+    /// Slot index inside the owning pool (diagnostics only).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Slot generation this handle was issued against (diagnostics only).
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `None` while the slot sits on the free list.
+    packet: Option<Packet>,
+    /// Bumped on every free, so stale handles can be detected.
+    gen: u32,
+    /// Wire size of the resident packet, cached at alloc time.
+    size_bytes: u32,
+}
+
+/// A generational slab of in-flight packets with free-list recycling.
+///
+/// Slots are only appended (the pool grows when a packet arrives while the
+/// free list is empty) and never shrink: the slab's high-water mark *is* the
+/// peak in-flight footprint, and steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl PacketPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        PacketPool::default()
+    }
+
+    /// Creates a pool with `capacity` slots pre-allocated (all free).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut pool = PacketPool {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+            high_water: 0,
+        };
+        for i in 0..capacity {
+            pool.slots.push(Slot { packet: None, gen: 0, size_bytes: 0 });
+            pool.free.push(i as u32);
+        }
+        pool
+    }
+
+    /// Moves `packet` into the pool and returns its handle. The packet's
+    /// wire size is computed once here and cached for the lifetime of the
+    /// slot occupancy.
+    pub fn alloc(&mut self, packet: Packet) -> PacketRef {
+        let size_bytes = packet.size_bytes();
+        let index = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                debug_assert!(slot.packet.is_none(), "free-list slot still occupied");
+                slot.packet = Some(packet);
+                slot.size_bytes = size_bytes;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("packet pool exceeds u32 slots");
+                self.slots.push(Slot { packet: Some(packet), gen: 0, size_bytes });
+                i
+            }
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        PacketRef { index, gen: self.slots[index as usize].gen }
+    }
+
+    #[inline]
+    fn check(&self, r: PacketRef) {
+        debug_assert!((r.index as usize) < self.slots.len(), "packet ref outside pool");
+        debug_assert_eq!(
+            self.slots[r.index as usize].gen, r.gen,
+            "stale packet ref: slot was freed and recycled"
+        );
+    }
+
+    /// Borrows the packet behind `r`.
+    #[inline]
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.check(r);
+        self.slots[r.index as usize].packet.as_ref().expect("packet ref to freed slot")
+    }
+
+    /// Mutably borrows the packet behind `r`.
+    ///
+    /// The borrow is for in-flight bookkeeping (`hops`); the packet's `kind`
+    /// must not change while pooled, or the cached wire size goes stale.
+    #[inline]
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.check(r);
+        self.slots[r.index as usize].packet.as_mut().expect("packet ref to freed slot")
+    }
+
+    /// Cached wire size (bytes, header included) of the packet behind `r`.
+    #[inline]
+    pub fn size_bytes(&self, r: PacketRef) -> u32 {
+        self.check(r);
+        self.slots[r.index as usize].size_bytes
+    }
+
+    /// Number of 16-byte flits the packet behind `r` occupies on a link.
+    #[inline]
+    pub fn flits(&self, r: PacketRef) -> u32 {
+        self.size_bytes(r).div_ceil(16).max(1)
+    }
+
+    /// Moves the packet behind `r` out of the pool and recycles the slot.
+    /// `r` (and any copy of it) is invalid afterwards.
+    pub fn free(&mut self, r: PacketRef) -> Packet {
+        self.check(r);
+        let slot = &mut self.slots[r.index as usize];
+        let packet = slot.packet.take().expect("double free of packet ref");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(r.index);
+        self.live -= 1;
+        packet
+    }
+
+    /// Number of packets currently resident.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak number of simultaneously resident packets over the pool's
+    /// lifetime — the in-flight footprint high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total slots ever grown (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when every slot is on the free list (leak check).
+    pub fn all_free(&self) -> bool {
+        self.live == 0 && self.free.len() == self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::ids::{CubeId, NetNode, PortId};
+    use crate::packet::PacketKind;
+
+    fn packet(id: u64) -> Packet {
+        Packet::new(
+            id,
+            NetNode::Host(PortId::new(0)),
+            NetNode::Cube(CubeId::new(1)),
+            PacketKind::ReadResp { req_id: id, addr: Addr::new(64) },
+            0,
+        )
+    }
+
+    #[test]
+    fn alloc_get_free_round_trip() {
+        let mut pool = PacketPool::new();
+        let r = pool.alloc(packet(7));
+        assert_eq!(pool.get(r).id, 7);
+        assert_eq!(pool.size_bytes(r), 80);
+        assert_eq!(pool.flits(r), 5);
+        assert_eq!(pool.live(), 1);
+        let p = pool.free(r);
+        assert_eq!(p.id, 7);
+        assert!(pool.all_free());
+        assert_eq!(pool.high_water(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(packet(1));
+        pool.free(a);
+        let b = pool.alloc(packet(2));
+        assert_eq!(b.index(), a.index());
+        assert_ne!(b.generation(), a.generation());
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(pool.get(b).id, 2);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut pool = PacketPool::new();
+        let r = pool.alloc(packet(3));
+        pool.get_mut(r).hops += 2;
+        assert_eq!(pool.get(r).hops, 2);
+        assert_eq!(pool.free(r).hops, 2);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_free_slots() {
+        let pool = PacketPool::with_capacity(8);
+        assert_eq!(pool.capacity(), 8);
+        assert!(pool.all_free());
+        assert_eq!(pool.high_water(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut pool = PacketPool::new();
+        let refs: Vec<_> = (0..5).map(|i| pool.alloc(packet(i))).collect();
+        for r in refs {
+            pool.free(r);
+        }
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.high_water(), 5);
+        assert_eq!(pool.capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet ref")]
+    #[cfg(debug_assertions)]
+    fn stale_ref_is_caught_in_debug() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc(packet(1));
+        pool.free(a);
+        let _b = pool.alloc(packet(2));
+        let _ = pool.get(a);
+    }
+}

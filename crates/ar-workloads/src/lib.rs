@@ -94,14 +94,20 @@ pub enum SizeClass {
     Small,
     /// Default size for the figure-regeneration harness.
     Medium,
-    /// Largest size, used by the `--full` experiment runs.
+    /// Largest paper-regime size, used by the `--full` experiment runs.
     Paper,
+    /// Weak-scaling size for the 10x machine ([`SystemConfig::scaled`]):
+    /// twice `Paper`'s per-thread dimensions, meant to be spread over ten
+    /// times the cores.
+    ///
+    /// [`SystemConfig::scaled`]: https://docs.rs/ar-types
+    Scaled,
 }
 
 impl SizeClass {
     /// Every size class, smallest first.
-    pub const ALL: [SizeClass; 4] =
-        [SizeClass::Tiny, SizeClass::Small, SizeClass::Medium, SizeClass::Paper];
+    pub const ALL: [SizeClass; 5] =
+        [SizeClass::Tiny, SizeClass::Small, SizeClass::Medium, SizeClass::Paper, SizeClass::Scaled];
 
     /// A scale factor used by the per-workload dimension tables.
     pub fn factor(self) -> usize {
@@ -110,10 +116,12 @@ impl SizeClass {
             SizeClass::Small => 2,
             SizeClass::Medium => 4,
             SizeClass::Paper => 8,
+            SizeClass::Scaled => 16,
         }
     }
 
-    /// Parses a size-class display name (`tiny`, `small`, `medium`, `paper`).
+    /// Parses a size-class display name (`tiny`, `small`, `medium`, `paper`,
+    /// `scaled`).
     pub fn parse(name: &str) -> Option<Self> {
         SizeClass::ALL.into_iter().find(|s| s.to_string() == name)
     }
@@ -126,6 +134,7 @@ impl fmt::Display for SizeClass {
             SizeClass::Small => "small",
             SizeClass::Medium => "medium",
             SizeClass::Paper => "paper",
+            SizeClass::Scaled => "scaled",
         };
         f.write_str(s)
     }

@@ -198,6 +198,47 @@ fn bench_kernel_offload(c: &mut Criterion) {
     }
 }
 
+/// Weak scaling of the event kernel across the machine size classes: the
+/// same per-thread offload work (`bench::OffloadBursts`, 512 updates per
+/// thread) on the quick machine, the paper's 16-core/16-cube machine and the
+/// 10x weak-scaling machine (`SystemConfig::scaled()`: 160 cores, 160 cubes,
+/// 10 dragonfly groups). Because the work is per-thread, total work grows
+/// with the machine, and ideal weak scaling would hold wall clock per
+/// simulated cycle constant; the printed cycle counts and the pooled
+/// network's peak in-flight footprint make the deviation measurable. The
+/// release gate (`tests/weak_scaling.rs`) pins the scaled/paper wall-clock
+/// ratio against `BENCH_weak_scaling.json`.
+fn bench_kernel_weak_scaling(c: &mut Criterion) {
+    let scales: [(&str, ar_types::config::SystemConfig, SizeClass, usize); 3] = [
+        ("quick", BENCH_SCALE.system_config(), SizeClass::Small, 10),
+        ("paper", ar_experiments::ExperimentScale::Full.system_config(), SizeClass::Paper, 10),
+        ("scaled", ar_types::config::SystemConfig::scaled(), SizeClass::Scaled, 3),
+    ];
+    let bursts = bench::OffloadBursts { updates_per_thread: 512 };
+    let mut group = c.benchmark_group("kernel_weak_scaling");
+    for (scale, base, size, samples) in scales {
+        group.sample_size(samples);
+        let build = || {
+            Simulation::builder()
+                .config(base.clone())
+                .named(NamedConfig::ArfTid)
+                .workload(bursts)
+                .size(size)
+                .build()
+                .expect("valid configuration")
+                .into_system()
+        };
+        let (report, footprint) = build().run_with_footprint();
+        println!(
+            "kernel_weak_scaling/{scale}: {} simulated network cycles, {} updates offloaded, \
+             peak {} packets in flight per run",
+            report.network_cycles, report.updates_offloaded, footprint.peak_packets_in_flight
+        );
+        group.bench_function(scale, |b| b.iter(|| build().run()));
+    }
+    group.finish();
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -216,6 +257,7 @@ criterion_group!(
     bench_kernel_threads,
     bench_kernel_fastforward,
     bench_kernel_offload,
+    bench_kernel_weak_scaling,
     bench_workload_generation
 );
 criterion_main!(simulator);

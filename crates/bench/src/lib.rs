@@ -151,6 +151,49 @@ pub fn print_artifact(artifact: Artifact) {
     println!("{}", artifact.render(BENCH_SCALE));
 }
 
+/// A counting wrapper around the system allocator, for the zero-alloc
+/// steady-state regression gate and the weak-scaling snapshot.
+///
+/// Install it as the test binary's `#[global_allocator]` and read
+/// [`CountingAlloc::allocations`] before and after a region: the delta is the
+/// number of heap allocations (`alloc`, `alloc_zeroed` and growing
+/// `realloc`s) the region performed. Frees are not counted — the gates care
+/// about allocation *pressure*, and a steady-state loop that frees must have
+/// allocated first anyway.
+pub struct CountingAlloc;
+
+static ALLOCATION_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Total allocations observed since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATION_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no further side effects.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,107 @@
+//! Steady-state zero-allocation gate.
+//!
+//! The pooled packet storage, recycled gather records and reused scratch
+//! buffers exist so the event loop stops churning the heap once every
+//! container has grown to its high-water capacity. This gate pins that
+//! property: a quick-scale pagerank run is sampled at every IPC window
+//! boundary through the process-wide [`bench::CountingAlloc`], and the run
+//! must contain a long contiguous stretch of windows that close with *zero*
+//! new heap allocations. A change that re-introduces a per-cycle `clone()`
+//! or a transient `Vec` on the hot path makes every window allocate and
+//! fails here, even though it is invisible to the equivalence suites.
+//!
+//! Windows outside the zero stretch are allowed to allocate: workload phase
+//! changes (pagerank's terminal gather flood) legitimately grow containers
+//! to new high-water marks, and that one-time amortized growth is exactly
+//! what distinguishes a pool from per-event allocation.
+//!
+//! Compiled only with optimizations (`cargo test --release -p bench`): the
+//! debug allocator behaviour of dependencies differs and the gate would be
+//! noise. CI runs it in the bench-smoke step.
+
+#![cfg(not(debug_assertions))]
+
+use ar_system::{Observer, ObserverControl, SimEvent, Simulation};
+use ar_types::config::NamedConfig;
+use ar_workloads::{SizeClass, WorkloadKind};
+use bench::CountingAlloc;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Windows of the contiguous allocation-free stretch the gate demands:
+/// 32 IPC windows = 65,536 core cycles of the event loop without a single
+/// heap allocation.
+const REQUIRED_ZERO_STRETCH: usize = 32;
+
+/// Records the process-wide allocation count at every IPC sample boundary.
+/// The recording vector is reserved up front so the observer itself never
+/// allocates while the run is in flight.
+struct AllocSampler {
+    counts: Rc<RefCell<Vec<u64>>>,
+}
+
+impl Observer for AllocSampler {
+    fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
+        if let SimEvent::Sample(_) = event {
+            let mut counts = self.counts.borrow_mut();
+            if counts.len() < counts.capacity() {
+                counts.push(CountingAlloc::allocations());
+            }
+        }
+        ObserverControl::Continue
+    }
+}
+
+#[test]
+fn steady_state_event_loop_performs_zero_allocations() {
+    let sys = Simulation::builder()
+        .config(bench::BENCH_SCALE.system_config())
+        .named(NamedConfig::ArfTid)
+        .workload(WorkloadKind::Pagerank)
+        .size(SizeClass::Paper)
+        .build()
+        .expect("valid configuration")
+        .into_system();
+    let counts = Rc::new(RefCell::new(Vec::with_capacity(1 << 16)));
+    let mut observers: Vec<Box<dyn Observer>> =
+        vec![Box::new(AllocSampler { counts: Rc::clone(&counts) })];
+    let report = sys.run_observed(&mut observers);
+    assert!(report.completed);
+
+    let counts = counts.borrow();
+    assert!(
+        counts.len() >= 2 * REQUIRED_ZERO_STRETCH,
+        "too few IPC windows to measure steady state: {}",
+        counts.len()
+    );
+    // Longest contiguous run of windows whose allocation delta is zero.
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    for w in counts.windows(2) {
+        if w[1] == w[0] {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    let total = counts[counts.len() - 1] - counts[0];
+    let cycles = report.network_cycles.max(1);
+    println!(
+        "pagerank/ARF-tid: {} IPC windows, longest zero-allocation stretch {longest}, \
+         whole-run {total} allocations over {cycles} network cycles \
+         ({:.4} allocs/cycle)",
+        counts.len(),
+        total as f64 / cycles as f64,
+    );
+    assert!(
+        longest >= REQUIRED_ZERO_STRETCH,
+        "the event loop never settled to zero allocations per cycle: longest \
+         allocation-free stretch was {longest} of {} IPC windows \
+         (need {REQUIRED_ZERO_STRETCH})",
+        counts.len()
+    );
+}

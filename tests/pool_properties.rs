@@ -1,0 +1,168 @@
+//! Property-style tests of the generational packet pool
+//! ([`ar_types::pool::PacketPool`]): under randomized alloc/free/reuse
+//! interleavings the pool must behave exactly like owned storage — every
+//! handle resolves to the packet that was put in, the cached wire size
+//! matches a fresh computation, slots recycle through the free list instead
+//! of growing the slab, nothing leaks, and (in debug builds) a stale handle
+//! is caught by the generation check rather than silently aliasing the
+//! slot's new occupant.
+//!
+//! Cases are generated with the workspace's own deterministic [`SimRng`]
+//! (the build environment has no network access for a property-testing
+//! crate), so every run exercises the same case set and failures are
+//! reproducible by seed.
+
+use active_routing_repro::ar_sim::SimRng;
+use active_routing_repro::ar_types::ids::{CubeId, NetNode, PortId};
+use active_routing_repro::ar_types::packet::{Packet, PacketKind};
+use active_routing_repro::ar_types::pool::{PacketPool, PacketRef};
+use active_routing_repro::ar_types::Addr;
+
+/// A packet whose identity and wire size are both functions of the RNG, so
+/// the shadow model can check the pool returns exactly what went in.
+fn random_packet(rng: &mut SimRng, id: u64) -> Packet {
+    let addr = Addr::new(rng.next_below(1 << 20) * 64);
+    let kind = match rng.next_below(4) {
+        0 => PacketKind::ReadReq { req_id: id, addr },
+        1 => PacketKind::WriteReq { req_id: id, addr },
+        2 => PacketKind::ReadResp { req_id: id, addr },
+        _ => PacketKind::WriteAck { req_id: id, addr },
+    };
+    let src = NetNode::Host(PortId::new(rng.index(4)));
+    let dst = NetNode::Cube(CubeId::new(rng.index(16)));
+    Packet::new(id, src, dst, kind, rng.next_below(1 << 20))
+}
+
+/// One live packet in the shadow model: the handle the pool issued plus the
+/// facts owned storage would remember about it.
+struct Shadow {
+    r: PacketRef,
+    id: u64,
+    size_bytes: u32,
+    hops: u32,
+}
+
+/// Drives one randomized interleaving of allocs, frees, reads and in-place
+/// mutations against a shadow vector, then drains the pool and checks the
+/// leak and growth invariants.
+fn run_interleaving(seed: u64, ops: usize) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut pool = PacketPool::new();
+    let mut live: Vec<Shadow> = Vec::new();
+    let mut next_id = 0u64;
+    for _ in 0..ops {
+        // Bias toward allocation while the population is small so the
+        // interleaving actually builds up in-flight state to recycle.
+        let grow = live.is_empty() || rng.chance(0.55);
+        if grow {
+            let packet = random_packet(&mut rng, next_id);
+            let size_bytes = packet.size_bytes();
+            let r = pool.alloc(packet);
+            live.push(Shadow { r, id: next_id, size_bytes, hops: 0 });
+            next_id += 1;
+        } else {
+            match rng.next_below(3) {
+                // Free a random live packet; the pool must hand back the
+                // exact packet the shadow remembers.
+                0 => {
+                    let s = live.swap_remove(rng.index(live.len()));
+                    let p = pool.free(s.r);
+                    assert_eq!(p.id, s.id, "seed {seed}: freed packet identity");
+                    assert_eq!(p.hops, s.hops, "seed {seed}: freed packet mutations");
+                }
+                // Read through a random handle.
+                1 => {
+                    let s = &live[rng.index(live.len())];
+                    assert_eq!(pool.get(s.r).id, s.id, "seed {seed}: get identity");
+                    assert_eq!(pool.size_bytes(s.r), s.size_bytes, "seed {seed}: cached size");
+                    assert_eq!(
+                        pool.flits(s.r),
+                        s.size_bytes.div_ceil(16).max(1),
+                        "seed {seed}: flit count"
+                    );
+                }
+                // Mutate in place (the network's per-hop bookkeeping).
+                _ => {
+                    let pick = rng.index(live.len());
+                    let s = &mut live[pick];
+                    pool.get_mut(s.r).hops += 1;
+                    s.hops += 1;
+                }
+            }
+        }
+        assert_eq!(pool.live(), live.len(), "seed {seed}: live census");
+    }
+    // Drain in random order and check the leak and growth invariants: every
+    // slot back on the free list, and the slab never grew past the peak
+    // population (slots recycle instead of accumulating).
+    rng.shuffle(&mut live);
+    let peak = pool.high_water();
+    for s in live.drain(..) {
+        assert_eq!(pool.free(s.r).id, s.id, "seed {seed}: drain identity");
+    }
+    assert!(pool.all_free(), "seed {seed}: pool leaked slots");
+    assert_eq!(pool.capacity(), peak, "seed {seed}: slab grew past the in-flight peak");
+    assert!(peak <= ops, "seed {seed}: high water exceeds allocations");
+}
+
+#[test]
+fn randomized_interleavings_match_owned_storage() {
+    for seed in 0..32 {
+        run_interleaving(0x9E37_79B9_7F4A_7C15 ^ seed, 512);
+    }
+}
+
+#[test]
+fn reuse_heavy_interleavings_stay_compact() {
+    // A churn-shaped load: tiny live population, many recycles. The slab
+    // must stay at the population's size no matter how many packets pass
+    // through.
+    let mut rng = SimRng::seed_from_u64(2026);
+    let mut pool = PacketPool::new();
+    let mut live: Vec<Shadow> = Vec::new();
+    for id in 0..10_000u64 {
+        if live.len() >= 4 {
+            let s = live.swap_remove(rng.index(live.len()));
+            assert_eq!(pool.free(s.r).id, s.id);
+        }
+        let packet = random_packet(&mut rng, id);
+        let size_bytes = packet.size_bytes();
+        let r = pool.alloc(packet);
+        live.push(Shadow { r, id, size_bytes, hops: 0 });
+    }
+    for s in live.drain(..) {
+        pool.free(s.r);
+    }
+    assert!(pool.all_free());
+    assert_eq!(pool.capacity(), 4, "10k packets through a 4-deep window must not grow the slab");
+    assert_eq!(pool.high_water(), 4);
+}
+
+/// A handle that survives its slot's recycling must be caught by the
+/// generation check, not resolve to the slot's new occupant.
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "stale packet ref")]
+fn stale_handle_after_recycling_panics_in_debug() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut pool = PacketPool::new();
+    let stale = pool.alloc(random_packet(&mut rng, 0));
+    pool.free(stale);
+    // Reoccupy the recycled slot so the stale handle points at live data.
+    let fresh = pool.alloc(random_packet(&mut rng, 1));
+    assert_eq!(fresh.index(), stale.index());
+    let _ = pool.get(stale);
+}
+
+/// Freeing the same handle twice is a generation mismatch by the time of the
+/// second free (the first free bumped the slot).
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "stale packet ref")]
+fn double_free_panics_in_debug() {
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut pool = PacketPool::new();
+    let r = pool.alloc(random_packet(&mut rng, 0));
+    pool.free(r);
+    let _ = pool.free(r);
+}
