@@ -31,6 +31,7 @@ use ar_types::addr::AddressMap;
 use ar_types::config::AreConfig;
 use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
+use ar_types::json::{Json, JsonError};
 use ar_types::packet::{ActiveKind, OperandSlot, Packet, PacketKind};
 use ar_types::{Addr, CubeId, Cycle, FlowId, ReduceOp};
 use std::collections::VecDeque;
@@ -159,6 +160,56 @@ pub struct AreStats {
 }
 
 impl AreStats {
+    /// Serializes the statistics for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("updates_received", Json::from(self.updates_received)),
+            ("updates_computed", Json::from(self.updates_computed)),
+            ("updates_forwarded", Json::from(self.updates_forwarded)),
+            ("updates_committed", Json::from(self.updates_committed)),
+            ("operand_reads_local", Json::from(self.operand_reads_local)),
+            ("operand_reads_remote", Json::from(self.operand_reads_remote)),
+            ("operands_served", Json::from(self.operands_served)),
+            ("operand_buffer_stall_cycles", Json::from(self.operand_buffer_stall_cycles)),
+            ("alu_ops", Json::from(self.alu_ops)),
+            ("memory_writes", Json::from(self.memory_writes)),
+            ("gather_requests", Json::from(self.gather_requests)),
+            ("gather_responses_sent", Json::from(self.gather_responses_sent)),
+            ("flows_registered", Json::from(self.flows_registered)),
+            ("latency_samples", Json::from(self.latency_samples)),
+            ("request_latency_sum", Json::from(self.request_latency_sum)),
+            ("stall_latency_sum", Json::from(self.stall_latency_sum)),
+            ("response_latency_sum", Json::from(self.response_latency_sum)),
+        ])
+    }
+
+    /// Decodes statistics produced by [`AreStats::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<AreStats, JsonError> {
+        Ok(AreStats {
+            updates_received: doc.req_u64("updates_received")?,
+            updates_computed: doc.req_u64("updates_computed")?,
+            updates_forwarded: doc.req_u64("updates_forwarded")?,
+            updates_committed: doc.req_u64("updates_committed")?,
+            operand_reads_local: doc.req_u64("operand_reads_local")?,
+            operand_reads_remote: doc.req_u64("operand_reads_remote")?,
+            operands_served: doc.req_u64("operands_served")?,
+            operand_buffer_stall_cycles: doc.req_u64("operand_buffer_stall_cycles")?,
+            alu_ops: doc.req_u64("alu_ops")?,
+            memory_writes: doc.req_u64("memory_writes")?,
+            gather_requests: doc.req_u64("gather_requests")?,
+            gather_responses_sent: doc.req_u64("gather_responses_sent")?,
+            flows_registered: doc.req_u64("flows_registered")?,
+            latency_samples: doc.req_u64("latency_samples")?,
+            request_latency_sum: doc.req_u64("request_latency_sum")?,
+            stall_latency_sum: doc.req_u64("stall_latency_sum")?,
+            response_latency_sum: doc.req_u64("response_latency_sum")?,
+        })
+    }
+
     /// Mean request latency in cycles.
     pub fn mean_request_latency(&self) -> f64 {
         mean(self.request_latency_sum, self.latency_samples)
@@ -789,6 +840,117 @@ impl ActiveRoutingEngine {
         }
     }
 
+    /// Serializes the engine's dynamic state: flow table, operand pool,
+    /// stalled updates, outstanding reads (sorted by key for a stable
+    /// rendering), the ALU pipeline, any undrained wake output, the id
+    /// counters and the statistics.
+    pub fn state_to_json(&self) -> Json {
+        let mut reads: Vec<(&u64, &ReadPurpose)> = self.pending_reads.iter().collect();
+        reads.sort_by_key(|(&key, _)| key);
+        Json::obj([
+            ("flows", self.flows.state_to_json()),
+            ("operands", self.operands.state_to_json()),
+            (
+                "stalled",
+                Json::Arr(
+                    self.stalled
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("ctx", s.ctx.state_to_json()),
+                                ("src1", Json::hex_u64(s.src1.as_u64())),
+                                ("src2", Json::hex_u64(s.src2.as_u64())),
+                                ("stalled_since", Json::from(s.stalled_since)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pending_reads",
+                Json::Arr(
+                    reads
+                        .into_iter()
+                        .map(|(&key, purpose)| {
+                            Json::obj([
+                                ("key", Json::hex_u64(key)),
+                                ("purpose", purpose.state_to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "alu_queue",
+                Json::Arr(
+                    self.alu_queue
+                        .state_entries()
+                        .into_iter()
+                        .map(|(at, op)| {
+                            Json::obj([
+                                ("at", Json::from(at)),
+                                ("ctx", op.ctx.state_to_json()),
+                                ("src1", Json::hex_f64(op.src1)),
+                                ("src2", Json::hex_f64(op.src2)),
+                                ("slot", opt_index_to_json(op.slot)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("pending_output", self.pending_output.state_to_json()),
+            ("next_access_id", Json::from(self.next_access_id)),
+            ("next_packet_seq", Json::from(self.next_packet_seq)),
+            ("stats", self.stats.state_to_json()),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or inconsistent
+    /// with this engine's configuration (the flow table and operand pool
+    /// perform their own validation).
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        self.flows.load_state(doc.req("flows")?)?;
+        self.operands.load_state(doc.req("operands")?)?;
+        self.stalled.clear();
+        for entry in doc.req_array("stalled")? {
+            self.stalled.push_back(StalledUpdate {
+                ctx: UpdateContext::state_from_json(entry.req("ctx")?)?,
+                src1: Addr::new(entry.req_hex_u64("src1")?),
+                src2: Addr::new(entry.req_hex_u64("src2")?),
+                stalled_since: entry.req_u64("stalled_since")?,
+            });
+        }
+        self.pending_reads.clear();
+        for entry in doc.req_array("pending_reads")? {
+            let key = entry.req_hex_u64("key")?;
+            let purpose = ReadPurpose::state_from_json(entry.req("purpose")?)?;
+            if self.pending_reads.insert(key, purpose).is_some() {
+                return Err(JsonError::state("duplicate pending-read key in engine state"));
+            }
+        }
+        self.alu_queue = LatencyQueue::new();
+        for entry in doc.req_array("alu_queue")? {
+            self.alu_queue.push_at(
+                entry.req_u64("at")?,
+                AluOp {
+                    ctx: UpdateContext::state_from_json(entry.req("ctx")?)?,
+                    src1: entry.req_hex_f64("src1")?,
+                    src2: entry.req_hex_f64("src2")?,
+                    slot: opt_index_from_json(entry, "slot")?,
+                },
+            );
+        }
+        self.pending_output = AreOutput::state_from_json(doc.req("pending_output")?)?;
+        self.next_access_id = doc.req_u64("next_access_id")?;
+        self.next_packet_seq = doc.req_u64("next_packet_seq")?;
+        self.stats = AreStats::state_from_json(doc.req("stats")?)?;
+        Ok(())
+    }
+
     fn record_latency(&mut self, now: Cycle, ctx: &UpdateContext) {
         let request = ctx.arrived_at.saturating_sub(ctx.issued_at);
         let stall = ctx.requested_at.saturating_sub(ctx.arrived_at);
@@ -827,6 +989,183 @@ impl Component for ActiveRoutingEngine {
 /// separates the two namespaces.
 fn remote_key(update_id: u64, which: u8) -> u64 {
     (1 << 63) | (update_id << 1) | u64::from(which & 1)
+}
+
+fn op_to_json(op: ReduceOp) -> Json {
+    Json::from(op.to_string())
+}
+
+fn op_from_json(doc: &Json, key: &str) -> Result<ReduceOp, JsonError> {
+    let name = doc.req_str(key)?;
+    ReduceOp::from_name(name).ok_or_else(|| JsonError::state(format!("unknown reduce op {name:?}")))
+}
+
+fn opt_f64_to_json(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::hex_f64)
+}
+
+fn opt_f64_from_json(doc: &Json, key: &str) -> Result<Option<f64>, JsonError> {
+    match doc.req(key)? {
+        Json::Null => Ok(None),
+        v => v.as_hex_f64().map(Some).ok_or_else(|| {
+            JsonError::state(format!("field {key:?} is not an f64 bit pattern or null"))
+        }),
+    }
+}
+
+fn opt_index_to_json(v: Option<usize>) -> Json {
+    v.map_or(Json::Null, Json::from)
+}
+
+fn opt_index_from_json(doc: &Json, key: &str) -> Result<Option<usize>, JsonError> {
+    match doc.req(key)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(|i| Some(i as usize))
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not an index or null"))),
+    }
+}
+
+impl UpdateContext {
+    fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("flow", self.flow.state_to_json()),
+            ("op", op_to_json(self.op)),
+            ("update_id", Json::hex_u64(self.update_id)),
+            ("issued_at", Json::from(self.issued_at)),
+            ("arrived_at", Json::from(self.arrived_at)),
+            ("requested_at", Json::from(self.requested_at)),
+            ("target", Json::hex_u64(self.target.as_u64())),
+            ("imm", opt_f64_to_json(self.imm)),
+            ("tracked", Json::from(self.tracked)),
+        ])
+    }
+
+    fn state_from_json(doc: &Json) -> Result<UpdateContext, JsonError> {
+        Ok(UpdateContext {
+            flow: FlowId::state_from_json(doc.req("flow")?)?,
+            op: op_from_json(doc, "op")?,
+            update_id: doc.req_hex_u64("update_id")?,
+            issued_at: doc.req_u64("issued_at")?,
+            arrived_at: doc.req_u64("arrived_at")?,
+            requested_at: doc.req_u64("requested_at")?,
+            target: Addr::new(doc.req_hex_u64("target")?),
+            imm: opt_f64_from_json(doc, "imm")?,
+            tracked: doc.req_bool("tracked")?,
+        })
+    }
+}
+
+impl ReadPurpose {
+    fn state_to_json(&self) -> Json {
+        match self {
+            ReadPurpose::LocalOperand { ctx, slot, which } => Json::obj([
+                ("t", Json::from("local")),
+                ("ctx", ctx.state_to_json()),
+                ("slot", opt_index_to_json(*slot)),
+                ("which", Json::from(u64::from(*which))),
+            ]),
+            ReadPurpose::RemoteOperand { requester, flow, slot, which, update_id, op } => {
+                let slot = slot.map_or(Json::Null, |s| {
+                    Json::obj([
+                        ("cube", Json::from(s.cube.index())),
+                        ("index", Json::from(s.index)),
+                    ])
+                });
+                Json::obj([
+                    ("t", Json::from("remote")),
+                    ("requester", requester.state_to_json()),
+                    ("flow", flow.state_to_json()),
+                    ("slot", slot),
+                    ("which", Json::from(u64::from(*which))),
+                    ("update_id", Json::hex_u64(*update_id)),
+                    ("op", op_to_json(*op)),
+                ])
+            }
+        }
+    }
+
+    fn state_from_json(doc: &Json) -> Result<ReadPurpose, JsonError> {
+        match doc.req_str("t")? {
+            "local" => Ok(ReadPurpose::LocalOperand {
+                ctx: UpdateContext::state_from_json(doc.req("ctx")?)?,
+                slot: opt_index_from_json(doc, "slot")?,
+                which: doc.req_u32("which")? as u8,
+            }),
+            "remote" => {
+                let slot = match doc.req("slot")? {
+                    Json::Null => None,
+                    s => Some(OperandSlot {
+                        cube: CubeId::new(s.req_usize("cube")?),
+                        index: s.req_usize("index")?,
+                    }),
+                };
+                Ok(ReadPurpose::RemoteOperand {
+                    requester: NetNode::state_from_json(doc.req("requester")?)?,
+                    flow: FlowId::state_from_json(doc.req("flow")?)?,
+                    slot,
+                    which: doc.req_u32("which")? as u8,
+                    update_id: doc.req_hex_u64("update_id")?,
+                    op: op_from_json(doc, "op")?,
+                })
+            }
+            other => Err(JsonError::state(format!("unknown read purpose tag {other:?}"))),
+        }
+    }
+}
+
+impl VaultAccess {
+    /// Serializes the access for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("addr", Json::hex_u64(self.addr.as_u64())),
+            ("write_value", opt_f64_to_json(self.write_value)),
+        ])
+    }
+
+    /// Decodes an access produced by [`VaultAccess::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<VaultAccess, JsonError> {
+        Ok(VaultAccess {
+            id: doc.req_hex_u64("id")?,
+            addr: Addr::new(doc.req_hex_u64("addr")?),
+            write_value: opt_f64_from_json(doc, "write_value")?,
+        })
+    }
+}
+
+impl AreOutput {
+    /// Serializes the output lists for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("packets", Json::Arr(self.packets.iter().map(Packet::state_to_json).collect())),
+            (
+                "vault_accesses",
+                Json::Arr(self.vault_accesses.iter().map(VaultAccess::state_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes an output produced by [`AreOutput::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<AreOutput, JsonError> {
+        let mut out = AreOutput::default();
+        for packet in doc.req_array("packets")? {
+            out.packets.push(Packet::state_from_json(packet)?);
+        }
+        for access in doc.req_array("vault_accesses")? {
+            out.vault_accesses.push(VaultAccess::state_from_json(access)?);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -1259,6 +1598,112 @@ mod tests {
         assert!(stats.mean_request_latency() >= 50.0);
         assert!(stats.mean_response_latency() >= 29.0);
         assert_eq!(stats.mean_stall_latency(), 0.0);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        // Capture an engine mid-flight: a stalled two-operand update (pool of
+        // one), outstanding local and remote operand fetches, ALU work in the
+        // pipe and live flow state. The restored engine must emit the same
+        // packet trace and finish with identical stats.
+        let cfg = AreConfig { operand_buffers: 1, ..AreConfig::default() };
+        let mut eng = ActiveRoutingEngine::new(CubeId::new(0), &cfg, topo(), map());
+        let f = flow(0x40);
+        let mut outs = Vec::new();
+        // Two MAC updates on a one-entry pool: the second stalls.
+        for i in 0..2u64 {
+            outs.push(eng.handle_packet(
+                0,
+                update_packet(0, f, ReduceOp::Mac, 0x100 + i * 64, Some(0x800 + i * 64), 0, i),
+            ));
+        }
+        // A MAC with a remote src2: leaves a remote pending read.
+        outs.push(
+            eng.handle_packet(0, update_packet(0, f, ReduceOp::Mac, 0x300, Some(PAGE), 0, 7)),
+        );
+        // An operand served for another cube: leaves a remote-purpose read.
+        let req = Packet::new(
+            11,
+            NetNode::Cube(CubeId::new(1)),
+            NetNode::Cube(CubeId::new(0)),
+            PacketKind::Active(ActiveKind::OperandReq {
+                flow: f,
+                slot: Some(OperandSlot { cube: CubeId::new(1), index: 0 }),
+                addr: Addr::new(0x700),
+                which: 0,
+                update_id: 40,
+                op: ReduceOp::Mac,
+            }),
+            0,
+        );
+        outs.push(eng.handle_packet(0, req));
+        assert!(!eng.is_quiescent(), "snapshot must capture in-flight work");
+        let doc = Json::parse(&eng.state_to_json().render()).unwrap();
+        let mut restored = ActiveRoutingEngine::new(CubeId::new(0), &cfg, topo(), map());
+        restored.load_state(&doc).unwrap();
+        assert_eq!(eng.next_wake(0), restored.next_wake(0));
+        // Drive both forward with identical stimuli and compare everything
+        // they emit. Collect the outstanding reads once (same ids in both).
+        let reads: Vec<VaultAccess> = outs
+            .iter()
+            .flat_map(|o| o.vault_accesses.iter().copied())
+            .filter(|a| !a.is_write())
+            .collect();
+        for access in &reads {
+            let a = eng.complete_vault_read(1, access.id, 2.0);
+            let b = restored.complete_vault_read(1, access.id, 2.0);
+            assert_eq!(a, b, "divergent read completion for access {}", access.id);
+        }
+        for now in 2..200 {
+            let a = eng.tick(now);
+            let b = restored.tick(now);
+            assert_eq!(a, b, "divergent tick at cycle {now}");
+            // Answer newly issued reads and remote operand requests
+            // identically in both engines.
+            for acc in a.vault_accesses.iter().filter(|acc| !acc.is_write()) {
+                let ra = eng.complete_vault_read(now, acc.id, 3.0);
+                let rb = restored.complete_vault_read(now, acc.id, 3.0);
+                assert_eq!(ra, rb);
+            }
+            for packet in &a.packets {
+                let PacketKind::Active(ActiveKind::OperandReq {
+                    flow,
+                    slot,
+                    which,
+                    update_id,
+                    op,
+                    ..
+                }) = packet.kind
+                else {
+                    continue;
+                };
+                let resp = Packet::new(
+                    500 + update_id,
+                    packet.dst,
+                    packet.src,
+                    PacketKind::Active(ActiveKind::OperandResp {
+                        flow,
+                        slot,
+                        which,
+                        value: 5.0,
+                        update_id,
+                        op,
+                    }),
+                    now,
+                );
+                let ra = eng.handle_packet(now, resp.clone());
+                let rb = restored.handle_packet(now, resp);
+                assert_eq!(ra, rb);
+            }
+        }
+        assert_eq!(eng.stats(), restored.stats());
+        assert_eq!(eng.flows().len(), restored.flows().len());
+        assert_eq!(eng.operand_pool().in_use(), restored.operand_pool().in_use());
+        assert!(eng.is_quiescent() && restored.is_quiescent());
+        // A forged tag must be rejected, never silently mis-restored.
+        let hostile = Json::parse(&doc.render().replace("\"local\"", "\"teleport\"")).unwrap();
+        let mut fresh = ActiveRoutingEngine::new(CubeId::new(0), &cfg, topo(), map());
+        assert!(fresh.load_state(&hostile).is_err());
     }
 
     /// `AreOutput::merge_from` is the sharded kernel's outbox-combining

@@ -8,6 +8,7 @@
 
 use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
+use ar_types::json::{Json, JsonError};
 use ar_types::{FlowId, ReduceOp};
 use std::collections::BTreeSet;
 
@@ -81,6 +82,50 @@ impl FlowEntry {
     pub fn commit_value(&mut self, value: f64) {
         self.result = self.opcode.merge(self.result, value);
         self.resp_counter += 1;
+    }
+
+    /// Serializes the entry for checkpointed state. The partial result
+    /// travels as IEEE-754 bits so restored reductions stay bit-exact.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("flow", self.flow.state_to_json()),
+            ("opcode", Json::from(self.opcode.to_string())),
+            ("result", Json::hex_f64(self.result)),
+            ("req_counter", Json::from(self.req_counter)),
+            ("resp_counter", Json::from(self.resp_counter)),
+            ("parent", self.parent.state_to_json()),
+            ("children", Json::Arr(self.children.iter().map(NetNode::state_to_json).collect())),
+            ("gflag", Json::from(self.gflag)),
+            ("gather_arrivals", Json::from(u64::from(self.gather_arrivals))),
+            ("gather_expected", Json::from(u64::from(self.gather_expected))),
+        ])
+    }
+
+    /// Decodes an entry produced by [`FlowEntry::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing fields or an unknown opcode name.
+    pub fn state_from_json(doc: &Json) -> Result<FlowEntry, JsonError> {
+        let opcode = doc.req_str("opcode")?;
+        let opcode = ReduceOp::from_name(opcode)
+            .ok_or_else(|| JsonError::state(format!("unknown reduce op {opcode:?}")))?;
+        let mut children = BTreeSet::new();
+        for child in doc.req_array("children")? {
+            children.insert(NetNode::state_from_json(child)?);
+        }
+        Ok(FlowEntry {
+            flow: FlowId::state_from_json(doc.req("flow")?)?,
+            opcode,
+            result: doc.req_hex_f64("result")?,
+            req_counter: doc.req_u64("req_counter")?,
+            resp_counter: doc.req_u64("resp_counter")?,
+            parent: NetNode::state_from_json(doc.req("parent")?)?,
+            children,
+            gflag: doc.req_bool("gflag")?,
+            gather_arrivals: doc.req_u32("gather_arrivals")?,
+            gather_expected: doc.req_u32("gather_expected")?,
+        })
     }
 }
 
@@ -166,6 +211,37 @@ impl FlowTable {
     /// Iterates over all live entries.
     pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
         self.entries.values()
+    }
+
+    /// Serializes the table's dynamic state, entries sorted by flow id for a
+    /// stable rendering. Capacity is configuration and travels as code.
+    pub fn state_to_json(&self) -> Json {
+        let mut entries: Vec<&FlowEntry> = self.entries.values().collect();
+        entries.sort_by_key(|e| e.flow);
+        Json::obj([
+            ("entries", Json::Arr(entries.into_iter().map(FlowEntry::state_to_json).collect())),
+            ("high_watermark", Json::from(self.high_watermark)),
+            ("overflows", Json::from(self.overflows)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or holds
+    /// duplicate flow ids.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        self.entries.clear();
+        for entry in doc.req_array("entries")? {
+            let entry = FlowEntry::state_from_json(entry)?;
+            if self.entries.insert(entry.flow, entry).is_some() {
+                return Err(JsonError::state("duplicate flow id in flow table state"));
+            }
+        }
+        self.high_watermark = doc.req_usize("high_watermark")?;
+        self.overflows = doc.req_u64("overflows")?;
+        Ok(())
     }
 }
 

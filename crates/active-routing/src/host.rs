@@ -30,6 +30,7 @@ use ar_types::addr::AddressMap;
 use ar_types::config::OffloadScheme;
 use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
+use ar_types::json::{Json, JsonError};
 use ar_types::packet::{ActiveKind, Packet, PacketKind};
 use ar_types::{Addr, Cycle, FlowId, PortId, ReduceOp, ThreadId};
 
@@ -91,6 +92,51 @@ struct PendingGather {
     value: f64,
     updates: u64,
     issued: bool,
+}
+
+impl PendingGather {
+    fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("op", Json::from(self.op.to_string())),
+            ("num_threads", Json::from(u64::from(self.num_threads))),
+            (
+                "arrived_threads",
+                Json::Arr(self.arrived_threads.iter().map(|t| Json::from(t.index())).collect()),
+            ),
+            (
+                "outstanding_ports",
+                Json::Arr(self.outstanding_ports.iter().map(|p| Json::from(p.index())).collect()),
+            ),
+            ("value", Json::hex_f64(self.value)),
+            ("updates", Json::from(self.updates)),
+            ("issued", Json::from(self.issued)),
+        ])
+    }
+
+    fn state_from_json(doc: &Json) -> Result<PendingGather, JsonError> {
+        let op = doc.req_str("op")?;
+        let op = ReduceOp::from_name(op)
+            .ok_or_else(|| JsonError::state(format!("unknown reduce op {op:?}")))?;
+        let indices = |key: &str| -> Result<Vec<usize>, JsonError> {
+            doc.req_array(key)?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(|i| i as usize)
+                        .ok_or_else(|| JsonError::state(format!("{key} entry is not an index")))
+                })
+                .collect()
+        };
+        Ok(PendingGather {
+            op,
+            num_threads: doc.req_u32("num_threads")?,
+            arrived_threads: indices("arrived_threads")?.into_iter().map(ThreadId::new).collect(),
+            outstanding_ports: indices("outstanding_ports")?.into_iter().map(PortId::new).collect(),
+            value: doc.req_hex_f64("value")?,
+            updates: doc.req_u64("updates")?,
+            issued: doc.req_bool("issued")?,
+        })
+    }
 }
 
 /// Aggregate statistics of the host offload controller.
@@ -381,6 +427,86 @@ impl HostOffloadController {
         self.spare_gathers.push(finished);
     }
 
+    /// Serializes the controller's dynamic state: pending gather barriers
+    /// (sorted by target for a stable rendering), the id counters and the
+    /// statistics. The spare-buffer pools and scratch space are allocation
+    /// caches with no behavioural content and are not stored.
+    pub fn state_to_json(&self) -> Json {
+        let mut pending: Vec<(&u64, &PendingGather)> = self.pending.iter().collect();
+        pending.sort_by_key(|(&key, _)| key);
+        Json::obj([
+            (
+                "pending",
+                Json::Arr(
+                    pending
+                        .into_iter()
+                        .map(|(&key, gather)| {
+                            Json::obj([
+                                ("target", Json::hex_u64(key)),
+                                ("gather", gather.state_to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_update_id", Json::from(self.next_update_id)),
+            ("next_packet_id", Json::hex_u64(self.next_packet_id)),
+            (
+                "stats",
+                Json::obj([
+                    ("updates_offloaded", Json::from(self.stats.updates_offloaded)),
+                    ("gathers_received", Json::from(self.stats.gathers_received)),
+                    ("gather_requests_sent", Json::from(self.stats.gather_requests_sent)),
+                    ("gathers_completed", Json::from(self.stats.gathers_completed)),
+                    (
+                        "updates_per_port",
+                        Json::Arr(
+                            self.stats.updates_per_port.iter().map(|&n| Json::from(n)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or holds
+    /// duplicate gather targets.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        self.pending.clear();
+        for entry in doc.req_array("pending")? {
+            let key = entry.req_hex_u64("target")?;
+            let gather = PendingGather::state_from_json(entry.req("gather")?)?;
+            if self.pending.insert(key, gather).is_some() {
+                return Err(JsonError::state("duplicate gather target in controller state"));
+            }
+        }
+        self.next_update_id = doc.req_u64("next_update_id")?;
+        self.next_packet_id = doc.req_hex_u64("next_packet_id")?;
+        let stats = doc.req("stats")?;
+        let ports = stats.req_array("updates_per_port")?;
+        if ports.len() != self.stats.updates_per_port.len() {
+            return Err(JsonError::state("updates_per_port has the wrong number of entries"));
+        }
+        let mut updates_per_port = [0u64; 8];
+        for (slot, entry) in updates_per_port.iter_mut().zip(ports) {
+            *slot = entry
+                .as_u64()
+                .ok_or_else(|| JsonError::state("updates_per_port entry is not a count"))?;
+        }
+        self.stats = HostStats {
+            updates_offloaded: stats.req_u64("updates_offloaded")?,
+            gathers_received: stats.req_u64("gathers_received")?,
+            gather_requests_sent: stats.req_u64("gather_requests_sent")?,
+            gathers_completed: stats.req_u64("gathers_completed")?,
+            updates_per_port,
+        };
+        Ok(())
+    }
+
     /// Gives a [`GatherCompletion`]'s thread list back for reuse, closing
     /// the recycling loop: barrier records, their port lists and their
     /// thread lists all cycle through the controller, so the steady-state
@@ -532,6 +658,35 @@ mod tests {
         assert!(c
             .handle_port_packet(0, PortId::new(0), &gather_resp(0, 0x00de_adc0, 1.0, 1))
             .is_empty());
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        // Snapshot mid-barrier: a released gather with outstanding ports and
+        // an unreleased one still collecting threads, plus moved id counters.
+        let mut c = controller(OffloadScheme::ArfTid);
+        let _ = c.submit(0, update_cmd(0, 0x100, Some(0x200), 0x8000));
+        for t in 0..2 {
+            let _ = c.submit(1, gather_cmd(t, 0x8000, 2));
+        }
+        let _ = c.handle_port_packet(5, PortId::new(0), &gather_resp(0, 0x8000, 1.5, 1));
+        let _ = c.submit(6, gather_cmd(0, 0x9000, 2));
+        assert_eq!(c.pending_gathers(), 2);
+        let doc = Json::parse(&c.state_to_json().render()).unwrap();
+        let mut r = controller(OffloadScheme::ArfTid);
+        r.load_state(&doc).unwrap();
+        assert_eq!(r.pending_gathers(), 2);
+        // Identical stimuli must produce identical outputs from here on.
+        for port in 1..4 {
+            let a = c.handle_port_packet(10, PortId::new(port), &gather_resp(port, 0x8000, 2.0, 1));
+            let b = r.handle_port_packet(10, PortId::new(port), &gather_resp(port, 0x8000, 2.0, 1));
+            assert_eq!(a, b, "divergence on port {port}");
+        }
+        let a = c.submit(11, update_cmd(3, 0x300, None, 0xa000));
+        let b = r.submit(11, update_cmd(3, 0x300, None, 0xa000));
+        assert_eq!(a, b, "update ids / packet ids must continue identically");
+        assert_eq!(c.stats(), r.stats());
+        assert_eq!(c.pending_gathers(), r.pending_gathers());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the optimisation called out in the paper to free buffer resources for the
 //! two-operand flows.
 
+use ar_types::json::{Json, JsonError};
 use ar_types::{FlowId, ReduceOp};
 
 /// One operand buffer entry (Fig. 3.3c): the owning flow plus two value/ready
@@ -49,6 +50,44 @@ impl OperandEntry {
             (Some(a), Some(b)) => Some((a, b)),
             _ => None,
         }
+    }
+
+    /// Serializes the entry for checkpointed state (values as IEEE-754 bits).
+    pub fn state_to_json(&self) -> Json {
+        let value = |v: Option<f64>| v.map_or(Json::Null, Json::hex_f64);
+        Json::obj([
+            ("flow", self.flow.state_to_json()),
+            ("op", Json::from(self.op.to_string())),
+            ("update_id", Json::hex_u64(self.update_id)),
+            ("v1", value(self.op_value1)),
+            ("v2", value(self.op_value2)),
+        ])
+    }
+
+    /// Decodes an entry produced by [`OperandEntry::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing fields or an unknown op name.
+    pub fn state_from_json(doc: &Json) -> Result<OperandEntry, JsonError> {
+        let op = doc.req_str("op")?;
+        let op = ReduceOp::from_name(op)
+            .ok_or_else(|| JsonError::state(format!("unknown reduce op {op:?}")))?;
+        let value = |key: &str| -> Result<Option<f64>, JsonError> {
+            match doc.req(key)? {
+                Json::Null => Ok(None),
+                v => Ok(Some(v.as_hex_f64().ok_or_else(|| {
+                    JsonError::state(format!("operand {key} is not an f64 bit pattern"))
+                })?)),
+            }
+        };
+        Ok(OperandEntry {
+            flow: FlowId::state_from_json(doc.req("flow")?)?,
+            op,
+            update_id: doc.req_hex_u64("update_id")?,
+            op_value1: value("v1")?,
+            op_value2: value("v2")?,
+        })
     }
 }
 
@@ -142,6 +181,74 @@ impl OperandPool {
     /// Number of reservation attempts that failed because the pool was full.
     pub fn failed_allocations(&self) -> u64 {
         self.failed_allocations
+    }
+
+    /// Serializes the pool's dynamic state. The free stack is stored in
+    /// order — reservation order after a restore must match the original
+    /// pool's, since slot indices flow into packet-visible operand slots.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            (
+                "slots",
+                Json::Arr(
+                    self.slots
+                        .iter()
+                        .map(|s| s.as_ref().map_or(Json::Null, OperandEntry::state_to_json))
+                        .collect(),
+                ),
+            ),
+            ("free", Json::Arr(self.free.iter().map(|&i| Json::from(i)).collect())),
+            ("high_watermark", Json::from(self.high_watermark)),
+            ("allocations", Json::from(self.allocations)),
+            ("failed_allocations", Json::from(self.failed_allocations)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or inconsistent
+    /// with this pool's capacity (wrong slot count, free index out of range
+    /// or pointing at an occupied slot).
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let slots = doc.req_array("slots")?;
+        if slots.len() != self.slots.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} operand slots but the pool is configured with {}",
+                slots.len(),
+                self.slots.len()
+            )));
+        }
+        for (slot, entry) in self.slots.iter_mut().zip(slots) {
+            *slot = match entry {
+                Json::Null => None,
+                doc => Some(OperandEntry::state_from_json(doc)?),
+            };
+        }
+        self.free.clear();
+        for index in doc.req_array("free")? {
+            let index = index
+                .as_u64()
+                .ok_or_else(|| JsonError::state("free-stack entry is not an index"))?
+                as usize;
+            if self.slots.get(index).is_none_or(|slot| slot.is_some()) {
+                return Err(JsonError::state(format!(
+                    "free-stack index {index} is out of range or occupied"
+                )));
+            }
+            self.free.push(index);
+        }
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied + self.free.len() != self.slots.len() {
+            return Err(JsonError::state(
+                "operand pool state is inconsistent: free stack does not cover the empty slots",
+            ));
+        }
+        self.high_watermark = doc.req_usize("high_watermark")?;
+        self.allocations = doc.req_u64("allocations")?;
+        self.failed_allocations = doc.req_u64("failed_allocations")?;
+        Ok(())
     }
 }
 

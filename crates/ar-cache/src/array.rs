@@ -1,5 +1,6 @@
 //! A generic set-associative tag array with LRU replacement.
 
+use ar_types::json::{Json, JsonError};
 use ar_types::Addr;
 
 /// A line evicted from a [`CacheArray`].
@@ -174,6 +175,81 @@ impl CacheArray {
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+
+    /// Serializes the array's dynamic state (lines, LRU tick, counters).
+    /// Geometry is configuration and travels as code.
+    pub fn state_to_json(&self) -> Json {
+        let line = |l: &Line| {
+            Json::obj([
+                ("block", Json::hex_u64(l.block)),
+                ("dirty", Json::from(l.dirty)),
+                ("last_used", Json::from(l.last_used)),
+            ])
+        };
+        Json::obj([
+            (
+                "sets",
+                Json::Arr(
+                    self.sets
+                        .iter()
+                        .map(|set| {
+                            Json::Arr(
+                                set.iter()
+                                    .map(|way| way.as_ref().map_or(Json::Null, line))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("tick", Json::from(self.tick)),
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or its geometry
+    /// (set count, ways per set) disagrees with this array's configuration.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let sets = doc.req_array("sets")?;
+        if sets.len() != self.sets.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} cache sets but the array is configured with {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        for (set, ways) in self.sets.iter_mut().zip(sets) {
+            let ways = ways
+                .as_array()
+                .ok_or_else(|| JsonError::state("cache set is not an array of ways"))?;
+            if ways.len() != set.len() {
+                return Err(JsonError::state(format!(
+                    "checkpoint set has {} ways but the array is configured with {}",
+                    ways.len(),
+                    set.len()
+                )));
+            }
+            for (way, doc) in set.iter_mut().zip(ways) {
+                *way = match doc {
+                    Json::Null => None,
+                    doc => Some(Line {
+                        block: doc.req_hex_u64("block")?,
+                        dirty: doc.req_bool("dirty")?,
+                        last_used: doc.req_u64("last_used")?,
+                    }),
+                };
+            }
+        }
+        self.tick = doc.req_u64("tick")?;
+        self.hits = doc.req_u64("hits")?;
+        self.misses = doc.req_u64("misses")?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::array::CacheArray;
 use ar_types::config::CacheConfig;
 use ar_types::hash::FastHashMap;
+use ar_types::json::{Json, JsonError};
 use ar_types::Addr;
 
 /// The kind of access performed by a core.
@@ -310,6 +311,109 @@ impl CacheHierarchy {
     pub fn cores(&self) -> usize {
         self.l1.len()
     }
+
+    /// Serializes the hierarchy's dynamic state: all tag arrays, the
+    /// directory (sorted by block for stable output, sharer masks as hex
+    /// words) and the aggregate statistics.
+    pub fn state_to_json(&self) -> Json {
+        let mut directory: Vec<(&u64, &DirEntry)> = self.directory.iter().collect();
+        directory.sort_by_key(|(block, _)| **block);
+        Json::obj([
+            ("l1", Json::Arr(self.l1.iter().map(CacheArray::state_to_json).collect())),
+            ("l2", Json::Arr(self.l2.iter().map(CacheArray::state_to_json).collect())),
+            (
+                "directory",
+                Json::Arr(
+                    directory
+                        .into_iter()
+                        .map(|(block, entry)| {
+                            Json::obj([
+                                ("block", Json::hex_u64(*block)),
+                                (
+                                    "sharers",
+                                    Json::Arr(
+                                        entry.sharers.iter().copied().map(Json::hex_u64).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stats",
+                Json::obj([
+                    ("l1_accesses", Json::from(self.stats.l1_accesses)),
+                    ("l1_hits", Json::from(self.stats.l1_hits)),
+                    ("l2_accesses", Json::from(self.stats.l2_accesses)),
+                    ("l2_hits", Json::from(self.stats.l2_hits)),
+                    ("invalidations", Json::from(self.stats.invalidations)),
+                    ("writebacks", Json::from(self.stats.writebacks)),
+                    ("back_invalidations", Json::from(self.stats.back_invalidations)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed, the array
+    /// counts disagree with this hierarchy's configuration, or the directory
+    /// holds duplicate blocks.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let l1 = doc.req_array("l1")?;
+        if l1.len() != self.l1.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} L1 arrays but the hierarchy serves {} cores",
+                l1.len(),
+                self.l1.len()
+            )));
+        }
+        for (array, state) in self.l1.iter_mut().zip(l1) {
+            array.load_state(state)?;
+        }
+        let l2 = doc.req_array("l2")?;
+        if l2.len() != self.l2.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} L2 banks but the hierarchy is configured with {}",
+                l2.len(),
+                self.l2.len()
+            )));
+        }
+        for (array, state) in self.l2.iter_mut().zip(l2) {
+            array.load_state(state)?;
+        }
+        self.directory.clear();
+        for entry in doc.req_array("directory")? {
+            let block = entry.req_hex_u64("block")?;
+            let words = entry.req_array("sharers")?;
+            if words.len() != 4 {
+                return Err(JsonError::state("directory sharer mask must hold 4 words"));
+            }
+            let mut sharers = [0u64; 4];
+            for (word, doc) in sharers.iter_mut().zip(words) {
+                *word = doc.as_hex_u64().ok_or_else(|| {
+                    JsonError::state("directory sharer word is not a hex bit pattern")
+                })?;
+            }
+            if self.directory.insert(block, DirEntry { sharers }).is_some() {
+                return Err(JsonError::state("duplicate block in directory state"));
+            }
+        }
+        let stats = doc.req("stats")?;
+        self.stats = CacheStats {
+            l1_accesses: stats.req_u64("l1_accesses")?,
+            l1_hits: stats.req_u64("l1_hits")?,
+            l2_accesses: stats.req_u64("l2_accesses")?,
+            l2_hits: stats.req_u64("l2_hits")?,
+            invalidations: stats.req_u64("invalidations")?,
+            writebacks: stats.req_u64("writebacks")?,
+            back_invalidations: stats.req_u64("back_invalidations")?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -427,5 +531,58 @@ mod tests {
         let h = CacheHierarchy::new(1, &small_cfg());
         assert_ne!(h.l2_bank_of(Addr::new(0)), h.l2_bank_of(Addr::new(64)));
         assert_eq!(h.cores(), 1);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        let cfg = small_cfg();
+        let mut original = CacheHierarchy::new(4, &cfg);
+        // Build up sharing, dirtiness and eviction history.
+        for i in 0..48u64 {
+            let core = (i % 4) as usize;
+            let kind = match i % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::Atomic,
+            };
+            original.access(core, Addr::new((i % 13) * 192), kind);
+        }
+        original.back_invalidate(Addr::new(0));
+
+        let doc = ar_types::json::Json::parse(&original.state_to_json().render())
+            .expect("state renders to valid JSON");
+        let mut restored = CacheHierarchy::new(4, &cfg);
+        restored.load_state(&doc).expect("state loads");
+
+        assert_eq!(restored.stats(), original.stats());
+        // Both hierarchies must behave identically from here on.
+        for i in 0..48u64 {
+            let core = ((i + 1) % 4) as usize;
+            let addr = Addr::new((i % 17) * 128);
+            let kind = if i % 2 == 0 { AccessKind::Write } else { AccessKind::Read };
+            assert_eq!(
+                original.access(core, addr, kind),
+                restored.access(core, addr, kind),
+                "divergence at access {i}"
+            );
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn load_state_rejects_inconsistent_configuration() {
+        let cfg = small_cfg();
+        let mut donor = CacheHierarchy::new(2, &cfg);
+        donor.access(0, Addr::new(0x100), AccessKind::Write);
+        let state = donor.state_to_json();
+
+        // Wrong core count.
+        let mut wrong_cores = CacheHierarchy::new(3, &cfg);
+        assert!(wrong_cores.load_state(&state).is_err());
+
+        // Wrong associativity (way count inside each set differs).
+        let narrow = CacheConfig { l1_ways: 1, ..cfg.clone() };
+        let mut wrong_ways = CacheHierarchy::new(2, &narrow);
+        assert!(wrong_ways.load_state(&state).is_err());
     }
 }

@@ -4,7 +4,8 @@ use crate::fastforward::{self, FastForward, MIN_SKIPPED_CYCLES};
 use crate::mi::{MessageInterface, OffloadCommand, OffloadKind};
 use ar_sim::{Component, NextWake, SchedCtx};
 use ar_types::config::CoreConfig;
-use ar_types::{Addr, CoreId, Cycle, ThreadId, WorkItem, WorkStream};
+use ar_types::json::{Json, JsonError};
+use ar_types::{Addr, CoreId, Cycle, ReduceOp, ThreadId, WorkItem, WorkStream};
 use std::collections::VecDeque;
 
 /// The kind of memory access a core sends into the cache hierarchy.
@@ -333,6 +334,18 @@ impl Core {
     pub fn settle_to(&mut self, end: Cycle) {
         self.settle_compute_to(end);
         self.settle(end);
+    }
+
+    /// Fully settles the core at `end` for a snapshot: like
+    /// [`Core::settle_to`], but a fast-forwarded interval extending past
+    /// `end` is dropped after its elapsed prefix is applied. The next real
+    /// tick would drop it anyway ([`Core::tick`] supersedes pending
+    /// intervals), and an event-driven driver resuming from the restored
+    /// state re-arms an equivalent interval, so the report cannot tell —
+    /// while [`Core::state_to_json`] gets the settled core it requires.
+    pub fn settle_for_snapshot(&mut self, end: Cycle) {
+        self.settle_to(end);
+        self.fast_forward = None;
     }
 
     // ------------------------------------------------------------------
@@ -902,6 +915,225 @@ impl Core {
     }
 }
 
+fn opt_addr_to_json(addr: Option<Addr>) -> Json {
+    addr.map_or(Json::Null, |a| Json::hex_u64(a.as_u64()))
+}
+
+fn opt_addr_from_json(doc: &Json, key: &str) -> Result<Option<Addr>, JsonError> {
+    match doc.req(key)? {
+        Json::Null => Ok(None),
+        _ => Ok(Some(Addr::new(doc.req_hex_u64(key)?))),
+    }
+}
+
+fn op_from_json(doc: &Json, key: &str) -> Result<ReduceOp, JsonError> {
+    let name = doc.req_str(key)?;
+    ReduceOp::from_name(name).ok_or_else(|| JsonError::state(format!("unknown reduce op {name:?}")))
+}
+
+/// Encodes one queued offload command for checkpointed state.
+pub fn offload_command_to_json(cmd: &OffloadCommand) -> Json {
+    let kind = match cmd.kind {
+        OffloadKind::Update { op, src1, src2, imm, target } => Json::obj([
+            ("t", Json::from("update")),
+            ("op", Json::from(op.to_string())),
+            ("src1", Json::hex_u64(src1.as_u64())),
+            ("src2", opt_addr_to_json(src2)),
+            ("imm", imm.map_or(Json::Null, Json::hex_f64)),
+            ("target", Json::hex_u64(target.as_u64())),
+        ]),
+        OffloadKind::Gather { target, op, num_threads } => Json::obj([
+            ("t", Json::from("gather")),
+            ("target", Json::hex_u64(target.as_u64())),
+            ("op", Json::from(op.to_string())),
+            ("num_threads", Json::from(num_threads)),
+        ]),
+    };
+    Json::obj([("thread", Json::from(cmd.thread.index())), ("kind", kind)])
+}
+
+/// Decodes a command produced by [`offload_command_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on an unknown tag or missing field.
+pub fn offload_command_from_json(doc: &Json) -> Result<OffloadCommand, JsonError> {
+    let kind_doc = doc.req("kind")?;
+    let kind = match kind_doc.req_str("t")? {
+        "update" => OffloadKind::Update {
+            op: op_from_json(kind_doc, "op")?,
+            src1: Addr::new(kind_doc.req_hex_u64("src1")?),
+            src2: opt_addr_from_json(kind_doc, "src2")?,
+            imm: match kind_doc.req("imm")? {
+                Json::Null => None,
+                _ => Some(kind_doc.req_hex_f64("imm")?),
+            },
+            target: Addr::new(kind_doc.req_hex_u64("target")?),
+        },
+        "gather" => OffloadKind::Gather {
+            target: Addr::new(kind_doc.req_hex_u64("target")?),
+            op: op_from_json(kind_doc, "op")?,
+            num_threads: kind_doc.req_u32("num_threads")?,
+        },
+        other => return Err(JsonError::state(format!("unknown offload kind {other:?}"))),
+    };
+    Ok(OffloadCommand { thread: ThreadId::new(doc.req_usize("thread")?), kind })
+}
+
+impl SlotState {
+    fn state_to_json(self) -> Json {
+        match self {
+            SlotState::Ready(at) => Json::obj([("t", Json::from("ready")), ("at", Json::from(at))]),
+            SlotState::WaitingMem(req_id) => {
+                Json::obj([("t", Json::from("mem")), ("req_id", Json::hex_u64(req_id))])
+            }
+            SlotState::WaitingGather(target) => {
+                Json::obj([("t", Json::from("gather")), ("target", Json::hex_u64(target.as_u64()))])
+            }
+            SlotState::WaitingBarrier(id) => {
+                Json::obj([("t", Json::from("barrier")), ("id", Json::from(id))])
+            }
+        }
+    }
+
+    fn state_from_json(doc: &Json) -> Result<SlotState, JsonError> {
+        Ok(match doc.req_str("t")? {
+            "ready" => SlotState::Ready(doc.req_u64("at")?),
+            "mem" => SlotState::WaitingMem(doc.req_hex_u64("req_id")?),
+            "gather" => SlotState::WaitingGather(Addr::new(doc.req_hex_u64("target")?)),
+            "barrier" => SlotState::WaitingBarrier(doc.req_u32("id")?),
+            other => return Err(JsonError::state(format!("unknown ROB slot state {other:?}"))),
+        })
+    }
+}
+
+impl Core {
+    /// Encodes the core's dynamic state for a checkpoint.
+    ///
+    /// Snapshots are taken at a settled boundary: the system clears any
+    /// pending fast-forward interval and settles parked stall intervals via
+    /// [`Core::settle_to`] first (both are report-neutral operations), and
+    /// drains `pending_requests` every cycle — so none of the three needs to
+    /// travel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core still holds an unsettled lazy interval or undrained
+    /// requests, which would make the snapshot lossy.
+    pub fn state_to_json(&self) -> Json {
+        assert!(
+            self.parked.is_none() && self.fast_forward.is_none(),
+            "snapshot requires settled lazy intervals (call settle_to first)"
+        );
+        assert!(self.pending_requests.is_empty(), "snapshot requires drained core requests");
+        Json::obj([
+            ("stream_remaining", Json::from(self.stream.len())),
+            ("partial_compute", Json::from(self.partial_compute)),
+            (
+                "rob",
+                Json::arr(self.rob.iter().map(|slot| {
+                    Json::obj([
+                        ("insns", Json::from(slot.insns)),
+                        ("state", slot.state.state_to_json()),
+                    ])
+                })),
+            ),
+            ("next_req_id", Json::hex_u64(self.next_req_id)),
+            (
+                "mi",
+                Json::obj([
+                    ("queue", Json::arr(self.mi.iter().map(offload_command_to_json))),
+                    ("accepted", Json::from(self.mi.accepted())),
+                    ("rejected", Json::from(self.mi.rejected())),
+                ]),
+            ),
+            ("instructions_retired", Json::from(self.instructions_retired)),
+            ("cycles", Json::from(self.cycles)),
+            (
+                "stalls",
+                Json::obj([
+                    ("memory", Json::from(self.stalls.memory)),
+                    ("gather", Json::from(self.stalls.gather)),
+                    ("barrier", Json::from(self.stalls.barrier)),
+                    ("offload", Json::from(self.stalls.offload)),
+                    ("rob_full", Json::from(self.stalls.rob_full)),
+                ]),
+            ),
+            ("updates_offloaded", Json::from(self.updates_offloaded)),
+            ("gathers_offloaded", Json::from(self.gathers_offloaded)),
+        ])
+    }
+
+    /// Restores the dynamic state captured by [`Core::state_to_json`] onto a
+    /// freshly constructed core whose stream was regenerated from the same
+    /// deterministic workload. Derived bookkeeping (ROB instruction count,
+    /// outstanding memory requests, the tracked barrier id) is recomputed
+    /// from the restored ROB rather than trusted from the document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or malformed, or when
+    /// the regenerated stream is shorter than the checkpoint's remainder.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let remaining = doc.req_usize("stream_remaining")?;
+        if self.stream.len() < remaining {
+            return Err(JsonError::state(format!(
+                "stream mismatch: checkpoint wants {remaining} remaining items, \
+                 the regenerated stream has {}",
+                self.stream.len()
+            )));
+        }
+        while self.stream.len() > remaining {
+            self.stream.pop();
+        }
+        self.partial_compute = doc.req_u32("partial_compute")?;
+        self.rob.clear();
+        self.rob_insns = 0;
+        self.outstanding_mem = 0;
+        self.waiting_barrier_id = None;
+        for slot_doc in doc.req_array("rob")? {
+            let slot = RobSlot {
+                insns: slot_doc.req_u32("insns")?,
+                state: SlotState::state_from_json(slot_doc.req("state")?)?,
+            };
+            self.rob_insns += slot.insns as usize;
+            match slot.state {
+                SlotState::WaitingMem(_) => self.outstanding_mem += 1,
+                SlotState::WaitingBarrier(id) => self.waiting_barrier_id = Some(id),
+                _ => {}
+            }
+            self.rob.push_back(slot);
+        }
+        self.next_req_id = doc.req_hex_u64("next_req_id")?;
+        let mi_doc = doc.req("mi")?;
+        let queue = mi_doc
+            .req_array("queue")?
+            .iter()
+            .map(offload_command_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if queue.len() > self.mi.depth() {
+            return Err(JsonError::state("checkpointed MI queue exceeds the configured depth"));
+        }
+        self.mi.load_state(queue, mi_doc.req_u64("accepted")?, mi_doc.req_u64("rejected")?);
+        self.instructions_retired = doc.req_u64("instructions_retired")?;
+        self.cycles = doc.req_u64("cycles")?;
+        let stalls = doc.req("stalls")?;
+        self.stalls = StallBreakdown {
+            memory: stalls.req_u64("memory")?,
+            gather: stalls.req_u64("gather")?,
+            barrier: stalls.req_u64("barrier")?,
+            offload: stalls.req_u64("offload")?,
+            rob_full: stalls.req_u64("rob_full")?,
+        };
+        self.updates_offloaded = doc.req_u64("updates_offloaded")?;
+        self.gathers_offloaded = doc.req_u64("gathers_offloaded")?;
+        self.pending_requests.clear();
+        self.parked = None;
+        self.fast_forward = None;
+        Ok(())
+    }
+}
+
 impl Component for Core {
     fn next_wake(&self, now: Cycle) -> NextWake {
         // A running core retires/issues and accounts stalls every core cycle.
@@ -1367,6 +1599,79 @@ mod tests {
         assert_eq!(c.next_wake(1), NextWake::At(until));
         assert!(c.is_fast_forwarding(until - 1));
         assert!(!c.is_fast_forwarding(until));
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        let items = vec![
+            WorkItem::Compute(40),
+            WorkItem::Load(Addr::new(0x40)),
+            WorkItem::Update {
+                op: ReduceOp::Mac,
+                src1: Addr::new(0x80),
+                src2: Some(Addr::new(0xc0)),
+                imm: None,
+                target: Addr::new(0x8000),
+            },
+            WorkItem::Compute(10),
+            WorkItem::Gather {
+                target: Addr::new(0x8000),
+                op: ReduceOp::Mac,
+                num_threads: 1,
+                wait: true,
+            },
+            WorkItem::Compute(5),
+        ];
+        let mut original = core_with(items.clone());
+        let mut req_ids = Vec::new();
+        for t in 0..8u64 {
+            req_ids.extend(original.tick(t).mem_requests.iter().map(|r| r.req_id));
+        }
+        // Snapshot at the settled boundary, exactly as the system does. The
+        // load is still in flight and the gather blocks issue, so the ROB
+        // holds waiting slots and the stream a remainder.
+        original.settle_to(8);
+        let text = original.state_to_json().render();
+        let doc = Json::parse(&text).unwrap();
+        assert!(doc.req_usize("stream_remaining").unwrap() > 0, "snapshot too late");
+        let mut restored = core_with(items.clone());
+        restored.load_state(&doc).unwrap();
+        assert_eq!(restored.cycles(), original.cycles());
+        assert_eq!(restored.waiting_barrier(), original.waiting_barrier());
+
+        // Drive both to completion under the identical external schedule.
+        for t in 8..400u64 {
+            for core in [&mut original, &mut restored] {
+                if t == 40 {
+                    for &id in &req_ids {
+                        core.complete_mem(id, t);
+                    }
+                }
+                if t == 80 {
+                    core.complete_gather(Addr::new(0x8000), t);
+                }
+                if !core.is_done() && !core.is_parked() {
+                    core.tick(t);
+                }
+                while core.mi_mut().pop().is_some() {}
+            }
+        }
+        assert!(original.is_done() && restored.is_done());
+        assert_eq!(restored.cycles(), original.cycles());
+        assert_eq!(restored.instructions_retired(), original.instructions_retired());
+        assert_eq!(restored.stalls(), original.stalls());
+        assert_eq!(restored.updates_offloaded(), original.updates_offloaded());
+        assert_eq!(restored.gathers_offloaded(), original.gathers_offloaded());
+
+        // A checkpoint that claims more remaining work than the regenerated
+        // stream carries must be rejected, not silently truncated.
+        let mut short = core_with(Vec::new());
+        let err = short.load_state(&doc).unwrap_err();
+        assert!(err.message.contains("stream mismatch"), "{err}");
+        // Hostile input: a malformed ROB slot must fail loudly.
+        let bad = Json::parse(&text.replace("\"ready\"", "\"teleport\"")).unwrap();
+        let mut fresh = core_with(items);
+        assert!(fresh.load_state(&bad).is_err());
     }
 
     #[cfg(target_pointer_width = "64")]

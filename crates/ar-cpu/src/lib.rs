@@ -32,8 +32,8 @@ pub mod fastforward;
 pub mod mi;
 
 pub use core_model::{
-    Core, CoreOutput, MemAccess, MemAccessKind, OffloadDrainOutcome, OffloadDrainProbe,
-    StallBreakdown, StallCause,
+    offload_command_from_json, offload_command_to_json, Core, CoreOutput, MemAccess, MemAccessKind,
+    OffloadDrainOutcome, OffloadDrainProbe, StallBreakdown, StallCause,
 };
 pub use fastforward::{MIN_SKIPPED_CYCLES, PROFITABLE_BLOCK_INSNS};
 pub use mi::{MessageInterface, OffloadCommand, OffloadKind};

@@ -145,6 +145,16 @@ impl MessageInterface {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// Replaces the queue contents and acceptance counters with checkpointed
+    /// state. The caller (`Core::load_state`) validates the queue length
+    /// against the configured depth.
+    pub(crate) fn load_state(&mut self, queue: Vec<OffloadCommand>, accepted: u64, rejected: u64) {
+        self.queue.clear();
+        self.queue.extend(queue);
+        self.accepted = accepted;
+        self.rejected = rejected;
+    }
 }
 
 #[cfg(test)]

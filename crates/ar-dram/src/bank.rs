@@ -1,5 +1,6 @@
 //! Per-bank DRAM state: open row tracking and busy time.
 
+use ar_types::json::{Json, JsonError};
 use ar_types::Cycle;
 
 /// The row-buffer state of one DRAM bank.
@@ -119,6 +120,44 @@ impl Bank {
         self.state = BankState::Open(row);
         self.busy_until = data_done;
         data_done
+    }
+
+    /// Serializes the bank's dynamic state. The open row index travels as a
+    /// hex bit pattern (rows derive from addresses).
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            (
+                "open_row",
+                match self.state {
+                    BankState::Closed => Json::Null,
+                    BankState::Open(row) => Json::hex_u64(row),
+                },
+            ),
+            ("busy_until", Json::from(self.busy_until)),
+            ("ras_done_at", Json::from(self.ras_done_at)),
+            ("row_hits", Json::from(self.row_hits)),
+            ("row_misses", Json::from(self.row_misses)),
+        ])
+    }
+
+    /// Restores dynamic state produced by [`Bank::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or malformed fields.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        self.state = match doc.req("open_row")? {
+            Json::Null => BankState::Closed,
+            row => BankState::Open(
+                row.as_hex_u64()
+                    .ok_or_else(|| JsonError::state("open row is not a hex bit pattern"))?,
+            ),
+        };
+        self.busy_until = doc.req_u64("busy_until")?;
+        self.ras_done_at = doc.req_u64("ras_done_at")?;
+        self.row_hits = doc.req_u64("row_hits")?;
+        self.row_misses = doc.req_u64("row_misses")?;
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@ use crate::bank::Bank;
 use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::DramAddressMap;
 use ar_types::config::DramConfig;
+use ar_types::json::{Json, JsonError};
 use ar_types::{Addr, Cycle};
 
 /// A request presented to the DRAM system.
@@ -27,6 +28,29 @@ impl DramRequest {
     pub fn write(id: u64, addr: Addr) -> Self {
         DramRequest { id, addr, is_write: true }
     }
+
+    /// Serializes the request (id and address as hex bit patterns — ids carry
+    /// tag bits above 2^53).
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("addr", Json::hex_u64(self.addr.as_u64())),
+            ("w", Json::from(self.is_write)),
+        ])
+    }
+
+    /// Decodes a request produced by [`DramRequest::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or malformed fields.
+    pub fn state_from_json(doc: &Json) -> Result<DramRequest, JsonError> {
+        Ok(DramRequest {
+            id: doc.req_hex_u64("id")?,
+            addr: Addr::new(doc.req_hex_u64("addr")?),
+            is_write: doc.req_bool("w")?,
+        })
+    }
 }
 
 /// A completed DRAM access.
@@ -40,6 +64,32 @@ pub struct DramResponse {
     pub is_write: bool,
     /// Cycle at which the data burst completed.
     pub completed_at: Cycle,
+}
+
+impl DramResponse {
+    /// Serializes the response (id and address as hex bit patterns).
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("addr", Json::hex_u64(self.addr.as_u64())),
+            ("w", Json::from(self.is_write)),
+            ("completed_at", Json::from(self.completed_at)),
+        ])
+    }
+
+    /// Decodes a response produced by [`DramResponse::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or malformed fields.
+    pub fn state_from_json(doc: &Json) -> Result<DramResponse, JsonError> {
+        Ok(DramResponse {
+            id: doc.req_hex_u64("id")?,
+            addr: Addr::new(doc.req_hex_u64("addr")?),
+            is_write: doc.req_bool("w")?,
+            completed_at: doc.req_u64("completed_at")?,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +267,90 @@ impl Channel {
     /// Returns true if requests are waiting to be scheduled.
     pub fn has_queued(&self) -> bool {
         !self.queue.is_empty()
+    }
+
+    /// Serializes the channel's dynamic state. The request queue is stored
+    /// in arrival order — FR-FCFS ties break on position, so order matters.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("banks", Json::Arr(self.banks.iter().map(Bank::state_to_json).collect())),
+            (
+                "queue",
+                Json::Arr(
+                    self.queue
+                        .iter()
+                        .map(|q| {
+                            Json::obj([
+                                ("req", q.req.state_to_json()),
+                                ("arrived_at", Json::from(q.arrived_at)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "completed",
+                Json::Arr(
+                    self.completed
+                        .state_entries()
+                        .into_iter()
+                        .map(|(at, resp)| {
+                            Json::obj([("at", Json::from(at)), ("resp", resp.state_to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("bus_free_at", Json::from(self.bus_free_at)),
+            ("accesses", Json::from(self.accesses)),
+            ("bytes", Json::from(self.bytes)),
+            ("busy_stall_cycles", Json::from(self.busy_stall_cycles)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or inconsistent
+    /// with this channel's configuration (wrong bank count, queue above the
+    /// configured depth).
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let banks = doc.req_array("banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} banks but the channel is configured with {}",
+                banks.len(),
+                self.banks.len()
+            )));
+        }
+        for (bank, state) in self.banks.iter_mut().zip(banks) {
+            bank.load_state(state)?;
+        }
+        let queue = doc.req_array("queue")?;
+        if queue.len() > self.cfg.queue_depth {
+            return Err(JsonError::state(format!(
+                "checkpoint queues {} requests but the configured depth is {}",
+                queue.len(),
+                self.cfg.queue_depth
+            )));
+        }
+        self.queue.clear();
+        for entry in queue {
+            self.queue.push(Queued {
+                req: DramRequest::state_from_json(entry.req("req")?)?,
+                arrived_at: entry.req_u64("arrived_at")?,
+            });
+        }
+        self.completed = LatencyQueue::new();
+        for entry in doc.req_array("completed")? {
+            let at = entry.req_u64("at")?;
+            self.completed.push_at(at, DramResponse::state_from_json(entry.req("resp")?)?);
+        }
+        self.bus_free_at = doc.req_u64("bus_free_at")?;
+        self.accesses = doc.req_u64("accesses")?;
+        self.bytes = doc.req_u64("bytes")?;
+        self.busy_stall_cycles = doc.req_u64("busy_stall_cycles")?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::channel::{Channel, DramRequest, DramResponse};
 use ar_sim::{Component, NextWake, SchedCtx};
 use ar_types::config::DramConfig;
+use ar_types::json::{Json, JsonError};
 use ar_types::{Addr, Cycle};
 
 /// The DDR baseline memory system: one [`Channel`] per memory controller.
@@ -92,6 +93,35 @@ impl DramSystem {
     pub fn channels(&self) -> usize {
         self.channels.len()
     }
+
+    /// Serializes the dynamic state of every channel.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([(
+            "channels",
+            Json::Arr(self.channels.iter().map(Channel::state_to_json).collect()),
+        )])
+    }
+
+    /// Restores dynamic state onto a freshly constructed system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or the channel
+    /// count disagrees with this system's configuration.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let channels = doc.req_array("channels")?;
+        if channels.len() != self.channels.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} DRAM channels but the system is configured with {}",
+                channels.len(),
+                self.channels.len()
+            )));
+        }
+        for (channel, state) in self.channels.iter_mut().zip(channels) {
+            channel.load_state(state)?;
+        }
+        Ok(())
+    }
 }
 
 impl Component for DramSystem {
@@ -157,5 +187,72 @@ mod tests {
         assert!(dram.try_push(0, DramRequest::read(0, Addr::new(0))).is_ok());
         let rejected = dram.try_push(0, DramRequest::read(1, Addr::new(64)));
         assert_eq!(rejected.unwrap_err().id, 1);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        let cfg = DramConfig::default();
+        let mut original = DramSystem::new(&cfg);
+        // Queue a batch with tag-bit ids and tick into the middle of it so
+        // the snapshot catches queued requests, open rows, busy banks and
+        // in-flight completions at once.
+        for i in 0..32u64 {
+            let id = (1 << 59) | i;
+            let addr = Addr::new((i * 97) % 24 * 64);
+            let req =
+                if i % 3 == 0 { DramRequest::write(id, addr) } else { DramRequest::read(id, addr) };
+            let _ = original.try_push(0, req);
+        }
+        let mut drained = Vec::new();
+        for t in 0..25u64 {
+            original.tick(t);
+            while let Some(r) = original.pop_response(t) {
+                drained.push(r);
+            }
+        }
+        assert!(!original.is_idle(), "snapshot must land mid-flight");
+
+        let doc =
+            Json::parse(&original.state_to_json().render()).expect("state renders to valid JSON");
+        let mut restored = DramSystem::new(&cfg);
+        restored.load_state(&doc).expect("state loads");
+
+        // Both systems must drain identically from cycle 25 on.
+        for t in 25..200_000u64 {
+            original.tick(t);
+            restored.tick(t);
+            loop {
+                let a = original.pop_response(t);
+                let b = restored.pop_response(t);
+                assert_eq!(a, b, "divergence at cycle {t}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            if original.is_idle() {
+                break;
+            }
+        }
+        assert!(original.is_idle() && restored.is_idle());
+        assert_eq!(original.accesses(), restored.accesses());
+        assert_eq!(original.bytes(), restored.bytes());
+        assert_eq!(original.row_hits(), restored.row_hits());
+        assert_eq!(original.row_misses(), restored.row_misses());
+    }
+
+    #[test]
+    fn load_state_rejects_inconsistent_configuration() {
+        let cfg = DramConfig::default();
+        let mut donor = DramSystem::new(&cfg);
+        let _ = donor.try_push(0, DramRequest::read(1, Addr::new(0)));
+        let state = donor.state_to_json();
+
+        let fewer = DramConfig { channels: cfg.channels - 1, ..cfg.clone() };
+        let mut wrong_channels = DramSystem::new(&fewer);
+        assert!(wrong_channels.load_state(&state).is_err());
+
+        let narrow = DramConfig { banks_per_rank: 1, ranks_per_channel: 1, ..cfg };
+        let mut wrong_banks = DramSystem::new(&narrow);
+        assert!(wrong_banks.load_state(&state).is_err());
     }
 }

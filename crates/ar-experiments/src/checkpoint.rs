@@ -1,0 +1,304 @@
+//! The `checkpoint` subcommand: snapshot, resume, verify and sample runs
+//! from the command line.
+//!
+//! ```text
+//! ar-experiments checkpoint snapshot --workload reduce --config ARF-tid --at 500 --out ck.json
+//! ar-experiments checkpoint resume --config ARF-tid --from ck.json
+//! ar-experiments checkpoint verify --workload reduce --config ARF-tid --at 500
+//! ar-experiments checkpoint sample --workload reduce --config ARF-tid --windows 8 --window 500
+//! ```
+//!
+//! All four actions run over a scale's base configuration
+//! ([`ExperimentScale::system_config`]); `resume` takes everything else from
+//! the checkpoint file itself. `verify` is the CI smoke: one full run, one
+//! snapshot-at-cycle run restored through its on-disk JSON encoding, and a
+//! report diff that must be byte-identical.
+
+use crate::scale::ExperimentScale;
+use ar_system::{Checkpoint, SampledMetric, SamplingPlan, Simulation, SimulationBuilder};
+use ar_types::config::NamedConfig;
+use ar_workloads::{SizeClass, WorkloadRegistry};
+
+/// Usage text of the `checkpoint` subcommand.
+pub fn usage() -> &'static str {
+    "usage: ar-experiments checkpoint <action> [options]\n\
+     \u{20} snapshot  --workload <name> --config <named> --at <cycle> --out <file>\n\
+     \u{20}           [--scale quick|standard|full] [--size <class>]\n\
+     \u{20} resume    --config <named> --from <file> [--scale quick|standard|full]\n\
+     \u{20} verify    --workload <name> --config <named> --at <cycle>\n\
+     \u{20}           [--scale quick|standard|full] [--size <class>]\n\
+     \u{20} sample    --workload <name> --config <named> [--scale ...] [--size <class>]\n\
+     \u{20}           [--warmup <cycles>] [--window <cycles>] [--windows <k>] [--gap <cycles>]\n\
+     snapshot runs the shared prefix and writes an atomic checkpoint file;\n\
+     resume restores it and runs to completion, printing the report JSON;\n\
+     verify asserts a snapshot/restore run reproduces the full run byte-identically;\n\
+     sample prints interval-sampled metrics with error bars as JSON"
+}
+
+/// Parsed common options of every `checkpoint` action.
+struct Options {
+    scale: ExperimentScale,
+    size: Option<SizeClass>,
+    workload: Option<String>,
+    config: Option<NamedConfig>,
+    at: Option<u64>,
+    out: Option<String>,
+    from: Option<String>,
+    warmup: u64,
+    window: u64,
+    windows: usize,
+    gap: u64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: ExperimentScale::Quick,
+        size: None,
+        workload: None,
+        config: None,
+        at: None,
+        out: None,
+        from: None,
+        warmup: 0,
+        window: 1_000,
+        windows: 8,
+        gap: 0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--scale" => {
+                opts.scale = ExperimentScale::parse(value)
+                    .ok_or_else(|| format!("unknown scale {value:?}"))?;
+            }
+            "--size" => {
+                opts.size =
+                    Some(SizeClass::parse(value).ok_or_else(|| format!("unknown size {value:?}"))?);
+            }
+            "--workload" => opts.workload = Some(value.clone()),
+            "--config" => {
+                opts.config = Some(
+                    NamedConfig::parse(value)
+                        .ok_or_else(|| format!("unknown configuration {value:?}"))?,
+                );
+            }
+            "--at" => {
+                opts.at =
+                    Some(value.parse().map_err(|_| format!("--at needs a cycle, got {value:?}"))?);
+            }
+            "--out" => opts.out = Some(value.clone()),
+            "--from" => opts.from = Some(value.clone()),
+            "--warmup" => {
+                opts.warmup = value.parse().map_err(|_| "--warmup needs a cycle count")?;
+            }
+            "--window" => {
+                opts.window = value.parse().map_err(|_| "--window needs a cycle count")?;
+            }
+            "--windows" => {
+                opts.windows = value.parse().map_err(|_| "--windows needs a count")?;
+            }
+            "--gap" => opts.gap = value.parse().map_err(|_| "--gap needs a cycle count")?,
+            other => return Err(format!("unknown checkpoint option {other:?}")),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+impl Options {
+    /// The builder for this invocation's (workload, config, size) identity.
+    fn builder(&self) -> Result<SimulationBuilder, String> {
+        let workload = self.workload.as_deref().ok_or("--workload is required")?;
+        let config = self.config.ok_or("--config is required")?;
+        let handle = WorkloadRegistry::builtin()
+            .get(workload)
+            .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+        Ok(Simulation::builder()
+            .config(self.scale.system_config())
+            .named(config)
+            .workload_arc(handle)
+            .size(self.size.unwrap_or_else(|| self.scale.size_class())))
+    }
+}
+
+/// Runs the `checkpoint` subcommand; returns the text to print on success.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unparseable options, invalid
+/// configurations, unreadable/corrupt checkpoint files, and — from `verify`
+/// — a restored run that fails to reproduce the full run.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(action) = args.first() else {
+        return Ok(usage().to_string());
+    };
+    if action == "--help" || action == "-h" {
+        return Ok(usage().to_string());
+    }
+    let opts = parse_options(&args[1..])?;
+    match action.as_str() {
+        "snapshot" => {
+            let at = opts.at.ok_or("snapshot needs --at <cycle>")?;
+            let out = opts.out.as_deref().ok_or("snapshot needs --out <file>")?;
+            let mut sim = opts.builder()?.build().map_err(|e| e.to_string())?;
+            let completed = sim.run_prefix(at);
+            let ck = sim.checkpoint();
+            ck.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+            Ok(format!(
+                "checkpoint {} at cycle {} ({}) -> {out}",
+                ck.workload,
+                ck.cycle,
+                if completed { "quiesced" } else { "mid-run" }
+            ))
+        }
+        "resume" => {
+            let from = opts.from.as_deref().ok_or("resume needs --from <file>")?;
+            let config = opts.config.ok_or("--config is required")?;
+            let ck = Checkpoint::load(from).map_err(|e| format!("cannot load {from}: {e}"))?;
+            let handle = WorkloadRegistry::builtin()
+                .get(&ck.workload)
+                .ok_or_else(|| format!("checkpoint names unknown workload {:?}", ck.workload))?;
+            let report = Simulation::builder()
+                .config(opts.scale.system_config())
+                .named(config)
+                .workload_arc(handle)
+                .from_checkpoint(ck)
+                .build()
+                .map_err(|e| e.to_string())?
+                .run();
+            Ok(report.to_json().render())
+        }
+        "verify" => {
+            let at = opts.at.ok_or("verify needs --at <cycle>")?;
+            let full = opts.builder()?.build().map_err(|e| e.to_string())?.run();
+            let mut warm = opts.builder()?.build().map_err(|e| e.to_string())?;
+            warm.run_prefix(at);
+            // Round-trip the snapshot through its serialized form, exactly
+            // like a restore from disk.
+            let doc = ar_types::Json::parse(&warm.checkpoint().to_json().render())
+                .map_err(|e| format!("snapshot did not render to valid JSON: {e}"))?;
+            let ck = Checkpoint::from_json(&doc).map_err(|e| format!("snapshot decode: {e}"))?;
+            let resumed =
+                opts.builder()?.from_checkpoint(ck).build().map_err(|e| e.to_string())?.run();
+            if resumed == full {
+                Ok(format!(
+                    "verify OK: restore at cycle {at} reproduces the full run byte-identically \
+                     ({} network cycles)",
+                    full.network_cycles
+                ))
+            } else {
+                Err(format!(
+                    "verify FAILED: restored report diverges from the full run\n full: {}\n restored: {}",
+                    full.to_json().render(),
+                    resumed.to_json().render()
+                ))
+            }
+        }
+        "sample" => {
+            let plan = SamplingPlan::new(opts.warmup, opts.window, opts.windows, opts.gap)
+                .map_err(|e| e.to_string())?;
+            let mut sim = opts.builder()?.build().map_err(|e| e.to_string())?;
+            let sampled = sim.run_sampled(&plan);
+            Ok(sampled.to_json().render())
+        }
+        other => Err(format!("unknown checkpoint action {other:?}\n{}", usage())),
+    }
+}
+
+/// Formats one metric as a human-readable `mean ± ci` string (used by tests
+/// and callers that post-process [`ar_system::SampledReport`]s).
+pub fn format_metric(metric: &SampledMetric) -> String {
+    let (lo, hi) = metric.ci95();
+    format!(
+        "{}: {:.4} (95% CI {:.4}..{:.4}, {} windows)",
+        metric.name,
+        metric.mean,
+        lo,
+        hi,
+        metric.samples.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ar-ck-cli-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_resume_and_verify_round_trip() {
+        let out = temp_path("snap.json");
+        let out_str = out.to_string_lossy().to_string();
+        let msg = run(&args(&[
+            "snapshot",
+            "--workload",
+            "reduce",
+            "--config",
+            "ARF-tid",
+            "--size",
+            "tiny",
+            "--at",
+            "400",
+            "--out",
+            &out_str,
+        ]))
+        .expect("snapshot succeeds");
+        assert!(msg.contains("cycle 400"), "{msg}");
+
+        let report = run(&args(&["resume", "--config", "ARF-tid", "--from", &out_str]))
+            .expect("resume succeeds");
+        let doc = ar_types::Json::parse(&report).expect("resume prints JSON");
+        assert_eq!(doc.get("completed").and_then(ar_types::Json::as_bool), Some(true));
+
+        let verdict = run(&args(&[
+            "verify",
+            "--workload",
+            "reduce",
+            "--config",
+            "ARF-tid",
+            "--size",
+            "tiny",
+            "--at",
+            "400",
+        ]))
+        .expect("verify passes");
+        assert!(verdict.contains("verify OK"), "{verdict}");
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn sample_prints_error_bars_and_bad_options_fail() {
+        let doc = run(&args(&[
+            "sample",
+            "--workload",
+            "reduce",
+            "--config",
+            "ARF-tid",
+            "--size",
+            "tiny",
+            "--window",
+            "200",
+            "--windows",
+            "6",
+        ]))
+        .expect("sample succeeds");
+        let doc = ar_types::Json::parse(&doc).expect("sample prints JSON");
+        let metrics = doc.get("metrics").and_then(ar_types::Json::as_array).expect("metrics");
+        assert!(!metrics.is_empty());
+        assert!(metrics[0].get("stderr").is_some());
+
+        assert!(run(&args(&["snapshot", "--workload", "reduce"])).is_err());
+        assert!(run(&args(&["sample", "--workload", "nope", "--config", "ARF-tid"])).is_err());
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["sample", "--config", "NOPE"])).is_err());
+        assert!(run(&[]).expect("bare call prints usage").contains("usage"));
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod adaptive;
 pub mod backend;
+pub mod checkpoint;
 pub mod energy;
 pub mod heatmap;
 pub mod latency;

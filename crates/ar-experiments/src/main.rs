@@ -17,10 +17,12 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: ar-experiments [--list] [--all] [--figure <id>] [--table <id>] [--scale quick|standard|full] [--json] [--cached <addr>]\n\
      \u{20}      ar-experiments serve [--scale quick|standard|full] [--addr <ip:port>] [--cache <dir>] [--workers <n>]\n\
+     \u{20}      ar-experiments checkpoint <snapshot|resume|verify|sample> [options] (see `checkpoint --help`)\n\
      ids: 3.1 4.1 5.1a 5.1b 5.2a 5.2b 5.3 5.4a 5.4b 5.5 5.6 5.7 5.8\n\
      --json emits one machine-readable JSON document per selected artefact\n\
      --cached resolves matrix cells through a running sweep server (start one with `serve`)\n\
-     serve runs a persistent sweep daemon with a content-addressed report cache"
+     serve runs a persistent sweep daemon with a content-addressed report cache\n\
+     checkpoint snapshots, restores, verifies and interval-samples single runs"
 }
 
 /// Runs the `serve` subcommand: a persistent sweep daemon over the scale's
@@ -104,6 +106,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("checkpoint") {
+        return match ar_experiments::checkpoint::run(&args[1..]) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut scale = ExperimentScale::Quick;
     let mut selected: Vec<Artifact> = Vec::new();

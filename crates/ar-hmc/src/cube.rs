@@ -4,6 +4,7 @@ use crate::vault::{Vault, VaultRequest, VaultResponse};
 use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::addr::AddressMap;
 use ar_types::config::HmcConfig;
+use ar_types::json::{Json, JsonError};
 use ar_types::{Addr, CubeId, Cycle};
 
 /// One HMC: the vaults of the cube plus the crossbar latency between the
@@ -172,6 +173,71 @@ impl HmcCube {
     pub fn vaults(&self) -> usize {
         self.vaults.len()
     }
+
+    /// Serializes the cube's dynamic state: every vault, both crossbar
+    /// queues, the retry list, and the rejection counter. The vault wake
+    /// cache is derived state and is recomputed by [`HmcCube::load_state`].
+    pub fn state_to_json(&self) -> Json {
+        fn latency_queue<T>(queue: &LatencyQueue<T>, encode: impl Fn(&T) -> Json) -> Json {
+            Json::Arr(
+                queue
+                    .state_entries()
+                    .into_iter()
+                    .map(|(at, item)| Json::obj([("at", Json::from(at)), ("item", encode(item))]))
+                    .collect(),
+            )
+        }
+        Json::obj([
+            ("vaults", Json::Arr(self.vaults.iter().map(Vault::state_to_json).collect())),
+            ("inbound", latency_queue(&self.inbound, VaultRequest::state_to_json)),
+            ("outbound", latency_queue(&self.outbound, VaultResponse::state_to_json)),
+            ("retry", Json::Arr(self.retry.iter().map(VaultRequest::state_to_json).collect())),
+            ("rejected", Json::from(self.rejected)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed cube. `now` is the
+    /// resume cycle; the vault wake cache is recomputed by folding every
+    /// restored vault's next event, exactly as [`HmcCube::tick`] folds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or its vault
+    /// count disagrees with this cube's configuration.
+    pub fn load_state(&mut self, now: Cycle, doc: &Json) -> Result<(), JsonError> {
+        let vaults = doc.req_array("vaults")?;
+        if vaults.len() != self.vaults.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} vaults but the cube is configured with {}",
+                vaults.len(),
+                self.vaults.len()
+            )));
+        }
+        for (vault, entry) in self.vaults.iter_mut().zip(vaults) {
+            vault.load_state(entry)?;
+        }
+        self.inbound = LatencyQueue::new();
+        for entry in doc.req_array("inbound")? {
+            self.inbound
+                .push_at(entry.req_u64("at")?, VaultRequest::state_from_json(entry.req("item")?)?);
+        }
+        self.outbound = LatencyQueue::new();
+        for entry in doc.req_array("outbound")? {
+            self.outbound
+                .push_at(entry.req_u64("at")?, VaultResponse::state_from_json(entry.req("item")?)?);
+        }
+        self.retry.clear();
+        for entry in doc.req_array("retry")? {
+            self.retry.push(VaultRequest::state_from_json(entry)?);
+        }
+        self.rejected = doc.req_u64("rejected")?;
+        let mut vault_wake = NextWake::Idle;
+        for vault in &self.vaults {
+            vault_wake = vault_wake.min_with(vault.next_wake(now));
+        }
+        self.vault_wake = vault_wake;
+        Ok(())
+    }
 }
 
 impl Component for HmcCube {
@@ -292,6 +358,58 @@ mod tests {
         again.tick(cfg.crossbar_latency);
         let issued = again.earliest_response_at(cfg.crossbar_latency).unwrap();
         assert_eq!(issued, cfg.crossbar_latency + cfg.vault_access_latency + cfg.crossbar_latency);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        // Snapshot a cube mid-flight — requests on the crossbar, a hot vault
+        // with retries pending, responses crossing back — and check the
+        // restored cube produces the same response trace and counters.
+        let cfg = HmcConfig { vault_queue_depth: 2, ..HmcConfig::default() };
+        let mut cube = HmcCube::new(CubeId::new(5), &cfg, 16);
+        for i in 0..24u64 {
+            // Half hammer one vault (forcing retries), half spread out.
+            let addr = if i % 2 == 0 { i * 64 * 32 } else { i * 64 };
+            cube.try_push(0, VaultRequest::read((1 << 62) | i, Addr::new(addr))).unwrap();
+        }
+        let snap_at = cfg.crossbar_latency + 2;
+        for t in 0..=snap_at {
+            cube.tick(t);
+            while cube.pop_response(t).is_some() {}
+        }
+        assert!(!cube.is_idle(), "snapshot must capture in-flight state");
+        let doc = Json::parse(&cube.state_to_json().render()).unwrap();
+        let mut restored = HmcCube::new(CubeId::new(5), &cfg, 16);
+        restored.load_state(snap_at, &doc).unwrap();
+        assert_eq!(cube.next_wake(snap_at), restored.next_wake(snap_at), "wake cache mismatch");
+        for t in snap_at + 1..snap_at + 5_000 {
+            cube.tick(t);
+            restored.tick(t);
+            loop {
+                match (cube.pop_response(t), restored.pop_response(t)) {
+                    (None, None) => break,
+                    (a, b) => assert_eq!(a, b, "divergence at cycle {t}"),
+                }
+            }
+            if cube.is_idle() && restored.is_idle() {
+                break;
+            }
+        }
+        assert!(cube.is_idle() && restored.is_idle(), "both cubes must drain");
+        assert_eq!(cube.accesses(), restored.accesses());
+        assert_eq!(cube.bank_conflicts(), restored.bank_conflicts());
+        assert_eq!(cube.vault_queue_rejections(), restored.vault_queue_rejections());
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_vault_count() {
+        let cfg = HmcConfig::default();
+        let cube = HmcCube::new(CubeId::new(0), &cfg, 16);
+        let doc = cube.state_to_json();
+        let small = HmcConfig { vaults: 8, ..cfg };
+        let mut other = HmcCube::new(CubeId::new(0), &small, 16);
+        let err = other.load_state(0, &doc).unwrap_err();
+        assert!(err.to_string().contains("vaults"), "unexpected error: {err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use ar_sim::{Component, LatencyQueue, NextWake, SchedCtx};
 use ar_types::config::HmcConfig;
+use ar_types::json::{Json, JsonError};
 use ar_types::{Addr, Cycle};
 use std::collections::VecDeque;
 
@@ -26,6 +27,29 @@ impl VaultRequest {
     pub fn write(id: u64, addr: Addr) -> Self {
         VaultRequest { id, addr, is_write: true }
     }
+
+    /// Encodes the request for checkpointed state (ids carry tag bits, so
+    /// they travel as hex).
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("addr", Json::hex_u64(self.addr.as_u64())),
+            ("w", Json::from(self.is_write)),
+        ])
+    }
+
+    /// Decodes a request produced by [`VaultRequest::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<VaultRequest, JsonError> {
+        Ok(VaultRequest {
+            id: doc.req_hex_u64("id")?,
+            addr: Addr::new(doc.req_hex_u64("addr")?),
+            is_write: doc.req_bool("w")?,
+        })
+    }
 }
 
 /// A completed vault access.
@@ -39,6 +63,32 @@ pub struct VaultResponse {
     pub is_write: bool,
     /// Cycle at which the access completed.
     pub completed_at: Cycle,
+}
+
+impl VaultResponse {
+    /// Encodes the response for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("addr", Json::hex_u64(self.addr.as_u64())),
+            ("w", Json::from(self.is_write)),
+            ("completed_at", Json::from(self.completed_at)),
+        ])
+    }
+
+    /// Decodes a response produced by [`VaultResponse::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<VaultResponse, JsonError> {
+        Ok(VaultResponse {
+            id: doc.req_hex_u64("id")?,
+            addr: Addr::new(doc.req_hex_u64("addr")?),
+            is_write: doc.req_bool("w")?,
+            completed_at: doc.req_u64("completed_at")?,
+        })
+    }
 }
 
 /// One vault: a bounded controller queue plus per-bank busy tracking.
@@ -199,6 +249,78 @@ impl Vault {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.completed.is_empty()
     }
+
+    /// Serializes the vault's dynamic state (queue contents, bank cursors,
+    /// in-flight completions, counters). Configuration-derived fields travel
+    /// as code, not data.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("queue", Json::Arr(self.queue.iter().map(VaultRequest::state_to_json).collect())),
+            (
+                "bank_busy_until",
+                Json::Arr(self.bank_busy_until.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            (
+                "completed",
+                Json::Arr(
+                    self.completed
+                        .state_entries()
+                        .into_iter()
+                        .map(|(at, resp)| {
+                            Json::obj([("at", Json::from(at)), ("resp", resp.state_to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_issue_at", Json::from(self.next_issue_at)),
+            ("accesses", Json::from(self.accesses)),
+            ("bank_conflicts", Json::from(self.bank_conflicts)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed vault.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or inconsistent
+    /// with this vault's configuration (queue deeper than the configured
+    /// depth, bank vector of the wrong length).
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        let queue = doc.req_array("queue")?;
+        if queue.len() > self.queue_depth {
+            return Err(JsonError::state(format!(
+                "vault queue holds {} requests but the configured depth is {}",
+                queue.len(),
+                self.queue_depth
+            )));
+        }
+        let banks = doc.req_array("bank_busy_until")?;
+        if banks.len() != self.banks {
+            return Err(JsonError::state(format!(
+                "bank_busy_until has {} entries but the vault has {} banks",
+                banks.len(),
+                self.banks
+            )));
+        }
+        self.queue.clear();
+        for entry in queue {
+            self.queue.push_back(VaultRequest::state_from_json(entry)?);
+        }
+        for (slot, entry) in self.bank_busy_until.iter_mut().zip(banks) {
+            *slot = entry
+                .as_u64()
+                .ok_or_else(|| JsonError::state("bank_busy_until entry is not a cycle"))?;
+        }
+        self.completed = LatencyQueue::with_capacity(2 * (self.queue_depth + self.banks));
+        for entry in doc.req_array("completed")? {
+            let at = entry.req_u64("at")?;
+            self.completed.push_at(at, VaultResponse::state_from_json(entry.req("resp")?)?);
+        }
+        self.next_issue_at = doc.req_u64("next_issue_at")?;
+        self.accesses = doc.req_u64("accesses")?;
+        self.bank_conflicts = doc.req_u64("bank_conflicts")?;
+        Ok(())
+    }
 }
 
 impl Component for Vault {
@@ -343,6 +465,49 @@ mod tests {
             }
         }
         assert!(first.unwrap().0 >= bound);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        let mut v = Vault::new(&cfg());
+        // In-flight completion, a pending queue entry and a moved issue
+        // cursor, with one bank conflict already accrued.
+        v.push(VaultRequest::read(1 << 62 | 1, Addr::new(0)));
+        v.push(VaultRequest::write(1 << 62 | 2, Addr::new(64 * 32 * 8)));
+        v.tick(0);
+        v.push(VaultRequest::read(1 << 62 | 3, Addr::new(64)));
+        let doc = Json::parse(&v.state_to_json().render()).unwrap();
+        let mut r = Vault::new(&cfg());
+        r.load_state(&doc).unwrap();
+        let l = cfg().vault_access_latency;
+        for t in 1..4 * l {
+            v.tick(t);
+            r.tick(t);
+            loop {
+                match (v.pop_response(t), r.pop_response(t)) {
+                    (None, None) => break,
+                    (a, b) => assert_eq!(a, b, "divergence at cycle {t}"),
+                }
+            }
+        }
+        assert_eq!(v.accesses(), r.accesses());
+        assert_eq!(v.bank_conflicts(), r.bank_conflicts());
+        assert!(v.is_idle() && r.is_idle());
+    }
+
+    #[test]
+    fn load_state_rejects_inconsistent_configuration() {
+        let mut v = Vault::new(&cfg());
+        for i in 0..3 {
+            v.push(VaultRequest::read(i, Addr::new(64 * i)));
+        }
+        let doc = v.state_to_json();
+        let mut shallow = Vault::new(&HmcConfig { vault_queue_depth: 2, ..cfg() });
+        let err = shallow.load_state(&doc).unwrap_err();
+        assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+        let mut narrow = Vault::new(&HmcConfig { banks_per_vault: 2, ..cfg() });
+        let err = narrow.load_state(&doc).unwrap_err();
+        assert!(err.to_string().contains("banks"), "unexpected error: {err}");
     }
 
     #[test]

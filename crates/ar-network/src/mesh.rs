@@ -6,6 +6,7 @@
 //! they become free so that contention shows up as added queueing delay.
 //! Byte-hops are accumulated for the on-chip part of the energy model.
 
+use ar_types::json::{Json, JsonError};
 use ar_types::Cycle;
 
 /// The on-chip mesh NoC model.
@@ -149,6 +150,56 @@ impl MeshNoc {
     pub fn queueing_cycles(&self) -> u64 {
         self.queueing_cycles
     }
+
+    /// Serializes the mesh's dynamic state. Busy links are stored sparsely as
+    /// `[index, free_at]` pairs (most links are idle at any snapshot).
+    pub fn state_to_json(&self) -> Json {
+        let busy = self
+            .link_free_at
+            .iter()
+            .enumerate()
+            .filter(|&(_, &free)| free != 0)
+            .map(|(i, &free)| Json::Arr(vec![Json::from(i), Json::from(free)]))
+            .collect();
+        Json::obj([
+            ("busy_links", Json::Arr(busy)),
+            ("bytes_transferred", Json::from(self.bytes_transferred)),
+            ("byte_hops", Json::from(self.byte_hops)),
+            ("transfers", Json::from(self.transfers)),
+            ("queueing_cycles", Json::from(self.queueing_cycles)),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or names a link
+    /// index outside this mesh's geometry.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        self.link_free_at.fill(0);
+        for entry in doc.req_array("busy_links")? {
+            let pair = entry.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                JsonError::state("busy_links entry is not an [index, cycle] pair")
+            })?;
+            let index = pair[0]
+                .as_u64()
+                .ok_or_else(|| JsonError::state("busy link index is not a number"))?
+                as usize;
+            let free = pair[1]
+                .as_u64()
+                .ok_or_else(|| JsonError::state("busy link free_at is not a cycle"))?;
+            let slot = self.link_free_at.get_mut(index).ok_or_else(|| {
+                JsonError::state(format!("busy link index {index} outside the mesh geometry"))
+            })?;
+            *slot = free;
+        }
+        self.bytes_transferred = doc.req_u64("bytes_transferred")?;
+        self.byte_hops = doc.req_u64("byte_hops")?;
+        self.transfers = doc.req_u64("transfers")?;
+        self.queueing_cycles = doc.req_u64("queueing_cycles")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +257,40 @@ mod tests {
         let mut m = MeshNoc::new(4, 1, 64);
         m.transfer(0, 0, 3, 64); // 3 hops
         assert_eq!(m.byte_hops(), 3 * 64);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        let mut m = MeshNoc::new(4, 2, 8);
+        m.transfer(0, 0, 15, 64);
+        m.transfer(1, 0, 1, 64);
+        let doc = Json::parse(&m.state_to_json().render()).unwrap();
+        let mut r = MeshNoc::new(4, 2, 8);
+        r.load_state(&doc).unwrap();
+        // The same future transfer sees the same contention in both meshes.
+        assert_eq!(m.transfer(2, 0, 1, 32), r.transfer(2, 0, 1, 32));
+        assert_eq!(m.bytes_transferred(), r.bytes_transferred());
+        assert_eq!(m.byte_hops(), r.byte_hops());
+        assert_eq!(m.transfers(), r.transfers());
+        assert_eq!(m.queueing_cycles(), r.queueing_cycles());
+    }
+
+    #[test]
+    fn load_state_rejects_out_of_range_link() {
+        let m = MeshNoc::new(4, 2, 8);
+        let doc = Json::obj([
+            (
+                "busy_links",
+                Json::Arr(vec![Json::Arr(vec![Json::from(100_000usize), Json::from(5u64)])]),
+            ),
+            ("bytes_transferred", Json::from(0u64)),
+            ("byte_hops", Json::from(0u64)),
+            ("transfers", Json::from(0u64)),
+            ("queueing_cycles", Json::from(0u64)),
+        ]);
+        let mut r = m.clone();
+        let err = r.load_state(&doc).unwrap_err();
+        assert!(err.to_string().contains("geometry"), "unexpected error: {err}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::dragonfly::DragonflyTopology;
 use ar_sim::{BandwidthLink, Component, EventQueue, NextWake, SchedCtx};
 use ar_types::ids::{CubeId, NetNode, PortId};
+use ar_types::json::{Json, JsonError};
 use ar_types::packet::{ActiveKind, Packet, PacketKind};
 use ar_types::pool::{PacketPool, PacketRef};
 use ar_types::Cycle;
@@ -40,6 +41,40 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
+    /// Serializes the statistics for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("packets_injected", Json::from(self.packets_injected)),
+            ("packets_delivered", Json::from(self.packets_delivered)),
+            ("bytes_injected", Json::from(self.bytes_injected)),
+            ("bit_hops", Json::from(self.bit_hops)),
+            ("norm_req_bytes", Json::from(self.norm_req_bytes)),
+            ("norm_resp_bytes", Json::from(self.norm_resp_bytes)),
+            ("active_req_bytes", Json::from(self.active_req_bytes)),
+            ("active_resp_bytes", Json::from(self.active_resp_bytes)),
+            ("total_latency", Json::from(self.total_latency)),
+        ])
+    }
+
+    /// Decodes statistics produced by [`NetworkStats::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<NetworkStats, JsonError> {
+        Ok(NetworkStats {
+            packets_injected: doc.req_u64("packets_injected")?,
+            packets_delivered: doc.req_u64("packets_delivered")?,
+            bytes_injected: doc.req_u64("bytes_injected")?,
+            bit_hops: doc.req_u64("bit_hops")?,
+            norm_req_bytes: doc.req_u64("norm_req_bytes")?,
+            norm_resp_bytes: doc.req_u64("norm_resp_bytes")?,
+            active_req_bytes: doc.req_u64("active_req_bytes")?,
+            active_resp_bytes: doc.req_u64("active_resp_bytes")?,
+            total_latency: doc.req_u64("total_latency")?,
+        })
+    }
+
     /// Total bytes of off-chip data movement (normal + active).
     pub fn total_bytes(&self) -> u64 {
         self.norm_req_bytes + self.norm_resp_bytes + self.active_req_bytes + self.active_resp_bytes
@@ -322,6 +357,156 @@ impl MemoryNetwork {
     pub fn link_bandwidth(&self) -> u32 {
         self.link_bytes_per_cycle
     }
+
+    /// Serializes the network's dynamic state: per-link channel state with
+    /// in-flight packets resolved to full packet bodies, the delivery queues,
+    /// the arrival calendar (in deterministic pop order), and the traffic
+    /// statistics. Idle links with zeroed counters are omitted — a freshly
+    /// constructed network already has them.
+    pub fn state_to_json(&self) -> Json {
+        let links = self
+            .links
+            .iter()
+            .filter(|(_, link)| {
+                link.free_at() > 0
+                    || link.in_flight() > 0
+                    || link.bytes_transferred() > 0
+                    || link.queueing_cycles() > 0
+            })
+            .map(|(&(a, b), link)| {
+                let in_flight = link
+                    .in_flight_entries()
+                    .map(|(at, &r)| {
+                        Json::obj([
+                            ("at", Json::from(at)),
+                            ("packet", self.pool.get(r).state_to_json()),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("a", a.state_to_json()),
+                    ("b", b.state_to_json()),
+                    ("free_at", Json::from(link.free_at())),
+                    ("bytes_transferred", Json::from(link.bytes_transferred())),
+                    ("packets_transferred", Json::from(link.packets_transferred())),
+                    ("queueing_cycles", Json::from(link.queueing_cycles())),
+                    ("in_flight", Json::Arr(in_flight)),
+                ])
+            })
+            .collect();
+        let deliveries = |queues: &[VecDeque<PacketRef>]| {
+            Json::Arr(
+                queues
+                    .iter()
+                    .map(|q| {
+                        Json::Arr(q.iter().map(|&r| self.pool.get(r).state_to_json()).collect())
+                    })
+                    .collect(),
+            )
+        };
+        let arrivals = self
+            .arrivals
+            .state_entries()
+            .into_iter()
+            .map(|(at, &(a, b))| {
+                Json::obj([
+                    ("at", Json::from(at)),
+                    ("a", a.state_to_json()),
+                    ("b", b.state_to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("links", Json::Arr(links)),
+            ("delivered_cube", deliveries(&self.delivered_cube)),
+            ("delivered_host", deliveries(&self.delivered_host)),
+            ("arrivals", Json::Arr(arrivals)),
+            ("arrivals_last_popped", Json::from(self.arrivals.last_popped())),
+            ("stats", self.stats.state_to_json()),
+        ])
+    }
+
+    /// Restores dynamic state onto a freshly constructed network, allocating
+    /// every serialized packet into a fresh pool in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed or references a
+    /// link or node that does not exist in this network's topology.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        fn link_key(doc: &Json) -> Result<(NetNode, NetNode), JsonError> {
+            Ok((NetNode::state_from_json(doc.req("a")?)?, NetNode::state_from_json(doc.req("b")?)?))
+        }
+        self.stats = NetworkStats::state_from_json(doc.req("stats")?)?;
+        for entry in doc.req_array("links")? {
+            let key = link_key(entry)?;
+            let link = self.links.get_mut(&key).ok_or_else(|| {
+                JsonError::state(format!("no link {} -> {} in this topology", key.0, key.1))
+            })?;
+            link.restore_state(
+                entry.req_u64("free_at")?,
+                entry.req_u64("bytes_transferred")?,
+                entry.req_u64("packets_transferred")?,
+                entry.req_u64("queueing_cycles")?,
+            );
+            for flight in entry.req_array("in_flight")? {
+                let packet = Packet::state_from_json(flight.req("packet")?)?;
+                link.restore_in_flight(flight.req_u64("at")?, self.pool.alloc(packet));
+            }
+        }
+        let restore_deliveries = |queues: &mut Vec<VecDeque<PacketRef>>,
+                                  pool: &mut PacketPool,
+                                  delivered: &mut usize,
+                                  key: &str|
+         -> Result<(), JsonError> {
+            let docs = doc.req_array(key)?;
+            if docs.len() != queues.len() {
+                return Err(JsonError::state(format!(
+                    "{key} has {} queues but the topology provides {}",
+                    docs.len(),
+                    queues.len()
+                )));
+            }
+            for (queue, entries) in queues.iter_mut().zip(docs) {
+                queue.clear();
+                for packet in entries
+                    .as_array()
+                    .ok_or_else(|| JsonError::state(format!("{key} queue is not an array")))?
+                {
+                    queue.push_back(pool.alloc(Packet::state_from_json(packet)?));
+                    *delivered += 1;
+                }
+            }
+            Ok(())
+        };
+        self.delivered = 0;
+        restore_deliveries(
+            &mut self.delivered_cube,
+            &mut self.pool,
+            &mut self.delivered,
+            "delivered_cube",
+        )?;
+        restore_deliveries(
+            &mut self.delivered_host,
+            &mut self.pool,
+            &mut self.delivered,
+            "delivered_host",
+        )?;
+        self.arrivals = EventQueue::new();
+        self.arrivals.restore_last_popped(doc.req_u64("arrivals_last_popped")?);
+        for entry in doc.req_array("arrivals")? {
+            self.arrivals.schedule(entry.req_u64("at")?, link_key(entry)?);
+        }
+        if self.pool.live() != self.arrivals.len() + self.delivered {
+            return Err(JsonError::state(format!(
+                "checkpoint is inconsistent: {} pooled packets but {} arrivals + {} deliveries",
+                self.pool.live(),
+                self.arrivals.len(),
+                self.delivered
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Component for MemoryNetwork {
@@ -506,6 +691,74 @@ mod tests {
             net.inflight_arrival_bounds(&mut earliest);
         }
         assert!(arrived_at.is_some());
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_identically() {
+        // Congest the network, snapshot with packets on links, in delivery
+        // queues and mid-serialization, then check the restored network
+        // delivers the identical packet trace with identical stats.
+        let mut net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 8);
+        let ports = net.topology().host_ports();
+        for i in 0..48u64 {
+            net.inject(0, read_req(i, i as usize % ports, (i % 15 + 1) as usize, 0));
+        }
+        let snap_at = 7;
+        for t in 0..=snap_at {
+            net.tick(t);
+        }
+        assert!(!net.is_quiescent(), "snapshot must capture in-flight packets");
+        let doc = Json::parse(&net.state_to_json().render()).unwrap();
+        let mut restored = MemoryNetwork::new(DragonflyTopology::paper(), 3, 8);
+        restored.load_state(&doc).unwrap();
+        assert_eq!(net.in_flight(), restored.in_flight());
+        assert_eq!(net.next_wake(snap_at), restored.next_wake(snap_at));
+        for t in snap_at + 1..3_000 {
+            net.tick(t);
+            restored.tick(t);
+            for c in 0..16 {
+                loop {
+                    match (net.pop_at_cube(CubeId::new(c)), restored.pop_at_cube(CubeId::new(c))) {
+                        (None, None) => break,
+                        (a, b) => assert_eq!(a, b, "cube {c} divergence at cycle {t}"),
+                    }
+                }
+            }
+            if net.is_quiescent() && restored.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent() && restored.is_quiescent(), "both networks must drain");
+        assert_eq!(net.stats(), restored.stats());
+        assert_eq!(
+            net.host_port_queueing(PortId::new(0)),
+            restored.host_port_queueing(PortId::new(0))
+        );
+    }
+
+    #[test]
+    fn load_state_rejects_unknown_link() {
+        let net = MemoryNetwork::new(DragonflyTopology::paper(), 3, 8);
+        let mut doc = net.state_to_json();
+        // Forge a link between two hosts — no such link exists.
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "links" {
+                    *value = Json::Arr(vec![Json::obj([
+                        ("a", NetNode::Host(PortId::new(0)).state_to_json()),
+                        ("b", NetNode::Host(PortId::new(1)).state_to_json()),
+                        ("free_at", Json::from(9u64)),
+                        ("bytes_transferred", Json::from(0u64)),
+                        ("packets_transferred", Json::from(0u64)),
+                        ("queueing_cycles", Json::from(0u64)),
+                        ("in_flight", Json::Arr(Vec::new())),
+                    ])]);
+                }
+            }
+        }
+        let mut restored = MemoryNetwork::new(DragonflyTopology::paper(), 3, 8);
+        let err = restored.load_state(&doc).unwrap_err();
+        assert!(err.to_string().contains("no link"), "unexpected error: {err}");
     }
 
     #[test]

@@ -33,6 +33,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Distinguishes temp files of racing writers within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// How old a leftover `.tmp-*` file must be before the open-time sweep
+/// deletes it. A store's write→rename window is milliseconds, so anything
+/// this old belongs to a writer that died mid-store.
+const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
 /// An on-disk report cache rooted at a directory. Cheap to clone/share; all
 /// state lives in the filesystem.
 #[derive(Debug, Clone)]
@@ -41,10 +46,39 @@ pub struct ReportCache {
 }
 
 impl ReportCache {
-    /// Opens (lazily — no I/O happens until the first store) a cache rooted
-    /// at `root`.
+    /// Opens a cache rooted at `root`, sweeping stale temp files that a
+    /// crashed writer left behind — a process dying between the temp write
+    /// and the rename leaks its `.tmp-*` file forever. Only files older
+    /// than `STALE_TMP_AGE` (a minute) are removed, so an in-flight write of a live
+    /// writer sharing the directory is never yanked out from under its
+    /// rename. Otherwise lazy — no further I/O until the first store.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        ReportCache { root: root.into() }
+        let cache = ReportCache { root: root.into() };
+        cache.sweep_stale_tmp();
+        cache
+    }
+
+    /// Removes `.tmp-*` files older than [`STALE_TMP_AGE`] from the current
+    /// schema directory. Failures are ignored: debris never affects
+    /// correctness (loads only read `.json` entries, [`ReportCache::
+    /// entry_count`] skips non-`.json` files), sweeping is pure hygiene.
+    fn sweep_stale_tmp(&self) {
+        let dir = self.root.join(format!("v{CACHE_SCHEMA_VERSION}"));
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.filter_map(Result::ok) {
+            if !entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= STALE_TMP_AGE);
+            if stale {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The cache root directory.
@@ -211,6 +245,38 @@ mod tests {
             .collect();
         assert!(debris.is_empty(), "temp files all renamed away: {debris:?}");
         let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn opening_sweeps_stale_tmp_debris_but_spares_entries_and_fresh_tmps() {
+        let root = temp_root("debris");
+        // A first cache instance stores one valid entry...
+        let cache = ReportCache::new(&root);
+        let key = sample_key("backprop");
+        let report = sample_report("backprop");
+        cache.store(&key, &report).expect("store succeeds");
+        let dir = cache.entry_path(key.content_hash()).parent().unwrap().to_path_buf();
+
+        // ...then a "crashed writer" leaves two temp files behind: one aged
+        // past the stale threshold, one fresh (a live writer mid-rename).
+        let stale = dir.join(".tmp-999999-0");
+        fs::write(&stale, "half-written entry").unwrap();
+        let backdated = std::time::SystemTime::now() - STALE_TMP_AGE * 2;
+        fs::File::options().write(true).open(&stale).unwrap().set_modified(backdated).unwrap();
+        let fresh = dir.join(".tmp-999999-1");
+        fs::write(&fresh, "in-flight entry").unwrap();
+
+        // Debris never leaks into walks even before the sweep.
+        assert_eq!(cache.entry_count(), 1, "temp files are excluded from entry walks");
+
+        // Re-opening the cache sweeps the stale temp file, keeps the fresh
+        // one, and leaves the valid entry untouched.
+        let reopened = ReportCache::new(&root);
+        assert!(!stale.exists(), "stale debris must be swept on open");
+        assert!(fresh.exists(), "a fresh temp file may belong to a live writer");
+        assert_eq!(reopened.load(&key).expect("entry survives the sweep"), report);
+        assert_eq!(reopened.entry_count(), 1);
+        let _ = fs::remove_dir_all(reopened.root());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`SweepServer`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Base system configuration every cell is resolved against.
     pub base: SystemConfig,
@@ -40,12 +40,20 @@ pub struct ServerConfig {
     pub cache_dir: PathBuf,
     /// Worker-thread count (`0` = available parallelism).
     pub workers: usize,
+    /// The workloads cells are resolved against (default: the built-ins).
+    pub registry: WorkloadRegistry,
 }
 
 impl ServerConfig {
-    /// A single-worker server over `base` caching into `cache_dir`.
+    /// A single-worker server over `base` caching into `cache_dir`, serving
+    /// the built-in workloads.
     pub fn new(base: SystemConfig, cache_dir: impl Into<PathBuf>) -> Self {
-        ServerConfig { base, cache_dir: cache_dir.into(), workers: 1 }
+        ServerConfig {
+            base,
+            cache_dir: cache_dir.into(),
+            workers: 1,
+            registry: WorkloadRegistry::builtin(),
+        }
     }
 
     /// Sets the worker-thread count (`0` = available parallelism).
@@ -53,6 +61,24 @@ impl ServerConfig {
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
+    }
+
+    /// Replaces the workload registry (tests use this to shadow a built-in
+    /// with an instrumented or failing variant).
+    #[must_use]
+    pub fn registry(mut self, registry: WorkloadRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("cache_dir", &self.cache_dir)
+            .field("workers", &self.workers)
+            .field("workloads", &self.registry.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -107,7 +133,8 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> StatsSnapshot {
-        let in_flight = self.state.lock().expect("scheduler lock poisoned").jobs.len() as u64;
+        let in_flight =
+            self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).jobs.len() as u64;
         StatsSnapshot {
             runs: self.runs.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -121,7 +148,7 @@ impl Shared {
     /// connection so it re-checks the flag.
     fn shutdown(&self, addr: SocketAddr) {
         let failed = {
-            let mut st = self.state.lock().expect("scheduler lock poisoned");
+            let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if st.shutdown {
                 return;
             }
@@ -159,7 +186,7 @@ struct ProgressForwarder {
 impl Observer for ProgressForwarder {
     fn on_event(&mut self, event: &SimEvent) -> ObserverControl {
         if let SimEvent::Sample(sample) = event {
-            let st = self.shared.state.lock().expect("scheduler lock poisoned");
+            let st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(job) = st.jobs.get(&self.hash) {
                 for sub in &job.subscribers {
                     if sub.progress {
@@ -202,7 +229,7 @@ impl SweepServer {
             base: config.base,
             base_hash,
             cache: ReportCache::new(config.cache_dir),
-            registry: WorkloadRegistry::builtin(),
+            registry: config.registry,
             state: Mutex::new(SchedState::default()),
             work_ready: Condvar::new(),
             runs: AtomicU64::new(0),
@@ -236,7 +263,8 @@ impl SweepServer {
                 Ok((stream, _)) => stream,
                 Err(e) => break Err(e),
             };
-            if self.shared.state.lock().expect("scheduler lock poisoned").shutdown {
+            if self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).shutdown
+            {
                 break Ok(());
             }
             let shared = self.shared.clone();
@@ -298,7 +326,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     loop {
         // Claim the oldest queued job (or exit on shutdown).
         let (hash, key) = {
-            let mut st = shared.state.lock().expect("scheduler lock poisoned");
+            let mut st = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if st.shutdown {
                     return;
@@ -311,7 +339,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     }
                     break (hash, job.key.clone());
                 }
-                st = shared.work_ready.wait(st).expect("scheduler lock poisoned");
+                st = shared.work_ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
 
@@ -328,25 +356,44 @@ fn worker_loop(shared: &Arc<Shared>) {
         let outcome = match shared.registry.get(&key.workload) {
             None => Err(format!("unknown workload {:?}", key.workload)),
             Some(workload) => {
-                let built = key
-                    .configure(&shared.base, workload)
-                    .observer(ProgressForwarder { shared: shared.clone(), hash })
-                    .build();
-                match built {
-                    Err(e) => Err(format!("invalid cell {}: {e}", key.label())),
-                    Ok(simulation) => {
-                        let report = simulation.run();
-                        shared.runs.fetch_add(1, Ordering::Relaxed);
-                        // A failed persist is not a failed run: the report
-                        // is still correct, the cell just stays uncached.
-                        let _ = shared.cache.store(&cache_key, &report);
-                        Ok((Arc::new(report), false))
+                // A panicking workload or simulation must fail only its own
+                // cell, never the worker: catch the unwind, report it as a
+                // per-cell failure to every subscriber, and keep serving.
+                // (The poison-tolerant locks above keep the scheduler usable
+                // even when the panic unwound through a held guard.)
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let built = key
+                        .configure(&shared.base, workload)
+                        .observer(ProgressForwarder { shared: shared.clone(), hash })
+                        .build();
+                    match built {
+                        Err(e) => Err(format!("invalid cell {}: {e}", key.label())),
+                        Ok(simulation) => {
+                            let report = simulation.run();
+                            shared.runs.fetch_add(1, Ordering::Relaxed);
+                            // A failed persist is not a failed run: the report
+                            // is still correct, the cell just stays uncached.
+                            let _ = shared.cache.store(&cache_key, &report);
+                            Ok((Arc::new(report), false))
+                        }
                     }
-                }
+                }));
+                run.unwrap_or_else(|panic| {
+                    Err(format!("cell {} panicked: {}", key.label(), panic_message(&*panic)))
+                })
             }
         };
         finish_job(shared, hash, outcome);
     }
+}
+
+/// The panic payload's message, for the per-cell failure report.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Removes a finished job and fans its outcome out to every subscriber.
@@ -354,7 +401,7 @@ fn finish_job(shared: &Shared, hash: u64, outcome: Result<(Arc<SimReport>, bool)
     let job = shared
         .state
         .lock()
-        .expect("scheduler lock poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .jobs
         .remove(&hash)
         .expect("running jobs stay registered");
@@ -442,7 +489,7 @@ fn serve_run(
         let subscriber = || Subscriber { index, tx: tx.clone(), progress };
 
         let status = {
-            let mut st = shared.state.lock().expect("scheduler lock poisoned");
+            let mut st = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(job) = st.jobs.get_mut(&hash) {
                 // In-flight dedup: ride the existing run.
                 if job.running {
@@ -468,7 +515,8 @@ fn serve_run(
                 } else {
                     // Re-take the lock; another connection may have queued
                     // this very cell while we were reading the cache.
-                    let mut st = shared.state.lock().expect("scheduler lock poisoned");
+                    let mut st =
+                        shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     pending += 1;
                     if let Some(job) = st.jobs.get_mut(&hash) {
                         if job.running {

@@ -101,6 +101,16 @@ impl<T> LatencyQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Visits the queued items ordered by (readiness time, insertion order) —
+    /// exactly the order `pop_ready` would deliver them. Checkpoint snapshots
+    /// serialize this order and replay it through `push_at` on restore, which
+    /// assigns fresh sequence numbers that preserve the relative order.
+    pub fn state_entries(&self) -> Vec<(Cycle, &T)> {
+        let mut timed: Vec<&Timed<T>> = self.heap.iter().collect();
+        timed.sort_by_key(|t| (t.ready_at, t.seq));
+        timed.into_iter().map(|t| (t.ready_at, &t.item)).collect()
+    }
 }
 
 /// A bandwidth-limited, in-order link.
@@ -198,6 +208,38 @@ impl<T> BandwidthLink<T> {
     /// Returns true if nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.in_flight.is_empty()
+    }
+
+    /// Visits the in-flight packets oldest first, each with its arrival cycle.
+    pub fn in_flight_entries(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.in_flight.iter().map(|(at, item)| (*at, item))
+    }
+
+    /// Restores the mutable link state from a checkpoint: the next-free cycle
+    /// and the three traffic counters. In-flight packets are re-appended
+    /// separately via [`BandwidthLink::restore_in_flight`], oldest first.
+    pub fn restore_state(
+        &mut self,
+        free_at: Cycle,
+        bytes_transferred: u64,
+        packets_transferred: u64,
+        queueing_cycles: u64,
+    ) {
+        self.free_at = free_at;
+        self.bytes_transferred = bytes_transferred;
+        self.packets_transferred = packets_transferred;
+        self.queueing_cycles = queueing_cycles;
+    }
+
+    /// Re-appends one checkpointed in-flight packet with its arrival cycle.
+    /// Must be called in the order produced by
+    /// [`BandwidthLink::in_flight_entries`] to preserve delivery order.
+    pub fn restore_in_flight(&mut self, arrives_at: Cycle, item: T) {
+        debug_assert!(
+            self.in_flight.back().map(|(at, _)| *at <= arrives_at).unwrap_or(true),
+            "in-flight packets must be restored oldest first"
+        );
+        self.in_flight.push_back((arrives_at, item));
     }
 }
 

@@ -6,6 +6,8 @@
 //! SplitMix64, so a run is fully determined by its configuration and seed and
 //! the workspace needs no external RNG crate.
 
+use ar_types::json::{Json, JsonError};
+
 /// A deterministic, seedable random number generator (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct SimRng {
@@ -103,6 +105,44 @@ impl SimRng {
         let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(seed)
     }
+
+    /// The raw generator state together with the originating seed.
+    pub fn state(&self) -> ([u64; 4], u64) {
+        (self.state, self.seed)
+    }
+
+    /// Rebuilds a generator from a captured [`SimRng::state`], resuming the
+    /// stream exactly where the snapshot left it.
+    pub fn from_state(state: [u64; 4], seed: u64) -> Self {
+        SimRng { state, seed }
+    }
+
+    /// Encodes the generator state for checkpointed state.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("state", Json::arr(self.state.iter().map(|&w| Json::hex_u64(w)))),
+            ("seed", Json::hex_u64(self.seed)),
+        ])
+    }
+
+    /// Decodes a generator produced by [`SimRng::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or malformed fields.
+    pub fn from_json(doc: &Json) -> Result<SimRng, JsonError> {
+        let words = doc.req_array("state")?;
+        if words.len() != 4 {
+            return Err(JsonError::state("rng state needs exactly 4 words"));
+        }
+        let mut state = [0u64; 4];
+        for (slot, word) in state.iter_mut().zip(words) {
+            *slot = word
+                .as_hex_u64()
+                .ok_or_else(|| JsonError::state("rng state word is not a hex u64"))?;
+        }
+        Ok(SimRng::from_state(state, doc.req_hex_u64("seed")?))
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +198,25 @@ mod tests {
         let mut fb = b.fork(1);
         assert_eq!(fa.next_below(1 << 40), fb.next_below(1 << 40));
         assert_eq!(a.seed(), 9);
+    }
+
+    #[test]
+    fn state_json_round_trip_resumes_the_stream() {
+        let mut r = SimRng::seed_from_u64(1234);
+        for _ in 0..57 {
+            r.next_u64();
+        }
+        let doc_text = r.to_json().render();
+        let doc = Json::parse(&doc_text).unwrap();
+        let mut restored = SimRng::from_json(&doc).unwrap();
+        assert_eq!(restored.seed(), r.seed());
+        for _ in 0..100 {
+            assert_eq!(restored.next_u64(), r.next_u64());
+        }
+        assert!(SimRng::from_json(&Json::obj([("seed", Json::hex_u64(1))])).is_err());
+        let short =
+            Json::obj([("state", Json::arr([Json::hex_u64(1)])), ("seed", Json::hex_u64(1))]);
+        assert!(SimRng::from_json(&short).is_err());
     }
 
     #[test]

@@ -282,6 +282,13 @@ impl<T> TimestampedOutbox<T> {
     pub fn len(&self) -> usize {
         self.queue.len()
     }
+
+    /// Visits the undrained messages oldest first, each with its timestamp —
+    /// the exact order `pop_due` would deliver them. Checkpoint snapshots
+    /// persist this order and replay it through `push` on restore.
+    pub fn entries(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.queue.iter().map(|(at, item)| (*at, item))
+    }
 }
 
 /// A batch of indexed work published to the pool: `len` items, each executed

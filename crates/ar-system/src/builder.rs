@@ -30,12 +30,13 @@
 //! assert_eq!(ar_system::runner::verify_gathers(&report, &references), 0);
 //! ```
 
+use crate::checkpoint::Checkpoint;
 use crate::observer::Observer;
 use crate::report::SimReport;
 use crate::system::System;
 use ar_types::config::{MemoryMode, NamedConfig, SystemConfig};
 use ar_types::error::ConfigError;
-use ar_types::Addr;
+use ar_types::{Addr, Cycle};
 use ar_workloads::{SizeClass, Variant, Workload};
 use std::sync::Arc;
 
@@ -46,6 +47,8 @@ pub struct Simulation {
     observers: Vec<Box<dyn Observer>>,
     references: Vec<(Addr, f64)>,
     lockstep: bool,
+    size: SizeClass,
+    variant: Variant,
 }
 
 impl Simulation {
@@ -72,10 +75,41 @@ impl Simulation {
         }
     }
 
+    /// Runs the configured kernel forward to network cycle `until` (or the
+    /// configured cycle limit, whichever is lower) and stops at a settled
+    /// boundary that [`Simulation::checkpoint`] can snapshot. Returns whether
+    /// the run quiesced within the prefix. May be called repeatedly; a later
+    /// [`Simulation::run`] continues from the boundary and produces the same
+    /// report as an uninterrupted run.
+    pub fn run_prefix(&mut self, until: Cycle) -> bool {
+        self.system.run_prefix(until, self.lockstep)
+    }
+
+    /// Snapshots the complete dynamic state at the current settled boundary
+    /// (cycle 0 on a fresh simulation, or wherever [`Simulation::run_prefix`]
+    /// stopped). Restore with [`SimulationBuilder::from_checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            config_hash: self.system.config().to_json().content_hash(),
+            workload: self.system.workload().to_string(),
+            size: self.size,
+            variant: self.variant,
+            cycle: self.system.resume_cycle(),
+            completed: self.system.prefix_completed(),
+            state: self.system.state_to_json(),
+        }
+    }
+
     /// Unwraps the underlying [`System`], discarding observers — for callers
     /// that need the raw run methods (e.g. the kernel benchmarks).
     pub fn into_system(self) -> System {
         self.system
+    }
+
+    /// The underlying [`System`], for reading run progress between
+    /// [`Simulation::run_prefix`] calls (e.g. the sampling harness).
+    pub fn system(&self) -> &System {
+        &self.system
     }
 }
 
@@ -108,6 +142,7 @@ pub struct SimulationBuilder {
     fast_forward: Option<bool>,
     drain_fast_forward: Option<bool>,
     cross_cycle: Option<bool>,
+    checkpoint: Option<Checkpoint>,
 }
 
 impl Default for SimulationBuilder {
@@ -131,7 +166,26 @@ impl SimulationBuilder {
             fast_forward: None,
             drain_fast_forward: None,
             cross_cycle: None,
+            checkpoint: None,
         }
+    }
+
+    /// Restores a [`Checkpoint`] instead of starting from cycle 0, and
+    /// adopts the checkpoint's size class and variant.
+    ///
+    /// The caller still supplies the configuration and workload — a
+    /// checkpoint carries only dynamic state plus identity, never code or
+    /// streams (see [`crate::checkpoint`]). [`SimulationBuilder::build`]
+    /// fails when the rebuilt configuration or regenerated workload does not
+    /// match the one the snapshot was taken under. Report-neutral kernel
+    /// knobs (threads, fast-forwarding, drain, cross-cycle, lock-step) may
+    /// differ freely between the snapshotting run and the restored one.
+    #[must_use]
+    pub fn from_checkpoint(mut self, checkpoint: Checkpoint) -> Self {
+        self.size = checkpoint.size;
+        self.variant = Some(checkpoint.variant);
+        self.checkpoint = Some(checkpoint);
+        self
     }
 
     /// Sets the base system configuration (platform dimensions, timings,
@@ -301,17 +355,46 @@ impl SimulationBuilder {
             generated.compute_block_stats().longest_block >= ar_cpu::PROFITABLE_BLOCK_INSNS
         });
         let drain_fast_forward = self.drain_fast_forward.unwrap_or(generated.updates > 0);
-        let system = System::new(cfg, generated.streams, generated.memory)?
+        let mut system = System::new(cfg, generated.streams, generated.memory)?
             .with_labels(generated.name, label)
             .with_threads(threads)
             .with_fast_forward(fast_forward)
             .with_drain_fast_forward(drain_fast_forward)
             .with_cross_cycle(self.cross_cycle.unwrap_or(true));
+        if let Some(ck) = &self.checkpoint {
+            let config_hash = system.config().to_json().content_hash();
+            if ck.config_hash != config_hash {
+                return Err(ConfigError::new(format!(
+                    "checkpoint was taken under configuration {:016x} but the builder \
+                     produced {config_hash:016x}; restore requires the identical \
+                     base/named configuration",
+                    ck.config_hash
+                )));
+            }
+            if ck.workload != system.workload() {
+                return Err(ConfigError::new(format!(
+                    "checkpoint belongs to workload {:?} but the builder generated {:?}",
+                    ck.workload,
+                    system.workload()
+                )));
+            }
+            if ck.size != self.size || ck.variant != variant {
+                return Err(ConfigError::new(format!(
+                    "checkpoint is a {}/{} run but the builder is configured for {}/{}",
+                    ck.size, ck.variant, self.size, variant
+                )));
+            }
+            system.load_state(&ck.state).map_err(|e| {
+                ConfigError::new(format!("checkpoint state failed to restore: {}", e.message))
+            })?;
+        }
         Ok(Simulation {
             system,
             observers: self.observers,
             references: generated.references,
             lockstep: self.lockstep,
+            size: self.size,
+            variant,
         })
     }
 }
@@ -436,6 +519,84 @@ mod tests {
             .expect("valid")
             .run();
         assert!(!stopped.completed, "an early stop must report an incomplete run");
+    }
+
+    fn arf_tid_reduce() -> SimulationBuilder {
+        Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let full = arf_tid_reduce().build().expect("valid").run();
+
+        // Snapshot mid-run, push the checkpoint through its on-disk JSON
+        // encoding, restore into a fresh simulation, run to the end.
+        let mut warm = arf_tid_reduce().build().expect("valid");
+        assert!(!warm.run_prefix(500), "prefix must stop before quiescence");
+        let ck = warm.checkpoint();
+        assert_eq!(ck.cycle, 500);
+        let wire = ar_types::json::Json::parse(&ck.to_json().render()).expect("valid JSON");
+        let restored = crate::Checkpoint::from_json(&wire).expect("decodes");
+        assert_eq!(restored, ck);
+        let resumed = arf_tid_reduce().from_checkpoint(restored).build().expect("restores").run();
+        assert_eq!(resumed, full, "restored run must reproduce the full report");
+
+        // The kernel knobs are report-neutral across the restore boundary:
+        // resume the same snapshot on the lock-step kernel and at 4 threads.
+        let lockstep =
+            arf_tid_reduce().from_checkpoint(ck.clone()).lockstep().build().expect("ok").run();
+        assert_eq!(lockstep, full);
+        let threaded = arf_tid_reduce().from_checkpoint(ck).threads(4).build().expect("ok").run();
+        assert_eq!(threaded, full);
+    }
+
+    #[test]
+    fn checkpoints_can_stack_across_repeated_prefixes() {
+        let full = arf_tid_reduce().build().expect("valid").run();
+        let mut sim = arf_tid_reduce().build().expect("valid");
+        // Walk the run in prefix hops, re-snapshotting and re-restoring at
+        // every boundary; the final report must still be byte-identical.
+        for hop in [1_000u64, 7_777, 20_000] {
+            sim.run_prefix(hop);
+            let ck = sim.checkpoint();
+            sim = arf_tid_reduce().from_checkpoint(ck).build().expect("restores");
+        }
+        assert_eq!(sim.run(), full);
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let mut sim = arf_tid_reduce().build().expect("valid");
+        sim.run_prefix(1_000);
+        let ck = sim.checkpoint();
+
+        // Wrong workload.
+        let err = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Mac)
+            .size(SizeClass::Tiny)
+            .from_checkpoint(ck.clone())
+            .build();
+        assert!(err.is_err(), "workload mismatch must fail");
+
+        // Wrong named configuration (different config hash).
+        let err = Simulation::builder()
+            .config(small_cfg())
+            .named(NamedConfig::Art)
+            .workload(WorkloadKind::Reduce)
+            .size(SizeClass::Tiny)
+            .from_checkpoint(ck.clone())
+            .build();
+        assert!(err.is_err(), "config mismatch must fail");
+
+        // Overriding the checkpoint's size after restoring it must fail.
+        let err = arf_tid_reduce().from_checkpoint(ck).size(SizeClass::Small).build();
+        assert!(err.is_err(), "size mismatch must fail");
     }
 
     #[test]

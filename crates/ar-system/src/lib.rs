@@ -57,19 +57,25 @@
 //! ```
 
 pub mod builder;
+pub mod checkpoint;
 mod drain;
 mod lookahead;
 pub mod observer;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod sweep;
 pub mod system;
 
 pub use builder::{variant_for_scheme, Simulation, SimulationBuilder};
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA_VERSION};
 pub use observer::{
     DeadlineStop, Observer, ObserverControl, RunInfo, Sample, SampleRecorder, SimEvent,
 };
 pub use report::{CubeActivity, DataMovement, LatencyBreakdown, SimReport, StallSummary};
 pub use runner::{variant_for, verify_gathers};
-pub use sweep::{CellKey, CellKnobs, Sweep, SweepCell, SweepResults, CACHE_SCHEMA_VERSION};
+pub use sampling::{SampledMetric, SampledReport, SamplingPlan};
+pub use sweep::{
+    warm_fan_out, CellKey, CellKnobs, Sweep, SweepCell, SweepResults, CACHE_SCHEMA_VERSION,
+};
 pub use system::{RunFootprint, System};

@@ -1,0 +1,291 @@
+//! SimPoint-style interval sampling on top of checkpointed prefix runs.
+//!
+//! Detailed simulation of the Paper-scale workloads is expensive; most
+//! summary metrics stabilise long before the run finishes. The sampling
+//! harness runs a warm-up prefix, then measures `K` fixed-length windows
+//! (optionally separated by unmeasured gaps) by reading architectural
+//! counters between [`crate::Simulation::run_prefix`] calls, and reports
+//! per-metric point estimates with error bars ([`SampledReport`]): the
+//! window mean, the standard error of that mean, and a 95% confidence
+//! interval. Because windows ride the same deterministic kernel as full
+//! runs, a sampled run perturbs nothing — running the remaining cycles
+//! afterwards still produces the byte-identical full report.
+//!
+//! This is the measurement half of SimPoint-style sampling; the repo's
+//! deterministic workloads make cluster selection unnecessary, so windows
+//! are taken periodically.
+
+use crate::builder::Simulation;
+use ar_types::error::ConfigError;
+use ar_types::json::Json;
+use ar_types::Cycle;
+
+/// Where and how much to measure: warm-up prefix, window length, window
+/// count and the unmeasured gap between windows (all in network cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPlan {
+    /// Network cycles simulated (but not measured) before the first window.
+    pub warmup: Cycle,
+    /// Length of each measured window in network cycles.
+    pub window: Cycle,
+    /// Number of windows to measure.
+    pub windows: usize,
+    /// Unmeasured network cycles simulated between consecutive windows.
+    pub gap: Cycle,
+}
+
+impl SamplingPlan {
+    /// Builds a plan, validating that it measures anything at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `window` or `windows` is zero.
+    pub fn new(
+        warmup: Cycle,
+        window: Cycle,
+        windows: usize,
+        gap: Cycle,
+    ) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("sampling windows must be at least one cycle long"));
+        }
+        if windows == 0 {
+            return Err(ConfigError::new("a sampling plan needs at least one window"));
+        }
+        Ok(SamplingPlan { warmup, window, windows, gap })
+    }
+}
+
+/// One sampled metric: the per-window observations and their summary
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledMetric {
+    /// Metric name (e.g. `"ipc"`).
+    pub name: String,
+    /// One observation per measured window, in window order.
+    pub samples: Vec<f64>,
+    /// Mean across windows — the point estimate.
+    pub mean: f64,
+    /// Standard error of the mean (`s / sqrt(K)`, sample standard
+    /// deviation); `0` with fewer than two windows.
+    pub stderr: f64,
+}
+
+impl SampledMetric {
+    /// Summarises one metric's per-window observations.
+    pub fn from_samples(name: impl Into<String>, samples: Vec<f64>) -> SampledMetric {
+        let n = samples.len() as f64;
+        let mean = if samples.is_empty() { 0.0 } else { samples.iter().sum::<f64>() / n };
+        let stderr = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+            (var / n).sqrt()
+        };
+        SampledMetric { name: name.into(), samples, mean, stderr }
+    }
+
+    /// The 95% confidence interval `(low, high)` around the mean, using the
+    /// normal approximation `mean ± 1.96 · stderr`.
+    pub fn ci95(&self) -> (f64, f64) {
+        (self.mean - 1.96 * self.stderr, self.mean + 1.96 * self.stderr)
+    }
+
+    fn to_json(&self) -> Json {
+        let (lo, hi) = self.ci95();
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("samples", Json::Arr(self.samples.iter().map(|&s| Json::from(s)).collect())),
+            ("mean", Json::from(self.mean)),
+            ("stderr", Json::from(self.stderr)),
+            ("ci95_low", Json::from(lo)),
+            ("ci95_high", Json::from(hi)),
+        ])
+    }
+}
+
+/// The result of a sampled run: per-metric estimates plus enough context to
+/// judge them (how much was measured, and whether the run actually survived
+/// the whole plan or quiesced early).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledReport {
+    /// Generated-workload name of the sampled run.
+    pub workload: String,
+    /// The plan the measurement executed.
+    pub plan: SamplingPlan,
+    /// Windows actually measured — fewer than `plan.windows` when the run
+    /// quiesced mid-plan.
+    pub windows_measured: usize,
+    /// Whether the run quiesced while the plan was still executing. When
+    /// true the sample is really a (cheap) full run and the error bars
+    /// describe within-run variation, not an extrapolation.
+    pub completed: bool,
+    /// Sampled metrics: aggregate IPC per window, instructions per window.
+    pub metrics: Vec<SampledMetric>,
+}
+
+impl SampledReport {
+    /// The named metric, if measured.
+    pub fn metric(&self, name: &str) -> Option<&SampledMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Aggregate-IPC point estimate (mean over windows).
+    pub fn ipc(&self) -> f64 {
+        self.metric("ipc").map(|m| m.mean).unwrap_or(0.0)
+    }
+
+    /// Encodes the report for the experiment drivers.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.as_str())),
+            ("warmup", Json::from(self.plan.warmup)),
+            ("window", Json::from(self.plan.window)),
+            ("windows_planned", Json::from(self.plan.windows)),
+            ("gap", Json::from(self.plan.gap)),
+            ("windows_measured", Json::from(self.windows_measured)),
+            ("completed", Json::from(self.completed)),
+            ("metrics", Json::Arr(self.metrics.iter().map(SampledMetric::to_json).collect())),
+        ])
+    }
+}
+
+impl Simulation {
+    /// Executes a [`SamplingPlan`] and summarises the measured windows.
+    ///
+    /// The warm-up prefix and inter-window gaps are simulated in full but
+    /// excluded from the estimates. Measurement is pure observation — the
+    /// simulation can afterwards be [`Simulation::run`] to the end and still
+    /// produces the byte-identical report of an unsampled run.
+    pub fn run_sampled(&mut self, plan: &SamplingPlan) -> SampledReport {
+        let ratio = self.system().config().core_cycles_per_network_cycle();
+        let workload = self.system().workload().to_string();
+        let mut completed = false;
+        if plan.warmup > 0 {
+            completed = self.run_prefix(plan.warmup);
+        }
+        let mut ipc = Vec::new();
+        let mut insns = Vec::new();
+        for k in 0..plan.windows {
+            if completed {
+                break;
+            }
+            if k > 0 && plan.gap > 0 {
+                completed = self.run_prefix(self.system().resume_cycle() + plan.gap);
+                if completed {
+                    break;
+                }
+            }
+            let start_cycle = self.system().resume_cycle();
+            let start_insns = self.system().instructions_retired();
+            completed = self.run_prefix(start_cycle + plan.window);
+            let d_cycles = (self.system().resume_cycle() - start_cycle).saturating_mul(ratio);
+            let d_insns = self.system().instructions_retired() - start_insns;
+            if d_cycles > 0 {
+                ipc.push(d_insns as f64 / d_cycles as f64);
+                insns.push(d_insns as f64);
+            }
+        }
+        SampledReport {
+            workload,
+            plan: *plan,
+            windows_measured: ipc.len(),
+            completed,
+            metrics: vec![
+                SampledMetric::from_samples("ipc", ipc),
+                SampledMetric::from_samples("instructions", insns),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use ar_types::config::{NamedConfig, SystemConfig};
+    use ar_workloads::{SizeClass, WorkloadKind};
+
+    fn reduce_sim(size: SizeClass) -> Simulation {
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 20_000_000;
+        Simulation::builder()
+            .config(cfg)
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Reduce)
+            .size(size)
+            .build()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn sampling_is_pure_observation_and_tracks_the_full_run() {
+        let full = reduce_sim(SizeClass::Tiny).run();
+
+        let mut sim = reduce_sim(SizeClass::Tiny);
+        // Tiny runs retire all instructions early, so sample from cycle 0
+        // with contiguous windows to catch the active phase.
+        let plan = SamplingPlan::new(0, 200, 6, 0).expect("valid plan");
+        let sampled = sim.run_sampled(&plan);
+        assert!(sampled.windows_measured > 0, "tiny run must yield at least one window");
+        assert_eq!(sampled.workload, "reduce");
+        let ipc = sampled.metric("ipc").expect("ipc metric present");
+        assert_eq!(ipc.samples.len(), sampled.windows_measured);
+        assert!(sampled.ipc() > 0.0);
+        assert!(ipc.stderr >= 0.0);
+        let (lo, hi) = ipc.ci95();
+        assert!(lo <= sampled.ipc() && sampled.ipc() <= hi);
+        // The sampled estimate stays in the neighbourhood of the full-run
+        // IPC — windows cover most of this short run.
+        let rel = (sampled.ipc() - full.ipc()).abs() / full.ipc();
+        assert!(rel < 0.5, "sampled {} vs full {}", sampled.ipc(), full.ipc());
+
+        // Measurement is pure observation: finishing the sampled simulation
+        // still produces the byte-identical full report.
+        assert_eq!(sim.run(), full);
+
+        // The JSON encoding carries the estimates.
+        let doc = sampled.to_json();
+        assert_eq!(
+            doc.get("completed").and_then(ar_types::json::Json::as_bool),
+            sampled.completed.into()
+        );
+        assert!(doc.get("metrics").and_then(ar_types::json::Json::as_array).is_some());
+    }
+
+    #[test]
+    #[ignore = "Paper-scale validation; minutes of runtime, run explicitly"]
+    fn paper_scale_sampled_ipc_matches_the_full_run() {
+        let full = reduce_sim(SizeClass::Paper).run();
+        let mut sim = reduce_sim(SizeClass::Paper);
+        let plan = SamplingPlan::new(2_000, 1_000, 10, 1_000).expect("valid plan");
+        let sampled = sim.run_sampled(&plan);
+        assert!(sampled.windows_measured >= 5);
+        let rel = (sampled.ipc() - full.ipc()).abs() / full.ipc();
+        assert!(rel < 0.25, "sampled {} vs full {}", sampled.ipc(), full.ipc());
+    }
+
+    #[test]
+    fn plans_validate_their_shape() {
+        assert!(SamplingPlan::new(0, 0, 4, 0).is_err());
+        assert!(SamplingPlan::new(0, 128, 0, 0).is_err());
+        let plan = SamplingPlan::new(1_000, 128, 4, 64).expect("valid");
+        assert_eq!(plan.windows, 4);
+    }
+
+    #[test]
+    fn metric_statistics_match_hand_computation() {
+        let m = SampledMetric::from_samples("ipc", vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        // s = sqrt(5/3), stderr = s/2.
+        let expected = (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((m.stderr - expected).abs() < 1e-12);
+        let (lo, hi) = m.ci95();
+        assert!(lo < m.mean && m.mean < hi);
+
+        let single = SampledMetric::from_samples("ipc", vec![1.5]);
+        assert_eq!(single.stderr, 0.0);
+        let empty = SampledMetric::from_samples("ipc", Vec::new());
+        assert_eq!(empty.mean, 0.0);
+    }
+}

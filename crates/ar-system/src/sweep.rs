@@ -496,6 +496,72 @@ impl Sweep {
     }
 }
 
+/// Runs one cell's shared prefix **exactly once**, snapshots it, and fans a
+/// family of report-neutral [`CellKnobs`] variants out from that single
+/// checkpoint, each resumed and run to completion on its own worker thread.
+///
+/// This is the warm-up-once sweep shape: when a matrix varies only kernel
+/// knobs (thread counts, fast-forward modes, cross-cycle execution) over one
+/// `(workload, config, size)` identity, the cold prefix is identical across
+/// every variant — the knobs are report-neutral by the pinned equivalence
+/// invariant — so simulating it per variant is pure waste. The warm-up runs
+/// under `cell`'s own knobs to network cycle `prefix` (capped at the cycle
+/// limit), and every variant resumes from the resulting [`crate::Checkpoint`];
+/// restored runs are byte-identical to uninterrupted ones, so the returned
+/// reports (in `variants` order) match a cold sweep of the same cells.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the cell fails to build, when a variant
+/// changes `cycle_limit` (the one knob that is *not* report-neutral — a
+/// different limit is a different cell), or when a variant fails to build or
+/// restore.
+pub fn warm_fan_out(
+    base: &SystemConfig,
+    workload: Arc<dyn Workload>,
+    cell: &CellKey,
+    prefix: u64,
+    variants: &[CellKnobs],
+) -> Result<Vec<SimReport>, ConfigError> {
+    for v in variants {
+        if v.cycle_limit != cell.knobs.cycle_limit {
+            return Err(ConfigError::new(format!(
+                "warm fan-out variants must share the cell's cycle limit ({:?}), got {:?}: \
+                 a different limit is a different cell, not a kernel knob",
+                cell.knobs.cycle_limit, v.cycle_limit
+            )));
+        }
+    }
+    let mut warm = cell.configure(base, workload.clone()).build()?;
+    warm.run_prefix(prefix);
+    let checkpoint = warm.checkpoint();
+    drop(warm);
+
+    let slots: Vec<Mutex<Option<Result<SimReport, ConfigError>>>> =
+        variants.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (i, &knobs) in variants.iter().enumerate() {
+            let workload = workload.clone();
+            let checkpoint = checkpoint.clone();
+            let slots = &slots;
+            scope.spawn(move || {
+                let result = cell
+                    .clone()
+                    .with_knobs(knobs)
+                    .configure(base, workload)
+                    .from_checkpoint(checkpoint)
+                    .build()
+                    .map(Simulation::run);
+                *slots[i].lock().expect("fan-out slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("fan-out slot poisoned").expect("worker filled slot"))
+        .collect()
+}
+
 impl std::fmt::Debug for Sweep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sweep")
@@ -680,6 +746,37 @@ mod tests {
             .expect("valid cell")
             .run();
         assert!(!truncated.completed);
+    }
+
+    #[test]
+    fn warm_fan_out_matches_cold_runs_and_rejects_limit_drift() {
+        let base = small_cfg();
+        let cell = CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Tiny);
+        let variants = [
+            CellKnobs::default(),
+            CellKnobs { threads: 4, ..CellKnobs::default() },
+            CellKnobs { fast_forward: Some(false), ..CellKnobs::default() },
+            CellKnobs { cross_cycle: Some(false), ..CellKnobs::default() },
+        ];
+        let warm = warm_fan_out(&base, Arc::new(WorkloadKind::Reduce), &cell, 400, &variants)
+            .expect("fan-out runs");
+        assert_eq!(warm.len(), variants.len());
+        // Every variant resumed from one shared prefix must reproduce its
+        // cold, uncheckpointed run — which by the equivalence invariant is
+        // the same report for all of them.
+        let cold = cell
+            .configure(&base, Arc::new(WorkloadKind::Reduce))
+            .build()
+            .expect("valid cell")
+            .run();
+        for (report, knobs) in warm.iter().zip(&variants) {
+            assert_eq!(report, &cold, "variant {knobs:?} diverged from the cold run");
+        }
+
+        // cycle_limit is semantic, not report-neutral: a variant that drifts
+        // from the cell's limit is a different cell and must be rejected.
+        let drifted = [CellKnobs { cycle_limit: Some(99), ..CellKnobs::default() }];
+        assert!(warm_fan_out(&base, Arc::new(WorkloadKind::Reduce), &cell, 400, &drifted).is_err());
     }
 
     #[test]

@@ -54,6 +54,7 @@ use ar_types::config::{MemoryMode, SystemConfig};
 use ar_types::error::ConfigError;
 use ar_types::hash::FastHashMap;
 use ar_types::ids::NetNode;
+use ar_types::json::{Json, JsonError};
 use ar_types::packet::{Packet, PacketKind};
 use ar_types::{Addr, CubeId, Cycle, PortId, WorkItem, WorkStream};
 use std::collections::VecDeque;
@@ -529,6 +530,18 @@ pub struct System {
     /// `(earliest_response, engine_idle, engine_wake)` — so the horizon fold
     /// reads each cube's O(vaults) state once instead of per candidate pair.
     emit_scratch: Vec<(Option<Cycle>, bool, NextWake)>,
+    /// First network cycle the run loop has not yet processed: 0 on a fresh
+    /// system, advanced by every [`System::advance`] epilogue, restored by
+    /// [`System::load_state`]. The next run (full or prefix) resumes here.
+    resume_cycle: Cycle,
+    /// The `now` value the run loop last ended on — what a report records as
+    /// the runtime if no further cycles are processed. Equal to
+    /// `resume_cycle` after a truncation, one less after a completion or an
+    /// observer stop (those break *after* processing cycle `now`).
+    report_cycle: Cycle,
+    /// Whether a previous prefix already drove the system to quiescence;
+    /// later runs then return immediately with the recorded boundary.
+    prefix_completed: bool,
 }
 
 impl System {
@@ -679,6 +692,9 @@ impl System {
             mi_pending,
             mi_pending_cores: 0,
             cube_participants: Vec::new(),
+            resume_cycle: 0,
+            report_cycle: 0,
+            prefix_completed: false,
             cfg,
         })
     }
@@ -868,13 +884,73 @@ impl System {
         let max_cycles = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut hub = ObserverHub::new(observers);
         hub.start(&RunInfo { workload: &self.workload, config_label: &self.label, cfg: &self.cfg });
+        let (now, completed) = self.advance(max_cycles, lockstep, &mut hub);
+        let windows = self.cross_cycle_windows;
+        let footprint = match &self.backend {
+            Backend::Hmc(hmc) => RunFootprint {
+                peak_packets_in_flight: hmc.network.peak_in_flight(),
+                packet_pool_capacity: hmc.network.pool_capacity(),
+            },
+            Backend::Dram(_) => RunFootprint::default(),
+        };
+        let report = self.into_report(now, completed);
+        hub.finish(&report);
+        (report, windows, footprint)
+    }
+
+    /// Runs the kernel loop from [`System::resume_cycle`] up to `max_cycles`
+    /// and returns the `(now, completed)` pair the epilogue reports from:
+    /// the cycle the loop ended on and whether the system quiesced.
+    ///
+    /// The loop is resumable: each call rebuilds the wake calendar from the
+    /// components' own `next_wake` probes (plus a conservative wake of every
+    /// memory-side component when resuming past cycle 0 — a spurious wake is
+    /// a no-op under the component contract), runs, and records the boundary
+    /// in `resume_cycle`/`report_cycle`/`prefix_completed` so a later call —
+    /// on this instance or on one restored from its snapshot — continues
+    /// exactly where this one stopped. All cores are left fully settled at
+    /// the boundary, which is what [`Core::state_to_json`] requires.
+    fn advance(
+        &mut self,
+        max_cycles: Cycle,
+        lockstep: bool,
+        hub: &mut ObserverHub<'_>,
+    ) -> (Cycle, bool) {
+        if self.prefix_completed || self.resume_cycle >= max_cycles {
+            // A previous prefix already covered this horizon (or quiesced
+            // outright): the loop has nothing to do, and the report boundary
+            // is wherever that run ended, capped at the caller's horizon
+            // (a truncated run reports `now == max_cycles`).
+            return (self.report_cycle.min(max_cycles), self.prefix_completed);
+        }
+        let start = self.resume_cycle;
         // The calendar is sharded by `SysKey::shard` (cores | dram | network
         // | per-cube); its merged pop yields the same sorted due sets a
         // single calendar would, so both kernels run on it unchanged.
         let shard_count = SysKey::FIXED_SHARDS + Self::backend_cube_count(&self.backend);
         let mut sched: ShardedScheduler<SysKey> = ShardedScheduler::new(shard_count, SysKey::shard);
         sched.wake(SysKey::Cores);
-        sched.schedule(self.next_ipc_boundary(0), SysKey::Ipc);
+        // `next_ipc_boundary` of the cycle *before* the resume point: for a
+        // fresh run this is `next_ipc_boundary(0)` exactly as before, and on
+        // a resume it also catches a sample boundary landing on the resume
+        // cycle itself (the prefix run never processed that cycle).
+        sched.schedule(self.next_ipc_boundary(start.saturating_sub(1)), SysKey::Ipc);
+        if start > 0 {
+            // A rebuilt calendar has forgotten every in-flight wake-up, so
+            // wake each memory-side component once at the resume cycle; each
+            // re-arms itself from its own state, and a component with nothing
+            // due treats the wake as a no-op.
+            match &self.backend {
+                Backend::Dram(_) => sched.wake(SysKey::Dram),
+                Backend::Hmc(hmc) => {
+                    sched.wake(SysKey::Network);
+                    for c in 0..hmc.cubes.len() {
+                        sched.wake(SysKey::Cube(c));
+                        sched.wake(SysKey::Engine(c));
+                    }
+                }
+            }
+        }
         // The worker pool that ticks due cube shards concurrently. Spawned
         // once per run and reused every cycle; only the event-driven kernel
         // on the HMC backend has shard parallelism to exploit.
@@ -885,7 +961,7 @@ impl System {
         let mut pool = (!lockstep && threads > 1 && matches!(self.backend, Backend::Hmc(_)))
             .then(|| WorkerPool::new(threads));
         let mut due: Vec<SysKey> = Vec::new();
-        let mut now: Cycle = 0;
+        let mut now: Cycle = start;
         let mut completed = false;
         // First network cycle the kernel did *not* process: cores still
         // parked when the run ends settle their open stall intervals up to
@@ -896,7 +972,7 @@ impl System {
         let mut first_unprocessed = max_cycles;
         while now < max_cycles {
             sched.pop_due_into(now, &mut due);
-            self.step(now, (!lockstep).then_some(&due), &mut sched, &mut hub, pool.as_mut());
+            self.step(now, (!lockstep).then_some(&due), &mut sched, hub, pool.as_mut());
             if self.is_finished() {
                 completed = true;
                 first_unprocessed = now + 1;
@@ -920,21 +996,466 @@ impl System {
         }
         // Saturating: with no cycle limit (`max_cycles == 0` ⇒ u64::MAX) an
         // idled-out run would otherwise overflow the core-cycle conversion.
+        // `settle_for_snapshot` also drops a compute interval split by the
+        // boundary after applying its elapsed prefix — report-neutral, and
+        // it leaves the cores in the fully settled state a snapshot needs.
         let ratio = self.cfg.core_cycles_per_network_cycle();
-        for core in &mut self.cores {
-            core.settle_to(first_unprocessed.saturating_mul(ratio));
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.settle_for_snapshot(first_unprocessed.saturating_mul(ratio));
+            // Settling consumed any parked interval, so the stale wake gate
+            // must not keep skipping the core — a resumed run has to tick it
+            // until it re-parks, exactly like a run restored from the
+            // serialized snapshot (load_state rebuilds the same gates).
+            self.core_wake_at[i] = if core.is_done() { u64::MAX } else { 0 };
         }
-        let windows = self.cross_cycle_windows;
-        let footprint = match &self.backend {
-            Backend::Hmc(hmc) => RunFootprint {
-                peak_packets_in_flight: hmc.network.peak_in_flight(),
-                packet_pool_capacity: hmc.network.pool_capacity(),
-            },
-            Backend::Dram(_) => RunFootprint::default(),
+        self.resume_cycle = first_unprocessed;
+        self.report_cycle = now;
+        self.prefix_completed = completed;
+        (now, completed)
+    }
+
+    /// Runs the event-driven (or lock-step) kernel up to — but not past —
+    /// network cycle `until`, leaving the system in a resumable, snapshot-
+    /// ready state. Returns `true` when the system quiesced within the
+    /// prefix.
+    ///
+    /// The prefix boundary is enforced exactly like a configured cycle
+    /// limit: the fast-forward window planners cap their horizons at it, so
+    /// no planned drain injection or run-ahead replay entry crosses the
+    /// boundary, and a later [`System::run`] (or another prefix) continues
+    /// byte-identically to a single uninterrupted run. A `until` at or past
+    /// the configured `max_cycles` simply runs to that limit.
+    pub fn run_prefix(&mut self, until: Cycle, lockstep: bool) -> bool {
+        let real_limit = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
+        let stop = until.min(real_limit);
+        // Arming horizons read `cfg.max_cycles` — pin it to the prefix stop
+        // for the duration so no window reaches past the boundary, then
+        // restore the real limit (configuration travels as code; only the
+        // dynamic state below is checkpointed).
+        let saved = self.cfg.max_cycles;
+        self.cfg.max_cycles = stop;
+        let mut hub = ObserverHub::new(&mut []);
+        let (_, completed) = self.advance(stop, lockstep, &mut hub);
+        self.cfg.max_cycles = saved;
+        completed
+    }
+
+    /// The configuration the system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The generated-workload name recorded via [`System::with_labels`].
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// First network cycle the run loop has not yet processed — `0` on a
+    /// fresh system, the prefix boundary after [`System::run_prefix`].
+    pub fn resume_cycle(&self) -> Cycle {
+        self.resume_cycle
+    }
+
+    /// Whether a previous (prefix) run already drove the system to
+    /// quiescence.
+    pub fn prefix_completed(&self) -> bool {
+        self.prefix_completed
+    }
+
+    /// Total instructions retired so far across all cores. The sampling
+    /// harness reads this between prefix runs to form per-window IPC.
+    pub fn instructions_retired(&self) -> u64 {
+        self.cores.iter().map(Core::instructions_retired).sum()
+    }
+
+    /// Encodes the system's complete dynamic state for a checkpoint.
+    ///
+    /// Only *dynamic* state travels: the configuration, labels, workload
+    /// streams and every piece of derived bookkeeping (address map, busy
+    /// counters, wake gates, scratch buffers, planner state) are
+    /// reconstructed from code by [`System::load_state`]. Snapshots are taken
+    /// at a settled run boundary — after [`System::run_prefix`] or a finished
+    /// run — where every core is settled, no offload-drain window is open and
+    /// no run-ahead replay is pending: the window planners cap their horizons
+    /// at the boundary precisely so this holds.
+    ///
+    /// Identifiers carrying tag bits (request/transaction/vault ids,
+    /// addresses) travel as hex bit patterns, functional-memory values and
+    /// IPC samples as bit-exact hex floats, and plain counters as JSON
+    /// numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called away from a run boundary (unflushed drain
+    /// injections, pending run-ahead replays, or an unsettled core), which
+    /// would make the snapshot lossy.
+    pub fn state_to_json(&self) -> Json {
+        assert!(
+            self.drain_outbox.is_empty(),
+            "snapshot requires a flushed drain window (run to a prefix boundary first)"
+        );
+        assert!(
+            self.run_ahead.iter().all(|w| w.replay.is_empty()),
+            "snapshot requires drained run-ahead windows (run to a prefix boundary first)"
+        );
+        let mut func_mem: Vec<(u64, f64)> =
+            self.func_mem.iter().map(|(addr, value)| (*addr, *value)).collect();
+        func_mem.sort_by_key(|(addr, _)| *addr);
+        let mut mem_txns: Vec<(u64, MemTxn)> =
+            self.mem_txns.iter().map(|(txn, m)| (*txn, *m)).collect();
+        mem_txns.sort_by_key(|(txn, _)| *txn);
+        let mut vault_purpose: Vec<(u64, VaultPurpose)> =
+            self.vault_purpose.iter().map(|(id, p)| (*id, *p)).collect();
+        vault_purpose.sort_by_key(|(id, _)| *id);
+        let backend = match &self.backend {
+            Backend::Dram(dram) => {
+                Json::obj([("t", Json::from("dram")), ("dram", dram.state_to_json())])
+            }
+            Backend::Hmc(hmc) => Json::obj([
+                ("t", Json::from("hmc")),
+                ("network", hmc.network.state_to_json()),
+                ("cubes", Json::arr(hmc.cubes.iter().map(HmcCube::state_to_json))),
+                ("engines", Json::arr(hmc.engines.iter().map(ActiveRoutingEngine::state_to_json))),
+                (
+                    "controller",
+                    hmc.controller
+                        .as_ref()
+                        .map_or(Json::Null, HostOffloadController::state_to_json),
+                ),
+            ]),
         };
-        let report = self.into_report(now, completed);
-        hub.finish(&report);
-        (report, windows, footprint)
+        Json::obj([
+            ("cores", Json::arr(self.cores.iter().map(Core::state_to_json))),
+            ("caches", self.caches.state_to_json()),
+            ("noc", self.noc.state_to_json()),
+            ("backend", backend),
+            (
+                "func_mem",
+                Json::arr(func_mem.into_iter().map(|(addr, value)| {
+                    Json::obj([("addr", Json::hex_u64(addr)), ("value", Json::hex_f64(value))])
+                })),
+            ),
+            (
+                "core_completions",
+                Json::arr(self.core_completions.state_entries().into_iter().map(
+                    |(at, (core, req_id))| {
+                        Json::obj([
+                            ("at", Json::from(at)),
+                            ("core", Json::from(*core)),
+                            ("req_id", Json::hex_u64(*req_id)),
+                        ])
+                    },
+                )),
+            ),
+            (
+                "mem_txns",
+                Json::arr(mem_txns.into_iter().map(|(txn, m)| {
+                    Json::obj([
+                        ("txn", Json::hex_u64(txn)),
+                        // The store-buffer write-back sentinel (`usize::MAX`)
+                        // must survive the trip, so the core index travels as
+                        // a hex bit pattern.
+                        ("core", Json::hex_u64(m.core as u64)),
+                        ("req_id", Json::hex_u64(m.req_id)),
+                        ("port", Json::from(m.port.index())),
+                        ("noc_return", Json::from(m.noc_return)),
+                        ("is_write", Json::from(m.is_write)),
+                    ])
+                })),
+            ),
+            (
+                "vault_purpose",
+                Json::arr(vault_purpose.into_iter().map(|(id, purpose)| {
+                    let tagged = match purpose {
+                        VaultPurpose::Normal { txn } => {
+                            Json::obj([("t", Json::from("normal")), ("txn", Json::hex_u64(txn))])
+                        }
+                        VaultPurpose::AreRead { cube, access_id } => Json::obj([
+                            ("t", Json::from("are_read")),
+                            ("cube", Json::from(cube)),
+                            ("access_id", Json::hex_u64(access_id)),
+                        ]),
+                        VaultPurpose::AreWrite => Json::obj([("t", Json::from("are_write"))]),
+                    };
+                    Json::obj([("id", Json::hex_u64(id)), ("purpose", tagged)])
+                })),
+            ),
+            ("next_txn", Json::from(self.next_txn)),
+            ("next_vault_id", Json::from(self.next_vault_id)),
+            (
+                "retry_dram",
+                Json::arr(self.retry_dram.iter().map(|(at, id, addr, is_write)| {
+                    Json::obj([
+                        ("at", Json::from(*at)),
+                        ("id", Json::hex_u64(*id)),
+                        ("addr", Json::hex_u64(addr.as_u64())),
+                        ("is_write", Json::from(*is_write)),
+                    ])
+                })),
+            ),
+            (
+                "gather_results",
+                Json::arr(self.gather_results.iter().map(|(addr, value)| {
+                    Json::obj([
+                        ("addr", Json::hex_u64(addr.as_u64())),
+                        ("value", Json::hex_f64(*value)),
+                    ])
+                })),
+            ),
+            (
+                "ipc_series",
+                Json::arr(
+                    self.ipc_series
+                        .points()
+                        .iter()
+                        .map(|(x, y)| Json::arr([Json::hex_f64(*x), Json::hex_f64(*y)])),
+                ),
+            ),
+            ("last_ipc_sample_insns", Json::from(self.last_ipc_sample_insns)),
+            ("hmc_bytes", Json::from(self.hmc_bytes)),
+            ("back_invalidations", Json::from(self.back_invalidations)),
+            ("drain_windows", Json::from(self.drain_windows)),
+            ("cross_cycle_windows", Json::from(self.cross_cycle_windows)),
+            ("resume_cycle", Json::from(self.resume_cycle)),
+            ("report_cycle", Json::from(self.report_cycle)),
+            ("completed", Json::from(self.prefix_completed)),
+        ])
+    }
+
+    /// Restores the dynamic state captured by [`System::state_to_json`] onto
+    /// a freshly constructed system (same configuration, workload streams
+    /// regenerated from the same deterministic generator).
+    ///
+    /// Derived bookkeeping — done/parked core gates, Message-Interface
+    /// flags, the per-component busy table behind the O(1) quiescence check —
+    /// is recomputed from the restored components rather than trusted from
+    /// the document, and structural disagreements (wrong core/cube counts,
+    /// out-of-range indices) are rejected rather than silently accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the document is malformed, references
+    /// components this configuration does not have, or disagrees with the
+    /// regenerated workload streams.
+    pub fn load_state(&mut self, doc: &Json) -> Result<(), JsonError> {
+        // The resume cycle is parsed first: cube restores re-derive their
+        // vault wake calendars relative to it.
+        let resume_cycle = doc.req_u64("resume_cycle")?;
+        let report_cycle = doc.req_u64("report_cycle")?;
+        let completed = doc.req_bool("completed")?;
+
+        let cores = doc.req_array("cores")?;
+        if cores.len() != self.cores.len() {
+            return Err(JsonError::state(format!(
+                "checkpoint has {} cores but the system is configured with {}",
+                cores.len(),
+                self.cores.len()
+            )));
+        }
+        for (core, state) in self.cores.iter_mut().zip(cores) {
+            core.load_state(state)?;
+        }
+        self.caches.load_state(doc.req("caches")?)?;
+        self.noc.load_state(doc.req("noc")?)?;
+
+        let backend_doc = doc.req("backend")?;
+        match &mut self.backend {
+            Backend::Dram(dram) => {
+                if backend_doc.req_str("t")? != "dram" {
+                    return Err(JsonError::state(
+                        "checkpoint backend is not the configured DRAM baseline",
+                    ));
+                }
+                dram.load_state(backend_doc.req("dram")?)?;
+            }
+            Backend::Hmc(hmc) => {
+                if backend_doc.req_str("t")? != "hmc" {
+                    return Err(JsonError::state(
+                        "checkpoint backend is not the configured HMC network",
+                    ));
+                }
+                hmc.network.load_state(backend_doc.req("network")?)?;
+                let cubes = backend_doc.req_array("cubes")?;
+                let engines = backend_doc.req_array("engines")?;
+                if cubes.len() != hmc.cubes.len() || engines.len() != hmc.engines.len() {
+                    return Err(JsonError::state(format!(
+                        "checkpoint has {} cubes / {} engines but the system is configured \
+                         with {}",
+                        cubes.len(),
+                        engines.len(),
+                        hmc.cubes.len()
+                    )));
+                }
+                for (cube, state) in hmc.cubes.iter_mut().zip(cubes) {
+                    cube.load_state(resume_cycle, state)?;
+                }
+                for (engine, state) in hmc.engines.iter_mut().zip(engines) {
+                    engine.load_state(state)?;
+                }
+                let controller_doc = backend_doc.req("controller")?;
+                match &mut hmc.controller {
+                    Some(controller) => {
+                        if matches!(controller_doc, Json::Null) {
+                            return Err(JsonError::state(
+                                "checkpoint lacks host-controller state but the scheme offloads",
+                            ));
+                        }
+                        controller.load_state(controller_doc)?;
+                    }
+                    None => {
+                        if !matches!(controller_doc, Json::Null) {
+                            return Err(JsonError::state(
+                                "checkpoint has host-controller state but the scheme never \
+                                 offloads",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        self.func_mem.clear();
+        for entry in doc.req_array("func_mem")? {
+            let addr = entry.req_hex_u64("addr")?;
+            let value = entry.req_hex_f64("value")?;
+            if self.func_mem.insert(addr, value).is_some() {
+                return Err(JsonError::state("duplicate functional-memory address"));
+            }
+        }
+
+        self.core_completions = LatencyQueue::new();
+        for entry in doc.req_array("core_completions")? {
+            let at = entry.req_u64("at")?;
+            let core = entry.req_usize("core")?;
+            if core >= self.cores.len() {
+                return Err(JsonError::state("core completion for an out-of-range core"));
+            }
+            self.core_completions.push_at(at, (core, entry.req_hex_u64("req_id")?));
+        }
+
+        self.mem_txns.clear();
+        for entry in doc.req_array("mem_txns")? {
+            let txn = entry.req_hex_u64("txn")?;
+            let core = entry.req_hex_u64("core")? as usize;
+            if core != usize::MAX && core >= self.cores.len() {
+                return Err(JsonError::state("memory transaction for an out-of-range core"));
+            }
+            let m = MemTxn {
+                core,
+                req_id: entry.req_hex_u64("req_id")?,
+                port: PortId::new(entry.req_usize("port")?),
+                noc_return: entry.req_u64("noc_return")?,
+                is_write: entry.req_bool("is_write")?,
+            };
+            if self.mem_txns.insert(txn, m).is_some() {
+                return Err(JsonError::state("duplicate memory-transaction id"));
+            }
+        }
+
+        let cube_count = Self::backend_cube_count(&self.backend);
+        self.vault_purpose.clear();
+        for entry in doc.req_array("vault_purpose")? {
+            let id = entry.req_hex_u64("id")?;
+            let tagged = entry.req("purpose")?;
+            let purpose = match tagged.req_str("t")? {
+                "normal" => VaultPurpose::Normal { txn: tagged.req_hex_u64("txn")? },
+                "are_read" => {
+                    let cube = tagged.req_usize("cube")?;
+                    if cube >= cube_count {
+                        return Err(JsonError::state("operand read for an out-of-range cube"));
+                    }
+                    VaultPurpose::AreRead { cube, access_id: tagged.req_hex_u64("access_id")? }
+                }
+                "are_write" => VaultPurpose::AreWrite,
+                other => {
+                    return Err(JsonError::state(format!("unknown vault purpose {other:?}")));
+                }
+            };
+            if self.vault_purpose.insert(id, purpose).is_some() {
+                return Err(JsonError::state("duplicate vault-access id"));
+            }
+        }
+
+        self.next_txn = doc.req_u64("next_txn")?;
+        self.next_vault_id = doc.req_u64("next_vault_id")?;
+
+        self.retry_dram.clear();
+        for entry in doc.req_array("retry_dram")? {
+            self.retry_dram.push((
+                entry.req_u64("at")?,
+                entry.req_hex_u64("id")?,
+                Addr::new(entry.req_hex_u64("addr")?),
+                entry.req_bool("is_write")?,
+            ));
+        }
+
+        self.gather_results.clear();
+        for entry in doc.req_array("gather_results")? {
+            self.gather_results
+                .push((Addr::new(entry.req_hex_u64("addr")?), entry.req_hex_f64("value")?));
+        }
+
+        debug_assert!(self.ipc_series.points().is_empty(), "restore onto a fresh system");
+        for point in doc.req_array("ipc_series")? {
+            let pair = point
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| JsonError::state("IPC sample is not an [x, y] pair"))?;
+            let x = pair[0]
+                .as_hex_f64()
+                .ok_or_else(|| JsonError::state("IPC sample x is not a hex float"))?;
+            let y = pair[1]
+                .as_hex_f64()
+                .ok_or_else(|| JsonError::state("IPC sample y is not a hex float"))?;
+            self.ipc_series.push(x, y);
+        }
+        self.last_ipc_sample_insns = doc.req_u64("last_ipc_sample_insns")?;
+        self.hmc_bytes = doc.req_u64("hmc_bytes")?;
+        self.back_invalidations = doc.req_u64("back_invalidations")?;
+        self.drain_windows = doc.req_u64("drain_windows")?;
+        self.cross_cycle_windows = doc.req_u64("cross_cycle_windows")?;
+        self.resume_cycle = resume_cycle;
+        self.report_cycle = report_cycle;
+        self.prefix_completed = completed;
+
+        // ------------------------------------------------------------------
+        // Derived state: recomputed, never trusted from the document.
+        // ------------------------------------------------------------------
+        self.drain_until = 0;
+        self.drain_outbox.clear();
+        self.arm_backoff_until = 0;
+        self.active_windows = 0;
+        for window in &mut self.run_ahead {
+            debug_assert!(window.replay.is_empty(), "restore onto a fresh system");
+            window.until = 0;
+        }
+        self.armq.clear();
+        self.arm_flags.fill(false);
+        self.cores_done = self.cores.iter().filter(|c| c.is_done()).count();
+        self.mi_pending_cores = 0;
+        for (i, core) in self.cores.iter().enumerate() {
+            // A restored core is never parked or fast-forwarding (the lazy
+            // intervals were settled at the snapshot boundary): done cores
+            // sleep, everything else is re-examined at the resume cycle.
+            self.core_wake_at[i] = if core.is_done() { u64::MAX } else { 0 };
+            let mi_now = !core.mi().is_empty();
+            self.mi_pending[i] = mi_now;
+            self.mi_pending_cores += usize::from(mi_now);
+        }
+        let busy_keys: Vec<SysKey> = match &self.backend {
+            Backend::Dram(_) => vec![SysKey::Dram],
+            Backend::Hmc(hmc) => {
+                (0..hmc.cubes.len()).flat_map(|c| [SysKey::Cube(c), SysKey::Engine(c)]).collect()
+            }
+        };
+        self.busy.fill(false);
+        self.busy_count = 0;
+        for key in busy_keys {
+            let busy = self.component_busy(key);
+            self.busy[Self::key_slot(key)] = busy;
+            self.busy_count += usize::from(busy);
+        }
+        Ok(())
     }
 
     /// Processes one memory-network cycle.

@@ -4,6 +4,7 @@
 //! wiring bug in a simulator of this size: passing a core index where a cube
 //! index is expected.
 
+use crate::json::{Json, JsonError};
 use std::fmt;
 
 macro_rules! id_type {
@@ -93,6 +94,23 @@ impl FlowId {
     }
 }
 
+impl FlowId {
+    /// Encodes the flow id for checkpointed state (target carries tag bits,
+    /// so it travels as hex).
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([("target", Json::hex_u64(self.target)), ("port", Json::from(self.port.index()))])
+    }
+
+    /// Decodes a flow id produced by [`FlowId::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<FlowId, JsonError> {
+        Ok(FlowId::new(doc.req_hex_u64("target")?, PortId::new(doc.req_usize("port")?)))
+    }
+}
+
 impl fmt::Display for FlowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "flow({:#x}@{})", self.target, self.port)
@@ -130,6 +148,29 @@ impl NetNode {
     pub fn is_host(self) -> bool {
         matches!(self, NetNode::Host(_))
     }
+
+    /// Encodes the node for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        match self {
+            NetNode::Cube(c) => Json::obj([("cube", Json::from(c.index()))]),
+            NetNode::Host(p) => Json::obj([("host", Json::from(p.index()))]),
+        }
+    }
+
+    /// Decodes a node produced by [`NetNode::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when neither variant key is present.
+    pub fn state_from_json(doc: &Json) -> Result<NetNode, JsonError> {
+        if doc.get("cube").is_some() {
+            Ok(NetNode::Cube(CubeId::new(doc.req_usize("cube")?)))
+        } else if doc.get("host").is_some() {
+            Ok(NetNode::Host(PortId::new(doc.req_usize("host")?)))
+        } else {
+            Err(JsonError::state("net node needs a \"cube\" or \"host\" field"))
+        }
+    }
 }
 
 impl fmt::Display for NetNode {
@@ -165,6 +206,18 @@ mod tests {
         let b = FlowId::new(0x1000, PortId::new(1));
         assert_ne!(a, b);
         assert_eq!(a, FlowId::new(0x1000, PortId::new(0)));
+    }
+
+    #[test]
+    fn flow_and_node_state_json_round_trips() {
+        let flow = FlowId::new((1 << 60) | 0x40, PortId::new(3));
+        let doc = Json::parse(&flow.state_to_json().render()).unwrap();
+        assert_eq!(FlowId::state_from_json(&doc).unwrap(), flow);
+        for node in [NetNode::Cube(CubeId::new(9)), NetNode::Host(PortId::new(2))] {
+            let doc = Json::parse(&node.state_to_json().render()).unwrap();
+            assert_eq!(NetNode::state_from_json(&doc).unwrap(), node);
+        }
+        assert!(NetNode::state_from_json(&Json::obj([("tile", Json::from(1_u64))])).is_err());
     }
 
     #[test]

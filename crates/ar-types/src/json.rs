@@ -264,6 +264,133 @@ impl Json {
     }
 }
 
+/// State-encoding helpers used by the checkpoint serializers.
+///
+/// Checkpointed simulator state needs two encodings that plain JSON numbers
+/// cannot provide: identifiers that use the full 64-bit range (packet ids,
+/// remote operand keys and transaction ids all carry tag bits above 2^53),
+/// and `f64` values that must survive a render→parse round trip bit-exactly
+/// (partial reduction results feed the functional memory). Both travel as
+/// fixed-width lowercase hex strings. Plain counters and cycle numbers stay
+/// as JSON numbers — they are far below 2^53.
+impl Json {
+    /// Encodes a 64-bit identifier or bit pattern as a 16-digit hex string.
+    pub fn hex_u64(v: u64) -> Json {
+        Json::Str(format!("{v:016x}"))
+    }
+
+    /// Encodes an `f64` bit-exactly via its IEEE-754 bit pattern.
+    pub fn hex_f64(v: f64) -> Json {
+        Json::hex_u64(v.to_bits())
+    }
+
+    /// Decodes a value produced by [`Json::hex_u64`].
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok(),
+            _ => None,
+        }
+    }
+
+    /// Decodes a value produced by [`Json::hex_f64`].
+    pub fn as_hex_f64(&self) -> Option<f64> {
+        self.as_hex_u64().map(f64::from_bits)
+    }
+
+    /// Looks up a required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the missing key.
+    pub fn req(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::state(format!("missing field {key:?}")))
+    }
+
+    /// A required whole-number field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not a whole number.
+    pub fn req_u64(&self, key: &str) -> Result<u64, JsonError> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not a whole number")))
+    }
+
+    /// A required whole-number field narrowed to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or out of range.
+    pub fn req_usize(&self, key: &str) -> Result<usize, JsonError> {
+        usize::try_from(self.req_u64(key)?)
+            .map_err(|_| JsonError::state(format!("field {key:?} does not fit in usize")))
+    }
+
+    /// A required whole-number field narrowed to `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or out of range.
+    pub fn req_u32(&self, key: &str) -> Result<u32, JsonError> {
+        u32::try_from(self.req_u64(key)?)
+            .map_err(|_| JsonError::state(format!("field {key:?} does not fit in u32")))
+    }
+
+    /// A required boolean field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not a boolean.
+    pub fn req_bool(&self, key: &str) -> Result<bool, JsonError> {
+        self.req(key)?
+            .as_bool()
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not a boolean")))
+    }
+
+    /// A required string field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not a string.
+    pub fn req_str(&self, key: &str) -> Result<&str, JsonError> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not a string")))
+    }
+
+    /// A required array field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not an array.
+    pub fn req_array(&self, key: &str) -> Result<&[Json], JsonError> {
+        self.req(key)?
+            .as_array()
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not an array")))
+    }
+
+    /// A required hex-encoded 64-bit field (see [`Json::hex_u64`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not 16 hex digits.
+    pub fn req_hex_u64(&self, key: &str) -> Result<u64, JsonError> {
+        self.req(key)?
+            .as_hex_u64()
+            .ok_or_else(|| JsonError::state(format!("field {key:?} is not a hex u64")))
+    }
+
+    /// A required hex-encoded `f64` field (see [`Json::hex_f64`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is missing or not 16 hex digits.
+    pub fn req_hex_f64(&self, key: &str) -> Result<f64, JsonError> {
+        Ok(f64::from_bits(self.req_hex_u64(key)?))
+    }
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
@@ -309,6 +436,15 @@ pub struct JsonError {
     pub message: String,
     /// Byte offset into the input.
     pub offset: usize,
+}
+
+impl JsonError {
+    /// Builds a decode error that is not tied to a byte offset — used by the
+    /// checkpoint/state deserializers, which operate on an already-parsed
+    /// [`Json`] tree.
+    pub fn state(message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), offset: 0 }
+    }
 }
 
 impl fmt::Display for JsonError {
@@ -589,6 +725,52 @@ mod tests {
         assert_ne!(a.content_hash(), c.content_hash());
         // Canonical output is still valid JSON that parses back.
         assert_eq!(Json::parse(&a.canonical_render()).unwrap().get("b").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn hex_state_encoding_round_trips_full_width_values() {
+        // Ids with tag bits above 2^53 are exactly what the plain number
+        // encoding cannot carry.
+        for v in [0_u64, 1, (1 << 53) + 1, 1 << 59, u64::MAX, (1 << 63) | 7] {
+            let doc = Json::hex_u64(v);
+            let parsed = Json::parse(&doc.render()).unwrap();
+            assert_eq!(parsed.as_hex_u64(), Some(v), "{v:#x}");
+        }
+        for v in [0.0, -0.0, 0.1, 1.0 / 3.0, f64::MAX, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::hex_f64(v);
+            let parsed = Json::parse(&doc.render()).unwrap();
+            assert_eq!(parsed.as_hex_f64().map(f64::to_bits), Some(v.to_bits()), "{v}");
+        }
+        assert_eq!(Json::from("123").as_hex_u64(), None, "wrong width must not decode");
+        assert_eq!(Json::from("00000000000000zz").as_hex_u64(), None);
+        assert_eq!(Json::from(5_u64).as_hex_u64(), None, "numbers are not hex strings");
+    }
+
+    #[test]
+    fn required_field_accessors_report_key_and_type() {
+        let doc = Json::obj([
+            ("n", Json::from(7_u64)),
+            ("s", Json::from("hi")),
+            ("b", Json::from(true)),
+            ("h", Json::hex_u64(u64::MAX)),
+            ("f", Json::hex_f64(0.1)),
+            ("a", Json::arr([Json::from(1_u64)])),
+        ]);
+        assert_eq!(doc.req_u64("n").unwrap(), 7);
+        assert_eq!(doc.req_usize("n").unwrap(), 7);
+        assert_eq!(doc.req_u32("n").unwrap(), 7);
+        assert_eq!(doc.req_str("s").unwrap(), "hi");
+        assert!(doc.req_bool("b").unwrap());
+        assert_eq!(doc.req_hex_u64("h").unwrap(), u64::MAX);
+        assert_eq!(doc.req_hex_f64("f").unwrap(), 0.1);
+        assert_eq!(doc.req_array("a").unwrap().len(), 1);
+
+        let missing = doc.req_u64("gone").unwrap_err();
+        assert!(missing.message.contains("gone"), "{missing}");
+        let wrong = doc.req_u64("s").unwrap_err();
+        assert!(wrong.message.contains('s') && wrong.message.contains("whole"), "{wrong}");
+        assert!(doc.req_hex_u64("n").is_err());
+        assert!(Json::Null.req("x").is_err(), "non-objects have no fields");
     }
 
     #[test]

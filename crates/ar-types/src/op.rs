@@ -100,6 +100,22 @@ impl ReduceOp {
         }
     }
 
+    /// Parses the lowercase name produced by the `Display` impl — the inverse
+    /// used when decoding checkpointed state.
+    pub fn from_name(name: &str) -> Option<ReduceOp> {
+        Some(match name {
+            "sum" => ReduceOp::Sum,
+            "mac" => ReduceOp::Mac,
+            "absdiff" => ReduceOp::AbsDiff,
+            "mov" => ReduceOp::Mov,
+            "const_assign" => ReduceOp::ConstAssign,
+            "min" => ReduceOp::Min,
+            "max" => ReduceOp::Max,
+            "nop" => ReduceOp::Nop,
+            _ => return None,
+        })
+    }
+
     /// Latency of the operation in ARE ALU cycles (1 GHz network clock).
     pub const fn alu_latency(self) -> u64 {
         match self {
@@ -180,6 +196,23 @@ mod tests {
     fn display_names_are_lowercase() {
         assert_eq!(ReduceOp::Mac.to_string(), "mac");
         assert_eq!(ReduceOp::ConstAssign.to_string(), "const_assign");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Mac,
+            ReduceOp::AbsDiff,
+            ReduceOp::Mov,
+            ReduceOp::ConstAssign,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::Nop,
+        ] {
+            assert_eq!(ReduceOp::from_name(&op.to_string()), Some(op));
+        }
+        assert_eq!(ReduceOp::from_name("divide"), None);
     }
 
     #[test]

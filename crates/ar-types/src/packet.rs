@@ -9,6 +9,7 @@
 
 use crate::addr::Addr;
 use crate::ids::{CubeId, FlowId, NetNode, PortId, ThreadId};
+use crate::json::{Json, JsonError};
 use crate::op::ReduceOp;
 use crate::Cycle;
 
@@ -141,6 +142,152 @@ impl ActiveKind {
     }
 }
 
+fn opt_addr_to_json(addr: Option<Addr>) -> Json {
+    addr.map_or(Json::Null, |a| Json::hex_u64(a.as_u64()))
+}
+
+fn opt_addr_from_json(doc: &Json, key: &str) -> Result<Option<Addr>, JsonError> {
+    match doc.req(key)? {
+        Json::Null => Ok(None),
+        _ => Ok(Some(Addr::new(doc.req_hex_u64(key)?))),
+    }
+}
+
+fn op_from_json(doc: &Json, key: &str) -> Result<ReduceOp, JsonError> {
+    let name = doc.req_str(key)?;
+    ReduceOp::from_name(name).ok_or_else(|| JsonError::state(format!("unknown reduce op {name:?}")))
+}
+
+fn slot_to_json(slot: Option<OperandSlot>) -> Json {
+    slot.map_or(Json::Null, |s| {
+        Json::obj([("cube", Json::from(s.cube.index())), ("index", Json::from(s.index))])
+    })
+}
+
+fn slot_from_json(doc: &Json, key: &str) -> Result<Option<OperandSlot>, JsonError> {
+    match doc.req(key)? {
+        Json::Null => Ok(None),
+        s => Ok(Some(OperandSlot {
+            cube: CubeId::new(s.req_usize("cube")?),
+            index: s.req_usize("index")?,
+        })),
+    }
+}
+
+impl ActiveKind {
+    /// Encodes the payload for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        match *self {
+            ActiveKind::Update {
+                flow,
+                op,
+                src1,
+                src2,
+                imm,
+                compute_cube,
+                thread,
+                update_id,
+                issued_at,
+            } => Json::obj([
+                ("t", Json::from("update")),
+                ("flow", flow.state_to_json()),
+                ("op", Json::from(op.to_string())),
+                ("src1", Json::hex_u64(src1.as_u64())),
+                ("src2", opt_addr_to_json(src2)),
+                ("imm", imm.map_or(Json::Null, Json::hex_f64)),
+                ("compute_cube", Json::from(compute_cube.index())),
+                ("thread", Json::from(thread.index())),
+                ("update_id", Json::hex_u64(update_id)),
+                ("issued_at", Json::from(issued_at)),
+            ]),
+            ActiveKind::OperandReq { flow, slot, addr, which, update_id, op } => Json::obj([
+                ("t", Json::from("operand_req")),
+                ("flow", flow.state_to_json()),
+                ("slot", slot_to_json(slot)),
+                ("addr", Json::hex_u64(addr.as_u64())),
+                ("which", Json::from(u32::from(which))),
+                ("update_id", Json::hex_u64(update_id)),
+                ("op", Json::from(op.to_string())),
+            ]),
+            ActiveKind::OperandResp { flow, slot, which, value, update_id, op } => Json::obj([
+                ("t", Json::from("operand_resp")),
+                ("flow", flow.state_to_json()),
+                ("slot", slot_to_json(slot)),
+                ("which", Json::from(u32::from(which))),
+                ("value", Json::hex_f64(value)),
+                ("update_id", Json::hex_u64(update_id)),
+                ("op", Json::from(op.to_string())),
+            ]),
+            ActiveKind::GatherReq { flow, op, expected_at_root, thread } => Json::obj([
+                ("t", Json::from("gather_req")),
+                ("flow", flow.state_to_json()),
+                ("op", Json::from(op.to_string())),
+                ("expected_at_root", Json::from(expected_at_root)),
+                ("thread", Json::from(thread.index())),
+            ]),
+            ActiveKind::GatherResp { flow, value, updates } => Json::obj([
+                ("t", Json::from("gather_resp")),
+                ("flow", flow.state_to_json()),
+                ("value", Json::hex_f64(value)),
+                ("updates", Json::from(updates)),
+            ]),
+        }
+    }
+
+    /// Decodes a payload produced by [`ActiveKind::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on an unknown tag or missing field.
+    pub fn state_from_json(doc: &Json) -> Result<ActiveKind, JsonError> {
+        let flow = FlowId::state_from_json(doc.req("flow")?)?;
+        Ok(match doc.req_str("t")? {
+            "update" => ActiveKind::Update {
+                flow,
+                op: op_from_json(doc, "op")?,
+                src1: Addr::new(doc.req_hex_u64("src1")?),
+                src2: opt_addr_from_json(doc, "src2")?,
+                imm: match doc.req("imm")? {
+                    Json::Null => None,
+                    _ => Some(doc.req_hex_f64("imm")?),
+                },
+                compute_cube: CubeId::new(doc.req_usize("compute_cube")?),
+                thread: ThreadId::new(doc.req_usize("thread")?),
+                update_id: doc.req_hex_u64("update_id")?,
+                issued_at: doc.req_u64("issued_at")?,
+            },
+            "operand_req" => ActiveKind::OperandReq {
+                flow,
+                slot: slot_from_json(doc, "slot")?,
+                addr: Addr::new(doc.req_hex_u64("addr")?),
+                which: doc.req_u32("which")? as u8,
+                update_id: doc.req_hex_u64("update_id")?,
+                op: op_from_json(doc, "op")?,
+            },
+            "operand_resp" => ActiveKind::OperandResp {
+                flow,
+                slot: slot_from_json(doc, "slot")?,
+                which: doc.req_u32("which")? as u8,
+                value: doc.req_hex_f64("value")?,
+                update_id: doc.req_hex_u64("update_id")?,
+                op: op_from_json(doc, "op")?,
+            },
+            "gather_req" => ActiveKind::GatherReq {
+                flow,
+                op: op_from_json(doc, "op")?,
+                expected_at_root: doc.req_u32("expected_at_root")?,
+                thread: ThreadId::new(doc.req_usize("thread")?),
+            },
+            "gather_resp" => ActiveKind::GatherResp {
+                flow,
+                value: doc.req_hex_f64("value")?,
+                updates: doc.req_u64("updates")?,
+            },
+            other => return Err(JsonError::state(format!("unknown active kind {other:?}"))),
+        })
+    }
+}
+
 /// The kind of a memory-network packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PacketKind {
@@ -205,6 +352,47 @@ impl PacketKind {
             PacketKind::Active(a) => HEADER_BYTES + a.payload_bytes(),
         }
     }
+
+    /// Encodes the kind for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        let plain = |tag: &str, req_id: u64, addr: Addr| {
+            Json::obj([
+                ("t", Json::from(tag)),
+                ("req_id", Json::hex_u64(req_id)),
+                ("addr", Json::hex_u64(addr.as_u64())),
+            ])
+        };
+        match *self {
+            PacketKind::ReadReq { req_id, addr } => plain("read_req", req_id, addr),
+            PacketKind::WriteReq { req_id, addr } => plain("write_req", req_id, addr),
+            PacketKind::ReadResp { req_id, addr } => plain("read_resp", req_id, addr),
+            PacketKind::WriteAck { req_id, addr } => plain("write_ack", req_id, addr),
+            PacketKind::Active(ref a) => {
+                Json::obj([("t", Json::from("active")), ("active", a.state_to_json())])
+            }
+        }
+    }
+
+    /// Decodes a kind produced by [`PacketKind::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on an unknown tag or missing field.
+    pub fn state_from_json(doc: &Json) -> Result<PacketKind, JsonError> {
+        let tag = doc.req_str("t")?;
+        if tag == "active" {
+            return Ok(PacketKind::Active(ActiveKind::state_from_json(doc.req("active")?)?));
+        }
+        let req_id = doc.req_hex_u64("req_id")?;
+        let addr = Addr::new(doc.req_hex_u64("addr")?);
+        Ok(match tag {
+            "read_req" => PacketKind::ReadReq { req_id, addr },
+            "write_req" => PacketKind::WriteReq { req_id, addr },
+            "read_resp" => PacketKind::ReadResp { req_id, addr },
+            "write_ack" => PacketKind::WriteAck { req_id, addr },
+            other => return Err(JsonError::state(format!("unknown packet kind {other:?}"))),
+        })
+    }
 }
 
 /// A packet in flight in the memory network.
@@ -243,6 +431,34 @@ impl Packet {
     /// Convenience constructor for a packet issued by a host port.
     pub fn from_host(id: u64, port: PortId, dst: CubeId, kind: PacketKind, now: Cycle) -> Self {
         Packet::new(id, NetNode::Host(port), NetNode::Cube(dst), kind, now)
+    }
+
+    /// Encodes the packet for checkpointed state.
+    pub fn state_to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::hex_u64(self.id)),
+            ("src", self.src.state_to_json()),
+            ("dst", self.dst.state_to_json()),
+            ("kind", self.kind.state_to_json()),
+            ("injected_at", Json::from(self.injected_at)),
+            ("hops", Json::from(self.hops)),
+        ])
+    }
+
+    /// Decodes a packet produced by [`Packet::state_to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn state_from_json(doc: &Json) -> Result<Packet, JsonError> {
+        Ok(Packet {
+            id: doc.req_hex_u64("id")?,
+            src: NetNode::state_from_json(doc.req("src")?)?,
+            dst: NetNode::state_from_json(doc.req("dst")?)?,
+            kind: PacketKind::state_from_json(doc.req("kind")?)?,
+            injected_at: doc.req_u64("injected_at")?,
+            hops: doc.req_u32("hops")?,
+        })
     }
 }
 
@@ -308,6 +524,66 @@ mod tests {
         let gr =
             PacketKind::Active(ActiveKind::GatherResp { flow: flow(), value: 0.0, updates: 0 });
         assert!(gr.is_response());
+    }
+
+    #[test]
+    fn packet_state_json_round_trips_every_kind() {
+        let kinds = [
+            PacketKind::ReadReq { req_id: (1 << 59) | 5, addr: Addr::new(0x1_0040) },
+            PacketKind::WriteReq { req_id: (1 << 58) | 9, addr: Addr::new(0x2_0080) },
+            PacketKind::ReadResp { req_id: 3, addr: Addr::new(64) },
+            PacketKind::WriteAck { req_id: 4, addr: Addr::new(128) },
+            PacketKind::Active(ActiveKind::Update {
+                flow: flow(),
+                op: ReduceOp::Mac,
+                src1: Addr::new(64),
+                src2: Some(Addr::new(128)),
+                imm: Some(0.1),
+                compute_cube: CubeId::new(7),
+                thread: ThreadId::new(3),
+                update_id: 42,
+                issued_at: 1000,
+            }),
+            PacketKind::Active(ActiveKind::OperandReq {
+                flow: flow(),
+                slot: Some(OperandSlot { cube: CubeId::new(2), index: 11 }),
+                addr: Addr::new(192),
+                which: 1,
+                update_id: 42,
+                op: ReduceOp::Mac,
+            }),
+            PacketKind::Active(ActiveKind::OperandResp {
+                flow: flow(),
+                slot: None,
+                which: 0,
+                value: 1.0 / 3.0,
+                update_id: 43,
+                op: ReduceOp::Sum,
+            }),
+            PacketKind::Active(ActiveKind::GatherReq {
+                flow: flow(),
+                op: ReduceOp::Min,
+                expected_at_root: 16,
+                thread: ThreadId::new(0),
+            }),
+            PacketKind::Active(ActiveKind::GatherResp { flow: flow(), value: -0.0, updates: 99 }),
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let mut p = Packet::new(
+                (7 << 40) | i as u64,
+                NetNode::Host(PortId::new(1)),
+                NetNode::Cube(CubeId::new(12)),
+                kind,
+                777,
+            );
+            p.hops = 3;
+            let doc = crate::json::Json::parse(&p.state_to_json().render()).unwrap();
+            let back = Packet::state_from_json(&doc).unwrap();
+            assert_eq!(back.kind.size_bytes(), p.kind.size_bytes());
+            assert_eq!(back, p, "kind #{i}");
+        }
+        let bad = crate::json::Json::obj([("t", crate::json::Json::from("teleport"))]);
+        assert!(PacketKind::state_from_json(&bad).is_err());
     }
 
     #[test]

@@ -239,6 +239,96 @@ fn bench_kernel_weak_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpoint/restore costs and the warm-fan-out sweep pattern. `snapshot`
+/// prices serializing a mid-run system to its checkpoint JSON, `restore`
+/// prices building a simulation back out of one (state decode + load), and
+/// the `fan_out_*` pair compares warm-up-once-then-fan-out (one shared
+/// prefix, N resumed variants) against N cold full runs of the same
+/// report-neutral knob variants — the shared prefix is simulated once
+/// instead of N times, which is the pattern's entire win. All fanned
+/// reports are byte-identical to their cold runs (asserted by the sweep
+/// unit tests and the checkpoint property suite).
+fn bench_kernel_checkpoint(c: &mut Criterion) {
+    use ar_system::{warm_fan_out, CellKey, CellKnobs};
+    use std::sync::Arc;
+
+    let base = BENCH_SCALE.system_config();
+    let mut group = c.benchmark_group("kernel_checkpoint");
+    group.sample_size(10);
+    let build = || {
+        Simulation::builder()
+            .config(base.clone())
+            .named(NamedConfig::ArfTid)
+            .workload(WorkloadKind::Pagerank)
+            .size(SizeClass::Small)
+            .build()
+            .expect("valid configuration")
+    };
+    let full = build().run();
+    let prefix = full.network_cycles / 2;
+    let mut warm = build();
+    warm.run_prefix(prefix);
+    let rendered = warm.checkpoint().to_json().render();
+    println!(
+        "kernel_checkpoint: {} simulated network cycles per run, snapshot at {prefix} \
+         ({} checkpoint bytes)",
+        full.network_cycles,
+        rendered.len()
+    );
+    group.bench_function("snapshot", |b| b.iter(|| warm.checkpoint().to_json().render()));
+    let ck = warm.checkpoint();
+    group.bench_function("restore", |b| {
+        b.iter(|| build_restore(&base, ck.clone()).expect("valid restore"))
+    });
+
+    // Four report-neutral knob variants, the warm-fan-out shape: one shared
+    // prefix + four resumed tails, vs four cold full runs.
+    let variants = [
+        CellKnobs::default(),
+        CellKnobs { threads: 4, ..CellKnobs::default() },
+        CellKnobs { fast_forward: Some(false), ..CellKnobs::default() },
+        CellKnobs { cross_cycle: Some(false), ..CellKnobs::default() },
+    ];
+    let cell = CellKey::new("pagerank", NamedConfig::ArfTid, SizeClass::Small);
+    let workload: Arc<dyn ar_workloads::Workload> = Arc::new(WorkloadKind::Pagerank);
+    group.bench_function("fan_out_warm", |b| {
+        b.iter(|| {
+            warm_fan_out(&base, workload.clone(), &cell, prefix, &variants).expect("valid fan-out")
+        })
+    });
+    group.bench_function("fan_out_cold", |b| {
+        b.iter(|| {
+            variants
+                .iter()
+                .map(|knobs| {
+                    cell.clone()
+                        .with_knobs(*knobs)
+                        .configure(&base, workload.clone())
+                        .build()
+                        .expect("valid configuration")
+                        .run()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// Builds a pagerank/ARF-tid/Small simulation restored from `ck` (split out
+/// so the `restore` row prices exactly the decode + state-load path).
+fn build_restore(
+    base: &ar_types::config::SystemConfig,
+    ck: ar_system::Checkpoint,
+) -> Result<ar_system::Simulation, ar_types::error::ConfigError> {
+    Simulation::builder()
+        .config(base.clone())
+        .named(NamedConfig::ArfTid)
+        .workload(WorkloadKind::Pagerank)
+        .size(SizeClass::Small)
+        .from_checkpoint(ck)
+        .build()
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.sample_size(20);
@@ -258,6 +348,7 @@ criterion_group!(
     bench_kernel_fastforward,
     bench_kernel_offload,
     bench_kernel_weak_scaling,
+    bench_kernel_checkpoint,
     bench_workload_generation
 );
 criterion_main!(simulator);

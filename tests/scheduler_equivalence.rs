@@ -34,9 +34,17 @@
 //! arming, the conservative lookahead horizon and the timestamped replay
 //! merge may never change a single report byte relative to the per-cycle
 //! kernels.
+//!
+//! Finally every cell carries a **snapshot/restore axis**: the run is
+//! split at its halfway cycle through a [`Checkpoint`] round-tripped
+//! through its serialized JSON form (exactly like a restore from disk),
+//! and the resumed run must be byte-identical to the uninterrupted one.
 
-use active_routing_repro::ar_system::{DeadlineStop, SimReport, Simulation, SimulationBuilder};
+use active_routing_repro::ar_system::{
+    Checkpoint, DeadlineStop, SimReport, Simulation, SimulationBuilder,
+};
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
+use active_routing_repro::ar_types::Json;
 use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
 
 fn quick_cfg() -> SystemConfig {
@@ -177,6 +185,21 @@ fn assert_workload_equivalence(kind: WorkloadKind) {
                 );
             }
         }
+        // The snapshot/restore axis: split the cell at its halfway cycle,
+        // round-trip the checkpoint through its serialized form and resume;
+        // the spliced run must be byte-identical to the uninterrupted one.
+        let split = (event.network_cycles / 2).max(1);
+        let mut warm = builder(named, kind, SizeClass::Tiny).build().expect("valid configuration");
+        warm.run_prefix(split);
+        let doc = Json::parse(&warm.checkpoint().to_json().render())
+            .expect("checkpoints render to valid JSON");
+        let ck = Checkpoint::from_json(&doc).expect("rendered checkpoints decode");
+        let resumed = builder(named, kind, SizeClass::Tiny)
+            .from_checkpoint(ck)
+            .build()
+            .expect("valid restore")
+            .run();
+        assert_identical(&event, &resumed, &format!("{kind}/{named} @ restored from {split}"));
     }
 }
 

@@ -11,12 +11,16 @@
 //! * progress streaming delivers `running` and IPC `progress` events;
 //! * the cache outlives the server: a new daemon over the same directory
 //!   serves everything from disk (zero recomputed cells);
-//! * a full sweep matrix resubmitted through the server recomputes nothing.
+//! * a full sweep matrix resubmitted through the server recomputes nothing;
+//! * a workload that panics mid-run fails its own cell with a `cell_error`
+//!   event while the rest of the batch — and the daemon — keep working.
 
-use active_routing_repro::ar_serve::{CellStatus, ServerConfig, SweepClient, SweepServer};
+use active_routing_repro::ar_serve::{CellStatus, Event, ServerConfig, SweepClient, SweepServer};
 use active_routing_repro::ar_system::{CellKey, Sweep};
 use active_routing_repro::ar_types::config::{NamedConfig, SystemConfig};
-use active_routing_repro::ar_workloads::{SizeClass, WorkloadKind};
+use active_routing_repro::ar_workloads::{
+    GeneratedWorkload, SizeClass, Variant, Workload, WorkloadKind, WorkloadRegistry,
+};
 use std::path::PathBuf;
 
 fn quick_cfg() -> SystemConfig {
@@ -196,6 +200,66 @@ fn the_cache_outlives_the_server_and_matrices_resubmit_for_free() {
             fresh.cell.label()
         );
     }
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn panicking_workloads_fail_their_cell_not_the_server() {
+    /// A deliberately broken scenario: generation panics, the way a buggy
+    /// custom workload registered through [`ServerConfig::registry`] would.
+    struct Panicker;
+
+    impl Workload for Panicker {
+        fn name(&self) -> &str {
+            "panicker"
+        }
+
+        fn generate(&self, _: usize, _: SizeClass, _: Variant) -> GeneratedWorkload {
+            panic!("synthetic workload failure");
+        }
+    }
+
+    let cache = temp_cache("panic");
+    let mut registry = WorkloadRegistry::builtin();
+    registry.register(Panicker);
+    let server = SweepServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(quick_cfg(), &cache).workers(1).registry(registry),
+    )
+    .expect("bind an ephemeral port")
+    .spawn();
+    let mut client = SweepClient::connect(server.addr()).expect("connect");
+
+    // One doomed cell, one healthy cell, in a single batch.
+    let cells = [
+        CellKey::new("panicker", NamedConfig::ArfTid, SizeClass::Tiny),
+        CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Tiny),
+    ];
+    let mut failures = Vec::new();
+    let mut completed = Vec::new();
+    let err = client
+        .run_cells_observed(&cells, false, |event| match event {
+            Event::CellError { index, message } => failures.push((*index, message.clone())),
+            Event::Done { index, .. } => completed.push(*index),
+            _ => {}
+        })
+        .expect_err("a panicking cell fails the batch");
+    assert!(err.to_string().contains("panicked"), "{err}");
+    assert_eq!(failures.len(), 1, "exactly one cell_error event: {failures:?}");
+    let (index, message) = &failures[0];
+    assert_eq!(*index, 0, "the failure names the panicking cell");
+    assert!(message.contains("panicked"), "{message}");
+    assert!(message.contains("synthetic workload failure"), "panic payload surfaces: {message}");
+    assert_eq!(completed, vec![1], "the healthy cell of the same batch still completes");
+
+    // The worker survived the unwind: the same connection keeps serving,
+    // and the healthy cell's report made it into the cache.
+    client.ping().expect("server still answers pings after a panic");
+    let good = [CellKey::new("reduce", NamedConfig::ArfTid, SizeClass::Tiny)];
+    let outcomes = client.run_cells(&good).expect("healthy cells still run");
+    assert!(outcomes[0].cached, "the pre-panic healthy run was cached");
+    assert!(outcomes[0].report.completed);
     server.shutdown().expect("clean shutdown");
     let _ = std::fs::remove_dir_all(cache);
 }
